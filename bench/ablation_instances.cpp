@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation (paper §III-B/C): datapath instance scaling. SOFF fills the
+ * device with as many datapath copies as fit; this bench sweeps the
+ * instance count to show the throughput scaling the replication buys
+ * (and where memory bandwidth flattens it).
+ */
+#include <cstdio>
+
+#include "benchsuite/suite.hpp"
+
+using namespace soff;
+using benchsuite::BenchContext;
+using benchsuite::Engine;
+
+int
+main()
+{
+    const char *apps[] = {"103.stencil", "112.spmv", "gemm"};
+    std::printf("Ablation: datapath instance scaling "
+                "(paper Sections III-B/III-C)\n");
+    std::printf("%-14s %6s %14s %10s\n", "Application", "inst",
+                "cycles", "speedup");
+    for (const char *name : apps) {
+        const auto *app = benchsuite::findApp(name);
+        uint64_t base = 0;
+        for (int instances : {1, 2, 4, 8, 16}) {
+            BenchContext ctx(Engine::SoffSim);
+            ctx.setInstanceOverride(instances);
+            if (!runApp(*app, ctx)) {
+                std::printf("%-14s %6d verification FAILED\n", name,
+                            instances);
+                continue;
+            }
+            uint64_t cycles = ctx.metrics().cycles;
+            if (instances == 1)
+                base = cycles;
+            std::printf("%-14s %6d %14llu %9.2fx\n", name, instances,
+                        (unsigned long long)cycles,
+                        base ? (double)base / cycles : 0.0);
+        }
+    }
+    return 0;
+}

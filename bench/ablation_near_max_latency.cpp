@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ablation (paper §IV-A, §VI-A): the near-maximum latency L_F of
+ * global-memory functional units ("e.g., 64 for global memory
+ * load/stores"). L_F sizes the in-flight window: too small starves
+ * memory-level parallelism (Case-1 stalls); larger values buy
+ * diminishing returns at growing FIFO cost.
+ */
+#include <cstdio>
+
+#include "benchsuite/suite.hpp"
+
+using namespace soff;
+using benchsuite::BenchContext;
+using benchsuite::Engine;
+
+int
+main()
+{
+    const char *apps[] = {"112.spmv", "103.stencil", "gemm"};
+    std::printf("Ablation: global-memory near-maximum latency L_F "
+                "(paper Sections IV-A, VI-A)\n");
+    std::printf("%-14s %6s %14s %10s\n", "Application", "L_F", "cycles",
+                "vs L_F=64");
+    for (const char *name : apps) {
+        const auto *app = benchsuite::findApp(name);
+        uint64_t reference = 0;
+        // Measure the paper's default first for the comparison column.
+        for (int lf : {64, 4, 16, 32, 128}) {
+            BenchContext ctx(Engine::SoffSim);
+            core::CompilerOptions options;
+            options.plan.latency.globalMemNearMax = lf;
+            ctx.setCompilerOptions(options);
+            if (!runApp(*app, ctx)) {
+                std::printf("%-14s %6d verification FAILED\n", name, lf);
+                continue;
+            }
+            uint64_t cycles = ctx.metrics().cycles;
+            if (lf == 64)
+                reference = cycles;
+            std::printf("%-14s %6d %14llu %9.2fx\n", name, lf,
+                        (unsigned long long)cycles,
+                        reference ? (double)cycles / reference : 0.0);
+        }
+    }
+    return 0;
+}

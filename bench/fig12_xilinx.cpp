@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Reproduces paper Fig. 12: the two indirect Xilinx comparisons.
+ *
+ *  (a) Xilinx-vs-SOFF I: SOFF on System A vs the Xilinx-like baseline
+ *      on System B with its default single datapath instance
+ *      (paper geomean: SOFF ~24.9x faster).
+ *  (b) Xilinx-vs-SOFF II: the optimistic linear-scaling extrapolation —
+ *      the Xilinx-like time divided by the instance count its (better)
+ *      FPGA could host (paper: SOFF still ~1.33x / 30%% faster).
+ */
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/features.hpp"
+#include "baseline/compat.hpp"
+#include "benchsuite/suite.hpp"
+#include "datapath/resource.hpp"
+#include "support/error.hpp"
+
+using namespace soff;
+using benchsuite::App;
+using benchsuite::BenchContext;
+using benchsuite::Engine;
+
+int
+main()
+{
+    std::printf("Fig. 12: Xilinx-vs-SOFF I (single instance) and II "
+                "(linear extrapolation)\n");
+    std::printf("%-14s %12s %12s %9s %6s %9s\n", "Application",
+                "Xilinx (ms)", "SOFF (ms)", "I", "inst", "II");
+
+    double log_i = 0.0, log_ii = 0.0;
+    int count = 0;
+    for (const App &app : benchsuite::allApps()) {
+        core::Compiler compiler;
+        auto compiled = compiler.compile(app.source, app.name);
+        analysis::KernelFeatures features =
+            analysis::scanModuleFeatures(*compiled->module);
+        if (baseline::xilinxLikeOutcome(features) !=
+            baseline::Outcome::OK) {
+            std::printf("%-14s %12s (Xilinx-like fails)\n",
+                        app.name.c_str(), "-");
+            continue;
+        }
+
+        double soff_ms = 0.0;
+        try {
+            BenchContext ctx(Engine::SoffSim);
+            if (!runApp(app, ctx))
+                continue;
+            soff_ms = ctx.metrics().timeMs;
+        } catch (const RuntimeError &) {
+            std::printf("%-14s %12s (SOFF: IR)\n", app.name.c_str(),
+                        "-");
+            continue;
+        }
+
+        BenchContext xilinx(Engine::XilinxLike);
+        if (!runApp(app, xilinx))
+            continue;
+        double xilinx_ms = xilinx.metrics().timeMs;
+
+        // The instance count the VU9P could host, per the same
+        // resource model ("with an optimistic assumption that Xilinx
+        // SDAccel achieves a linear speedup", §VI-C). SDAccel's
+        // statically scheduled pipelines carry the full worst-case
+        // schedule per instance; we charge them 3x the SOFF per-
+        // instance area, consistent with the single-instance slowdown
+        // the paper measures on the larger device.
+        constexpr double kXilinxAreaFactor = 3.0;
+        datapath::FpgaSpec vu9p = datapath::FpgaSpec::vu9p();
+        int possible = 1;
+        for (const core::CompiledKernel &ck : compiled->kernels) {
+            int n = static_cast<int>(
+                datapath::maxInstances(*ck.plan, vu9p) /
+                kXilinxAreaFactor);
+            possible = std::max(possible, std::max(1, n));
+        }
+        double extrapolated_ms = xilinx_ms / possible;
+
+        double sp_i = xilinx_ms / soff_ms;
+        double sp_ii = extrapolated_ms / soff_ms;
+        log_i += std::log(sp_i);
+        log_ii += std::log(sp_ii);
+        ++count;
+        std::printf("%-14s %12.4f %12.4f %9.2f %6d %9.2f\n",
+                    app.name.c_str(), xilinx_ms, soff_ms, sp_i,
+                    possible, sp_ii);
+    }
+    if (count > 0) {
+        std::printf("%-14s %12s %12s %9.2f %6s %9.2f\n", "Geomean", "",
+                    "", std::exp(log_i / count), "",
+                    std::exp(log_ii / count));
+    }
+    std::printf("\n(paper: Xilinx-vs-SOFF I geomean 24.9, "
+                "Xilinx-vs-SOFF II geomean 1.33)\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the core components: compiler
+ * throughput, handshake channel, cache, interpreter, and one full
+ * circuit simulation. These guard against performance regressions in
+ * the simulator itself (host-side speed, not modeled cycles).
+ */
+#include <benchmark/benchmark.h>
+
+#include "baseline/interpreter.hpp"
+#include "benchsuite/suite.hpp"
+#include "core/compiler.hpp"
+#include "memsys/cache.hpp"
+#include "sim/channel.hpp"
+
+namespace
+{
+
+const char *kVaddSource = R"CL(
+__kernel void vadd(__global float* A, __global float* B,
+                   __global float* C) {
+  int i = get_global_id(0);
+  C[i] = A[i] + B[i];
+}
+)CL";
+
+void
+BM_CompileVadd(benchmark::State &state)
+{
+    soff::core::Compiler compiler;
+    for (auto _ : state) {
+        auto program = compiler.compile(kVaddSource);
+        benchmark::DoNotOptimize(program);
+    }
+}
+BENCHMARK(BM_CompileVadd);
+
+void
+BM_CompileSuiteApp(benchmark::State &state)
+{
+    const auto *app = soff::benchsuite::findApp("123.nw");
+    soff::core::Compiler compiler;
+    for (auto _ : state) {
+        auto program = compiler.compile(app->source);
+        benchmark::DoNotOptimize(program);
+    }
+}
+BENCHMARK(BM_CompileSuiteApp);
+
+void
+BM_ChannelPushPop(benchmark::State &state)
+{
+    soff::sim::Channel<uint64_t> channel(2);
+    uint64_t v = 0;
+    for (auto _ : state) {
+        channel.push(v++);
+        channel.commit();
+        benchmark::DoNotOptimize(channel.pop());
+        channel.commit();
+    }
+}
+BENCHMARK(BM_ChannelPushPop);
+
+void
+BM_InterpreterVadd(benchmark::State &state)
+{
+    soff::core::Compiler compiler;
+    auto program = compiler.compile(kVaddSource);
+    soff::memsys::GlobalMemory memory(1 << 20);
+    soff::sim::LaunchContext launch;
+    launch.ndrange.globalSize[0] = static_cast<uint64_t>(state.range(0));
+    launch.ndrange.localSize[0] = 64;
+    const auto &kernel = *program->kernels[0].kernel;
+    launch.args[kernel.argument(0)] = soff::ir::RtValue::makeInt(64);
+    launch.args[kernel.argument(1)] = soff::ir::RtValue::makeInt(16448);
+    launch.args[kernel.argument(2)] = soff::ir::RtValue::makeInt(32832);
+    for (auto _ : state) {
+        soff::baseline::Interpreter interp(memory);
+        interp.run(kernel, launch);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InterpreterVadd)->Arg(256)->Arg(4096);
+
+void
+BM_CircuitSimVadd(benchmark::State &state)
+{
+    soff::benchsuite::BenchContext probe(
+        soff::benchsuite::Engine::SoffSim);
+    for (auto _ : state) {
+        soff::benchsuite::BenchContext ctx(
+            soff::benchsuite::Engine::SoffSim);
+        ctx.setInstanceOverride(static_cast<int>(state.range(0)));
+        const auto *app = soff::benchsuite::findApp("103.stencil");
+        bool ok = soff::benchsuite::runApp(*app, ctx);
+        benchmark::DoNotOptimize(ok);
+    }
+}
+BENCHMARK(BM_CircuitSimVadd)->Arg(1)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reproduces paper Table I: the two target systems. The hardware is
+ * modeled (DESIGN.md substitution table); this bench prints the device
+ * capacities the resource model uses plus the platform timing
+ * parameters of the simulated board.
+ */
+#include <cstdio>
+
+#include "datapath/resource.hpp"
+#include "sim/circuit.hpp"
+
+int
+main()
+{
+    using soff::datapath::FpgaSpec;
+    FpgaSpec a = FpgaSpec::arria10();
+    FpgaSpec b = FpgaSpec::vu9p();
+    soff::sim::PlatformConfig platform;
+
+    std::printf("Table I: Target systems (simulated)\n");
+    std::printf("%-22s %-28s %-28s\n", "", "System A", "System B");
+    std::printf("%-22s %-28s %-28s\n", "FPGA", a.name.c_str(),
+                b.name.c_str());
+    std::printf("%-22s %-28ld %-28ld\n", "LUTs / logic cells",
+                a.capacity.luts, b.capacity.luts);
+    std::printf("%-22s %-28ld %-28ld\n", "DSPs", a.capacity.dsps,
+                b.capacity.dsps);
+    std::printf("%-22s %-26.1f Mb %-26.1f Mb\n", "Embedded memory",
+                a.capacity.bramBits / 1e6, b.capacity.bramBits / 1e6);
+    std::printf("%-22s %-28s %-28s\n", "OpenCL framework",
+                "SOFF / Intel-like baseline", "Xilinx-like baseline");
+    std::printf("%-22s %-26.0f %% %-26.0f %%\n", "Static region",
+                a.staticRegionFraction * 100, b.staticRegionFraction * 100);
+    std::printf("%-22s %-26.0f MHz %-24.0f MHz\n", "Nominal fmax",
+                a.fmaxMhz, b.fmaxMhz);
+    std::printf("%-22s %d cycles latency, 64 B / %d cycles\n",
+                "External memory", platform.dramLatency,
+                platform.dramCyclesPerLine);
+    return 0;
+}

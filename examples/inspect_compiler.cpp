@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A tour of the compiler's intermediate artifacts (paper Fig. 3(b)):
+ * SSA IR, the control tree, the hierarchical datapath plan, the
+ * resource estimate / instance-count selection, and the emitted
+ * Verilog RTL. Useful for studying how a kernel becomes a circuit.
+ */
+#include <cstdio>
+
+#include "analysis/control_tree.hpp"
+#include "core/compiler.hpp"
+#include "ir/printer.hpp"
+#include "verilog/emit.hpp"
+
+namespace
+{
+
+void
+printPlanNode(const soff::datapath::NodePlan &node, int indent)
+{
+    std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    switch (node.kind) {
+      case soff::datapath::NodePlan::Kind::BasicPipeline:
+        std::printf("%sBasicPipeline %s: %zu FUs, %zu channels, "
+                    "lmin=%d depth=%d\n", pad.c_str(),
+                    node.pipeline->bb->name().c_str(),
+                    node.pipeline->fus.size(),
+                    node.pipeline->edges.size(), node.lmin, node.depth);
+        return;
+      case soff::datapath::NodePlan::Kind::Barrier:
+        std::printf("%sBarrierUnit (%zu live values)\n", pad.c_str(),
+                    node.barrierLayout.size());
+        return;
+      case soff::datapath::NodePlan::Kind::Region:
+        std::printf("%sRegion %s%s%s nmax=%d backEdgeFifo=%d\n",
+                    pad.c_str(), node.isLoop ? "loop" : "acyclic",
+                    node.swgr ? " +swgr" : "",
+                    node.orderedSelects ? " +ordered" : "", node.nmax,
+                    node.backEdgeFifo);
+        for (const auto &child : node.children)
+            printPlanNode(*child, indent + 1);
+        return;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    // The paper's running example (Fig. 4(a)).
+    const char *source = R"CL(
+__kernel void f(__global float* A, __global float* B, int C, int D) {
+  int x, y; float t = 0;
+  y = get_global_id(0) * D;
+  for (x = C; x < C + 100; x++) {
+    A[y] = B[x + y]; y = y + 1;
+    barrier(CLK_GLOBAL_MEM_FENCE);
+    if (y >= D)
+      t += A[y] * A[y - D];
+  }
+  B[y] = A[y]; A[y + C] = t;
+}
+)CL";
+
+    soff::core::Compiler compiler;
+    auto program = compiler.compile(source, "fig4");
+    const soff::core::CompiledKernel &ck = program->kernels[0];
+
+    std::printf("==== SSA IR (after inlining / mem2reg / simplify, "
+                "Fig. 3(b)) ====\n%s\n",
+                soff::ir::printKernel(*ck.kernel).c_str());
+
+    std::printf("==== Control tree (paper Fig. 4(c)) ====\n%s\n",
+                ck.plan->controlTree->str().c_str());
+
+    std::printf("==== Datapath plan (paper Fig. 5) ====\n");
+    printPlanNode(*ck.plan->root, 0);
+
+    std::printf("\n==== Memory subsystem (paper Fig. 9) ====\n");
+    std::printf("caches: %d (one per buffer equivalence class)\n",
+                ck.plan->numCaches);
+    for (size_t c = 0; c < ck.plan->cacheBuffers.size(); ++c) {
+        std::printf("  cache %zu serves:", c);
+        for (const auto *buf : ck.plan->cacheBuffers[c])
+            std::printf(" %s", buf->name().c_str());
+        std::printf("\n");
+    }
+
+    std::printf("\n==== Resources / instance selection (§III-C) ====\n");
+    std::printf("per instance: %ld LUTs, %ld DSPs, %.2f Mb BRAM\n",
+                ck.resourcesPerInstance.luts, ck.resourcesPerInstance.dsps,
+                ck.resourcesPerInstance.bramBits / 1e6);
+    std::printf("max instances on %s: %d\n", program->fpga.name.c_str(),
+                ck.maxInstancesAlone);
+
+    std::string rtl = soff::verilog::emitTop(*ck.plan,
+                                             ck.maxInstancesAlone);
+    std::printf("\n==== Verilog RTL (first 30 lines of %zu bytes) "
+                "====\n", rtl.size());
+    size_t pos = 0;
+    for (int line = 0; line < 30 && pos != std::string::npos; ++line) {
+        size_t next = rtl.find('\n', pos);
+        std::printf("%.*s\n", static_cast<int>(next - pos), &rtl[pos]);
+        pos = next == std::string::npos ? next : next + 1;
+    }
+    return 0;
+}

@@ -1,0 +1,40 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace soff::analysis
+{
+
+CfgInfo::CfgInfo(const ir::Kernel &kernel) : kernel_(kernel)
+{
+    for (const auto &bb : kernel.blocks()) {
+        preds_[bb.get()];
+        for (ir::BasicBlock *s : bb->successors())
+            preds_[s].push_back(bb.get());
+    }
+    // Post-order DFS, then reverse.
+    std::set<const ir::BasicBlock *> visited;
+    std::vector<std::pair<ir::BasicBlock *, size_t>> stack;
+    if (kernel.entry() != nullptr) {
+        stack.push_back({kernel.entry(), 0});
+        visited.insert(kernel.entry());
+    }
+    while (!stack.empty()) {
+        auto &[bb, idx] = stack.back();
+        auto succs = bb->successors();
+        if (idx < succs.size()) {
+            ir::BasicBlock *s = succs[idx++];
+            if (visited.insert(s).second)
+                stack.push_back({s, 0});
+        } else {
+            rpo_.push_back(bb);
+            stack.pop_back();
+        }
+    }
+    std::reverse(rpo_.begin(), rpo_.end());
+    for (size_t i = 0; i < rpo_.size(); ++i)
+        rpoIndex_[rpo_[i]] = i;
+}
+
+} // namespace soff::analysis

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Cached control-flow-graph views of a kernel.
+ */
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace soff::analysis
+{
+
+/** Predecessors/successors and orderings, computed once per kernel. */
+class CfgInfo
+{
+  public:
+    explicit CfgInfo(const ir::Kernel &kernel);
+
+    const ir::Kernel &kernel() const { return kernel_; }
+
+    const std::vector<ir::BasicBlock *> &
+    preds(const ir::BasicBlock *bb) const
+    {
+        return preds_.at(bb);
+    }
+    std::vector<ir::BasicBlock *>
+    succs(const ir::BasicBlock *bb) const
+    {
+        return bb->successors();
+    }
+
+    /** Blocks in reverse post-order from the entry. */
+    const std::vector<ir::BasicBlock *> &rpo() const { return rpo_; }
+
+    /** RPO index of a block. */
+    size_t rpoIndex(const ir::BasicBlock *bb) const
+    {
+        return rpoIndex_.at(bb);
+    }
+
+    bool reachable(const ir::BasicBlock *bb) const
+    {
+        return rpoIndex_.count(bb) > 0;
+    }
+
+  private:
+    const ir::Kernel &kernel_;
+    std::map<const ir::BasicBlock *, std::vector<ir::BasicBlock *>> preds_;
+    std::vector<ir::BasicBlock *> rpo_;
+    std::map<const ir::BasicBlock *, size_t> rpoIndex_;
+};
+
+} // namespace soff::analysis

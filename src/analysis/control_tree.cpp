@@ -1,0 +1,667 @@
+#include "analysis/control_tree.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace soff::analysis
+{
+
+const char *
+ctKindName(CTKind kind)
+{
+    switch (kind) {
+      case CTKind::Block: return "Block";
+      case CTKind::Sequence: return "Sequence";
+      case CTKind::IfThen: return "IfThen";
+      case CTKind::IfThenElse: return "IfThenElse";
+      case CTKind::SelfLoop: return "SelfLoop";
+      case CTKind::WhileLoop: return "WhileLoop";
+      case CTKind::ProperInterval: return "ProperInterval";
+      case CTKind::NaturalLoop: return "NaturalLoop";
+    }
+    return "?";
+}
+
+size_t
+CTNode::numOutPorts() const
+{
+    if (isLeaf()) {
+        const ir::Instruction *term = block_->terminator();
+        return term == nullptr ? 0 : term->numSuccs();
+    }
+    size_t max_port = 0;
+    bool any = false;
+    for (const CTEdge &e : exitEdges_) {
+        any = true;
+        max_port = std::max(max_port, e.regionPort);
+    }
+    return any ? max_port + 1 : 0;
+}
+
+const ir::BasicBlock *
+CTNode::entryBlock() const
+{
+    const CTNode *cur = this;
+    while (!cur->isLeaf())
+        cur = cur->children_.at(cur->entryChild_).get();
+    return cur->block();
+}
+
+size_t
+CTNode::countLeaves() const
+{
+    if (isLeaf())
+        return 1;
+    size_t n = 0;
+    for (const auto &c : children_)
+        n += c->countLeaves();
+    return n;
+}
+
+std::string
+CTNode::str(int indent) const
+{
+    std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    if (isLeaf())
+        return pad + "Block " + block_->name() + "\n";
+    std::string out = pad + ctKindName(kind_) + "\n";
+    for (const auto &c : children_)
+        out += c->str(indent + 1);
+    return out;
+}
+
+namespace
+{
+
+struct ANode;
+
+/** An edge of the abstract (region) graph during reduction. */
+struct AEdge
+{
+    ANode *from = nullptr;
+    ANode *to = nullptr;
+    size_t fromPort = 0;
+    const ir::BasicBlock *srcBlock = nullptr; ///< nullptr when resolved.
+    size_t succIdx = 0;
+    const ir::BasicBlock *dstBlock = nullptr;
+    bool alive = true;
+};
+
+/** An abstract node wrapping a (partially built) control-tree node. */
+struct ANode
+{
+    std::unique_ptr<CTNode> ct;
+    std::vector<AEdge *> ins;
+    std::vector<AEdge *> outs;
+    bool alive = true;
+    int id = 0;
+};
+
+class Reducer
+{
+  public:
+    explicit Reducer(const ir::Kernel &kernel) : kernel_(kernel) {}
+
+    std::unique_ptr<CTNode>
+    run()
+    {
+        buildInitialGraph();
+        int guard = 0;
+        while (liveNodeCount() > 1 || !liveOuts(entry_).empty()) {
+            if (++guard > 100000) {
+                throw CompileError("kernel '" + kernel_.name() +
+                                   "': control-tree reduction diverged");
+            }
+            if (trySelfLoop() || trySequence() || tryBranch() ||
+                tryWhileLoop() || tryParallelEdges() || tryNaturalLoop() ||
+                tryProperInterval()) {
+                continue;
+            }
+            throw CompileError(
+                "kernel '" + kernel_.name() + "': unstructured "
+                "(irreducible) control flow is not supported");
+        }
+        return std::move(entry_->ct);
+    }
+
+  private:
+    // --- graph helpers ---
+    std::vector<AEdge *>
+    liveOuts(const ANode *n) const
+    {
+        std::vector<AEdge *> out;
+        for (AEdge *e : n->outs) {
+            if (e->alive)
+                out.push_back(e);
+        }
+        return out;
+    }
+
+    std::vector<AEdge *>
+    liveIns(const ANode *n) const
+    {
+        std::vector<AEdge *> out;
+        for (AEdge *e : n->ins) {
+            if (e->alive)
+                out.push_back(e);
+        }
+        return out;
+    }
+
+    size_t
+    liveNodeCount() const
+    {
+        size_t n = 0;
+        for (const auto &node : nodes_) {
+            if (node->alive)
+                ++n;
+        }
+        return n;
+    }
+
+    std::vector<ANode *>
+    liveNodes() const
+    {
+        std::vector<ANode *> out;
+        for (const auto &node : nodes_) {
+            if (node->alive)
+                out.push_back(node.get());
+        }
+        return out;
+    }
+
+    AEdge *
+    addEdge(ANode *from, ANode *to, size_t from_port,
+            const ir::BasicBlock *src, size_t succ_idx,
+            const ir::BasicBlock *dst)
+    {
+        edges_.push_back(std::make_unique<AEdge>());
+        AEdge *e = edges_.back().get();
+        e->from = from;
+        e->to = to;
+        e->fromPort = from_port;
+        e->srcBlock = src;
+        e->succIdx = succ_idx;
+        e->dstBlock = dst;
+        from->outs.push_back(e);
+        to->ins.push_back(e);
+        return e;
+    }
+
+    void
+    buildInitialGraph()
+    {
+        std::map<const ir::BasicBlock *, ANode *> node_of;
+        for (const auto &bb : kernel_.blocks()) {
+            nodes_.push_back(std::make_unique<ANode>());
+            ANode *n = nodes_.back().get();
+            n->id = static_cast<int>(nodes_.size());
+            n->ct = std::make_unique<CTNode>(CTKind::Block);
+            n->ct->setBlock(bb.get());
+            node_of[bb.get()] = n;
+        }
+        for (const auto &bb : kernel_.blocks()) {
+            const ir::Instruction *term = bb->terminator();
+            SOFF_ASSERT(term != nullptr, "unterminated block");
+            for (size_t i = 0; i < term->numSuccs(); ++i) {
+                addEdge(node_of.at(bb.get()), node_of.at(term->succ(i)),
+                        i, bb.get(), i, term->succ(i));
+            }
+        }
+        entry_ = node_of.at(kernel_.entry());
+    }
+
+    /**
+     * Collapses `members` (entry first) into one region node of `kind`.
+     * Internal edges targeting the entry member of a loop kind are
+     * marked as back edges. Multiple external out edges with the same
+     * (target node, target block) merge into one resolved edge.
+     */
+    ANode *
+    collapse(const std::vector<ANode *> &members, CTKind kind)
+    {
+        bool is_loop = kind == CTKind::SelfLoop ||
+                       kind == CTKind::WhileLoop ||
+                       kind == CTKind::NaturalLoop;
+        std::map<const ANode *, size_t> index_of;
+        for (size_t i = 0; i < members.size(); ++i)
+            index_of[members[i]] = i;
+
+        auto region = std::make_unique<CTNode>(kind);
+        for (ANode *m : members)
+            region->addChild(std::move(m->ct));
+        region->setEntryChild(0);
+
+        nodes_.push_back(std::make_unique<ANode>());
+        ANode *fresh = nodes_.back().get();
+        fresh->id = static_cast<int>(nodes_.size());
+
+        // Classify every live edge touching the region.
+        std::vector<AEdge *> external_outs;
+        for (ANode *m : members) {
+            for (AEdge *e : liveOuts(m)) {
+                if (index_of.count(e->to)) {
+                    CTEdge ce;
+                    ce.fromChild = index_of.at(e->from);
+                    ce.fromPort = e->fromPort;
+                    ce.toChild = index_of.at(e->to);
+                    ce.srcBlock = e->srcBlock;
+                    ce.succIdx = e->succIdx;
+                    ce.dstBlock = e->dstBlock;
+                    ce.isBackEdge = is_loop && e->to == members[0];
+                    region->addEdge(ce);
+                    e->alive = false;
+                } else {
+                    external_outs.push_back(e);
+                }
+            }
+            for (AEdge *e : liveIns(m)) {
+                if (!e->alive || index_of.count(e->from))
+                    continue;
+                if (m != members[0]) {
+                    throw CompileError(
+                        "kernel '" + kernel_.name() + "': irreducible "
+                        "region (side entry into a collapsed region)");
+                }
+                // Retarget the in-edge to the fresh node.
+                e->to = fresh;
+                fresh->ins.push_back(e);
+            }
+        }
+
+        // Group external outs by (target node, target block).
+        std::vector<std::pair<ANode *, const ir::BasicBlock *>> groups;
+        for (AEdge *e : external_outs) {
+            auto key = std::make_pair(e->to, e->dstBlock);
+            if (std::find(groups.begin(), groups.end(), key) ==
+                groups.end()) {
+                groups.push_back(key);
+            }
+        }
+        for (size_t g = 0; g < groups.size(); ++g) {
+            std::vector<AEdge *> in_group;
+            for (AEdge *e : external_outs) {
+                if (e->to == groups[g].first &&
+                    e->dstBlock == groups[g].second) {
+                    in_group.push_back(e);
+                }
+            }
+            for (AEdge *e : in_group) {
+                CTEdge ce;
+                ce.fromChild = index_of.at(e->from);
+                ce.fromPort = e->fromPort;
+                ce.toChild = CTEdge::kExit;
+                ce.srcBlock = e->srcBlock;
+                ce.succIdx = e->succIdx;
+                ce.dstBlock = e->dstBlock;
+                ce.regionPort = g;
+                region->addExitEdge(ce);
+                e->alive = false;
+            }
+            // One abstract out edge per group; raw only when unique.
+            AEdge *proto = in_group.front();
+            addEdge(fresh, groups[g].first, g,
+                    in_group.size() == 1 ? proto->srcBlock : nullptr,
+                    in_group.size() == 1 ? proto->succIdx : 0,
+                    groups[g].second);
+        }
+        for (ANode *m : members)
+            m->alive = false;
+        fresh->ct = std::move(region);
+        if (std::find(members.begin(), members.end(), entry_) !=
+            members.end()) {
+            entry_ = fresh;
+        }
+        return fresh;
+    }
+
+    /** Region exit port for an exit CTEdge: its group index. */
+    // (group index == port of the new abstract edge; the generator
+    // re-groups exitEdges by dstBlock in the same deterministic order.)
+
+    // --- patterns ---
+    bool
+    trySelfLoop()
+    {
+        for (ANode *n : liveNodes()) {
+            for (AEdge *e : liveOuts(n)) {
+                if (e->to == n) {
+                    collapse({n}, CTKind::SelfLoop);
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    bool
+    trySequence()
+    {
+        for (ANode *n : liveNodes()) {
+            auto outs = liveOuts(n);
+            if (outs.size() != 1)
+                continue;
+            ANode *m = outs[0]->to;
+            if (m == n || liveIns(m).size() != 1)
+                continue;
+            collapse({n, m}, CTKind::Sequence);
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    tryBranch()
+    {
+        for (ANode *n : liveNodes()) {
+            auto outs = liveOuts(n);
+            if (outs.size() != 2)
+                continue;
+            ANode *a = outs[0]->to;
+            ANode *b = outs[1]->to;
+            if (a == n || b == n || a == b)
+                continue;
+            auto single_in_out = [&](ANode *x, ANode *only_pred) {
+                auto ins = liveIns(x);
+                auto xout = liveOuts(x);
+                return ins.size() == 1 && ins[0]->from == only_pred &&
+                       xout.size() == 1;
+            };
+            // IfThenElse: n -> a, n -> b; a -> j; b -> j.
+            if (single_in_out(a, n) && single_in_out(b, n)) {
+                AEdge *aj = liveOuts(a)[0];
+                AEdge *bj = liveOuts(b)[0];
+                if (aj->to == bj->to && aj->dstBlock == bj->dstBlock &&
+                    aj->to != n && aj->to != a && aj->to != b) {
+                    collapse({n, a, b}, CTKind::IfThenElse);
+                    return true;
+                }
+            }
+            // IfThen: n -> a -> j and n -> j.
+            for (int k = 0; k < 2; ++k) {
+                ANode *then_node = k == 0 ? a : b;
+                AEdge *skip_edge = outs[k == 0 ? 1 : 0];
+                if (!single_in_out(then_node, n))
+                    continue;
+                AEdge *tj = liveOuts(then_node)[0];
+                if (tj->to == skip_edge->to && tj->to != n &&
+                    tj->to != then_node &&
+                    tj->dstBlock == skip_edge->dstBlock) {
+                    collapse({n, then_node}, CTKind::IfThen);
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    bool
+    tryWhileLoop()
+    {
+        for (ANode *n : liveNodes()) {
+            auto outs = liveOuts(n);
+            if (outs.size() != 2)
+                continue;
+            for (int k = 0; k < 2; ++k) {
+                ANode *body = outs[k]->to;
+                ANode *exit = outs[1 - k]->to;
+                if (body == n || body == exit)
+                    continue;
+                auto body_ins = liveIns(body);
+                auto body_outs = liveOuts(body);
+                if (body_ins.size() == 1 && body_ins[0]->from == n &&
+                    body_outs.size() == 1 && body_outs[0]->to == n) {
+                    collapse({n, body}, CTKind::WhileLoop);
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    /** Collapses a node whose multiple out edges share one target. */
+    bool
+    tryParallelEdges()
+    {
+        for (ANode *n : liveNodes()) {
+            auto outs = liveOuts(n);
+            if (outs.size() < 2)
+                continue;
+            bool same = true;
+            for (AEdge *e : outs) {
+                if (e->to != outs[0]->to ||
+                    e->dstBlock != outs[0]->dstBlock || e->to == n) {
+                    same = false;
+                    break;
+                }
+            }
+            if (same) {
+                collapse({n}, CTKind::ProperInterval);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** DFS back-edge discovery on the abstract graph. */
+    std::vector<AEdge *>
+    findBackEdges()
+    {
+        std::vector<AEdge *> back;
+        std::set<const ANode *> visited;
+        std::set<const ANode *> on_stack;
+        std::vector<std::pair<ANode *, size_t>> stack;
+        stack.push_back({entry_, 0});
+        visited.insert(entry_);
+        on_stack.insert(entry_);
+        while (!stack.empty()) {
+            auto &[n, idx] = stack.back();
+            auto outs = liveOuts(n);
+            if (idx < outs.size()) {
+                AEdge *e = outs[idx++];
+                if (on_stack.count(e->to)) {
+                    back.push_back(e);
+                } else if (visited.insert(e->to).second) {
+                    stack.push_back({e->to, 0});
+                    on_stack.insert(e->to);
+                }
+            } else {
+                on_stack.erase(n);
+                stack.pop_back();
+            }
+        }
+        return back;
+    }
+
+    bool
+    tryNaturalLoop()
+    {
+        auto back = findBackEdges();
+        if (back.empty())
+            return false;
+        // Pick the smallest natural loop (innermost first).
+        std::vector<ANode *> best;
+        for (AEdge *be : back) {
+            ANode *h = be->to;
+            std::set<ANode *> loop{h};
+            std::vector<ANode *> order{h};
+            std::vector<ANode *> work;
+            if (be->from != h) {
+                loop.insert(be->from);
+                order.push_back(be->from);
+                work.push_back(be->from);
+            }
+            while (!work.empty()) {
+                ANode *n = work.back();
+                work.pop_back();
+                for (AEdge *e : liveIns(n)) {
+                    if (!loop.count(e->from)) {
+                        loop.insert(e->from);
+                        order.push_back(e->from);
+                        work.push_back(e->from);
+                    }
+                }
+            }
+            if (best.empty() || order.size() < best.size())
+                best = order;
+        }
+        collapse(best, CTKind::NaturalLoop);
+        return true;
+    }
+
+    bool
+    tryProperInterval()
+    {
+        // Only reached when the graph is acyclic and no simpler pattern
+        // applies: collapse the smallest single-entry region whose
+        // external successors agree, found via abstract dominators.
+        auto order = rpoOrder();
+        auto idom = computeIdom(order);
+        // Dominator subtree membership.
+        auto dominates = [&](ANode *a, ANode *b) {
+            ANode *cur = b;
+            while (true) {
+                if (cur == a)
+                    return true;
+                ANode *up = idom.at(cur);
+                if (up == cur)
+                    return false;
+                cur = up;
+            }
+        };
+        std::vector<std::pair<size_t, ANode *>> candidates;
+        for (ANode *d : order) {
+            size_t size = 0;
+            for (ANode *n : order) {
+                if (dominates(d, n))
+                    ++size;
+            }
+            if (size >= 2)
+                candidates.push_back({size, d});
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        for (auto &[size, d] : candidates) {
+            std::vector<ANode *> members;
+            for (ANode *n : order) {
+                if (dominates(d, n))
+                    members.push_back(n);
+            }
+            // Entry first.
+            auto it = std::find(members.begin(), members.end(), d);
+            std::iter_swap(members.begin(), it);
+            std::set<ANode *> member_set(members.begin(), members.end());
+            // All external out edges must share a single target pair.
+            ANode *target = nullptr;
+            const ir::BasicBlock *target_block = nullptr;
+            bool ok = true;
+            bool any_exit = false;
+            for (ANode *m : members) {
+                for (AEdge *e : liveOuts(m)) {
+                    if (member_set.count(e->to))
+                        continue;
+                    if (!any_exit) {
+                        any_exit = true;
+                        target = e->to;
+                        target_block = e->dstBlock;
+                    } else if (e->to != target ||
+                               e->dstBlock != target_block) {
+                        ok = false;
+                    }
+                }
+                if (!ok)
+                    break;
+            }
+            if (!ok)
+                continue;
+            collapse(members, CTKind::ProperInterval);
+            return true;
+        }
+        return false;
+    }
+
+    std::vector<ANode *>
+    rpoOrder()
+    {
+        std::vector<ANode *> post;
+        std::set<const ANode *> visited;
+        std::vector<std::pair<ANode *, size_t>> stack;
+        stack.push_back({entry_, 0});
+        visited.insert(entry_);
+        while (!stack.empty()) {
+            auto &[n, idx] = stack.back();
+            auto outs = liveOuts(n);
+            if (idx < outs.size()) {
+                AEdge *e = outs[idx++];
+                if (visited.insert(e->to).second)
+                    stack.push_back({e->to, 0});
+            } else {
+                post.push_back(n);
+                stack.pop_back();
+            }
+        }
+        std::reverse(post.begin(), post.end());
+        return post;
+    }
+
+    std::map<ANode *, ANode *>
+    computeIdom(const std::vector<ANode *> &rpo)
+    {
+        std::map<ANode *, size_t> rpo_index;
+        for (size_t i = 0; i < rpo.size(); ++i)
+            rpo_index[rpo[i]] = i;
+        std::map<ANode *, ANode *> idom;
+        idom[entry_] = entry_;
+        auto intersect = [&](ANode *a, ANode *b) {
+            while (a != b) {
+                while (rpo_index.at(a) > rpo_index.at(b))
+                    a = idom.at(a);
+                while (rpo_index.at(b) > rpo_index.at(a))
+                    b = idom.at(b);
+            }
+            return a;
+        };
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (ANode *n : rpo) {
+                if (n == entry_)
+                    continue;
+                ANode *cand = nullptr;
+                for (AEdge *e : liveIns(n)) {
+                    if (!idom.count(e->from))
+                        continue;
+                    cand = cand == nullptr ? e->from
+                                           : intersect(e->from, cand);
+                }
+                if (cand != nullptr &&
+                    (!idom.count(n) || idom.at(n) != cand)) {
+                    idom[n] = cand;
+                    changed = true;
+                }
+            }
+        }
+        return idom;
+    }
+
+    const ir::Kernel &kernel_;
+    std::vector<std::unique_ptr<ANode>> nodes_;
+    std::vector<std::unique_ptr<AEdge>> edges_;
+    ANode *entry_ = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<CTNode>
+buildControlTree(const ir::Kernel &kernel)
+{
+    SOFF_ASSERT(kernel.numBlocks() > 0, "empty kernel");
+    return Reducer(kernel).run();
+}
+
+} // namespace soff::analysis

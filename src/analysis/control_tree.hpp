@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Control-tree construction (paper §III-C, Fig. 4(c)).
+ *
+ * "All basic blocks are hierarchically grouped as a control tree. The
+ * root of the tree is the entire kernel and the leaves are individual
+ * basic blocks. Every node between represents a control-flow construct
+ * of a structured program: one of Sequence, IfThen, IfThenElse,
+ * SelfLoop, WhileLoop, ProperInterval, and NaturalLoop."
+ *
+ * The tree is produced by iterative structural reduction of the CFG.
+ * Each internal node records its children, the (original CFG) edges
+ * between them, and its exit edges, so the datapath generator (§IV-D)
+ * can place branch/select glue without re-deriving the shape.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace soff::analysis
+{
+
+/** Control-tree node kinds (paper §III-C). */
+enum class CTKind
+{
+    Block,          ///< Leaf: one basic block.
+    Sequence,
+    IfThen,
+    IfThenElse,
+    SelfLoop,
+    WhileLoop,
+    ProperInterval, ///< General single-entry acyclic region.
+    NaturalLoop,    ///< General (possibly multi-exit) natural loop.
+};
+
+const char *ctKindName(CTKind kind);
+
+class CTNode;
+
+/**
+ * An edge of the region graph. Edges always correspond to one or more
+ * original CFG edges. A *raw* edge maps to exactly one CFG edge and
+ * keeps (srcBlock, succIdx) so the datapath generator can derive the
+ * live-set projection (including phi resolution at dstBlock). A
+ * *resolved* edge is the merger of several CFG edges with the same
+ * target; the merging select glue inside the source region already
+ * produced the liveIn(dstBlock) layout (srcBlock == nullptr).
+ */
+struct CTEdge
+{
+    /** Index of the source child; kInvalidChild for the region entry. */
+    size_t fromChild = 0;
+    /** Output port on the source child (branch direction ordering). */
+    size_t fromPort = 0;
+    /** Index of the target child; kExit for a region exit edge. */
+    size_t toChild = 0;
+    /** Source CFG block, or nullptr for resolved (merged) edges. */
+    const ir::BasicBlock *srcBlock = nullptr;
+    /** Successor index in srcBlock's terminator (raw edges). */
+    size_t succIdx = 0;
+    /** Target CFG block (the entry block of the target child/exit). */
+    const ir::BasicBlock *dstBlock = nullptr;
+    /** True for loop back edges. */
+    bool isBackEdge = false;
+    /**
+     * For exit edges: the output port of the *region* this exit feeds.
+     * Exit edges with the same regionPort share a target and are merged
+     * by a select glue inside the region.
+     */
+    size_t regionPort = 0;
+
+    static constexpr size_t kExit = static_cast<size_t>(-1);
+};
+
+/** A node of the control tree. */
+class CTNode
+{
+  public:
+    explicit CTNode(CTKind kind) : kind_(kind) {}
+    CTNode(const CTNode &) = delete;
+    CTNode &operator=(const CTNode &) = delete;
+
+    CTKind kind() const { return kind_; }
+
+    /** Leaf accessors. */
+    const ir::BasicBlock *block() const { return block_; }
+    void setBlock(const ir::BasicBlock *bb) { block_ = bb; }
+    bool isLeaf() const { return kind_ == CTKind::Block; }
+
+    /** Children; children[entryChild()] contains the region entry. */
+    const std::vector<std::unique_ptr<CTNode>> &children() const
+    {
+        return children_;
+    }
+    CTNode *child(size_t i) const { return children_.at(i).get(); }
+    size_t numChildren() const { return children_.size(); }
+    void
+    addChild(std::unique_ptr<CTNode> child)
+    {
+        children_.push_back(std::move(child));
+    }
+    size_t entryChild() const { return entryChild_; }
+    void setEntryChild(size_t i) { entryChild_ = i; }
+
+    /** Internal edges between children (includes back edges). */
+    const std::vector<CTEdge> &edges() const { return edges_; }
+    void addEdge(const CTEdge &e) { edges_.push_back(e); }
+
+    /**
+     * Exit edges: toChild == CTEdge::kExit; fromPort on the *region*
+     * numbers its output ports (one per distinct exit target group).
+     */
+    const std::vector<CTEdge> &exitEdges() const { return exitEdges_; }
+    void addExitEdge(const CTEdge &e) { exitEdges_.push_back(e); }
+    /** Number of output ports of this node when seen from its parent. */
+    size_t numOutPorts() const;
+
+    /** The CFG block where control enters this region. */
+    const ir::BasicBlock *entryBlock() const;
+
+    /** Indented multi-line rendering (tests, debugging). */
+    std::string str(int indent = 0) const;
+
+    /** Total number of leaf blocks under this node. */
+    size_t countLeaves() const;
+
+  private:
+    CTKind kind_;
+    const ir::BasicBlock *block_ = nullptr;
+    std::vector<std::unique_ptr<CTNode>> children_;
+    std::vector<CTEdge> edges_;
+    std::vector<CTEdge> exitEdges_;
+    size_t entryChild_ = 0;
+};
+
+/**
+ * Builds the control tree of a kernel. Requires a reducible, structured
+ * CFG (paper assumption: "an OpenCL kernel is a structured program");
+ * throws CompileError otherwise.
+ */
+std::unique_ptr<CTNode> buildControlTree(const ir::Kernel &kernel);
+
+} // namespace soff::analysis

@@ -1,0 +1,95 @@
+#include "analysis/dominators.hpp"
+
+#include "support/error.hpp"
+
+namespace soff::analysis
+{
+
+DomTree::DomTree(const CfgInfo &cfg) : cfg_(cfg)
+{
+    const auto &rpo = cfg.rpo();
+    if (rpo.empty())
+        return;
+    const ir::BasicBlock *entry = rpo[0];
+    idom_[entry] = entry;
+
+    auto intersect = [&](const ir::BasicBlock *a, const ir::BasicBlock *b) {
+        while (a != b) {
+            while (cfg_.rpoIndex(a) > cfg_.rpoIndex(b))
+                a = idom_.at(a);
+            while (cfg_.rpoIndex(b) > cfg_.rpoIndex(a))
+                b = idom_.at(b);
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const ir::BasicBlock *bb : rpo) {
+            if (bb == entry)
+                continue;
+            const ir::BasicBlock *new_idom = nullptr;
+            for (const ir::BasicBlock *p : cfg_.preds(bb)) {
+                if (!cfg_.reachable(p) || !idom_.count(p))
+                    continue;
+                new_idom = new_idom == nullptr ? p : intersect(p, new_idom);
+            }
+            SOFF_ASSERT(new_idom != nullptr || !changed,
+                        "unreachable block in dominator computation");
+            if (new_idom != nullptr &&
+                (!idom_.count(bb) || idom_.at(bb) != new_idom)) {
+                idom_[bb] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    for (const auto &[bb, parent] : idom_) {
+        if (bb != entry)
+            children_[parent].push_back(bb);
+        children_[bb]; // ensure present
+    }
+
+    // Dominance frontiers (Cooper et al.).
+    for (const ir::BasicBlock *bb : rpo)
+        frontier_[bb];
+    for (const ir::BasicBlock *bb : rpo) {
+        const auto &preds = cfg_.preds(bb);
+        if (preds.size() < 2)
+            continue;
+        for (const ir::BasicBlock *p : preds) {
+            if (!cfg_.reachable(p))
+                continue;
+            const ir::BasicBlock *runner = p;
+            while (runner != idom_.at(bb)) {
+                frontier_[runner].insert(bb);
+                runner = idom_.at(runner);
+            }
+        }
+    }
+}
+
+bool
+DomTree::dominates(const ir::BasicBlock *a, const ir::BasicBlock *b) const
+{
+    const ir::BasicBlock *cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        const ir::BasicBlock *up = idom_.at(cur);
+        if (up == cur)
+            return false;
+        cur = up;
+    }
+}
+
+const std::vector<const ir::BasicBlock *> &
+DomTree::children(const ir::BasicBlock *bb) const
+{
+    static const std::vector<const ir::BasicBlock *> none;
+    auto it = children_.find(bb);
+    return it == children_.end() ? none : it->second;
+}
+
+} // namespace soff::analysis

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Dominator tree and dominance frontiers (Cooper-Harvey-Kennedy).
+ */
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace soff::analysis
+{
+
+/** Dominator tree over a kernel CFG. */
+class DomTree
+{
+  public:
+    explicit DomTree(const CfgInfo &cfg);
+
+    /** Immediate dominator; the entry's idom is itself. */
+    const ir::BasicBlock *idom(const ir::BasicBlock *bb) const
+    {
+        return idom_.at(bb);
+    }
+
+    /** True if a dominates b (reflexive). */
+    bool dominates(const ir::BasicBlock *a, const ir::BasicBlock *b) const;
+
+    /** Dominator-tree children. */
+    const std::vector<const ir::BasicBlock *> &
+    children(const ir::BasicBlock *bb) const;
+
+    /** Dominance frontier of a block. */
+    const std::set<const ir::BasicBlock *> &
+    frontier(const ir::BasicBlock *bb) const
+    {
+        return frontier_.at(bb);
+    }
+
+  private:
+    const CfgInfo &cfg_;
+    std::map<const ir::BasicBlock *, const ir::BasicBlock *> idom_;
+    std::map<const ir::BasicBlock *, std::vector<const ir::BasicBlock *>>
+        children_;
+    std::map<const ir::BasicBlock *, std::set<const ir::BasicBlock *>>
+        frontier_;
+};
+
+} // namespace soff::analysis

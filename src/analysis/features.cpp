@@ -1,0 +1,111 @@
+#include "analysis/features.hpp"
+
+#include "analysis/cfg.hpp"
+#include "analysis/dominators.hpp"
+
+namespace soff::analysis
+{
+
+KernelFeatures
+scanKernelFeatures(const ir::Kernel &kernel)
+{
+    KernelFeatures f;
+    f.numBlocks = static_cast<int>(kernel.numBlocks());
+    f.usesLocalMemory = kernel.numLocalVars() > 0;
+
+    CfgInfo cfg(kernel);
+    DomTree dom(cfg);
+
+    // The exit block (single Ret after return unification).
+    const ir::BasicBlock *exit = nullptr;
+    for (const auto &bb : kernel.blocks()) {
+        if (bb->terminator() != nullptr &&
+            bb->terminator()->op() == ir::Opcode::Ret) {
+            exit = bb.get();
+        }
+    }
+
+    // Back edges (loops).
+    for (const ir::BasicBlock *bb : cfg.rpo()) {
+        for (const ir::BasicBlock *succ : bb->successors()) {
+            if (cfg.reachable(succ) && dom.dominates(succ, bb))
+                ++f.numLoops;
+        }
+    }
+
+    bool in_loop_or_branch_has_barrier = false;
+    for (const auto &bb : kernel.blocks()) {
+        // A block is "on the spine" if it dominates the exit: it runs
+        // unconditionally for every work-item. Anything else is inside
+        // a branch or loop body.
+        bool on_spine = cfg.reachable(bb.get()) && exit != nullptr &&
+                        dom.dominates(bb.get(), exit);
+        for (const auto &inst : bb->instructions()) {
+            ++f.numInstructions;
+            if (inst->type()->isFloat() && inst->type()->bits() == 64)
+                f.usesDouble = true;
+            switch (inst->op()) {
+              case ir::Opcode::Barrier:
+                f.usesBarrier = true;
+                if (!on_spine)
+                    in_loop_or_branch_has_barrier = true;
+                break;
+              case ir::Opcode::AtomicRMW:
+              case ir::Opcode::AtomicCmpXchg:
+                f.usesAtomics = true;
+                ++f.numMemoryAccesses;
+                break;
+              case ir::Opcode::Load:
+              case ir::Opcode::Store: {
+                ++f.numMemoryAccesses;
+                const ir::Value *ptr = inst->pointerOperand();
+                bool is_local = ptr != nullptr &&
+                    ptr->type()->isPointer() &&
+                    ptr->type()->addrSpace() == ir::AddrSpace::Local;
+                if (is_local) {
+                    f.usesLocalMemory = true;
+                    if (!on_spine)
+                        f.localAccessInBranch = true;
+                }
+                if (inst->op() == ir::Opcode::Load &&
+                    inst->type()->isPointer()) {
+                    f.usesIndirectPointers = true;
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+    f.barrierInDivergentLoop = in_loop_or_branch_has_barrier &&
+                               f.numLoops > 0;
+    return f;
+}
+
+KernelFeatures
+scanModuleFeatures(const ir::Module &module)
+{
+    KernelFeatures all;
+    all.numKernels = 0;
+    for (const auto &k : module.kernels()) {
+        if (!k->isKernel())
+            continue;
+        ++all.numKernels;
+        KernelFeatures f = scanKernelFeatures(*k);
+        all.usesLocalMemory |= f.usesLocalMemory;
+        all.usesBarrier |= f.usesBarrier;
+        all.usesAtomics |= f.usesAtomics;
+        all.usesIndirectPointers |= f.usesIndirectPointers;
+        all.localAccessInBranch |= f.localAccessInBranch;
+        all.barrierInDivergentLoop |= f.barrierInDivergentLoop;
+        all.usesDouble |= f.usesDouble;
+        all.numMemoryAccesses += f.numMemoryAccesses;
+        all.numInstructions += f.numInstructions;
+        all.numBlocks += f.numBlocks;
+        all.numLoops += f.numLoops;
+    }
+    return all;
+}
+
+} // namespace soff::analysis

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Kernel feature inventory (the L/B/A columns of paper Table II plus
+ * the structural properties the per-framework compatibility checker
+ * keys on).
+ */
+#pragma once
+
+#include "ir/kernel.hpp"
+
+namespace soff::analysis
+{
+
+/** Observable features of one kernel. */
+struct KernelFeatures
+{
+    bool usesLocalMemory = false;      ///< Table II column "L".
+    bool usesBarrier = false;          ///< Table II column "B".
+    bool usesAtomics = false;          ///< Table II column "A".
+    bool usesIndirectPointers = false; ///< Pointers loaded from memory.
+    bool localAccessInBranch = false;  ///< Local access off the spine.
+    bool barrierInDivergentLoop = false; ///< Barrier inside a loop.
+    bool usesDouble = false;
+    int numMemoryAccesses = 0;
+    int numInstructions = 0;
+    int numBlocks = 0;
+    int numLoops = 0;
+    /** Kernels in the program (module-level scans only). */
+    int numKernels = 1;
+};
+
+/** Scans a kernel and summarizes its features. */
+KernelFeatures scanKernelFeatures(const ir::Kernel &kernel);
+
+/** Unions the features of every kernel in a module. */
+KernelFeatures scanModuleFeatures(const ir::Module &module);
+
+} // namespace soff::analysis

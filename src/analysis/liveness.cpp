@@ -1,0 +1,132 @@
+#include "analysis/liveness.hpp"
+
+#include <algorithm>
+
+namespace soff::analysis
+{
+
+namespace
+{
+
+/** Only instruction results travel between pipelines; constants and
+ *  kernel arguments are available everywhere (argument register). */
+bool
+tracked(const ir::Value *v)
+{
+    return v != nullptr && v->isInstruction() &&
+           !v->type()->isVoid();
+}
+
+} // namespace
+
+Liveness::Liveness(const CfgInfo &cfg)
+{
+    // Backward iterative data-flow on the reducible CFGs we generate.
+    // use[b]: used before any (re)definition; SSA makes def unique.
+    std::map<const ir::BasicBlock *, std::set<const ir::Value *>> use;
+    std::map<const ir::BasicBlock *, std::set<const ir::Value *>> def;
+
+    for (const ir::BasicBlock *bb : cfg.rpo()) {
+        auto &u = use[bb];
+        auto &d = def[bb];
+        // Phi results are defined at the very top of the block, before
+        // any other instruction can read them.
+        for (const ir::Instruction *phi : bb->phis()) {
+            if (tracked(phi))
+                d.insert(phi);
+        }
+        for (const auto &inst : bb->instructions()) {
+            if (inst->op() == ir::Opcode::Phi)
+                continue; // operands handled as live-out of predecessors
+            for (const ir::Value *op : inst->operands()) {
+                if (tracked(op) && !d.count(op))
+                    u.insert(op);
+            }
+            if (tracked(inst.get()))
+                d.insert(inst.get());
+        }
+        liveIn_[bb];
+        liveOut_[bb];
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Iterate in post-order (reverse of RPO) for fast convergence.
+        for (auto it = cfg.rpo().rbegin(); it != cfg.rpo().rend(); ++it) {
+            const ir::BasicBlock *bb = *it;
+            std::set<const ir::Value *> out;
+            for (const ir::BasicBlock *s : bb->successors()) {
+                if (!cfg.reachable(s))
+                    continue;
+                // liveIn(s) plus the values s's phis read from bb.
+                for (const ir::Value *v : liveIn_.at(s))
+                    out.insert(v);
+                for (const ir::Instruction *phi : s->phis()) {
+                    for (size_t k = 0; k < phi->numOperands(); ++k) {
+                        if (phi->phiBlocks()[k] == bb &&
+                            tracked(phi->operand(k))) {
+                            out.insert(phi->operand(k));
+                        }
+                    }
+                }
+                // Phi results of s are defined in s, not live-out of bb
+                // ... but they ARE carried by the edge; the datapath
+                // treats them as materializing in the select glue. For
+                // liveness purposes they belong to liveIn(s) already.
+            }
+            std::set<const ir::Value *> in = use.at(bb);
+            for (const ir::Value *v : out) {
+                if (!def.at(bb).count(v))
+                    in.insert(v);
+            }
+            if (out != liveOut_.at(bb)) {
+                liveOut_[bb] = std::move(out);
+                changed = true;
+            }
+            if (in != liveIn_.at(bb)) {
+                liveIn_[bb] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+
+    // Phi results: live-in of their own block (they enter the pipeline
+    // as inputs resolved by the select glue).
+    bool changed2 = true;
+    while (changed2) {
+        changed2 = false;
+        for (const ir::BasicBlock *bb : cfg.rpo()) {
+            for (const ir::Instruction *phi : bb->phis()) {
+                if (tracked(phi) && liveIn_[bb].insert(phi).second)
+                    changed2 = true;
+            }
+        }
+    }
+}
+
+std::vector<const ir::Value *>
+Liveness::orderedLiveIn(const ir::BasicBlock *bb) const
+{
+    std::vector<const ir::Value *> out(liveIn_.at(bb).begin(),
+                                       liveIn_.at(bb).end());
+    std::sort(out.begin(), out.end(),
+              [](const ir::Value *a, const ir::Value *b) {
+                  return a->id() < b->id();
+              });
+    return out;
+}
+
+std::vector<const ir::Value *>
+Liveness::orderedLiveOut(const ir::BasicBlock *bb) const
+{
+    std::vector<const ir::Value *> out(liveOut_.at(bb).begin(),
+                                       liveOut_.at(bb).end());
+    std::sort(out.begin(), out.end(),
+              [](const ir::Value *a, const ir::Value *b) {
+                  return a->id() < b->id();
+              });
+    return out;
+}
+
+} // namespace soff::analysis

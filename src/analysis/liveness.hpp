@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Live-variable analysis (paper Fig. 3: "Live Variable Analysis").
+ *
+ * Liveness determines which SSA values flow between basic pipelines in
+ * the datapath: the live-ins of a basic block are exactly the values its
+ * pipeline's source functional unit distributes, and the live-outs are
+ * what its sink aggregates (paper §IV-B).
+ */
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace soff::analysis
+{
+
+/** Per-block live-in/live-out SSA value sets. */
+class Liveness
+{
+  public:
+    explicit Liveness(const CfgInfo &cfg);
+
+    /** Values live at the entry of bb (excluding constants/arguments). */
+    const std::set<const ir::Value *> &
+    liveIn(const ir::BasicBlock *bb) const
+    {
+        return liveIn_.at(bb);
+    }
+
+    /** Values live at the exit of bb. */
+    const std::set<const ir::Value *> &
+    liveOut(const ir::BasicBlock *bb) const
+    {
+        return liveOut_.at(bb);
+    }
+
+    /**
+     * Live-ins in a deterministic order (by value id) — the canonical
+     * variable ordering used for pipeline live-set layouts.
+     */
+    std::vector<const ir::Value *>
+    orderedLiveIn(const ir::BasicBlock *bb) const;
+    std::vector<const ir::Value *>
+    orderedLiveOut(const ir::BasicBlock *bb) const;
+
+  private:
+    std::map<const ir::BasicBlock *, std::set<const ir::Value *>> liveIn_;
+    std::map<const ir::BasicBlock *, std::set<const ir::Value *>> liveOut_;
+};
+
+} // namespace soff::analysis

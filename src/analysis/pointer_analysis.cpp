@@ -1,0 +1,172 @@
+#include "analysis/pointer_analysis.hpp"
+
+#include <tuple>
+
+namespace soff::analysis
+{
+
+bool
+MemObject::operator<(const MemObject &o) const
+{
+    return std::tie(kind, buffer, localVar) <
+           std::tie(o.kind, o.buffer, o.localVar);
+}
+
+bool
+MemObject::operator==(const MemObject &o) const
+{
+    return kind == o.kind && buffer == o.buffer && localVar == o.localVar;
+}
+
+PointerAnalysis::PointerAnalysis(const ir::Kernel &kernel)
+{
+    // Seed: pointer arguments and local-variable addresses.
+    for (size_t i = 0; i < kernel.numArguments(); ++i) {
+        const ir::Argument *arg = kernel.argument(i);
+        if (!arg->type()->isPointer())
+            continue;
+        MemObject obj;
+        if (arg->isBuffer()) {
+            obj.kind = MemObject::Kind::Buffer;
+            obj.buffer = arg;
+        } else if (arg->type()->addrSpace() == ir::AddrSpace::Local) {
+            // __local pointer arguments are not supported by the SOFF
+            // runtime; treat conservatively as any-global.
+            obj.kind = MemObject::Kind::AnyGlobal;
+        } else {
+            obj.kind = MemObject::Kind::AnyGlobal;
+        }
+        pointsTo_[arg].insert(obj);
+    }
+
+    // Fixpoint over pointer-producing instructions.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &bb : kernel.blocks()) {
+            for (const auto &inst : bb->instructions()) {
+                if (!inst->type()->isPointer())
+                    continue;
+                std::set<MemObject> next = pointsTo_[inst.get()];
+                size_t before = next.size();
+                switch (inst->op()) {
+                  case ir::Opcode::LocalAddr: {
+                    MemObject obj;
+                    obj.kind = MemObject::Kind::LocalVar;
+                    obj.localVar = inst->localVar();
+                    next.insert(obj);
+                    break;
+                  }
+                  case ir::Opcode::PtrAdd:
+                  case ir::Opcode::Bitcast: {
+                    const auto &src = pointsTo_[inst->operand(0)];
+                    next.insert(src.begin(), src.end());
+                    break;
+                  }
+                  case ir::Opcode::Select: {
+                    for (size_t k = 1; k <= 2; ++k) {
+                        const auto &src = pointsTo_[inst->operand(k)];
+                        next.insert(src.begin(), src.end());
+                    }
+                    break;
+                  }
+                  case ir::Opcode::Phi:
+                  case ir::Opcode::ArrayExtract: {
+                    for (const ir::Value *op : inst->operands()) {
+                        const auto &src = pointsTo_[op];
+                        next.insert(src.begin(), src.end());
+                    }
+                    break;
+                  }
+                  case ir::Opcode::Load: {
+                    // A pointer loaded from memory: indirect pointer.
+                    MemObject obj;
+                    obj.kind = MemObject::Kind::AnyGlobal;
+                    next.insert(obj);
+                    hasIndirect_ = true;
+                    break;
+                  }
+                  case ir::Opcode::IntToPtr: {
+                    MemObject obj;
+                    obj.kind = MemObject::Kind::AnyGlobal;
+                    next.insert(obj);
+                    break;
+                  }
+                  default:
+                    break;
+                }
+                if (next.size() != before ||
+                    !pointsTo_.count(inst.get())) {
+                    changed |= next != pointsTo_[inst.get()];
+                    pointsTo_[inst.get()] = std::move(next);
+                }
+            }
+        }
+    }
+}
+
+const std::set<MemObject> &
+PointerAnalysis::pointsTo(const ir::Value *v) const
+{
+    auto it = pointsTo_.find(v);
+    return it == pointsTo_.end() ? empty_ : it->second;
+}
+
+const ir::Argument *
+PointerAnalysis::uniqueBuffer(const ir::Instruction *access) const
+{
+    const ir::Value *ptr = access->pointerOperand();
+    if (ptr == nullptr)
+        return nullptr;
+    const auto &set = pointsTo(ptr);
+    if (set.size() != 1)
+        return nullptr;
+    const MemObject &obj = *set.begin();
+    return obj.kind == MemObject::Kind::Buffer ? obj.buffer : nullptr;
+}
+
+const ir::LocalVar *
+PointerAnalysis::uniqueLocalVar(const ir::Instruction *access) const
+{
+    const ir::Value *ptr = access->pointerOperand();
+    if (ptr == nullptr)
+        return nullptr;
+    const auto &set = pointsTo(ptr);
+    if (set.size() != 1)
+        return nullptr;
+    const MemObject &obj = *set.begin();
+    return obj.kind == MemObject::Kind::LocalVar ? obj.localVar : nullptr;
+}
+
+bool
+PointerAnalysis::mayAlias(const ir::Instruction *a,
+                          const ir::Instruction *b) const
+{
+    const ir::Value *pa = a->pointerOperand();
+    const ir::Value *pb = b->pointerOperand();
+    if (pa == nullptr || pb == nullptr)
+        return false;
+    const auto &sa = pointsTo(pa);
+    const auto &sb = pointsTo(pb);
+    if (sa.empty() || sb.empty())
+        return true; // unknown pointers: be conservative
+    auto isAnyGlobal = [](const MemObject &o) {
+        return o.kind == MemObject::Kind::AnyGlobal;
+    };
+    auto isGlobalish = [](const MemObject &o) {
+        return o.kind != MemObject::Kind::LocalVar;
+    };
+    for (const MemObject &oa : sa) {
+        for (const MemObject &ob : sb) {
+            if (oa == ob)
+                return true;
+            if ((isAnyGlobal(oa) && isGlobalish(ob)) ||
+                (isAnyGlobal(ob) && isGlobalish(oa))) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace soff::analysis

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Buffer-level pointer analysis (paper §V-A, Fig. 3 "Pointer Analysis").
+ *
+ * "SOFF makes a separate cache for every OpenCL buffer. [...] SOFF
+ * chooses a proper cache for each functional unit according to the
+ * result of the pointer analysis." The analysis maps every pointer SSA
+ * value to the set of memory objects it may reference: a global/constant
+ * buffer argument, a __local variable, or "any global buffer" for
+ * indirect pointers loaded from memory.
+ */
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "ir/kernel.hpp"
+
+namespace soff::analysis
+{
+
+/** An abstract memory object a pointer may reference. */
+struct MemObject
+{
+    enum class Kind
+    {
+        Buffer,     ///< A global/constant pointer kernel argument.
+        LocalVar,   ///< A __local variable.
+        AnyGlobal,  ///< Unknown global location (indirect pointer).
+    };
+
+    Kind kind = Kind::AnyGlobal;
+    const ir::Argument *buffer = nullptr;
+    const ir::LocalVar *localVar = nullptr;
+
+    bool operator<(const MemObject &o) const;
+    bool operator==(const MemObject &o) const;
+};
+
+/** Flow-insensitive may-points-to over a kernel's pointer values. */
+class PointerAnalysis
+{
+  public:
+    explicit PointerAnalysis(const ir::Kernel &kernel);
+
+    /** Points-to set of a pointer-typed value. */
+    const std::set<MemObject> &pointsTo(const ir::Value *v) const;
+
+    /**
+     * The single buffer argument the memory access references, or
+     * nullptr if it may touch several buffers / unknown locations.
+     */
+    const ir::Argument *uniqueBuffer(const ir::Instruction *access) const;
+
+    /** The single __local variable referenced, or nullptr. */
+    const ir::LocalVar *uniqueLocalVar(const ir::Instruction *access) const;
+
+    /** True if the two memory accesses may touch the same object. */
+    bool mayAlias(const ir::Instruction *a, const ir::Instruction *b) const;
+
+    /** True if the kernel contains any indirect (loaded) pointer. */
+    bool hasIndirectPointers() const { return hasIndirect_; }
+
+  private:
+    std::map<const ir::Value *, std::set<MemObject>> pointsTo_;
+    std::set<MemObject> empty_;
+    bool hasIndirect_ = false;
+};
+
+} // namespace soff::analysis

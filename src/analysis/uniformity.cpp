@@ -1,0 +1,176 @@
+#include "analysis/uniformity.hpp"
+
+namespace soff::analysis
+{
+
+namespace
+{
+
+/** Opcodes whose result is uniform when all operands are. */
+bool
+uniformPropagating(ir::Opcode op)
+{
+    switch (op) {
+      case ir::Opcode::Load:
+      case ir::Opcode::Store:
+      case ir::Opcode::AtomicRMW:
+      case ir::Opcode::AtomicCmpXchg:
+      case ir::Opcode::Phi:          // handled separately (induction)
+      case ir::Opcode::Barrier:
+      case ir::Opcode::Call:
+      case ir::Opcode::Br:
+      case ir::Opcode::CondBr:
+      case ir::Opcode::Ret:
+      case ir::Opcode::SlotLoad:
+      case ir::Opcode::SlotStore:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+uniformWorkItemQuery(ir::WorkItemQuery q)
+{
+    switch (q) {
+      case ir::WorkItemQuery::GlobalSize:
+      case ir::WorkItemQuery::LocalSize:
+      case ir::WorkItemQuery::NumGroups:
+      case ir::WorkItemQuery::WorkDim:
+        return true;
+      default:
+        // Global/local/group IDs differ between work-items (group IDs
+        // differ between work-groups, which matters for work-group
+        // ordering, so they are NOT uniform here).
+        return false;
+    }
+}
+
+} // namespace
+
+Uniformity::Uniformity(const ir::Kernel &kernel) : kernel_(kernel)
+{
+    // Fixpoint: start from arguments (uniform by the OpenCL execution
+    // model, §II-B1: "All work-items receive the same argument values").
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &bb : kernel.blocks()) {
+            for (const auto &inst : bb->instructions()) {
+                if (uniform_.count(inst.get()))
+                    continue;
+                bool u = false;
+                if (inst->op() == ir::Opcode::WorkItemInfo) {
+                    u = uniformWorkItemQuery(inst->wiQuery());
+                } else if (uniformPropagating(inst->op())) {
+                    u = true;
+                    for (const ir::Value *op : inst->operands()) {
+                        if (op->isConstant())
+                            continue;
+                        if (op->isArgument())
+                            continue;
+                        if (!uniform_.count(op)) {
+                            u = false;
+                            break;
+                        }
+                    }
+                    if (inst->operands().empty() &&
+                        inst->op() == ir::Opcode::LocalAddr) {
+                        u = true; // same local block for all work-items
+                    }
+                }
+                if (u) {
+                    uniform_.insert(inst.get());
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Induction variables: phi in a block H with exactly one incoming
+    // uniform start and one incoming of the form phi +/- uniform step.
+    for (const auto &bb : kernel.blocks()) {
+        for (const ir::Instruction *phi : bb->phis()) {
+            if (phi->numOperands() != 2)
+                continue;
+            for (int k = 0; k < 2; ++k) {
+                const ir::Value *start = phi->operand(k);
+                const ir::Value *step_val = phi->operand(1 - k);
+                bool start_uniform = start->isConstant() ||
+                    start->isArgument() || uniform_.count(start);
+                if (!start_uniform || !step_val->isInstruction())
+                    continue;
+                const auto *step =
+                    static_cast<const ir::Instruction *>(step_val);
+                if (step->op() != ir::Opcode::Add &&
+                    step->op() != ir::Opcode::Sub) {
+                    continue;
+                }
+                const ir::Value *base = step->operand(0);
+                const ir::Value *delta = step->operand(1);
+                if (step->op() == ir::Opcode::Add && base != phi)
+                    std::swap(base, delta);
+                bool delta_uniform = delta->isConstant() ||
+                    delta->isArgument() || uniform_.count(delta);
+                if (base == phi && delta_uniform) {
+                    induction_[phi] = bb.get();
+                    break;
+                }
+            }
+        }
+    }
+}
+
+bool
+Uniformity::isUniform(const ir::Value *v) const
+{
+    if (v == nullptr)
+        return false;
+    if (v->isConstant() || v->isArgument())
+        return true;
+    return uniform_.count(v) > 0;
+}
+
+bool
+Uniformity::isInductionOf(const ir::Value *v,
+                          const ir::BasicBlock *header) const
+{
+    auto it = induction_.find(v);
+    return it != induction_.end() && it->second == header;
+}
+
+bool
+Uniformity::uniformTripCount(const ir::BasicBlock *header,
+                             const ir::Value *cond) const
+{
+    if (isUniform(cond))
+        return true;
+    if (!cond->isInstruction())
+        return false;
+    const auto *cmp = static_cast<const ir::Instruction *>(cond);
+    if (cmp->op() != ir::Opcode::ICmp && cmp->op() != ir::Opcode::FCmp)
+        return false;
+    for (size_t i = 0; i < 2; ++i) {
+        const ir::Value *op = cmp->operand(i);
+        if (isUniform(op))
+            continue;
+        if (isInductionOf(op, header))
+            continue;
+        // One indirection: "i + c" where i is an induction variable.
+        if (op->isInstruction()) {
+            const auto *inst = static_cast<const ir::Instruction *>(op);
+            if ((inst->op() == ir::Opcode::Add ||
+                 inst->op() == ir::Opcode::Sub) &&
+                ((isInductionOf(inst->operand(0), header) &&
+                  isUniform(inst->operand(1))) ||
+                 (isInductionOf(inst->operand(1), header) &&
+                  isUniform(inst->operand(0))))) {
+                continue;
+            }
+        }
+        return false;
+    }
+    return true;
+}
+
+} // namespace soff::analysis

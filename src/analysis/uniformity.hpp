@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Uniformity (divergence) analysis.
+ *
+ * Paper §IV-F1: a single-entry single-exit loop "preserves the
+ * work-group order" without extra glue if "the loop bound is an
+ * expression of kernel arguments and constant values (i.e., all
+ * work-items iterate the loop the same number of times)". This analysis
+ * classifies SSA values as Uniform (identical across *all* work-items),
+ * and recognizes canonical induction variables whose trip counts are
+ * work-item independent.
+ */
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "ir/kernel.hpp"
+
+namespace soff::analysis
+{
+
+/** Classifies values of one kernel. */
+class Uniformity
+{
+  public:
+    explicit Uniformity(const ir::Kernel &kernel);
+
+    /** True if the value is provably identical for every work-item. */
+    bool isUniform(const ir::Value *v) const;
+
+    /**
+     * True if a loop whose header is `header` and whose exit condition
+     * is `cond` iterates the same number of times for every work-item:
+     * the condition must compare uniform values and/or induction
+     * variables of this header with uniform start/step.
+     */
+    bool uniformTripCount(const ir::BasicBlock *header,
+                          const ir::Value *cond) const;
+
+  private:
+    bool
+    isInductionOf(const ir::Value *v, const ir::BasicBlock *header) const;
+
+    const ir::Kernel &kernel_;
+    std::set<const ir::Value *> uniform_;
+    /** phi -> header block for phis shaped phi(uniform, phi +/- uniform). */
+    std::map<const ir::Value *, const ir::BasicBlock *> induction_;
+};
+
+} // namespace soff::analysis

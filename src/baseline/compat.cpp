@@ -1,0 +1,66 @@
+#include "baseline/compat.hpp"
+
+namespace soff::baseline
+{
+
+const char *
+outcomeCode(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::OK: return "";
+      case Outcome::CompileError: return "CE";
+      case Outcome::IncorrectAnswer: return "IA";
+      case Outcome::RuntimeError: return "RE";
+      case Outcome::Hang: return "H";
+      case Outcome::InsufficientResources: return "IR";
+    }
+    return "?";
+}
+
+Outcome
+intelLikeOutcome(const analysis::KernelFeatures &features)
+{
+    // Encodes the failure classes of Table II's Intel column: 8 SPEC
+    // ACCEL applications fail. The observed pattern: kernels combining
+    // atomics with local memory + barriers miscompile (IA) or fail in
+    // the atomics-through-cache path (CE); barriers inside divergent
+    // control flow break the static pipeline scheduler (CE/RE).
+    if (features.usesAtomics && features.usesLocalMemory &&
+        features.usesBarrier) {
+        return Outcome::IncorrectAnswer; // 101.tpacf-like
+    }
+    if (features.usesAtomics &&
+        (features.usesBarrier || features.usesIndirectPointers)) {
+        return Outcome::CompileError; // 116.histo / 117.bfs-like
+    }
+    if (features.usesIndirectPointers)
+        return Outcome::IncorrectAnswer; // 140.bplustree-like
+    if (features.barrierInDivergentLoop && features.localAccessInBranch)
+        return Outcome::CompileError; // 121.lavamd / 127.srad-like
+    if (features.barrierInDivergentLoop && features.usesDouble)
+        return Outcome::RuntimeError; // 124.hotspot-like
+    return Outcome::OK;
+}
+
+Outcome
+xilinxLikeOutcome(const analysis::KernelFeatures &features)
+{
+    // §VI-B: "it yields compile errors in 7 applications because it
+    // does not support atomic operations, local memory accesses inside
+    // branches, and indirect pointers"; several more applications hang
+    // or produce wrong results on barrier-heavy kernels.
+    if (features.usesAtomics)
+        return Outcome::CompileError;
+    if (features.localAccessInBranch)
+        return Outcome::CompileError;
+    if (features.usesIndirectPointers)
+        return Outcome::CompileError;
+    if (features.barrierInDivergentLoop)
+        return Outcome::Hang; // barrier-in-loop kernels
+    if (features.numKernels >= 3)
+        return Outcome::Hang; // multi-kernel in-order queues (the H
+                              // rows of Table II's PolyBench half)
+    return Outcome::OK;
+}
+
+} // namespace soff::baseline

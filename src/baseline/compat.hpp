@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Per-framework compatibility checker (paper Table II).
+ *
+ * Table II classifies how each framework handles every application:
+ * OK, CE (compile error), IA (incorrect answer), RE (run-time error),
+ * H (hangs), IR (insufficient FPGA resources). For SOFF the outcome is
+ * *measured* (compile + simulate + compare against the oracle, and the
+ * resource model decides IR). For the commercial baselines we cannot
+ * run the closed-source toolchains; their outcomes are reproduced by
+ * rules over the kernels' feature inventory that encode the failure
+ * classes the paper reports (e.g. "Xilinx SDAccel yields compile
+ * errors ... because it does not support atomic operations, local
+ * memory accesses inside branches, and indirect pointers", §VI-B) —
+ * see the DESIGN.md substitution table.
+ */
+#pragma once
+
+#include <string>
+
+#include "analysis/features.hpp"
+
+namespace soff::baseline
+{
+
+/** Table II outcome classes. */
+enum class Outcome
+{
+    OK,
+    CompileError,    ///< "CE"
+    IncorrectAnswer, ///< "IA"
+    RuntimeError,    ///< "RE"
+    Hang,            ///< "H"
+    InsufficientResources, ///< "IR"
+};
+
+const char *outcomeCode(Outcome outcome);
+
+/** Intel-FPGA-SDK-like outcome from the kernel feature inventory. */
+Outcome intelLikeOutcome(const analysis::KernelFeatures &features);
+
+/** Xilinx-SDAccel-like outcome from the kernel feature inventory. */
+Outcome xilinxLikeOutcome(const analysis::KernelFeatures &features);
+
+} // namespace soff::baseline

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Compile-time-pipelining baseline simulators (paper §II-A2, §VI).
+ *
+ * These stand in for the Intel FPGA SDK for OpenCL and Xilinx SDAccel
+ * baselines of the evaluation (see DESIGN.md's substitution table).
+ * They embody the design point the paper contrasts SOFF against: a
+ * statically scheduled pipeline that assumes fixed memory latencies, so
+ * every cache miss stalls the *whole* datapath (no run-time slip), and
+ * work-group barriers drain the pipeline. Functional results come from
+ * the reference interpreter; the timing model consumes its trace.
+ */
+#pragma once
+
+#include "baseline/interpreter.hpp"
+#include "datapath/latency.hpp"
+#include "memsys/global_memory.hpp"
+
+namespace soff::baseline
+{
+
+/** Baseline flavor. */
+enum class Vendor
+{
+    IntelLike,  ///< Multi-instance capable (num_compute_units).
+    XilinxLike, ///< One instance by default; slower generated circuits.
+};
+
+/** Static-pipeline timing parameters. */
+struct StaticPipelineConfig
+{
+    Vendor vendor = Vendor::IntelLike;
+    int numInstances = 1;
+    /** Initiation interval of the scheduled pipeline. */
+    int ii = 1;
+    /** Cycles the whole pipeline stalls per cache miss. */
+    int missPenalty = 44;
+    /** Serialization cost per atomic operation. */
+    int atomicPenalty = 4;
+    int cacheSizeBytes = 64 * 1024;
+    int cacheLineBytes = 64;
+    /** DRAM bandwidth: cycles per 64B line (shared bound). */
+    int dramCyclesPerLine = 4;
+    double fmaxMhz = 240.0;
+
+    static StaticPipelineConfig intelLike(int num_instances);
+    static StaticPipelineConfig xilinxLike();
+};
+
+/** Result of one baseline kernel execution. */
+struct StaticPipelineResult
+{
+    uint64_t cycles = 0;
+    uint64_t iterations = 0;     ///< Pipeline initiations (slots).
+    uint64_t cacheMisses = 0;
+    uint64_t cacheHits = 0;
+    uint64_t barrierDrains = 0;
+    double timeMs = 0.0;
+};
+
+/**
+ * Executes the kernel functionally (mutating `memory` like a real run)
+ * and models the execution time of a compile-time-pipelined circuit.
+ */
+StaticPipelineResult runStaticPipeline(const ir::Kernel &kernel,
+                                       const sim::LaunchContext &launch,
+                                       memsys::GlobalMemory &memory,
+                                       const StaticPipelineConfig &config);
+
+} // namespace soff::baseline

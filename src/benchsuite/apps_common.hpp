@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared helpers for the benchmark application definitions.
+ */
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "benchsuite/suite.hpp"
+#include "support/rng.hpp"
+
+namespace soff::benchsuite
+{
+
+/** Uploads a host vector into a fresh device buffer. */
+template <typename T>
+rt::Buffer
+upload(BenchContext &ctx, const std::vector<T> &host)
+{
+    rt::Buffer buffer = ctx.createBuffer(host.size() * sizeof(T));
+    ctx.write(buffer, host.data(), host.size() * sizeof(T));
+    return buffer;
+}
+
+/** Creates a zero-initialized device buffer of `count` T elements. */
+template <typename T>
+rt::Buffer
+uploadZeros(BenchContext &ctx, size_t count)
+{
+    std::vector<T> zeros(count, T{});
+    return upload(ctx, zeros);
+}
+
+/** Downloads a device buffer into a host vector of `count` elements. */
+template <typename T>
+std::vector<T>
+download(BenchContext &ctx, const rt::Buffer &buffer, size_t count)
+{
+    std::vector<T> host(count);
+    ctx.read(buffer, host.data(), count * sizeof(T));
+    return host;
+}
+
+/** Deterministic random floats in [lo, hi). */
+inline std::vector<float>
+randomFloats(uint64_t seed, size_t count, float lo = 0.0f, float hi = 1.0f)
+{
+    SplitMix64 rng(seed);
+    std::vector<float> out(count);
+    for (float &v : out)
+        v = lo + (hi - lo) * rng.nextFloat();
+    return out;
+}
+
+/** Deterministic random int32s in [lo, hi]. */
+inline std::vector<int32_t>
+randomInts(uint64_t seed, size_t count, int32_t lo, int32_t hi)
+{
+    SplitMix64 rng(seed);
+    std::vector<int32_t> out(count);
+    for (int32_t &v : out)
+        v = rng.nextInt(lo, hi);
+    return out;
+}
+
+/** Element-wise comparison with tolerance; true when all match. */
+inline bool
+verifyFloats(const std::vector<float> &got,
+             const std::vector<float> &expect, float tolerance = 2e-3f)
+{
+    if (got.size() != expect.size())
+        return false;
+    for (size_t i = 0; i < got.size(); ++i) {
+        if (!nearlyEqual(got[i], expect[i], tolerance))
+            return false;
+    }
+    return true;
+}
+
+inline bool
+verifyInts(const std::vector<int32_t> &got,
+           const std::vector<int32_t> &expect)
+{
+    return got == expect;
+}
+
+} // namespace soff::benchsuite

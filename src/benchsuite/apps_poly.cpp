@@ -1,0 +1,815 @@
+/**
+ * @file
+ * The 15 PolyBench-like applications (paper Table II, lower half).
+ * "The applications in PolyBench are quite simple" (§VI-A): dense
+ * linear-algebra and stencil kernels without barriers or atomics.
+ */
+#include "benchsuite/apps_common.hpp"
+
+namespace soff::benchsuite
+{
+
+namespace
+{
+
+// Matrix sizes are miniature (paper inputs are GBs; shape, not size,
+// is what Fig. 11 depends on — DESIGN.md).
+constexpr int kN = 24;   // square matrix dimension
+constexpr int kConv = 48; // convolution grid edge
+
+std::vector<float>
+hostMatmul(const std::vector<float> &a, const std::vector<float> &b,
+           int n)
+{
+    std::vector<float> c(static_cast<size_t>(n) * n, 0.0f);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (int k = 0; k < n; ++k)
+                acc += a[i * n + k] * b[k * n + j];
+            c[i * n + j] = acc;
+        }
+    }
+    return c;
+}
+
+const char *kGemmSource = R"CL(
+__kernel void matmul(__global float* A, __global float* B,
+                     __global float* C, int n) {
+  int i = get_global_id(0) / n;
+  int j = get_global_id(0) % n;
+  float acc = 0.0f;
+  for (int k = 0; k < n; k++)
+    acc += A[i * n + k] * B[k * n + j];
+  C[i * n + j] = acc;
+}
+__kernel void matmul_scaled(__global float* A, __global float* B,
+                            __global float* C, int n, float alpha,
+                            float beta) {
+  int i = get_global_id(0) / n;
+  int j = get_global_id(0) % n;
+  float acc = 0.0f;
+  for (int k = 0; k < n; k++)
+    acc += A[i * n + k] * B[k * n + j];
+  C[i * n + j] = alpha * acc + beta * C[i * n + j];
+}
+)CL";
+
+const char *kMatvecSource = R"CL(
+__kernel void matvec(__global float* A, __global float* x,
+                     __global float* y, int n) {
+  int i = get_global_id(0);
+  float acc = 0.0f;
+  for (int j = 0; j < n; j++)
+    acc += A[i * n + j] * x[j];
+  y[i] = acc;
+}
+__kernel void matvec_t(__global float* A, __global float* x,
+                       __global float* y, int n) {
+  int j = get_global_id(0);
+  float acc = 0.0f;
+  for (int i = 0; i < n; i++)
+    acc += A[i * n + j] * x[i];
+  y[j] = acc;
+}
+)CL";
+
+std::vector<float>
+hostMatvec(const std::vector<float> &a, const std::vector<float> &x,
+           int n, bool transpose)
+{
+    std::vector<float> y(static_cast<size_t>(n), 0.0f);
+    for (int i = 0; i < n; ++i) {
+        float acc = 0.0f;
+        for (int j = 0; j < n; ++j) {
+            acc += transpose ? a[j * n + i] * x[j] : a[i * n + j] * x[j];
+        }
+        y[i] = acc;
+    }
+    return y;
+}
+
+App
+make2dconv()
+{
+    App app;
+    app.name = "2dconv";
+    app.suite = "PolyBench";
+    app.source = R"CL(
+__kernel void conv2d(__global float* in, __global float* out, int w,
+                     int h) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x < 1 || x >= w - 1 || y < 1 || y >= h - 1) {
+    out[y * w + x] = 0.0f;
+    return;
+  }
+  float c11 = 0.2f, c12 = -0.3f, c13 = 0.4f;
+  float c21 = -0.5f, c22 = 0.6f, c23 = -0.7f;
+  float c31 = 0.8f, c32 = -0.9f, c33 = 0.1f;
+  float s = c11 * in[(y - 1) * w + (x - 1)] + c12 * in[(y - 1) * w + x]
+          + c13 * in[(y - 1) * w + (x + 1)] + c21 * in[y * w + (x - 1)]
+          + c22 * in[y * w + x] + c23 * in[y * w + (x + 1)]
+          + c31 * in[(y + 1) * w + (x - 1)] + c32 * in[(y + 1) * w + x]
+          + c33 * in[(y + 1) * w + (x + 1)];
+  out[y * w + x] = s;
+}
+)CL";
+    app.host = [](BenchContext &ctx) {
+        const int w = kConv, h = kConv / 2;
+        auto in = randomFloats(11, static_cast<size_t>(w) * h);
+        rt::Buffer bin = upload(ctx, in);
+        rt::Buffer bout =
+            uploadZeros<float>(ctx, static_cast<size_t>(w) * h);
+        ctx.launch("conv2d", range2d(w, h, 8, 4),
+                   {bin, bout, w, h});
+        auto got = download<float>(ctx, bout,
+                                   static_cast<size_t>(w) * h);
+        std::vector<float> expect(static_cast<size_t>(w) * h, 0.0f);
+        const float c[9] = {0.2f, -0.3f, 0.4f, -0.5f, 0.6f,
+                            -0.7f, 0.8f, -0.9f, 0.1f};
+        for (int y = 1; y < h - 1; ++y) {
+            for (int x = 1; x < w - 1; ++x) {
+                float s = 0.0f;
+                int k = 0;
+                for (int dy = -1; dy <= 1; ++dy) {
+                    for (int dx = -1; dx <= 1; ++dx)
+                        s += c[k++] * in[(y + dy) * w + (x + dx)];
+                }
+                expect[y * w + x] = s;
+            }
+        }
+        return verifyFloats(got, expect);
+    };
+    return app;
+}
+
+App
+make3dconv()
+{
+    App app;
+    app.name = "3dconv";
+    app.suite = "PolyBench";
+    app.source = R"CL(
+__kernel void conv3d(__global float* in, __global float* out, int n) {
+  int gid = get_global_id(0);
+  int x = gid % n;
+  int y = (gid / n) % n;
+  int z = gid / (n * n);
+  if (x < 1 || x >= n - 1 || y < 1 || y >= n - 1 || z < 1 ||
+      z >= n - 1) {
+    out[gid] = 0.0f;
+    return;
+  }
+  float acc = 0.0f;
+  for (int dz = -1; dz <= 1; dz++) {
+    for (int dy = -1; dy <= 1; dy++) {
+      for (int dx = -1; dx <= 1; dx++) {
+        float wgt = 0.1f * (float)(dx + dy + dz) + 0.2f;
+        acc += wgt * in[(z + dz) * n * n + (y + dy) * n + (x + dx)];
+      }
+    }
+  }
+  out[gid] = acc;
+}
+)CL";
+    app.host = [](BenchContext &ctx) {
+        const int n = 12;
+        size_t total = static_cast<size_t>(n) * n * n;
+        auto in = randomFloats(12, total);
+        rt::Buffer bin = upload(ctx, in);
+        rt::Buffer bout = uploadZeros<float>(ctx, total);
+        ctx.launch("conv3d", range1d(total, 48), {bin, bout, n});
+        auto got = download<float>(ctx, bout, total);
+        std::vector<float> expect(total, 0.0f);
+        for (int z = 1; z < n - 1; ++z) {
+            for (int y = 1; y < n - 1; ++y) {
+                for (int x = 1; x < n - 1; ++x) {
+                    float acc = 0.0f;
+                    for (int dz = -1; dz <= 1; ++dz) {
+                        for (int dy = -1; dy <= 1; ++dy) {
+                            for (int dx = -1; dx <= 1; ++dx) {
+                                float wgt =
+                                    0.1f * static_cast<float>(
+                                               dx + dy + dz) + 0.2f;
+                                acc += wgt * in[(z + dz) * n * n +
+                                                (y + dy) * n + (x + dx)];
+                            }
+                        }
+                    }
+                    expect[z * n * n + y * n + x] = acc;
+                }
+            }
+        }
+        return verifyFloats(got, expect);
+    };
+    return app;
+}
+
+App
+makeGemm()
+{
+    App app;
+    app.name = "gemm";
+    app.suite = "PolyBench";
+    app.source = kGemmSource;
+    app.host = [](BenchContext &ctx) {
+        const int n = kN;
+        size_t total = static_cast<size_t>(n) * n;
+        auto a = randomFloats(21, total);
+        auto b = randomFloats(22, total);
+        auto c = randomFloats(23, total);
+        rt::Buffer ba = upload(ctx, a);
+        rt::Buffer bb = upload(ctx, b);
+        rt::Buffer bc = upload(ctx, c);
+        ctx.launch("matmul_scaled", range1d(total, 32),
+                   {ba, bb, bc, n, 1.5f, 0.5f});
+        auto got = download<float>(ctx, bc, total);
+        auto ab = hostMatmul(a, b, n);
+        std::vector<float> expect(total);
+        for (size_t i = 0; i < total; ++i)
+            expect[i] = 1.5f * ab[i] + 0.5f * c[i];
+        return verifyFloats(got, expect);
+    };
+    return app;
+}
+
+App
+make2mm()
+{
+    App app;
+    app.name = "2mm";
+    app.suite = "PolyBench";
+    app.source = kGemmSource;
+    app.host = [](BenchContext &ctx) {
+        const int n = kN;
+        size_t total = static_cast<size_t>(n) * n;
+        auto a = randomFloats(31, total);
+        auto b = randomFloats(32, total);
+        auto c = randomFloats(33, total);
+        rt::Buffer ba = upload(ctx, a);
+        rt::Buffer bb = upload(ctx, b);
+        rt::Buffer bc = upload(ctx, c);
+        rt::Buffer tmp = uploadZeros<float>(ctx, total);
+        rt::Buffer out = uploadZeros<float>(ctx, total);
+        ctx.launch("matmul", range1d(total, 32), {ba, bb, tmp, n});
+        ctx.launch("matmul", range1d(total, 32), {tmp, bc, out, n});
+        auto got = download<float>(ctx, out, total);
+        auto expect = hostMatmul(hostMatmul(a, b, n), c, n);
+        return verifyFloats(got, expect, 5e-3f);
+    };
+    return app;
+}
+
+App
+make3mm()
+{
+    App app;
+    app.name = "3mm";
+    app.suite = "PolyBench";
+    app.source = kGemmSource;
+    app.host = [](BenchContext &ctx) {
+        const int n = kN;
+        size_t total = static_cast<size_t>(n) * n;
+        auto a = randomFloats(41, total);
+        auto b = randomFloats(42, total);
+        auto c = randomFloats(43, total);
+        auto d = randomFloats(44, total);
+        rt::Buffer ba = upload(ctx, a);
+        rt::Buffer bb = upload(ctx, b);
+        rt::Buffer bc = upload(ctx, c);
+        rt::Buffer bd = upload(ctx, d);
+        rt::Buffer e = uploadZeros<float>(ctx, total);
+        rt::Buffer f = uploadZeros<float>(ctx, total);
+        rt::Buffer g = uploadZeros<float>(ctx, total);
+        ctx.launch("matmul", range1d(total, 32), {ba, bb, e, n});
+        ctx.launch("matmul", range1d(total, 32), {bc, bd, f, n});
+        ctx.launch("matmul", range1d(total, 32), {e, f, g, n});
+        auto got = download<float>(ctx, g, total);
+        auto expect = hostMatmul(hostMatmul(a, b, n),
+                                 hostMatmul(c, d, n), n);
+        return verifyFloats(got, expect, 1e-2f);
+    };
+    return app;
+}
+
+App
+makeAtax()
+{
+    App app;
+    app.name = "atax";
+    app.suite = "PolyBench";
+    app.source = kMatvecSource;
+    app.host = [](BenchContext &ctx) {
+        const int n = 48;
+        size_t total = static_cast<size_t>(n) * n;
+        auto a = randomFloats(51, total);
+        auto x = randomFloats(52, static_cast<size_t>(n));
+        rt::Buffer ba = upload(ctx, a);
+        rt::Buffer bx = upload(ctx, x);
+        rt::Buffer tmp = uploadZeros<float>(ctx, static_cast<size_t>(n));
+        rt::Buffer y = uploadZeros<float>(ctx, static_cast<size_t>(n));
+        ctx.launch("matvec", range1d(n, 16), {ba, bx, tmp, n});
+        ctx.launch("matvec_t", range1d(n, 16), {ba, tmp, y, n});
+        auto got = download<float>(ctx, y, static_cast<size_t>(n));
+        auto t = hostMatvec(a, x, n, false);
+        auto expect = hostMatvec(a, t, n, true);
+        return verifyFloats(got, expect, 5e-3f);
+    };
+    return app;
+}
+
+App
+makeBicg()
+{
+    App app;
+    app.name = "bicg";
+    app.suite = "PolyBench";
+    app.source = kMatvecSource;
+    app.host = [](BenchContext &ctx) {
+        const int n = 48;
+        size_t total = static_cast<size_t>(n) * n;
+        auto a = randomFloats(61, total);
+        auto p = randomFloats(62, static_cast<size_t>(n));
+        auto r = randomFloats(63, static_cast<size_t>(n));
+        rt::Buffer ba = upload(ctx, a);
+        rt::Buffer bp = upload(ctx, p);
+        rt::Buffer br = upload(ctx, r);
+        rt::Buffer q = uploadZeros<float>(ctx, static_cast<size_t>(n));
+        rt::Buffer s = uploadZeros<float>(ctx, static_cast<size_t>(n));
+        ctx.launch("matvec", range1d(n, 16), {ba, bp, q, n});
+        ctx.launch("matvec_t", range1d(n, 16), {ba, br, s, n});
+        auto got_q = download<float>(ctx, q, static_cast<size_t>(n));
+        auto got_s = download<float>(ctx, s, static_cast<size_t>(n));
+        return verifyFloats(got_q, hostMatvec(a, p, n, false)) &&
+               verifyFloats(got_s, hostMatvec(a, r, n, true));
+    };
+    return app;
+}
+
+App
+makeGesummv()
+{
+    App app;
+    app.name = "gesummv";
+    app.suite = "PolyBench";
+    app.source = R"CL(
+__kernel void gesummv(__global float* A, __global float* B,
+                      __global float* x, __global float* y, int n,
+                      float alpha, float beta) {
+  int i = get_global_id(0);
+  float ta = 0.0f;
+  float tb = 0.0f;
+  for (int j = 0; j < n; j++) {
+    ta += A[i * n + j] * x[j];
+    tb += B[i * n + j] * x[j];
+  }
+  y[i] = alpha * ta + beta * tb;
+}
+)CL";
+    app.host = [](BenchContext &ctx) {
+        const int n = 48;
+        size_t total = static_cast<size_t>(n) * n;
+        auto a = randomFloats(71, total);
+        auto b = randomFloats(72, total);
+        auto x = randomFloats(73, static_cast<size_t>(n));
+        rt::Buffer ba = upload(ctx, a);
+        rt::Buffer bb = upload(ctx, b);
+        rt::Buffer bx = upload(ctx, x);
+        rt::Buffer by = uploadZeros<float>(ctx, static_cast<size_t>(n));
+        ctx.launch("gesummv", range1d(n, 16),
+                   {ba, bb, bx, by, n, 1.25f, 0.75f});
+        auto got = download<float>(ctx, by, static_cast<size_t>(n));
+        auto ya = hostMatvec(a, x, n, false);
+        auto yb = hostMatvec(b, x, n, false);
+        std::vector<float> expect(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i)
+            expect[i] = 1.25f * ya[i] + 0.75f * yb[i];
+        return verifyFloats(got, expect);
+    };
+    return app;
+}
+
+App
+makeMvt()
+{
+    App app;
+    app.name = "mvt";
+    app.suite = "PolyBench";
+    app.source = kMatvecSource;
+    app.host = [](BenchContext &ctx) {
+        const int n = 48;
+        size_t total = static_cast<size_t>(n) * n;
+        auto a = randomFloats(81, total);
+        auto y1 = randomFloats(82, static_cast<size_t>(n));
+        auto y2 = randomFloats(83, static_cast<size_t>(n));
+        rt::Buffer ba = upload(ctx, a);
+        rt::Buffer by1 = upload(ctx, y1);
+        rt::Buffer by2 = upload(ctx, y2);
+        rt::Buffer x1 = uploadZeros<float>(ctx, static_cast<size_t>(n));
+        rt::Buffer x2 = uploadZeros<float>(ctx, static_cast<size_t>(n));
+        ctx.launch("matvec", range1d(n, 16), {ba, by1, x1, n});
+        ctx.launch("matvec_t", range1d(n, 16), {ba, by2, x2, n});
+        auto got1 = download<float>(ctx, x1, static_cast<size_t>(n));
+        auto got2 = download<float>(ctx, x2, static_cast<size_t>(n));
+        return verifyFloats(got1, hostMatvec(a, y1, n, false)) &&
+               verifyFloats(got2, hostMatvec(a, y2, n, true));
+    };
+    return app;
+}
+
+const char *kSyrkSource = R"CL(
+__kernel void syrk(__global float* A, __global float* C, int n,
+                   float alpha, float beta) {
+  int i = get_global_id(0) / n;
+  int j = get_global_id(0) % n;
+  float acc = 0.0f;
+  for (int k = 0; k < n; k++)
+    acc += A[i * n + k] * A[j * n + k];
+  C[i * n + j] = alpha * acc + beta * C[i * n + j];
+}
+__kernel void syr2k(__global float* A, __global float* B,
+                    __global float* C, int n, float alpha, float beta) {
+  int i = get_global_id(0) / n;
+  int j = get_global_id(0) % n;
+  float acc = 0.0f;
+  for (int k = 0; k < n; k++)
+    acc += A[i * n + k] * B[j * n + k] + B[i * n + k] * A[j * n + k];
+  C[i * n + j] = alpha * acc + beta * C[i * n + j];
+}
+)CL";
+
+App
+makeSyrk()
+{
+    App app;
+    app.name = "syrk";
+    app.suite = "PolyBench";
+    app.source = kSyrkSource;
+    app.host = [](BenchContext &ctx) {
+        const int n = kN;
+        size_t total = static_cast<size_t>(n) * n;
+        auto a = randomFloats(91, total);
+        auto c = randomFloats(92, total);
+        rt::Buffer ba = upload(ctx, a);
+        rt::Buffer bc = upload(ctx, c);
+        ctx.launch("syrk", range1d(total, 32), {ba, bc, n, 2.0f, 0.5f});
+        auto got = download<float>(ctx, bc, total);
+        std::vector<float> expect(total);
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < n; ++j) {
+                float acc = 0.0f;
+                for (int k = 0; k < n; ++k)
+                    acc += a[i * n + k] * a[j * n + k];
+                expect[i * n + j] = 2.0f * acc + 0.5f * c[i * n + j];
+            }
+        }
+        return verifyFloats(got, expect);
+    };
+    return app;
+}
+
+App
+makeSyr2k()
+{
+    App app;
+    app.name = "syr2k";
+    app.suite = "PolyBench";
+    app.source = kSyrkSource;
+    app.host = [](BenchContext &ctx) {
+        const int n = kN;
+        size_t total = static_cast<size_t>(n) * n;
+        auto a = randomFloats(101, total);
+        auto b = randomFloats(102, total);
+        auto c = randomFloats(103, total);
+        rt::Buffer ba = upload(ctx, a);
+        rt::Buffer bb = upload(ctx, b);
+        rt::Buffer bc = upload(ctx, c);
+        ctx.launch("syr2k", range1d(total, 32),
+                   {ba, bb, bc, n, 1.0f, 1.0f});
+        auto got = download<float>(ctx, bc, total);
+        std::vector<float> expect(total);
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < n; ++j) {
+                float acc = 0.0f;
+                for (int k = 0; k < n; ++k) {
+                    acc += a[i * n + k] * b[j * n + k] +
+                           b[i * n + k] * a[j * n + k];
+                }
+                expect[i * n + j] = acc + c[i * n + j];
+            }
+        }
+        return verifyFloats(got, expect);
+    };
+    return app;
+}
+
+const char *kStatsSource = R"CL(
+__kernel void col_mean(__global float* D, __global float* mean, int n,
+                       int m) {
+  int j = get_global_id(0);
+  float acc = 0.0f;
+  for (int i = 0; i < n; i++)
+    acc += D[i * m + j];
+  mean[j] = acc / (float)n;
+}
+__kernel void col_std(__global float* D, __global float* mean,
+                      __global float* stdev, int n, int m) {
+  int j = get_global_id(0);
+  float acc = 0.0f;
+  for (int i = 0; i < n; i++) {
+    float d = D[i * m + j] - mean[j];
+    acc += d * d;
+  }
+  float s = sqrt(acc / (float)n);
+  if (s < 0.005f) s = 1.0f;
+  stdev[j] = s;
+}
+__kernel void correlate(__global float* D, __global float* mean,
+                        __global float* stdev, __global float* R, int n,
+                        int m) {
+  int gid = get_global_id(0);
+  int j1 = gid / m;
+  int j2 = gid % m;
+  float acc = 0.0f;
+  for (int i = 0; i < n; i++) {
+    acc += (D[i * m + j1] - mean[j1]) * (D[i * m + j2] - mean[j2]);
+  }
+  R[gid] = acc / ((float)n * stdev[j1] * stdev[j2]);
+}
+__kernel void covariance(__global float* D, __global float* mean,
+                         __global float* R, int n, int m) {
+  int gid = get_global_id(0);
+  int j1 = gid / m;
+  int j2 = gid % m;
+  float acc = 0.0f;
+  for (int i = 0; i < n; i++) {
+    acc += (D[i * m + j1] - mean[j1]) * (D[i * m + j2] - mean[j2]);
+  }
+  R[gid] = acc / (float)(n - 1);
+}
+)CL";
+
+App
+makeCorr()
+{
+    App app;
+    app.name = "corr";
+    app.suite = "PolyBench";
+    app.source = kStatsSource;
+    app.host = [](BenchContext &ctx) {
+        const int n = 32, m = 16;
+        size_t total = static_cast<size_t>(n) * m;
+        auto d = randomFloats(111, total);
+        rt::Buffer bd = upload(ctx, d);
+        rt::Buffer bmean = uploadZeros<float>(ctx, m);
+        rt::Buffer bstd = uploadZeros<float>(ctx, m);
+        rt::Buffer br =
+            uploadZeros<float>(ctx, static_cast<size_t>(m) * m);
+        ctx.launch("col_mean", range1d(m, 8), {bd, bmean, n, m});
+        ctx.launch("col_std", range1d(m, 8), {bd, bmean, bstd, n, m});
+        ctx.launch("correlate", range1d(static_cast<size_t>(m) * m, 16),
+                   {bd, bmean, bstd, br, n, m});
+        auto got = download<float>(ctx, br,
+                                   static_cast<size_t>(m) * m);
+        // Host oracle.
+        std::vector<float> mean(m, 0.0f), stdev(m, 0.0f);
+        for (int j = 0; j < m; ++j) {
+            for (int i = 0; i < n; ++i)
+                mean[j] += d[i * m + j];
+            mean[j] /= static_cast<float>(n);
+        }
+        for (int j = 0; j < m; ++j) {
+            float acc = 0.0f;
+            for (int i = 0; i < n; ++i) {
+                float dd = d[i * m + j] - mean[j];
+                acc += dd * dd;
+            }
+            float s = std::sqrt(acc / static_cast<float>(n));
+            stdev[j] = s < 0.005f ? 1.0f : s;
+        }
+        std::vector<float> expect(static_cast<size_t>(m) * m);
+        for (int j1 = 0; j1 < m; ++j1) {
+            for (int j2 = 0; j2 < m; ++j2) {
+                float acc = 0.0f;
+                for (int i = 0; i < n; ++i) {
+                    acc += (d[i * m + j1] - mean[j1]) *
+                           (d[i * m + j2] - mean[j2]);
+                }
+                expect[j1 * m + j2] =
+                    acc / (static_cast<float>(n) * stdev[j1] * stdev[j2]);
+            }
+        }
+        return verifyFloats(got, expect, 5e-3f);
+    };
+    return app;
+}
+
+App
+makeCovar()
+{
+    App app;
+    app.name = "covar";
+    app.suite = "PolyBench";
+    app.source = kStatsSource;
+    app.host = [](BenchContext &ctx) {
+        const int n = 32, m = 16;
+        size_t total = static_cast<size_t>(n) * m;
+        auto d = randomFloats(121, total);
+        rt::Buffer bd = upload(ctx, d);
+        rt::Buffer bmean = uploadZeros<float>(ctx, m);
+        rt::Buffer br =
+            uploadZeros<float>(ctx, static_cast<size_t>(m) * m);
+        ctx.launch("col_mean", range1d(m, 8), {bd, bmean, n, m});
+        ctx.launch("covariance", range1d(static_cast<size_t>(m) * m, 16),
+                   {bd, bmean, br, n, m});
+        auto got = download<float>(ctx, br,
+                                   static_cast<size_t>(m) * m);
+        std::vector<float> mean(m, 0.0f);
+        for (int j = 0; j < m; ++j) {
+            for (int i = 0; i < n; ++i)
+                mean[j] += d[i * m + j];
+            mean[j] /= static_cast<float>(n);
+        }
+        std::vector<float> expect(static_cast<size_t>(m) * m);
+        for (int j1 = 0; j1 < m; ++j1) {
+            for (int j2 = 0; j2 < m; ++j2) {
+                float acc = 0.0f;
+                for (int i = 0; i < n; ++i) {
+                    acc += (d[i * m + j1] - mean[j1]) *
+                           (d[i * m + j2] - mean[j2]);
+                }
+                expect[j1 * m + j2] = acc / static_cast<float>(n - 1);
+            }
+        }
+        return verifyFloats(got, expect, 5e-3f);
+    };
+    return app;
+}
+
+App
+makeGramschmidt()
+{
+    App app;
+    app.name = "gramschm";
+    app.suite = "PolyBench";
+    app.source = R"CL(
+__kernel void gs_norm(__global float* A, __global float* Rdiag, int n,
+                      int k) {
+  // Single work-item computes the column norm (sequential step).
+  if (get_global_id(0) == 0) {
+    float acc = 0.0f;
+    for (int i = 0; i < n; i++)
+      acc += A[i * n + k] * A[i * n + k];
+    Rdiag[k] = sqrt(acc);
+  }
+}
+__kernel void gs_scale(__global float* A, __global float* Rdiag, int n,
+                       int k) {
+  int i = get_global_id(0);
+  float rkk = Rdiag[k];
+  if (rkk < 1e-6f) rkk = 1.0f;
+  A[i * n + k] = A[i * n + k] / rkk;
+}
+__kernel void gs_subtract(__global float* A, int n, int k) {
+  int j = get_global_id(0);
+  if (j <= k) return;
+  float dot = 0.0f;
+  for (int i = 0; i < n; i++)
+    dot += A[i * n + k] * A[i * n + j];
+  for (int i = 0; i < n; i++)
+    A[i * n + j] -= A[i * n + k] * dot;
+}
+)CL";
+    app.host = [](BenchContext &ctx) {
+        const int n = 12;
+        size_t total = static_cast<size_t>(n) * n;
+        auto a = randomFloats(131, total, 0.1f, 1.1f);
+        rt::Buffer ba = upload(ctx, a);
+        rt::Buffer brd = uploadZeros<float>(ctx, static_cast<size_t>(n));
+        for (int k = 0; k < n; ++k) {
+            ctx.launch("gs_norm", range1d(4, 4), {ba, brd, n, k});
+            ctx.launch("gs_scale", range1d(n, 4), {ba, brd, n, k});
+            ctx.launch("gs_subtract", range1d(n, 4), {ba, n, k});
+        }
+        auto got = download<float>(ctx, ba, total);
+        // Verify orthonormal columns: Q^T Q == I.
+        bool ok = true;
+        for (int j1 = 0; j1 < n && ok; ++j1) {
+            for (int j2 = 0; j2 < n && ok; ++j2) {
+                float dot = 0.0f;
+                for (int i = 0; i < n; ++i)
+                    dot += got[i * n + j1] * got[i * n + j2];
+                float expect = j1 == j2 ? 1.0f : 0.0f;
+                ok = std::fabs(dot - expect) < 2e-2f;
+            }
+        }
+        return ok;
+    };
+    return app;
+}
+
+App
+makeFdtd2d()
+{
+    App app;
+    app.name = "fdtd-2d";
+    app.suite = "PolyBench";
+    app.source = R"CL(
+__kernel void fdtd_ey(__global float* ey, __global float* hz, int w,
+                      int h, float t) {
+  int gid = get_global_id(0);
+  int x = gid % w;
+  int y = gid / w;
+  if (y == 0) { ey[gid] = t; return; }
+  ey[gid] = ey[gid] - 0.5f * (hz[gid] - hz[(y - 1) * w + x]);
+}
+__kernel void fdtd_ex(__global float* ex, __global float* hz, int w,
+                      int h) {
+  int gid = get_global_id(0);
+  int x = gid % w;
+  if (x == 0) return;
+  ex[gid] = ex[gid] - 0.5f * (hz[gid] - hz[gid - 1]);
+}
+__kernel void fdtd_hz(__global float* ex, __global float* ey,
+                      __global float* hz, int w, int h) {
+  int gid = get_global_id(0);
+  int x = gid % w;
+  int y = gid / w;
+  if (x >= w - 1 || y >= h - 1) return;
+  hz[gid] = hz[gid] - 0.7f * (ex[(y + 1) * w + x] - ex[gid] +
+                              ey[y * w + x + 1] - ey[gid]);
+}
+)CL";
+    app.host = [](BenchContext &ctx) {
+        const int w = 24, h = 16, steps = 3;
+        size_t total = static_cast<size_t>(w) * h;
+        auto ex = randomFloats(141, total);
+        auto ey = randomFloats(142, total);
+        auto hz = randomFloats(143, total);
+        std::vector<float> hex = ex, hey = ey, hhz = hz;
+        rt::Buffer bex = upload(ctx, ex);
+        rt::Buffer bey = upload(ctx, ey);
+        rt::Buffer bhz = upload(ctx, hz);
+        for (int t = 0; t < steps; ++t) {
+            float tv = static_cast<float>(t);
+            ctx.launch("fdtd_ey", range1d(total, 24),
+                       {bey, bhz, w, h, tv});
+            ctx.launch("fdtd_ex", range1d(total, 24), {bex, bhz, w, h});
+            ctx.launch("fdtd_hz", range1d(total, 24),
+                       {bex, bey, bhz, w, h});
+            // Host oracle step.
+            for (int y = 0; y < h; ++y) {
+                for (int x = 0; x < w; ++x) {
+                    int i = y * w + x;
+                    if (y == 0)
+                        hey[i] = tv;
+                    else
+                        hey[i] -= 0.5f * (hhz[i] - hhz[i - w]);
+                }
+            }
+            for (int y = 0; y < h; ++y) {
+                for (int x = 1; x < w; ++x) {
+                    int i = y * w + x;
+                    hex[i] -= 0.5f * (hhz[i] - hhz[i - 1]);
+                }
+            }
+            for (int y = 0; y < h - 1; ++y) {
+                for (int x = 0; x < w - 1; ++x) {
+                    int i = y * w + x;
+                    hhz[i] -= 0.7f * (hex[i + w] - hex[i] +
+                                      hey[i + 1] - hey[i]);
+                }
+            }
+        }
+        auto got = download<float>(ctx, bhz, total);
+        return verifyFloats(got, hhz, 1e-2f);
+    };
+    return app;
+}
+
+} // namespace
+
+std::vector<App>
+polyApps()
+{
+    std::vector<App> apps;
+    apps.push_back(make2dconv());
+    apps.push_back(make3dconv());
+    apps.push_back(make2mm());
+    apps.push_back(make3mm());
+    apps.push_back(makeAtax());
+    apps.push_back(makeBicg());
+    apps.push_back(makeGemm());
+    apps.push_back(makeGesummv());
+    apps.push_back(makeGramschmidt());
+    apps.push_back(makeMvt());
+    apps.push_back(makeSyr2k());
+    apps.push_back(makeSyrk());
+    apps.push_back(makeCorr());
+    apps.push_back(makeCovar());
+    apps.push_back(makeFdtd2d());
+    return apps;
+}
+
+} // namespace soff::benchsuite

@@ -1,0 +1,52 @@
+#include "benchsuite/suite.hpp"
+
+#include <cmath>
+
+namespace soff::benchsuite
+{
+
+// Defined in apps_spec.cpp / apps_poly.cpp.
+std::vector<App> specApps();
+std::vector<App> polyApps();
+
+const std::vector<App> &
+allApps()
+{
+    static const std::vector<App> apps = [] {
+        std::vector<App> all = specApps();
+        std::vector<App> poly = polyApps();
+        for (App &app : poly)
+            all.push_back(std::move(app));
+        return all;
+    }();
+    return apps;
+}
+
+const App *
+findApp(const std::string &name)
+{
+    for (const App &app : allApps()) {
+        if (app.name == name)
+            return &app;
+    }
+    return nullptr;
+}
+
+bool
+runApp(const App &app, BenchContext &ctx)
+{
+    ctx.build(app.source);
+    return app.host(ctx);
+}
+
+bool
+nearlyEqual(float a, float b, float tolerance)
+{
+    if (a == b)
+        return true;
+    float diff = std::fabs(a - b);
+    float scale = std::max(std::fabs(a), std::fabs(b));
+    return diff <= tolerance * std::max(1.0f, scale);
+}
+
+} // namespace soff::benchsuite

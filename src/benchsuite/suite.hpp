@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The 34-application benchmark suite standing in for SPEC ACCEL (19
+ * applications) and PolyBench (15 applications) of paper Table II.
+ *
+ * Each application is a miniature, self-contained workload with the
+ * same kernel *structure* as the original (local memory use, barriers,
+ * atomics, indirect pointers, loop and access patterns) at laptop
+ * scale, plus a host driver and a host-computed verification oracle
+ * (DESIGN.md substitution table).
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "benchsuite/bench_context.hpp"
+
+namespace soff::benchsuite
+{
+
+/** One benchmark application. */
+struct App
+{
+    std::string name;   ///< e.g. "112.spmv".
+    std::string suite;  ///< "SPEC ACCEL" or "PolyBench".
+    std::string source; ///< OpenCL C program.
+    /**
+     * Host driver: sets up buffers, launches kernels, verifies the
+     * results against a host oracle. Returns true if correct.
+     */
+    std::function<bool(BenchContext &)> host;
+    /** Expected to exceed the Arria 10's resources (Table II "IR"). */
+    bool expectInsufficientResources = false;
+};
+
+/** All 34 applications in Table II order. */
+const std::vector<App> &allApps();
+
+/** Finds one application by name (nullptr if unknown). */
+const App *findApp(const std::string &name);
+
+/** Runs one application on an engine; returns host verification. */
+bool runApp(const App &app, BenchContext &ctx);
+
+/** Approximate float comparison for host oracles. */
+bool nearlyEqual(float a, float b, float tolerance = 2e-3f);
+
+} // namespace soff::benchsuite

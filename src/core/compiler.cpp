@@ -1,0 +1,57 @@
+#include "core/compiler.hpp"
+
+#include "frontend/irgen.hpp"
+#include "ir/verifier.hpp"
+#include "support/error.hpp"
+#include "transform/passes.hpp"
+
+namespace soff::core
+{
+
+const CompiledKernel *
+CompiledProgram::findKernel(const std::string &name) const
+{
+    for (const CompiledKernel &k : kernels) {
+        if (k.kernel->name() == name)
+            return &k;
+    }
+    return nullptr;
+}
+
+std::unique_ptr<CompiledProgram>
+Compiler::compile(const std::string &source,
+                  const std::string &program_name) const
+{
+    auto program = std::make_unique<CompiledProgram>();
+    program->fpga = options_.fpga;
+    program->module = fe::compileToIR(source, program_name);
+    if (options_.verifyIR)
+        ir::verifyOrThrow(*program->module);
+    transform::runStandardPipeline(*program->module);
+    if (options_.verifyIR)
+        ir::verifyOrThrow(*program->module);
+
+    for (const auto &kernel : program->module->kernels()) {
+        if (!kernel->isKernel())
+            continue;
+        CompiledKernel ck;
+        ck.kernel = kernel.get();
+        ck.features = analysis::scanKernelFeatures(*kernel);
+        ck.plan = datapath::planKernel(*kernel, options_.plan);
+        ck.resourcesPerInstance = datapath::estimateInstance(*ck.plan);
+        ck.maxInstancesAlone =
+            datapath::maxInstances(*ck.plan, options_.fpga);
+        program->kernels.push_back(std::move(ck));
+    }
+    if (program->kernels.empty())
+        throw CompileError("program contains no __kernel functions");
+
+    std::vector<const datapath::KernelPlan *> plans;
+    for (const CompiledKernel &ck : program->kernels)
+        plans.push_back(ck.plan.get());
+    program->sharedInstanceCounts =
+        datapath::partitionInstances(plans, options_.fpga);
+    return program;
+}
+
+} // namespace soff::core

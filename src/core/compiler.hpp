@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The SOFF compiler driver (paper Fig. 3(b)): OpenCL C source ->
+ * SSA IR -> analyses -> datapath plans, ready for the two backends
+ * (cycle-level simulation and Verilog emission).
+ *
+ * This is the library's primary entry point for compilation; the
+ * runtime (src/runtime) builds on it to execute kernels.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/features.hpp"
+#include "datapath/plan.hpp"
+#include "datapath/resource.hpp"
+#include "ir/kernel.hpp"
+
+namespace soff::core
+{
+
+/** Everything the compiler produces for one kernel. */
+struct CompiledKernel
+{
+    const ir::Kernel *kernel = nullptr;
+    std::unique_ptr<datapath::KernelPlan> plan;
+    analysis::KernelFeatures features;
+    datapath::Resources resourcesPerInstance;
+    /** Largest instance count that fits the target alone (0 = IR). */
+    int maxInstancesAlone = 0;
+};
+
+/** A compiled OpenCL program (offline compilation, §III-C). */
+struct CompiledProgram
+{
+    std::unique_ptr<ir::Module> module;
+    std::vector<CompiledKernel> kernels;
+    datapath::FpgaSpec fpga;
+    /** Instance counts when all kernels share the region (§III-B);
+     *  all-zero means they cannot coexist (partial reconfiguration). */
+    std::vector<int> sharedInstanceCounts;
+
+    const CompiledKernel *findKernel(const std::string &name) const;
+};
+
+/** Compiler options. */
+struct CompilerOptions
+{
+    datapath::PlanConfig plan;
+    datapath::FpgaSpec fpga = datapath::FpgaSpec::arria10();
+    /** Verify IR after every pass group (debug builds of kernels). */
+    bool verifyIR = true;
+};
+
+/**
+ * The OpenCL-C-to-datapath compiler. Stateless; one call per program.
+ * Throws CompileError with rendered diagnostics on invalid source.
+ */
+class Compiler
+{
+  public:
+    explicit Compiler(CompilerOptions options = {})
+        : options_(std::move(options))
+    {}
+
+    /** Compiles all kernels in an OpenCL C source string. */
+    std::unique_ptr<CompiledProgram>
+    compile(const std::string &source,
+            const std::string &program_name = "program") const;
+
+  private:
+    CompilerOptions options_;
+};
+
+} // namespace soff::core

@@ -1,0 +1,133 @@
+#include "datapath/balance.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace soff::datapath
+{
+
+namespace
+{
+
+/** Longest-path (ASAP) depths over the DAG. */
+std::vector<long>
+asapDepths(int num_nodes, const std::vector<int> &lat,
+           const std::vector<BalanceEdge> &edges)
+{
+    // Topological order via Kahn.
+    std::vector<int> indeg(static_cast<size_t>(num_nodes), 0);
+    for (const BalanceEdge &e : edges)
+        ++indeg[static_cast<size_t>(e.to)];
+    std::vector<int> ready;
+    for (int i = 0; i < num_nodes; ++i) {
+        if (indeg[static_cast<size_t>(i)] == 0)
+            ready.push_back(i);
+    }
+    std::vector<long> d(static_cast<size_t>(num_nodes), 0);
+    std::vector<int> order;
+    while (!ready.empty()) {
+        int n = ready.back();
+        ready.pop_back();
+        order.push_back(n);
+        for (const BalanceEdge &e : edges) {
+            if (e.from != n)
+                continue;
+            d[static_cast<size_t>(e.to)] = std::max(
+                d[static_cast<size_t>(e.to)],
+                d[static_cast<size_t>(n)] + lat[static_cast<size_t>(e.to)]);
+            if (--indeg[static_cast<size_t>(e.to)] == 0)
+                ready.push_back(e.to);
+        }
+    }
+    SOFF_ASSERT(order.size() == static_cast<size_t>(num_nodes),
+                "balanceFifos: graph has a cycle");
+    return d;
+}
+
+} // namespace
+
+std::vector<int>
+balanceFifos(int num_nodes, const std::vector<int> &node_latency,
+             const std::vector<BalanceEdge> &edges)
+{
+    SOFF_ASSERT(static_cast<size_t>(num_nodes) == node_latency.size(),
+                "latency vector size mismatch");
+    // Work with L_v + 1 (a busy unit holds L_v + 1 work-items, §IV-E).
+    std::vector<int> lat(node_latency.size());
+    for (size_t i = 0; i < lat.size(); ++i)
+        lat[i] = node_latency[i] + 1;
+
+    std::vector<long> d = asapDepths(num_nodes, lat, edges);
+
+    // Iterated optimal single-node moves. The local objective of node v
+    // is sum over in-edges of (d_v - d_u - L_v) plus sum over out-edges
+    // of (d_w - d_v - L_w): piecewise linear in d_v with slope
+    // indeg - outdeg, so the optimum is at the lower bound when
+    // indeg >= outdeg and at the upper bound otherwise.
+    bool changed = true;
+    int guard = 0;
+    while (changed && ++guard < 10000) {
+        changed = false;
+        for (int v = 0; v < num_nodes; ++v) {
+            long lb = 0;
+            long ub = -1; // -1: unconstrained above
+            int indeg = 0;
+            int outdeg = 0;
+            for (const BalanceEdge &e : edges) {
+                if (e.to == v) {
+                    ++indeg;
+                    lb = std::max(lb, d[static_cast<size_t>(e.from)] +
+                                          lat[static_cast<size_t>(v)]);
+                }
+                if (e.from == v) {
+                    ++outdeg;
+                    long limit = d[static_cast<size_t>(e.to)] -
+                                 lat[static_cast<size_t>(e.to)];
+                    ub = ub < 0 ? limit : std::min(ub, limit);
+                }
+            }
+            if (indeg == 0)
+                lb = d[static_cast<size_t>(v)]; // source stays put
+            long target;
+            if (outdeg == 0) {
+                target = lb; // the sink pulls down to its bound
+            } else if (indeg >= outdeg || ub < 0) {
+                target = lb;
+            } else {
+                target = std::max(lb, ub);
+            }
+            if (target != d[static_cast<size_t>(v)] && target >= lb &&
+                (ub < 0 || target <= ub)) {
+                d[static_cast<size_t>(v)] = target;
+                changed = true;
+            }
+        }
+    }
+
+    std::vector<int> fifo(edges.size(), 0);
+    for (size_t i = 0; i < edges.size(); ++i) {
+        long slack = d[static_cast<size_t>(edges[i].to)] -
+                     d[static_cast<size_t>(edges[i].from)] -
+                     lat[static_cast<size_t>(edges[i].to)];
+        SOFF_ASSERT(slack >= 0, "negative slack after balancing");
+        fifo[i] = static_cast<int>(slack);
+    }
+    return fifo;
+}
+
+int
+balancedDepth(int num_nodes, const std::vector<int> &node_latency,
+              const std::vector<BalanceEdge> &edges)
+{
+    std::vector<int> lat(node_latency.size());
+    for (size_t i = 0; i < lat.size(); ++i)
+        lat[i] = node_latency[i] + 1;
+    std::vector<long> d = asapDepths(num_nodes, lat, edges);
+    long best = 0;
+    for (long v : d)
+        best = std::max(best, v);
+    return static_cast<int>(best);
+}
+
+} // namespace soff::datapath

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * FIFO sizing for Case-2 stall elimination (paper §IV-C).
+ *
+ * "SOFF inserts some FIFO queues between functional units to make the
+ * sum of near-maximum latencies the same on every source-sink path in
+ * the basic pipeline. The problem of adding a minimal amount of FIFO
+ * queues is formulated and solved by integer linear programming. Each
+ * variable represents the size of the FIFO queue between a pair of
+ * functional units."
+ *
+ * The ILP is:   min Σ_e q_e
+ *               q_(u,v) = d_v − d_u − L_v ≥ 0   for every edge (u,v)
+ * where d_v is the accumulated near-maximum depth at node v. Because
+ * the constraint matrix is a network (difference) matrix, the LP
+ * relaxation is integral; we solve it by longest-path initialization
+ * followed by iterated optimal single-node moves (each node is placed
+ * at the weighted-median point of its neighbor constraints). Tests
+ * verify optimality against brute force on small graphs.
+ */
+#pragma once
+
+#include <vector>
+
+namespace soff::datapath
+{
+
+/** One directed edge of the balancing problem. */
+struct BalanceEdge
+{
+    int from = 0;
+    int to = 0;
+};
+
+/**
+ * Computes FIFO depths (slack, in work-item slots) for every edge.
+ *
+ * @param num_nodes    Node count; node 0 must be the unique source.
+ * @param node_latency L_v (+1 is applied internally: a unit holding a
+ *                     work-item contributes L_v + 1 slots, §IV-E).
+ * @param edges        DAG edges.
+ * @return Per-edge FIFO depth; all source-sink paths end up with equal
+ *         total depth and the total queue size is minimized.
+ */
+std::vector<int> balanceFifos(int num_nodes,
+                              const std::vector<int> &node_latency,
+                              const std::vector<BalanceEdge> &edges);
+
+/** Total depth of the (now balanced) pipeline: d_sink. */
+int balancedDepth(int num_nodes, const std::vector<int> &node_latency,
+                  const std::vector<BalanceEdge> &edges);
+
+} // namespace soff::datapath

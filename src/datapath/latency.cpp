@@ -1,0 +1,135 @@
+#include "datapath/latency.hpp"
+
+#include "support/error.hpp"
+
+namespace soff::datapath
+{
+
+namespace
+{
+
+int
+mathLatency(ir::MathFunc f)
+{
+    switch (f) {
+      case ir::MathFunc::Fabs:
+      case ir::MathFunc::Fmin:
+      case ir::MathFunc::Fmax:
+      case ir::MathFunc::Copysign:
+      case ir::MathFunc::SMin:
+      case ir::MathFunc::SMax:
+      case ir::MathFunc::UMin:
+      case ir::MathFunc::UMax:
+      case ir::MathFunc::SAbs:
+      case ir::MathFunc::SClamp:
+      case ir::MathFunc::UClamp:
+      case ir::MathFunc::FClamp:
+        return 1;
+      case ir::MathFunc::Floor:
+      case ir::MathFunc::Ceil:
+      case ir::MathFunc::Round:
+        return 2;
+      case ir::MathFunc::Mad:
+      case ir::MathFunc::Fma:
+        return 5;
+      case ir::MathFunc::Sqrt:
+      case ir::MathFunc::Rsqrt:
+        return 12;
+      case ir::MathFunc::Fmod:
+        return 16;
+      case ir::MathFunc::Exp:
+      case ir::MathFunc::Exp2:
+      case ir::MathFunc::Log:
+      case ir::MathFunc::Log2:
+      case ir::MathFunc::Log10:
+      case ir::MathFunc::Sin:
+      case ir::MathFunc::Cos:
+      case ir::MathFunc::Tan:
+        return 20;
+      case ir::MathFunc::Asin:
+      case ir::MathFunc::Acos:
+      case ir::MathFunc::Atan:
+      case ir::MathFunc::Atan2:
+      case ir::MathFunc::Hypot:
+        return 25;
+      case ir::MathFunc::Pow:
+        return 30;
+    }
+    return 8;
+}
+
+} // namespace
+
+int
+LatencyModel::computeLatency(const ir::Instruction &inst) const
+{
+    switch (inst.op()) {
+      // Cheap integer / select / address logic: one stage.
+      case ir::Opcode::Add: case ir::Opcode::Sub:
+      case ir::Opcode::And: case ir::Opcode::Or: case ir::Opcode::Xor:
+      case ir::Opcode::Shl: case ir::Opcode::LShr: case ir::Opcode::AShr:
+      case ir::Opcode::Neg: case ir::Opcode::Not:
+      case ir::Opcode::ICmp: case ir::Opcode::Select:
+      case ir::Opcode::PtrAdd: case ir::Opcode::LocalAddr:
+      case ir::Opcode::WorkItemInfo:
+      case ir::Opcode::Trunc: case ir::Opcode::ZExt: case ir::Opcode::SExt:
+      case ir::Opcode::Bitcast:
+      case ir::Opcode::PtrToInt: case ir::Opcode::IntToPtr:
+      case ir::Opcode::FNeg:
+        return 1;
+      // DSP-block integer multiply.
+      case ir::Opcode::Mul:
+        return 3;
+      // Iterative (but pipelined) dividers.
+      case ir::Opcode::SDiv: case ir::Opcode::UDiv:
+      case ir::Opcode::SRem: case ir::Opcode::URem:
+        return 16;
+      // Floating point.
+      case ir::Opcode::FAdd: case ir::Opcode::FSub:
+        return 3;
+      case ir::Opcode::FMul:
+        return 4;
+      case ir::Opcode::FDiv:
+        return 14;
+      case ir::Opcode::FRem:
+        return 20;
+      case ir::Opcode::FCmp:
+        return 2;
+      case ir::Opcode::FPTrunc: case ir::Opcode::FPExt:
+      case ir::Opcode::FPToSI: case ir::Opcode::FPToUI:
+      case ir::Opcode::SIToFP: case ir::Opcode::UIToFP:
+        return 2;
+      // Promoted-array register file access (wide MUX trees).
+      case ir::Opcode::ArrayExtract:
+      case ir::Opcode::ArrayInsert:
+      case ir::Opcode::ArraySplat:
+        return 2;
+      case ir::Opcode::MathCall:
+        return mathLatency(inst.mathFunc());
+      default:
+        SOFF_ASSERT(false, std::string("no fixed latency for opcode ") +
+                    ir::opcodeName(inst.op()));
+        return 1;
+    }
+}
+
+int
+LatencyModel::nearMaxLatency(const ir::Instruction &inst) const
+{
+    switch (inst.op()) {
+      case ir::Opcode::Load:
+      case ir::Opcode::Store: {
+        const ir::Value *ptr = inst.pointerOperand();
+        bool is_local = ptr != nullptr && ptr->type()->isPointer() &&
+                        ptr->type()->addrSpace() == ir::AddrSpace::Local;
+        return is_local ? localMemNearMax : globalMemNearMax;
+      }
+      case ir::Opcode::AtomicRMW:
+      case ir::Opcode::AtomicCmpXchg:
+        return atomicNearMax;
+      default:
+        return computeLatency(inst);
+    }
+}
+
+} // namespace soff::datapath

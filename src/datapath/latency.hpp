@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Functional-unit latency model (paper §IV-A).
+ *
+ * "SOFF defines a near-maximum latency L_F for each functional unit F.
+ * If F has a fixed latency, L_F simply indicates that. Otherwise, the
+ * value of L_F is properly (empirically) determined so that most of the
+ * work-items can complete the corresponding instruction in less than
+ * L_F clock cycles."
+ *
+ * The fixed latencies below model fully pipelined FPGA operator cores
+ * (DSP-based multipliers, multi-stage FP adders, etc.). The variable-
+ * latency units (global memory, atomics, local memory with bank
+ * conflicts) get the empirical near-maximum values of §VI-A ("e.g., 64
+ * for global memory load/stores").
+ */
+#pragma once
+
+#include "ir/instruction.hpp"
+
+namespace soff::datapath
+{
+
+/** Tunable latency parameters (ablation bench: near-max latency sweep). */
+struct LatencyModel
+{
+    /** Near-maximum latency of global-memory loads/stores (§VI-A). */
+    int globalMemNearMax = 64;
+    /** Near-maximum latency of local-memory accesses (bank conflicts). */
+    int localMemNearMax = 6;
+    /** Near-maximum latency of atomic operations (lock + RMW). */
+    int atomicNearMax = 80;
+
+    /** Latency of a fixed-latency compute instruction. */
+    int computeLatency(const ir::Instruction &inst) const;
+
+    /**
+     * Near-maximum latency L_F for any instruction's functional unit.
+     */
+    int nearMaxLatency(const ir::Instruction &inst) const;
+};
+
+} // namespace soff::datapath

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Datapath plans: the structural description of the synthesized circuit.
+ *
+ * The planner (paper §IV: "Datapath Generation") turns a kernel's
+ * control tree + per-block DFGs into a hierarchical plan of functional
+ * units, handshake channels, FIFO depths, and glue logic. The plan is a
+ * pure compile-time artifact consumed by two backends: the cycle-level
+ * simulator (src/sim) and the Verilog emitter (src/verilog) — mirroring
+ * the paper's flow where the compiler emits an RTL description built
+ * from SOFF IP cores.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "analysis/control_tree.hpp"
+#include "datapath/latency.hpp"
+#include "ir/eval.hpp"
+
+namespace soff::datapath
+{
+
+/**
+ * Maps a producer token layout onto a consumer layout, resolving phi
+ * values and injecting constants/arguments (the argument register,
+ * §III-B). Applied by the glue on the producing side of every
+ * inter-pipeline channel.
+ */
+struct Projection
+{
+    struct Slot
+    {
+        enum class Kind { FromInput, Constant, Argument };
+        Kind kind = Kind::FromInput;
+        int fromIndex = -1;                   ///< FromInput.
+        const ir::Constant *constant = nullptr;
+        const ir::Argument *argument = nullptr;
+    };
+    std::vector<Slot> slots;
+};
+
+/** One functional unit of a basic pipeline (paper §IV-A). */
+struct FuSpec
+{
+    enum class Kind { Source, Sink, Compute, Load, Store, Atomic };
+
+    int id = 0;
+    Kind kind = Kind::Compute;
+    const ir::Instruction *inst = nullptr; ///< Null for source/sink.
+    int latency = 0;                       ///< Near-maximum latency L_F.
+};
+
+/** A value/ordering channel between two functional units. */
+struct FuEdgeSpec
+{
+    int from = 0;
+    int to = 0;
+    const ir::Value *value = nullptr; ///< Null for ordering edges.
+    /** Extra FIFO slots from the balancing ILP (base capacity is 2). */
+    int fifoDepth = 0;
+};
+
+/** The plan of one basic pipeline (paper §IV-B). */
+struct BasicPipelinePlan
+{
+    const ir::BasicBlock *bb = nullptr;
+    std::vector<FuSpec> fus;      ///< fus[0] is the source; last is sink.
+    std::vector<FuEdgeSpec> edges;
+    std::vector<const ir::Value *> inLayout;   ///< liveIn(bb), ordered.
+    std::vector<const ir::Value *> sinkLayout; ///< liveOut + condition.
+    /** Minimum work-items this pipeline holds when it strongly stalls:
+     *  min over source-sink paths of Σ (L_F + 1)  (paper §IV-E). */
+    int lmin = 1;
+    /** Pipeline depth: max over source-sink paths of Σ (L_F + 1). */
+    int depth = 1;
+
+    int sourceFu() const { return 0; }
+    int sinkFu() const { return static_cast<int>(fus.size()) - 1; }
+};
+
+/** An output port of a node: target block and layout projection. */
+struct PortPlan
+{
+    const ir::BasicBlock *dstBlock = nullptr;
+    Projection projection; ///< producer layout -> liveIn(dstBlock).
+};
+
+/**
+ * One node of the hierarchical datapath (paper §IV-D, Fig. 5): a basic
+ * pipeline, a work-group barrier unit (§IV-F1), or a compound region
+ * with glue logic.
+ */
+struct NodePlan
+{
+    enum class Kind { BasicPipeline, Barrier, Region };
+    static constexpr size_t kEntry = static_cast<size_t>(-2);
+    static constexpr size_t kExit = static_cast<size_t>(-1);
+
+    Kind kind = Kind::Region;
+    const analysis::CTNode *ct = nullptr;
+
+    // --- BasicPipeline ---
+    std::unique_ptr<BasicPipelinePlan> pipeline;
+    /** Branch condition's index in sinkLayout; -1 for single-successor
+     *  blocks (or when the condition is a constant/argument). */
+    int condIndex = -1;
+    const ir::Value *condValue = nullptr;
+
+    // --- Barrier ---
+    std::vector<const ir::Value *> barrierLayout; ///< liveIn(bb).
+
+    // --- Both leaf kinds ---
+    std::vector<PortPlan> outPorts;
+
+    // --- Region ---
+    struct Wire
+    {
+        size_t fromChild = 0; ///< kEntry for the region input.
+        size_t fromPort = 0;
+        size_t toChild = 0;   ///< kExit for a region output.
+        size_t toPort = 0;    ///< Region out port when toChild == kExit.
+        bool isBackEdge = false;
+    };
+    std::vector<std::unique_ptr<NodePlan>> children;
+    std::vector<Wire> wires;
+    size_t entryChild = 0;
+
+    bool isLoop = false;
+    /** Max work-items admitted into the loop (§IV-E); 0 = uncapped. */
+    int nmax = 0;
+    /** FIFO inserted at the loop back edge: N_max − N_min (§IV-E). */
+    int backEdgeFifo = 0;
+    /** Single-work-group-region glues instead of loop glues (§IV-F1). */
+    bool swgr = false;
+    /** Work-group-order-preserving selects (branch-gid FIFO, §IV-F1). */
+    bool orderedSelects = false;
+
+    /** liveIn(entry block): the layout of the node's input channel. */
+    std::vector<const ir::Value *> inLayout;
+    /** Per out port: liveIn(target block). */
+    std::vector<std::vector<const ir::Value *>> outLayouts;
+
+    /** Capacity floor (work-items held at strong stall), §IV-E:
+     *  minimum over entry-exit paths of Σ lmin(B). */
+    int lmin = 1;
+    /** Maximum over entry-exit paths of Σ lmin(B) — the N_max side of
+     *  §IV-E's cycle-capacity range. */
+    int lminMax = 1;
+    /** Max accumulated L_F+1 from node entry to exit (for §V-B). */
+    int depth = 1;
+
+    size_t numOutPorts() const { return outLayouts.size(); }
+};
+
+/** Per-local-variable memory block parameters (paper §V-B). */
+struct LocalBlockPlan
+{
+    const ir::LocalVar *var = nullptr;
+    int numBanks = 1;    ///< 2^ceil(log2 #connected FUs).
+    int numSlots = 1;    ///< Concurrent work-group copies.
+    int numPorts = 1;    ///< Connected functional units.
+};
+
+/** Planner knobs (ablation benches flip these). */
+struct PlanConfig
+{
+    LatencyModel latency;
+    int maxWorkGroupSize = 256;
+    /** §IV-C FIFO balancing (ablation: Case-2 stalls when off). */
+    bool balanceFifos = true;
+    /** §IV-E: cap loops at N_max (true) or at N_min (false). */
+    bool capLoopsAtNmax = true;
+    /** §V-A: one cache per buffer (true) or one shared cache (false). */
+    bool perBufferCaches = true;
+    int cacheSizeBytes = 64 * 1024; ///< §VI-A: 64 KB per cache.
+    int cacheLineBytes = 64;
+};
+
+/** The complete plan for one kernel's reconfigurable-region circuit. */
+struct KernelPlan
+{
+    const ir::Kernel *kernel = nullptr;
+    PlanConfig config;
+    std::unique_ptr<analysis::CTNode> controlTree;
+    std::unique_ptr<NodePlan> root;
+
+    /** Cache count and which buffer arguments each cache serves. */
+    int numCaches = 0;
+    std::vector<std::vector<const ir::Argument *>> cacheBuffers;
+    /** Global-memory access instruction -> cache index. */
+    std::map<const ir::Instruction *, int> cacheOf;
+
+    std::vector<LocalBlockPlan> localBlocks;
+    /** Local-memory access instruction -> local block index. */
+    std::map<const ir::Instruction *, int> localBlockOf;
+
+    bool usesBarrier = false;
+    bool usesAtomics = false;
+    bool usesLocalMemory = false;
+
+    /** L_Datapath (§V-B) and the concurrent work-group cap derived
+     *  from it: ceil(L_Datapath / 256). */
+    int lDatapath = 1;
+    int maxConcurrentGroups = 1;
+
+    /** Total functional units (for the resource model / stats). */
+    int numFus = 0;
+};
+
+/** Builds the full datapath plan of one kernel. */
+std::unique_ptr<KernelPlan> planKernel(const ir::Kernel &kernel,
+                                       const PlanConfig &config);
+
+} // namespace soff::datapath

@@ -1,0 +1,730 @@
+/**
+ * @file
+ * The datapath planner: control tree + DFGs -> hierarchical circuit
+ * plan (paper §IV "Datapaths" and §V memory-port assignment).
+ */
+#include "datapath/plan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <functional>
+#include <numeric>
+#include <set>
+
+#include "analysis/cfg.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/pointer_analysis.hpp"
+#include "analysis/uniformity.hpp"
+#include "datapath/balance.hpp"
+#include "dfg/dfg.hpp"
+#include "support/error.hpp"
+
+namespace soff::datapath
+{
+
+namespace
+{
+
+using analysis::CTEdge;
+using analysis::CTKind;
+using analysis::CTNode;
+
+bool
+isBarrierBlock(const ir::BasicBlock *bb)
+{
+    return bb->size() > 0 && bb->inst(0)->op() == ir::Opcode::Barrier;
+}
+
+bool
+subtreeHasBarrier(const CTNode *ct)
+{
+    if (ct->isLeaf())
+        return isBarrierBlock(ct->block());
+    for (const auto &c : ct->children()) {
+        if (subtreeHasBarrier(c.get()))
+            return true;
+    }
+    return false;
+}
+
+class Planner
+{
+  public:
+    Planner(const ir::Kernel &kernel, const PlanConfig &config)
+        : kernel_(kernel), config_(config), cfg_(kernel), live_(cfg_),
+          pa_(kernel), uniform_(kernel)
+    {}
+
+    std::unique_ptr<KernelPlan>
+    run()
+    {
+        auto plan = std::make_unique<KernelPlan>();
+        plan_ = plan.get();
+        plan->kernel = &kernel_;
+        plan->config = config_;
+        plan->controlTree = analysis::buildControlTree(kernel_);
+
+        scanFeatures();
+        assignCaches();
+        planLocalBlocks();
+
+        bool needs_order = plan->usesBarrier;
+        plan->root = planNode(plan->controlTree.get(), needs_order);
+
+        plan->lDatapath = plan->root->depth;
+        plan->maxConcurrentGroups = std::max(
+            1, (plan->lDatapath + 255) / 256);
+        // The work-group cap applies when the datapath owns per-group
+        // state (local memory blocks or barrier buffering), §V-B.
+        for (LocalBlockPlan &lb : plan->localBlocks)
+            lb.numSlots = plan->maxConcurrentGroups;
+        return plan;
+    }
+
+  private:
+    void
+    scanFeatures()
+    {
+        for (const auto &bb : kernel_.blocks()) {
+            for (const auto &inst : bb->instructions()) {
+                switch (inst->op()) {
+                  case ir::Opcode::Barrier:
+                    plan_->usesBarrier = true;
+                    break;
+                  case ir::Opcode::AtomicRMW:
+                  case ir::Opcode::AtomicCmpXchg:
+                    plan_->usesAtomics = true;
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+        plan_->usesLocalMemory = kernel_.numLocalVars() > 0;
+    }
+
+    static bool
+    isGlobalAccess(const ir::Instruction &inst)
+    {
+        const ir::Value *ptr = inst.pointerOperand();
+        if (ptr == nullptr || !ptr->type()->isPointer())
+            return false;
+        ir::AddrSpace as = ptr->type()->addrSpace();
+        return as == ir::AddrSpace::Global || as == ir::AddrSpace::Constant;
+    }
+
+    static bool
+    isLocalAccess(const ir::Instruction &inst)
+    {
+        const ir::Value *ptr = inst.pointerOperand();
+        return ptr != nullptr && ptr->type()->isPointer() &&
+               ptr->type()->addrSpace() == ir::AddrSpace::Local;
+    }
+
+    /**
+     * One cache per buffer (§V-A), with buffers merged when a single
+     * access may touch several of them (or an unknown global location),
+     * so every address has exactly one home cache.
+     */
+    void
+    assignCaches()
+    {
+        std::vector<const ir::Argument *> buffers;
+        for (size_t i = 0; i < kernel_.numArguments(); ++i) {
+            if (kernel_.argument(i)->isBuffer())
+                buffers.push_back(kernel_.argument(i));
+        }
+        // Union-find over buffer indices; `any` is an extra node that
+        // represents "some unknown global location".
+        size_t n = buffers.size() + 1;
+        size_t any = buffers.size();
+        std::vector<size_t> parent(n);
+        std::iota(parent.begin(), parent.end(), 0);
+        std::function<size_t(size_t)> find = [&](size_t x) {
+            while (parent[x] != x) {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            return x;
+        };
+        auto unite = [&](size_t a, size_t b) {
+            parent[find(a)] = find(b);
+        };
+        auto bufferIndex = [&](const ir::Argument *arg) {
+            for (size_t i = 0; i < buffers.size(); ++i) {
+                if (buffers[i] == arg)
+                    return i;
+            }
+            SOFF_ASSERT(false, "unknown buffer argument");
+            return size_t{0};
+        };
+
+        std::vector<const ir::Instruction *> accesses;
+        bool any_used = false;
+        for (const auto &bb : kernel_.blocks()) {
+            for (const auto &inst : bb->instructions()) {
+                if (!inst->isMemoryAccess() || !isGlobalAccess(*inst))
+                    continue;
+                accesses.push_back(inst.get());
+                const auto &objs = pa_.pointsTo(inst->pointerOperand());
+                size_t first = SIZE_MAX;
+                bool touches_any = objs.empty();
+                for (const analysis::MemObject &o : objs) {
+                    size_t idx;
+                    if (o.kind == analysis::MemObject::Kind::Buffer) {
+                        idx = bufferIndex(o.buffer);
+                    } else {
+                        idx = any;
+                        touches_any = true;
+                    }
+                    if (first == SIZE_MAX)
+                        first = idx;
+                    else
+                        unite(first, idx);
+                }
+                if (touches_any && first != SIZE_MAX)
+                    unite(first, any);
+                else if (touches_any)
+                    any_used = true;
+            }
+        }
+        if (any_used) {
+            // An access with an empty points-to set may touch anything.
+        }
+        if (!config_.perBufferCaches) {
+            // Ablation: a single shared cache.
+            for (size_t i = 0; i + 1 < n; ++i)
+                unite(i, any);
+        }
+
+        // Number only the cache classes something actually uses (the
+        // `any` class stays unnumbered unless an indirect access or a
+        // merged buffer lands in it).
+        std::map<size_t, int> cache_of_root;
+        auto cacheIdOf = [&](size_t node) {
+            size_t r = find(node);
+            auto it = cache_of_root.find(r);
+            if (it != cache_of_root.end())
+                return it->second;
+            int id = static_cast<int>(cache_of_root.size());
+            cache_of_root[r] = id;
+            return id;
+        };
+        for (const ir::Instruction *inst : accesses) {
+            const auto &objs = pa_.pointsTo(inst->pointerOperand());
+            size_t idx = any;
+            for (const analysis::MemObject &o : objs) {
+                idx = o.kind == analysis::MemObject::Kind::Buffer
+                          ? bufferIndex(o.buffer) : any;
+                break;
+            }
+            plan_->cacheOf[inst] = cacheIdOf(idx);
+        }
+        for (size_t i = 0; i < buffers.size(); ++i)
+            cacheIdOf(i);
+        plan_->numCaches = static_cast<int>(cache_of_root.size());
+        plan_->cacheBuffers.resize(
+            static_cast<size_t>(plan_->numCaches));
+        for (size_t i = 0; i < buffers.size(); ++i) {
+            plan_->cacheBuffers[static_cast<size_t>(cacheIdOf(i))]
+                .push_back(buffers[i]);
+        }
+    }
+
+    void
+    planLocalBlocks()
+    {
+        std::map<const ir::LocalVar *, int> ports;
+        for (const auto &bb : kernel_.blocks()) {
+            for (const auto &inst : bb->instructions()) {
+                if (!inst->isMemoryAccess() || !isLocalAccess(*inst))
+                    continue;
+                const ir::LocalVar *lv = pa_.uniqueLocalVar(inst.get());
+                if (lv == nullptr) {
+                    throw CompileError(
+                        "kernel '" + kernel_.name() + "': a __local "
+                        "access may touch several local variables; "
+                        "SOFF requires one local memory block per "
+                        "access (paper §V-B)");
+                }
+                ++ports[lv];
+                // Block index == LocalVar index.
+                plan_->localBlockOf[inst.get()] = lv->index();
+            }
+        }
+        for (size_t i = 0; i < kernel_.numLocalVars(); ++i) {
+            const ir::LocalVar *lv = kernel_.localVar(i);
+            LocalBlockPlan lb;
+            lb.var = lv;
+            lb.numPorts = std::max(1, ports.count(lv) ? ports[lv] : 0);
+            int banks = 1;
+            while (banks < lb.numPorts)
+                banks *= 2;
+            lb.numBanks = banks; // 2^ceil(log2 N), §V-B
+            lb.numSlots = 1;     // finalized in run()
+            plan_->localBlocks.push_back(lb);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Layouts and projections
+    // ------------------------------------------------------------------
+    std::vector<const ir::Value *>
+    layoutOf(const ir::BasicBlock *bb)
+    {
+        return live_.orderedLiveIn(bb);
+    }
+
+    static int
+    indexIn(const std::vector<const ir::Value *> &layout,
+            const ir::Value *v)
+    {
+        for (size_t i = 0; i < layout.size(); ++i) {
+            if (layout[i] == v)
+                return static_cast<int>(i);
+        }
+        return -1;
+    }
+
+    Projection::Slot
+    slotFor(const std::vector<const ir::Value *> &producer_layout,
+            const ir::Value *v)
+    {
+        Projection::Slot slot;
+        if (v->isConstant()) {
+            slot.kind = Projection::Slot::Kind::Constant;
+            slot.constant = static_cast<const ir::Constant *>(v);
+            return slot;
+        }
+        if (v->isArgument()) {
+            slot.kind = Projection::Slot::Kind::Argument;
+            slot.argument = static_cast<const ir::Argument *>(v);
+            return slot;
+        }
+        slot.kind = Projection::Slot::Kind::FromInput;
+        slot.fromIndex = indexIn(producer_layout, v);
+        SOFF_ASSERT(slot.fromIndex >= 0,
+                    "projection source value not in producer layout");
+        return slot;
+    }
+
+    /** Projection for the CFG edge src -> dst over producer_layout. */
+    Projection
+    makeProjection(const std::vector<const ir::Value *> &producer_layout,
+                   const ir::BasicBlock *src, const ir::BasicBlock *dst)
+    {
+        Projection proj;
+        for (const ir::Value *v : layoutOf(dst)) {
+            const ir::Value *resolved = v;
+            if (v->isInstruction()) {
+                const auto *inst = static_cast<const ir::Instruction *>(v);
+                if (inst->op() == ir::Opcode::Phi &&
+                    inst->parent() == dst) {
+                    // Resolve the phi along this edge.
+                    resolved = nullptr;
+                    for (size_t k = 0; k < inst->numOperands(); ++k) {
+                        if (inst->phiBlocks()[k] == src) {
+                            resolved = inst->operand(k);
+                            break;
+                        }
+                    }
+                    SOFF_ASSERT(resolved != nullptr,
+                                "phi lacks incoming for edge");
+                }
+            }
+            proj.slots.push_back(slotFor(producer_layout, resolved));
+        }
+        return proj;
+    }
+
+    // ------------------------------------------------------------------
+    // Leaf planning
+    // ------------------------------------------------------------------
+    std::unique_ptr<NodePlan>
+    planLeaf(const CTNode *ct)
+    {
+        const ir::BasicBlock *bb = ct->block();
+        auto node = std::make_unique<NodePlan>();
+        node->ct = ct;
+        node->inLayout = layoutOf(bb);
+
+        const ir::Instruction *term = bb->terminator();
+        if (isBarrierBlock(bb)) {
+            node->kind = NodePlan::Kind::Barrier;
+            node->barrierLayout = node->inLayout;
+            node->lmin = 1;
+            node->lminMax = 1;
+            node->depth = 2;
+            // Out ports: project liveIn(bb) -> liveIn(succ).
+            for (size_t p = 0; p < term->numSuccs(); ++p) {
+                PortPlan port;
+                port.dstBlock = term->succ(p);
+                port.projection =
+                    makeProjection(node->inLayout, bb, port.dstBlock);
+                node->outPorts.push_back(std::move(port));
+                node->outLayouts.push_back(layoutOf(term->succ(p)));
+            }
+            return node;
+        }
+
+        node->kind = NodePlan::Kind::BasicPipeline;
+        auto bp = std::make_unique<BasicPipelinePlan>();
+        bp->bb = bb;
+        bp->inLayout = node->inLayout;
+
+        // Sink layout: live-outs plus the branch condition.
+        bp->sinkLayout = live_.orderedLiveOut(bb);
+        if (term->op() == ir::Opcode::CondBr) {
+            node->condValue = term->operand(0);
+            if (node->condValue->isInstruction() &&
+                indexIn(bp->sinkLayout, node->condValue) < 0) {
+                bp->sinkLayout.push_back(node->condValue);
+            }
+            node->condIndex = indexIn(bp->sinkLayout, node->condValue);
+        }
+
+        dfg::Dfg graph(bb, bp->inLayout, bp->sinkLayout, pa_);
+
+        // Functional units, one per DFG node.
+        std::vector<int> latencies;
+        for (const dfg::DfgNode &dn : graph.nodes()) {
+            FuSpec fu;
+            fu.id = dn.id;
+            switch (dn.kind) {
+              case dfg::DfgNode::Kind::Source:
+                fu.kind = FuSpec::Kind::Source;
+                fu.latency = 0;
+                break;
+              case dfg::DfgNode::Kind::Sink:
+                fu.kind = FuSpec::Kind::Sink;
+                fu.latency = 0;
+                break;
+              case dfg::DfgNode::Kind::Instruction: {
+                fu.inst = dn.inst;
+                fu.latency = config_.latency.nearMaxLatency(*dn.inst);
+                if (dn.inst->isAtomic())
+                    fu.kind = FuSpec::Kind::Atomic;
+                else if (dn.inst->op() == ir::Opcode::Load)
+                    fu.kind = FuSpec::Kind::Load;
+                else if (dn.inst->op() == ir::Opcode::Store)
+                    fu.kind = FuSpec::Kind::Store;
+                else
+                    fu.kind = FuSpec::Kind::Compute;
+                break;
+              }
+            }
+            latencies.push_back(fu.latency);
+            bp->fus.push_back(fu);
+        }
+        plan_->numFus += static_cast<int>(bp->fus.size());
+
+        // Edges with balancing FIFOs (§IV-C).
+        std::vector<BalanceEdge> bedges;
+        for (const dfg::DfgEdge &e : graph.edges())
+            bedges.push_back({e.from, e.to});
+        std::vector<int> depths(bedges.size(), 0);
+        if (config_.balanceFifos) {
+            depths = balanceFifos(static_cast<int>(graph.nodes().size()),
+                                  latencies, bedges);
+        }
+        for (size_t i = 0; i < graph.edges().size(); ++i) {
+            const dfg::DfgEdge &e = graph.edges()[i];
+            bp->edges.push_back({e.from, e.to, e.value, depths[i]});
+        }
+
+        // lmin / depth: min/max source-sink path of Σ (L_F + 1). With
+        // §IV-C balancing, every source-sink path carries the same
+        // total near-maximum latency (FIFO slack fills the gap), so
+        // the pipeline's strong-stall capacity equals its full depth —
+        // this is what lets N_max admit enough work-items to keep a
+        // loop's long-latency units busy (§IV-E).
+        computePathStats(graph, latencies, &bp->lmin, &bp->depth);
+        if (config_.balanceFifos)
+            bp->lmin = bp->depth;
+        node->lmin = bp->lmin;
+        node->lminMax = bp->lmin;
+        node->depth = bp->depth;
+
+        // Out ports.
+        for (size_t p = 0; p < term->numSuccs(); ++p) {
+            PortPlan port;
+            port.dstBlock = term->succ(p);
+            port.projection =
+                makeProjection(bp->sinkLayout, bb, port.dstBlock);
+            node->outPorts.push_back(std::move(port));
+            node->outLayouts.push_back(layoutOf(term->succ(p)));
+        }
+        node->pipeline = std::move(bp);
+        return node;
+    }
+
+    void
+    computePathStats(const dfg::Dfg &graph,
+                     const std::vector<int> &latencies, int *lmin,
+                     int *depth)
+    {
+        auto order = graph.topoOrder();
+        std::map<int, int> min_to;
+        std::map<int, int> max_to;
+        min_to[graph.sourceId()] = latencies[0] + 1;
+        max_to[graph.sourceId()] = latencies[0] + 1;
+        for (int n : order) {
+            if (!min_to.count(n))
+                continue;
+            for (const dfg::DfgEdge *e : graph.outEdges(n)) {
+                int w = latencies[static_cast<size_t>(e->to)] + 1;
+                int mn = min_to[n] + w;
+                int mx = max_to[n] + w;
+                if (!min_to.count(e->to) || mn < min_to[e->to])
+                    min_to[e->to] = mn;
+                if (!max_to.count(e->to) || mx > max_to[e->to])
+                    max_to[e->to] = mx;
+            }
+        }
+        *lmin = std::max(1, min_to.count(graph.sinkId())
+                                ? min_to[graph.sinkId()] : 1);
+        *depth = std::max(1, max_to.count(graph.sinkId())
+                                 ? max_to[graph.sinkId()] : 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Region planning
+    // ------------------------------------------------------------------
+    std::unique_ptr<NodePlan>
+    planNode(const CTNode *ct, bool needs_order)
+    {
+        if (ct->isLeaf())
+            return planLeaf(ct);
+
+        auto node = std::make_unique<NodePlan>();
+        node->ct = ct;
+        node->kind = NodePlan::Kind::Region;
+        node->entryChild = ct->entryChild();
+        node->inLayout = layoutOf(ct->entryBlock());
+
+        bool is_loop = ct->kind() == CTKind::SelfLoop ||
+                       ct->kind() == CTKind::WhileLoop ||
+                       ct->kind() == CTKind::NaturalLoop;
+        node->isLoop = is_loop;
+        bool barrier_inside = subtreeHasBarrier(ct);
+
+        // Work-group order strategy (§IV-F1).
+        bool children_order = needs_order;
+        if (needs_order) {
+            switch (ct->kind()) {
+              case CTKind::IfThen:
+              case CTKind::IfThenElse:
+                node->orderedSelects = true;
+                break;
+              case CTKind::SelfLoop:
+              case CTKind::WhileLoop: {
+                if (!loopTripCountUniform(ct) || barrier_inside) {
+                    node->swgr = true;
+                    children_order = false; // SWGR covers descendants
+                }
+                break;
+              }
+              case CTKind::NaturalLoop:
+              case CTKind::ProperInterval:
+                node->swgr = true;
+                children_order = false;
+                break;
+              case CTKind::Sequence:
+                break;
+              default:
+                break;
+            }
+        } else if (is_loop && barrier_inside) {
+            node->swgr = true;
+        }
+
+        for (const auto &child : ct->children())
+            node->children.push_back(planNode(child.get(),
+                                              children_order));
+
+        // Wires.
+        node->wires.push_back({NodePlan::kEntry, 0, ct->entryChild(), 0,
+                               false});
+        for (const CTEdge &e : ct->edges()) {
+            node->wires.push_back({e.fromChild, e.fromPort, e.toChild, 0,
+                                   e.isBackEdge});
+        }
+        size_t num_ports = ct->numOutPorts();
+        node->outLayouts.resize(num_ports);
+        for (const CTEdge &e : ct->exitEdges()) {
+            node->wires.push_back({e.fromChild, e.fromPort,
+                                   NodePlan::kExit, e.regionPort, false});
+            node->outLayouts[e.regionPort] = layoutOf(e.dstBlock);
+        }
+
+        computeRegionStats(node.get());
+
+        if (is_loop) {
+            computeLoopCaps(node.get());
+            if (node->swgr) {
+                node->backEdgeFifo = std::max(
+                    node->backEdgeFifo, config_.maxWorkGroupSize);
+                node->nmax = 0; // group-at-a-time gating instead
+            }
+        } else if (node->swgr) {
+            node->nmax = 0;
+        }
+        return node;
+    }
+
+    bool
+    loopTripCountUniform(const CTNode *ct)
+    {
+        // Find the exit condition: the terminator of the exit edge's
+        // source block.
+        for (const CTEdge &e : ct->exitEdges()) {
+            if (e.srcBlock == nullptr)
+                return false;
+            const ir::Instruction *term = e.srcBlock->terminator();
+            if (term->op() != ir::Opcode::CondBr)
+                return false;
+            if (!uniform_.uniformTripCount(ct->entryBlock(),
+                                           term->operand(0))) {
+                return false;
+            }
+        }
+        return !ct->exitEdges().empty();
+    }
+
+    /** DAG min/max path sums of child lmin/depth from entry to exits. */
+    void
+    computeRegionStats(NodePlan *node)
+    {
+        size_t n = node->children.size();
+        std::vector<int> min_to(n, -1);
+        std::vector<int> max_to(n, -1);
+        std::vector<int> lmax_to(n, -1);
+        min_to[node->entryChild] = node->children[node->entryChild]->lmin;
+        max_to[node->entryChild] =
+            node->children[node->entryChild]->depth;
+        lmax_to[node->entryChild] =
+            node->children[node->entryChild]->lminMax;
+        // Relax in rounds (children DAG is tiny).
+        for (size_t round = 0; round < n + 1; ++round) {
+            for (const NodePlan::Wire &w : node->wires) {
+                if (w.isBackEdge || w.fromChild == NodePlan::kEntry ||
+                    w.toChild == NodePlan::kExit) {
+                    continue;
+                }
+                if (min_to[w.fromChild] < 0)
+                    continue;
+                int mn = min_to[w.fromChild] +
+                         node->children[w.toChild]->lmin;
+                int mx = max_to[w.fromChild] +
+                         node->children[w.toChild]->depth;
+                int lx = lmax_to[w.fromChild] +
+                         node->children[w.toChild]->lminMax;
+                if (min_to[w.toChild] < 0 || mn < min_to[w.toChild])
+                    min_to[w.toChild] = mn;
+                if (mx > max_to[w.toChild])
+                    max_to[w.toChild] = mx;
+                if (lx > lmax_to[w.toChild])
+                    lmax_to[w.toChild] = lx;
+            }
+        }
+        int lmin = -1;
+        int lmax = -1;
+        int depth = 1;
+        for (const NodePlan::Wire &w : node->wires) {
+            if (w.toChild != NodePlan::kExit ||
+                w.fromChild == NodePlan::kEntry) {
+                continue;
+            }
+            if (min_to[w.fromChild] < 0)
+                continue;
+            if (lmin < 0 || min_to[w.fromChild] < lmin)
+                lmin = min_to[w.fromChild];
+            lmax = std::max(lmax, lmax_to[w.fromChild]);
+            depth = std::max(depth, max_to[w.fromChild]);
+        }
+        if (lmin < 0) {
+            // No exits (root region): use the entry-reachable extremes.
+            for (size_t i = 0; i < n; ++i) {
+                if (min_to[i] >= 0) {
+                    lmin = lmin < 0 ? min_to[i] : std::min(lmin,
+                                                           min_to[i]);
+                    lmax = std::max(lmax, lmax_to[i]);
+                    depth = std::max(depth, max_to[i]);
+                }
+            }
+        }
+        node->lmin = std::max(1, lmin);
+        node->lminMax = std::max(node->lmin, lmax);
+        node->depth = std::max(node->lmin, depth);
+    }
+
+    /**
+     * §IV-E: N_max / N_min over the loop's cycles. Every cycle consists
+     * of a DAG path from the header to a latch plus the back edge; the
+     * capacity of a cycle is Σ lmin(B) − 1 over its members.
+     */
+    void
+    computeLoopCaps(NodePlan *node)
+    {
+        size_t n = node->children.size();
+        std::vector<int> min_to(n, -1);
+        std::vector<int> max_to(n, -1);
+        min_to[node->entryChild] = node->children[node->entryChild]->lmin;
+        max_to[node->entryChild] =
+            node->children[node->entryChild]->lminMax;
+        for (size_t round = 0; round < n + 1; ++round) {
+            for (const NodePlan::Wire &w : node->wires) {
+                if (w.isBackEdge || w.fromChild == NodePlan::kEntry ||
+                    w.toChild == NodePlan::kExit) {
+                    continue;
+                }
+                if (min_to[w.fromChild] < 0)
+                    continue;
+                int mn = min_to[w.fromChild] +
+                         node->children[w.toChild]->lmin;
+                int mx = max_to[w.fromChild] +
+                         node->children[w.toChild]->lminMax;
+                if (min_to[w.toChild] < 0 || mn < min_to[w.toChild])
+                    min_to[w.toChild] = mn;
+                if (mx > max_to[w.toChild])
+                    max_to[w.toChild] = mx;
+            }
+        }
+        int nmax = -1;
+        int nmin = -1;
+        for (const NodePlan::Wire &w : node->wires) {
+            if (!w.isBackEdge || min_to[w.fromChild] < 0)
+                continue;
+            int lo = min_to[w.fromChild] - 1;
+            int hi = max_to[w.fromChild] - 1;
+            nmin = nmin < 0 ? lo : std::min(nmin, lo);
+            nmax = nmax < 0 ? hi : std::max(nmax, hi);
+        }
+        if (nmax < 0) {
+            nmax = std::max(1, node->lmin - 1);
+            nmin = nmax;
+        }
+        nmax = std::max(1, nmax);
+        nmin = std::max(1, nmin);
+        node->nmax = config_.capLoopsAtNmax ? nmax : nmin;
+        node->backEdgeFifo = std::max(1, nmax - nmin);
+    }
+
+    const ir::Kernel &kernel_;
+    PlanConfig config_;
+    analysis::CfgInfo cfg_;
+    analysis::Liveness live_;
+    analysis::PointerAnalysis pa_;
+    analysis::Uniformity uniform_;
+    KernelPlan *plan_ = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<KernelPlan>
+planKernel(const ir::Kernel &kernel, const PlanConfig &config)
+{
+    return Planner(kernel, config).run();
+}
+
+} // namespace soff::datapath

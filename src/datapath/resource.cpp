@@ -1,0 +1,301 @@
+#include "datapath/resource.hpp"
+
+#include <algorithm>
+
+namespace soff::datapath
+{
+
+Resources
+FpgaSpec::usable() const
+{
+    Resources u = capacity;
+    u.luts = static_cast<long>(u.luts * (1.0 - staticRegionFraction));
+    u.dsps = static_cast<long>(u.dsps * (1.0 - staticRegionFraction));
+    u.bramBits =
+        static_cast<long>(u.bramBits * (1.0 - staticRegionFraction));
+    return u;
+}
+
+FpgaSpec
+FpgaSpec::arria10()
+{
+    FpgaSpec spec;
+    spec.name = "Intel Arria 10 GX 10AX115N2F40E2LG";
+    spec.capacity.luts = 1150000;              // 1,150K logic elements
+    spec.capacity.dsps = 3036;                 // DSP blocks
+    spec.capacity.bramBits = 65700000L;        // 65.7 Mb embedded memory
+    spec.fmaxMhz = 240.0;
+    return spec;
+}
+
+FpgaSpec
+FpgaSpec::vu9p()
+{
+    FpgaSpec spec;
+    spec.name = "Xilinx XCVU9P-L2FSGD2104E";
+    spec.capacity.luts = 2586000;              // 2,586K logic cells
+    spec.capacity.dsps = 6840;                 // DSP slices
+    spec.capacity.bramBits = 345900000L;       // 345.9 Mb
+    spec.fmaxMhz = 250.0;
+    return spec;
+}
+
+namespace
+{
+
+/** Rough per-FU cost table (64-bit datapaths on modern FPGAs). */
+Resources
+fuCost(const FuSpec &fu)
+{
+    Resources r;
+    switch (fu.kind) {
+      case FuSpec::Kind::Source:
+      case FuSpec::Kind::Sink:
+        r.luts = 150;
+        return r;
+      case FuSpec::Kind::Load:
+      case FuSpec::Kind::Store:
+        r.luts = 2200; // request/response queues + address path
+        r.bramBits = 64 * (fu.latency + 1) * 2;
+        return r;
+      case FuSpec::Kind::Atomic:
+        r.luts = 3500; // lock handshake + RMW path
+        r.bramBits = 64 * (fu.latency + 1) * 2;
+        return r;
+      case FuSpec::Kind::Compute:
+        break;
+    }
+    const ir::Instruction *inst = fu.inst;
+    int bits = inst->type()->isVoid() ? 32
+               : static_cast<int>(std::max(inst->type()->sizeBytes() * 8,
+                                           uint64_t{8}));
+    switch (inst->op()) {
+      case ir::Opcode::Mul:
+        r.luts = 120;
+        r.dsps = bits > 32 ? 4 : 1;
+        break;
+      case ir::Opcode::SDiv: case ir::Opcode::UDiv:
+      case ir::Opcode::SRem: case ir::Opcode::URem:
+        r.luts = 28 * bits; // iterative divider array
+        break;
+      case ir::Opcode::FAdd: case ir::Opcode::FSub:
+        r.luts = 700;
+        r.dsps = bits > 32 ? 3 : 1;
+        break;
+      case ir::Opcode::FMul:
+        r.luts = 300;
+        r.dsps = bits > 32 ? 4 : 1;
+        break;
+      case ir::Opcode::FDiv:
+        r.luts = 2500;
+        r.dsps = bits > 32 ? 8 : 4;
+        break;
+      case ir::Opcode::FRem:
+        r.luts = 4500;
+        r.dsps = 8;
+        break;
+      case ir::Opcode::MathCall:
+        switch (inst->mathFunc()) {
+          case ir::MathFunc::Fmin: case ir::MathFunc::Fmax:
+          case ir::MathFunc::Fabs: case ir::MathFunc::SMin:
+          case ir::MathFunc::SMax: case ir::MathFunc::UMin:
+          case ir::MathFunc::UMax: case ir::MathFunc::SAbs:
+          case ir::MathFunc::SClamp: case ir::MathFunc::UClamp:
+          case ir::MathFunc::FClamp:
+            r.luts = 2 * bits;
+            break;
+          case ir::MathFunc::Sqrt: case ir::MathFunc::Rsqrt:
+            r.luts = 2000;
+            r.dsps = 4;
+            break;
+          case ir::MathFunc::Mad: case ir::MathFunc::Fma:
+            r.luts = 800;
+            r.dsps = bits > 32 ? 6 : 2;
+            break;
+          default: // transcendental cores
+            r.luts = 4000;
+            r.dsps = 10;
+            break;
+        }
+        break;
+      case ir::Opcode::ArrayExtract:
+      case ir::Opcode::ArrayInsert:
+      case ir::Opcode::ArraySplat: {
+        // A per-work-item array register file: wide MUX trees plus
+        // pipeline registers for the whole array value.
+        uint64_t arr_bits = 0;
+        if (inst->type()->isArray())
+            arr_bits = inst->type()->sizeBytes() * 8;
+        else if (inst->operand(0)->type()->isArray())
+            arr_bits = inst->operand(0)->type()->sizeBytes() * 8;
+        r.luts = 200 + static_cast<long>(arr_bits / 2);
+        break;
+      }
+      default:
+        r.luts = 2 * bits + 40; // adders, logic, compares, casts
+        break;
+    }
+    return r;
+}
+
+/** Channel/FIFO cost: registers (small) or BRAM (deep). */
+Resources
+edgeCost(const FuEdgeSpec &edge)
+{
+    Resources r;
+    int width = 64 + 32; // value + token header
+    int depth = 2 + edge.fifoDepth;
+    if (depth <= 4)
+        r.luts = width * depth / 8;
+    else
+        r.bramBits = static_cast<long>(width) * depth;
+    return r;
+}
+
+Resources
+nodeCost(const NodePlan &node, const KernelPlan &plan)
+{
+    Resources r;
+    switch (node.kind) {
+      case NodePlan::Kind::BasicPipeline: {
+        for (const FuSpec &fu : node.pipeline->fus)
+            r += fuCost(fu);
+        for (const FuEdgeSpec &e : node.pipeline->edges)
+            r += edgeCost(e);
+        break;
+      }
+      case NodePlan::Kind::Barrier: {
+        // Live-variable FIFO sized for concurrent work-groups.
+        long width = 64 * std::max<size_t>(node.barrierLayout.size(), 1);
+        long depth = plan.config.maxWorkGroupSize *
+                     (plan.maxConcurrentGroups + 1);
+        r.bramBits = width * depth;
+        r.luts = 800;
+        break;
+      }
+      case NodePlan::Kind::Region: {
+        for (const auto &child : node.children)
+            r += nodeCost(*child, plan);
+        // Glue logic: per wire a channel; selects/branches ~ LUTs.
+        long live_width = 64 *
+            std::max<size_t>(node.inLayout.size(), 1) + 32;
+        for (const NodePlan::Wire &w : node.wires) {
+            long depth = 2;
+            if (w.isBackEdge)
+                depth += node.backEdgeFifo;
+            if (depth <= 4)
+                r.luts += live_width * depth / 8;
+            else
+                r.bramBits += live_width * depth;
+            r.luts += 120; // glue control
+        }
+        if (node.isLoop || node.swgr)
+            r.luts += 300; // entrance/exit counters
+        if (node.orderedSelects)
+            r.bramBits += 16 * 64; // work-group id FIFO
+        break;
+      }
+    }
+    return r;
+}
+
+} // namespace
+
+Resources
+estimateInstance(const KernelPlan &plan)
+{
+    Resources r = nodeCost(*plan.root, plan);
+    // Memory subsystem: per-datapath caches (§V-A) ...
+    for (int c = 0; c < plan.numCaches; ++c) {
+        Resources cache;
+        cache.bramBits = static_cast<long>(plan.config.cacheSizeBytes) * 8;
+        cache.bramBits += (plan.config.cacheSizeBytes /
+                           plan.config.cacheLineBytes) * 32; // tags
+        cache.luts = 4000;
+        r += cache;
+    }
+    // ... and local memory blocks (§V-B).
+    for (const LocalBlockPlan &lb : plan.localBlocks) {
+        Resources block;
+        block.bramBits = static_cast<long>(lb.var->sizeBytes()) * 8 *
+                         std::max(1, lb.numSlots);
+        block.luts = 500 + 300 * lb.numBanks;
+        r += block;
+    }
+    return r;
+}
+
+Resources
+estimateShared(const KernelPlan &plan)
+{
+    Resources r;
+    r.luts = 5000; // dispatcher, work-item counter, registers
+    (void)plan;
+    return r;
+}
+
+int
+maxInstances(const KernelPlan &plan, const FpgaSpec &fpga)
+{
+    Resources usable = fpga.usable();
+    Resources shared = estimateShared(plan);
+    Resources per = estimateInstance(plan);
+    int n = 0;
+    // Mirrors the paper's flow: try increasing instance counts and keep
+    // the largest that fits (capped to keep simulation tractable).
+    while (n < 64) {
+        Resources total = shared;
+        total += per.scaled(n + 1);
+        if (!total.fitsIn(usable))
+            break;
+        ++n;
+    }
+    return n;
+}
+
+std::vector<int>
+partitionInstances(const std::vector<const KernelPlan *> &plans,
+                   const FpgaSpec &fpga)
+{
+    std::vector<int> counts(plans.size(), 0);
+    Resources usable = fpga.usable();
+    Resources mandatory;
+    for (const KernelPlan *plan : plans) {
+        mandatory += estimateShared(*plan);
+        mandatory += estimateInstance(*plan);
+    }
+    if (!mandatory.fitsIn(usable))
+        return counts; // not even one instance of each kernel fits
+    std::fill(counts.begin(), counts.end(), 1);
+    // Round-robin growth until nothing more fits.
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        for (size_t i = 0; i < plans.size(); ++i) {
+            if (counts[i] >= 64)
+                continue;
+            Resources total;
+            for (size_t j = 0; j < plans.size(); ++j) {
+                total += estimateShared(*plans[j]);
+                total += estimateInstance(*plans[j])
+                             .scaled(counts[j] + (j == i ? 1 : 0));
+            }
+            if (total.fitsIn(usable)) {
+                ++counts[i];
+                grew = true;
+            }
+        }
+    }
+    return counts;
+}
+
+double
+estimateFmaxMhz(const FpgaSpec &fpga, const Resources &used)
+{
+    double lut_util = static_cast<double>(used.luts) /
+                      static_cast<double>(fpga.capacity.luts);
+    double derate = 1.0 - 0.25 * std::min(1.0, std::max(0.0, lut_util));
+    return fpga.fmaxMhz * derate;
+}
+
+} // namespace soff::datapath

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * FPGA resource model (paper §III-C instance-count selection, Table I).
+ *
+ * The original SOFF discovers the largest feasible number of datapath
+ * copies by synthesizing several RTL variants and keeping the biggest
+ * one that fits. Without a logic synthesis tool we estimate per-FU
+ * LUT/DSP/BRAM costs and divide into the device capacity; the estimate
+ * is deliberately coarse but monotone, which is all the selection loop
+ * needs (DESIGN.md, hardware substitution table).
+ */
+#pragma once
+
+#include <string>
+
+#include "datapath/plan.hpp"
+
+namespace soff::datapath
+{
+
+/** Aggregate FPGA resources. */
+struct Resources
+{
+    long luts = 0;
+    long dsps = 0;
+    long bramBits = 0;
+
+    Resources &
+    operator+=(const Resources &o)
+    {
+        luts += o.luts;
+        dsps += o.dsps;
+        bramBits += o.bramBits;
+        return *this;
+    }
+    Resources
+    scaled(int n) const
+    {
+        return {luts * n, dsps * n, bramBits * n};
+    }
+    bool
+    fitsIn(const Resources &cap) const
+    {
+        return luts <= cap.luts && dsps <= cap.dsps &&
+               bramBits <= cap.bramBits;
+    }
+};
+
+/** A target FPGA device (paper Table I). */
+struct FpgaSpec
+{
+    std::string name;
+    Resources capacity;
+    /** Fraction reserved for the static region (PCIe/DMA/controller). */
+    double staticRegionFraction = 0.15;
+    double fmaxMhz = 240.0;
+
+    Resources usable() const;
+
+    /** Intel Arria 10 GX 10AX115N2F40E2LG (System A). */
+    static FpgaSpec arria10();
+    /** Xilinx XCVU9P (System B). */
+    static FpgaSpec vu9p();
+};
+
+/** Estimated cost of one datapath instance + its memory subsystem. */
+Resources estimateInstance(const KernelPlan &plan);
+
+/** Cost of the per-kernel shared logic (dispatcher, counter, regs). */
+Resources estimateShared(const KernelPlan &plan);
+
+/**
+ * The largest number of datapath copies of this kernel that fits the
+ * device (0 = even one instance does not fit -> "IR" in Table II).
+ * Mirrors the paper's generate-and-test loop over instance counts.
+ */
+int maxInstances(const KernelPlan &plan, const FpgaSpec &fpga);
+
+/**
+ * Instance count when several kernels must share the reconfigurable
+ * region (paper §III-B: one circuit per kernel resident at once);
+ * returns per-kernel instance counts, or all zeros if the combined
+ * mandatory logic does not fit.
+ */
+std::vector<int> partitionInstances(
+    const std::vector<const KernelPlan *> &plans, const FpgaSpec &fpga);
+
+/**
+ * Estimated achievable clock frequency for a given utilization level:
+ * heavily utilized devices close timing at lower fmax.
+ */
+double estimateFmaxMhz(const FpgaSpec &fpga, const Resources &used);
+
+} // namespace soff::datapath

@@ -1,0 +1,190 @@
+#include "dfg/dfg.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace soff::dfg
+{
+
+Dfg::Dfg(const ir::BasicBlock *bb,
+         const std::vector<const ir::Value *> &live_in,
+         const std::vector<const ir::Value *> &sink_values,
+         const analysis::PointerAnalysis &pa)
+    : bb_(bb)
+{
+    nodes_.push_back({DfgNode::Kind::Source, nullptr, 0});
+    sourceId_ = 0;
+
+    std::map<const ir::Value *, int> def_node;
+    std::set<const ir::Value *> live_in_set(live_in.begin(),
+                                            live_in.end());
+
+    // One node per executable instruction.
+    for (const auto &inst : bb->instructions()) {
+        if (inst->op() == ir::Opcode::Phi || inst->isTerminator() ||
+            inst->op() == ir::Opcode::Barrier) {
+            continue;
+        }
+        int id = static_cast<int>(nodes_.size());
+        nodes_.push_back({DfgNode::Kind::Instruction, inst.get(), id});
+        def_node[inst.get()] = id;
+    }
+    sinkId_ = static_cast<int>(nodes_.size());
+    nodes_.push_back({DfgNode::Kind::Sink, nullptr, sinkId_});
+
+    // True dependences.
+    std::vector<int> mem_nodes;
+    for (const DfgNode &node : nodes_) {
+        if (node.kind != DfgNode::Kind::Instruction)
+            continue;
+        bool has_value_input = false;
+        for (const ir::Value *op : node.inst->operands()) {
+            auto it = def_node.find(op);
+            if (it != def_node.end()) {
+                addEdge(it->second, node.id, op);
+                has_value_input = true;
+            } else if (live_in_set.count(op)) {
+                addEdge(sourceId_, node.id, op);
+                has_value_input = true;
+            }
+            // Constants and kernel arguments are immediate operands of
+            // the functional unit (the argument register, §III-B).
+        }
+        if (!has_value_input) {
+            // Trigger edge: the unit still fires once per work-item.
+            addEdge(sourceId_, node.id, nullptr);
+        }
+        if (node.inst->isMemoryAccess())
+            mem_nodes.push_back(node.id);
+    }
+
+    // Memory ordering: anti (load->store), output (store->store), and
+    // conservative store->load edges between may-aliasing accesses, in
+    // program order.
+    for (size_t i = 0; i < mem_nodes.size(); ++i) {
+        for (size_t j = i + 1; j < mem_nodes.size(); ++j) {
+            const ir::Instruction *a = nodes_[mem_nodes[i]].inst;
+            const ir::Instruction *b = nodes_[mem_nodes[j]].inst;
+            if (!a->isMemoryWrite() && !b->isMemoryWrite())
+                continue;
+            if (pa.mayAlias(a, b))
+                addEdge(mem_nodes[i], mem_nodes[j], nullptr);
+        }
+    }
+
+    // Sink edges: every requested sink value plus memory completion.
+    std::set<int> to_sink;
+    for (const ir::Value *v : sink_values) {
+        auto it = def_node.find(v);
+        if (it != def_node.end()) {
+            addEdge(it->second, sinkId_, v);
+            to_sink.insert(it->second);
+        } else if (live_in_set.count(v)) {
+            addEdge(sourceId_, sinkId_, v); // pass-through live value
+        }
+        // Constants/arguments are materialized at the consumer.
+    }
+    for (int m : mem_nodes) {
+        // "Every memory access is connected to the sink node to ensure
+        // its completion, unless it has a subsequent data-dependent
+        // node" — a completion edge also pins program order at exits.
+        bool has_consumer = false;
+        for (const DfgEdge &e : edges_) {
+            if (e.from == m && e.to != sinkId_) {
+                has_consumer = true;
+                break;
+            }
+        }
+        if (!has_consumer && !to_sink.count(m))
+            addEdge(m, sinkId_, nullptr);
+    }
+    // Nodes with no consumers at all still need their completion
+    // observed, or their pipeline would fill silently.
+    for (const DfgNode &node : nodes_) {
+        if (node.kind != DfgNode::Kind::Instruction)
+            continue;
+        bool has_consumer = false;
+        for (const DfgEdge &e : edges_) {
+            if (e.from == node.id) {
+                has_consumer = true;
+                break;
+            }
+        }
+        if (!has_consumer)
+            addEdge(node.id, sinkId_, nullptr);
+    }
+    // A block with no instructions: still forward work-items.
+    bool sink_has_input = false;
+    for (const DfgEdge &e : edges_) {
+        if (e.to == sinkId_) {
+            sink_has_input = true;
+            break;
+        }
+    }
+    if (!sink_has_input)
+        addEdge(sourceId_, sinkId_, nullptr);
+}
+
+void
+Dfg::addEdge(int from, int to, const ir::Value *value)
+{
+    // De-duplicate identical edges (e.g. the same operand used twice --
+    // the functional unit reads the flit once per port).
+    for (const DfgEdge &e : edges_) {
+        if (e.from == from && e.to == to && e.value == value)
+            return;
+    }
+    edges_.push_back({from, to, value});
+}
+
+std::vector<const DfgEdge *>
+Dfg::inEdges(int node) const
+{
+    std::vector<const DfgEdge *> out;
+    for (const DfgEdge &e : edges_) {
+        if (e.to == node)
+            out.push_back(&e);
+    }
+    return out;
+}
+
+std::vector<const DfgEdge *>
+Dfg::outEdges(int node) const
+{
+    std::vector<const DfgEdge *> out;
+    for (const DfgEdge &e : edges_) {
+        if (e.from == node)
+            out.push_back(&e);
+    }
+    return out;
+}
+
+std::vector<int>
+Dfg::topoOrder() const
+{
+    std::vector<int> indeg(nodes_.size(), 0);
+    for (const DfgEdge &e : edges_)
+        ++indeg[static_cast<size_t>(e.to)];
+    std::vector<int> ready;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (indeg[i] == 0)
+            ready.push_back(static_cast<int>(i));
+    }
+    std::vector<int> order;
+    while (!ready.empty()) {
+        int n = ready.back();
+        ready.pop_back();
+        order.push_back(n);
+        for (const DfgEdge &e : edges_) {
+            if (e.from == n && --indeg[static_cast<size_t>(e.to)] == 0)
+                ready.push_back(e.to);
+        }
+    }
+    SOFF_ASSERT(order.size() == nodes_.size(), "DFG has a cycle");
+    return order;
+}
+
+} // namespace soff::dfg

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Per-basic-block data-flow graphs (paper §III-C, Fig. 4(b)/(d)).
+ *
+ * "A DFG is an acyclic graph in which every node corresponds to an
+ * instruction and every edge corresponds to a data dependence between
+ * two instructions. We introduce two arbitrary nodes — a source and a
+ * sink. The source produces all live-in SSA variables of the basic
+ * block while the sink consumes all live-out variables."
+ *
+ * Beyond true dependences, the DFG carries:
+ *  - anti-/output-dependence edges between may-aliasing memory accesses
+ *    (and store->load ordering, conservatively), transferring "data of
+ *    no size";
+ *  - completion edges from memory accesses to the sink ("to ensure its
+ *    completion");
+ *  - trigger edges from the source to operand-less instructions, so
+ *    every functional unit observes work-item arrival.
+ */
+#pragma once
+
+#include <vector>
+
+#include "analysis/pointer_analysis.hpp"
+#include "ir/basic_block.hpp"
+
+namespace soff::dfg
+{
+
+/** A DFG node: source, sink, or one non-phi non-terminator instruction. */
+struct DfgNode
+{
+    enum class Kind { Source, Sink, Instruction };
+
+    Kind kind = Kind::Instruction;
+    const ir::Instruction *inst = nullptr;
+    int id = 0;
+};
+
+/** A DFG edge. Value edges carry one SSA value; ordering edges none. */
+struct DfgEdge
+{
+    int from = 0;
+    int to = 0;
+    /** The SSA value transferred, or nullptr for ordering edges. */
+    const ir::Value *value = nullptr;
+    bool ordering() const { return value == nullptr; }
+};
+
+/**
+ * The data-flow graph of one basic block.
+ *
+ * Built from the block body (phis and the terminator excluded — phis
+ * are resolved by select glue, the terminator by branch glue), the
+ * live-in set, and the values the sink must emit (live-outs plus the
+ * branch condition).
+ */
+class Dfg
+{
+  public:
+    Dfg(const ir::BasicBlock *bb,
+        const std::vector<const ir::Value *> &live_in,
+        const std::vector<const ir::Value *> &sink_values,
+        const analysis::PointerAnalysis &pa);
+
+    const ir::BasicBlock *block() const { return bb_; }
+    const std::vector<DfgNode> &nodes() const { return nodes_; }
+    const std::vector<DfgEdge> &edges() const { return edges_; }
+    int sourceId() const { return sourceId_; }
+    int sinkId() const { return sinkId_; }
+
+    /** Edges entering / leaving a node. */
+    std::vector<const DfgEdge *> inEdges(int node) const;
+    std::vector<const DfgEdge *> outEdges(int node) const;
+
+    /** Nodes in a topological order (source first, sink last). */
+    std::vector<int> topoOrder() const;
+
+  private:
+    void addEdge(int from, int to, const ir::Value *value);
+
+    const ir::BasicBlock *bb_;
+    std::vector<DfgNode> nodes_;
+    std::vector<DfgEdge> edges_;
+    int sourceId_ = 0;
+    int sinkId_ = 0;
+};
+
+} // namespace soff::dfg

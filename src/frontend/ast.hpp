@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Abstract syntax tree for the OpenCL C subset.
+ *
+ * The AST is deliberately a thin, parser-internal representation: tagged
+ * structs with the union of fields each kind needs. Semantic analysis and
+ * typing happen during IR generation (one-pass C compiler style).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/token.hpp"
+#include "ir/type.hpp"
+
+namespace soff::fe
+{
+
+/** A parsed (unresolved) type: base scalar plus pointer levels. */
+struct ASTType
+{
+    enum class Base
+    {
+        Void, Bool, Char, UChar, Short, UShort, Int, UInt, Long, ULong,
+        Float, Double,
+    };
+
+    Base base = Base::Int;
+    /**
+     * Pointer levels, innermost first; each entry is the address space
+     * of the memory that level points into.
+     */
+    std::vector<ir::AddrSpace> ptrs;
+
+    bool isPointer() const { return !ptrs.empty(); }
+    bool isVoid() const { return base == Base::Void && ptrs.empty(); }
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Unary operators. */
+enum class UnOp
+{
+    Neg, Plus, Not, BitNot, Deref, AddrOf, PreInc, PreDec, PostInc, PostDec,
+};
+
+/** An expression node. */
+struct Expr
+{
+    enum class Kind
+    {
+        IntLit, FloatLit, Ident, Unary, Binary, Assign, Cond, Call,
+        Index, Cast,
+    };
+
+    Kind kind;
+    SourceLoc loc;
+
+    // IntLit
+    uint64_t intValue = 0;
+    bool intIsUnsigned = false;
+    bool intIsLong = false;
+    // FloatLit
+    double floatValue = 0;
+    bool floatIsDouble = false;
+    // Ident name / Call callee name
+    std::string name;
+    // Unary
+    UnOp unOp = UnOp::Neg;
+    // Binary operator / compound-assignment operator token kind
+    TokKind op = TokKind::Plus;
+    // Children: Unary/Cast use lhs; Binary/Assign/Index use lhs+rhs;
+    // Cond uses cond+lhs+rhs.
+    ExprPtr lhs, rhs, cond;
+    // Call arguments
+    std::vector<ExprPtr> args;
+    // Cast target
+    ASTType castType;
+
+    explicit Expr(Kind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** One declarator in a declaration statement. */
+struct Declarator
+{
+    std::string name;
+    std::vector<uint64_t> arrayDims; ///< Empty for scalars.
+    ExprPtr init;                    ///< May be null.
+    SourceLoc loc;
+};
+
+/** A statement node. */
+struct Stmt
+{
+    enum class Kind
+    {
+        Compound, Decl, Expr, If, While, DoWhile, For, Break, Continue,
+        Return, Empty,
+    };
+
+    Kind kind;
+    SourceLoc loc;
+
+    std::vector<StmtPtr> body;           ///< Compound children.
+    // Decl
+    ASTType declType;
+    ir::AddrSpace declAddrSpace = ir::AddrSpace::Private;
+    std::vector<Declarator> declarators;
+    // Expr payload / If-While-For condition / Return value.
+    ExprPtr expr;
+    // If: thenStmt/elseStmt. Loops: thenStmt is the body.
+    StmtPtr thenStmt, elseStmt;
+    // For
+    StmtPtr initStmt;
+    ExprPtr incExpr;
+
+    explicit Stmt(Kind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+/** A function parameter. */
+struct ParamDecl
+{
+    ASTType type;
+    std::string name;
+    SourceLoc loc;
+};
+
+/** A parsed function (kernel or helper). */
+struct FunctionDecl
+{
+    bool isKernel = false;
+    ASTType returnType;
+    std::string name;
+    std::vector<ParamDecl> params;
+    StmtPtr body;
+    SourceLoc loc;
+};
+
+/** A whole OpenCL C program. */
+struct TranslationUnit
+{
+    std::vector<std::unique_ptr<FunctionDecl>> functions;
+};
+
+} // namespace soff::fe

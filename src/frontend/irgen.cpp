@@ -1,0 +1,1480 @@
+#include "frontend/irgen.hpp"
+
+#include <map>
+#include <optional>
+
+#include "frontend/parser.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace soff::fe
+{
+
+using ir::AddrSpace;
+using ir::IRBuilder;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+namespace
+{
+
+/**
+ * The result of evaluating an expression: either a plain rvalue or one
+ * of the lvalue designators (slot variable, private-array element,
+ * memory reference, or a partially indexed array).
+ */
+struct EValue
+{
+    enum class Kind
+    {
+        Invalid,
+        RValue,   ///< v holds the SSA value.
+        SlotVar,  ///< Whole slot (scalar variable or whole array).
+        SlotElem, ///< Private array element: slot + linear index.
+        MemRef,   ///< v holds a pointer; load/store through memory.
+        ArrayRef, ///< Partially indexed array (slot or local var).
+    };
+
+    Kind kind = Kind::Invalid;
+    Value *v = nullptr;
+    ir::PrivateSlot *slot = nullptr;
+    const ir::LocalVar *localVar = nullptr;
+    Value *index = nullptr;       ///< Linear element index (i64).
+    size_t depth = 0;             ///< Indices applied so far (ArrayRef).
+    const Type *type = nullptr;   ///< Designated value type.
+};
+
+/** A named entity in scope. */
+struct Symbol
+{
+    enum class Kind { Var, LocalVar, Function };
+    Kind kind = Kind::Var;
+    ir::PrivateSlot *slot = nullptr;
+    const ir::LocalVar *localVar = nullptr;
+    ir::Kernel *function = nullptr;
+    std::vector<uint64_t> arrayDims; ///< For array variables.
+};
+
+class IRGenerator
+{
+  public:
+    IRGenerator(const TranslationUnit &tu, const std::string &module_name,
+                DiagnosticEngine &diags)
+        : tu_(tu), diags_(diags),
+          module_(std::make_unique<ir::Module>(module_name)),
+          builder_(*module_)
+    {}
+
+    std::unique_ptr<ir::Module>
+    run()
+    {
+        for (const auto &fn : tu_.functions)
+            genFunction(*fn);
+        return std::move(module_);
+    }
+
+  private:
+    // ------------------------------------------------------------------
+    // Types
+    // ------------------------------------------------------------------
+    const Type *
+    scalarType(ASTType::Base base)
+    {
+        auto &t = module_->types();
+        switch (base) {
+          case ASTType::Base::Void: return t.voidTy();
+          case ASTType::Base::Bool: return t.intTy(8, false);
+          case ASTType::Base::Char: return t.i8();
+          case ASTType::Base::UChar: return t.u8();
+          case ASTType::Base::Short: return t.i16();
+          case ASTType::Base::UShort: return t.u16();
+          case ASTType::Base::Int: return t.i32();
+          case ASTType::Base::UInt: return t.u32();
+          case ASTType::Base::Long: return t.i64();
+          case ASTType::Base::ULong: return t.u64();
+          case ASTType::Base::Float: return t.f32();
+          case ASTType::Base::Double: return t.f64();
+        }
+        return t.voidTy();
+    }
+
+    const Type *
+    resolveType(const ASTType &ast)
+    {
+        const Type *t = scalarType(ast.base);
+        for (AddrSpace as : ast.ptrs)
+            t = module_->types().ptrTy(t, as);
+        return t;
+    }
+
+    // ------------------------------------------------------------------
+    // Scopes
+    // ------------------------------------------------------------------
+    void pushScope() { scopes_.emplace_back(); }
+    void popScope() { scopes_.pop_back(); }
+
+    Symbol *
+    lookup(const std::string &name)
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto found = it->find(name);
+            if (found != it->end())
+                return &found->second;
+        }
+        auto found = functions_.find(name);
+        if (found != functions_.end())
+            return &found->second;
+        return nullptr;
+    }
+
+    void
+    declare(SourceLoc loc, const std::string &name, Symbol sym)
+    {
+        if (scopes_.back().count(name))
+            diags_.error(loc, "redeclaration of '" + name + "'");
+        scopes_.back()[name] = std::move(sym);
+    }
+
+    // ------------------------------------------------------------------
+    // Conversions
+    // ------------------------------------------------------------------
+    Value *
+    convert(SourceLoc loc, Value *v, const Type *to)
+    {
+        const Type *from = v->type();
+        if (from == to)
+            return v;
+        auto &t = module_->types();
+        if (from->isBool()) {
+            if (to->isIntOrBool())
+                return builder_.createCast(Opcode::ZExt, v, to);
+            if (to->isFloat()) {
+                Value *i = builder_.createCast(Opcode::ZExt, v, t.i32());
+                return builder_.createCast(Opcode::SIToFP, i, to);
+            }
+        }
+        if (from->isInt()) {
+            if (to->isBool()) {
+                return builder_.createICmp(
+                    ir::ICmpPred::NE, v, builder_.constInt(from, 0));
+            }
+            if (to->isInt()) {
+                if (to->bits() == from->bits())
+                    return builder_.createCast(Opcode::Bitcast, v, to);
+                if (to->bits() < from->bits())
+                    return builder_.createCast(Opcode::Trunc, v, to);
+                return builder_.createCast(
+                    from->isSigned() ? Opcode::SExt : Opcode::ZExt, v, to);
+            }
+            if (to->isFloat()) {
+                return builder_.createCast(
+                    from->isSigned() ? Opcode::SIToFP : Opcode::UIToFP,
+                    v, to);
+            }
+            if (to->isPointer())
+                return builder_.createCast(Opcode::IntToPtr, v, to);
+        }
+        if (from->isFloat()) {
+            if (to->isFloat()) {
+                return builder_.createCast(
+                    to->bits() < from->bits() ? Opcode::FPTrunc
+                                              : Opcode::FPExt, v, to);
+            }
+            if (to->isInt()) {
+                return builder_.createCast(
+                    to->isSigned() ? Opcode::FPToSI : Opcode::FPToUI,
+                    v, to);
+            }
+            if (to->isBool()) {
+                return builder_.createFCmp(
+                    ir::FCmpPred::ONE, v, builder_.constFloat(from, 0.0));
+            }
+        }
+        if (from->isPointer()) {
+            if (to->isPointer())
+                return builder_.createCast(Opcode::Bitcast, v, to);
+            if (to->isInt() || to->isBool()) {
+                Value *i =
+                    builder_.createCast(Opcode::PtrToInt, v, t.u64());
+                return convert(loc, i, to);
+            }
+        }
+        diags_.error(loc, "cannot convert " + from->str() + " to " +
+                     to->str());
+        return builder_.constInt(t.i32(), 0);
+    }
+
+    /** C usual arithmetic conversions; returns the common type. */
+    const Type *
+    commonType(const Type *a, const Type *b)
+    {
+        auto &t = module_->types();
+        if (a->isFloat() || b->isFloat()) {
+            int bits = 32;
+            if (a->isFloat())
+                bits = std::max(bits, a->bits());
+            if (b->isFloat())
+                bits = std::max(bits, b->bits());
+            return t.floatTy(bits);
+        }
+        // Integer promotion to at least 32 bits.
+        auto promoted = [&](const Type *x) {
+            if (x->isBool() || x->bits() < 32)
+                return t.i32();
+            return x;
+        };
+        const Type *pa = promoted(a);
+        const Type *pb = promoted(b);
+        if (pa == pb)
+            return pa;
+        if (pa->bits() != pb->bits()) {
+            const Type *wide = pa->bits() > pb->bits() ? pa : pb;
+            return wide;
+        }
+        // Same width, different signedness: unsigned wins.
+        return t.intTy(pa->bits(), false);
+    }
+
+    // ------------------------------------------------------------------
+    // EValue load/store
+    // ------------------------------------------------------------------
+    Value *
+    loadValue(SourceLoc loc, const EValue &e)
+    {
+        switch (e.kind) {
+          case EValue::Kind::RValue:
+            return e.v;
+          case EValue::Kind::SlotVar:
+            if (e.slot->type()->isArray()) {
+                diags_.error(loc, "array used as a value; private arrays "
+                             "do not decay to pointers in SOFF");
+                return builder_.constI32(0);
+            }
+            return builder_.createSlotLoad(e.slot);
+          case EValue::Kind::SlotElem: {
+            Value *whole = builder_.createSlotLoad(e.slot);
+            return builder_.createArrayExtract(whole, e.index);
+          }
+          case EValue::Kind::MemRef:
+            return builder_.createLoad(e.v);
+          case EValue::Kind::ArrayRef:
+            diags_.error(loc, "array used with too few indices");
+            return builder_.constI32(0);
+          default:
+            diags_.error(loc, "invalid expression");
+            return builder_.constI32(0);
+        }
+    }
+
+    void
+    storeValue(SourceLoc loc, const EValue &e, Value *v)
+    {
+        switch (e.kind) {
+          case EValue::Kind::SlotVar:
+            builder_.createSlotStore(
+                e.slot, convert(loc, v, e.slot->type()));
+            return;
+          case EValue::Kind::SlotElem: {
+            Value *whole = builder_.createSlotLoad(e.slot);
+            Value *elem =
+                convert(loc, v, e.slot->type()->element());
+            Value *updated =
+                builder_.createArrayInsert(whole, e.index, elem);
+            builder_.createSlotStore(e.slot, updated);
+            return;
+          }
+          case EValue::Kind::MemRef:
+            builder_.createStore(
+                e.v, convert(loc, v, e.v->type()->pointee()));
+            return;
+          default:
+            diags_.error(loc, "expression is not assignable");
+        }
+    }
+
+    /** Converts a value to an i1 condition (C truthiness). */
+    Value *
+    toCondition(SourceLoc loc, Value *v)
+    {
+        if (v->type()->isBool())
+            return v;
+        return convert(loc, v, module_->types().boolTy());
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+    EValue
+    rvalue(const Expr &e)
+    {
+        EValue ev = genExpr(e);
+        EValue out;
+        out.kind = EValue::Kind::RValue;
+        out.v = loadValue(e.loc, ev);
+        out.type = out.v->type();
+        return out;
+    }
+
+    Value *genRValue(const Expr &e) { return rvalue(e).v; }
+
+    EValue
+    makeRValue(Value *v)
+    {
+        EValue out;
+        out.kind = EValue::Kind::RValue;
+        out.v = v;
+        out.type = v->type();
+        return out;
+    }
+
+    EValue
+    genExpr(const Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::IntLit: {
+            auto &t = module_->types();
+            const Type *ty;
+            if (e.intIsLong || e.intValue > 0x7fffffffULL) {
+                ty = e.intIsUnsigned ? t.u64() : t.i64();
+                if (!e.intIsLong && !e.intIsUnsigned &&
+                    e.intValue <= 0xffffffffULL) {
+                    ty = t.u32(); // fits unsigned int
+                }
+            } else {
+                ty = e.intIsUnsigned ? t.u32() : t.i32();
+            }
+            return makeRValue(builder_.constInt(ty, e.intValue));
+          }
+          case Expr::Kind::FloatLit: {
+            const Type *ty = e.floatIsDouble ? module_->types().f64()
+                                             : module_->types().f32();
+            return makeRValue(builder_.constFloat(ty, e.floatValue));
+          }
+          case Expr::Kind::Ident:
+            return genIdent(e);
+          case Expr::Kind::Unary:
+            return genUnary(e);
+          case Expr::Kind::Binary:
+            return genBinary(e);
+          case Expr::Kind::Assign:
+            return genAssign(e);
+          case Expr::Kind::Cond:
+            return genConditional(e);
+          case Expr::Kind::Call:
+            return genCall(e);
+          case Expr::Kind::Index:
+            return genIndex(e);
+          case Expr::Kind::Cast: {
+            Value *v = genRValue(*e.lhs);
+            const Type *to = resolveType(e.castType);
+            return makeRValue(convert(e.loc, v, to));
+          }
+        }
+        return EValue();
+    }
+
+    EValue
+    genIdent(const Expr &e)
+    {
+        Symbol *sym = lookup(e.name);
+        if (sym == nullptr) {
+            diags_.error(e.loc, "use of undeclared identifier '" +
+                         e.name + "'");
+            return makeRValue(builder_.constI32(0));
+        }
+        EValue out;
+        if (sym->kind == Symbol::Kind::Var) {
+            if (sym->slot->type()->isArray()) {
+                out.kind = EValue::Kind::ArrayRef;
+                out.slot = sym->slot;
+                out.depth = 0;
+                out.index = nullptr;
+                out.type = sym->slot->type();
+            } else {
+                out.kind = EValue::Kind::SlotVar;
+                out.slot = sym->slot;
+                out.type = sym->slot->type();
+            }
+        } else if (sym->kind == Symbol::Kind::LocalVar) {
+            if (sym->localVar->type()->isArray()) {
+                out.kind = EValue::Kind::ArrayRef;
+                out.localVar = sym->localVar;
+                out.depth = 0;
+                out.index = nullptr;
+                out.type = sym->localVar->type();
+            } else {
+                // Scalar __local variable: a memory reference.
+                out.kind = EValue::Kind::MemRef;
+                out.v = builder_.createLocalAddr(sym->localVar);
+                out.type = sym->localVar->type();
+            }
+        } else {
+            diags_.error(e.loc, "function name used as a value");
+            return makeRValue(builder_.constI32(0));
+        }
+        return out;
+    }
+
+    /** Dimensions of the array variable a symbol refers to. */
+    const std::vector<uint64_t> &
+    symbolDims(const EValue &arr)
+    {
+        static const std::vector<uint64_t> none;
+        const void *key = arr.slot != nullptr
+                              ? static_cast<const void *>(arr.slot)
+                              : static_cast<const void *>(arr.localVar);
+        auto it = arrayDims_.find(key);
+        return it == arrayDims_.end() ? none : it->second;
+    }
+
+    EValue
+    genIndex(const Expr &e)
+    {
+        EValue base = genExpr(*e.lhs);
+        Value *idx64 = convert(e.rhs->loc, genRValue(*e.rhs),
+                               module_->types().i64());
+        auto &t = module_->types();
+        if (base.kind == EValue::Kind::ArrayRef) {
+            const auto &dims = symbolDims(base);
+            Value *linear = base.index;
+            if (linear == nullptr) {
+                linear = idx64;
+            } else {
+                Value *scale = builder_.constI64(
+                    static_cast<int64_t>(dims[base.depth]));
+                Value *mul = builder_.createBinOp(Opcode::Mul, linear,
+                                                  scale);
+                linear = builder_.createBinOp(Opcode::Add, mul, idx64);
+            }
+            size_t depth = base.depth + 1;
+            if (depth < dims.size()) {
+                EValue out = base;
+                out.index = linear;
+                out.depth = depth;
+                return out;
+            }
+            // Fully indexed.
+            if (base.slot != nullptr) {
+                EValue out;
+                out.kind = EValue::Kind::SlotElem;
+                out.slot = base.slot;
+                out.index = linear;
+                out.type = base.slot->type()->element();
+                return out;
+            }
+            const Type *elem = base.localVar->type()->element();
+            Value *addr = builder_.createLocalAddr(base.localVar);
+            Value *bytes = builder_.createBinOp(
+                Opcode::Mul, linear,
+                builder_.constI64(
+                    static_cast<int64_t>(elem->sizeBytes())));
+            EValue out;
+            out.kind = EValue::Kind::MemRef;
+            out.v = builder_.createPtrAdd(addr, bytes);
+            out.type = elem;
+            return out;
+        }
+        // Pointer indexing.
+        Value *ptr = loadValue(e.lhs->loc, base);
+        if (!ptr->type()->isPointer()) {
+            diags_.error(e.loc, "subscripted value is not a pointer or "
+                         "array");
+            return makeRValue(builder_.constI32(0));
+        }
+        const Type *elem = ptr->type()->pointee();
+        Value *bytes = builder_.createBinOp(
+            Opcode::Mul, idx64,
+            builder_.constI64(static_cast<int64_t>(elem->sizeBytes())));
+        EValue out;
+        out.kind = EValue::Kind::MemRef;
+        out.v = builder_.createPtrAdd(ptr, bytes);
+        out.type = elem;
+        (void)t;
+        return out;
+    }
+
+    EValue
+    genUnary(const Expr &e)
+    {
+        switch (e.unOp) {
+          case UnOp::Plus:
+            return makeRValue(genRValue(*e.lhs));
+          case UnOp::Neg: {
+            Value *v = genRValue(*e.lhs);
+            if (v->type()->isFloat())
+                return makeRValue(builder_.createFNeg(v));
+            v = convert(e.loc, v, commonType(v->type(), v->type()));
+            return makeRValue(builder_.createNeg(v));
+          }
+          case UnOp::Not: {
+            Value *c = toCondition(e.loc, genRValue(*e.lhs));
+            Value *inv = builder_.createICmp(
+                ir::ICmpPred::EQ, c,
+                builder_.constInt(module_->types().boolTy(), 0));
+            return makeRValue(convert(e.loc, inv, module_->types().i32()));
+          }
+          case UnOp::BitNot: {
+            Value *v = genRValue(*e.lhs);
+            v = convert(e.loc, v, commonType(v->type(), v->type()));
+            return makeRValue(builder_.createNot(v));
+          }
+          case UnOp::Deref: {
+            Value *p = genRValue(*e.lhs);
+            if (!p->type()->isPointer()) {
+                diags_.error(e.loc, "cannot dereference non-pointer");
+                return makeRValue(builder_.constI32(0));
+            }
+            EValue out;
+            out.kind = EValue::Kind::MemRef;
+            out.v = p;
+            out.type = p->type()->pointee();
+            return out;
+          }
+          case UnOp::AddrOf: {
+            EValue sub = genExpr(*e.lhs);
+            if (sub.kind == EValue::Kind::MemRef)
+                return makeRValue(sub.v);
+            diags_.error(e.loc, "taking the address of a private "
+                         "variable is not supported (paper §III-C: "
+                         "private variables are promoted to SSA form)");
+            return makeRValue(builder_.constI32(0));
+          }
+          case UnOp::PreInc:
+          case UnOp::PreDec:
+          case UnOp::PostInc:
+          case UnOp::PostDec: {
+            EValue lv = genExpr(*e.lhs);
+            Value *old_value = loadValue(e.loc, lv);
+            bool inc = e.unOp == UnOp::PreInc || e.unOp == UnOp::PostInc;
+            Value *next;
+            if (old_value->type()->isPointer()) {
+                uint64_t step =
+                    old_value->type()->pointee()->sizeBytes();
+                Value *delta = builder_.constI64(
+                    inc ? static_cast<int64_t>(step)
+                        : -static_cast<int64_t>(step));
+                next = builder_.createPtrAdd(old_value, delta);
+            } else if (old_value->type()->isFloat()) {
+                Value *one =
+                    builder_.constFloat(old_value->type(), 1.0);
+                next = builder_.createBinOp(
+                    inc ? Opcode::FAdd : Opcode::FSub, old_value, one);
+            } else {
+                Value *one = builder_.constInt(old_value->type(), 1);
+                next = builder_.createBinOp(
+                    inc ? Opcode::Add : Opcode::Sub, old_value, one);
+            }
+            storeValue(e.loc, lv, next);
+            bool post = e.unOp == UnOp::PostInc || e.unOp == UnOp::PostDec;
+            return makeRValue(post ? old_value : next);
+          }
+        }
+        return EValue();
+    }
+
+    /** Arithmetic/bitwise/relational binary operation on rvalues. */
+    Value *
+    genArith(SourceLoc loc, TokKind op, Value *a, Value *b)
+    {
+        auto &t = module_->types();
+        // Pointer arithmetic.
+        if (a->type()->isPointer() || b->type()->isPointer()) {
+            if (op == TokKind::Plus || op == TokKind::Minus) {
+                if (a->type()->isPointer() && b->type()->isPointer() &&
+                    op == TokKind::Minus) {
+                    Value *ia =
+                        builder_.createCast(Opcode::PtrToInt, a, t.i64());
+                    Value *ib =
+                        builder_.createCast(Opcode::PtrToInt, b, t.i64());
+                    Value *diff =
+                        builder_.createBinOp(Opcode::Sub, ia, ib);
+                    Value *size = builder_.constI64(static_cast<int64_t>(
+                        a->type()->pointee()->sizeBytes()));
+                    return builder_.createBinOp(Opcode::SDiv, diff, size);
+                }
+                if (b->type()->isPointer())
+                    std::swap(a, b);
+                Value *idx = convert(loc, b, t.i64());
+                Value *bytes = builder_.createBinOp(
+                    Opcode::Mul, idx,
+                    builder_.constI64(static_cast<int64_t>(
+                        a->type()->pointee()->sizeBytes())));
+                if (op == TokKind::Minus)
+                    bytes = builder_.createNeg(bytes);
+                return builder_.createPtrAdd(a, bytes);
+            }
+            if (op == TokKind::EqEq || op == TokKind::BangEq ||
+                op == TokKind::Less || op == TokKind::LessEq ||
+                op == TokKind::Greater || op == TokKind::GreaterEq) {
+                Value *ia = builder_.createCast(Opcode::PtrToInt, a,
+                                                t.u64());
+                Value *ib = builder_.createCast(Opcode::PtrToInt, b,
+                                                t.u64());
+                return genArith(loc, op, ia, ib);
+            }
+            diags_.error(loc, "invalid pointer operation");
+            return builder_.constI32(0);
+        }
+
+        const Type *ct = commonType(a->type(), b->type());
+        a = convert(loc, a, ct);
+        b = convert(loc, b, ct);
+        bool flt = ct->isFloat();
+        bool sgn = ct->isInt() && ct->isSigned();
+        switch (op) {
+          case TokKind::Plus:
+            return builder_.createBinOp(flt ? Opcode::FAdd : Opcode::Add,
+                                        a, b);
+          case TokKind::Minus:
+            return builder_.createBinOp(flt ? Opcode::FSub : Opcode::Sub,
+                                        a, b);
+          case TokKind::Star:
+            return builder_.createBinOp(flt ? Opcode::FMul : Opcode::Mul,
+                                        a, b);
+          case TokKind::Slash:
+            return builder_.createBinOp(
+                flt ? Opcode::FDiv : (sgn ? Opcode::SDiv : Opcode::UDiv),
+                a, b);
+          case TokKind::Percent:
+            if (flt)
+                return builder_.createBinOp(Opcode::FRem, a, b);
+            return builder_.createBinOp(sgn ? Opcode::SRem : Opcode::URem,
+                                        a, b);
+          case TokKind::Amp:
+            return builder_.createBinOp(Opcode::And, a, b);
+          case TokKind::Pipe:
+            return builder_.createBinOp(Opcode::Or, a, b);
+          case TokKind::Caret:
+            return builder_.createBinOp(Opcode::Xor, a, b);
+          case TokKind::Shl:
+            return builder_.createBinOp(Opcode::Shl, a, b);
+          case TokKind::Shr:
+            return builder_.createBinOp(sgn ? Opcode::AShr : Opcode::LShr,
+                                        a, b);
+          case TokKind::Less: case TokKind::LessEq:
+          case TokKind::Greater: case TokKind::GreaterEq:
+          case TokKind::EqEq: case TokKind::BangEq: {
+            Value *c;
+            if (flt) {
+                ir::FCmpPred p = ir::FCmpPred::OEQ;
+                switch (op) {
+                  case TokKind::Less: p = ir::FCmpPred::OLT; break;
+                  case TokKind::LessEq: p = ir::FCmpPred::OLE; break;
+                  case TokKind::Greater: p = ir::FCmpPred::OGT; break;
+                  case TokKind::GreaterEq: p = ir::FCmpPred::OGE; break;
+                  case TokKind::EqEq: p = ir::FCmpPred::OEQ; break;
+                  default: p = ir::FCmpPred::ONE; break;
+                }
+                c = builder_.createFCmp(p, a, b);
+            } else {
+                ir::ICmpPred p = ir::ICmpPred::EQ;
+                switch (op) {
+                  case TokKind::Less:
+                    p = sgn ? ir::ICmpPred::SLT : ir::ICmpPred::ULT; break;
+                  case TokKind::LessEq:
+                    p = sgn ? ir::ICmpPred::SLE : ir::ICmpPred::ULE; break;
+                  case TokKind::Greater:
+                    p = sgn ? ir::ICmpPred::SGT : ir::ICmpPred::UGT; break;
+                  case TokKind::GreaterEq:
+                    p = sgn ? ir::ICmpPred::SGE : ir::ICmpPred::UGE; break;
+                  case TokKind::EqEq: p = ir::ICmpPred::EQ; break;
+                  default: p = ir::ICmpPred::NE; break;
+                }
+                c = builder_.createICmp(p, a, b);
+            }
+            return convert(loc, c, t.i32());
+          }
+          default:
+            diags_.error(loc, "unsupported binary operator");
+            return builder_.constI32(0);
+        }
+    }
+
+    EValue
+    genBinary(const Expr &e)
+    {
+        if (e.op == TokKind::Comma) {
+            genExpr(*e.lhs);
+            return rvalue(*e.rhs);
+        }
+        if (e.op == TokKind::AmpAmp || e.op == TokKind::PipePipe)
+            return genShortCircuit(e);
+        Value *a = genRValue(*e.lhs);
+        Value *b = genRValue(*e.rhs);
+        return makeRValue(genArith(e.loc, e.op, a, b));
+    }
+
+    EValue
+    genShortCircuit(const Expr &e)
+    {
+        bool is_and = e.op == TokKind::AmpAmp;
+        Value *a = toCondition(e.lhs->loc, genRValue(*e.lhs));
+        ir::BasicBlock *lhs_end = builder_.insertBlock();
+        ir::BasicBlock *rhs_bb = newBlock("sc.rhs");
+        ir::BasicBlock *join_bb = newBlock("sc.end");
+        if (is_and)
+            builder_.createCondBr(a, rhs_bb, join_bb);
+        else
+            builder_.createCondBr(a, join_bb, rhs_bb);
+        builder_.setInsertPoint(rhs_bb);
+        Value *b = toCondition(e.rhs->loc, genRValue(*e.rhs));
+        ir::BasicBlock *rhs_end = builder_.insertBlock();
+        builder_.createBr(join_bb);
+        builder_.setInsertPoint(join_bb);
+        ir::Instruction *phi =
+            builder_.createPhi(module_->types().boolTy());
+        phi->addPhiIncoming(
+            builder_.constInt(module_->types().boolTy(), is_and ? 0 : 1),
+            lhs_end);
+        phi->addPhiIncoming(b, rhs_end);
+        return makeRValue(convert(e.loc, phi, module_->types().i32()));
+    }
+
+    EValue
+    genConditional(const Expr &e)
+    {
+        Value *c = toCondition(e.cond->loc, genRValue(*e.cond));
+        ir::BasicBlock *then_bb = newBlock("sel.then");
+        ir::BasicBlock *else_bb = newBlock("sel.else");
+        ir::BasicBlock *join_bb = newBlock("sel.end");
+        builder_.createCondBr(c, then_bb, else_bb);
+        builder_.setInsertPoint(then_bb);
+        Value *a = genRValue(*e.lhs);
+        ir::BasicBlock *then_end = builder_.insertBlock();
+        builder_.setInsertPoint(else_bb);
+        Value *b = genRValue(*e.rhs);
+        ir::BasicBlock *else_end = builder_.insertBlock();
+        // Unify types.
+        const Type *ct;
+        if (a->type()->isPointer() && b->type()->isPointer()) {
+            ct = a->type();
+        } else {
+            ct = commonType(a->type(), b->type());
+        }
+        builder_.setInsertPoint(then_end);
+        a = convert(e.loc, a, ct);
+        builder_.createBr(join_bb);
+        then_end = builder_.insertBlock();
+        builder_.setInsertPoint(else_end);
+        b = convert(e.loc, b, ct);
+        builder_.createBr(join_bb);
+        else_end = builder_.insertBlock();
+        builder_.setInsertPoint(join_bb);
+        ir::Instruction *phi = builder_.createPhi(ct);
+        phi->addPhiIncoming(a, then_end);
+        phi->addPhiIncoming(b, else_end);
+        return makeRValue(phi);
+    }
+
+    EValue
+    genAssign(const Expr &e)
+    {
+        EValue lv = genExpr(*e.lhs);
+        Value *rhs = genRValue(*e.rhs);
+        if (e.op != TokKind::Assign) {
+            Value *old_value = loadValue(e.loc, lv);
+            TokKind arith = TokKind::Plus;
+            switch (e.op) {
+              case TokKind::PlusAssign: arith = TokKind::Plus; break;
+              case TokKind::MinusAssign: arith = TokKind::Minus; break;
+              case TokKind::StarAssign: arith = TokKind::Star; break;
+              case TokKind::SlashAssign: arith = TokKind::Slash; break;
+              case TokKind::PercentAssign: arith = TokKind::Percent; break;
+              case TokKind::AmpAssign: arith = TokKind::Amp; break;
+              case TokKind::PipeAssign: arith = TokKind::Pipe; break;
+              case TokKind::CaretAssign: arith = TokKind::Caret; break;
+              case TokKind::ShlAssign: arith = TokKind::Shl; break;
+              case TokKind::ShrAssign: arith = TokKind::Shr; break;
+              default: break;
+            }
+            rhs = genArith(e.loc, arith, old_value, rhs);
+        }
+        // The stored value, converted to the target type, is the result.
+        const Type *target = lv.type;
+        Value *converted = target != nullptr ? convert(e.loc, rhs, target)
+                                             : rhs;
+        storeValue(e.loc, lv, converted);
+        return makeRValue(converted);
+    }
+
+    // Defined below the class (built-in dispatch is long).
+    EValue genCall(const Expr &e);
+    EValue genMathBuiltin(const Expr &e);
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+    ir::BasicBlock *
+    newBlock(const std::string &hint)
+    {
+        return kernel_->addBlock(
+            "B" + std::to_string(kernel_->numBlocks() + 1) + "." + hint);
+    }
+
+    void
+    genDecl(const Stmt &s)
+    {
+        for (const Declarator &d : s.declarators) {
+            const Type *base = resolveType(s.declType);
+            if (s.declAddrSpace == AddrSpace::Local) {
+                if (!kernel_->isKernel()) {
+                    diags_.error(d.loc, "__local variables are only "
+                                 "supported inside kernels");
+                }
+                uint64_t total = 1;
+                for (uint64_t dim : d.arrayDims)
+                    total *= dim;
+                const Type *vt = d.arrayDims.empty()
+                    ? base
+                    : module_->types().arrayTy(base, total);
+                const ir::LocalVar *lv = kernel_->addLocalVar(vt, d.name);
+                Symbol sym;
+                sym.kind = Symbol::Kind::LocalVar;
+                sym.localVar = lv;
+                sym.arrayDims = d.arrayDims;
+                arrayDims_[lv] = d.arrayDims;
+                declare(d.loc, d.name, sym);
+                if (d.init != nullptr) {
+                    diags_.error(d.loc, "__local variables cannot have "
+                                 "initializers");
+                }
+                continue;
+            }
+            if (s.declAddrSpace == AddrSpace::Constant ||
+                s.declAddrSpace == AddrSpace::Global) {
+                diags_.error(d.loc, "program-scope/global variables are "
+                             "not supported");
+                continue;
+            }
+            uint64_t total = 1;
+            for (uint64_t dim : d.arrayDims)
+                total *= dim;
+            const Type *vt = d.arrayDims.empty()
+                ? base
+                : module_->types().arrayTy(base, total);
+            ir::PrivateSlot *slot = kernel_->addSlot(vt, d.name);
+            Symbol sym;
+            sym.kind = Symbol::Kind::Var;
+            sym.slot = slot;
+            sym.arrayDims = d.arrayDims;
+            arrayDims_[slot] = d.arrayDims;
+            declare(d.loc, d.name, sym);
+            if (d.init != nullptr) {
+                Value *v = genRValue(*d.init);
+                if (vt->isArray()) {
+                    diags_.error(d.loc, "array initializers are not "
+                                 "supported");
+                } else {
+                    builder_.createSlotStore(slot,
+                                             convert(d.loc, v, vt));
+                }
+            } else if (vt->isArray()) {
+                // Define the whole array value so SSA promotion has a
+                // defined initial value on every path.
+                Value *zero = vt->element()->isFloat()
+                    ? static_cast<Value *>(
+                          builder_.constFloat(vt->element(), 0.0))
+                    : static_cast<Value *>(
+                          builder_.constInt(vt->element(), 0));
+                Value *splat = builder_.createArraySplat(vt, zero);
+                builder_.createSlotStore(slot, splat);
+            }
+        }
+    }
+
+    void
+    genStmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::Compound:
+            pushScope();
+            for (const StmtPtr &child : s.body) {
+                genStmt(*child);
+                if (builder_.terminated())
+                    break; // rest of the block is unreachable
+            }
+            popScope();
+            return;
+          case Stmt::Kind::Decl:
+            genDecl(s);
+            return;
+          case Stmt::Kind::Expr:
+            genExpr(*s.expr);
+            return;
+          case Stmt::Kind::Empty:
+            return;
+          case Stmt::Kind::If: {
+            Value *c = toCondition(s.loc, genRValue(*s.expr));
+            ir::BasicBlock *then_bb = newBlock("then");
+            ir::BasicBlock *join_bb = newBlock("endif");
+            ir::BasicBlock *else_bb =
+                s.elseStmt != nullptr ? newBlock("else") : join_bb;
+            builder_.createCondBr(c, then_bb, else_bb);
+            builder_.setInsertPoint(then_bb);
+            genStmt(*s.thenStmt);
+            if (!builder_.terminated())
+                builder_.createBr(join_bb);
+            if (s.elseStmt != nullptr) {
+                builder_.setInsertPoint(else_bb);
+                genStmt(*s.elseStmt);
+                if (!builder_.terminated())
+                    builder_.createBr(join_bb);
+            }
+            builder_.setInsertPoint(join_bb);
+            return;
+          }
+          case Stmt::Kind::While: {
+            ir::BasicBlock *cond_bb = newBlock("while.cond");
+            ir::BasicBlock *body_bb = newBlock("while.body");
+            ir::BasicBlock *exit_bb = newBlock("while.end");
+            builder_.createBr(cond_bb);
+            builder_.setInsertPoint(cond_bb);
+            Value *c = toCondition(s.loc, genRValue(*s.expr));
+            builder_.createCondBr(c, body_bb, exit_bb);
+            loops_.push_back({cond_bb, exit_bb});
+            builder_.setInsertPoint(body_bb);
+            genStmt(*s.thenStmt);
+            if (!builder_.terminated())
+                builder_.createBr(cond_bb);
+            loops_.pop_back();
+            builder_.setInsertPoint(exit_bb);
+            return;
+          }
+          case Stmt::Kind::DoWhile: {
+            ir::BasicBlock *body_bb = newBlock("do.body");
+            ir::BasicBlock *cond_bb = newBlock("do.cond");
+            ir::BasicBlock *exit_bb = newBlock("do.end");
+            builder_.createBr(body_bb);
+            loops_.push_back({cond_bb, exit_bb});
+            builder_.setInsertPoint(body_bb);
+            genStmt(*s.thenStmt);
+            if (!builder_.terminated())
+                builder_.createBr(cond_bb);
+            loops_.pop_back();
+            builder_.setInsertPoint(cond_bb);
+            Value *c = toCondition(s.loc, genRValue(*s.expr));
+            builder_.createCondBr(c, body_bb, exit_bb);
+            builder_.setInsertPoint(exit_bb);
+            return;
+          }
+          case Stmt::Kind::For: {
+            pushScope();
+            if (s.initStmt != nullptr)
+                genStmt(*s.initStmt);
+            ir::BasicBlock *cond_bb = newBlock("for.cond");
+            ir::BasicBlock *body_bb = newBlock("for.body");
+            ir::BasicBlock *inc_bb = newBlock("for.inc");
+            ir::BasicBlock *exit_bb = newBlock("for.end");
+            builder_.createBr(cond_bb);
+            builder_.setInsertPoint(cond_bb);
+            if (s.expr != nullptr) {
+                Value *c = toCondition(s.loc, genRValue(*s.expr));
+                builder_.createCondBr(c, body_bb, exit_bb);
+            } else {
+                builder_.createBr(body_bb);
+            }
+            loops_.push_back({inc_bb, exit_bb});
+            builder_.setInsertPoint(body_bb);
+            genStmt(*s.thenStmt);
+            if (!builder_.terminated())
+                builder_.createBr(inc_bb);
+            loops_.pop_back();
+            builder_.setInsertPoint(inc_bb);
+            if (s.incExpr != nullptr)
+                genExpr(*s.incExpr);
+            builder_.createBr(cond_bb);
+            builder_.setInsertPoint(exit_bb);
+            popScope();
+            return;
+          }
+          case Stmt::Kind::Break:
+            if (loops_.empty()) {
+                diags_.error(s.loc, "'break' outside a loop");
+                return;
+            }
+            builder_.createBr(loops_.back().breakTarget);
+            builder_.setInsertPoint(newBlock("after.break"));
+            return;
+          case Stmt::Kind::Continue:
+            if (loops_.empty()) {
+                diags_.error(s.loc, "'continue' outside a loop");
+                return;
+            }
+            builder_.createBr(loops_.back().continueTarget);
+            builder_.setInsertPoint(newBlock("after.continue"));
+            return;
+          case Stmt::Kind::Return: {
+            if (s.expr != nullptr) {
+                Value *v = genRValue(*s.expr);
+                if (kernel_->returnType()->isVoid()) {
+                    diags_.error(s.loc, "returning a value from a void "
+                                 "function");
+                    builder_.createRet(nullptr);
+                } else {
+                    builder_.createRet(
+                        convert(s.loc, v, kernel_->returnType()));
+                }
+            } else {
+                if (!kernel_->returnType()->isVoid())
+                    diags_.error(s.loc, "non-void function must return a "
+                                 "value");
+                builder_.createRet(nullptr);
+            }
+            builder_.setInsertPoint(newBlock("after.return"));
+            return;
+          }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Functions
+    // ------------------------------------------------------------------
+    void
+    genFunction(const FunctionDecl &fn)
+    {
+        if (fn.body == nullptr)
+            return;
+        if (functions_.count(fn.name)) {
+            diags_.error(fn.loc, "redefinition of '" + fn.name + "'");
+            return;
+        }
+        const Type *ret = resolveType(fn.returnType);
+        kernel_ = module_->addKernel(fn.name, fn.isKernel, ret);
+        if (fn.isKernel && !ret->isVoid())
+            diags_.error(fn.loc, "kernels must return void");
+
+        Symbol fsym;
+        fsym.kind = Symbol::Kind::Function;
+        fsym.function = kernel_;
+        functions_[fn.name] = fsym;
+
+        scopes_.clear();
+        pushScope();
+        loops_.clear();
+
+        ir::BasicBlock *entry = kernel_->addBlock("B1.entry");
+        builder_.setInsertPoint(entry);
+
+        for (const ParamDecl &p : fn.params) {
+            const Type *pt = resolveType(p.type);
+            if (pt->isVoid()) {
+                diags_.error(p.loc, "parameter cannot have void type");
+                continue;
+            }
+            ir::Argument *arg = kernel_->addArgument(pt, p.name);
+            // Parameters are mutable in C: shadow each with a slot.
+            ir::PrivateSlot *slot = kernel_->addSlot(pt, p.name);
+            builder_.createSlotStore(slot, arg);
+            Symbol sym;
+            sym.kind = Symbol::Kind::Var;
+            sym.slot = slot;
+            if (!p.name.empty())
+                declare(p.loc, p.name, sym);
+        }
+
+        genStmt(*fn.body);
+        if (!builder_.terminated()) {
+            // The trailing block may be an unreachable continuation
+            // created after return/break; only a *reachable* fall-off
+            // of a non-void function is an error.
+            ir::BasicBlock *bb = builder_.insertBlock();
+            bool reachable = bb == kernel_->entry() ||
+                             !kernel_->predecessorMap()[bb].empty();
+            if (kernel_->returnType()->isVoid()) {
+                builder_.createRet(nullptr);
+            } else {
+                if (reachable) {
+                    diags_.error(fn.loc, "control reaches end of "
+                                 "non-void function '" + fn.name + "'");
+                }
+                if (kernel_->returnType()->isIntOrBool()) {
+                    builder_.createRet(
+                        builder_.constInt(kernel_->returnType(), 0));
+                } else if (kernel_->returnType()->isFloat()) {
+                    builder_.createRet(
+                        builder_.constFloat(kernel_->returnType(), 0.0));
+                } else {
+                    builder_.createRet(builder_.createCast(
+                        ir::Opcode::IntToPtr, builder_.constI64(0),
+                        kernel_->returnType()));
+                }
+            }
+        }
+        kernel_->removeUnreachableBlocks();
+        popScope();
+        kernel_ = nullptr;
+    }
+
+    struct LoopCtx
+    {
+        ir::BasicBlock *continueTarget;
+        ir::BasicBlock *breakTarget;
+
+        LoopCtx(ir::BasicBlock *c, ir::BasicBlock *b)
+            : continueTarget(c), breakTarget(b)
+        {}
+    };
+
+    const TranslationUnit &tu_;
+    DiagnosticEngine &diags_;
+    std::unique_ptr<ir::Module> module_;
+    IRBuilder builder_;
+    ir::Kernel *kernel_ = nullptr;
+    std::vector<std::map<std::string, Symbol>> scopes_;
+    std::map<std::string, Symbol> functions_;
+    std::map<const void *, std::vector<uint64_t>> arrayDims_;
+    std::vector<LoopCtx> loops_;
+};
+
+// ----------------------------------------------------------------------
+// Built-in function calls
+// ----------------------------------------------------------------------
+
+EValue
+IRGenerator::genCall(const Expr &e)
+{
+    auto &t = module_->types();
+    const std::string &name = e.name;
+
+    auto arg = [&](size_t i) { return genRValue(*e.args.at(i)); };
+    auto argCount = [&](size_t n) {
+        if (e.args.size() != n) {
+            diags_.error(e.loc, name + " expects " + std::to_string(n) +
+                         " argument(s)");
+            return false;
+        }
+        return true;
+    };
+
+    // --- Work-item queries ---
+    static const std::map<std::string, ir::WorkItemQuery> wi_queries = {
+        {"get_global_id", ir::WorkItemQuery::GlobalId},
+        {"get_local_id", ir::WorkItemQuery::LocalId},
+        {"get_group_id", ir::WorkItemQuery::GroupId},
+        {"get_global_size", ir::WorkItemQuery::GlobalSize},
+        {"get_local_size", ir::WorkItemQuery::LocalSize},
+        {"get_num_groups", ir::WorkItemQuery::NumGroups},
+    };
+    auto wq = wi_queries.find(name);
+    if (wq != wi_queries.end()) {
+        if (!argCount(1))
+            return makeRValue(builder_.constI32(0));
+        Value *dim = convert(e.loc, arg(0), t.u32());
+        return makeRValue(builder_.createWorkItemInfo(wq->second, dim));
+    }
+    if (name == "get_work_dim") {
+        return makeRValue(builder_.createWorkItemInfo(
+            ir::WorkItemQuery::WorkDim, nullptr));
+    }
+
+    // --- Synchronization ---
+    if (name == "barrier") {
+        // The flag argument only selects which memories to fence; the
+        // SOFF barrier always orders both (conservative).
+        for (const ExprPtr &a : e.args)
+            genRValue(*a);
+        builder_.createBarrier();
+        return makeRValue(builder_.constI32(0));
+    }
+    if (name == "mem_fence" || name == "read_mem_fence" ||
+        name == "write_mem_fence") {
+        for (const ExprPtr &a : e.args)
+            genRValue(*a);
+        return makeRValue(builder_.constI32(0));
+    }
+
+    // --- Atomics (both OpenCL 1.0 atom_* and 1.1 atomic_* names) ---
+    std::string aname = name;
+    if (strStartsWith(aname, "atom_"))
+        aname = "atomic_" + aname.substr(5);
+    if (strStartsWith(aname, "atomic_")) {
+        std::string op = aname.substr(7);
+        if (op == "inc" || op == "dec") {
+            if (!argCount(1))
+                return makeRValue(builder_.constI32(0));
+            Value *p = arg(0);
+            if (!p->type()->isPointer()) {
+                diags_.error(e.loc, "atomic on non-pointer");
+                return makeRValue(builder_.constI32(0));
+            }
+            Value *one = builder_.constInt(p->type()->pointee(), 1);
+            return makeRValue(builder_.createAtomicRMW(
+                op == "inc" ? ir::AtomicOp::Add : ir::AtomicOp::Sub,
+                p, one));
+        }
+        if (op == "cmpxchg") {
+            if (!argCount(3))
+                return makeRValue(builder_.constI32(0));
+            Value *p = arg(0);
+            const Type *et = p->type()->isPointer() ? p->type()->pointee()
+                                                    : t.i32();
+            Value *cmp = convert(e.loc, arg(1), et);
+            Value *val = convert(e.loc, arg(2), et);
+            return makeRValue(builder_.createAtomicCmpXchg(p, cmp, val));
+        }
+        static const std::map<std::string, ir::AtomicOp> rmw_signed = {
+            {"add", ir::AtomicOp::Add}, {"sub", ir::AtomicOp::Sub},
+            {"and", ir::AtomicOp::And}, {"or", ir::AtomicOp::Or},
+            {"xor", ir::AtomicOp::Xor}, {"min", ir::AtomicOp::SMin},
+            {"max", ir::AtomicOp::SMax}, {"xchg", ir::AtomicOp::Xchg},
+        };
+        auto it = rmw_signed.find(op);
+        if (it != rmw_signed.end()) {
+            if (!argCount(2))
+                return makeRValue(builder_.constI32(0));
+            Value *p = arg(0);
+            if (!p->type()->isPointer()) {
+                diags_.error(e.loc, "atomic on non-pointer");
+                return makeRValue(builder_.constI32(0));
+            }
+            const Type *et = p->type()->pointee();
+            ir::AtomicOp aop = it->second;
+            if (et->isInt() && !et->isSigned()) {
+                if (aop == ir::AtomicOp::SMin)
+                    aop = ir::AtomicOp::UMin;
+                else if (aop == ir::AtomicOp::SMax)
+                    aop = ir::AtomicOp::UMax;
+            }
+            Value *v = convert(e.loc, arg(1), et);
+            return makeRValue(builder_.createAtomicRMW(aop, p, v));
+        }
+    }
+
+    // --- Type conversion / reinterpretation builtins ---
+    if (strStartsWith(name, "convert_")) {
+        if (!argCount(1))
+            return makeRValue(builder_.constI32(0));
+        static const std::map<std::string, ASTType::Base> bases = {
+            {"char", ASTType::Base::Char}, {"uchar", ASTType::Base::UChar},
+            {"short", ASTType::Base::Short},
+            {"ushort", ASTType::Base::UShort},
+            {"int", ASTType::Base::Int}, {"uint", ASTType::Base::UInt},
+            {"long", ASTType::Base::Long}, {"ulong", ASTType::Base::ULong},
+            {"float", ASTType::Base::Float},
+            {"double", ASTType::Base::Double},
+        };
+        std::string target = name.substr(8);
+        // Strip saturation/rounding suffixes (e.g. convert_int_sat_rte).
+        size_t us = target.find('_');
+        if (us != std::string::npos)
+            target = target.substr(0, us);
+        auto it = bases.find(target);
+        if (it == bases.end()) {
+            diags_.error(e.loc, "unsupported conversion '" + name + "'");
+            return makeRValue(builder_.constI32(0));
+        }
+        return makeRValue(convert(e.loc, arg(0), scalarType(it->second)));
+    }
+    if (name == "as_float" || name == "as_int" || name == "as_uint") {
+        if (!argCount(1))
+            return makeRValue(builder_.constI32(0));
+        const Type *to = name == "as_float" ? t.f32()
+                         : name == "as_int" ? t.i32() : t.u32();
+        return makeRValue(builder_.createCast(Opcode::Bitcast, arg(0),
+                                              to));
+    }
+
+    // --- Math builtins ---
+    EValue math = genMathBuiltin(e);
+    if (math.kind != EValue::Kind::Invalid)
+        return math;
+
+    // --- User functions ---
+    Symbol *sym = lookup(name);
+    if (sym != nullptr && sym->kind == Symbol::Kind::Function) {
+        ir::Kernel *callee = sym->function;
+        if (callee->isKernel()) {
+            diags_.error(e.loc, "calling a kernel from a kernel is not "
+                         "supported");
+            return makeRValue(builder_.constI32(0));
+        }
+        if (e.args.size() != callee->numArguments()) {
+            diags_.error(e.loc, "wrong number of arguments to '" + name +
+                         "'");
+            return makeRValue(builder_.constI32(0));
+        }
+        std::vector<Value *> args;
+        for (size_t i = 0; i < e.args.size(); ++i) {
+            Value *v = genRValue(*e.args[i]);
+            args.push_back(convert(e.args[i]->loc, v,
+                                   callee->argument(i)->type()));
+        }
+        return makeRValue(builder_.createCall(callee, args));
+    }
+
+    diags_.error(e.loc, "call to unknown function '" + name + "'");
+    return makeRValue(builder_.constI32(0));
+}
+
+EValue
+IRGenerator::genMathBuiltin(const Expr &e)
+{
+    auto &t = module_->types();
+    const std::string &name = e.name;
+
+    // Unary float functions (incl. native_/half_ approximations).
+    static const std::map<std::string, ir::MathFunc> unary_float = {
+        {"sqrt", ir::MathFunc::Sqrt}, {"rsqrt", ir::MathFunc::Rsqrt},
+        {"fabs", ir::MathFunc::Fabs}, {"exp", ir::MathFunc::Exp},
+        {"exp2", ir::MathFunc::Exp2}, {"log", ir::MathFunc::Log},
+        {"log2", ir::MathFunc::Log2}, {"log10", ir::MathFunc::Log10},
+        {"sin", ir::MathFunc::Sin}, {"cos", ir::MathFunc::Cos},
+        {"tan", ir::MathFunc::Tan}, {"asin", ir::MathFunc::Asin},
+        {"acos", ir::MathFunc::Acos}, {"atan", ir::MathFunc::Atan},
+        {"floor", ir::MathFunc::Floor}, {"ceil", ir::MathFunc::Ceil},
+        {"round", ir::MathFunc::Round},
+    };
+    static const std::map<std::string, ir::MathFunc> binary_float = {
+        {"pow", ir::MathFunc::Pow}, {"powr", ir::MathFunc::Pow},
+        {"fmin", ir::MathFunc::Fmin}, {"fmax", ir::MathFunc::Fmax},
+        {"fmod", ir::MathFunc::Fmod}, {"hypot", ir::MathFunc::Hypot},
+        {"atan2", ir::MathFunc::Atan2},
+        {"copysign", ir::MathFunc::Copysign},
+    };
+
+    std::string base = name;
+    if (strStartsWith(base, "native_"))
+        base = base.substr(7);
+    else if (strStartsWith(base, "half_"))
+        base = base.substr(5);
+
+    auto floatArg = [&](size_t i) {
+        Value *v = genRValue(*e.args.at(i));
+        if (v->type()->isFloat())
+            return v;
+        return convert(e.args[i]->loc, v, t.f32());
+    };
+
+    auto uf = unary_float.find(base);
+    if (uf != unary_float.end() && e.args.size() == 1) {
+        Value *a = floatArg(0);
+        return makeRValue(builder_.createMathCall(uf->second, a->type(),
+                                                  {a}));
+    }
+    auto bf = binary_float.find(base);
+    if (bf != binary_float.end() && e.args.size() == 2) {
+        Value *a = floatArg(0);
+        Value *b = floatArg(1);
+        const Type *ct = commonType(a->type(), b->type());
+        a = convert(e.loc, a, ct);
+        b = convert(e.loc, b, ct);
+        return makeRValue(builder_.createMathCall(bf->second, ct, {a, b}));
+    }
+    if ((base == "mad" || base == "fma" || base == "mix") &&
+        e.args.size() == 3) {
+        Value *a = floatArg(0);
+        Value *b = floatArg(1);
+        Value *c = floatArg(2);
+        const Type *ct = commonType(commonType(a->type(), b->type()),
+                                    c->type());
+        a = convert(e.loc, a, ct);
+        b = convert(e.loc, b, ct);
+        c = convert(e.loc, c, ct);
+        if (base == "mix") {
+            // mix(a,b,c) = a + (b - a) * c
+            Value *d = builder_.createBinOp(Opcode::FSub, b, a);
+            Value *m = builder_.createBinOp(Opcode::FMul, d, c);
+            return makeRValue(builder_.createBinOp(Opcode::FAdd, a, m));
+        }
+        return makeRValue(builder_.createMathCall(
+            base == "mad" ? ir::MathFunc::Mad : ir::MathFunc::Fma, ct,
+            {a, b, c}));
+    }
+
+    // Polymorphic min/max/abs/clamp.
+    if ((base == "min" || base == "max") && e.args.size() == 2) {
+        Value *a = genRValue(*e.args[0]);
+        Value *b = genRValue(*e.args[1]);
+        const Type *ct = commonType(a->type(), b->type());
+        a = convert(e.loc, a, ct);
+        b = convert(e.loc, b, ct);
+        ir::MathFunc f;
+        if (ct->isFloat())
+            f = base == "min" ? ir::MathFunc::Fmin : ir::MathFunc::Fmax;
+        else if (ct->isSigned())
+            f = base == "min" ? ir::MathFunc::SMin : ir::MathFunc::SMax;
+        else
+            f = base == "min" ? ir::MathFunc::UMin : ir::MathFunc::UMax;
+        return makeRValue(builder_.createMathCall(f, ct, {a, b}));
+    }
+    if (base == "abs" && e.args.size() == 1) {
+        Value *a = genRValue(*e.args[0]);
+        if (a->type()->isFloat())
+            return makeRValue(builder_.createMathCall(
+                ir::MathFunc::Fabs, a->type(), {a}));
+        const Type *ct = commonType(a->type(), a->type());
+        a = convert(e.loc, a, ct);
+        return makeRValue(builder_.createMathCall(ir::MathFunc::SAbs, ct,
+                                                  {a}));
+    }
+    if (base == "clamp" && e.args.size() == 3) {
+        Value *x = genRValue(*e.args[0]);
+        Value *lo = genRValue(*e.args[1]);
+        Value *hi = genRValue(*e.args[2]);
+        const Type *ct = commonType(commonType(x->type(), lo->type()),
+                                    hi->type());
+        x = convert(e.loc, x, ct);
+        lo = convert(e.loc, lo, ct);
+        hi = convert(e.loc, hi, ct);
+        ir::MathFunc f = ct->isFloat() ? ir::MathFunc::FClamp
+                         : ct->isSigned() ? ir::MathFunc::SClamp
+                                          : ir::MathFunc::UClamp;
+        return makeRValue(builder_.createMathCall(f, ct, {x, lo, hi}));
+    }
+    if (base == "mul24" && e.args.size() == 2) {
+        Value *a = genRValue(*e.args[0]);
+        Value *b = genRValue(*e.args[1]);
+        const Type *ct = commonType(a->type(), b->type());
+        return makeRValue(builder_.createBinOp(
+            Opcode::Mul, convert(e.loc, a, ct), convert(e.loc, b, ct)));
+    }
+    if (base == "mad24" && e.args.size() == 3) {
+        Value *a = genRValue(*e.args[0]);
+        Value *b = genRValue(*e.args[1]);
+        Value *c = genRValue(*e.args[2]);
+        const Type *ct = commonType(commonType(a->type(), b->type()),
+                                    c->type());
+        Value *m = builder_.createBinOp(Opcode::Mul,
+                                        convert(e.loc, a, ct),
+                                        convert(e.loc, b, ct));
+        return makeRValue(builder_.createBinOp(Opcode::Add, m,
+                                               convert(e.loc, c, ct)));
+    }
+    if (base == "select" && e.args.size() == 3) {
+        // OpenCL scalar select(a, b, c): c ? b : a.
+        Value *a = genRValue(*e.args[0]);
+        Value *b = genRValue(*e.args[1]);
+        Value *c = toCondition(e.loc, genRValue(*e.args[2]));
+        const Type *ct = a->type() == b->type()
+            ? a->type() : commonType(a->type(), b->type());
+        a = convert(e.loc, a, ct);
+        b = convert(e.loc, b, ct);
+        return makeRValue(builder_.createSelect(c, b, a));
+    }
+
+    return EValue(); // Kind::Invalid -> not a math builtin
+}
+
+} // namespace
+
+std::unique_ptr<ir::Module>
+generateIR(const TranslationUnit &tu, const std::string &module_name,
+           DiagnosticEngine &diags)
+{
+    IRGenerator gen(tu, module_name, diags);
+    return gen.run();
+}
+
+std::unique_ptr<ir::Module>
+compileToIR(const std::string &source, const std::string &module_name)
+{
+    DiagnosticEngine diags;
+    TranslationUnit tu = parseSource(source, diags);
+    diags.checkNoErrors();
+    auto module = generateIR(tu, module_name, diags);
+    diags.checkNoErrors();
+    return module;
+}
+
+} // namespace soff::fe

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * AST -> SSA-IR generation with on-the-fly semantic analysis.
+ *
+ * Mutable C variables (including whole private arrays, paper §III-C) are
+ * generated as private slots accessed via SlotLoad/SlotStore; the
+ * mem2reg pass in src/transform then promotes them to SSA form. __local
+ * variables become kernel LocalVars accessed through real load/store
+ * instructions (they are memory, backed by local memory blocks, §V-B).
+ */
+#pragma once
+
+#include <memory>
+
+#include "frontend/ast.hpp"
+#include "ir/builder.hpp"
+
+namespace soff::fe
+{
+
+/**
+ * Generates a Module from a parsed translation unit. Reports semantic
+ * errors to the diagnostic engine; returns a partially built module
+ * (check diags.hasErrors() before using it).
+ */
+std::unique_ptr<ir::Module> generateIR(const TranslationUnit &tu,
+                                       const std::string &module_name,
+                                       DiagnosticEngine &diags);
+
+/** Full pipeline: lex + parse + irgen; throws CompileError on failure. */
+std::unique_ptr<ir::Module> compileToIR(const std::string &source,
+                                        const std::string &module_name);
+
+} // namespace soff::fe

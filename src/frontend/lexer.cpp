@@ -1,0 +1,411 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+namespace soff::fe
+{
+
+namespace
+{
+
+const std::set<std::string> &
+keywords()
+{
+    static const std::set<std::string> kws = {
+        "void", "bool", "char", "uchar", "short", "ushort", "int", "uint",
+        "long", "ulong", "float", "double", "half", "size_t", "ptrdiff_t",
+        "signed", "unsigned",
+        "if", "else", "for", "while", "do", "break", "continue", "return",
+        "switch", "case", "default", "goto",
+        "const", "restrict", "volatile", "static", "inline", "typedef",
+        "struct", "union", "enum", "sizeof",
+        "__kernel", "kernel", "__global", "global", "__local", "local",
+        "__constant", "constant", "__private", "private",
+        "true", "false",
+    };
+    return kws;
+}
+
+} // namespace
+
+bool
+isKeywordSpelling(const std::string &text)
+{
+    return keywords().count(text) > 0;
+}
+
+std::string
+Token::str() const
+{
+    switch (kind) {
+      case TokKind::EndOfFile: return "<eof>";
+      case TokKind::Identifier:
+      case TokKind::Keyword:
+        return text;
+      case TokKind::IntLiteral: return std::to_string(intValue);
+      case TokKind::FloatLiteral: return std::to_string(floatValue);
+      default: return text.empty() ? "<op>" : text;
+    }
+}
+
+Lexer::Lexer(const std::string &source, DiagnosticEngine &diags)
+    : src_(source), diags_(diags)
+{
+    // Built-in macros (OpenCL barrier flags).
+    Token one;
+    one.kind = TokKind::IntLiteral;
+    one.intValue = 1;
+    Token two = one;
+    two.intValue = 2;
+    macros_["CLK_LOCAL_MEM_FENCE"] = {one};
+    macros_["CLK_GLOBAL_MEM_FENCE"] = {two};
+}
+
+char
+Lexer::peek(size_t ahead) const
+{
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char
+Lexer::advance()
+{
+    char c = src_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        column_ = 1;
+    } else {
+        ++column_;
+    }
+    return c;
+}
+
+bool
+Lexer::match(char c)
+{
+    if (!atEnd() && peek() == c) {
+        advance();
+        return true;
+    }
+    return false;
+}
+
+void
+Lexer::skipWhitespaceAndComments(bool &at_line_start)
+{
+    while (!atEnd()) {
+        char c = peek();
+        if (c == '\n') {
+            at_line_start = true;
+            advance();
+        } else if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (!atEnd() && peek() != '\n')
+                advance();
+        } else if (c == '/' && peek(1) == '*') {
+            advance();
+            advance();
+            while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+                advance();
+            if (!atEnd()) {
+                advance();
+                advance();
+            }
+        } else if (c == '\\' && peek(1) == '\n') {
+            advance();
+            advance();
+        } else {
+            break;
+        }
+    }
+}
+
+void
+Lexer::handleDirective()
+{
+    SourceLoc loc = here();
+    advance(); // '#'
+    // Read directive name.
+    while (!atEnd() && (peek() == ' ' || peek() == '\t'))
+        advance();
+    std::string name;
+    while (!atEnd() && (std::isalpha(static_cast<unsigned char>(peek())) ||
+                        peek() == '_')) {
+        name += advance();
+    }
+    auto restOfLine = [&]() {
+        std::string rest;
+        while (!atEnd() && peek() != '\n') {
+            if (peek() == '\\' && peek(1) == '\n') {
+                advance();
+                advance();
+                continue;
+            }
+            rest += advance();
+        }
+        return rest;
+    };
+    if (name == "define") {
+        while (!atEnd() && (peek() == ' ' || peek() == '\t'))
+            advance();
+        std::string macro;
+        while (!atEnd() &&
+               (std::isalnum(static_cast<unsigned char>(peek())) ||
+                peek() == '_')) {
+            macro += advance();
+        }
+        if (macro.empty()) {
+            diags_.error(loc, "malformed #define");
+            restOfLine();
+            return;
+        }
+        if (peek() == '(') {
+            diags_.error(loc, "function-like macros are not supported");
+            restOfLine();
+            return;
+        }
+        std::string body = restOfLine();
+        Lexer sub(body, diags_);
+        std::vector<Token> toks = sub.lex();
+        toks.pop_back(); // drop EOF
+        macros_[macro] = toks;
+    } else if (name == "undef") {
+        std::string rest = restOfLine();
+        std::string macro;
+        for (char c : rest) {
+            if (std::isalnum(static_cast<unsigned char>(c)) || c == '_')
+                macro += c;
+            else if (!macro.empty())
+                break;
+        }
+        macros_.erase(macro);
+    } else if (name == "pragma") {
+        restOfLine();
+    } else {
+        diags_.error(loc, "unsupported preprocessor directive #" + name);
+        restOfLine();
+    }
+}
+
+Token
+Lexer::lexNumber()
+{
+    Token tok;
+    tok.loc = here();
+    std::string text;
+    bool is_float = false;
+    bool is_hex = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        is_hex = true;
+        text += advance();
+        text += advance();
+        while (std::isxdigit(static_cast<unsigned char>(peek())))
+            text += advance();
+    } else {
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            text += advance();
+        if (peek() == '.' &&
+            std::isdigit(static_cast<unsigned char>(peek(1)))) {
+            is_float = true;
+            text += advance();
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                text += advance();
+        } else if (peek() == '.') {
+            is_float = true;
+            text += advance();
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            is_float = true;
+            text += advance();
+            if (peek() == '+' || peek() == '-')
+                text += advance();
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                text += advance();
+        }
+    }
+    if (is_float) {
+        tok.kind = TokKind::FloatLiteral;
+        tok.floatValue = std::strtod(text.c_str(), nullptr);
+        tok.floatIsDouble = true;
+        if (peek() == 'f' || peek() == 'F') {
+            advance();
+            tok.floatIsDouble = false;
+            tok.floatValue =
+                static_cast<double>(static_cast<float>(tok.floatValue));
+        }
+        return tok;
+    }
+    tok.kind = TokKind::IntLiteral;
+    tok.intValue = std::strtoull(text.c_str(), nullptr, is_hex ? 16 : 10);
+    // Suffixes: u/U, l/L in any order.
+    for (int i = 0; i < 2; ++i) {
+        if (peek() == 'u' || peek() == 'U') {
+            advance();
+            tok.intIsUnsigned = true;
+        } else if (peek() == 'l' || peek() == 'L') {
+            advance();
+            tok.intIsLong = true;
+        }
+    }
+    return tok;
+}
+
+Token
+Lexer::lexIdentifier()
+{
+    Token tok;
+    tok.loc = here();
+    std::string text;
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_')) {
+        text += advance();
+    }
+    tok.text = text;
+    tok.kind = isKeywordSpelling(text) ? TokKind::Keyword
+                                       : TokKind::Identifier;
+    if (tok.isKeyword("true") || tok.isKeyword("false")) {
+        tok.kind = TokKind::IntLiteral;
+        tok.intValue = tok.text == "true" ? 1 : 0;
+    }
+    return tok;
+}
+
+Token
+Lexer::lexToken()
+{
+    Token tok;
+    tok.loc = here();
+    char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        return lexNumber();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+        return lexIdentifier();
+    advance();
+    auto set = [&](TokKind k, const char *text) {
+        tok.kind = k;
+        tok.text = text;
+        return tok;
+    };
+    switch (c) {
+      case '(': return set(TokKind::LParen, "(");
+      case ')': return set(TokKind::RParen, ")");
+      case '{': return set(TokKind::LBrace, "{");
+      case '}': return set(TokKind::RBrace, "}");
+      case '[': return set(TokKind::LBracket, "[");
+      case ']': return set(TokKind::RBracket, "]");
+      case ',': return set(TokKind::Comma, ",");
+      case ';': return set(TokKind::Semicolon, ";");
+      case '?': return set(TokKind::Question, "?");
+      case ':': return set(TokKind::Colon, ":");
+      case '~': return set(TokKind::Tilde, "~");
+      case '.':
+        if (match('.')) {
+            // "..." unsupported; report as '.'
+            match('.');
+        }
+        return set(TokKind::Dot, ".");
+      case '+':
+        if (match('+')) return set(TokKind::PlusPlus, "++");
+        if (match('=')) return set(TokKind::PlusAssign, "+=");
+        return set(TokKind::Plus, "+");
+      case '-':
+        if (match('-')) return set(TokKind::MinusMinus, "--");
+        if (match('=')) return set(TokKind::MinusAssign, "-=");
+        if (match('>')) return set(TokKind::Arrow, "->");
+        return set(TokKind::Minus, "-");
+      case '*':
+        if (match('=')) return set(TokKind::StarAssign, "*=");
+        return set(TokKind::Star, "*");
+      case '/':
+        if (match('=')) return set(TokKind::SlashAssign, "/=");
+        return set(TokKind::Slash, "/");
+      case '%':
+        if (match('=')) return set(TokKind::PercentAssign, "%=");
+        return set(TokKind::Percent, "%");
+      case '&':
+        if (match('&')) return set(TokKind::AmpAmp, "&&");
+        if (match('=')) return set(TokKind::AmpAssign, "&=");
+        return set(TokKind::Amp, "&");
+      case '|':
+        if (match('|')) return set(TokKind::PipePipe, "||");
+        if (match('=')) return set(TokKind::PipeAssign, "|=");
+        return set(TokKind::Pipe, "|");
+      case '^':
+        if (match('=')) return set(TokKind::CaretAssign, "^=");
+        return set(TokKind::Caret, "^");
+      case '!':
+        if (match('=')) return set(TokKind::BangEq, "!=");
+        return set(TokKind::Bang, "!");
+      case '=':
+        if (match('=')) return set(TokKind::EqEq, "==");
+        return set(TokKind::Assign, "=");
+      case '<':
+        if (match('<')) {
+            if (match('=')) return set(TokKind::ShlAssign, "<<=");
+            return set(TokKind::Shl, "<<");
+        }
+        if (match('=')) return set(TokKind::LessEq, "<=");
+        return set(TokKind::Less, "<");
+      case '>':
+        if (match('>')) {
+            if (match('=')) return set(TokKind::ShrAssign, ">>=");
+            return set(TokKind::Shr, ">>");
+        }
+        if (match('=')) return set(TokKind::GreaterEq, ">=");
+        return set(TokKind::Greater, ">");
+      default:
+        diags_.error(tok.loc,
+                     std::string("unexpected character '") + c + "'");
+        return set(TokKind::EndOfFile, "");
+    }
+}
+
+void
+Lexer::expandInto(const Token &tok, std::vector<Token> &out, int depth)
+{
+    if (tok.kind == TokKind::Identifier && depth < 16) {
+        auto it = macros_.find(tok.text);
+        if (it != macros_.end()) {
+            for (const Token &t : it->second) {
+                Token copy = t;
+                copy.loc = tok.loc;
+                expandInto(copy, out, depth + 1);
+            }
+            return;
+        }
+    }
+    out.push_back(tok);
+}
+
+std::vector<Token>
+Lexer::lex()
+{
+    std::vector<Token> out;
+    bool at_line_start = true;
+    while (true) {
+        skipWhitespaceAndComments(at_line_start);
+        if (atEnd())
+            break;
+        if (peek() == '#' && at_line_start) {
+            handleDirective();
+            continue;
+        }
+        at_line_start = false;
+        Token tok = lexToken();
+        if (tok.kind == TokKind::EndOfFile)
+            continue; // lex error already reported
+        expandInto(tok, out, 0);
+    }
+    Token eof;
+    eof.kind = TokKind::EndOfFile;
+    eof.loc = here();
+    out.push_back(eof);
+    return out;
+}
+
+} // namespace soff::fe

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * OpenCL C lexer with a built-in miniature preprocessor.
+ *
+ * The preprocessor supports object-like #define/#undef (enough for the
+ * benchmark kernels' constant definitions and OpenCL's CLK_*_MEM_FENCE
+ * macros) and ignores #pragma. Function-like macros, #include, and
+ * conditionals are diagnosed as unsupported.
+ */
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "frontend/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace soff::fe
+{
+
+/** Lexes a full source string into a token vector (macros expanded). */
+class Lexer
+{
+  public:
+    Lexer(const std::string &source, DiagnosticEngine &diags);
+
+    /** Runs the lexer; the result always ends with an EndOfFile token. */
+    std::vector<Token> lex();
+
+  private:
+    // Raw character access.
+    bool atEnd() const { return pos_ >= src_.size(); }
+    char peek(size_t ahead = 0) const;
+    char advance();
+    bool match(char c);
+    SourceLoc here() const { return {line_, column_}; }
+
+    void skipWhitespaceAndComments(bool &at_line_start);
+    Token lexToken();
+    Token lexNumber();
+    Token lexIdentifier();
+    void handleDirective();
+
+    /** Expands macros in a raw token stream (with a recursion cap). */
+    void expandInto(const Token &tok, std::vector<Token> &out, int depth);
+
+    std::string src_;
+    DiagnosticEngine &diags_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+    std::map<std::string, std::vector<Token>> macros_;
+};
+
+/** True if the given spelling is an OpenCL C keyword in our subset. */
+bool isKeywordSpelling(const std::string &text);
+
+} // namespace soff::fe

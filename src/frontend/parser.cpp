@@ -1,0 +1,724 @@
+#include "frontend/parser.hpp"
+
+#include <map>
+
+namespace soff::fe
+{
+
+namespace
+{
+
+/** Binary operator precedence (C, higher binds tighter). */
+int
+binaryPrec(TokKind k)
+{
+    switch (k) {
+      case TokKind::Star: case TokKind::Slash: case TokKind::Percent:
+        return 10;
+      case TokKind::Plus: case TokKind::Minus:
+        return 9;
+      case TokKind::Shl: case TokKind::Shr:
+        return 8;
+      case TokKind::Less: case TokKind::LessEq:
+      case TokKind::Greater: case TokKind::GreaterEq:
+        return 7;
+      case TokKind::EqEq: case TokKind::BangEq:
+        return 6;
+      case TokKind::Amp:
+        return 5;
+      case TokKind::Caret:
+        return 4;
+      case TokKind::Pipe:
+        return 3;
+      case TokKind::AmpAmp:
+        return 2;
+      case TokKind::PipePipe:
+        return 1;
+      default:
+        return -1;
+    }
+}
+
+bool
+isAssignOp(TokKind k)
+{
+    switch (k) {
+      case TokKind::Assign: case TokKind::PlusAssign:
+      case TokKind::MinusAssign: case TokKind::StarAssign:
+      case TokKind::SlashAssign: case TokKind::PercentAssign:
+      case TokKind::AmpAssign: case TokKind::PipeAssign:
+      case TokKind::CaretAssign: case TokKind::ShlAssign:
+      case TokKind::ShrAssign:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isBaseTypeKeyword(const std::string &text)
+{
+    static const std::map<std::string, int> bases = {
+        {"void", 1}, {"bool", 1}, {"char", 1}, {"uchar", 1}, {"short", 1},
+        {"ushort", 1}, {"int", 1}, {"uint", 1}, {"long", 1}, {"ulong", 1},
+        {"float", 1}, {"double", 1}, {"size_t", 1}, {"ptrdiff_t", 1},
+        {"signed", 1}, {"unsigned", 1},
+    };
+    return bases.count(text) > 0;
+}
+
+bool
+isQualifierKeyword(const std::string &text)
+{
+    static const std::map<std::string, int> quals = {
+        {"__global", 1}, {"global", 1}, {"__local", 1}, {"local", 1},
+        {"__constant", 1}, {"constant", 1}, {"__private", 1},
+        {"private", 1}, {"const", 1}, {"restrict", 1}, {"volatile", 1},
+    };
+    return quals.count(text) > 0;
+}
+
+} // namespace
+
+Parser::Parser(std::vector<Token> tokens, DiagnosticEngine &diags)
+    : toks_(std::move(tokens)), diags_(diags)
+{}
+
+const Token &
+Parser::peek(size_t ahead) const
+{
+    size_t i = pos_ + ahead;
+    if (i >= toks_.size())
+        i = toks_.size() - 1; // EOF
+    return toks_[i];
+}
+
+Token
+Parser::advance()
+{
+    Token t = cur();
+    if (pos_ + 1 < toks_.size())
+        ++pos_;
+    return t;
+}
+
+bool
+Parser::match(TokKind k)
+{
+    if (check(k)) {
+        advance();
+        return true;
+    }
+    return false;
+}
+
+bool
+Parser::matchKeyword(const char *kw)
+{
+    if (checkKeyword(kw)) {
+        advance();
+        return true;
+    }
+    return false;
+}
+
+Token
+Parser::expect(TokKind k, const std::string &what)
+{
+    if (check(k))
+        return advance();
+    error("expected " + what + " but found '" + cur().str() + "'");
+    return cur();
+}
+
+void
+Parser::error(const std::string &msg)
+{
+    diags_.error(cur().loc, msg);
+}
+
+void
+Parser::synchronizeTo(TokKind k)
+{
+    while (!check(TokKind::EndOfFile) && !check(k))
+        advance();
+    match(k);
+}
+
+bool
+Parser::atTypeStart(size_t ahead) const
+{
+    const Token &t = peek(ahead);
+    if (t.kind != TokKind::Keyword)
+        return false;
+    return isBaseTypeKeyword(t.text) || isQualifierKeyword(t.text);
+}
+
+ASTType
+Parser::parseType(ir::AddrSpace *addr_space)
+{
+    ASTType type;
+    ir::AddrSpace as = ir::AddrSpace::Private;
+    bool saw_base = false;
+    bool is_unsigned = false;
+    bool saw_long = false;
+
+    // Qualifiers and base-type keywords can interleave in C.
+    while (cur().kind == TokKind::Keyword) {
+        const std::string &kw = cur().text;
+        if (kw == "__global" || kw == "global") {
+            as = ir::AddrSpace::Global;
+            advance();
+        } else if (kw == "__local" || kw == "local") {
+            as = ir::AddrSpace::Local;
+            advance();
+        } else if (kw == "__constant" || kw == "constant") {
+            as = ir::AddrSpace::Constant;
+            advance();
+        } else if (kw == "__private" || kw == "private") {
+            as = ir::AddrSpace::Private;
+            advance();
+        } else if (kw == "const" || kw == "restrict" || kw == "volatile" ||
+                   kw == "static" || kw == "inline") {
+            advance(); // parsed, no semantic effect in our subset
+        } else if (kw == "unsigned") {
+            is_unsigned = true;
+            saw_base = true;
+            advance();
+        } else if (kw == "signed") {
+            saw_base = true;
+            advance();
+        } else if (isBaseTypeKeyword(kw)) {
+            saw_base = true;
+            if (kw == "void") type.base = ASTType::Base::Void;
+            else if (kw == "bool") type.base = ASTType::Base::Bool;
+            else if (kw == "char") type.base = ASTType::Base::Char;
+            else if (kw == "uchar") type.base = ASTType::Base::UChar;
+            else if (kw == "short") type.base = ASTType::Base::Short;
+            else if (kw == "ushort") type.base = ASTType::Base::UShort;
+            else if (kw == "int") type.base = ASTType::Base::Int;
+            else if (kw == "uint") type.base = ASTType::Base::UInt;
+            else if (kw == "long") { type.base = ASTType::Base::Long;
+                                     saw_long = true; }
+            else if (kw == "ulong") type.base = ASTType::Base::ULong;
+            else if (kw == "float") type.base = ASTType::Base::Float;
+            else if (kw == "double") type.base = ASTType::Base::Double;
+            else if (kw == "size_t") { type.base = ASTType::Base::ULong; }
+            else if (kw == "ptrdiff_t") { type.base = ASTType::Base::Long; }
+            advance();
+        } else {
+            break;
+        }
+    }
+    if (!saw_base)
+        error("expected a type");
+    (void)saw_long;
+    if (is_unsigned) {
+        switch (type.base) {
+          case ASTType::Base::Char: type.base = ASTType::Base::UChar; break;
+          case ASTType::Base::Short: type.base = ASTType::Base::UShort;
+            break;
+          case ASTType::Base::Long: type.base = ASTType::Base::ULong; break;
+          default: type.base = ASTType::Base::UInt; break;
+        }
+    }
+
+    // Pointer levels. A qualifier after '*' re-targets the address space
+    // of the *next outer* level; by default each level inherits.
+    while (check(TokKind::Star)) {
+        advance();
+        type.ptrs.push_back(as);
+        while (cur().kind == TokKind::Keyword &&
+               isQualifierKeyword(cur().text)) {
+            const std::string &kw = cur().text;
+            if (kw == "__global" || kw == "global")
+                as = ir::AddrSpace::Global;
+            else if (kw == "__local" || kw == "local")
+                as = ir::AddrSpace::Local;
+            else if (kw == "__constant" || kw == "constant")
+                as = ir::AddrSpace::Constant;
+            else if (kw == "__private" || kw == "private")
+                as = ir::AddrSpace::Private;
+            advance();
+        }
+    }
+    if (addr_space != nullptr)
+        *addr_space = type.isPointer() ? ir::AddrSpace::Private : as;
+    return type;
+}
+
+TranslationUnit
+Parser::parse()
+{
+    TranslationUnit tu;
+    while (!check(TokKind::EndOfFile)) {
+        if (checkKeyword("typedef") || checkKeyword("struct") ||
+            checkKeyword("union") || checkKeyword("enum")) {
+            error("'" + cur().text + "' is not supported by SOFF");
+            synchronizeTo(TokKind::Semicolon);
+            continue;
+        }
+        auto fn = parseFunction();
+        if (fn != nullptr)
+            tu.functions.push_back(std::move(fn));
+    }
+    return tu;
+}
+
+std::unique_ptr<FunctionDecl>
+Parser::parseFunction()
+{
+    auto fn = std::make_unique<FunctionDecl>();
+    fn->loc = cur().loc;
+    while (checkKeyword("__kernel") || checkKeyword("kernel")) {
+        fn->isKernel = true;
+        advance();
+    }
+    // "__attribute__((...))" is not in our keyword set; tolerate by name.
+    if (check(TokKind::Identifier) && cur().text == "__attribute__") {
+        advance();
+        int depth = 0;
+        do {
+            if (check(TokKind::LParen))
+                ++depth;
+            else if (check(TokKind::RParen))
+                --depth;
+            advance();
+        } while (depth > 0 && !check(TokKind::EndOfFile));
+    }
+    fn->returnType = parseType(nullptr);
+    Token name = expect(TokKind::Identifier, "function name");
+    fn->name = name.text;
+    expect(TokKind::LParen, "'('");
+    if (!check(TokKind::RParen)) {
+        do {
+            if (checkKeyword("void") && peek(1).is(TokKind::RParen)) {
+                advance();
+                break;
+            }
+            ParamDecl param;
+            param.loc = cur().loc;
+            param.type = parseType(nullptr);
+            if (check(TokKind::Identifier))
+                param.name = advance().text;
+            fn->params.push_back(std::move(param));
+        } while (match(TokKind::Comma));
+    }
+    expect(TokKind::RParen, "')'");
+    if (match(TokKind::Semicolon)) {
+        error("function prototypes are not supported; define '" +
+              fn->name + "' before use");
+        return nullptr;
+    }
+    if (!check(TokKind::LBrace)) {
+        error("expected function body");
+        synchronizeTo(TokKind::RBrace);
+        return nullptr;
+    }
+    fn->body = parseCompound();
+    return fn;
+}
+
+StmtPtr
+Parser::parseDeclStmt()
+{
+    auto stmt = std::make_unique<Stmt>(Stmt::Kind::Decl, cur().loc);
+    ir::AddrSpace as = ir::AddrSpace::Private;
+    stmt->declType = parseType(&as);
+    stmt->declAddrSpace = as;
+    do {
+        Declarator d;
+        d.loc = cur().loc;
+        Token name = expect(TokKind::Identifier, "variable name");
+        d.name = name.text;
+        while (match(TokKind::LBracket)) {
+            ExprPtr dim = parseConditional();
+            int64_t v = 0;
+            if (dim == nullptr || !evalConstInt(*dim, &v) || v <= 0) {
+                error("array size must be a positive integer constant");
+                v = 1;
+            }
+            d.arrayDims.push_back(static_cast<uint64_t>(v));
+            expect(TokKind::RBracket, "']'");
+        }
+        if (match(TokKind::Assign)) {
+            if (check(TokKind::LBrace)) {
+                error("initializer lists are not supported");
+                synchronizeTo(TokKind::RBrace);
+            } else {
+                d.init = parseAssignment();
+            }
+        }
+        stmt->declarators.push_back(std::move(d));
+    } while (match(TokKind::Comma));
+    expect(TokKind::Semicolon, "';'");
+    return stmt;
+}
+
+StmtPtr
+Parser::parseCompound()
+{
+    auto stmt = std::make_unique<Stmt>(Stmt::Kind::Compound, cur().loc);
+    expect(TokKind::LBrace, "'{'");
+    while (!check(TokKind::RBrace) && !check(TokKind::EndOfFile))
+        stmt->body.push_back(parseStmt());
+    expect(TokKind::RBrace, "'}'");
+    return stmt;
+}
+
+StmtPtr
+Parser::parseStmt()
+{
+    SourceLoc loc = cur().loc;
+    if (check(TokKind::LBrace))
+        return parseCompound();
+    if (match(TokKind::Semicolon))
+        return std::make_unique<Stmt>(Stmt::Kind::Empty, loc);
+    if (atTypeStart())
+        return parseDeclStmt();
+    if (matchKeyword("if")) {
+        auto stmt = std::make_unique<Stmt>(Stmt::Kind::If, loc);
+        expect(TokKind::LParen, "'('");
+        stmt->expr = parseExpr();
+        expect(TokKind::RParen, "')'");
+        stmt->thenStmt = parseStmt();
+        if (matchKeyword("else"))
+            stmt->elseStmt = parseStmt();
+        return stmt;
+    }
+    if (matchKeyword("while")) {
+        auto stmt = std::make_unique<Stmt>(Stmt::Kind::While, loc);
+        expect(TokKind::LParen, "'('");
+        stmt->expr = parseExpr();
+        expect(TokKind::RParen, "')'");
+        stmt->thenStmt = parseStmt();
+        return stmt;
+    }
+    if (matchKeyword("do")) {
+        auto stmt = std::make_unique<Stmt>(Stmt::Kind::DoWhile, loc);
+        stmt->thenStmt = parseStmt();
+        if (!matchKeyword("while"))
+            error("expected 'while' after do-body");
+        expect(TokKind::LParen, "'('");
+        stmt->expr = parseExpr();
+        expect(TokKind::RParen, "')'");
+        expect(TokKind::Semicolon, "';'");
+        return stmt;
+    }
+    if (matchKeyword("for")) {
+        auto stmt = std::make_unique<Stmt>(Stmt::Kind::For, loc);
+        expect(TokKind::LParen, "'('");
+        if (match(TokKind::Semicolon)) {
+            stmt->initStmt = std::make_unique<Stmt>(Stmt::Kind::Empty, loc);
+        } else if (atTypeStart()) {
+            stmt->initStmt = parseDeclStmt(); // consumes ';'
+        } else {
+            auto init = std::make_unique<Stmt>(Stmt::Kind::Expr, cur().loc);
+            init->expr = parseExpr();
+            stmt->initStmt = std::move(init);
+            expect(TokKind::Semicolon, "';'");
+        }
+        if (!check(TokKind::Semicolon))
+            stmt->expr = parseExpr();
+        expect(TokKind::Semicolon, "';'");
+        if (!check(TokKind::RParen))
+            stmt->incExpr = parseExpr();
+        expect(TokKind::RParen, "')'");
+        stmt->thenStmt = parseStmt();
+        return stmt;
+    }
+    if (matchKeyword("break")) {
+        expect(TokKind::Semicolon, "';'");
+        return std::make_unique<Stmt>(Stmt::Kind::Break, loc);
+    }
+    if (matchKeyword("continue")) {
+        expect(TokKind::Semicolon, "';'");
+        return std::make_unique<Stmt>(Stmt::Kind::Continue, loc);
+    }
+    if (matchKeyword("return")) {
+        auto stmt = std::make_unique<Stmt>(Stmt::Kind::Return, loc);
+        if (!check(TokKind::Semicolon))
+            stmt->expr = parseExpr();
+        expect(TokKind::Semicolon, "';'");
+        return stmt;
+    }
+    if (checkKeyword("switch") || checkKeyword("goto")) {
+        error("'" + cur().text + "' is not supported by SOFF");
+        synchronizeTo(TokKind::Semicolon);
+        return std::make_unique<Stmt>(Stmt::Kind::Empty, loc);
+    }
+    auto stmt = std::make_unique<Stmt>(Stmt::Kind::Expr, loc);
+    stmt->expr = parseExpr();
+    expect(TokKind::Semicolon, "';'");
+    return stmt;
+}
+
+ExprPtr
+Parser::parseExpr()
+{
+    ExprPtr e = parseAssignment();
+    while (check(TokKind::Comma)) {
+        SourceLoc loc = advance().loc;
+        auto comma = std::make_unique<Expr>(Expr::Kind::Binary, loc);
+        comma->op = TokKind::Comma;
+        comma->lhs = std::move(e);
+        comma->rhs = parseAssignment();
+        e = std::move(comma);
+    }
+    return e;
+}
+
+ExprPtr
+Parser::parseAssignment()
+{
+    ExprPtr lhs = parseConditional();
+    if (isAssignOp(cur().kind)) {
+        Token op = advance();
+        auto e = std::make_unique<Expr>(Expr::Kind::Assign, op.loc);
+        e->op = op.kind;
+        e->lhs = std::move(lhs);
+        e->rhs = parseAssignment();
+        return e;
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseConditional()
+{
+    ExprPtr c = parseBinary(1);
+    if (check(TokKind::Question)) {
+        SourceLoc loc = advance().loc;
+        auto e = std::make_unique<Expr>(Expr::Kind::Cond, loc);
+        e->cond = std::move(c);
+        e->lhs = parseAssignment();
+        expect(TokKind::Colon, "':'");
+        e->rhs = parseConditional();
+        return e;
+    }
+    return c;
+}
+
+ExprPtr
+Parser::parseBinary(int min_prec)
+{
+    ExprPtr lhs = parseUnary();
+    while (true) {
+        int prec = binaryPrec(cur().kind);
+        if (prec < min_prec)
+            return lhs;
+        Token op = advance();
+        ExprPtr rhs = parseBinary(prec + 1);
+        auto e = std::make_unique<Expr>(Expr::Kind::Binary, op.loc);
+        e->op = op.kind;
+        e->lhs = std::move(lhs);
+        e->rhs = std::move(rhs);
+        lhs = std::move(e);
+    }
+}
+
+ExprPtr
+Parser::parseUnary()
+{
+    SourceLoc loc = cur().loc;
+    auto mk = [&](UnOp op, ExprPtr operand) {
+        auto e = std::make_unique<Expr>(Expr::Kind::Unary, loc);
+        e->unOp = op;
+        e->lhs = std::move(operand);
+        return e;
+    };
+    if (match(TokKind::Minus))
+        return mk(UnOp::Neg, parseUnary());
+    if (match(TokKind::Plus))
+        return mk(UnOp::Plus, parseUnary());
+    if (match(TokKind::Bang))
+        return mk(UnOp::Not, parseUnary());
+    if (match(TokKind::Tilde))
+        return mk(UnOp::BitNot, parseUnary());
+    if (match(TokKind::Star))
+        return mk(UnOp::Deref, parseUnary());
+    if (match(TokKind::Amp))
+        return mk(UnOp::AddrOf, parseUnary());
+    if (match(TokKind::PlusPlus))
+        return mk(UnOp::PreInc, parseUnary());
+    if (match(TokKind::MinusMinus))
+        return mk(UnOp::PreDec, parseUnary());
+    if (checkKeyword("sizeof")) {
+        advance();
+        expect(TokKind::LParen, "'('");
+        ASTType ty = parseType(nullptr);
+        expect(TokKind::RParen, "')'");
+        auto e = std::make_unique<Expr>(Expr::Kind::IntLit, loc);
+        // Scalar sizes; pointer = 8.
+        uint64_t size = 4;
+        if (ty.isPointer()) {
+            size = 8;
+        } else {
+            switch (ty.base) {
+              case ASTType::Base::Bool: case ASTType::Base::Char:
+              case ASTType::Base::UChar: size = 1; break;
+              case ASTType::Base::Short: case ASTType::Base::UShort:
+                size = 2; break;
+              case ASTType::Base::Long: case ASTType::Base::ULong:
+              case ASTType::Base::Double: size = 8; break;
+              default: size = 4; break;
+            }
+        }
+        e->intValue = size;
+        e->intIsUnsigned = true;
+        e->intIsLong = true;
+        return e;
+    }
+    // Cast: '(' type ')' unary
+    if (check(TokKind::LParen) && atTypeStart(1)) {
+        advance();
+        auto e = std::make_unique<Expr>(Expr::Kind::Cast, loc);
+        e->castType = parseType(nullptr);
+        expect(TokKind::RParen, "')'");
+        e->lhs = parseUnary();
+        return e;
+    }
+    return parsePostfix();
+}
+
+ExprPtr
+Parser::parsePostfix()
+{
+    ExprPtr e = parsePrimary();
+    while (true) {
+        SourceLoc loc = cur().loc;
+        if (match(TokKind::LBracket)) {
+            auto idx = std::make_unique<Expr>(Expr::Kind::Index, loc);
+            idx->lhs = std::move(e);
+            idx->rhs = parseExpr();
+            expect(TokKind::RBracket, "']'");
+            e = std::move(idx);
+        } else if (match(TokKind::PlusPlus)) {
+            auto u = std::make_unique<Expr>(Expr::Kind::Unary, loc);
+            u->unOp = UnOp::PostInc;
+            u->lhs = std::move(e);
+            e = std::move(u);
+        } else if (match(TokKind::MinusMinus)) {
+            auto u = std::make_unique<Expr>(Expr::Kind::Unary, loc);
+            u->unOp = UnOp::PostDec;
+            u->lhs = std::move(e);
+            e = std::move(u);
+        } else if (check(TokKind::Dot) || check(TokKind::Arrow)) {
+            error("member access is not supported (no struct types)");
+            advance();
+            if (check(TokKind::Identifier))
+                advance();
+        } else {
+            break;
+        }
+    }
+    return e;
+}
+
+ExprPtr
+Parser::parsePrimary()
+{
+    SourceLoc loc = cur().loc;
+    if (check(TokKind::IntLiteral)) {
+        Token t = advance();
+        auto e = std::make_unique<Expr>(Expr::Kind::IntLit, loc);
+        e->intValue = t.intValue;
+        e->intIsUnsigned = t.intIsUnsigned;
+        e->intIsLong = t.intIsLong;
+        return e;
+    }
+    if (check(TokKind::FloatLiteral)) {
+        Token t = advance();
+        auto e = std::make_unique<Expr>(Expr::Kind::FloatLit, loc);
+        e->floatValue = t.floatValue;
+        e->floatIsDouble = t.floatIsDouble;
+        return e;
+    }
+    if (check(TokKind::Identifier)) {
+        Token t = advance();
+        if (check(TokKind::LParen)) {
+            advance();
+            auto e = std::make_unique<Expr>(Expr::Kind::Call, loc);
+            e->name = t.text;
+            if (!check(TokKind::RParen)) {
+                do {
+                    e->args.push_back(parseAssignment());
+                } while (match(TokKind::Comma));
+            }
+            expect(TokKind::RParen, "')'");
+            return e;
+        }
+        auto e = std::make_unique<Expr>(Expr::Kind::Ident, loc);
+        e->name = t.text;
+        return e;
+    }
+    if (match(TokKind::LParen)) {
+        ExprPtr e = parseExpr();
+        expect(TokKind::RParen, "')'");
+        return e;
+    }
+    error("expected an expression, found '" + cur().str() + "'");
+    advance();
+    auto e = std::make_unique<Expr>(Expr::Kind::IntLit, loc);
+    return e;
+}
+
+bool
+Parser::evalConstInt(const Expr &e, int64_t *out) const
+{
+    switch (e.kind) {
+      case Expr::Kind::IntLit:
+        *out = static_cast<int64_t>(e.intValue);
+        return true;
+      case Expr::Kind::Unary: {
+        int64_t v;
+        if (e.lhs == nullptr || !evalConstInt(*e.lhs, &v))
+            return false;
+        switch (e.unOp) {
+          case UnOp::Neg: *out = -v; return true;
+          case UnOp::Plus: *out = v; return true;
+          case UnOp::Not: *out = !v; return true;
+          case UnOp::BitNot: *out = ~v; return true;
+          default: return false;
+        }
+      }
+      case Expr::Kind::Binary: {
+        int64_t a, b;
+        if (e.lhs == nullptr || e.rhs == nullptr ||
+            !evalConstInt(*e.lhs, &a) || !evalConstInt(*e.rhs, &b)) {
+            return false;
+        }
+        switch (e.op) {
+          case TokKind::Plus: *out = a + b; return true;
+          case TokKind::Minus: *out = a - b; return true;
+          case TokKind::Star: *out = a * b; return true;
+          case TokKind::Slash:
+            if (b == 0) return false;
+            *out = a / b;
+            return true;
+          case TokKind::Percent:
+            if (b == 0) return false;
+            *out = a % b;
+            return true;
+          case TokKind::Shl: *out = a << b; return true;
+          case TokKind::Shr: *out = a >> b; return true;
+          case TokKind::Amp: *out = a & b; return true;
+          case TokKind::Pipe: *out = a | b; return true;
+          case TokKind::Caret: *out = a ^ b; return true;
+          default: return false;
+        }
+      }
+      default:
+        return false;
+    }
+}
+
+TranslationUnit
+parseSource(const std::string &source, DiagnosticEngine &diags)
+{
+    Lexer lexer(source, diags);
+    Parser parser(lexer.lex(), diags);
+    return parser.parse();
+}
+
+} // namespace soff::fe

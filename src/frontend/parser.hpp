@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Recursive-descent parser for the OpenCL C subset.
+ */
+#pragma once
+
+#include "frontend/ast.hpp"
+#include "frontend/lexer.hpp"
+
+namespace soff::fe
+{
+
+/** Parses a token stream into a TranslationUnit. */
+class Parser
+{
+  public:
+    Parser(std::vector<Token> tokens, DiagnosticEngine &diags);
+
+    /** Parses the whole input. Diagnostics go to the engine. */
+    TranslationUnit parse();
+
+  private:
+    // --- Token cursor ---
+    const Token &peek(size_t ahead = 0) const;
+    const Token &cur() const { return peek(0); }
+    Token advance();
+    bool check(TokKind k) const { return cur().is(k); }
+    bool checkKeyword(const char *kw) const { return cur().isKeyword(kw); }
+    bool match(TokKind k);
+    bool matchKeyword(const char *kw);
+    Token expect(TokKind k, const std::string &what);
+    void error(const std::string &msg);
+    void synchronizeTo(TokKind k);
+
+    // --- Types ---
+    /** True if the cursor looks at the start of a type. */
+    bool atTypeStart(size_t ahead = 0) const;
+    /** Parses qualifiers+base+stars. addr_space receives a leading
+     *  __local/__global/... qualifier (declaration context). */
+    ASTType parseType(ir::AddrSpace *addr_space);
+
+    // --- Declarations ---
+    std::unique_ptr<FunctionDecl> parseFunction();
+    StmtPtr parseDeclStmt();
+
+    // --- Statements ---
+    StmtPtr parseStmt();
+    StmtPtr parseCompound();
+
+    // --- Expressions (precedence climbing) ---
+    ExprPtr parseExpr();           // comma
+    ExprPtr parseAssignment();
+    ExprPtr parseConditional();
+    ExprPtr parseBinary(int min_prec);
+    ExprPtr parseUnary();
+    ExprPtr parsePostfix();
+    ExprPtr parsePrimary();
+
+    /** Evaluates an integer constant expression (for array sizes). */
+    bool evalConstInt(const Expr &e, int64_t *out) const;
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    DiagnosticEngine &diags_;
+};
+
+/** Convenience: lex + parse a source string. */
+TranslationUnit parseSource(const std::string &source,
+                            DiagnosticEngine &diags);
+
+} // namespace soff::fe

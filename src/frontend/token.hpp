@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tokens of the OpenCL C language subset SOFF compiles.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/diagnostics.hpp"
+
+namespace soff::fe
+{
+
+/** Token kinds. Keywords are distinguished from identifiers by the lexer. */
+enum class TokKind
+{
+    EndOfFile,
+    Identifier,
+    Keyword,
+    IntLiteral,
+    FloatLiteral,
+    // Punctuation / operators.
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semicolon, Question, Colon,
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    Less, Greater, LessEq, GreaterEq, EqEq, BangEq,
+    AmpAmp, PipePipe,
+    Shl, Shr,
+    Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+    PercentAssign, AmpAssign, PipeAssign, CaretAssign,
+    ShlAssign, ShrAssign,
+    PlusPlus, MinusMinus,
+    Dot, Arrow,
+};
+
+/** A lexed token. */
+struct Token
+{
+    TokKind kind = TokKind::EndOfFile;
+    std::string text;       ///< Identifier/keyword spelling.
+    uint64_t intValue = 0;  ///< IntLiteral payload.
+    bool intIsUnsigned = false;
+    bool intIsLong = false;
+    double floatValue = 0;  ///< FloatLiteral payload.
+    bool floatIsDouble = false;
+    SourceLoc loc;
+
+    bool is(TokKind k) const { return kind == k; }
+    bool
+    isKeyword(const char *kw) const
+    {
+        return kind == TokKind::Keyword && text == kw;
+    }
+    std::string str() const;
+};
+
+} // namespace soff::fe

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Basic blocks: ordered instruction lists ending in one terminator.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace soff::ir
+{
+
+class Kernel;
+
+/** A basic block. Owns its instructions. */
+class BasicBlock
+{
+  public:
+    BasicBlock(int id, const std::string &name) : id_(id), name_(name) {}
+    BasicBlock(const BasicBlock &) = delete;
+    BasicBlock &operator=(const BasicBlock &) = delete;
+
+    int id() const { return id_; }
+    const std::string &name() const { return name_; }
+    void setName(const std::string &name) { name_ = name; }
+
+    Kernel *parent() const { return parent_; }
+    void setParent(Kernel *k) { parent_ = k; }
+
+    const std::vector<std::unique_ptr<Instruction>> &
+    instructions() const
+    {
+        return insts_;
+    }
+    size_t size() const { return insts_.size(); }
+    bool empty() const { return insts_.empty(); }
+    Instruction *inst(size_t i) const { return insts_.at(i).get(); }
+
+    /** Appends and takes ownership; returns the raw pointer. */
+    Instruction *
+    append(std::unique_ptr<Instruction> inst)
+    {
+        inst->setParent(this);
+        insts_.push_back(std::move(inst));
+        return insts_.back().get();
+    }
+
+    /** Inserts at position i. */
+    Instruction *
+    insert(size_t i, std::unique_ptr<Instruction> inst)
+    {
+        inst->setParent(this);
+        insts_.insert(insts_.begin() + static_cast<ptrdiff_t>(i),
+                      std::move(inst));
+        return insts_[i].get();
+    }
+
+    /** Removes the instruction at position i (it must be unused). */
+    void
+    erase(size_t i)
+    {
+        insts_.erase(insts_.begin() + static_cast<ptrdiff_t>(i));
+    }
+
+    /** Releases the tail of the block starting at position i. */
+    std::vector<std::unique_ptr<Instruction>>
+    splitOffTail(size_t i)
+    {
+        std::vector<std::unique_ptr<Instruction>> tail;
+        for (size_t j = i; j < insts_.size(); ++j)
+            tail.push_back(std::move(insts_[j]));
+        insts_.resize(i);
+        return tail;
+    }
+
+    /** The terminator, or nullptr if the block is not yet terminated. */
+    Instruction *
+    terminator() const
+    {
+        if (insts_.empty() || !insts_.back()->isTerminator())
+            return nullptr;
+        return insts_.back().get();
+    }
+
+    /** Successor blocks, from the terminator. */
+    std::vector<BasicBlock *>
+    successors() const
+    {
+        std::vector<BasicBlock *> out;
+        if (Instruction *t = terminator()) {
+            for (size_t i = 0; i < t->numSuccs(); ++i)
+                out.push_back(t->succ(i));
+        }
+        return out;
+    }
+
+    /** Phi instructions (always a prefix of the block). */
+    std::vector<Instruction *>
+    phis() const
+    {
+        std::vector<Instruction *> out;
+        for (const auto &inst : insts_) {
+            if (inst->op() != Opcode::Phi)
+                break;
+            out.push_back(inst.get());
+        }
+        return out;
+    }
+
+    /** Index of the first non-phi instruction. */
+    size_t
+    firstNonPhi() const
+    {
+        size_t i = 0;
+        while (i < insts_.size() && insts_[i]->op() == Opcode::Phi)
+            ++i;
+        return i;
+    }
+
+  private:
+    int id_;
+    std::string name_;
+    Kernel *parent_ = nullptr;
+    std::vector<std::unique_ptr<Instruction>> insts_;
+};
+
+} // namespace soff::ir

@@ -1,0 +1,298 @@
+#include "ir/builder.hpp"
+
+#include "support/error.hpp"
+
+namespace soff::ir
+{
+
+Instruction *
+IRBuilder::emit(std::unique_ptr<Instruction> inst)
+{
+    SOFF_ASSERT(bb_ != nullptr, "IRBuilder has no insertion point");
+    SOFF_ASSERT(bb_->terminator() == nullptr,
+                "appending to a terminated block");
+    inst->setId(kernel_->nextValueId());
+    return bb_->append(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createBinOp(Opcode op, Value *a, Value *b)
+{
+    SOFF_ASSERT(a->type() == b->type(), "binop operand type mismatch");
+    auto inst = std::make_unique<Instruction>(op, a->type());
+    inst->addOperand(a);
+    inst->addOperand(b);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createNeg(Value *a)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::Neg, a->type());
+    inst->addOperand(a);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createNot(Value *a)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::Not, a->type());
+    inst->addOperand(a);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createFNeg(Value *a)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::FNeg, a->type());
+    inst->addOperand(a);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createICmp(ICmpPred pred, Value *a, Value *b)
+{
+    SOFF_ASSERT(a->type() == b->type(), "icmp operand type mismatch");
+    auto inst = std::make_unique<Instruction>(Opcode::ICmp,
+                                              types().boolTy());
+    inst->setIcmpPred(pred);
+    inst->addOperand(a);
+    inst->addOperand(b);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createFCmp(FCmpPred pred, Value *a, Value *b)
+{
+    SOFF_ASSERT(a->type() == b->type(), "fcmp operand type mismatch");
+    auto inst = std::make_unique<Instruction>(Opcode::FCmp,
+                                              types().boolTy());
+    inst->setFcmpPred(pred);
+    inst->addOperand(a);
+    inst->addOperand(b);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createSelect(Value *cond, Value *a, Value *b)
+{
+    SOFF_ASSERT(a->type() == b->type(), "select arm type mismatch");
+    auto inst = std::make_unique<Instruction>(Opcode::Select, a->type());
+    inst->addOperand(cond);
+    inst->addOperand(a);
+    inst->addOperand(b);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createCast(Opcode op, Value *v, const Type *to)
+{
+    auto inst = std::make_unique<Instruction>(op, to);
+    inst->addOperand(v);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createPtrAdd(Value *ptr, Value *byte_offset)
+{
+    SOFF_ASSERT(ptr->type()->isPointer(), "ptradd needs pointer");
+    auto inst = std::make_unique<Instruction>(Opcode::PtrAdd, ptr->type());
+    inst->addOperand(ptr);
+    inst->addOperand(byte_offset);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createLocalAddr(const LocalVar *lv)
+{
+    const Type *elem =
+        lv->type()->isArray() ? lv->type()->element() : lv->type();
+    auto inst = std::make_unique<Instruction>(
+        Opcode::LocalAddr, types().ptrTy(elem, AddrSpace::Local));
+    inst->setLocalVar(lv);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createLoad(Value *ptr)
+{
+    SOFF_ASSERT(ptr->type()->isPointer(), "load needs pointer");
+    auto inst = std::make_unique<Instruction>(Opcode::Load,
+                                              ptr->type()->pointee());
+    inst->addOperand(ptr);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createStore(Value *ptr, Value *value)
+{
+    SOFF_ASSERT(ptr->type()->isPointer(), "store needs pointer");
+    SOFF_ASSERT(ptr->type()->pointee() == value->type(),
+                "store value type mismatch");
+    auto inst = std::make_unique<Instruction>(Opcode::Store,
+                                              types().voidTy());
+    inst->addOperand(ptr);
+    inst->addOperand(value);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createAtomicRMW(AtomicOp op, Value *ptr, Value *operand)
+{
+    SOFF_ASSERT(ptr->type()->isPointer(), "atomicrmw needs pointer");
+    auto inst = std::make_unique<Instruction>(Opcode::AtomicRMW,
+                                              ptr->type()->pointee());
+    inst->setAtomicOp(op);
+    inst->addOperand(ptr);
+    inst->addOperand(operand);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createAtomicCmpXchg(Value *ptr, Value *expected, Value *desired)
+{
+    SOFF_ASSERT(ptr->type()->isPointer(), "atomiccmpxchg needs pointer");
+    auto inst = std::make_unique<Instruction>(Opcode::AtomicCmpXchg,
+                                              ptr->type()->pointee());
+    inst->addOperand(ptr);
+    inst->addOperand(expected);
+    inst->addOperand(desired);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createArrayExtract(Value *array, Value *index)
+{
+    SOFF_ASSERT(array->type()->isArray(), "arrayextract needs array");
+    auto inst = std::make_unique<Instruction>(Opcode::ArrayExtract,
+                                              array->type()->element());
+    inst->addOperand(array);
+    inst->addOperand(index);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createArrayInsert(Value *array, Value *index, Value *element)
+{
+    SOFF_ASSERT(array->type()->isArray(), "arrayinsert needs array");
+    SOFF_ASSERT(array->type()->element() == element->type(),
+                "arrayinsert element type mismatch");
+    auto inst = std::make_unique<Instruction>(Opcode::ArrayInsert,
+                                              array->type());
+    inst->addOperand(array);
+    inst->addOperand(index);
+    inst->addOperand(element);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createArraySplat(const Type *array_ty, Value *element)
+{
+    SOFF_ASSERT(array_ty->isArray(), "arraysplat needs array type");
+    auto inst = std::make_unique<Instruction>(Opcode::ArraySplat, array_ty);
+    inst->addOperand(element);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createSlotLoad(const PrivateSlot *slot)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::SlotLoad,
+                                              slot->type());
+    inst->setSlot(slot);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createSlotStore(const PrivateSlot *slot, Value *value)
+{
+    SOFF_ASSERT(slot->type() == value->type(),
+                "slotstore value type mismatch");
+    auto inst = std::make_unique<Instruction>(Opcode::SlotStore,
+                                              types().voidTy());
+    inst->setSlot(slot);
+    inst->addOperand(value);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createWorkItemInfo(WorkItemQuery q, Value *dim)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::WorkItemInfo,
+                                              types().u64());
+    inst->setWiQuery(q);
+    if (dim != nullptr)
+        inst->addOperand(dim);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createMathCall(MathFunc f, const Type *result_ty,
+                          const std::vector<Value *> &args)
+{
+    SOFF_ASSERT(static_cast<int>(args.size()) == mathFuncArity(f),
+                "mathcall arity mismatch");
+    auto inst = std::make_unique<Instruction>(Opcode::MathCall, result_ty);
+    inst->setMathFunc(f);
+    for (Value *a : args)
+        inst->addOperand(a);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createBarrier()
+{
+    auto inst = std::make_unique<Instruction>(Opcode::Barrier,
+                                              types().voidTy());
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createCall(Kernel *callee, const std::vector<Value *> &args)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::Call,
+                                              callee->returnType());
+    inst->setCallee(callee);
+    for (Value *a : args)
+        inst->addOperand(a);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createPhi(const Type *ty)
+{
+    SOFF_ASSERT(bb_ != nullptr, "IRBuilder has no insertion point");
+    auto inst = std::make_unique<Instruction>(Opcode::Phi, ty);
+    inst->setId(kernel_->nextValueId());
+    return bb_->insert(bb_->firstNonPhi(), std::move(inst));
+}
+
+Instruction *
+IRBuilder::createBr(BasicBlock *dest)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::Br, types().voidTy());
+    inst->addSucc(dest);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createCondBr(Value *cond, BasicBlock *t, BasicBlock *f)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::CondBr,
+                                              types().voidTy());
+    inst->addOperand(cond);
+    inst->addSucc(t);
+    inst->addSucc(f);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createRet(Value *v)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::Ret, types().voidTy());
+    if (v != nullptr)
+        inst->addOperand(v);
+    return emit(std::move(inst));
+}
+
+} // namespace soff::ir

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Convenience builder for constructing IR with light type checking.
+ */
+#pragma once
+
+#include "ir/kernel.hpp"
+
+namespace soff::ir
+{
+
+/** Builds instructions at the end of a current basic block. */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Module &module) : module_(module) {}
+
+    Module &module() { return module_; }
+    TypeContext &types() { return module_.types(); }
+
+    void
+    setInsertPoint(BasicBlock *bb)
+    {
+        bb_ = bb;
+        kernel_ = bb ? bb->parent() : nullptr;
+    }
+    BasicBlock *insertBlock() const { return bb_; }
+
+    /** True if the current block already has a terminator. */
+    bool
+    terminated() const
+    {
+        return bb_ != nullptr && bb_->terminator() != nullptr;
+    }
+
+    // --- Constants ---
+    Constant *constInt(const Type *ty, uint64_t v)
+    {
+        return module_.constantInt(ty, v);
+    }
+    Constant *constI32(int32_t v)
+    {
+        return module_.constantInt(types().i32(),
+                                   static_cast<uint64_t>(static_cast<int64_t>(v)));
+    }
+    Constant *constI64(int64_t v)
+    {
+        return module_.constantInt(types().i64(), static_cast<uint64_t>(v));
+    }
+    Constant *constBool(bool v)
+    {
+        return module_.constantInt(types().boolTy(), v ? 1 : 0);
+    }
+    Constant *constFloat(const Type *ty, double v)
+    {
+        return module_.constantFloat(ty, v);
+    }
+
+    // --- Instructions ---
+    Instruction *createBinOp(Opcode op, Value *a, Value *b);
+    Instruction *createNeg(Value *a);
+    Instruction *createNot(Value *a);
+    Instruction *createFNeg(Value *a);
+    Instruction *createICmp(ICmpPred pred, Value *a, Value *b);
+    Instruction *createFCmp(FCmpPred pred, Value *a, Value *b);
+    Instruction *createSelect(Value *cond, Value *a, Value *b);
+    Instruction *createCast(Opcode op, Value *v, const Type *to);
+    Instruction *createPtrAdd(Value *ptr, Value *byte_offset);
+    Instruction *createLocalAddr(const LocalVar *lv);
+    Instruction *createLoad(Value *ptr);
+    Instruction *createStore(Value *ptr, Value *value);
+    Instruction *createAtomicRMW(AtomicOp op, Value *ptr, Value *operand);
+    Instruction *createAtomicCmpXchg(Value *ptr, Value *expected,
+                                     Value *desired);
+    Instruction *createArrayExtract(Value *array, Value *index);
+    Instruction *createArrayInsert(Value *array, Value *index,
+                                   Value *element);
+    Instruction *createArraySplat(const Type *array_ty, Value *element);
+    Instruction *createSlotLoad(const PrivateSlot *slot);
+    Instruction *createSlotStore(const PrivateSlot *slot, Value *value);
+    Instruction *createWorkItemInfo(WorkItemQuery q, Value *dim);
+    Instruction *createMathCall(MathFunc f, const Type *result_ty,
+                                const std::vector<Value *> &args);
+    Instruction *createBarrier();
+    Instruction *createCall(Kernel *callee,
+                            const std::vector<Value *> &args);
+    Instruction *createPhi(const Type *ty);
+    Instruction *createBr(BasicBlock *dest);
+    Instruction *createCondBr(Value *cond, BasicBlock *t, BasicBlock *f);
+    Instruction *createRet(Value *v); // v may be nullptr for void
+
+  private:
+    Instruction *emit(std::unique_ptr<Instruction> inst);
+
+    Module &module_;
+    Kernel *kernel_ = nullptr;
+    BasicBlock *bb_ = nullptr;
+};
+
+} // namespace soff::ir

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Runtime values and pure-instruction evaluation.
+ *
+ * Both the reference interpreter (the correctness oracle) and the
+ * cycle-level simulator's functional units evaluate instructions through
+ * this single implementation, so the two execution engines cannot
+ * disagree about arithmetic semantics. Memory accesses and barriers are
+ * *not* evaluated here — each engine implements those itself (that is
+ * exactly what the paper's architecture is about).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace soff::ir
+{
+
+/**
+ * A dynamic value flowing through an execution engine. Integers, bools,
+ * and pointers are stored as a 64-bit pattern normalized to the type
+ * width; floats as double; SSA arrays (promoted private arrays, paper
+ * §III-C) as a copy-on-write buffer.
+ */
+struct RtValue
+{
+    enum class Kind : uint8_t { Empty, Int, Float, Array };
+
+    Kind kind = Kind::Empty;
+    uint64_t i = 0;
+    double f = 0.0;
+    std::shared_ptr<std::vector<RtValue>> arr;
+
+    RtValue() = default;
+    static RtValue
+    makeInt(uint64_t v)
+    {
+        RtValue r;
+        r.kind = Kind::Int;
+        r.i = v;
+        return r;
+    }
+    static RtValue
+    makeFloat(double v)
+    {
+        RtValue r;
+        r.kind = Kind::Float;
+        r.f = v;
+        return r;
+    }
+    static RtValue makeArray(uint64_t count);
+
+    bool empty() const { return kind == Kind::Empty; }
+    bool isInt() const { return kind == Kind::Int; }
+    bool isFloat() const { return kind == Kind::Float; }
+    bool isArray() const { return kind == Kind::Array; }
+
+    /** Structural equality (for tests). */
+    bool equals(const RtValue &other) const;
+};
+
+/** Work-item identity, needed to evaluate WorkItemInfo. */
+struct WorkItemCtx
+{
+    uint64_t globalId[3] = {0, 0, 0};
+    uint64_t localId[3] = {0, 0, 0};
+    uint64_t groupId[3] = {0, 0, 0};
+    uint64_t globalSize[3] = {1, 1, 1};
+    uint64_t localSize[3] = {1, 1, 1};
+    uint64_t numGroups[3] = {1, 1, 1};
+    int workDim = 1;
+
+    /** Linearized global id (row-major over dims). */
+    uint64_t linearGlobalId() const;
+    /** Linearized group id. */
+    uint64_t linearGroupId() const;
+    /** Linearized local id within the work-group. */
+    uint64_t linearLocalId() const;
+};
+
+/** Normalizes a 64-bit pattern to the width/signedness of type. */
+uint64_t normalizeInt(const Type *type, uint64_t bits);
+/** Sign-aware widening of a normalized pattern to int64. */
+int64_t signedValue(const Type *type, uint64_t bits);
+
+/** Converts a Constant into an RtValue. */
+RtValue constantValue(const Constant *c);
+
+/**
+ * Evaluates a side-effect-free instruction given already-evaluated
+ * operands. Valid for every opcode except Phi, memory accesses, Barrier,
+ * Call, and terminators.
+ */
+RtValue evalPure(const Instruction *inst,
+                 const std::vector<RtValue> &operands,
+                 const WorkItemCtx &wi);
+
+/** Applies an AtomicOp to two normalized values of the given type. */
+uint64_t evalAtomicOp(AtomicOp op, const Type *type, uint64_t current,
+                      uint64_t operand);
+
+/**
+ * __local pointers are encoded above the global address space: variable
+ * k's block starts at (k+1) << 40. Both execution engines (interpreter
+ * and circuit simulator) share this encoding; the circuit routes local
+ * accesses to their memory block statically and only uses the offset.
+ */
+constexpr uint64_t kLocalPtrBase = 1ULL << 40;
+
+inline uint64_t
+localPtrEncode(int var_index)
+{
+    return static_cast<uint64_t>(var_index + 1) * kLocalPtrBase;
+}
+inline bool isLocalPtr(uint64_t addr) { return addr >= kLocalPtrBase; }
+inline int
+localPtrVar(uint64_t addr)
+{
+    return static_cast<int>(addr / kLocalPtrBase) - 1;
+}
+inline uint64_t localPtrOffset(uint64_t addr)
+{
+    return addr % kLocalPtrBase;
+}
+
+} // namespace soff::ir

@@ -1,0 +1,302 @@
+#include "ir/instruction.hpp"
+
+#include "ir/basic_block.hpp"
+#include "ir/kernel.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace soff::ir
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Phi: return "phi";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::SDiv: return "sdiv";
+      case Opcode::UDiv: return "udiv";
+      case Opcode::SRem: return "srem";
+      case Opcode::URem: return "urem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::LShr: return "lshr";
+      case Opcode::AShr: return "ashr";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FSub: return "fsub";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::FRem: return "frem";
+      case Opcode::Neg: return "neg";
+      case Opcode::Not: return "not";
+      case Opcode::FNeg: return "fneg";
+      case Opcode::ICmp: return "icmp";
+      case Opcode::FCmp: return "fcmp";
+      case Opcode::Select: return "select";
+      case Opcode::Trunc: return "trunc";
+      case Opcode::ZExt: return "zext";
+      case Opcode::SExt: return "sext";
+      case Opcode::FPTrunc: return "fptrunc";
+      case Opcode::FPExt: return "fpext";
+      case Opcode::FPToSI: return "fptosi";
+      case Opcode::FPToUI: return "fptoui";
+      case Opcode::SIToFP: return "sitofp";
+      case Opcode::UIToFP: return "uitofp";
+      case Opcode::Bitcast: return "bitcast";
+      case Opcode::PtrToInt: return "ptrtoint";
+      case Opcode::IntToPtr: return "inttoptr";
+      case Opcode::PtrAdd: return "ptradd";
+      case Opcode::LocalAddr: return "localaddr";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::AtomicRMW: return "atomicrmw";
+      case Opcode::AtomicCmpXchg: return "atomiccmpxchg";
+      case Opcode::ArrayExtract: return "arrayextract";
+      case Opcode::ArrayInsert: return "arrayinsert";
+      case Opcode::ArraySplat: return "arraysplat";
+      case Opcode::SlotLoad: return "slotload";
+      case Opcode::SlotStore: return "slotstore";
+      case Opcode::WorkItemInfo: return "wiinfo";
+      case Opcode::MathCall: return "mathcall";
+      case Opcode::Barrier: return "barrier";
+      case Opcode::Call: return "call";
+      case Opcode::Br: return "br";
+      case Opcode::CondBr: return "condbr";
+      case Opcode::Ret: return "ret";
+    }
+    return "?";
+}
+
+const char *
+icmpPredName(ICmpPred p)
+{
+    switch (p) {
+      case ICmpPred::EQ: return "eq";
+      case ICmpPred::NE: return "ne";
+      case ICmpPred::SLT: return "slt";
+      case ICmpPred::SLE: return "sle";
+      case ICmpPred::SGT: return "sgt";
+      case ICmpPred::SGE: return "sge";
+      case ICmpPred::ULT: return "ult";
+      case ICmpPred::ULE: return "ule";
+      case ICmpPred::UGT: return "ugt";
+      case ICmpPred::UGE: return "uge";
+    }
+    return "?";
+}
+
+const char *
+fcmpPredName(FCmpPred p)
+{
+    switch (p) {
+      case FCmpPred::OEQ: return "oeq";
+      case FCmpPred::ONE: return "one";
+      case FCmpPred::OLT: return "olt";
+      case FCmpPred::OLE: return "ole";
+      case FCmpPred::OGT: return "ogt";
+      case FCmpPred::OGE: return "oge";
+    }
+    return "?";
+}
+
+const char *
+atomicOpName(AtomicOp op)
+{
+    switch (op) {
+      case AtomicOp::Add: return "add";
+      case AtomicOp::Sub: return "sub";
+      case AtomicOp::And: return "and";
+      case AtomicOp::Or: return "or";
+      case AtomicOp::Xor: return "xor";
+      case AtomicOp::SMin: return "smin";
+      case AtomicOp::SMax: return "smax";
+      case AtomicOp::UMin: return "umin";
+      case AtomicOp::UMax: return "umax";
+      case AtomicOp::Xchg: return "xchg";
+    }
+    return "?";
+}
+
+const char *
+workItemQueryName(WorkItemQuery q)
+{
+    switch (q) {
+      case WorkItemQuery::GlobalId: return "global_id";
+      case WorkItemQuery::LocalId: return "local_id";
+      case WorkItemQuery::GroupId: return "group_id";
+      case WorkItemQuery::GlobalSize: return "global_size";
+      case WorkItemQuery::LocalSize: return "local_size";
+      case WorkItemQuery::NumGroups: return "num_groups";
+      case WorkItemQuery::WorkDim: return "work_dim";
+    }
+    return "?";
+}
+
+const char *
+mathFuncName(MathFunc f)
+{
+    switch (f) {
+      case MathFunc::Sqrt: return "sqrt";
+      case MathFunc::Rsqrt: return "rsqrt";
+      case MathFunc::Fabs: return "fabs";
+      case MathFunc::Exp: return "exp";
+      case MathFunc::Exp2: return "exp2";
+      case MathFunc::Log: return "log";
+      case MathFunc::Log2: return "log2";
+      case MathFunc::Log10: return "log10";
+      case MathFunc::Sin: return "sin";
+      case MathFunc::Cos: return "cos";
+      case MathFunc::Tan: return "tan";
+      case MathFunc::Asin: return "asin";
+      case MathFunc::Acos: return "acos";
+      case MathFunc::Atan: return "atan";
+      case MathFunc::Atan2: return "atan2";
+      case MathFunc::Pow: return "pow";
+      case MathFunc::Floor: return "floor";
+      case MathFunc::Ceil: return "ceil";
+      case MathFunc::Round: return "round";
+      case MathFunc::Fmin: return "fmin";
+      case MathFunc::Fmax: return "fmax";
+      case MathFunc::Fmod: return "fmod";
+      case MathFunc::Hypot: return "hypot";
+      case MathFunc::Mad: return "mad";
+      case MathFunc::Fma: return "fma";
+      case MathFunc::Copysign: return "copysign";
+      case MathFunc::SMin: return "smin";
+      case MathFunc::SMax: return "smax";
+      case MathFunc::UMin: return "umin";
+      case MathFunc::UMax: return "umax";
+      case MathFunc::SAbs: return "sabs";
+      case MathFunc::SClamp: return "sclamp";
+      case MathFunc::UClamp: return "uclamp";
+      case MathFunc::FClamp: return "fclamp";
+    }
+    return "?";
+}
+
+int
+mathFuncArity(MathFunc f)
+{
+    switch (f) {
+      case MathFunc::Atan2:
+      case MathFunc::Pow:
+      case MathFunc::Fmin:
+      case MathFunc::Fmax:
+      case MathFunc::Fmod:
+      case MathFunc::Hypot:
+      case MathFunc::Copysign:
+      case MathFunc::SMin:
+      case MathFunc::SMax:
+      case MathFunc::UMin:
+      case MathFunc::UMax:
+        return 2;
+      case MathFunc::Mad:
+      case MathFunc::Fma:
+      case MathFunc::SClamp:
+      case MathFunc::UClamp:
+      case MathFunc::FClamp:
+        return 3;
+      default:
+        return 1;
+    }
+}
+
+namespace
+{
+
+std::string
+valueRef(const Value *v)
+{
+    if (v == nullptr)
+        return "<null>";
+    if (const auto *c = dynamic_cast<const Constant *>(v))
+        return c->str();
+    if (!v->name().empty())
+        return "%" + v->name();
+    return "%" + std::to_string(v->id());
+}
+
+} // namespace
+
+std::string
+Instruction::str() const
+{
+    std::string out;
+    if (!type()->isVoid())
+        out += valueRef(this) + " = ";
+    out += opcodeName(op_);
+    switch (op_) {
+      case Opcode::ICmp:
+        out += std::string(" ") + icmpPredName(icmpPred_);
+        break;
+      case Opcode::FCmp:
+        out += std::string(" ") + fcmpPredName(fcmpPred_);
+        break;
+      case Opcode::AtomicRMW:
+        out += std::string(" ") + atomicOpName(atomicOp_);
+        break;
+      case Opcode::WorkItemInfo:
+        out += std::string(" ") + workItemQueryName(wiQuery_);
+        break;
+      case Opcode::MathCall:
+        out += std::string(" ") + mathFuncName(mathFunc_);
+        break;
+      case Opcode::LocalAddr:
+        out += " @" + localVar_->name();
+        break;
+      case Opcode::SlotLoad:
+      case Opcode::SlotStore:
+        out += " $" + slot_->name();
+        break;
+      case Opcode::Call:
+        out += " @" + (callee_ ? callee_->name() : std::string("?"));
+        break;
+      default:
+        break;
+    }
+    for (size_t i = 0; i < operands_.size(); ++i) {
+        out += (i == 0 ? " " : ", ");
+        out += valueRef(operands_[i]);
+        if (op_ == Opcode::Phi && i < phiBlocks_.size())
+            out += " [" + phiBlocks_[i]->name() + "]";
+    }
+    for (size_t i = 0; i < succs_.size(); ++i) {
+        out += (operands_.empty() && i == 0 ? " " : ", ");
+        out += succs_[i]->name();
+    }
+    if (!type()->isVoid())
+        out += " : " + type()->str();
+    return out;
+}
+
+std::string
+Constant::str() const
+{
+    if (type()->isFloat())
+        return strFormat("%g", fp_);
+    if (type()->isPointer())
+        return strFormat("ptr:%llu", (unsigned long long)intBits_);
+    if (type()->isBool())
+        return intBits_ ? "true" : "false";
+    if (type()->isSigned())
+        return std::to_string(intSigned());
+    return std::to_string(intBits_);
+}
+
+int64_t
+Constant::intSigned() const
+{
+    int bits = type()->bits();
+    if (bits >= 64)
+        return static_cast<int64_t>(intBits_);
+    uint64_t v = intBits_ & ((1ULL << bits) - 1);
+    if (v & (1ULL << (bits - 1)))
+        v |= ~((1ULL << bits) - 1);
+    return static_cast<int64_t>(v);
+}
+
+} // namespace soff::ir

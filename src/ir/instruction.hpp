@@ -1,0 +1,211 @@
+/**
+ * @file
+ * IR instructions.
+ *
+ * A single Instruction class with an Opcode discriminator plus a few
+ * payload fields keeps the IR compact; the datapath generator only ever
+ * switches over opcodes anyway (one functional-unit kind per opcode
+ * family, paper §IV-A).
+ */
+#pragma once
+
+#include <vector>
+
+#include "ir/value.hpp"
+
+namespace soff::ir
+{
+
+class BasicBlock;
+class Kernel;
+
+/** Instruction opcodes. */
+enum class Opcode
+{
+    // SSA join.
+    Phi,
+    // Integer arithmetic (operands and result share an int type).
+    Add, Sub, Mul, SDiv, UDiv, SRem, URem,
+    And, Or, Xor, Shl, LShr, AShr,
+    // Floating-point arithmetic.
+    FAdd, FSub, FMul, FDiv, FRem,
+    // Unary.
+    Neg, Not, FNeg,
+    // Comparisons (result i1); predicate payload.
+    ICmp, FCmp,
+    // select(cond, a, b).
+    Select,
+    // Conversions.
+    Trunc, ZExt, SExt, FPTrunc, FPExt,
+    FPToSI, FPToUI, SIToFP, UIToFP, Bitcast, PtrToInt, IntToPtr,
+    // Address arithmetic: pointer + byte offset (i64).
+    PtrAdd,
+    // Address of a kernel __local variable; payload localVar.
+    LocalAddr,
+    // Memory.
+    Load,            // (ptr) -> value
+    Store,           // (ptr, value) -> void
+    AtomicRMW,       // (ptr, operand) -> old value; payload atomicOp
+    AtomicCmpXchg,   // (ptr, expected, desired) -> old value
+    // SSA aggregates: private arrays promoted to values (paper §III-C).
+    ArrayExtract,    // (array, index) -> element
+    ArrayInsert,     // (array, index, element) -> array
+    ArraySplat,      // (element) -> array with all elements equal
+    // Private-slot access (pre-mem2reg only); payload slot.
+    SlotLoad,        // () -> slot value (scalar or whole array)
+    SlotStore,       // (value) -> void
+    // Work-item queries (paper §II-B1); payload wiQuery, operand dim.
+    WorkItemInfo,
+    // Built-in math; payload mathFunc.
+    MathCall,
+    // Work-group barrier (paper §II-B3); always a basic block of its own
+    // after barrier splitting.
+    Barrier,
+    // Call of a user-defined function; removed by the inliner.
+    Call,
+    // Terminators.
+    Br, CondBr, Ret,
+};
+
+const char *opcodeName(Opcode op);
+
+/** Integer comparison predicates. */
+enum class ICmpPred { EQ, NE, SLT, SLE, SGT, SGE, ULT, ULE, UGT, UGE };
+/** Ordered floating-point comparison predicates. */
+enum class FCmpPred { OEQ, ONE, OLT, OLE, OGT, OGE };
+/** Atomic read-modify-write operations. */
+enum class AtomicOp { Add, Sub, And, Or, Xor, SMin, SMax, UMin, UMax, Xchg };
+/** Work-item ID queries. */
+enum class WorkItemQuery
+{
+    GlobalId, LocalId, GroupId, GlobalSize, LocalSize, NumGroups, WorkDim,
+};
+/** Built-in math / integer functions. */
+enum class MathFunc
+{
+    Sqrt, Rsqrt, Fabs, Exp, Exp2, Log, Log2, Log10,
+    Sin, Cos, Tan, Asin, Acos, Atan, Atan2,
+    Pow, Floor, Ceil, Round, Fmin, Fmax, Fmod, Hypot,
+    Mad, Fma, Copysign,
+    SMin, SMax, UMin, UMax, SAbs, SClamp, UClamp, FClamp,
+};
+
+const char *icmpPredName(ICmpPred p);
+const char *fcmpPredName(FCmpPred p);
+const char *atomicOpName(AtomicOp op);
+const char *workItemQueryName(WorkItemQuery q);
+const char *mathFuncName(MathFunc f);
+/** Number of operands a MathFunc takes (1..3). */
+int mathFuncArity(MathFunc f);
+
+/** One IR instruction; also an SSA Value if its type is non-void. */
+class Instruction : public Value
+{
+  public:
+    Instruction(Opcode op, const Type *type)
+        : Value(ValueKind::Instruction, type), op_(op)
+    {}
+
+    Opcode op() const { return op_; }
+
+    const std::vector<Value *> &operands() const { return operands_; }
+    Value *operand(size_t i) const { return operands_.at(i); }
+    size_t numOperands() const { return operands_.size(); }
+    void addOperand(Value *v) { operands_.push_back(v); }
+    void setOperand(size_t i, Value *v) { operands_.at(i) = v; }
+
+    BasicBlock *parent() const { return parent_; }
+    void setParent(BasicBlock *bb) { parent_ = bb; }
+
+    bool
+    isTerminator() const
+    {
+        return op_ == Opcode::Br || op_ == Opcode::CondBr ||
+               op_ == Opcode::Ret;
+    }
+    bool
+    isMemoryAccess() const
+    {
+        return op_ == Opcode::Load || op_ == Opcode::Store ||
+               op_ == Opcode::AtomicRMW || op_ == Opcode::AtomicCmpXchg;
+    }
+    bool
+    isAtomic() const
+    {
+        return op_ == Opcode::AtomicRMW || op_ == Opcode::AtomicCmpXchg;
+    }
+    /** The pointer operand of a memory access. */
+    Value *
+    pointerOperand() const
+    {
+        return isMemoryAccess() ? operands_.at(0) : nullptr;
+    }
+    /** True if this memory access may write. */
+    bool
+    isMemoryWrite() const
+    {
+        return op_ == Opcode::Store || isAtomic();
+    }
+
+    // --- Payload accessors (valid per opcode; see Opcode docs) ---
+    ICmpPred icmpPred() const { return icmpPred_; }
+    void setIcmpPred(ICmpPred p) { icmpPred_ = p; }
+    FCmpPred fcmpPred() const { return fcmpPred_; }
+    void setFcmpPred(FCmpPred p) { fcmpPred_ = p; }
+    AtomicOp atomicOp() const { return atomicOp_; }
+    void setAtomicOp(AtomicOp op) { atomicOp_ = op; }
+    WorkItemQuery wiQuery() const { return wiQuery_; }
+    void setWiQuery(WorkItemQuery q) { wiQuery_ = q; }
+    MathFunc mathFunc() const { return mathFunc_; }
+    void setMathFunc(MathFunc f) { mathFunc_ = f; }
+    const LocalVar *localVar() const { return localVar_; }
+    void setLocalVar(const LocalVar *lv) { localVar_ = lv; }
+    const PrivateSlot *slot() const { return slot_; }
+    void setSlot(const PrivateSlot *s) { slot_ = s; }
+    Kernel *callee() const { return callee_; }
+    void setCallee(Kernel *k) { callee_ = k; }
+
+    /** Phi: incoming blocks, parallel to operands. */
+    const std::vector<BasicBlock *> &phiBlocks() const { return phiBlocks_; }
+    void
+    addPhiIncoming(Value *v, BasicBlock *from)
+    {
+        addOperand(v);
+        phiBlocks_.push_back(from);
+    }
+    void setPhiBlock(size_t i, BasicBlock *bb) { phiBlocks_.at(i) = bb; }
+    /** Removes a phi (value, block) pair. */
+    void
+    removePhiIncoming(size_t i)
+    {
+        operands_.erase(operands_.begin() + static_cast<ptrdiff_t>(i));
+        phiBlocks_.erase(phiBlocks_.begin() + static_cast<ptrdiff_t>(i));
+    }
+
+    /** Br: succ(0); CondBr: succ(0)=true target, succ(1)=false target. */
+    BasicBlock *succ(size_t i) const { return succs_.at(i); }
+    size_t numSuccs() const { return succs_.size(); }
+    void addSucc(BasicBlock *bb) { succs_.push_back(bb); }
+    void setSucc(size_t i, BasicBlock *bb) { succs_.at(i) = bb; }
+
+    /** Short textual form, e.g. "%5 = add i32 %3, %4". */
+    std::string str() const;
+
+  private:
+    Opcode op_;
+    std::vector<Value *> operands_;
+    BasicBlock *parent_ = nullptr;
+
+    ICmpPred icmpPred_ = ICmpPred::EQ;
+    FCmpPred fcmpPred_ = FCmpPred::OEQ;
+    AtomicOp atomicOp_ = AtomicOp::Add;
+    WorkItemQuery wiQuery_ = WorkItemQuery::GlobalId;
+    MathFunc mathFunc_ = MathFunc::Sqrt;
+    const LocalVar *localVar_ = nullptr;
+    const PrivateSlot *slot_ = nullptr;
+    Kernel *callee_ = nullptr;
+    std::vector<BasicBlock *> phiBlocks_;
+    std::vector<BasicBlock *> succs_;
+};
+
+} // namespace soff::ir

@@ -1,0 +1,123 @@
+#include "ir/kernel.hpp"
+
+#include <set>
+
+#include "support/error.hpp"
+
+namespace soff::ir
+{
+
+void
+Kernel::removeUnreachableBlocks()
+{
+    if (blocks_.empty())
+        return;
+    std::set<const BasicBlock *> reachable;
+    std::vector<BasicBlock *> stack{entry()};
+    while (!stack.empty()) {
+        BasicBlock *bb = stack.back();
+        stack.pop_back();
+        if (!reachable.insert(bb).second)
+            continue;
+        for (BasicBlock *s : bb->successors())
+            stack.push_back(s);
+    }
+    // Drop phi incomings from unreachable predecessors first.
+    for (auto &bb : blocks_) {
+        if (!reachable.count(bb.get()))
+            continue;
+        for (Instruction *phi : bb->phis()) {
+            for (size_t i = phi->numOperands(); i-- > 0;) {
+                if (!reachable.count(phi->phiBlocks()[i]))
+                    phi->removePhiIncoming(i);
+            }
+        }
+    }
+    std::vector<std::unique_ptr<BasicBlock>> kept;
+    for (auto &bb : blocks_) {
+        if (reachable.count(bb.get()))
+            kept.push_back(std::move(bb));
+    }
+    blocks_ = std::move(kept);
+}
+
+std::map<const BasicBlock *, std::vector<BasicBlock *>>
+Kernel::predecessorMap() const
+{
+    std::map<const BasicBlock *, std::vector<BasicBlock *>> preds;
+    for (const auto &bb : blocks_) {
+        preds[bb.get()]; // ensure entry exists
+        for (BasicBlock *s : bb->successors())
+            preds[s].push_back(bb.get());
+    }
+    return preds;
+}
+
+void
+Kernel::renumber()
+{
+    nextValueId_ = 0;
+    for (auto &arg : args_)
+        arg->setId(nextValueId());
+    for (auto &bb : blocks_) {
+        for (const auto &inst : bb->instructions())
+            inst->setId(nextValueId());
+    }
+}
+
+Kernel *
+Module::findKernel(const std::string &name) const
+{
+    for (const auto &k : kernels_) {
+        if (k->name() == name)
+            return k.get();
+    }
+    return nullptr;
+}
+
+void
+Module::dropFunctions()
+{
+    std::vector<std::unique_ptr<Kernel>> kept;
+    for (auto &k : kernels_) {
+        if (k->isKernel())
+            kept.push_back(std::move(k));
+    }
+    kernels_ = std::move(kept);
+}
+
+Constant *
+Module::constantInt(const Type *type, uint64_t bits)
+{
+    SOFF_ASSERT(type->isIntOrBool() || type->isPointer(),
+                "constantInt needs int/bool/pointer type");
+    // Normalize to the type's width so interning is canonical.
+    if (type->isBool())
+        bits &= 1;
+    else if (type->isInt() && type->bits() < 64)
+        bits &= (1ULL << type->bits()) - 1;
+    auto key = std::make_pair(type, bits);
+    auto it = intConstants_.find(key);
+    if (it != intConstants_.end())
+        return it->second.get();
+    auto c = std::make_unique<Constant>(type, bits, 0.0);
+    Constant *raw = c.get();
+    intConstants_.emplace(key, std::move(c));
+    return raw;
+}
+
+Constant *
+Module::constantFloat(const Type *type, double value)
+{
+    SOFF_ASSERT(type->isFloat(), "constantFloat needs float type");
+    auto key = std::make_pair(type, value);
+    auto it = fpConstants_.find(key);
+    if (it != fpConstants_.end())
+        return it->second.get();
+    auto c = std::make_unique<Constant>(type, 0, value);
+    Constant *raw = c.get();
+    fpConstants_.emplace(key, std::move(c));
+    return raw;
+}
+
+} // namespace soff::ir

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Kernels / functions and the Module that owns them.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hpp"
+
+namespace soff::ir
+{
+
+class Module;
+
+/**
+ * A kernel or (pre-inlining) user-defined function. Owns its arguments,
+ * __local variables, and basic blocks.
+ */
+class Kernel
+{
+  public:
+    Kernel(const std::string &name, bool is_kernel, const Type *return_type)
+        : name_(name), isKernel_(is_kernel), returnType_(return_type)
+    {}
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    const std::string &name() const { return name_; }
+    bool isKernel() const { return isKernel_; }
+    const Type *returnType() const { return returnType_; }
+
+    /** The module that owns this kernel. */
+    Module *module() const { return module_; }
+    void setModule(Module *m) { module_ = m; }
+
+    // --- Arguments ---
+    Argument *
+    addArgument(const Type *type, const std::string &name)
+    {
+        args_.push_back(std::make_unique<Argument>(
+            type, static_cast<int>(args_.size()), name));
+        args_.back()->setId(nextValueId());
+        return args_.back().get();
+    }
+    size_t numArguments() const { return args_.size(); }
+    Argument *argument(size_t i) const { return args_.at(i).get(); }
+
+    // --- __local variables ---
+    LocalVar *
+    addLocalVar(const Type *type, const std::string &name)
+    {
+        localVars_.push_back(std::make_unique<LocalVar>(
+            type, static_cast<int>(localVars_.size()), name));
+        return localVars_.back().get();
+    }
+    size_t numLocalVars() const { return localVars_.size(); }
+    LocalVar *localVar(size_t i) const { return localVars_.at(i).get(); }
+
+    // --- Private slots (pre-mem2reg mutable variables) ---
+    PrivateSlot *
+    addSlot(const Type *type, const std::string &name)
+    {
+        slots_.push_back(std::make_unique<PrivateSlot>(
+            type, static_cast<int>(slots_.size()), name));
+        return slots_.back().get();
+    }
+    size_t numSlots() const { return slots_.size(); }
+    PrivateSlot *slot(size_t i) const { return slots_.at(i).get(); }
+    void clearSlots() { slots_.clear(); }
+
+    // --- Basic blocks ---
+    BasicBlock *
+    addBlock(const std::string &name)
+    {
+        blocks_.push_back(std::make_unique<BasicBlock>(
+            nextBlockId_++, name));
+        blocks_.back()->setParent(this);
+        return blocks_.back().get();
+    }
+    size_t numBlocks() const { return blocks_.size(); }
+    BasicBlock *block(size_t i) const { return blocks_.at(i).get(); }
+    BasicBlock *entry() const { return blocks_.empty() ? nullptr
+                                                       : blocks_[0].get(); }
+    const std::vector<std::unique_ptr<BasicBlock>> &
+    blocks() const
+    {
+        return blocks_;
+    }
+
+    /** Removes blocks not reachable from the entry. */
+    void removeUnreachableBlocks();
+
+    /** Predecessor map, computed fresh from terminators. */
+    std::map<const BasicBlock *, std::vector<BasicBlock *>>
+    predecessorMap() const;
+
+    /** Fresh value id for instructions/arguments of this kernel. */
+    int nextValueId() { return nextValueId_++; }
+
+    /** Assigns ids to every unnumbered instruction (printer support). */
+    void renumber();
+
+  private:
+    std::string name_;
+    bool isKernel_;
+    const Type *returnType_;
+    Module *module_ = nullptr;
+    std::vector<std::unique_ptr<Argument>> args_;
+    std::vector<std::unique_ptr<LocalVar>> localVars_;
+    std::vector<std::unique_ptr<PrivateSlot>> slots_;
+    std::vector<std::unique_ptr<BasicBlock>> blocks_;
+    int nextBlockId_ = 0;
+    int nextValueId_ = 0;
+};
+
+/**
+ * A compilation unit: all kernels and user functions of one OpenCL
+ * program, plus the type context and interned constants.
+ */
+class Module
+{
+  public:
+    explicit Module(const std::string &name) : name_(name) {}
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    const std::string &name() const { return name_; }
+    TypeContext &types() { return types_; }
+    const TypeContext &types() const { return types_; }
+
+    Kernel *
+    addKernel(const std::string &name, bool is_kernel,
+              const Type *return_type)
+    {
+        kernels_.push_back(
+            std::make_unique<Kernel>(name, is_kernel, return_type));
+        kernels_.back()->setModule(this);
+        return kernels_.back().get();
+    }
+    size_t numKernels() const { return kernels_.size(); }
+    Kernel *kernel(size_t i) const { return kernels_.at(i).get(); }
+    Kernel *findKernel(const std::string &name) const;
+    const std::vector<std::unique_ptr<Kernel>> &kernels() const
+    {
+        return kernels_;
+    }
+    /** Removes non-kernel functions (after inlining). */
+    void dropFunctions();
+
+    /** Interned integer/bool/pointer-null constant. */
+    Constant *constantInt(const Type *type, uint64_t bits);
+    /** Interned floating-point constant. */
+    Constant *constantFloat(const Type *type, double value);
+
+  private:
+    std::string name_;
+    TypeContext types_;
+    std::vector<std::unique_ptr<Kernel>> kernels_;
+    std::map<std::pair<const Type *, uint64_t>, std::unique_ptr<Constant>>
+        intConstants_;
+    std::map<std::pair<const Type *, double>, std::unique_ptr<Constant>>
+        fpConstants_;
+};
+
+} // namespace soff::ir

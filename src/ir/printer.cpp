@@ -1,0 +1,47 @@
+#include "ir/printer.hpp"
+
+namespace soff::ir
+{
+
+std::string
+printKernel(const Kernel &kernel)
+{
+    std::string out;
+    out += kernel.isKernel() ? "kernel @" : "func @";
+    out += kernel.name() + "(";
+    for (size_t i = 0; i < kernel.numArguments(); ++i) {
+        const Argument *a = kernel.argument(i);
+        if (i)
+            out += ", ";
+        out += a->type()->str() + " %" + a->name();
+    }
+    out += ")";
+    if (!kernel.returnType()->isVoid())
+        out += " : " + kernel.returnType()->str();
+    out += " {\n";
+    for (size_t i = 0; i < kernel.numLocalVars(); ++i) {
+        const LocalVar *lv = kernel.localVar(i);
+        out += "  local @" + lv->name() + " : " + lv->type()->str() + "\n";
+    }
+    for (size_t i = 0; i < kernel.numBlocks(); ++i) {
+        const BasicBlock *bb = kernel.block(i);
+        out += bb->name() + ":\n";
+        for (const auto &inst : bb->instructions())
+            out += "  " + inst->str() + "\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+std::string
+printModule(const Module &module)
+{
+    std::string out = "; module " + module.name() + "\n";
+    for (const auto &k : module.kernels()) {
+        out += "\n";
+        out += printKernel(*k);
+    }
+    return out;
+}
+
+} // namespace soff::ir

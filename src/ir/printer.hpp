@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Textual IR printing (debugging and golden tests).
+ */
+#pragma once
+
+#include <string>
+
+#include "ir/kernel.hpp"
+
+namespace soff::ir
+{
+
+/** Renders one kernel as text. */
+std::string printKernel(const Kernel &kernel);
+
+/** Renders a whole module as text. */
+std::string printModule(const Module &module);
+
+} // namespace soff::ir

@@ -1,0 +1,142 @@
+#include "ir/type.hpp"
+
+#include "support/error.hpp"
+
+namespace soff::ir
+{
+
+const char *
+addrSpaceName(AddrSpace as)
+{
+    switch (as) {
+      case AddrSpace::Private: return "private";
+      case AddrSpace::Global: return "global";
+      case AddrSpace::Local: return "local";
+      case AddrSpace::Constant: return "constant";
+    }
+    return "?";
+}
+
+uint64_t
+Type::sizeBytes() const
+{
+    switch (kind_) {
+      case TypeKind::Void:
+        return 0;
+      case TypeKind::Bool:
+        return 1;
+      case TypeKind::Int:
+      case TypeKind::Float:
+        return static_cast<uint64_t>(bits_) / 8;
+      case TypeKind::Pointer:
+        return 8;
+      case TypeKind::Array:
+        return element_->sizeBytes() * count_;
+    }
+    return 0;
+}
+
+std::string
+Type::str() const
+{
+    switch (kind_) {
+      case TypeKind::Void:
+        return "void";
+      case TypeKind::Bool:
+        return "i1";
+      case TypeKind::Int:
+        return (isSigned_ ? "i" : "u") + std::to_string(bits_);
+      case TypeKind::Float:
+        return "f" + std::to_string(bits_);
+      case TypeKind::Pointer:
+        return std::string(addrSpaceName(addrSpace_)) + " " +
+               pointee_->str() + "*";
+      case TypeKind::Array:
+        return "[" + std::to_string(count_) + " x " + element_->str() + "]";
+    }
+    return "?";
+}
+
+TypeContext::TypeContext()
+{
+    Type *v = make();
+    v->kind_ = TypeKind::Void;
+    voidTy_ = v;
+    Type *b = make();
+    b->kind_ = TypeKind::Bool;
+    b->bits_ = 1;
+    boolTy_ = b;
+}
+
+Type *
+TypeContext::make()
+{
+    types_.push_back(std::unique_ptr<Type>(new Type()));
+    return types_.back().get();
+}
+
+const Type *
+TypeContext::intTy(int bits, bool is_signed)
+{
+    SOFF_ASSERT(bits == 8 || bits == 16 || bits == 32 || bits == 64,
+                "unsupported integer width");
+    for (const auto &t : types_) {
+        if (t->kind_ == TypeKind::Int && t->bits_ == bits &&
+            t->isSigned_ == is_signed) {
+            return t.get();
+        }
+    }
+    Type *t = make();
+    t->kind_ = TypeKind::Int;
+    t->bits_ = bits;
+    t->isSigned_ = is_signed;
+    return t;
+}
+
+const Type *
+TypeContext::floatTy(int bits)
+{
+    SOFF_ASSERT(bits == 32 || bits == 64, "unsupported float width");
+    for (const auto &t : types_) {
+        if (t->kind_ == TypeKind::Float && t->bits_ == bits)
+            return t.get();
+    }
+    Type *t = make();
+    t->kind_ = TypeKind::Float;
+    t->bits_ = bits;
+    return t;
+}
+
+const Type *
+TypeContext::ptrTy(const Type *pointee, AddrSpace as)
+{
+    for (const auto &t : types_) {
+        if (t->kind_ == TypeKind::Pointer && t->pointee_ == pointee &&
+            t->addrSpace_ == as) {
+            return t.get();
+        }
+    }
+    Type *t = make();
+    t->kind_ = TypeKind::Pointer;
+    t->pointee_ = pointee;
+    t->addrSpace_ = as;
+    return t;
+}
+
+const Type *
+TypeContext::arrayTy(const Type *element, uint64_t count)
+{
+    for (const auto &t : types_) {
+        if (t->kind_ == TypeKind::Array && t->element_ == element &&
+            t->count_ == count) {
+            return t.get();
+        }
+    }
+    Type *t = make();
+    t->kind_ = TypeKind::Array;
+    t->element_ = element;
+    t->count_ = count;
+    return t;
+}
+
+} // namespace soff::ir

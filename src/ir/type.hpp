@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The SOFF IR type system.
+ *
+ * Types are interned in a TypeContext and referred to by const pointer;
+ * pointer equality is type equality. The type system mirrors the OpenCL C
+ * subset SOFF supports: void, bool, integers (8/16/32/64, signed and
+ * unsigned), floats (32/64), pointers qualified by an OpenCL address
+ * space, and fixed-size arrays (used both for __local variables and for
+ * private arrays promoted to SSA values, per paper §III-C).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace soff::ir
+{
+
+/** OpenCL address spaces (paper §II-B2). */
+enum class AddrSpace
+{
+    Private,
+    Global,
+    Local,
+    Constant,
+};
+
+const char *addrSpaceName(AddrSpace as);
+
+/** Discriminator for Type. */
+enum class TypeKind
+{
+    Void,
+    Bool,
+    Int,
+    Float,
+    Pointer,
+    Array,
+};
+
+/**
+ * An interned IR type. Instances are created only by TypeContext and
+ * compared by address.
+ */
+class Type
+{
+  public:
+    TypeKind kind() const { return kind_; }
+
+    bool isVoid() const { return kind_ == TypeKind::Void; }
+    bool isBool() const { return kind_ == TypeKind::Bool; }
+    bool isInt() const { return kind_ == TypeKind::Int; }
+    bool isFloat() const { return kind_ == TypeKind::Float; }
+    bool isPointer() const { return kind_ == TypeKind::Pointer; }
+    bool isArray() const { return kind_ == TypeKind::Array; }
+    bool isScalar() const { return isBool() || isInt() || isFloat(); }
+    bool isIntOrBool() const { return isBool() || isInt(); }
+
+    /** Bit width for Bool (1), Int (8..64), and Float (32/64). */
+    int bits() const { return bits_; }
+    /** Signedness; meaningful for Int only. */
+    bool isSigned() const { return isSigned_; }
+
+    /** Pointee type; Pointer only. */
+    const Type *pointee() const { return pointee_; }
+    /** Address space; Pointer only. */
+    AddrSpace addrSpace() const { return addrSpace_; }
+
+    /** Element type; Array only. */
+    const Type *element() const { return element_; }
+    /** Element count; Array only. */
+    uint64_t count() const { return count_; }
+
+    /** Storage size in bytes (pointers are 8 bytes). */
+    uint64_t sizeBytes() const;
+
+    /** Human-readable spelling, e.g. "i32", "global f32*". */
+    std::string str() const;
+
+  private:
+    friend class TypeContext;
+    Type() = default;
+
+    TypeKind kind_ = TypeKind::Void;
+    int bits_ = 0;
+    bool isSigned_ = true;
+    const Type *pointee_ = nullptr;
+    AddrSpace addrSpace_ = AddrSpace::Private;
+    const Type *element_ = nullptr;
+    uint64_t count_ = 0;
+};
+
+/**
+ * Owns and interns all Type instances for a Module.
+ */
+class TypeContext
+{
+  public:
+    TypeContext();
+    TypeContext(const TypeContext &) = delete;
+    TypeContext &operator=(const TypeContext &) = delete;
+
+    const Type *voidTy() const { return voidTy_; }
+    const Type *boolTy() const { return boolTy_; }
+    const Type *intTy(int bits, bool is_signed);
+    const Type *i8() { return intTy(8, true); }
+    const Type *i16() { return intTy(16, true); }
+    const Type *i32() { return intTy(32, true); }
+    const Type *i64() { return intTy(64, true); }
+    const Type *u8() { return intTy(8, false); }
+    const Type *u16() { return intTy(16, false); }
+    const Type *u32() { return intTy(32, false); }
+    const Type *u64() { return intTy(64, false); }
+    const Type *floatTy(int bits);
+    const Type *f32() { return floatTy(32); }
+    const Type *f64() { return floatTy(64); }
+    const Type *ptrTy(const Type *pointee, AddrSpace as);
+    const Type *arrayTy(const Type *element, uint64_t count);
+
+  private:
+    Type *make();
+
+    std::vector<std::unique_ptr<Type>> types_;
+    const Type *voidTy_;
+    const Type *boolTy_;
+};
+
+} // namespace soff::ir

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * SSA values: the common Value base, constants, kernel arguments, and
+ * kernel-scope __local variables.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/type.hpp"
+
+namespace soff::ir
+{
+
+class BasicBlock;
+class Kernel;
+
+/** Discriminator for Value. */
+enum class ValueKind
+{
+    Constant,
+    Argument,
+    Instruction,
+};
+
+/**
+ * Base of everything that can appear as an instruction operand.
+ *
+ * Values are owned by their Kernel (instructions via basic blocks,
+ * arguments directly) or by the Module (interned constants); operand
+ * lists hold non-owning pointers.
+ */
+class Value
+{
+  public:
+    virtual ~Value() = default;
+
+    ValueKind valueKind() const { return valueKind_; }
+    const Type *type() const { return type_; }
+
+    /** Stable per-kernel numbering assigned at creation; -1 if unset. */
+    int id() const { return id_; }
+    void setId(int id) { id_ = id; }
+
+    const std::string &name() const { return name_; }
+    void setName(const std::string &name) { name_ = name; }
+
+    bool isConstant() const { return valueKind_ == ValueKind::Constant; }
+    bool isArgument() const { return valueKind_ == ValueKind::Argument; }
+    bool isInstruction() const
+    {
+        return valueKind_ == ValueKind::Instruction;
+    }
+
+  protected:
+    Value(ValueKind kind, const Type *type)
+        : valueKind_(kind), type_(type)
+    {}
+
+  private:
+    ValueKind valueKind_;
+    const Type *type_;
+    int id_ = -1;
+    std::string name_;
+};
+
+/**
+ * A literal constant. Integers/booleans/pointers carry their (possibly
+ * truncated) bit pattern in intBits; floats carry the value in fp.
+ */
+class Constant : public Value
+{
+  public:
+    Constant(const Type *type, uint64_t int_bits, double fp)
+        : Value(ValueKind::Constant, type), intBits_(int_bits), fp_(fp)
+    {}
+
+    uint64_t intBits() const { return intBits_; }
+    double fp() const { return fp_; }
+
+    /** Signed interpretation of the integer payload. */
+    int64_t intSigned() const;
+
+    std::string str() const;
+
+  private:
+    uint64_t intBits_ = 0;
+    double fp_ = 0.0;
+};
+
+/** A kernel argument (paper §II-B1: uniform across all work-items). */
+class Argument : public Value
+{
+  public:
+    Argument(const Type *type, int index, const std::string &name)
+        : Value(ValueKind::Argument, type), index_(index)
+    {
+        setName(name);
+    }
+
+    int index() const { return index_; }
+
+    /** True for pointer arguments into global/constant memory (buffers). */
+    bool
+    isBuffer() const
+    {
+        return type()->isPointer() &&
+               (type()->addrSpace() == AddrSpace::Global ||
+                type()->addrSpace() == AddrSpace::Constant);
+    }
+
+  private:
+    int index_;
+};
+
+/**
+ * A __local variable declared inside a kernel (paper §V-B). Each becomes
+ * one local memory block in the synthesized memory subsystem.
+ */
+class LocalVar
+{
+  public:
+    LocalVar(const Type *type, int index, const std::string &name)
+        : type_(type), index_(index), name_(name)
+    {}
+
+    /** Value type of the variable (scalar or array). */
+    const Type *type() const { return type_; }
+    int index() const { return index_; }
+    const std::string &name() const { return name_; }
+    uint64_t sizeBytes() const { return type_->sizeBytes(); }
+
+  private:
+    const Type *type_;
+    int index_;
+    std::string name_;
+};
+
+/**
+ * A mutable private-memory variable produced by the frontend (a C local,
+ * parameter shadow, or private array). Paper §III-C: each such variable
+ * — including whole arrays, treated as one big value — is promoted to
+ * SSA form by mem2reg unless its address is taken (which the frontend
+ * rejects). Slots exist only between IR generation and mem2reg.
+ */
+class PrivateSlot
+{
+  public:
+    PrivateSlot(const Type *type, int index, const std::string &name)
+        : type_(type), index_(index), name_(name)
+    {}
+
+    const Type *type() const { return type_; }
+    int index() const { return index_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    const Type *type_;
+    int index_;
+    std::string name_;
+};
+
+} // namespace soff::ir

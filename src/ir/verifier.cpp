@@ -1,0 +1,313 @@
+#include "ir/verifier.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace soff::ir
+{
+
+namespace
+{
+
+/** Immediate-dominator computation (simple iterative data-flow). */
+std::map<const BasicBlock *, const BasicBlock *>
+computeIdom(const Kernel &kernel)
+{
+    std::map<const BasicBlock *, const BasicBlock *> idom;
+    if (kernel.numBlocks() == 0)
+        return idom;
+
+    // Reverse post-order.
+    std::vector<const BasicBlock *> rpo;
+    std::set<const BasicBlock *> visited;
+    std::vector<std::pair<const BasicBlock *, size_t>> stack;
+    stack.push_back({kernel.entry(), 0});
+    visited.insert(kernel.entry());
+    while (!stack.empty()) {
+        auto &[bb, idx] = stack.back();
+        auto succs = bb->successors();
+        if (idx < succs.size()) {
+            BasicBlock *s = succs[idx++];
+            if (visited.insert(s).second)
+                stack.push_back({s, 0});
+        } else {
+            rpo.push_back(bb);
+            stack.pop_back();
+        }
+    }
+    std::reverse(rpo.begin(), rpo.end());
+    std::map<const BasicBlock *, size_t> rpoIndex;
+    for (size_t i = 0; i < rpo.size(); ++i)
+        rpoIndex[rpo[i]] = i;
+
+    auto preds = kernel.predecessorMap();
+    idom[kernel.entry()] = kernel.entry();
+    bool changed = true;
+    auto intersect = [&](const BasicBlock *a, const BasicBlock *b) {
+        while (a != b) {
+            while (rpoIndex.at(a) > rpoIndex.at(b))
+                a = idom.at(a);
+            while (rpoIndex.at(b) > rpoIndex.at(a))
+                b = idom.at(b);
+        }
+        return a;
+    };
+    while (changed) {
+        changed = false;
+        for (const BasicBlock *bb : rpo) {
+            if (bb == kernel.entry())
+                continue;
+            const BasicBlock *new_idom = nullptr;
+            for (const BasicBlock *p : preds.at(bb)) {
+                if (!idom.count(p))
+                    continue;
+                new_idom = new_idom == nullptr ? p : intersect(p, new_idom);
+            }
+            if (new_idom != nullptr && (!idom.count(bb) ||
+                                        idom.at(bb) != new_idom)) {
+                idom[bb] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+bool
+dominates(const std::map<const BasicBlock *, const BasicBlock *> &idom,
+          const BasicBlock *a, const BasicBlock *b)
+{
+    // Walks b's dominator chain looking for a.
+    const BasicBlock *cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        auto it = idom.find(cur);
+        if (it == idom.end() || it->second == cur)
+            return cur == a;
+        cur = it->second;
+    }
+}
+
+class KernelVerifier
+{
+  public:
+    explicit KernelVerifier(const Kernel &kernel) : kernel_(kernel) {}
+
+    std::vector<std::string>
+    run()
+    {
+        if (kernel_.numBlocks() == 0) {
+            fail("kernel has no basic blocks");
+            return errors_;
+        }
+        collectValues();
+        checkBlocks();
+        checkDominance();
+        return errors_;
+    }
+
+  private:
+    void
+    fail(const std::string &msg)
+    {
+        errors_.push_back("[" + kernel_.name() + "] " + msg);
+    }
+
+    void
+    collectValues()
+    {
+        for (size_t i = 0; i < kernel_.numArguments(); ++i)
+            known_.insert(kernel_.argument(i));
+        for (const auto &bb : kernel_.blocks()) {
+            for (const auto &inst : bb->instructions()) {
+                known_.insert(inst.get());
+                defBlock_[inst.get()] = bb.get();
+                defIndex_[inst.get()] = 0; // filled below
+            }
+        }
+        for (const auto &bb : kernel_.blocks()) {
+            for (size_t i = 0; i < bb->size(); ++i)
+                defIndex_[bb->inst(i)] = i;
+        }
+    }
+
+    void
+    checkBlocks()
+    {
+        auto preds = kernel_.predecessorMap();
+        for (const auto &bb : kernel_.blocks()) {
+            if (bb->terminator() == nullptr) {
+                fail("block " + bb->name() + " is not terminated");
+                continue;
+            }
+            for (size_t i = 0; i < bb->size(); ++i) {
+                const Instruction *inst = bb->inst(i);
+                if (inst->isTerminator() && i + 1 != bb->size())
+                    fail("terminator not last in " + bb->name());
+                if (inst->op() == Opcode::Phi && i > bb->firstNonPhi())
+                    fail("phi after non-phi in " + bb->name());
+                checkInstruction(*bb, *inst, preds.at(bb.get()));
+            }
+        }
+    }
+
+    void
+    checkInstruction(const BasicBlock &bb, const Instruction &inst,
+                     const std::vector<BasicBlock *> &preds)
+    {
+        for (const Value *op : inst.operands()) {
+            if (op == nullptr) {
+                fail("null operand in " + bb.name() + ": " + inst.str());
+            } else if (op->isInstruction() || op->isArgument()) {
+                if (!known_.count(op))
+                    fail("foreign operand in " + inst.str());
+            }
+        }
+        switch (inst.op()) {
+          case Opcode::Phi: {
+            if (inst.numOperands() != preds.size() ||
+                inst.phiBlocks().size() != preds.size()) {
+                fail("phi incoming count mismatch in " + bb.name() +
+                     ": " + inst.str());
+                break;
+            }
+            std::set<const BasicBlock *> pset(preds.begin(), preds.end());
+            for (const BasicBlock *in : inst.phiBlocks()) {
+                if (!pset.count(in))
+                    fail("phi incoming from non-predecessor in " +
+                         bb.name());
+            }
+            for (const Value *op : inst.operands()) {
+                if (op->type() != inst.type())
+                    fail("phi operand type mismatch: " + inst.str());
+            }
+            break;
+          }
+          case Opcode::CondBr:
+            if (!inst.operand(0)->type()->isBool())
+                fail("condbr condition not i1: " + inst.str());
+            break;
+          case Opcode::Load:
+            if (!inst.operand(0)->type()->isPointer())
+                fail("load pointer operand expected: " + inst.str());
+            break;
+          case Opcode::Store:
+            if (!inst.operand(0)->type()->isPointer() ||
+                inst.operand(0)->type()->pointee() !=
+                    inst.operand(1)->type()) {
+                fail("store type mismatch: " + inst.str());
+            }
+            break;
+          case Opcode::Ret:
+            if (kernel_.returnType()->isVoid()) {
+                if (inst.numOperands() != 0)
+                    fail("ret with value in void function");
+            } else if (inst.numOperands() != 1 ||
+                       inst.operand(0)->type() != kernel_.returnType()) {
+                fail("ret value type mismatch");
+            }
+            break;
+          case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+          case Opcode::SDiv: case Opcode::UDiv: case Opcode::SRem:
+          case Opcode::URem: case Opcode::And: case Opcode::Or:
+          case Opcode::Xor: case Opcode::Shl: case Opcode::LShr:
+          case Opcode::AShr:
+            if (inst.operand(0)->type() != inst.operand(1)->type() ||
+                inst.type() != inst.operand(0)->type() ||
+                !inst.type()->isIntOrBool()) {
+                fail("integer binop type mismatch: " + inst.str());
+            }
+            break;
+          case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+          case Opcode::FDiv: case Opcode::FRem:
+            if (inst.operand(0)->type() != inst.operand(1)->type() ||
+                inst.type() != inst.operand(0)->type() ||
+                !inst.type()->isFloat()) {
+                fail("float binop type mismatch: " + inst.str());
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    checkDominance()
+    {
+        auto idom = computeIdom(kernel_);
+        for (const auto &bb : kernel_.blocks()) {
+            for (size_t i = 0; i < bb->size(); ++i) {
+                const Instruction *inst = bb->inst(i);
+                for (size_t k = 0; k < inst->numOperands(); ++k) {
+                    const Value *op = inst->operand(k);
+                    if (op == nullptr || !op->isInstruction())
+                        continue;
+                    const auto *def =
+                        static_cast<const Instruction *>(op);
+                    auto it = defBlock_.find(def);
+                    if (it == defBlock_.end())
+                        continue;
+                    const BasicBlock *db = it->second;
+                    const BasicBlock *use_block = bb.get();
+                    size_t use_index = i;
+                    if (inst->op() == Opcode::Phi) {
+                        // Use happens at the end of the incoming block.
+                        use_block = inst->phiBlocks()[k];
+                        use_index = use_block->size();
+                    }
+                    if (db == use_block) {
+                        if (defIndex_.at(def) >= use_index &&
+                            inst->op() != Opcode::Phi) {
+                            fail("use before def in " + bb->name() + ": " +
+                                 inst->str());
+                        }
+                    } else if (!dominates(idom, db, use_block)) {
+                        fail("def does not dominate use: " + inst->str());
+                    }
+                }
+            }
+        }
+    }
+
+    const Kernel &kernel_;
+    std::vector<std::string> errors_;
+    std::set<const Value *> known_;
+    std::map<const Instruction *, const BasicBlock *> defBlock_;
+    std::map<const Instruction *, size_t> defIndex_;
+};
+
+} // namespace
+
+std::vector<std::string>
+verifyKernel(const Kernel &kernel)
+{
+    return KernelVerifier(kernel).run();
+}
+
+std::vector<std::string>
+verifyModule(const Module &module)
+{
+    std::vector<std::string> errors;
+    for (const auto &k : module.kernels()) {
+        auto e = verifyKernel(*k);
+        errors.insert(errors.end(), e.begin(), e.end());
+    }
+    return errors;
+}
+
+void
+verifyOrThrow(const Module &module)
+{
+    auto errors = verifyModule(module);
+    if (!errors.empty()) {
+        throw CompileError("IR verification failed:\n" +
+                           strJoin(errors, "\n"));
+    }
+}
+
+} // namespace soff::ir

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * IR well-formedness verification.
+ *
+ * The verifier runs after every transformation pass in debug flows and in
+ * tests. It checks structural SSA invariants: single terminator per
+ * block, phi/predecessor agreement, type coherence, and that definitions
+ * dominate uses.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace soff::ir
+{
+
+/** Verifies one kernel; returns a list of violations (empty if OK). */
+std::vector<std::string> verifyKernel(const Kernel &kernel);
+
+/** Verifies a module; returns a list of violations (empty if OK). */
+std::vector<std::string> verifyModule(const Module &module);
+
+/** Throws CompileError if the module is malformed. */
+void verifyOrThrow(const Module &module);
+
+} // namespace soff::ir

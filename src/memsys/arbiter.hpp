@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Round-robin memory arbiters (paper §V-A: "a round-robin arbiter
+ * called a datapath-cache arbiter is inserted between the functional
+ * units and the cache"; Fig. 9 also shows the cache-memory arbiter).
+ *
+ * Because the downstream device (cache or controller) responds strictly
+ * in request order, the arbiter routes responses back by replaying its
+ * grant order from a FIFO.
+ */
+#pragma once
+
+#include <deque>
+
+#include "sim/simulator.hpp"
+
+namespace soff::memsys
+{
+
+/** N request/response port pairs multiplexed onto one downstream pair. */
+class RRArbiter : public sim::Component
+{
+  public:
+    RRArbiter(const std::string &name,
+              sim::Channel<sim::MemReq> *down_req,
+              sim::Channel<sim::MemResp> *down_resp)
+        : Component(name), downReq_(down_req), downResp_(down_resp)
+    {}
+
+    /** Registers one upstream port; returns its index. */
+    size_t
+    addPort(sim::Channel<sim::MemReq> *req,
+            sim::Channel<sim::MemResp> *resp)
+    {
+        ports_.push_back({req, resp});
+        return ports_.size() - 1;
+    }
+
+    void
+    step(sim::Cycle) override
+    {
+        // Route the oldest response back to its originating port.
+        if (downResp_->canPop() && !origins_.empty()) {
+            Port &port = ports_[origins_.front()];
+            if (port.resp->canPush()) {
+                port.resp->push(downResp_->pop());
+                origins_.pop_front();
+            }
+        }
+        // Grant one request per cycle, round-robin.
+        if (downReq_->canPush()) {
+            for (size_t k = 0; k < ports_.size(); ++k) {
+                size_t p = (rr_ + k) % ports_.size();
+                if (ports_[p].req->canPop()) {
+                    downReq_->push(ports_[p].req->pop());
+                    origins_.push_back(p);
+                    rr_ = (p + 1) % ports_.size();
+                    break;
+                }
+            }
+        }
+    }
+
+  private:
+    struct Port
+    {
+        sim::Channel<sim::MemReq> *req;
+        sim::Channel<sim::MemResp> *resp;
+    };
+
+    sim::Channel<sim::MemReq> *downReq_;
+    sim::Channel<sim::MemResp> *downResp_;
+    std::vector<Port> ports_;
+    std::deque<size_t> origins_;
+    size_t rr_ = 0;
+};
+
+} // namespace soff::memsys

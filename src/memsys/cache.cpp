@@ -1,0 +1,168 @@
+#include "memsys/cache.hpp"
+
+namespace soff::memsys
+{
+
+Cache::Cache(const std::string &name, sim::Simulator &simulator,
+             GlobalMemory &memory, DramTiming &dram, int size_bytes,
+             int line_bytes, sim::Channel<sim::MemReq> *in,
+             sim::Channel<sim::MemResp> *out)
+    : Component(name), sim_(simulator), memory_(memory), dram_(dram),
+      sizeBytes_(size_bytes), lineBytes_(line_bytes),
+      numLines_(size_bytes / line_bytes), in_(in), out_(out)
+{
+    lines_.resize(static_cast<size_t>(numLines_));
+    for (Line &line : lines_) {
+        line.data.resize(static_cast<size_t>(lineBytes_), 0);
+        line.dirty.resize(static_cast<size_t>(lineBytes_), false);
+    }
+}
+
+void
+Cache::writebackLine(Line &line, uint64_t index)
+{
+    uint64_t base = lineBase(line, index);
+    for (int i = 0; i < lineBytes_; ++i) {
+        if (line.dirty[static_cast<size_t>(i)]) {
+            memory_.writeBlock(base + static_cast<uint64_t>(i), 1,
+                               &line.data[static_cast<size_t>(i)]);
+            line.dirty[static_cast<size_t>(i)] = false;
+        }
+    }
+    ++stats_.writebacks;
+}
+
+sim::Cycle
+Cache::ensureLine(uint64_t addr, sim::Cycle now)
+{
+    uint64_t index = lineIndex(addr);
+    Line &line = lines_[index];
+    if (line.valid && line.tag == lineTag(addr)) {
+        ++stats_.hits;
+        return now + static_cast<sim::Cycle>(hitLatency_);
+    }
+    ++stats_.misses;
+    sim::Cycle ready = now;
+    if (line.valid) {
+        bool dirty = false;
+        for (bool d : line.dirty)
+            dirty |= d;
+        if (dirty) {
+            writebackLine(line, index);
+            ready = dram_.schedule(now); // writeback occupies the bus
+        }
+    }
+    // Fill.
+    line.valid = true;
+    line.tag = lineTag(addr);
+    uint64_t base = lineBase(line, index);
+    memory_.readBlock(base, static_cast<uint32_t>(lineBytes_),
+                      line.data.data());
+    std::fill(line.dirty.begin(), line.dirty.end(), false);
+    ready = std::max(ready, dram_.schedule(now));
+    return ready + static_cast<sim::Cycle>(hitLatency_);
+}
+
+uint64_t
+Cache::performAccess(const sim::MemReq &req)
+{
+    uint64_t index = lineIndex(req.addr);
+    Line &line = lines_[index];
+    SOFF_ASSERT(line.valid && line.tag == lineTag(req.addr),
+                "performAccess on non-resident line");
+    uint64_t offset = req.addr % static_cast<uint64_t>(lineBytes_);
+    SOFF_ASSERT(offset + req.size <= static_cast<uint64_t>(lineBytes_),
+                "access straddles a cache line");
+    auto read = [&]() {
+        uint64_t v = 0;
+        for (uint32_t i = 0; i < req.size; ++i)
+            v |= static_cast<uint64_t>(line.data[offset + i]) << (8 * i);
+        return v;
+    };
+    auto write = [&](uint64_t v) {
+        for (uint32_t i = 0; i < req.size; ++i) {
+            line.data[offset + i] = static_cast<uint8_t>(v >> (8 * i));
+            line.dirty[offset + i] = true;
+        }
+    };
+    switch (req.op) {
+      case sim::MemReq::Op::Load:
+        return read();
+      case sim::MemReq::Op::Store:
+        write(req.data);
+        return 0;
+      case sim::MemReq::Op::AtomicRMW: {
+        ++stats_.atomics;
+        uint64_t old_value = read();
+        write(ir::evalAtomicOp(req.aop, req.type, old_value, req.data));
+        return old_value;
+      }
+      case sim::MemReq::Op::AtomicCmpXchg: {
+        ++stats_.atomics;
+        uint64_t old_value = read();
+        if (old_value == req.data)
+            write(req.data2);
+        return old_value;
+      }
+    }
+    return 0;
+}
+
+void
+Cache::step(sim::Cycle now)
+{
+    // Flush mode: walk the lines, one write-back slot per cycle. Flush
+    // only starts once in-flight transactions have drained (the
+    // work-item counter raises the flush signal after every work-item
+    // has retired, so the queue is normally already empty).
+    if (flushRequested_ && !flushComplete_ && txq_.empty()) {
+        sim_.noteActivity();
+        int budget = 1;
+        while (budget > 0 && flushCursor_ < numLines_) {
+            Line &line = lines_[static_cast<size_t>(flushCursor_)];
+            bool dirty = false;
+            for (bool d : line.dirty)
+                dirty |= d;
+            if (dirty) {
+                writebackLine(line, static_cast<uint64_t>(flushCursor_));
+                dram_.schedule(now);
+                --budget;
+            }
+            ++flushCursor_;
+        }
+        if (flushCursor_ >= numLines_)
+            flushComplete_ = true;
+        return;
+    }
+
+    // Respond strictly in order.
+    if (!txq_.empty() && txq_.front().readyAt <= now && out_->canPush()) {
+        out_->push({txq_.front().result});
+        txq_.pop_front();
+    }
+    // Only a transaction still waiting on its (timed) memory latency
+    // counts as activity; a response blocked on a full channel must
+    // not mask a downstream deadlock from the watchdog.
+    if (!txq_.empty() && txq_.front().readyAt > now)
+        sim_.noteActivity();
+
+    // Single port: accept one request per cycle.
+    if (in_->canPop() && txq_.size() < txqCap_) {
+        Tx tx;
+        tx.req = in_->pop();
+        tx.readyAt = ensureLine(tx.req.addr, now);
+        // Younger requests never complete before older ones.
+        if (!txq_.empty())
+            tx.readyAt = std::max(tx.readyAt, txq_.back().readyAt);
+        tx.result = performAccess(tx.req);
+        txq_.push_back(tx);
+    }
+}
+
+void
+Cache::requestFlush()
+{
+    flushRequested_ = true;
+}
+
+} // namespace soff::memsys

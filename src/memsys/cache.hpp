@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Direct-mapped, single-port, non-blocking in-order caches (paper §V-A).
+ *
+ * "The caches are non-blocking in-order caches and thus can cooperate
+ * with (fully-pipelined) functional units well. SOFF uses simple
+ * direct-mapped, single-port caches." One request is accepted per cycle
+ * (single port); responses are delivered strictly in request order;
+ * misses overlap with younger requests in the transaction queue.
+ *
+ * Lines carry per-byte dirty masks, so concurrent unsynchronized caches
+ * of the same buffer (one per datapath instance, §V-A) merge disjoint
+ * writes correctly at write-back/flush time — the hardware equivalent
+ * of byte-enable writes.
+ */
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "ir/eval.hpp"
+#include "memsys/dram.hpp"
+#include "memsys/global_memory.hpp"
+#include "sim/simulator.hpp"
+
+namespace soff::memsys
+{
+
+/** Cache statistics (benchmark reporting). */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t writebacks = 0;
+    uint64_t atomics = 0;
+};
+
+/** One direct-mapped write-back cache for the OpenCL global memory. */
+class Cache : public sim::Component
+{
+  public:
+    Cache(const std::string &name, sim::Simulator &simulator,
+          GlobalMemory &memory, DramTiming &dram, int size_bytes,
+          int line_bytes, sim::Channel<sim::MemReq> *in,
+          sim::Channel<sim::MemResp> *out);
+
+    void step(sim::Cycle now) override;
+
+    /** Begins writing all dirty lines back (kernel completion, §III-B). */
+    void requestFlush();
+    bool flushDone() const { return flushRequested_ && flushComplete_; }
+
+    const CacheStats &stats() const { return stats_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        std::vector<uint8_t> data;
+        std::vector<bool> dirty;
+    };
+
+    struct Tx
+    {
+        sim::MemReq req;
+        sim::Cycle readyAt = 0;
+        uint64_t result = 0;
+    };
+
+    uint64_t lineIndex(uint64_t addr) const
+    {
+        return (addr / static_cast<uint64_t>(lineBytes_)) %
+               static_cast<uint64_t>(numLines_);
+    }
+    uint64_t lineTag(uint64_t addr) const
+    {
+        return addr / static_cast<uint64_t>(lineBytes_) /
+               static_cast<uint64_t>(numLines_);
+    }
+    uint64_t
+    lineBase(const Line &line, uint64_t index) const
+    {
+        return (line.tag * static_cast<uint64_t>(numLines_) + index) *
+               static_cast<uint64_t>(lineBytes_);
+    }
+
+    /** Ensures the line holding addr is resident; returns ready cycle. */
+    sim::Cycle ensureLine(uint64_t addr, sim::Cycle now);
+    void writebackLine(Line &line, uint64_t index);
+    uint64_t performAccess(const sim::MemReq &req);
+
+    sim::Simulator &sim_;
+    GlobalMemory &memory_;
+    DramTiming &dram_;
+    int sizeBytes_;
+    int lineBytes_;
+    int numLines_;
+    int hitLatency_ = 2;
+    sim::Channel<sim::MemReq> *in_;
+    sim::Channel<sim::MemResp> *out_;
+    std::vector<Line> lines_;
+    std::deque<Tx> txq_;
+    size_t txqCap_ = 16;
+    CacheStats stats_;
+
+    bool flushRequested_ = false;
+    bool flushComplete_ = false;
+    int flushCursor_ = 0;
+};
+
+} // namespace soff::memsys

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * External-memory (DRAM) timing model.
+ *
+ * The memory controller in the static region (paper Fig. 2) serializes
+ * line transfers from every cache: each 64-byte line transfer occupies
+ * the channel for `cyclesPerLine` cycles and completes `latency` cycles
+ * after it starts. Functional data movement happens in GlobalMemory at
+ * scheduling time; only the timing is modeled here (the cache delays
+ * its response until the scheduled completion cycle).
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace soff::memsys
+{
+
+/** Shared DRAM channel timing: bandwidth plus fixed latency. */
+class DramTiming
+{
+  public:
+    DramTiming(int latency, int cycles_per_line)
+        : latency_(latency), cyclesPerLine_(cycles_per_line)
+    {}
+
+    /**
+     * Schedules one line transfer issued at `now`; returns the cycle
+     * when the data is available (or the write has drained).
+     */
+    uint64_t
+    schedule(uint64_t now)
+    {
+        uint64_t start = std::max(now, nextFree_);
+        nextFree_ = start + static_cast<uint64_t>(cyclesPerLine_);
+        ++transfers_;
+        return start + static_cast<uint64_t>(latency_);
+    }
+
+    int latency() const { return latency_; }
+    uint64_t transfers() const { return transfers_; }
+
+  private:
+    int latency_;
+    int cyclesPerLine_;
+    uint64_t nextFree_ = 0;
+    uint64_t transfers_ = 0;
+};
+
+} // namespace soff::memsys

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The FPGA's external memory (the OpenCL global memory, paper §III-A).
+ *
+ * A flat little-endian byte array. The runtime's allocator hands out
+ * buffer base addresses inside it; caches fill from and write back to
+ * it. Address 0 is reserved so null pointers trap.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace soff::memsys
+{
+
+/** Byte-addressable device global memory. */
+class GlobalMemory
+{
+  public:
+    explicit GlobalMemory(uint64_t size_bytes) : bytes_(size_bytes, 0) {}
+
+    uint64_t size() const { return bytes_.size(); }
+
+    uint8_t *data() { return bytes_.data(); }
+    const uint8_t *data() const { return bytes_.data(); }
+
+    /** Reads a little-endian scalar of 1..8 bytes. */
+    uint64_t
+    readScalar(uint64_t addr, uint32_t size) const
+    {
+        SOFF_ASSERT(addr + size <= bytes_.size() && addr != 0,
+                    "global memory read out of bounds");
+        uint64_t v = 0;
+        for (uint32_t i = 0; i < size; ++i)
+            v |= static_cast<uint64_t>(bytes_[addr + i]) << (8 * i);
+        return v;
+    }
+
+    /** Writes a little-endian scalar of 1..8 bytes. */
+    void
+    writeScalar(uint64_t addr, uint32_t size, uint64_t value)
+    {
+        SOFF_ASSERT(addr + size <= bytes_.size() && addr != 0,
+                    "global memory write out of bounds");
+        for (uint32_t i = 0; i < size; ++i)
+            bytes_[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+    }
+
+    void
+    readBlock(uint64_t addr, uint32_t size, uint8_t *out) const
+    {
+        SOFF_ASSERT(addr + size <= bytes_.size(),
+                    "global memory block read out of bounds");
+        for (uint32_t i = 0; i < size; ++i)
+            out[i] = bytes_[addr + i];
+    }
+
+    void
+    writeBlock(uint64_t addr, uint32_t size, const uint8_t *in)
+    {
+        SOFF_ASSERT(addr + size <= bytes_.size(),
+                    "global memory block write out of bounds");
+        for (uint32_t i = 0; i < size; ++i)
+            bytes_[addr + i] = in[i];
+    }
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+} // namespace soff::memsys

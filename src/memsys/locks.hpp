@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Atomic-operation lock tables (paper §IV-F2).
+ *
+ * "All atomic operations that may access the same cache or the same
+ * local memory share a set of 16 locks. At the beginning of the
+ * execution, a functional unit acquires the lock corresponding to the
+ * last four bits of its cache line address (lock[(addr >> 6) % 16]);
+ * at the end of the execution, it releases the lock."
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace soff::memsys
+{
+
+/** 16 locks shared by the atomic units of one cache / local block. */
+class LockTable
+{
+  public:
+    static constexpr int kNumLocks = 16;
+
+    static int
+    lockIndex(uint64_t addr)
+    {
+        return static_cast<int>((addr >> 6) % kNumLocks);
+    }
+
+    /** Attempts to acquire for an owner token; true on success. */
+    bool
+    tryAcquire(int index, const void *owner)
+    {
+        if (owner_[static_cast<size_t>(index)] != nullptr)
+            return false;
+        owner_[static_cast<size_t>(index)] = owner;
+        ++acquisitions_;
+        return true;
+    }
+
+    void
+    release(int index, const void *owner)
+    {
+        if (owner_[static_cast<size_t>(index)] == owner)
+            owner_[static_cast<size_t>(index)] = nullptr;
+    }
+
+    uint64_t acquisitions() const { return acquisitions_; }
+
+  private:
+    std::array<const void *, kNumLocks> owner_ = {};
+    uint64_t acquisitions_ = 0;
+};
+
+} // namespace soff::memsys

@@ -1,0 +1,332 @@
+#include "runtime/runtime.hpp"
+
+#include "baseline/interpreter.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace soff::rt
+{
+
+// ----------------------------------------------------------------------
+// Device
+// ----------------------------------------------------------------------
+Device::Device(datapath::FpgaSpec fpga, uint64_t global_mem_bytes)
+    : fpga_(std::move(fpga)), memory_(global_mem_bytes)
+{
+    // Address 0 is reserved (null); carve the rest as one free block.
+    blocks_.push_back({64, global_mem_bytes - 64, false});
+}
+
+uint64_t
+Device::allocate(uint64_t bytes)
+{
+    // 64-byte alignment keeps every scalar access within one cache line.
+    uint64_t aligned = (bytes + 63) & ~63ull;
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+        if (blocks_[i].used || blocks_[i].size < aligned)
+            continue;
+        uint64_t addr = blocks_[i].addr;
+        uint64_t remaining = blocks_[i].size - aligned;
+        blocks_[i].size = aligned;
+        blocks_[i].used = true;
+        if (remaining > 0) {
+            // Note: insert first invalidates references into blocks_.
+            blocks_.insert(blocks_.begin() + static_cast<ptrdiff_t>(i) + 1,
+                           {addr + aligned, remaining, false});
+        }
+        return addr;
+    }
+    throw RuntimeError("device global memory exhausted");
+}
+
+void
+Device::release(uint64_t addr)
+{
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+        if (blocks_[i].addr != addr || !blocks_[i].used)
+            continue;
+        blocks_[i].used = false;
+        // Coalesce with free neighbors.
+        if (i + 1 < blocks_.size() && !blocks_[i + 1].used) {
+            blocks_[i].size += blocks_[i + 1].size;
+            blocks_.erase(blocks_.begin() + static_cast<ptrdiff_t>(i) + 1);
+        }
+        if (i > 0 && !blocks_[i - 1].used) {
+            blocks_[i - 1].size += blocks_[i].size;
+            blocks_.erase(blocks_.begin() + static_cast<ptrdiff_t>(i));
+        }
+        return;
+    }
+    throw RuntimeError("release of unknown device address");
+}
+
+// ----------------------------------------------------------------------
+// KernelHandle
+// ----------------------------------------------------------------------
+const std::string &
+KernelHandle::name() const
+{
+    return compiled_->kernel->name();
+}
+
+size_t
+KernelHandle::numArgs() const
+{
+    return compiled_->kernel->numArguments();
+}
+
+void
+KernelHandle::checkIndex(size_t index, bool is_buffer) const
+{
+    if (index >= numArgs()) {
+        throw RuntimeError(strFormat(
+            "kernel '%s' has %zu argument(s); index %zu out of range",
+            name().c_str(), numArgs(), index));
+    }
+    const ir::Argument *arg = compiled_->kernel->argument(index);
+    if (is_buffer != arg->type()->isPointer()) {
+        throw RuntimeError(strFormat(
+            "kernel '%s' argument %zu: %s expected", name().c_str(),
+            index, arg->type()->isPointer() ? "a buffer" : "a scalar"));
+    }
+}
+
+void
+KernelHandle::setArg(size_t index, const Buffer &buffer)
+{
+    checkIndex(index, true);
+    args_[index] = ir::RtValue::makeInt(buffer.deviceAddress());
+}
+
+namespace
+{
+
+ir::RtValue
+scalarArg(const ir::Argument *arg, double fp, uint64_t bits)
+{
+    if (arg->type()->isFloat())
+        return ir::RtValue::makeFloat(
+            arg->type()->bits() == 32
+                ? static_cast<double>(static_cast<float>(fp)) : fp);
+    return ir::RtValue::makeInt(ir::normalizeInt(arg->type(), bits));
+}
+
+} // namespace
+
+void
+KernelHandle::setArg(size_t index, int32_t v)
+{
+    checkIndex(index, false);
+    args_[index] = scalarArg(compiled_->kernel->argument(index),
+                             static_cast<double>(v),
+                             static_cast<uint64_t>(static_cast<int64_t>(v)));
+}
+
+void
+KernelHandle::setArg(size_t index, uint32_t v)
+{
+    checkIndex(index, false);
+    args_[index] = scalarArg(compiled_->kernel->argument(index),
+                             static_cast<double>(v), v);
+}
+
+void
+KernelHandle::setArg(size_t index, int64_t v)
+{
+    checkIndex(index, false);
+    args_[index] = scalarArg(compiled_->kernel->argument(index),
+                             static_cast<double>(v),
+                             static_cast<uint64_t>(v));
+}
+
+void
+KernelHandle::setArg(size_t index, uint64_t v)
+{
+    checkIndex(index, false);
+    args_[index] = scalarArg(compiled_->kernel->argument(index),
+                             static_cast<double>(v), v);
+}
+
+void
+KernelHandle::setArg(size_t index, float v)
+{
+    checkIndex(index, false);
+    args_[index] = scalarArg(compiled_->kernel->argument(index),
+                             static_cast<double>(v),
+                             static_cast<uint64_t>(v));
+}
+
+void
+KernelHandle::setArg(size_t index, double v)
+{
+    checkIndex(index, false);
+    args_[index] = scalarArg(compiled_->kernel->argument(index), v,
+                             static_cast<uint64_t>(v));
+}
+
+std::map<const ir::Argument *, ir::RtValue>
+KernelHandle::argValues() const
+{
+    std::map<const ir::Argument *, ir::RtValue> values;
+    for (size_t i = 0; i < numArgs(); ++i) {
+        auto it = args_.find(i);
+        if (it == args_.end()) {
+            throw RuntimeError(strFormat(
+                "kernel '%s' argument %zu was never set",
+                name().c_str(), i));
+        }
+        values[compiled_->kernel->argument(i)] = it->second;
+    }
+    return values;
+}
+
+// ----------------------------------------------------------------------
+// Program
+// ----------------------------------------------------------------------
+KernelHandle
+Program::createKernel(const std::string &name)
+{
+    const core::CompiledKernel *ck = compiled_->findKernel(name);
+    if (ck == nullptr)
+        throw RuntimeError("no kernel named '" + name + "' in program");
+    return KernelHandle(this, ck);
+}
+
+int
+Program::instancesFor(const core::CompiledKernel &kernel) const
+{
+    // §III-B: all kernels resident together when they fit; otherwise
+    // the region is reconfigured per kernel and each kernel gets the
+    // whole device.
+    bool all_fit = true;
+    for (int n : compiled_->sharedInstanceCounts)
+        all_fit &= n > 0;
+    if (all_fit && compiled_->kernels.size() > 1) {
+        for (size_t i = 0; i < compiled_->kernels.size(); ++i) {
+            if (&compiled_->kernels[i] == &kernel)
+                return compiled_->sharedInstanceCounts[i];
+        }
+    }
+    return kernel.maxInstancesAlone;
+}
+
+bool
+Program::needsReconfiguration(const core::CompiledKernel &kernel) const
+{
+    bool all_fit = true;
+    for (int n : compiled_->sharedInstanceCounts)
+        all_fit &= n > 0;
+    if (all_fit)
+        return false;
+    return device_->residentKernel() != kernel.kernel->name();
+}
+
+// ----------------------------------------------------------------------
+// Context
+// ----------------------------------------------------------------------
+Buffer
+Context::createBuffer(uint64_t size)
+{
+    return Buffer(device_.allocate(size), size);
+}
+
+void
+Context::releaseBuffer(Buffer &buffer)
+{
+    if (buffer.valid()) {
+        device_.release(buffer.deviceAddress());
+        buffer = Buffer();
+    }
+}
+
+void
+Context::writeBuffer(const Buffer &buffer, const void *src, uint64_t size)
+{
+    SOFF_ASSERT(size <= buffer.size(), "write exceeds buffer size");
+    device_.globalMemory().writeBlock(buffer.deviceAddress(),
+                                      static_cast<uint32_t>(size),
+                                      static_cast<const uint8_t *>(src));
+}
+
+void
+Context::readBuffer(const Buffer &buffer, void *dst, uint64_t size)
+{
+    SOFF_ASSERT(size <= buffer.size(), "read exceeds buffer size");
+    device_.globalMemory().readBlock(buffer.deviceAddress(),
+                                     static_cast<uint32_t>(size),
+                                     static_cast<uint8_t *>(dst));
+}
+
+Program
+Context::buildProgram(const std::string &source,
+                      const core::CompilerOptions &options)
+{
+    core::CompilerOptions opts = options;
+    opts.fpga = device_.fpga();
+    core::Compiler compiler(opts);
+    return Program(device_, compiler.compile(source));
+}
+
+LaunchResult
+Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
+                        ExecutionMode mode,
+                        const sim::PlatformConfig &platform,
+                        int instance_override)
+{
+    const core::CompiledKernel &ck = kernel.compiled();
+    for (int d = 0; d < 3; ++d) {
+        if (ndrange.localSize[d] == 0 ||
+            ndrange.globalSize[d] % ndrange.localSize[d] != 0) {
+            throw RuntimeError("NDRange global size must be a multiple "
+                               "of the work-group size");
+        }
+    }
+    sim::LaunchContext launch;
+    launch.ndrange = ndrange;
+    launch.args = kernel.argValues();
+
+    LaunchResult result;
+    if (mode == ExecutionMode::Reference) {
+        baseline::Interpreter interp(device_.globalMemory());
+        interp.run(*ck.kernel, launch);
+        result.instances = 1;
+        return result;
+    }
+
+    int instances = instance_override > 0
+                        ? instance_override
+                        : kernel.program()->instancesFor(ck);
+    if (instance_override <= 0 && instances <= 0) {
+        throw RuntimeError(
+            "kernel '" + ck.kernel->name() + "' does not fit the "
+            "target FPGA (insufficient resources)");
+    }
+    if (kernel.program()->needsReconfiguration(ck)) {
+        device_.noteReconfiguration();
+        device_.setResidentKernel(ck.kernel->name());
+    }
+
+    sim::KernelCircuit circuit(*ck.plan, launch, device_.globalMemory(),
+                               instances, platform);
+    uint64_t total_work = ndrange.totalWorkItems();
+    uint64_t max_cycles = 1000000ull + total_work * 50000ull;
+    auto run = circuit.run(max_cycles);
+    if (run.deadlock || !run.completed) {
+        throw RuntimeError(strFormat(
+            "kernel '%s' %s after %llu cycles",
+            ck.kernel->name().c_str(),
+            run.deadlock ? "deadlocked" : "timed out",
+            static_cast<unsigned long long>(run.cycles)));
+    }
+    result.cycles = run.cycles;
+    result.instances = instances;
+    result.stats = circuit.stats();
+    datapath::Resources used =
+        ck.resourcesPerInstance.scaled(instances);
+    result.fmaxMhz = datapath::estimateFmaxMhz(device_.fpga(), used);
+    result.timeMs = static_cast<double>(run.cycles) /
+                    (result.fmaxMhz * 1e3);
+    return result;
+}
+
+} // namespace soff::rt

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The SOFF runtime (paper §III-C1): an OpenCL-style host API over the
+ * simulated target platform of Fig. 2.
+ *
+ * "The runtime is a user-level library that implements OpenCL API
+ * functions invoked by the host program. It configures the
+ * reconfigurable region with the pre-built bitstream, requests data
+ * transfers between the main memory and the FPGA's global memory, and
+ * executes kernels on the FPGA" — here against the cycle-level circuit
+ * simulator. The Device models the board (global memory + allocator +
+ * the argument/trigger/completion/kernel-pointer registers' behavior);
+ * Context/Buffer/Program/KernelHandle/CommandQueue mirror the OpenCL
+ * host object model.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "memsys/global_memory.hpp"
+#include "sim/circuit.hpp"
+
+namespace soff::rt
+{
+
+/** The simulated accelerator board. */
+class Device
+{
+  public:
+    explicit Device(datapath::FpgaSpec fpga = datapath::FpgaSpec::arria10(),
+                    uint64_t global_mem_bytes = 256ull << 20);
+
+    memsys::GlobalMemory &globalMemory() { return memory_; }
+    const datapath::FpgaSpec &fpga() const { return fpga_; }
+
+    /** Global-memory allocator (§III-C1: "a simple memory allocator"). */
+    uint64_t allocate(uint64_t bytes);
+    void release(uint64_t addr);
+
+    /** Partial reconfigurations performed so far (§III-B). */
+    int reconfigurations() const { return reconfigurations_; }
+    void noteReconfiguration() { ++reconfigurations_; }
+    const std::string &residentKernel() const { return resident_; }
+    void setResidentKernel(const std::string &name) { resident_ = name; }
+
+  private:
+    datapath::FpgaSpec fpga_;
+    memsys::GlobalMemory memory_;
+    struct Block
+    {
+        uint64_t addr;
+        uint64_t size;
+        bool used;
+    };
+    std::vector<Block> blocks_;
+    int reconfigurations_ = 0;
+    std::string resident_;
+};
+
+/** A device global-memory buffer (cl_mem). */
+class Buffer
+{
+  public:
+    Buffer() = default;
+    Buffer(uint64_t addr, uint64_t size) : addr_(addr), size_(size) {}
+
+    uint64_t deviceAddress() const { return addr_; }
+    uint64_t size() const { return size_; }
+    bool valid() const { return addr_ != 0; }
+
+  private:
+    uint64_t addr_ = 0;
+    uint64_t size_ = 0;
+};
+
+/** How enqueueNDRange executes the kernel. */
+enum class ExecutionMode
+{
+    Simulate,  ///< Cycle-level circuit simulation (the real thing).
+    Reference, ///< Reference interpreter (fast functional check).
+};
+
+/** Result of one kernel execution. */
+struct LaunchResult
+{
+    uint64_t cycles = 0;
+    double timeMs = 0.0;
+    double fmaxMhz = 0.0;
+    int instances = 0;
+    bool deadlock = false;
+    sim::CircuitStats stats;
+};
+
+class Program;
+
+/** A kernel object with bound arguments (cl_kernel). */
+class KernelHandle
+{
+  public:
+    KernelHandle(Program *program, const core::CompiledKernel *compiled)
+        : program_(program), compiled_(compiled)
+    {}
+
+    const std::string &name() const;
+    size_t numArgs() const;
+
+    void setArg(size_t index, const Buffer &buffer);
+    void setArg(size_t index, int32_t v);
+    void setArg(size_t index, uint32_t v);
+    void setArg(size_t index, int64_t v);
+    void setArg(size_t index, uint64_t v);
+    void setArg(size_t index, float v);
+    void setArg(size_t index, double v);
+
+    const core::CompiledKernel &compiled() const { return *compiled_; }
+    Program *program() const { return program_; }
+    /** Builds the launch-time argument map; throws if any arg unset. */
+    std::map<const ir::Argument *, ir::RtValue> argValues() const;
+
+  private:
+    void checkIndex(size_t index, bool is_buffer) const;
+
+    Program *program_;
+    const core::CompiledKernel *compiled_;
+    std::map<size_t, ir::RtValue> args_;
+};
+
+/** A built OpenCL program (cl_program; offline compilation §III-C). */
+class Program
+{
+  public:
+    Program(Device &device, std::unique_ptr<core::CompiledProgram> compiled)
+        : device_(&device), compiled_(std::move(compiled))
+    {}
+
+    KernelHandle createKernel(const std::string &name);
+    const core::CompiledProgram &compiled() const { return *compiled_; }
+    Device &device() { return *device_; }
+
+    /** Instance count used when launching this kernel (§III-B/C). */
+    int instancesFor(const core::CompiledKernel &kernel) const;
+    /** True if launching this kernel requires partial reconfiguration. */
+    bool needsReconfiguration(const core::CompiledKernel &kernel) const;
+
+  private:
+    Device *device_;
+    std::unique_ptr<core::CompiledProgram> compiled_;
+};
+
+/** The context + in-order command queue (simplified cl_context+queue). */
+class Context
+{
+  public:
+    explicit Context(datapath::FpgaSpec fpga = datapath::FpgaSpec::arria10(),
+                     uint64_t global_mem_bytes = 256ull << 20)
+        : device_(std::move(fpga), global_mem_bytes)
+    {}
+
+    Device &device() { return device_; }
+
+    Buffer createBuffer(uint64_t size);
+    void releaseBuffer(Buffer &buffer);
+    /** Host->device DMA (paper §III-A). */
+    void writeBuffer(const Buffer &buffer, const void *src, uint64_t size);
+    /** Device->host DMA. */
+    void readBuffer(const Buffer &buffer, void *dst, uint64_t size);
+
+    /** Compiles a program for this device (offline compilation). */
+    Program buildProgram(const std::string &source,
+                         const core::CompilerOptions &options = {});
+
+    /**
+     * Executes a kernel over an NDRange. `instance_override` forces a
+     * specific datapath instance count (0 = the resource model's
+     * maximum, the paper's default behavior) — used by the instance-
+     * scaling ablation bench.
+     */
+    LaunchResult enqueueNDRange(
+        KernelHandle &kernel, const sim::NDRange &ndrange,
+        ExecutionMode mode = ExecutionMode::Simulate,
+        const sim::PlatformConfig &platform = {},
+        int instance_override = 0);
+
+  private:
+    Device device_;
+};
+
+} // namespace soff::rt

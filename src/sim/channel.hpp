@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Elastic handshake channels (paper §II-A3, §IV-B/C).
+ *
+ * A channel models a registered valid/stall link between two circuit
+ * components (the synchronous handshake protocol of Cortadella et al.
+ * that SOFF uses). Pushes become visible to the consumer one cycle
+ * later; a pop does not free space until the next cycle — exactly the
+ * "at least one cycle delay between the stall of a functional unit and
+ * that of its predecessors" plus the "additional register to maintain
+ * its output" of §IV-C. The default capacity of 2 (main + skid
+ * register) sustains one token per cycle.
+ */
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace soff::sim
+{
+
+/** Type-erased base so the simulator can commit all channels. */
+class ChannelBase
+{
+  public:
+    virtual ~ChannelBase() = default;
+    /** Applies this cycle's staged pops/pushes; true if state changed. */
+    virtual bool commit() = 0;
+};
+
+/** A single-producer single-consumer staged FIFO channel. */
+template <typename T>
+class Channel : public ChannelBase
+{
+  public:
+    explicit Channel(size_t capacity) : cap_(capacity)
+    {
+        SOFF_ASSERT(capacity >= 1, "channel capacity must be >= 1");
+    }
+
+    /** Consumer side: a committed token is available. */
+    bool canPop() const { return !q_.empty() && !popped_; }
+    const T &peek() const { return q_.front(); }
+    T
+    pop()
+    {
+        SOFF_ASSERT(canPop(), "pop on empty channel");
+        popped_ = true;
+        return q_.front();
+    }
+
+    /** Producer side: space based on the committed occupancy. */
+    bool canPush() const { return q_.size() + staged_.size() < cap_; }
+    void
+    push(T v)
+    {
+        SOFF_ASSERT(canPush(), "push on full channel");
+        staged_.push_back(std::move(v));
+    }
+
+    bool
+    commit() override
+    {
+        bool changed = popped_ || !staged_.empty();
+        if (popped_) {
+            q_.pop_front();
+            popped_ = false;
+        }
+        for (T &v : staged_)
+            q_.push_back(std::move(v));
+        staged_.clear();
+        return changed;
+    }
+
+    size_t size() const { return q_.size(); }
+    size_t capacity() const { return cap_; }
+    bool empty() const { return q_.empty(); }
+
+  private:
+    size_t cap_;
+    std::deque<T> q_;
+    std::vector<T> staged_;
+    bool popped_ = false;
+};
+
+} // namespace soff::sim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Instantiates a KernelPlan as a simulated circuit: the reconfigurable
+ * region of paper Fig. 2 (work-item dispatcher, N datapath instances,
+ * memory subsystem, work-item counter, completion register).
+ */
+#pragma once
+
+#include <map>
+
+#include "datapath/plan.hpp"
+#include "memsys/arbiter.hpp"
+#include "memsys/cache.hpp"
+#include "memsys/dram.hpp"
+#include "memsys/global_memory.hpp"
+#include "memsys/local_block.hpp"
+#include "memsys/locks.hpp"
+#include "sim/dispatch.hpp"
+#include "sim/glue.hpp"
+#include "sim/units.hpp"
+
+namespace soff::sim
+{
+
+/** Timing parameters of the platform outside the datapath. */
+struct PlatformConfig
+{
+    int dramLatency = 40;       ///< Cycles from request to line data.
+    int dramCyclesPerLine = 4;  ///< Bandwidth: one 64B line / 4 cycles.
+};
+
+/** Aggregated execution statistics. */
+struct CircuitStats
+{
+    uint64_t cycles = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t cacheWritebacks = 0;
+    uint64_t dramTransfers = 0;
+    uint64_t localAccesses = 0;
+    uint64_t localBankConflicts = 0;
+    int numInstances = 0;
+    size_t numComponents = 0;
+};
+
+/** A fully wired simulated kernel circuit. */
+class KernelCircuit
+{
+  public:
+    KernelCircuit(const datapath::KernelPlan &plan,
+                  const LaunchContext &launch,
+                  memsys::GlobalMemory &memory, int num_instances,
+                  const PlatformConfig &platform = {});
+
+    /** Runs to completion (or deadlock/timeout). */
+    Simulator::RunResult run(Cycle max_cycles,
+                             Cycle deadlock_window = 100000);
+
+    bool completed() const { return counter_->completed(); }
+    /** Work-items retired so far (work-item counter value, §III-B). */
+    uint64_t retired() const { return counter_->retired(); }
+    CircuitStats stats() const;
+    Simulator &simulator() { return sim_; }
+
+  private:
+    void buildInstance(int instance);
+    void buildNode(const datapath::NodePlan &node,
+                   Channel<WiToken> *in,
+                   const std::vector<Channel<WiToken> *> &outs,
+                   const std::string &prefix, int instance);
+    void buildLeaf(const datapath::NodePlan &node, Channel<WiToken> *in,
+                   const std::vector<Channel<WiToken> *> &outs,
+                   const std::string &prefix, int instance);
+    void buildBarrier(const datapath::NodePlan &node,
+                      Channel<WiToken> *in,
+                      const std::vector<Channel<WiToken> *> &outs,
+                      const std::string &prefix, int instance);
+    void buildRegion(const datapath::NodePlan &node,
+                     Channel<WiToken> *in,
+                     const std::vector<Channel<WiToken> *> &outs,
+                     const std::string &prefix, int instance);
+    void buildMemorySubsystem();
+
+    const datapath::KernelPlan &plan_;
+    const LaunchContext &launch_;
+    memsys::GlobalMemory &memory_;
+    int numInstances_;
+
+    Simulator sim_;
+    memsys::DramTiming dram_;
+    std::unique_ptr<CompletionBoard> board_;
+    WorkItemCounter *counter_ = nullptr;
+
+    std::vector<Channel<WiToken> *> rootInputs_;
+    std::vector<Channel<WiToken> *> terminals_;
+    int currentInstance_ = 0;
+
+    struct MemClient
+    {
+        MemUnit *unit;
+        const ir::Instruction *inst;
+        int instance;
+    };
+    std::map<int, std::vector<MemClient>> globalClients_; ///< by cache id
+    std::map<int, std::vector<MemClient>> localClients_;  ///< by block id
+    std::vector<memsys::Cache *> caches_;
+    std::vector<memsys::LocalMemoryBlock *> localBlocks_;
+    std::vector<std::unique_ptr<memsys::LockTable>> lockTables_;
+    std::vector<BarrierUnit *> barriers_;
+    std::vector<SelectUnit *> selects_;
+    std::map<const datapath::NodePlan *, Router *> leafRouters_;
+    int regionCounter_ = 0;
+};
+
+} // namespace soff::sim

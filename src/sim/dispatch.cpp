@@ -1,0 +1,77 @@
+#include "sim/dispatch.hpp"
+
+namespace soff::sim
+{
+
+Dispatcher::Dispatcher(const std::string &name,
+                       const LaunchContext *launch,
+                       std::vector<Channel<WiToken> *> datapath_inputs,
+                       CompletionBoard *board,
+                       int max_groups_per_datapath)
+    : Component(name), launch_(launch), inputs_(std::move(datapath_inputs)),
+      board_(board), maxGroups_(max_groups_per_datapath),
+      totalGroups_(launch->ndrange.totalGroups()),
+      streams_(inputs_.size())
+{}
+
+void
+Dispatcher::step(Cycle)
+{
+    const NDRange &nd = launch_->ndrange;
+    for (size_t d = 0; d < inputs_.size(); ++d) {
+        Stream &stream = streams_[d];
+        if (!stream.active) {
+            if (nextGroup_ >= totalGroups_ ||
+                board_->inflight(static_cast<int>(d)) >= maxGroups_) {
+                continue;
+            }
+            stream.active = true;
+            stream.group = nextGroup_++;
+            stream.nextLocal = 0;
+            board_->assign(stream.group, static_cast<int>(d));
+        }
+        // One work-item per cycle unless the datapath entry stalls.
+        if (inputs_[d]->canPush()) {
+            WiToken token;
+            token.wi = nd.gidOf(stream.group, stream.nextLocal);
+            inputs_[d]->push(std::move(token));
+            if (++stream.nextLocal >= nd.groupSize())
+                stream.active = false;
+        }
+    }
+}
+
+WorkItemCounter::WorkItemCounter(
+    const std::string &name, const LaunchContext *launch,
+    std::vector<Channel<WiToken> *> terminal_channels,
+    CompletionBoard *board, std::vector<memsys::Cache *> caches)
+    : Component(name), launch_(launch),
+      terminals_(std::move(terminal_channels)), board_(board),
+      caches_(std::move(caches)),
+      total_(launch->ndrange.totalWorkItems())
+{}
+
+void
+WorkItemCounter::step(Cycle)
+{
+    for (Channel<WiToken> *ch : terminals_) {
+        if (ch->canPop()) {
+            WiToken token = ch->pop();
+            board_->retire(token.wi);
+            ++count_;
+        }
+    }
+    if (count_ >= total_ && !flushSent_) {
+        flushSent_ = true;
+        for (memsys::Cache *cache : caches_)
+            cache->requestFlush();
+    }
+    if (flushSent_ && !completed_) {
+        bool all_flushed = true;
+        for (memsys::Cache *cache : caches_)
+            all_flushed &= cache->flushDone();
+        completed_ = all_flushed;
+    }
+}
+
+} // namespace soff::sim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Work-item dispatcher and work-item counter (paper §III-B, Fig. 2).
+ *
+ * "The work-item dispatcher distributes work-items to the datapaths by
+ * work-groups. It first assigns one work-group to each datapath. Then
+ * it sends the IDs of every work-item in the work-group to the
+ * corresponding datapath, one by one, in every cycle unless the entry
+ * of the datapath is temporarily stalled."
+ *
+ * "The work-item counter is incremented whenever a work-item finishes.
+ * If it reaches the total number of work-items, a cache flush signal is
+ * sent to the memory subsystem, and the completion register is set."
+ */
+#pragma once
+
+#include "memsys/cache.hpp"
+#include "sim/simulator.hpp"
+
+namespace soff::sim
+{
+
+/** Tracks per-group retirement so the dispatcher can bound the number
+ *  of concurrently resident work-groups per datapath (§V-B). */
+class CompletionBoard
+{
+  public:
+    CompletionBoard(const NDRange &ndrange, int num_datapaths)
+        : ndrange_(ndrange),
+          remaining_(ndrange.totalGroups(), ndrange.groupSize()),
+          inflight_(static_cast<size_t>(num_datapaths), 0)
+    {}
+
+    void
+    assign(uint64_t group, int datapath)
+    {
+        owner_[group] = datapath;
+        ++inflight_[static_cast<size_t>(datapath)];
+    }
+
+    void
+    retire(uint64_t wi)
+    {
+        uint64_t group = ndrange_.groupOf(wi);
+        if (--remaining_[group] == 0)
+            --inflight_[static_cast<size_t>(owner_.at(group))];
+    }
+
+    int inflight(int datapath) const
+    {
+        return inflight_[static_cast<size_t>(datapath)];
+    }
+
+  private:
+    NDRange ndrange_;
+    std::vector<uint64_t> remaining_;
+    std::vector<int> inflight_;
+    std::map<uint64_t, int> owner_;
+};
+
+/** The work-item dispatcher. */
+class Dispatcher : public Component
+{
+  public:
+    Dispatcher(const std::string &name, const LaunchContext *launch,
+               std::vector<Channel<WiToken> *> datapath_inputs,
+               CompletionBoard *board, int max_groups_per_datapath);
+
+    void step(Cycle now) override;
+
+    bool allDispatched() const { return nextGroup_ >= totalGroups_; }
+
+  private:
+    const LaunchContext *launch_;
+    std::vector<Channel<WiToken> *> inputs_;
+    CompletionBoard *board_;
+    int maxGroups_;
+    uint64_t nextGroup_ = 0;
+    uint64_t totalGroups_;
+    struct Stream
+    {
+        bool active = false;
+        uint64_t group = 0;
+        uint64_t nextLocal = 0;
+    };
+    std::vector<Stream> streams_;
+};
+
+/** The work-item counter + cache-flush + completion register. */
+class WorkItemCounter : public Component
+{
+  public:
+    WorkItemCounter(const std::string &name, const LaunchContext *launch,
+                    std::vector<Channel<WiToken> *> terminal_channels,
+                    CompletionBoard *board,
+                    std::vector<memsys::Cache *> caches);
+
+    void step(Cycle now) override;
+
+    /** The completion register (§III-B). */
+    bool completed() const { return completed_; }
+    uint64_t retired() const { return count_; }
+
+  private:
+    const LaunchContext *launch_;
+    std::vector<Channel<WiToken> *> terminals_;
+    CompletionBoard *board_;
+    std::vector<memsys::Cache *> caches_;
+    uint64_t count_ = 0;
+    uint64_t total_;
+    bool flushSent_ = false;
+    bool completed_ = false;
+};
+
+} // namespace soff::sim

@@ -1,0 +1,115 @@
+#include "sim/glue.hpp"
+
+#include "sim/units.hpp"
+
+namespace soff::sim
+{
+
+void
+Router::step(Cycle)
+{
+    if (!in_->canPop() || outs_.empty())
+        return;
+    const WiToken &token = in_->peek();
+    size_t port = 0;
+    if (outs_.size() > 1) {
+        bool taken;
+        if (condIndex_ >= 0) {
+            taken = token.live.at(static_cast<size_t>(condIndex_)).i != 0;
+        } else if (condValue_ != nullptr && condValue_->isConstant()) {
+            taken = static_cast<const ir::Constant *>(condValue_)
+                        ->intBits() != 0;
+        } else if (condValue_ != nullptr && condValue_->isArgument()) {
+            taken = launch_->argValue(static_cast<const ir::Argument *>(
+                                          condValue_)).i != 0;
+        } else {
+            SOFF_ASSERT(false, "router without a condition: " + name());
+            taken = false;
+        }
+        port = taken ? 0 : 1; // CondBr: succ(0) is the true target
+    }
+    Out &out = outs_[port];
+    if (!out.ch->canPush())
+        return;
+    if (orderFifo_ != nullptr && !orderFifo_->canPush())
+        return;
+    WiToken popped = in_->pop();
+    if (orderFifo_ != nullptr)
+        orderFifo_->push(launch_->ndrange.groupOf(popped.wi));
+    out.ch->push(out.proj != nullptr
+                     ? applyProjection(*out.proj, popped, *launch_)
+                     : std::move(popped));
+}
+
+void
+SelectUnit::step(Cycle)
+{
+    if (!out_->canPush() || ins_.empty())
+        return;
+    if (orderFifo_ != nullptr) {
+        // Ordered mode: deliver only tokens of the group at the FIFO
+        // front (§IV-F1: "the select glue only delivers work-items
+        // whose work-group ID is the same as the first element").
+        if (!orderFifo_->canPop())
+            return;
+        uint64_t group = orderFifo_->peek();
+        for (In &in : ins_) {
+            if (in.ch->canPop() &&
+                launch_->ndrange.groupOf(in.ch->peek().wi) == group) {
+                out_->push(in.ch->pop());
+                orderFifo_->pop();
+                return;
+            }
+        }
+        return;
+    }
+    // Priority inputs (loop back edges) first.
+    for (In &in : ins_) {
+        if (in.priority && in.ch->canPop()) {
+            out_->push(in.ch->pop());
+            return;
+        }
+    }
+    for (size_t k = 0; k < ins_.size(); ++k) {
+        size_t i = (rr_ + k) % ins_.size();
+        if (ins_[i].ch->canPop()) {
+            out_->push(ins_[i].ch->pop());
+            rr_ = (i + 1) % ins_.size();
+            return;
+        }
+    }
+}
+
+void
+LoopEntrance::step(Cycle)
+{
+    if (!in_->canPop() || !out_->canPush())
+        return;
+    if (state_->swgr) {
+        uint64_t group = launch_->ndrange.groupOf(in_->peek().wi);
+        if (state_->count == 0 && !state_->groupActive) {
+            state_->groupActive = true;
+            state_->currentGroup = group;
+        } else if (!state_->groupActive ||
+                   group != state_->currentGroup) {
+            return; // §IV-F1: one work-group inside at a time
+        }
+    } else if (state_->nmax > 0 && state_->count >= state_->nmax) {
+        return; // §IV-E: never admit the N_max-th + 1 work-item
+    }
+    ++state_->count;
+    out_->push(in_->pop());
+}
+
+void
+LoopExit::step(Cycle)
+{
+    if (!in_->canPop() || !out_->canPush())
+        return;
+    out_->push(in_->pop());
+    --state_->count;
+    if (state_->count == 0 && state_->swgr)
+        state_->groupActive = false;
+}
+
+} // namespace soff::sim

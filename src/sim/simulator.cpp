@@ -1,0 +1,38 @@
+#include "sim/simulator.hpp"
+
+namespace soff::sim
+{
+
+Simulator::RunResult
+Simulator::run(const std::function<bool()> &done, Cycle max_cycles,
+               Cycle deadlock_window)
+{
+    RunResult result;
+    Cycle idle = 0;
+    while (now_ < max_cycles) {
+        if (done()) {
+            result.completed = true;
+            result.cycles = now_;
+            return result;
+        }
+        activity_ = false;
+        for (auto &c : components_)
+            c->step(now_);
+        for (auto &ch : channels_) {
+            if (ch->commit())
+                activity_ = true;
+        }
+        ++now_;
+        if (activity_) {
+            idle = 0;
+        } else if (++idle >= deadlock_window) {
+            result.deadlock = true;
+            result.cycles = now_;
+            return result;
+        }
+    }
+    result.cycles = now_;
+    return result;
+}
+
+} // namespace soff::sim

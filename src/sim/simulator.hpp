@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The synchronous cycle-level simulation kernel.
+ *
+ * All components are stepped once per clock cycle in creation order,
+ * then all channels commit their staged transfers. Communication is
+ * exclusively through channels, so intra-cycle ordering between
+ * components is unobservable and the simulation is deterministic.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/token.hpp"
+
+namespace soff::sim
+{
+
+class Simulator;
+
+/** A clocked circuit component. */
+class Component
+{
+  public:
+    explicit Component(std::string name) : name_(std::move(name)) {}
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+    virtual ~Component() = default;
+
+    /** One clock cycle of behavior. */
+    virtual void step(Cycle now) = 0;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+/** Owns components and channels; advances the global clock. */
+class Simulator
+{
+  public:
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Creates and owns a component. */
+    template <typename T, typename... Args>
+    T *
+    add(Args &&...args)
+    {
+        auto c = std::make_unique<T>(std::forward<Args>(args)...);
+        T *raw = c.get();
+        components_.push_back(std::move(c));
+        return raw;
+    }
+
+    /** Creates and owns a channel. */
+    template <typename T>
+    Channel<T> *
+    channel(size_t capacity)
+    {
+        auto ch = std::make_unique<Channel<T>>(capacity);
+        Channel<T> *raw = ch.get();
+        channels_.push_back(std::move(ch));
+        return raw;
+    }
+
+    /**
+     * Components with purely internal timed state (DRAM in flight,
+     * cache flush walks) call this so quiet-but-busy cycles do not
+     * count toward the deadlock window.
+     */
+    void noteActivity() { activity_ = true; }
+
+    struct RunResult
+    {
+        bool completed = false;
+        bool deadlock = false;
+        Cycle cycles = 0;
+    };
+
+    /**
+     * Runs until done() returns true, the deadlock watchdog fires (no
+     * channel transfer and no reported activity for `deadlock_window`
+     * consecutive cycles), or `max_cycles` elapse.
+     */
+    RunResult run(const std::function<bool()> &done, Cycle max_cycles,
+                  Cycle deadlock_window = 100000);
+
+    Cycle now() const { return now_; }
+    size_t numComponents() const { return components_.size(); }
+    size_t numChannels() const { return channels_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Component>> components_;
+    std::vector<std::unique_ptr<ChannelBase>> channels_;
+    Cycle now_ = 0;
+    bool activity_ = false;
+};
+
+} // namespace soff::sim

@@ -1,0 +1,364 @@
+#include "sim/units.hpp"
+
+namespace soff::sim
+{
+
+// ----------------------------------------------------------------------
+// SourceUnit
+// ----------------------------------------------------------------------
+void
+SourceUnit::step(Cycle)
+{
+    if (!in_->canPop())
+        return;
+    for (const Out &out : outs_) {
+        if (!out.ch->canPush())
+            return;
+    }
+    WiToken token = in_->pop();
+    for (const Out &out : outs_) {
+        Flit flit;
+        flit.wi = token.wi;
+        if (out.liveIndex >= 0) {
+            SOFF_ASSERT(static_cast<size_t>(out.liveIndex) <
+                            token.live.size(),
+                        "live-set layout mismatch at " + name());
+            flit.val = token.live[static_cast<size_t>(out.liveIndex)];
+        }
+        out.ch->push(std::move(flit));
+    }
+}
+
+// ----------------------------------------------------------------------
+// SinkUnit
+// ----------------------------------------------------------------------
+void
+SinkUnit::step(Cycle)
+{
+    if (!out_->canPush())
+        return;
+    for (const In &in : ins_) {
+        if (!in.ch->canPop())
+            return;
+    }
+    WiToken token;
+    token.live.resize(layoutSize_);
+    bool first = true;
+    for (const In &in : ins_) {
+        Flit flit = in.ch->pop();
+        if (first) {
+            token.wi = flit.wi;
+            first = false;
+        } else {
+            SOFF_ASSERT(token.wi == flit.wi,
+                        "sink received misaligned work-items: " + name());
+        }
+        if (in.sinkIndex >= 0)
+            token.live[static_cast<size_t>(in.sinkIndex)] =
+                std::move(flit.val);
+    }
+    out_->push(std::move(token));
+}
+
+// ----------------------------------------------------------------------
+// ComputeUnit
+// ----------------------------------------------------------------------
+ComputeUnit::ComputeUnit(const std::string &name,
+                         const ir::Instruction *inst, int latency,
+                         const LaunchContext *launch)
+    : Component(name), inst_(inst), latency_(latency), launch_(launch),
+      capacity_(static_cast<size_t>(latency) + 1)
+{}
+
+void
+ComputeUnit::addInput(Channel<Flit> *ch, const ir::Value *value)
+{
+    ins_.push_back({ch, value});
+}
+
+ir::RtValue
+ComputeUnit::resolveOperand(const ir::Value *op,
+                            const std::vector<Flit> &flits) const
+{
+    if (op->isConstant())
+        return ir::constantValue(static_cast<const ir::Constant *>(op));
+    if (op->isArgument())
+        return launch_->argValue(static_cast<const ir::Argument *>(op));
+    for (size_t i = 0; i < ins_.size(); ++i) {
+        if (ins_[i].value == op)
+            return flits[i].val;
+    }
+    SOFF_ASSERT(false, "operand not wired to unit " + name());
+    return ir::RtValue();
+}
+
+void
+ComputeUnit::step(Cycle now)
+{
+    // Retire: the oldest result leaves when every consumer has room.
+    if (!pipe_.empty() && pipe_.front().ready <= now) {
+        bool all_ready = true;
+        for (Channel<Flit> *out : outs_) {
+            if (!out->canPush())
+                all_ready = false;
+        }
+        if (all_ready) {
+            for (Channel<Flit> *out : outs_)
+                out->push(pipe_.front().flit);
+            pipe_.pop_front();
+        }
+    }
+    // Issue: consume one input set per cycle while holding <= L_F.
+    if (pipe_.size() >= capacity_)
+        return;
+    for (const In &in : ins_) {
+        if (!in.ch->canPop())
+            return;
+    }
+    std::vector<Flit> flits;
+    flits.reserve(ins_.size());
+    uint64_t wi = 0;
+    for (size_t i = 0; i < ins_.size(); ++i) {
+        flits.push_back(ins_[i].ch->pop());
+        if (i == 0)
+            wi = flits[0].wi;
+        else
+            SOFF_ASSERT(flits[i].wi == wi,
+                        "unit received misaligned work-items: " + name());
+    }
+    std::vector<ir::RtValue> ops;
+    ops.reserve(inst_->numOperands());
+    for (const ir::Value *op : inst_->operands())
+        ops.push_back(resolveOperand(op, flits));
+    ir::WorkItemCtx ctx = launch_->ndrange.ctxOf(wi);
+    Flit result;
+    result.wi = wi;
+    if (!inst_->type()->isVoid())
+        result.val = ir::evalPure(inst_, ops, ctx);
+    pipe_.push_back({now + static_cast<Cycle>(latency_),
+                     std::move(result)});
+}
+
+// ----------------------------------------------------------------------
+// MemUnit
+// ----------------------------------------------------------------------
+MemUnit::MemUnit(const std::string &name, const ir::Instruction *inst,
+                 int near_max_latency, const LaunchContext *launch)
+    : Component(name), inst_(inst), launch_(launch),
+      capacity_(static_cast<size_t>(near_max_latency) + 1)
+{}
+
+void
+MemUnit::addInput(Channel<Flit> *ch, const ir::Value *value)
+{
+    ins_.push_back({ch, value});
+}
+
+ir::RtValue
+MemUnit::resolveOperand(const ir::Value *op,
+                        const std::vector<Flit> &flits) const
+{
+    if (op->isConstant())
+        return ir::constantValue(static_cast<const ir::Constant *>(op));
+    if (op->isArgument())
+        return launch_->argValue(static_cast<const ir::Argument *>(op));
+    for (size_t i = 0; i < ins_.size(); ++i) {
+        if (ins_[i].value == op)
+            return flits[i].val;
+    }
+    SOFF_ASSERT(false, "operand not wired to unit " + name());
+    return ir::RtValue();
+}
+
+ir::RtValue
+MemUnit::convertResponse(uint64_t bits) const
+{
+    const ir::Type *ty = inst_->type();
+    if (ty->isVoid())
+        return ir::RtValue();
+    if (ty->isFloat()) {
+        if (ty->bits() == 32) {
+            float f;
+            uint32_t b = static_cast<uint32_t>(bits);
+            __builtin_memcpy(&f, &b, sizeof(f));
+            return ir::RtValue::makeFloat(f);
+        }
+        double d;
+        __builtin_memcpy(&d, &bits, sizeof(d));
+        return ir::RtValue::makeFloat(d);
+    }
+    return ir::RtValue::makeInt(ir::normalizeInt(ty, bits));
+}
+
+void
+MemUnit::step(Cycle)
+{
+    // Retire the oldest response.
+    if (resp_->canPop() && !inflight_.empty()) {
+        bool all_ready = true;
+        for (Channel<Flit> *out : outs_) {
+            if (!out->canPush())
+                all_ready = false;
+        }
+        if (all_ready) {
+            MemResp resp = resp_->pop();
+            Pending pending = inflight_.front();
+            inflight_.pop_front();
+            if (pending.lockIndex >= 0)
+                locks_->release(pending.lockIndex, this);
+            Flit flit;
+            flit.wi = pending.wi;
+            flit.val = convertResponse(resp.data);
+            for (Channel<Flit> *out : outs_)
+                out->push(flit);
+        }
+    }
+    // Issue a new request.
+    if (inflight_.size() >= capacity_ || !req_->canPush())
+        return;
+    for (const In &in : ins_) {
+        if (!in.ch->canPop())
+            return;
+    }
+    // Peek-compute the request; atomics must win their lock first.
+    std::vector<Flit> flits;
+    flits.reserve(ins_.size());
+    for (const In &in : ins_)
+        flits.push_back(in.ch->peek());
+    uint64_t wi = flits.empty() ? 0 : flits[0].wi;
+
+    std::vector<ir::RtValue> ops;
+    for (const ir::Value *op : inst_->operands())
+        ops.push_back(resolveOperand(op, flits));
+
+    MemReq req;
+    req.addr = ops.at(0).i;
+    int lock_index = -1;
+    const ir::Type *elem = inst_->op() == ir::Opcode::Store
+                               ? inst_->operand(1)->type()
+                               : inst_->type();
+    req.size = static_cast<uint32_t>(elem->sizeBytes());
+    req.type = elem;
+    req.slot = static_cast<uint32_t>(
+        launch_->ndrange.groupOf(wi) %
+        static_cast<uint64_t>(numSlots_));
+    auto bitsOf = [](const ir::RtValue &v, const ir::Type *ty) {
+        if (!v.isFloat())
+            return v.i;
+        if (ty->bits() == 32) {
+            float f = static_cast<float>(v.f);
+            uint32_t b;
+            __builtin_memcpy(&b, &f, sizeof(b));
+            return static_cast<uint64_t>(b);
+        }
+        uint64_t b;
+        double d = v.f;
+        __builtin_memcpy(&b, &d, sizeof(b));
+        return b;
+    };
+    switch (inst_->op()) {
+      case ir::Opcode::Load:
+        req.op = MemReq::Op::Load;
+        break;
+      case ir::Opcode::Store:
+        req.op = MemReq::Op::Store;
+        req.data = bitsOf(ops.at(1), elem);
+        break;
+      case ir::Opcode::AtomicRMW:
+        req.op = MemReq::Op::AtomicRMW;
+        req.aop = inst_->atomicOp();
+        req.data = bitsOf(ops.at(1), elem);
+        break;
+      case ir::Opcode::AtomicCmpXchg:
+        req.op = MemReq::Op::AtomicCmpXchg;
+        req.data = bitsOf(ops.at(1), elem);
+        req.data2 = bitsOf(ops.at(2), elem);
+        break;
+      default:
+        SOFF_ASSERT(false, "MemUnit with non-memory instruction");
+    }
+    if (inst_->isAtomic()) {
+        lock_index = memsys::LockTable::lockIndex(req.addr);
+        if (locks_ == nullptr ||
+            !locks_->tryAcquire(lock_index, this)) {
+            return; // lock contention: stall this cycle (§IV-F2)
+        }
+    }
+    // Commit the input pops.
+    for (const In &in : ins_) {
+        Flit f = in.ch->pop();
+        SOFF_ASSERT(f.wi == wi,
+                    "unit received misaligned work-items: " + name());
+    }
+    req_->push(req);
+    inflight_.push_back({wi, lock_index});
+}
+
+// ----------------------------------------------------------------------
+// BarrierUnit
+// ----------------------------------------------------------------------
+BarrierUnit::BarrierUnit(const std::string &name, Channel<WiToken> *in,
+                         Channel<WiToken> *out,
+                         const LaunchContext *launch,
+                         int max_waiting_groups)
+    : Component(name), in_(in), out_(out), launch_(launch),
+      maxGroups_(static_cast<size_t>(max_waiting_groups))
+{}
+
+void
+BarrierUnit::step(Cycle)
+{
+    // Release one work-item per cycle (§IV-F1: "produces their live
+    // variables work-item by work-item").
+    if (!releasing_.empty() && out_->canPush()) {
+        out_->push(std::move(releasing_.front()));
+        releasing_.pop_front();
+    }
+    if (!in_->canPop())
+        return;
+    uint64_t group = launch_->ndrange.groupOf(in_->peek().wi);
+    if (!waiting_.count(group) && waiting_.size() >= maxGroups_) {
+        // Too many partially arrived work-groups: with the dispatcher's
+        // concurrent-group cap this indicates a work-group-ordering
+        // bug; flag it rather than deadlock silently.
+        overflow_ = true;
+        return;
+    }
+    WiToken token = in_->pop();
+    auto &bucket = waiting_[group];
+    bucket.push_back(std::move(token));
+    if (bucket.size() == launch_->ndrange.groupSize()) {
+        for (WiToken &t : bucket)
+            releasing_.push_back(std::move(t));
+        waiting_.erase(group);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Projection application
+// ----------------------------------------------------------------------
+WiToken
+applyProjection(const datapath::Projection &projection,
+                const WiToken &token, const LaunchContext &launch)
+{
+    WiToken out;
+    out.wi = token.wi;
+    out.live.reserve(projection.slots.size());
+    for (const datapath::Projection::Slot &slot : projection.slots) {
+        switch (slot.kind) {
+          case datapath::Projection::Slot::Kind::FromInput:
+            out.live.push_back(
+                token.live.at(static_cast<size_t>(slot.fromIndex)));
+            break;
+          case datapath::Projection::Slot::Kind::Constant:
+            out.live.push_back(ir::constantValue(slot.constant));
+            break;
+          case datapath::Projection::Slot::Kind::Argument:
+            out.live.push_back(launch.argValue(slot.argument));
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace soff::sim

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Functional units of a basic pipeline (paper §IV-A/B).
+ *
+ * Every unit is fully pipelined (initiation interval 1), communicates
+ * with neighbors through handshake channels, and never stalls while
+ * holding fewer than L_F + 1 work-items (the precondition of §IV-E
+ * Lemma 1 — the internal pipeline has exactly L_F + 1 slots).
+ */
+#pragma once
+
+#include <deque>
+
+#include "datapath/plan.hpp"
+#include "memsys/locks.hpp"
+#include "sim/simulator.hpp"
+
+namespace soff::sim
+{
+
+/** Distributes live-in values of a basic block to consumers (§IV-B). */
+class SourceUnit : public Component
+{
+  public:
+    SourceUnit(const std::string &name, Channel<WiToken> *in)
+        : Component(name), in_(in)
+    {}
+
+    /** live_index: slot in the input layout; -1 for trigger edges. */
+    void
+    addOutput(Channel<Flit> *ch, int live_index)
+    {
+        outs_.push_back({ch, live_index});
+    }
+
+    void step(Cycle now) override;
+
+  private:
+    struct Out
+    {
+        Channel<Flit> *ch;
+        int liveIndex;
+    };
+
+    Channel<WiToken> *in_;
+    std::vector<Out> outs_;
+};
+
+/** Aggregates live-out values into the pipeline's output (§IV-B). */
+class SinkUnit : public Component
+{
+  public:
+    SinkUnit(const std::string &name, Channel<WiToken> *out,
+             size_t layout_size)
+        : Component(name), out_(out), layoutSize_(layout_size)
+    {}
+
+    /** sink_index: slot in the sink layout; -1 for ordering edges. */
+    void
+    addInput(Channel<Flit> *ch, int sink_index)
+    {
+        ins_.push_back({ch, sink_index});
+    }
+
+    void step(Cycle now) override;
+
+  private:
+    struct In
+    {
+        Channel<Flit> *ch;
+        int sinkIndex;
+    };
+
+    Channel<WiToken> *out_;
+    size_t layoutSize_;
+    std::vector<In> ins_;
+};
+
+/** A fixed-latency compute unit executing one instruction (§IV-A). */
+class ComputeUnit : public Component
+{
+  public:
+    ComputeUnit(const std::string &name, const ir::Instruction *inst,
+                int latency, const LaunchContext *launch);
+
+    void addInput(Channel<Flit> *ch, const ir::Value *value);
+    void addOutput(Channel<Flit> *ch) { outs_.push_back(ch); }
+
+    void step(Cycle now) override;
+
+  private:
+    ir::RtValue resolveOperand(const ir::Value *op,
+                               const std::vector<Flit> &flits) const;
+
+    const ir::Instruction *inst_;
+    int latency_;
+    const LaunchContext *launch_;
+    struct In
+    {
+        Channel<Flit> *ch;
+        const ir::Value *value;
+    };
+    std::vector<In> ins_;
+    std::vector<Channel<Flit> *> outs_;
+    struct Stage
+    {
+        Cycle ready;
+        Flit flit;
+    };
+    std::deque<Stage> pipe_;
+    size_t capacity_;
+};
+
+/**
+ * A memory-access unit (loads, stores, atomics): issues requests to the
+ * memory subsystem and forwards in-order responses (§IV-A, §V).
+ * Variable latency; the near-maximum latency L_F sizes the in-flight
+ * window so the unit never stalls while holding <= L_F requests.
+ */
+class MemUnit : public Component
+{
+  public:
+    MemUnit(const std::string &name, const ir::Instruction *inst,
+            int near_max_latency, const LaunchContext *launch);
+
+    void addInput(Channel<Flit> *ch, const ir::Value *value);
+    void addOutput(Channel<Flit> *ch) { outs_.push_back(ch); }
+    void
+    setMemPort(Channel<MemReq> *req, Channel<MemResp> *resp)
+    {
+        req_ = req;
+        resp_ = resp;
+    }
+    /** Atomics: the 16-lock table shared with the target cache/block. */
+    void setLockTable(memsys::LockTable *locks) { locks_ = locks; }
+    /** Local-memory accesses: slot count for work-group slotting. */
+    void setNumSlots(int n) { numSlots_ = n; }
+
+    void step(Cycle now) override;
+
+  private:
+    ir::RtValue resolveOperand(const ir::Value *op,
+                               const std::vector<Flit> &flits) const;
+    ir::RtValue convertResponse(uint64_t bits) const;
+
+    const ir::Instruction *inst_;
+    const LaunchContext *launch_;
+    struct In
+    {
+        Channel<Flit> *ch;
+        const ir::Value *value;
+    };
+    std::vector<In> ins_;
+    std::vector<Channel<Flit> *> outs_;
+    Channel<MemReq> *req_ = nullptr;
+    Channel<MemResp> *resp_ = nullptr;
+    memsys::LockTable *locks_ = nullptr;
+    int numSlots_ = 1;
+    struct Pending
+    {
+        uint64_t wi;
+        int lockIndex; // -1 if none held
+    };
+    std::deque<Pending> inflight_;
+    size_t capacity_;
+};
+
+/**
+ * The work-group barrier unit (§IV-F1): a FIFO over live-variable
+ * bundles that releases a work-group once all of its work-items have
+ * arrived. Tolerates a bounded number of simultaneously waiting
+ * work-groups (the dispatcher's concurrent-group cap bounds this).
+ */
+class BarrierUnit : public Component
+{
+  public:
+    BarrierUnit(const std::string &name, Channel<WiToken> *in,
+                Channel<WiToken> *out, const LaunchContext *launch,
+                int max_waiting_groups);
+
+    void step(Cycle now) override;
+
+    bool overflowed() const { return overflow_; }
+
+  private:
+    Channel<WiToken> *in_;
+    Channel<WiToken> *out_;
+    const LaunchContext *launch_;
+    size_t maxGroups_;
+    std::map<uint64_t, std::vector<WiToken>> waiting_;
+    std::deque<WiToken> releasing_;
+    bool overflow_ = false;
+};
+
+/** Applies a plan Projection to a token. */
+WiToken applyProjection(const datapath::Projection &projection,
+                        const WiToken &token,
+                        const LaunchContext &launch);
+
+} // namespace soff::sim

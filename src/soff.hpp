@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Umbrella header: everything a downstream user of SOFF needs.
+ *
+ *  - soff::rt::Context / Program / KernelHandle — the OpenCL-style
+ *    host API over the simulated platform (src/runtime).
+ *  - soff::core::Compiler — source -> IR -> datapath plans, for tools
+ *    that want the compiler without the runtime (src/core).
+ *  - soff::verilog::emitTop — RTL emission of a compiled kernel.
+ *  - soff::baseline::* — the reference interpreter and the
+ *    compile-time-pipelining baselines used in the evaluation.
+ */
+#pragma once
+
+#include "baseline/compat.hpp"
+#include "baseline/interpreter.hpp"
+#include "baseline/static_pipeline.hpp"
+#include "core/compiler.hpp"
+#include "runtime/runtime.hpp"
+#include "verilog/emit.hpp"

@@ -1,0 +1,64 @@
+#include "support/diagnostics.hpp"
+
+#include "support/error.hpp"
+
+namespace soff
+{
+
+std::string
+SourceLoc::str() const
+{
+    if (!valid())
+        return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(column);
+}
+
+std::string
+Diagnostic::str() const
+{
+    const char *tag = "error";
+    if (kind == DiagKind::Warning)
+        tag = "warning";
+    else if (kind == DiagKind::Note)
+        tag = "note";
+    return loc.str() + ": " + tag + ": " + message;
+}
+
+void
+DiagnosticEngine::error(SourceLoc loc, const std::string &message)
+{
+    diags_.push_back({DiagKind::Error, loc, message});
+    ++numErrors_;
+}
+
+void
+DiagnosticEngine::warning(SourceLoc loc, const std::string &message)
+{
+    diags_.push_back({DiagKind::Warning, loc, message});
+}
+
+void
+DiagnosticEngine::note(SourceLoc loc, const std::string &message)
+{
+    diags_.push_back({DiagKind::Note, loc, message});
+}
+
+std::string
+DiagnosticEngine::report() const
+{
+    std::string out;
+    for (const Diagnostic &d : diags_) {
+        out += d.str();
+        out += '\n';
+    }
+    return out;
+}
+
+void
+DiagnosticEngine::checkNoErrors() const
+{
+    if (hasErrors())
+        throw CompileError(report());
+}
+
+} // namespace soff

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Source locations and the diagnostic engine used by the OpenCL C frontend.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace soff
+{
+
+/** A position in an OpenCL C source string (1-based line/column). */
+struct SourceLoc
+{
+    int line = 0;
+    int column = 0;
+
+    bool valid() const { return line > 0; }
+    std::string str() const;
+};
+
+/** Severity of a reported diagnostic. */
+enum class DiagKind
+{
+    Error,
+    Warning,
+    Note,
+};
+
+/** One reported diagnostic message. */
+struct Diagnostic
+{
+    DiagKind kind = DiagKind::Error;
+    SourceLoc loc;
+    std::string message;
+
+    std::string str() const;
+};
+
+/**
+ * Collects diagnostics during compilation. The frontend reports here and
+ * keeps going where possible; the driver checks hasErrors() at phase
+ * boundaries and raises CompileError with the rendered report.
+ */
+class DiagnosticEngine
+{
+  public:
+    void error(SourceLoc loc, const std::string &message);
+    void warning(SourceLoc loc, const std::string &message);
+    void note(SourceLoc loc, const std::string &message);
+
+    bool hasErrors() const { return numErrors_ > 0; }
+    int numErrors() const { return numErrors_; }
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+
+    /** Renders all diagnostics as a newline-separated report. */
+    std::string report() const;
+
+    /** Throws CompileError with the rendered report if any error exists. */
+    void checkNoErrors() const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+    int numErrors_ = 0;
+};
+
+} // namespace soff

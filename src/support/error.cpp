@@ -1,0 +1,17 @@
+#include "support/error.hpp"
+
+#include <cstdio>
+
+namespace soff::detail
+{
+
+void
+assertFail(const char *cond, const char *file, int line,
+           const std::string &message)
+{
+    std::fprintf(stderr, "SOFF internal error: %s\n  condition: %s\n"
+                 "  at %s:%d\n", message.c_str(), cond, file, line);
+    std::abort();
+}
+
+} // namespace soff::detail

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Error handling primitives shared by every SOFF module.
+ *
+ * Following the gem5 convention, we distinguish two failure classes:
+ *  - CompileError / RuntimeError: the *user's* input (kernel source, API
+ *    usage) is at fault. These are reported as exceptions so the runtime
+ *    can surface them as OpenCL-style error codes.
+ *  - internal assertion failures (soffAssert): a SOFF bug; aborts.
+ */
+#pragma once
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace soff
+{
+
+/** Error raised when kernel source code fails to compile. */
+class CompileError : public std::runtime_error
+{
+  public:
+    explicit CompileError(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+/** Error raised when a host-API call or a kernel execution misbehaves. */
+class RuntimeError : public std::runtime_error
+{
+  public:
+    explicit RuntimeError(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+namespace detail
+{
+[[noreturn]] void assertFail(const char *cond, const char *file, int line,
+                             const std::string &message);
+} // namespace detail
+
+} // namespace soff
+
+/**
+ * Internal invariant check. Unlike standard assert(), this is always
+ * compiled in: the simulator's correctness claims depend on these checks.
+ */
+#define SOFF_ASSERT(cond, msg)                                              \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::soff::detail::assertFail(#cond, __FILE__, __LINE__, (msg));   \
+    } while (false)

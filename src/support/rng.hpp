@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * The benchmark suite and the property tests must be bit-reproducible
+ * across platforms, so we use a fixed SplitMix64 generator rather than
+ * std::mt19937 + distribution objects (whose outputs are not guaranteed
+ * to be identical across standard library implementations).
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace soff
+{
+
+/** SplitMix64: tiny, fast, high-quality 64-bit PRNG. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    uint64_t nextBelow(uint64_t bound) { return next() % bound; }
+
+    /** Uniform int32 in [lo, hi]. */
+    int32_t
+    nextInt(int32_t lo, int32_t hi)
+    {
+        return lo + static_cast<int32_t>(
+            nextBelow(static_cast<uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(next() >> 40) /
+               static_cast<float>(1ULL << 24);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) /
+               static_cast<double>(1ULL << 53);
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace soff

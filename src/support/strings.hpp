@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Small string helpers shared across modules.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace soff
+{
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Joins elements with a separator. */
+std::string strJoin(const std::vector<std::string> &parts,
+                    const std::string &sep);
+
+/** True if s starts with prefix. */
+bool strStartsWith(const std::string &s, const std::string &prefix);
+
+} // namespace soff

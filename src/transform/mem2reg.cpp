@@ -1,0 +1,242 @@
+/**
+ * @file
+ * SSA promotion of private slots (paper §III-C).
+ *
+ * "Every scalar variable, vector element, structure field, or array
+ * (which is treated as a big single variable) allocated in the private
+ * memory is replaced with an SSA variable unless its address is ever
+ * taken." The frontend rejects address-taken privates, so every slot is
+ * promotable. Whole arrays are promoted as array-typed SSA values with
+ * ArrayExtract/ArrayInsert chains.
+ */
+#include "transform/passes.hpp"
+
+#include <map>
+#include <set>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dominators.hpp"
+#include "support/error.hpp"
+
+namespace soff::transform
+{
+
+namespace
+{
+
+class SlotPromoter
+{
+  public:
+    explicit SlotPromoter(ir::Kernel &kernel)
+        : kernel_(kernel), module_(*kernel.module())
+    {}
+
+    void
+    run()
+    {
+        if (kernel_.numSlots() == 0)
+            return;
+        voidTy_ = findVoidType();
+        seedInitialValues();
+        analysis::CfgInfo cfg(kernel_);
+        analysis::DomTree dom(cfg);
+        insertPhis(cfg, dom);
+        rename(dom, kernel_.entry());
+        resolveOperands();
+        removeSlotAccesses();
+        kernel_.clearSlots();
+    }
+
+  private:
+    const ir::Type *
+    findVoidType()
+    {
+        for (const auto &bb : kernel_.blocks()) {
+            if (bb->terminator() != nullptr)
+                return bb->terminator()->type();
+        }
+        SOFF_ASSERT(false, "kernel has no terminated block");
+        return nullptr;
+    }
+
+    ir::Value *
+    zeroScalar(const ir::Type *ty)
+    {
+        if (ty->isFloat())
+            return module_.constantFloat(ty, 0.0);
+        return module_.constantInt(ty, 0);
+    }
+
+    /**
+     * Prepends a defining store of a zero value for every slot at the
+     * top of the entry block, so renaming always finds a reaching
+     * definition (C leaves uninitialized reads undefined; we define
+     * them as zero). Dead initializers are cleaned up by simplify().
+     */
+    void
+    seedInitialValues()
+    {
+        ir::BasicBlock *entry = kernel_.entry();
+        size_t at = 0;
+        for (size_t i = 0; i < kernel_.numSlots(); ++i) {
+            ir::PrivateSlot *slot = kernel_.slot(i);
+            const ir::Type *ty = slot->type();
+            ir::Value *init;
+            if (ty->isArray()) {
+                auto splat = std::make_unique<ir::Instruction>(
+                    ir::Opcode::ArraySplat, ty);
+                splat->addOperand(zeroScalar(ty->element()));
+                splat->setId(kernel_.nextValueId());
+                init = entry->insert(at++, std::move(splat));
+            } else {
+                init = zeroScalar(ty);
+            }
+            auto store = std::make_unique<ir::Instruction>(
+                ir::Opcode::SlotStore, voidTy_);
+            store->setSlot(slot);
+            store->addOperand(init);
+            store->setId(kernel_.nextValueId());
+            entry->insert(at++, std::move(store));
+        }
+    }
+
+    void
+    insertPhis(const analysis::CfgInfo &cfg, const analysis::DomTree &dom)
+    {
+        for (size_t s = 0; s < kernel_.numSlots(); ++s) {
+            ir::PrivateSlot *slot = kernel_.slot(s);
+            std::set<const ir::BasicBlock *> def_blocks;
+            for (const ir::BasicBlock *bb : cfg.rpo()) {
+                for (const auto &inst : bb->instructions()) {
+                    if (inst->op() == ir::Opcode::SlotStore &&
+                        inst->slot() == slot) {
+                        def_blocks.insert(bb);
+                    }
+                }
+            }
+            // Iterated dominance frontier.
+            std::set<const ir::BasicBlock *> phi_blocks;
+            std::vector<const ir::BasicBlock *> work(def_blocks.begin(),
+                                                     def_blocks.end());
+            while (!work.empty()) {
+                const ir::BasicBlock *bb = work.back();
+                work.pop_back();
+                for (const ir::BasicBlock *f : dom.frontier(bb)) {
+                    if (phi_blocks.insert(f).second)
+                        work.push_back(f);
+                }
+            }
+            for (const ir::BasicBlock *bb : phi_blocks) {
+                auto phi = std::make_unique<ir::Instruction>(
+                    ir::Opcode::Phi, slot->type());
+                phi->setId(kernel_.nextValueId());
+                phi->setName(slot->name() + ".phi" +
+                             std::to_string(phi->id()));
+                ir::Instruction *raw =
+                    const_cast<ir::BasicBlock *>(bb)->insert(
+                        0, std::move(phi));
+                phiSlot_[raw] = slot;
+            }
+        }
+    }
+
+    void
+    rename(const analysis::DomTree &dom, ir::BasicBlock *bb)
+    {
+        std::map<const ir::PrivateSlot *, size_t> pushed;
+        for (size_t i = 0; i < bb->size(); ++i) {
+            ir::Instruction *inst = bb->inst(i);
+            auto phi_it = phiSlot_.find(inst);
+            if (phi_it != phiSlot_.end()) {
+                stacks_[phi_it->second].push_back(inst);
+                ++pushed[phi_it->second];
+                continue;
+            }
+            if (inst->op() == ir::Opcode::SlotLoad) {
+                replacement_[inst] = currentValue(inst->slot());
+            } else if (inst->op() == ir::Opcode::SlotStore) {
+                stacks_[inst->slot()].push_back(inst->operand(0));
+                ++pushed[inst->slot()];
+            }
+        }
+        for (ir::BasicBlock *succ : bb->successors()) {
+            for (ir::Instruction *phi : succ->phis()) {
+                auto it = phiSlot_.find(phi);
+                if (it == phiSlot_.end())
+                    continue;
+                phi->addPhiIncoming(currentValue(it->second), bb);
+            }
+        }
+        for (const ir::BasicBlock *child : dom.children(bb))
+            rename(dom, const_cast<ir::BasicBlock *>(child));
+        for (auto &[slot, n] : pushed) {
+            for (size_t i = 0; i < n; ++i)
+                stacks_[slot].pop_back();
+        }
+    }
+
+    ir::Value *
+    currentValue(const ir::PrivateSlot *slot)
+    {
+        auto &stack = stacks_[slot];
+        SOFF_ASSERT(!stack.empty(),
+                    "mem2reg: no reaching definition for slot " +
+                    slot->name());
+        return stack.back();
+    }
+
+    /** Final operand rewrite through the (possibly chained) load map. */
+    ir::Value *
+    resolve(ir::Value *v)
+    {
+        while (v != nullptr && v->isInstruction()) {
+            auto it = replacement_.find(static_cast<ir::Instruction *>(v));
+            if (it == replacement_.end())
+                break;
+            v = it->second;
+        }
+        return v;
+    }
+
+    void
+    resolveOperands()
+    {
+        for (const auto &bb : kernel_.blocks()) {
+            for (const auto &inst : bb->instructions()) {
+                for (size_t i = 0; i < inst->numOperands(); ++i)
+                    inst->setOperand(i, resolve(inst->operand(i)));
+            }
+        }
+    }
+
+    void
+    removeSlotAccesses()
+    {
+        for (const auto &bb : kernel_.blocks()) {
+            for (size_t i = bb->size(); i-- > 0;) {
+                ir::Opcode op = bb->inst(i)->op();
+                if (op == ir::Opcode::SlotLoad ||
+                    op == ir::Opcode::SlotStore) {
+                    bb->erase(i);
+                }
+            }
+        }
+    }
+
+    ir::Kernel &kernel_;
+    ir::Module &module_;
+    const ir::Type *voidTy_ = nullptr;
+    std::map<const ir::Instruction *, const ir::PrivateSlot *> phiSlot_;
+    std::map<const ir::PrivateSlot *, std::vector<ir::Value *>> stacks_;
+    std::map<const ir::Instruction *, ir::Value *> replacement_;
+};
+
+} // namespace
+
+void
+promoteSlotsToSSA(ir::Kernel &kernel)
+{
+    SlotPromoter(kernel).run();
+}
+
+} // namespace soff::transform

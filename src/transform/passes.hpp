@@ -1,0 +1,52 @@
+/**
+ * @file
+ * IR-to-IR transformation passes (paper Fig. 3(b)): function inlining,
+ * SSA promotion (mem2reg over private slots, including whole arrays),
+ * barrier block splitting, return unification, and simplification.
+ */
+#pragma once
+
+#include "ir/kernel.hpp"
+
+namespace soff::transform
+{
+
+/**
+ * Inlines every user-defined function call (paper §III-C: "All
+ * user-defined function calls in the kernel are inlined"). Throws
+ * CompileError on (possibly indirect) recursion. Non-kernel functions
+ * are removed from the module afterwards.
+ */
+void inlineFunctions(ir::Module &module);
+
+/**
+ * Rewrites a kernel so it has exactly one Ret, in a dedicated exit
+ * block (the datapath has a single sink; §III-B work-item counter).
+ */
+void unifyReturns(ir::Kernel &kernel);
+
+/**
+ * Splits basic blocks so every Barrier instruction is the only
+ * instruction of its block (paper §III-C: a barrier is a basic block
+ * leader; we also split after it so the barrier pipeline stage is a
+ * dedicated FIFO unit, §IV-F1).
+ */
+void splitBarriers(ir::Kernel &kernel);
+
+/**
+ * Promotes private slots (SlotLoad/SlotStore) to SSA values with phi
+ * insertion (paper §III-C). After this pass the kernel has no slots.
+ */
+void promoteSlotsToSSA(ir::Kernel &kernel);
+
+/**
+ * Local cleanups: constant folding, trivial-phi elimination, dead
+ * instruction elimination, and merging of straight-line block chains
+ * (never across barriers). Returns true if anything changed.
+ */
+bool simplify(ir::Kernel &kernel);
+
+/** Runs the full standard pipeline over a module (kernels only). */
+void runStandardPipeline(ir::Module &module);
+
+} // namespace soff::transform

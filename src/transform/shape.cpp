@@ -1,0 +1,73 @@
+/**
+ * @file
+ * CFG shaping passes: return unification and barrier block splitting.
+ */
+#include "transform/passes.hpp"
+
+#include "support/error.hpp"
+#include "transform/util.hpp"
+
+namespace soff::transform
+{
+
+void
+unifyReturns(ir::Kernel &kernel)
+{
+    std::vector<std::pair<ir::BasicBlock *, size_t>> rets;
+    for (const auto &bb : kernel.blocks()) {
+        for (size_t i = 0; i < bb->size(); ++i) {
+            if (bb->inst(i)->op() == ir::Opcode::Ret)
+                rets.push_back({bb.get(), i});
+        }
+    }
+    SOFF_ASSERT(!rets.empty(), "kernel without a return");
+    if (rets.size() == 1)
+        return;
+    SOFF_ASSERT(kernel.returnType()->isVoid(),
+                "return unification runs on (void) kernels only");
+    const ir::Type *void_ty = rets[0].first->inst(rets[0].second)->type();
+    ir::BasicBlock *exit = kernel.addBlock("Bexit");
+    auto ret = std::make_unique<ir::Instruction>(ir::Opcode::Ret, void_ty);
+    ret->setId(kernel.nextValueId());
+    exit->append(std::move(ret));
+    for (auto &[bb, idx] : rets) {
+        bb->erase(idx);
+        auto jump =
+            std::make_unique<ir::Instruction>(ir::Opcode::Br, void_ty);
+        jump->addSucc(exit);
+        jump->setId(kernel.nextValueId());
+        bb->append(std::move(jump));
+    }
+}
+
+void
+splitBarriers(ir::Kernel &kernel)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &bb : kernel.blocks()) {
+            for (size_t i = 0; i < bb->size(); ++i) {
+                if (bb->inst(i)->op() != ir::Opcode::Barrier)
+                    continue;
+                if (i > 0) {
+                    // Barrier must lead its block.
+                    splitBlock(kernel, bb.get(), i, "bar");
+                    changed = true;
+                    break;
+                }
+                if (bb->size() > 2 ||
+                    bb->inst(1)->op() != ir::Opcode::Br) {
+                    // Barrier must be alone, followed only by a plain Br.
+                    splitBlock(kernel, bb.get(), 1, "postbar");
+                    changed = true;
+                    break;
+                }
+            }
+            if (changed)
+                break;
+        }
+    }
+}
+
+} // namespace soff::transform

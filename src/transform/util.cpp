@@ -1,0 +1,58 @@
+#include "transform/util.hpp"
+
+#include "support/error.hpp"
+
+namespace soff::transform
+{
+
+void
+replaceAllUses(ir::Kernel &kernel, const ir::Value *from, ir::Value *to)
+{
+    for (const auto &bb : kernel.blocks()) {
+        for (const auto &inst : bb->instructions()) {
+            for (size_t i = 0; i < inst->numOperands(); ++i) {
+                if (inst->operand(i) == from)
+                    inst->setOperand(i, to);
+            }
+        }
+    }
+}
+
+void
+retargetPhis(ir::BasicBlock *bb, const ir::BasicBlock *from,
+             ir::BasicBlock *to)
+{
+    for (ir::Instruction *phi : bb->phis()) {
+        for (size_t i = 0; i < phi->phiBlocks().size(); ++i) {
+            if (phi->phiBlocks()[i] == from)
+                phi->setPhiBlock(i, to);
+        }
+    }
+}
+
+ir::BasicBlock *
+splitBlock(ir::Kernel &kernel, ir::BasicBlock *bb, size_t idx,
+           const std::string &name_hint)
+{
+    SOFF_ASSERT(idx < bb->size(),
+                "splitBlock: the terminator must move to the tail");
+    ir::BasicBlock *tail = kernel.addBlock(bb->name() + "." + name_hint);
+    auto moved = bb->splitOffTail(idx);
+    for (auto &inst : moved)
+        tail->append(std::move(inst));
+    SOFF_ASSERT(tail->terminator() != nullptr,
+                "splitBlock tail has no terminator");
+    // Successor phis must now see `tail` as the predecessor.
+    for (ir::BasicBlock *succ : tail->successors())
+        retargetPhis(succ, bb, tail);
+    // Terminate the head with a jump to the tail (Br is void-typed;
+    // reuse the moved terminator's void type).
+    auto jump = std::make_unique<ir::Instruction>(
+        ir::Opcode::Br, tail->terminator()->type());
+    jump->addSucc(tail);
+    jump->setId(kernel.nextValueId());
+    bb->append(std::move(jump));
+    return tail;
+}
+
+} // namespace soff::transform

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Small shared helpers for transformation passes.
+ */
+#pragma once
+
+#include "ir/kernel.hpp"
+
+namespace soff::transform
+{
+
+/** Replaces every operand reference to `from` with `to` in the kernel. */
+void replaceAllUses(ir::Kernel &kernel, const ir::Value *from,
+                    ir::Value *to);
+
+/**
+ * Splits `bb` before instruction index `idx`: instructions [idx, end)
+ * move to a fresh block which takes over bb's successors (phi incoming
+ * references in successors are rewritten). `bb` is terminated with a
+ * branch to the new block. Returns the new block.
+ */
+ir::BasicBlock *splitBlock(ir::Kernel &kernel, ir::BasicBlock *bb,
+                           size_t idx, const std::string &name_hint);
+
+/** Rewrites phi incoming-block references from `from` to `to` in bb. */
+void retargetPhis(ir::BasicBlock *bb, const ir::BasicBlock *from,
+                  ir::BasicBlock *to);
+
+} // namespace soff::transform

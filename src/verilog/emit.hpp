@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Verilog RTL emission (paper Fig. 3: "OpenCL-C-to-Verilog Compiler").
+ *
+ * "The result is written in Verilog and contains instances of many SOFF
+ * IP cores. The IP cores are basic building blocks of datapaths and
+ * memory subsystems. They have the same interface across different
+ * target FPGAs." The emitted RTL instantiates one `soff_*` IP core per
+ * plan element with the exact structure the cycle-level simulator
+ * executes, so the two backends stay in lock step. Without a vendor
+ * synthesis tool the output is golden-tested, not synthesized
+ * (DESIGN.md substitution table).
+ */
+#pragma once
+
+#include <string>
+
+#include "datapath/plan.hpp"
+
+namespace soff::verilog
+{
+
+/** Emits the reconfigurable-region RTL of one kernel plan. */
+std::string emitKernel(const datapath::KernelPlan &plan,
+                       int num_instances);
+
+/** Emits the top-level wrapper (dispatcher, counter, CSRs, Fig. 2). */
+std::string emitTop(const datapath::KernelPlan &plan, int num_instances);
+
+} // namespace soff::verilog

@@ -1,0 +1,388 @@
+/** @file Unit tests for the analysis module: CFG, dominators, liveness,
+ *  pointer analysis, control tree, uniformity, feature scan. */
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hpp"
+#include "analysis/control_tree.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/features.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/pointer_analysis.hpp"
+#include "analysis/uniformity.hpp"
+#include "frontend/irgen.hpp"
+#include "ir/printer.hpp"
+#include "transform/passes.hpp"
+
+namespace soff::analysis
+{
+namespace
+{
+
+std::unique_ptr<ir::Module>
+lower(const std::string &src)
+{
+    auto module = fe::compileToIR(src, "test");
+    transform::runStandardPipeline(*module);
+    return module;
+}
+
+TEST(Cfg, RpoStartsAtEntry)
+{
+    auto m = lower(
+        "__kernel void f(__global int* A, int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  if (i < n) A[i] = 0; else A[i] = 1;\n"
+        "}");
+    CfgInfo cfg(*m->kernel(0));
+    ASSERT_FALSE(cfg.rpo().empty());
+    EXPECT_EQ(cfg.rpo()[0], m->kernel(0)->entry());
+    EXPECT_TRUE(cfg.preds(m->kernel(0)->entry()).empty());
+}
+
+TEST(Dominators, DiamondFrontier)
+{
+    auto m = lower(
+        "__kernel void f(__global int* A, int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  int v;\n"
+        "  if (i < n) v = 1; else v = 2;\n"
+        "  A[i] = v;\n"
+        "}");
+    const ir::Kernel &k = *m->kernel(0);
+    CfgInfo cfg(k);
+    DomTree dom(cfg);
+    const ir::BasicBlock *entry = k.entry();
+    for (const ir::BasicBlock *bb : cfg.rpo())
+        EXPECT_TRUE(dom.dominates(entry, bb));
+    // The two branch arms have the join in their dominance frontier.
+    auto succs = entry->successors();
+    if (succs.size() == 2 && succs[0] != succs[1]) {
+        auto &f0 = dom.frontier(succs[0]);
+        auto &f1 = dom.frontier(succs[1]);
+        EXPECT_EQ(f0, f1);
+        EXPECT_EQ(f0.size(), 1u);
+    }
+}
+
+TEST(Liveness, ValuesFlowAcrossLoop)
+{
+    auto m = lower(
+        "__kernel void f(__global float* A, int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  float acc = 0.0f;\n"
+        "  for (int k = 0; k < n; k++) acc += A[k];\n"
+        "  A[i] = acc;\n"
+        "}");
+    const ir::Kernel &k = *m->kernel(0);
+    CfgInfo cfg(k);
+    Liveness live(cfg);
+    // The accumulator phi is live into the loop header.
+    bool found_phi_live = false;
+    for (const ir::BasicBlock *bb : cfg.rpo()) {
+        for (const ir::Instruction *phi : bb->phis()) {
+            if (live.liveIn(bb).count(phi))
+                found_phi_live = true;
+        }
+    }
+    EXPECT_TRUE(found_phi_live);
+}
+
+TEST(Liveness, OrderedSetsAreDeterministic)
+{
+    auto m = lower(
+        "__kernel void f(__global int* A) {\n"
+        "  int i = get_global_id(0);\n"
+        "  int a = A[i] + 1, b = A[i] * 2;\n"
+        "  if (i > 0) A[i] = a + b;\n"
+        "}");
+    const ir::Kernel &k = *m->kernel(0);
+    CfgInfo cfg(k);
+    Liveness live(cfg);
+    for (const ir::BasicBlock *bb : cfg.rpo()) {
+        auto v1 = live.orderedLiveIn(bb);
+        auto v2 = live.orderedLiveIn(bb);
+        EXPECT_EQ(v1, v2);
+        for (size_t i = 1; i < v1.size(); ++i)
+            EXPECT_LT(v1[i - 1]->id(), v1[i]->id());
+    }
+}
+
+TEST(PointerAnalysis, SeparatesBuffers)
+{
+    auto m = lower(
+        "__kernel void f(__global float* A, __global float* B) {\n"
+        "  int i = get_global_id(0);\n"
+        "  A[i] = B[i];\n"
+        "}");
+    const ir::Kernel &k = *m->kernel(0);
+    PointerAnalysis pa(k);
+    const ir::Instruction *load = nullptr;
+    const ir::Instruction *store = nullptr;
+    for (const auto &bb : k.blocks()) {
+        for (const auto &inst : bb->instructions()) {
+            if (inst->op() == ir::Opcode::Load)
+                load = inst.get();
+            if (inst->op() == ir::Opcode::Store)
+                store = inst.get();
+        }
+    }
+    ASSERT_NE(load, nullptr);
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(pa.uniqueBuffer(load)->name(), "B");
+    EXPECT_EQ(pa.uniqueBuffer(store)->name(), "A");
+    EXPECT_FALSE(pa.mayAlias(load, store));
+}
+
+TEST(PointerAnalysis, SameBufferAliases)
+{
+    auto m = lower(
+        "__kernel void f(__global float* A, int C) {\n"
+        "  int y = get_global_id(0);\n"
+        "  float t = A[y];\n"
+        "  A[y + C] = t;\n"
+        "}");
+    const ir::Kernel &k = *m->kernel(0);
+    PointerAnalysis pa(k);
+    const ir::Instruction *load = nullptr;
+    const ir::Instruction *store = nullptr;
+    for (const auto &bb : k.blocks()) {
+        for (const auto &inst : bb->instructions()) {
+            if (inst->op() == ir::Opcode::Load)
+                load = inst.get();
+            if (inst->op() == ir::Opcode::Store)
+                store = inst.get();
+        }
+    }
+    EXPECT_TRUE(pa.mayAlias(load, store));
+}
+
+TEST(PointerAnalysis, IndirectPointerDetected)
+{
+    auto m = lower(
+        "__kernel void f(__global int** T, __global int* O) {\n"
+        "  int i = get_global_id(0);\n"
+        "  __global int* row = T[i];\n"
+        "  O[i] = row[0];\n"
+        "}");
+    PointerAnalysis pa(*m->kernel(0));
+    EXPECT_TRUE(pa.hasIndirectPointers());
+}
+
+TEST(ControlTree, StraightLineIsSingleLeafOrSequence)
+{
+    auto m = lower(
+        "__kernel void f(__global int* A) {\n"
+        "  A[get_global_id(0)] = 7;\n"
+        "}");
+    auto ct = buildControlTree(*m->kernel(0));
+    EXPECT_EQ(ct->countLeaves(), m->kernel(0)->numBlocks());
+}
+
+TEST(ControlTree, IfThenElseRecognized)
+{
+    auto m = lower(
+        "__kernel void f(__global int* A, int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  int v;\n"
+        "  if (i < n) v = A[i]; else v = -A[i];\n"
+        "  A[i] = v;\n"
+        "}");
+    auto ct = buildControlTree(*m->kernel(0));
+    std::string s = ct->str();
+    EXPECT_NE(s.find("IfThenElse"), std::string::npos) << s;
+}
+
+TEST(ControlTree, WhileLoopRecognized)
+{
+    auto m = lower(
+        "__kernel void f(__global float* A, int n) {\n"
+        "  float acc = 0.0f;\n"
+        "  for (int k = 0; k < n; k++) acc += A[k];\n"
+        "  A[get_global_id(0)] = acc;\n"
+        "}");
+    auto ct = buildControlTree(*m->kernel(0));
+    std::string s = ct->str();
+    EXPECT_TRUE(s.find("WhileLoop") != std::string::npos ||
+                s.find("SelfLoop") != std::string::npos) << s;
+}
+
+TEST(ControlTree, BreakMakesNaturalLoop)
+{
+    auto m = lower(
+        "__kernel void f(__global int* A, int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  int sum = 0;\n"
+        "  for (int k = 0; k < n; k++) {\n"
+        "    if (A[k] == 0) break;\n"
+        "    sum += A[k];\n"
+        "  }\n"
+        "  A[i] = sum;\n"
+        "}");
+    auto ct = buildControlTree(*m->kernel(0));
+    std::string s = ct->str();
+    EXPECT_NE(s.find("NaturalLoop"), std::string::npos) << s;
+}
+
+TEST(ControlTree, PaperRunningExample)
+{
+    auto m = lower(
+        "__kernel void f(__global float* A, __global float* B, int C,\n"
+        "                int D) {\n"
+        "  int x, y; float t = 0;\n"
+        "  y = get_global_id(0) * D;\n"
+        "  for (x = C; x < C + 100; x++) {\n"
+        "    A[y] = B[x + y]; y = y + 1;\n"
+        "    barrier(CLK_GLOBAL_MEM_FENCE);\n"
+        "    if (y >= D)\n"
+        "      t += A[y] * A[y - D];\n"
+        "  }\n"
+        "  B[y] = A[y]; A[y + C] = t;\n"
+        "}");
+    auto ct = buildControlTree(*m->kernel(0));
+    std::string s = ct->str();
+    // The paper's Fig. 4(c): a loop containing a sequence with an IfThen.
+    EXPECT_TRUE(s.find("WhileLoop") != std::string::npos ||
+                s.find("NaturalLoop") != std::string::npos) << s;
+    EXPECT_NE(s.find("IfThen"), std::string::npos) << s;
+}
+
+TEST(ControlTree, CountsAllBlocksExactlyOnce)
+{
+    auto m = lower(
+        "__kernel void f(__global int* A, int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  int s = 0;\n"
+        "  for (int k = 0; k < n; k++) {\n"
+        "    if (A[k] < 0) continue;\n"
+        "    if (A[k] == 999) break;\n"
+        "    s += A[k];\n"
+        "  }\n"
+        "  if (s > 100) s = 100;\n"
+        "  A[i] = s;\n"
+        "}");
+    auto ct = buildControlTree(*m->kernel(0));
+    EXPECT_EQ(ct->countLeaves(), m->kernel(0)->numBlocks());
+}
+
+TEST(Uniformity, ArgumentsUniformIdsNot)
+{
+    auto m = lower(
+        "__kernel void f(__global int* A, int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  int d = n * 2;\n"
+        "  A[i] = d + i;\n"
+        "}");
+    const ir::Kernel &k = *m->kernel(0);
+    Uniformity u(k);
+    bool saw_uniform_mul = false;
+    bool saw_divergent_mul = false;
+    for (const auto &bb : k.blocks()) {
+        for (const auto &inst : bb->instructions()) {
+            if (inst->op() == ir::Opcode::WorkItemInfo &&
+                inst->wiQuery() == ir::WorkItemQuery::GlobalId) {
+                EXPECT_FALSE(u.isUniform(inst.get()));
+            }
+            if (inst->op() == ir::Opcode::Mul) {
+                // "n * 2" is uniform; the index-scaling multiply that
+                // feeds A[i] depends on the global id and is not.
+                if (u.isUniform(inst.get()))
+                    saw_uniform_mul = true;
+                else
+                    saw_divergent_mul = true;
+            }
+        }
+    }
+    EXPECT_TRUE(saw_uniform_mul);
+    EXPECT_TRUE(saw_divergent_mul);
+}
+
+TEST(Uniformity, UniformTripCountLoop)
+{
+    auto m = lower(
+        "__kernel void f(__global float* A, int C) {\n"
+        "  int y = get_global_id(0);\n"
+        "  for (int x = C; x < C + 100; x++) A[y] += (float)x;\n"
+        "}");
+    const ir::Kernel &k = *m->kernel(0);
+    Uniformity u(k);
+    // Find the loop header's condbr.
+    CfgInfo cfg(k);
+    DomTree dom(cfg);
+    bool checked = false;
+    for (const ir::BasicBlock *bb : cfg.rpo()) {
+        const ir::Instruction *term = bb->terminator();
+        if (term->op() != ir::Opcode::CondBr)
+            continue;
+        // Header: it has a back-edge predecessor.
+        for (const ir::BasicBlock *p : cfg.preds(bb)) {
+            if (dom.dominates(bb, p)) {
+                EXPECT_TRUE(u.uniformTripCount(bb, term->operand(0)));
+                checked = true;
+            }
+        }
+    }
+    EXPECT_TRUE(checked);
+}
+
+TEST(Uniformity, DivergentTripCountLoop)
+{
+    auto m = lower(
+        "__kernel void f(__global float* A, __global int* R) {\n"
+        "  int i = get_global_id(0);\n"
+        "  int n = R[i];\n"
+        "  float acc = 0.0f;\n"
+        "  for (int k = 0; k < n; k++) acc += A[k];\n"
+        "  A[i] = acc;\n"
+        "}");
+    const ir::Kernel &k = *m->kernel(0);
+    Uniformity u(k);
+    CfgInfo cfg(k);
+    DomTree dom(cfg);
+    bool found_divergent = false;
+    for (const ir::BasicBlock *bb : cfg.rpo()) {
+        const ir::Instruction *term = bb->terminator();
+        if (term->op() != ir::Opcode::CondBr)
+            continue;
+        for (const ir::BasicBlock *p : cfg.preds(bb)) {
+            if (dom.dominates(bb, p) &&
+                !u.uniformTripCount(bb, term->operand(0))) {
+                found_divergent = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found_divergent);
+}
+
+TEST(Features, DetectsTableIIColumns)
+{
+    auto m = lower(
+        "__kernel void f(__global int* H, __global int* D, int n) {\n"
+        "  __local int cache[16];\n"
+        "  int l = get_local_id(0);\n"
+        "  cache[l] = D[get_global_id(0)];\n"
+        "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+        "  atomic_add(&H[cache[l] % n], 1);\n"
+        "}");
+    KernelFeatures f = scanKernelFeatures(*m->kernel(0));
+    EXPECT_TRUE(f.usesLocalMemory);
+    EXPECT_TRUE(f.usesBarrier);
+    EXPECT_TRUE(f.usesAtomics);
+    EXPECT_FALSE(f.usesIndirectPointers);
+}
+
+TEST(Features, PlainKernelHasNone)
+{
+    auto m = lower(
+        "__kernel void f(__global float* A, __global float* B) {\n"
+        "  int i = get_global_id(0);\n"
+        "  B[i] = A[i];\n"
+        "}");
+    KernelFeatures f = scanKernelFeatures(*m->kernel(0));
+    EXPECT_FALSE(f.usesLocalMemory);
+    EXPECT_FALSE(f.usesBarrier);
+    EXPECT_FALSE(f.usesAtomics);
+    EXPECT_EQ(f.numLoops, 0);
+}
+
+} // namespace
+} // namespace soff::analysis

@@ -1,0 +1,155 @@
+/** @file Tests for the 34-application benchmark suite: every app must
+ *  compile through the SOFF frontend and verify against its host oracle
+ *  on the reference engine; a representative subset (covering every
+ *  Table II feature column) must also verify on the cycle-level
+ *  circuit simulator. */
+#include <gtest/gtest.h>
+
+#include "benchsuite/suite.hpp"
+#include "support/error.hpp"
+
+namespace soff::benchsuite
+{
+namespace
+{
+
+TEST(Suite, Has34Apps)
+{
+    EXPECT_EQ(allApps().size(), 34u);
+    int spec = 0, poly = 0;
+    for (const App &app : allApps()) {
+        if (app.suite == "SPEC ACCEL")
+            ++spec;
+        else if (app.suite == "PolyBench")
+            ++poly;
+    }
+    EXPECT_EQ(spec, 19);
+    EXPECT_EQ(poly, 15);
+}
+
+TEST(Suite, FindApp)
+{
+    EXPECT_NE(findApp("112.spmv"), nullptr);
+    EXPECT_NE(findApp("gemm"), nullptr);
+    EXPECT_EQ(findApp("nonexistent"), nullptr);
+}
+
+/** Every application verifies on the reference interpreter. */
+class ReferenceRun : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ReferenceRun, VerifiesAgainstHostOracle)
+{
+    const App *app = findApp(GetParam());
+    ASSERT_NE(app, nullptr);
+    BenchContext ctx(Engine::Reference);
+    EXPECT_TRUE(runApp(*app, ctx)) << app->name;
+}
+
+std::vector<std::string>
+allAppNames()
+{
+    std::vector<std::string> names;
+    for (const App &app : allApps())
+        names.push_back(app.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, ReferenceRun, ::testing::ValuesIn(allAppNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+/** Feature-covering subset on the full circuit simulator. */
+class SimRun : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(SimRun, VerifiesOnCircuitSimulator)
+{
+    const App *app = findApp(GetParam());
+    ASSERT_NE(app, nullptr);
+    BenchContext ctx(Engine::SoffSim);
+    EXPECT_TRUE(runApp(*app, ctx)) << app->name;
+    EXPECT_GT(ctx.metrics().cycles, 0u);
+    EXPECT_GE(ctx.metrics().instances, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FeatureCover, SimRun,
+    ::testing::Values(
+        "103.stencil",  // plain stencil
+        "112.spmv",     // irregular gathers
+        "116.histo",    // atomics + local + barrier
+        "117.bfs",      // global atomics, divergent loop
+        "121.lavamd",   // local memory + barrier + continue
+        "123.nw",       // barrier inside a loop (SWGR)
+        "126.ge",       // multi-launch host loop
+        "gemm",         // dense uniform loop
+        "fdtd-2d"),     // multi-kernel time stepping
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+/** The three oversized applications report insufficient resources on
+ *  the Arria 10 (Table II "IR" rows) but are functionally correct. */
+class IrRun : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(IrRun, ExceedsArria10Resources)
+{
+    const App *app = findApp(GetParam());
+    ASSERT_NE(app, nullptr);
+    EXPECT_TRUE(app->expectInsufficientResources);
+    BenchContext ctx(Engine::SoffSim);
+    EXPECT_THROW(runApp(*app, ctx), RuntimeError);
+    // ... but the kernels themselves are valid OpenCL:
+    BenchContext ref(Engine::Reference);
+    EXPECT_TRUE(runApp(*app, ref)) << app->name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OversizedApps, IrRun,
+    ::testing::Values("122.cfd", "128.heartwall", "140.bplustree"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(Baselines, IntelLikeProducesTimingAndResults)
+{
+    const App *app = findApp("103.stencil");
+    ASSERT_NE(app, nullptr);
+    BenchContext ctx(Engine::IntelLike);
+    EXPECT_TRUE(runApp(*app, ctx));
+    EXPECT_GT(ctx.metrics().timeMs, 0.0);
+    EXPECT_GT(ctx.metrics().cycles, 0u);
+}
+
+TEST(Baselines, XilinxLikeIsSlowerThanIntelLike)
+{
+    const App *app = findApp("gemm");
+    ASSERT_NE(app, nullptr);
+    BenchContext intel(Engine::IntelLike);
+    EXPECT_TRUE(runApp(*app, intel));
+    BenchContext xilinx(Engine::XilinxLike);
+    EXPECT_TRUE(runApp(*app, xilinx));
+    EXPECT_GT(xilinx.metrics().timeMs, intel.metrics().timeMs);
+}
+
+} // namespace
+} // namespace soff::benchsuite

@@ -1,0 +1,344 @@
+/** @file Unit tests for the OpenCL C frontend (lexer, parser, irgen). */
+#include <gtest/gtest.h>
+
+#include "frontend/irgen.hpp"
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "support/error.hpp"
+
+namespace soff::fe
+{
+namespace
+{
+
+std::vector<Token>
+lex(const std::string &src)
+{
+    DiagnosticEngine diags;
+    Lexer lexer(src, diags);
+    auto toks = lexer.lex();
+    EXPECT_FALSE(diags.hasErrors()) << diags.report();
+    return toks;
+}
+
+TEST(Lexer, BasicTokens)
+{
+    auto toks = lex("int x = 42 + y;");
+    ASSERT_EQ(toks.size(), 8u); // int x = 42 + y ; <eof>
+    EXPECT_TRUE(toks[0].isKeyword("int"));
+    EXPECT_EQ(toks[1].kind, TokKind::Identifier);
+    EXPECT_EQ(toks[3].kind, TokKind::IntLiteral);
+    EXPECT_EQ(toks[3].intValue, 42u);
+}
+
+TEST(Lexer, FloatLiterals)
+{
+    auto toks = lex("1.5f 2.0 3e2 0.5e-1f");
+    EXPECT_EQ(toks[0].kind, TokKind::FloatLiteral);
+    EXPECT_FALSE(toks[0].floatIsDouble);
+    EXPECT_FLOAT_EQ(static_cast<float>(toks[0].floatValue), 1.5f);
+    EXPECT_TRUE(toks[1].floatIsDouble);
+    EXPECT_DOUBLE_EQ(toks[2].floatValue, 300.0);
+    EXPECT_FALSE(toks[3].floatIsDouble);
+}
+
+TEST(Lexer, HexAndSuffixes)
+{
+    auto toks = lex("0xff 10u 10UL");
+    EXPECT_EQ(toks[0].intValue, 255u);
+    EXPECT_TRUE(toks[1].intIsUnsigned);
+    EXPECT_TRUE(toks[2].intIsUnsigned);
+    EXPECT_TRUE(toks[2].intIsLong);
+}
+
+TEST(Lexer, CommentsAndOperators)
+{
+    auto toks = lex("a /* x */ >>= b // end\n << c");
+    EXPECT_EQ(toks[0].kind, TokKind::Identifier);
+    EXPECT_EQ(toks[1].kind, TokKind::ShrAssign);
+    EXPECT_EQ(toks[3].kind, TokKind::Shl);
+}
+
+TEST(Lexer, ObjectMacros)
+{
+    auto toks = lex("#define N 64\nint a = N * N;");
+    // N expands to 64 twice.
+    int count = 0;
+    for (const Token &t : toks) {
+        if (t.kind == TokKind::IntLiteral && t.intValue == 64)
+            ++count;
+    }
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Lexer, BarrierFlagMacrosPredefined)
+{
+    auto toks = lex("barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE)");
+    bool saw1 = false, saw2 = false;
+    for (const Token &t : toks) {
+        if (t.kind == TokKind::IntLiteral && t.intValue == 1)
+            saw1 = true;
+        if (t.kind == TokKind::IntLiteral && t.intValue == 2)
+            saw2 = true;
+    }
+    EXPECT_TRUE(saw1 && saw2);
+}
+
+TEST(Lexer, FunctionLikeMacroRejected)
+{
+    DiagnosticEngine diags;
+    Lexer lexer("#define F(x) (x)\n", diags);
+    lexer.lex();
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+// --- Parser ---
+
+TranslationUnit
+parseOk(const std::string &src)
+{
+    DiagnosticEngine diags;
+    TranslationUnit tu = parseSource(src, diags);
+    EXPECT_FALSE(diags.hasErrors()) << diags.report();
+    return tu;
+}
+
+TEST(Parser, KernelSignature)
+{
+    auto tu = parseOk(
+        "__kernel void f(__global float* A, __global const float* B, "
+        "int n) {}");
+    ASSERT_EQ(tu.functions.size(), 1u);
+    const FunctionDecl &fn = *tu.functions[0];
+    EXPECT_TRUE(fn.isKernel);
+    EXPECT_EQ(fn.name, "f");
+    ASSERT_EQ(fn.params.size(), 3u);
+    EXPECT_EQ(fn.params[0].type.ptrs.size(), 1u);
+    EXPECT_EQ(fn.params[0].type.ptrs[0], ir::AddrSpace::Global);
+    EXPECT_TRUE(fn.params[2].type.ptrs.empty());
+}
+
+TEST(Parser, PointerToPointer)
+{
+    auto tu = parseOk("__kernel void f(__global int** p) {}");
+    EXPECT_EQ(tu.functions[0]->params[0].type.ptrs.size(), 2u);
+}
+
+TEST(Parser, ControlFlowStatements)
+{
+    auto tu = parseOk(
+        "void helper(int a) {}\n"
+        "__kernel void f(__global int* A, int n) {\n"
+        "  for (int i = 0; i < n; i++) {\n"
+        "    if (A[i] > 0) continue; else A[i] = -A[i];\n"
+        "  }\n"
+        "  int j = 0;\n"
+        "  while (j < n) { j += 2; if (j == 8) break; }\n"
+        "  do { j--; } while (j > 0);\n"
+        "}");
+    EXPECT_EQ(tu.functions.size(), 2u);
+}
+
+TEST(Parser, ArraySizeConstantFolding)
+{
+    auto tu = parseOk(
+        "#define TILE 8\n"
+        "__kernel void f() { __local float t[TILE * TILE + 1]; }");
+    const Stmt &body = *tu.functions[0]->body;
+    ASSERT_EQ(body.body.size(), 1u);
+    EXPECT_EQ(body.body[0]->declarators[0].arrayDims[0], 65u);
+}
+
+TEST(Parser, RejectsStructs)
+{
+    DiagnosticEngine diags;
+    parseSource("struct S { int x; };", diags);
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+// --- IR generation ---
+
+std::unique_ptr<ir::Module>
+compile(const std::string &src)
+{
+    auto module = compileToIR(src, "test");
+    auto errors = ir::verifyModule(*module);
+    EXPECT_TRUE(errors.empty())
+        << (errors.empty() ? "" : errors[0]) << "\n"
+        << ir::printModule(*module);
+    return module;
+}
+
+TEST(IRGen, VectorAdd)
+{
+    auto m = compile(
+        "__kernel void vadd(__global float* A, __global float* B,\n"
+        "                   __global float* C) {\n"
+        "  int i = get_global_id(0);\n"
+        "  C[i] = A[i] + B[i];\n"
+        "}");
+    ir::Kernel *k = m->findKernel("vadd");
+    ASSERT_NE(k, nullptr);
+    EXPECT_EQ(k->numArguments(), 3u);
+    std::string text = ir::printKernel(*k);
+    EXPECT_NE(text.find("wiinfo global_id"), std::string::npos);
+    EXPECT_NE(text.find("fadd"), std::string::npos);
+}
+
+TEST(IRGen, ImplicitConversions)
+{
+    auto m = compile(
+        "__kernel void f(__global float* A, int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  A[i] = i * 2 + n / 3.0f;\n"
+        "}");
+    std::string text = ir::printKernel(*m->kernel(0));
+    EXPECT_NE(text.find("sitofp"), std::string::npos);
+}
+
+TEST(IRGen, ShortCircuitCreatesControlFlow)
+{
+    auto m = compile(
+        "__kernel void f(__global int* A, int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  if (i < n && A[i] > 0) A[i] = 0;\n"
+        "}");
+    // Short-circuit means more than 3 blocks.
+    EXPECT_GT(m->kernel(0)->numBlocks(), 3u);
+}
+
+TEST(IRGen, PrivateArrayBecomesSlot)
+{
+    auto m = compile(
+        "__kernel void f(__global float* A) {\n"
+        "  float acc[4];\n"
+        "  for (int k = 0; k < 4; k++) acc[k] = 0.0f;\n"
+        "  A[get_global_id(0)] = acc[0] + acc[3];\n"
+        "}");
+    std::string text = ir::printKernel(*m->kernel(0));
+    EXPECT_NE(text.find("arrayextract"), std::string::npos);
+    EXPECT_NE(text.find("arrayinsert"), std::string::npos);
+}
+
+TEST(IRGen, LocalArrayUsesLocalMemory)
+{
+    auto m = compile(
+        "__kernel void f(__global float* A) {\n"
+        "  __local float tile[16];\n"
+        "  int l = get_local_id(0);\n"
+        "  tile[l] = A[get_global_id(0)];\n"
+        "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+        "  A[get_global_id(0)] = tile[15 - l];\n"
+        "}");
+    ir::Kernel *k = m->kernel(0);
+    EXPECT_EQ(k->numLocalVars(), 1u);
+    std::string text = ir::printKernel(*k);
+    EXPECT_NE(text.find("localaddr"), std::string::npos);
+    EXPECT_NE(text.find("barrier"), std::string::npos);
+}
+
+TEST(IRGen, Atomics)
+{
+    auto m = compile(
+        "__kernel void f(__global int* H, __global int* D, int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  atomic_add(&H[D[i] % n], 1);\n"
+        "  atomic_inc(&H[0]);\n"
+        "  atom_max(&H[1], i);\n"
+        "}");
+    std::string text = ir::printKernel(*m->kernel(0));
+    EXPECT_NE(text.find("atomicrmw add"), std::string::npos);
+    EXPECT_NE(text.find("atomicrmw smax"), std::string::npos);
+}
+
+TEST(IRGen, MathBuiltinsOverloadBySignedness)
+{
+    auto m = compile(
+        "__kernel void f(__global float* A, __global int* B,\n"
+        "                __global uint* C) {\n"
+        "  int i = get_global_id(0);\n"
+        "  A[i] = sqrt(fabs(A[i])) + fmax(A[i], 1.0f);\n"
+        "  B[i] = max(B[i], 3);\n"
+        "  C[i] = min(C[i], 7u);\n"
+        "}");
+    std::string text = ir::printKernel(*m->kernel(0));
+    EXPECT_NE(text.find("mathcall sqrt"), std::string::npos);
+    EXPECT_NE(text.find("mathcall smax"), std::string::npos);
+    EXPECT_NE(text.find("mathcall umin"), std::string::npos);
+}
+
+TEST(IRGen, UserFunctionCall)
+{
+    auto m = compile(
+        "float square(float x) { return x * x; }\n"
+        "__kernel void f(__global float* A) {\n"
+        "  int i = get_global_id(0);\n"
+        "  A[i] = square(A[i]);\n"
+        "}");
+    EXPECT_EQ(m->numKernels(), 2u); // helper + kernel, pre-inline
+    std::string text = ir::printKernel(*m->findKernel("f"));
+    EXPECT_NE(text.find("call @square"), std::string::npos);
+}
+
+TEST(IRGen, TernaryAndSelect)
+{
+    auto m = compile(
+        "__kernel void f(__global int* A) {\n"
+        "  int i = get_global_id(0);\n"
+        "  A[i] = (A[i] > 0) ? A[i] : -A[i];\n"
+        "}");
+    EXPECT_GE(m->kernel(0)->numBlocks(), 4u);
+}
+
+TEST(IRGen, AddressOfPrivateRejected)
+{
+    EXPECT_THROW(compileToIR(
+        "__kernel void f(__global int* A) {\n"
+        "  int x = 1;\n"
+        "  int* p = &x;\n"
+        "  A[0] = *p;\n"
+        "}", "t"), CompileError);
+}
+
+TEST(IRGen, UnknownFunctionRejected)
+{
+    EXPECT_THROW(compileToIR(
+        "__kernel void f() { frobnicate(1); }", "t"), CompileError);
+}
+
+TEST(IRGen, KernelMustReturnVoid)
+{
+    EXPECT_THROW(compileToIR("__kernel int f() { return 1; }", "t"),
+                 CompileError);
+}
+
+TEST(IRGen, MultiDimLocalArray)
+{
+    auto m = compile(
+        "__kernel void f(__global float* A) {\n"
+        "  __local float tile[4][8];\n"
+        "  int l = get_local_id(0);\n"
+        "  tile[l / 8][l % 8] = A[l];\n"
+        "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+        "  A[l] = tile[0][l % 8];\n"
+        "}");
+    ir::Kernel *k = m->kernel(0);
+    ASSERT_EQ(k->numLocalVars(), 1u);
+    EXPECT_EQ(k->localVar(0)->type()->count(), 32u);
+}
+
+TEST(IRGen, SizeofAndCasts)
+{
+    auto m = compile(
+        "__kernel void f(__global float* A, __global int* B) {\n"
+        "  int i = get_global_id(0);\n"
+        "  B[i] = (int)(A[i] * 10.0f) + (int)sizeof(float);\n"
+        "}");
+    std::string text = ir::printKernel(*m->kernel(0));
+    EXPECT_NE(text.find("fptosi"), std::string::npos);
+}
+
+} // namespace
+} // namespace soff::fe

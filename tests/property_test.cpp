@@ -1,0 +1,200 @@
+/** @file Property-based end-to-end tests: randomly generated arithmetic
+ *  kernels must produce identical results on the cycle-level circuit
+ *  simulator and the reference interpreter (TEST_P sweeps over seeds),
+ *  and the interpreter must reject undefined barrier divergence. */
+#include <gtest/gtest.h>
+
+#include "baseline/interpreter.hpp"
+#include "runtime/runtime.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace soff
+{
+namespace
+{
+
+/**
+ * Generates a random straight-line-plus-loop kernel over ints and
+ * floats. The expression grammar sticks to operations with defined
+ * semantics for every input (no division by arbitrary values).
+ */
+std::string
+randomKernel(uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    std::string body;
+    int n_vals = rng.nextInt(2, 5);
+    body += "  int i = get_global_id(0);\n";
+    body += "  float f0 = A[i];\n";
+    body += "  int v0 = B[i];\n";
+    for (int k = 1; k < n_vals; ++k) {
+        switch (rng.nextInt(0, 5)) {
+          case 0:
+            body += strFormat("  float f%d = f%d * %d.%df + f0;\n", k,
+                              k - 1, rng.nextInt(0, 3),
+                              rng.nextInt(1, 9));
+            break;
+          case 1:
+            body += strFormat("  float f%d = fmin(f%d, %d.0f) - "
+                              "fabs(f0);\n", k, k - 1,
+                              rng.nextInt(1, 5));
+            break;
+          case 2:
+            body += strFormat("  float f%d = f%d + (float)(v0 %% %d);\n",
+                              k, k - 1, rng.nextInt(2, 9));
+            break;
+          case 3:
+            body += strFormat("  float f%d = f%d > 0.5f ? f%d * 0.5f : "
+                              "f%d + 1.0f;\n", k, k - 1, k - 1, k - 1);
+            break;
+          case 4:
+            body += strFormat(
+                "  float f%d = f%d;\n"
+                "  for (int t%d = 0; t%d < %d; t%d++) "
+                "f%d = f%d * 0.75f + 0.25f;\n",
+                k, k - 1, k, k, rng.nextInt(2, 6), k, k, k);
+            break;
+          default:
+            body += strFormat("  float f%d = sqrt(fabs(f%d) + 1.0f);\n",
+                              k, k - 1);
+            break;
+        }
+    }
+    body += strFormat("  C[i] = f%d;\n", n_vals - 1);
+    return "__kernel void p(__global float* A, __global int* B,\n"
+           "                __global float* C) {\n" + body + "}\n";
+}
+
+class RandomKernelEquivalence
+    : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(RandomKernelEquivalence, SimulatorMatchesOracle)
+{
+    uint64_t seed = GetParam();
+    std::string source = randomKernel(seed);
+    SCOPED_TRACE(source);
+
+    const uint64_t n = 64;
+    auto a = std::vector<float>(n);
+    auto b = std::vector<int32_t>(n);
+    SplitMix64 rng(seed * 7 + 1);
+    for (uint64_t i = 0; i < n; ++i) {
+        a[i] = rng.nextFloat() * 4.0f - 2.0f;
+        b[i] = rng.nextInt(-100, 100);
+    }
+
+    std::vector<float> out[2];
+    for (int mode = 0; mode < 2; ++mode) {
+        rt::Context ctx;
+        rt::Program program = ctx.buildProgram(source);
+        rt::KernelHandle kernel = program.createKernel("p");
+        rt::Buffer ba = ctx.createBuffer(n * 4);
+        rt::Buffer bb = ctx.createBuffer(n * 4);
+        rt::Buffer bc = ctx.createBuffer(n * 4);
+        ctx.writeBuffer(ba, a.data(), n * 4);
+        ctx.writeBuffer(bb, b.data(), n * 4);
+        kernel.setArg(0, ba);
+        kernel.setArg(1, bb);
+        kernel.setArg(2, bc);
+        sim::NDRange nd;
+        nd.globalSize[0] = n;
+        nd.localSize[0] = 16;
+        ctx.enqueueNDRange(kernel, nd,
+                           mode == 0 ? rt::ExecutionMode::Simulate
+                                     : rt::ExecutionMode::Reference);
+        out[mode].resize(n);
+        ctx.readBuffer(bc, out[mode].data(), n * 4);
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[0][i], out[1][i])
+            << "seed " << seed << " index " << i
+            << ": circuit and oracle must agree bit-exactly";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomKernelEquivalence,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// --- Undefined-behavior rejection by the oracle -------------------------
+
+TEST(InterpreterUB, DivergentBarrierIsRejected)
+{
+    // §II-B3 / §IV-F1: work-items of one group reaching different
+    // barriers (or not all reaching one) is undefined; the oracle
+    // refuses rather than guessing.
+    rt::Context ctx;
+    rt::Program program = ctx.buildProgram(R"CL(
+__kernel void bad(__global int* A) {
+  int l = get_local_id(0);
+  if (l < 2) {
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  A[get_global_id(0)] = l;
+}
+)CL");
+    rt::KernelHandle kernel = program.createKernel("bad");
+    kernel.setArg(0, ctx.createBuffer(4096));
+    sim::NDRange nd;
+    nd.globalSize[0] = 16;
+    nd.localSize[0] = 4;
+    EXPECT_THROW(
+        ctx.enqueueNDRange(kernel, nd, rt::ExecutionMode::Reference),
+        RuntimeError);
+}
+
+TEST(InterpreterUB, UniformBarrierInBranchIsFine)
+{
+    // All work-items of a group take the same branch: defined.
+    rt::Context ctx;
+    rt::Program program = ctx.buildProgram(R"CL(
+__kernel void good(__global int* A) {
+  int g = get_group_id(0);
+  if (g == 0) {
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  A[get_global_id(0)] = g;
+}
+)CL");
+    rt::KernelHandle kernel = program.createKernel("good");
+    kernel.setArg(0, ctx.createBuffer(4096));
+    sim::NDRange nd;
+    nd.globalSize[0] = 16;
+    nd.localSize[0] = 4;
+    EXPECT_NO_THROW(
+        ctx.enqueueNDRange(kernel, nd, rt::ExecutionMode::Reference));
+}
+
+// --- Determinism ----------------------------------------------------------
+
+TEST(Determinism, SameLaunchSameCycleCount)
+{
+    uint64_t cycles[2];
+    for (int run = 0; run < 2; ++run) {
+        rt::Context ctx;
+        rt::Program program = ctx.buildProgram(R"CL(
+__kernel void k(__global float* A, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; i++) acc += A[i];
+  A[get_global_id(0)] = acc;
+}
+)CL");
+        rt::KernelHandle kernel = program.createKernel("k");
+        rt::Buffer buffer = ctx.createBuffer(4096);
+        std::vector<float> data(256, 1.5f);
+        ctx.writeBuffer(buffer, data.data(), 1024);
+        kernel.setArg(0, buffer);
+        kernel.setArg(1, int32_t{64});
+        sim::NDRange nd;
+        nd.globalSize[0] = 128;
+        nd.localSize[0] = 32;
+        cycles[run] = ctx.enqueueNDRange(kernel, nd).cycles;
+    }
+    EXPECT_EQ(cycles[0], cycles[1])
+        << "the circuit simulation must be fully deterministic";
+}
+
+} // namespace
+} // namespace soff

@@ -1,0 +1,213 @@
+/** @file Unit tests for the runtime: device allocator, buffer DMA,
+ *  argument validation, partial reconfiguration, baselines, and the
+ *  Table II compatibility rules. */
+#include <gtest/gtest.h>
+
+#include "baseline/compat.hpp"
+#include "baseline/static_pipeline.hpp"
+#include "runtime/runtime.hpp"
+#include "support/error.hpp"
+
+namespace soff::rt
+{
+namespace
+{
+
+TEST(Device, AllocatorReusesFreedBlocks)
+{
+    Device device(datapath::FpgaSpec::arria10(), 1 << 20);
+    uint64_t a = device.allocate(1000);
+    uint64_t b = device.allocate(2000);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, 0u);
+    device.release(a);
+    uint64_t c = device.allocate(500);
+    EXPECT_EQ(c, a) << "first-fit reuse of the freed block";
+    device.release(b);
+    device.release(c);
+    // Coalesced: a large allocation fits again.
+    uint64_t d = device.allocate((1 << 20) - 4096);
+    EXPECT_NE(d, 0u);
+}
+
+TEST(Device, ExhaustionThrows)
+{
+    Device device(datapath::FpgaSpec::arria10(), 1 << 12);
+    EXPECT_THROW(device.allocate(1 << 20), RuntimeError);
+}
+
+TEST(Device, AllocationsAreLineAligned)
+{
+    Device device(datapath::FpgaSpec::arria10(), 1 << 20);
+    for (int i = 0; i < 5; ++i) {
+        uint64_t addr = device.allocate(i * 7 + 3);
+        EXPECT_EQ(addr % 64, 0u) << "64-byte alignment (cache lines)";
+    }
+}
+
+TEST(Context, BufferRoundTrip)
+{
+    Context ctx;
+    std::vector<int32_t> data = {1, 2, 3, 4, 5};
+    Buffer buffer = ctx.createBuffer(data.size() * 4);
+    ctx.writeBuffer(buffer, data.data(), data.size() * 4);
+    std::vector<int32_t> out(data.size());
+    ctx.readBuffer(buffer, out.data(), out.size() * 4);
+    EXPECT_EQ(out, data);
+    ctx.releaseBuffer(buffer);
+    EXPECT_FALSE(buffer.valid());
+}
+
+const char *kTwoKernels = R"CL(
+__kernel void a(__global int* X) { X[get_global_id(0)] = 1; }
+__kernel void b(__global int* X, int v) { X[get_global_id(0)] = v; }
+)CL";
+
+TEST(Program, KernelLookup)
+{
+    Context ctx;
+    Program program = ctx.buildProgram(kTwoKernels);
+    EXPECT_NO_THROW(program.createKernel("a"));
+    EXPECT_NO_THROW(program.createKernel("b"));
+    EXPECT_THROW(program.createKernel("missing"), RuntimeError);
+}
+
+TEST(KernelHandle, ArgumentValidation)
+{
+    Context ctx;
+    Program program = ctx.buildProgram(kTwoKernels);
+    KernelHandle kernel = program.createKernel("b");
+    Buffer buffer = ctx.createBuffer(256);
+    EXPECT_THROW(kernel.setArg(0, int32_t{1}), RuntimeError)
+        << "buffer arg given a scalar";
+    EXPECT_THROW(kernel.setArg(1, buffer), RuntimeError)
+        << "scalar arg given a buffer";
+    EXPECT_THROW(kernel.setArg(2, int32_t{1}), RuntimeError)
+        << "index out of range";
+    kernel.setArg(0, buffer);
+    sim::NDRange nd;
+    nd.globalSize[0] = 64;
+    nd.localSize[0] = 64;
+    EXPECT_THROW(ctx.enqueueNDRange(kernel, nd), RuntimeError)
+        << "arg 1 never set";
+    kernel.setArg(1, int32_t{9});
+    EXPECT_NO_THROW(ctx.enqueueNDRange(kernel, nd));
+}
+
+TEST(Context, RejectsIndivisibleNDRange)
+{
+    Context ctx;
+    Program program = ctx.buildProgram(kTwoKernels);
+    KernelHandle kernel = program.createKernel("a");
+    kernel.setArg(0, ctx.createBuffer(4096));
+    sim::NDRange nd;
+    nd.globalSize[0] = 100;
+    nd.localSize[0] = 64; // 100 % 64 != 0
+    EXPECT_THROW(ctx.enqueueNDRange(kernel, nd), RuntimeError);
+}
+
+TEST(Context, ReferenceAndSimulateAgree)
+{
+    std::vector<int32_t> sim_out(128), ref_out(128);
+    for (int mode = 0; mode < 2; ++mode) {
+        Context ctx;
+        Program program = ctx.buildProgram(kTwoKernels);
+        KernelHandle kernel = program.createKernel("b");
+        Buffer buffer = ctx.createBuffer(128 * 4);
+        kernel.setArg(0, buffer);
+        kernel.setArg(1, int32_t{41});
+        sim::NDRange nd;
+        nd.globalSize[0] = 128;
+        nd.localSize[0] = 32;
+        ctx.enqueueNDRange(kernel, nd,
+                           mode == 0 ? ExecutionMode::Simulate
+                                     : ExecutionMode::Reference);
+        ctx.readBuffer(buffer, (mode == 0 ? sim_out : ref_out).data(),
+                       128 * 4);
+    }
+    EXPECT_EQ(sim_out, ref_out);
+}
+
+// --- Compatibility rules (Table II machinery) ---------------------------
+
+TEST(Compat, OutcomeCodesMatchTableII)
+{
+    using baseline::Outcome;
+    EXPECT_STREQ(baseline::outcomeCode(Outcome::OK), "");
+    EXPECT_STREQ(baseline::outcomeCode(Outcome::CompileError), "CE");
+    EXPECT_STREQ(baseline::outcomeCode(Outcome::IncorrectAnswer), "IA");
+    EXPECT_STREQ(baseline::outcomeCode(Outcome::RuntimeError), "RE");
+    EXPECT_STREQ(baseline::outcomeCode(Outcome::Hang), "H");
+    EXPECT_STREQ(baseline::outcomeCode(Outcome::InsufficientResources),
+                 "IR");
+}
+
+TEST(Compat, XilinxRejectsAtomicsIndirectAndLocalInBranch)
+{
+    analysis::KernelFeatures f;
+    EXPECT_EQ(baseline::xilinxLikeOutcome(f), baseline::Outcome::OK);
+    f.usesAtomics = true;
+    EXPECT_EQ(baseline::xilinxLikeOutcome(f),
+              baseline::Outcome::CompileError);
+    f = {};
+    f.usesIndirectPointers = true;
+    EXPECT_EQ(baseline::xilinxLikeOutcome(f),
+              baseline::Outcome::CompileError);
+    f = {};
+    f.localAccessInBranch = true;
+    EXPECT_EQ(baseline::xilinxLikeOutcome(f),
+              baseline::Outcome::CompileError);
+}
+
+TEST(Compat, IntelFailsOnAtomicBarrierLocalCombination)
+{
+    analysis::KernelFeatures f;
+    f.usesAtomics = true;
+    f.usesBarrier = true;
+    f.usesLocalMemory = true;
+    EXPECT_NE(baseline::intelLikeOutcome(f), baseline::Outcome::OK);
+    analysis::KernelFeatures plain;
+    EXPECT_EQ(baseline::intelLikeOutcome(plain), baseline::Outcome::OK);
+}
+
+// --- Static-pipeline baseline machinery ---------------------------------
+
+TEST(StaticPipeline, RecurrenceBoundII)
+{
+    // A float accumulation loop: the baseline pays the FADD latency
+    // per iteration; an integer loop does not.
+    Context ctx;
+    auto program = ctx.buildProgram(R"CL(
+__kernel void facc(__global float* A, int n) {
+  float acc = 0.0f;
+  for (int k = 0; k < n; k++) acc += A[k];
+  A[get_global_id(0)] = acc;
+}
+__kernel void iacc(__global int* A, int n) {
+  int acc = 0;
+  for (int k = 0; k < n; k++) acc += A[k];
+  A[get_global_id(0)] = acc;
+}
+)CL");
+    auto run = [&](const char *name) {
+        KernelHandle kernel = program.createKernel(name);
+        Buffer buffer = ctx.createBuffer(4096);
+        kernel.setArg(0, buffer);
+        kernel.setArg(1, int32_t{64});
+        sim::LaunchContext launch;
+        launch.ndrange.globalSize[0] = 64;
+        launch.ndrange.localSize[0] = 16;
+        launch.args = kernel.argValues();
+        auto cfg = baseline::StaticPipelineConfig::intelLike(1);
+        return baseline::runStaticPipeline(
+            *kernel.compiled().kernel, launch,
+            ctx.device().globalMemory(), cfg);
+    };
+    auto fp = run("facc");
+    auto ip = run("iacc");
+    EXPECT_GT(fp.cycles, ip.cycles)
+        << "loop-carried FADD recurrence must cost the baseline";
+}
+
+} // namespace
+} // namespace soff::rt

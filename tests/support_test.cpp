@@ -1,0 +1,82 @@
+/** @file Unit tests for the support module. */
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace soff
+{
+namespace
+{
+
+TEST(Strings, Format)
+{
+    EXPECT_EQ(strFormat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(strFormat("%s", "hello"), "hello");
+    EXPECT_EQ(strFormat("%.2f", 3.14159), "3.14");
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(strJoin({}, ", "), "");
+    EXPECT_EQ(strJoin({"a"}, ", "), "a");
+    EXPECT_EQ(strJoin({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(strStartsWith("atomic_add", "atomic_"));
+    EXPECT_FALSE(strStartsWith("atom", "atomic_"));
+    EXPECT_TRUE(strStartsWith("x", ""));
+}
+
+TEST(Diagnostics, CollectsAndRenders)
+{
+    DiagnosticEngine diags;
+    EXPECT_FALSE(diags.hasErrors());
+    diags.warning({1, 2}, "w");
+    EXPECT_FALSE(diags.hasErrors());
+    diags.error({3, 4}, "boom");
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_EQ(diags.numErrors(), 1);
+    std::string report = diags.report();
+    EXPECT_NE(report.find("3:4: error: boom"), std::string::npos);
+    EXPECT_NE(report.find("1:2: warning: w"), std::string::npos);
+    EXPECT_THROW(diags.checkNoErrors(), CompileError);
+}
+
+TEST(Diagnostics, NoThrowWhenClean)
+{
+    DiagnosticEngine diags;
+    diags.note({1, 1}, "info");
+    EXPECT_NO_THROW(diags.checkNoErrors());
+}
+
+TEST(Rng, Deterministic)
+{
+    SplitMix64 a(42);
+    SplitMix64 b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, Ranges)
+{
+    SplitMix64 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        int32_t v = rng.nextInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+        float f = rng.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+} // namespace
+} // namespace soff
