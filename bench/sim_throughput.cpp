@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Host-side throughput of the simulation kernel itself: the same
+ * applications executed under the synchronous reference scheduler and
+ * the quiescence-aware event-driven scheduler (identical simulated
+ * cycles by construction — see tests/sim_sched_test.cpp), comparing
+ * wall-clock time, simulated-cycles-per-second, and component steps
+ * avoided. A high-DRAM-latency configuration makes the memory-bound
+ * applications idle-heavy, which is where quiescence tracking pays.
+ *
+ * Writes BENCH_sim.json next to the binary (consumed by CI).
+ */
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchsuite/suite.hpp"
+#include "support/error.hpp"
+
+using namespace soff;
+using benchsuite::App;
+using benchsuite::BenchContext;
+using benchsuite::Engine;
+
+namespace
+{
+
+struct Workload
+{
+    const char *app;
+    const char *config;  ///< "default" or "membound".
+    int dramLatency;
+    int dramCyclesPerLine;
+};
+
+struct Row
+{
+    Workload load;
+    double refWallMs = 0.0;
+    double evtWallMs = 0.0;
+    uint64_t simCycles = 0;
+    uint64_t refSteps = 0;
+    uint64_t evtSteps = 0;
+    uint64_t evtCyclesActive = 0;
+    bool verified = false;
+};
+
+/** Runs one app on one scheduler; returns wall ms (simulation only —
+ *  the compile happens outside the timed region). */
+double
+timedRun(const App &app, sim::SchedulerMode mode, const Workload &load,
+         benchsuite::RunMetrics &metrics, bool &verified)
+{
+    BenchContext ctx(Engine::SoffSim);
+    sim::PlatformConfig platform;
+    platform.scheduler = mode;
+    platform.dramLatency = load.dramLatency;
+    platform.dramCyclesPerLine = load.dramCyclesPerLine;
+    ctx.setPlatformConfig(platform);
+    ctx.build(app.source);
+    auto start = std::chrono::steady_clock::now();
+    verified = app.host(ctx);
+    auto stop = std::chrono::steady_clock::now();
+    metrics = ctx.metrics();
+    return std::chrono::duration<double, std::milli>(stop - start)
+        .count();
+}
+
+double
+cyclesPerSec(uint64_t cycles, double wall_ms)
+{
+    return wall_ms > 0.0 ? 1e3 * static_cast<double>(cycles) / wall_ms
+                         : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    // 112.spmv and 103.stencil are the memory-bound representatives;
+    // gemm is the compute-bound control where stalls are rarer.
+    const std::vector<Workload> workloads = {
+        {"103.stencil", "default", 40, 4},
+        {"112.spmv", "default", 40, 4},
+        {"gemm", "default", 40, 4},
+        {"103.stencil", "membound", 400, 16},
+        {"112.spmv", "membound", 400, 16},
+        {"gemm", "membound", 400, 16},
+    };
+
+    std::printf("Simulation-kernel throughput: reference vs "
+                "event-driven scheduler\n");
+    std::printf("%-14s %-9s %10s %10s %8s %9s %12s\n", "Application",
+                "config", "ref (ms)", "evt (ms)", "speedup",
+                "steps", "Mcyc/s evt");
+
+    std::vector<Row> rows;
+    double max_speedup = 0.0;
+    for (const Workload &load : workloads) {
+        const App *app = benchsuite::findApp(load.app);
+        SOFF_ASSERT(app != nullptr, "unknown bench app");
+        Row row;
+        row.load = load;
+
+        benchsuite::RunMetrics ref_metrics, evt_metrics;
+        bool ref_ok = false, evt_ok = false;
+        row.refWallMs = timedRun(*app, sim::SchedulerMode::Reference,
+                                 load, ref_metrics, ref_ok);
+        row.evtWallMs = timedRun(*app, sim::SchedulerMode::EventDriven,
+                                 load, evt_metrics, evt_ok);
+        row.verified = ref_ok && evt_ok &&
+                       ref_metrics.cycles == evt_metrics.cycles;
+        row.simCycles = evt_metrics.cycles;
+        row.refSteps = ref_metrics.componentSteps;
+        row.evtSteps = evt_metrics.componentSteps;
+        row.evtCyclesActive = evt_metrics.cyclesActive;
+        double speedup =
+            row.evtWallMs > 0.0 ? row.refWallMs / row.evtWallMs : 0.0;
+        max_speedup = std::max(max_speedup, speedup);
+
+        double steps_avoided_pct =
+            row.refSteps > 0
+                ? 100.0 *
+                      static_cast<double>(row.refSteps - row.evtSteps) /
+                      static_cast<double>(row.refSteps)
+                : 0.0;
+        std::printf("%-14s %-9s %10.2f %10.2f %7.2fx %8.1f%% %12.2f%s\n",
+                    load.app, load.config, row.refWallMs, row.evtWallMs,
+                    speedup, steps_avoided_pct,
+                    cyclesPerSec(row.simCycles, row.evtWallMs) / 1e6,
+                    row.verified ? "" : "  [MISMATCH]");
+        rows.push_back(row);
+    }
+
+    std::FILE *out = std::fopen("BENCH_sim.json", "w");
+    SOFF_ASSERT(out != nullptr, "cannot write BENCH_sim.json");
+    std::fprintf(out, "{\n  \"benchmark\": \"sim_throughput\",\n");
+    std::fprintf(out, "  \"maxSpeedup\": %.3f,\n  \"rows\": [\n",
+                 max_speedup);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        double speedup =
+            r.evtWallMs > 0.0 ? r.refWallMs / r.evtWallMs : 0.0;
+        std::fprintf(
+            out,
+            "    {\"app\": \"%s\", \"config\": \"%s\", "
+            "\"dramLatency\": %d,\n"
+            "     \"refWallMs\": %.3f, \"evtWallMs\": %.3f, "
+            "\"speedup\": %.3f,\n"
+            "     \"simCycles\": %llu, "
+            "\"refCyclesPerSec\": %.0f, \"evtCyclesPerSec\": %.0f,\n"
+            "     \"refComponentSteps\": %llu, "
+            "\"evtComponentSteps\": %llu, "
+            "\"evtCyclesActive\": %llu,\n"
+            "     \"verified\": %s}%s\n",
+            r.load.app, r.load.config, r.load.dramLatency, r.refWallMs,
+            r.evtWallMs, speedup,
+            static_cast<unsigned long long>(r.simCycles),
+            cyclesPerSec(r.simCycles, r.refWallMs),
+            cyclesPerSec(r.simCycles, r.evtWallMs),
+            static_cast<unsigned long long>(r.refSteps),
+            static_cast<unsigned long long>(r.evtSteps),
+            static_cast<unsigned long long>(r.evtCyclesActive),
+            r.verified ? "true" : "false",
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+
+    bool all_verified = true;
+    for (const Row &r : rows)
+        all_verified = all_verified && r.verified;
+    std::printf("\nmax wall-clock speedup: %.2fx; results %s\n",
+                max_speedup,
+                all_verified ? "identical across schedulers"
+                             : "MISMATCHED");
+    return all_verified ? 0 : 1;
+}

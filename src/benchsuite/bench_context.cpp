@@ -107,13 +107,16 @@ BenchContext::launch(const std::string &kernel,
     switch (engine_) {
       case Engine::SoffSim: {
         rt::LaunchResult result = ctx_.enqueueNDRange(
-            handle, ndrange, rt::ExecutionMode::Simulate, {},
+            handle, ndrange, rt::ExecutionMode::Simulate, platform_,
             instanceOverride_);
         metrics_.timeMs += result.timeMs;
         metrics_.cycles += result.cycles;
         metrics_.instances = result.instances;
         metrics_.cacheHits += result.stats.cacheHits;
         metrics_.cacheMisses += result.stats.cacheMisses;
+        metrics_.componentSteps += result.sched.componentSteps;
+        metrics_.cyclesActive += result.sched.cyclesActive;
+        metrics_.channelCommits += result.sched.channelCommits;
         return;
       }
       case Engine::Reference: {

@@ -46,6 +46,10 @@ struct RunMetrics
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
     int launches = 0;
+    /** Scheduler work (SoffSim engine only; see bench/sim_throughput). */
+    uint64_t componentSteps = 0;
+    uint64_t cyclesActive = 0;
+    uint64_t channelCommits = 0;
 };
 
 /** The engine-dispatching host context used by every application. */
@@ -65,6 +69,11 @@ class BenchContext
     void setInstanceOverride(int instances)
     {
         instanceOverride_ = instances;
+    }
+    /** Platform timing/scheduler knobs for the SoffSim engine. */
+    void setPlatformConfig(const sim::PlatformConfig &platform)
+    {
+        platform_ = platform;
     }
 
     /** Compiles the application's OpenCL C program. */
@@ -91,6 +100,7 @@ class BenchContext
     Engine engine_;
     rt::Context ctx_;
     core::CompilerOptions options_;
+    sim::PlatformConfig platform_;
     int instanceOverride_ = 0;
     std::optional<rt::Program> program_;
     RunMetrics metrics_;

@@ -25,13 +25,18 @@ class RRArbiter : public sim::Component
               sim::Channel<sim::MemReq> *down_req,
               sim::Channel<sim::MemResp> *down_resp)
         : Component(name), downReq_(down_req), downResp_(down_resp)
-    {}
+    {
+        watch(downReq_);
+        watch(downResp_);
+    }
 
     /** Registers one upstream port; returns its index. */
     size_t
     addPort(sim::Channel<sim::MemReq> *req,
             sim::Channel<sim::MemResp> *resp)
     {
+        watch(req);
+        watch(resp);
         ports_.push_back({req, resp});
         return ports_.size() - 1;
     }

@@ -3,14 +3,16 @@
 namespace soff::memsys
 {
 
-Cache::Cache(const std::string &name, sim::Simulator &simulator,
-             GlobalMemory &memory, DramTiming &dram, int size_bytes,
-             int line_bytes, sim::Channel<sim::MemReq> *in,
+Cache::Cache(const std::string &name, GlobalMemory &memory,
+             DramTiming &dram, int size_bytes, int line_bytes,
+             sim::Channel<sim::MemReq> *in,
              sim::Channel<sim::MemResp> *out)
-    : Component(name), sim_(simulator), memory_(memory), dram_(dram),
+    : Component(name), memory_(memory), dram_(dram),
       sizeBytes_(size_bytes), lineBytes_(line_bytes),
       numLines_(size_bytes / line_bytes), in_(in), out_(out)
 {
+    watch(in_);
+    watch(out_);
     lines_.resize(static_cast<size_t>(numLines_));
     for (Line &line : lines_) {
         line.data.resize(static_cast<size_t>(lineBytes_), 0);
@@ -116,7 +118,7 @@ Cache::step(sim::Cycle now)
     // work-item counter raises the flush signal after every work-item
     // has retired, so the queue is normally already empty).
     if (flushRequested_ && !flushComplete_ && txq_.empty()) {
-        sim_.noteActivity();
+        noteActivity();
         int budget = 1;
         while (budget > 0 && flushCursor_ < numLines_) {
             Line &line = lines_[static_cast<size_t>(flushCursor_)];
@@ -130,8 +132,14 @@ Cache::step(sim::Cycle now)
             }
             ++flushCursor_;
         }
-        if (flushCursor_ >= numLines_)
+        if (flushCursor_ >= numLines_) {
             flushComplete_ = true;
+            // Same-cycle for the counter (created after every cache),
+            // exactly as its poll would observe in the reference sweep.
+            wakeOther(flushListener_);
+        } else {
+            wakeAt(now + 1); // the walk continues next cycle
+        }
         return;
     }
 
@@ -143,8 +151,10 @@ Cache::step(sim::Cycle now)
     // Only a transaction still waiting on its (timed) memory latency
     // counts as activity; a response blocked on a full channel must
     // not mask a downstream deadlock from the watchdog.
-    if (!txq_.empty() && txq_.front().readyAt > now)
-        sim_.noteActivity();
+    if (!txq_.empty() && txq_.front().readyAt > now) {
+        noteActivity();
+        wakeAt(txq_.front().readyAt);
+    }
 
     // Single port: accept one request per cycle.
     if (in_->canPop() && txq_.size() < txqCap_) {
@@ -160,9 +170,10 @@ Cache::step(sim::Cycle now)
 }
 
 void
-Cache::requestFlush()
+Cache::requestFlush(sim::Component *listener)
 {
     flushRequested_ = true;
+    flushListener_ = listener;
 }
 
 } // namespace soff::memsys

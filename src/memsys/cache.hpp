@@ -39,15 +39,20 @@ struct CacheStats
 class Cache : public sim::Component
 {
   public:
-    Cache(const std::string &name, sim::Simulator &simulator,
-          GlobalMemory &memory, DramTiming &dram, int size_bytes,
-          int line_bytes, sim::Channel<sim::MemReq> *in,
+    Cache(const std::string &name, GlobalMemory &memory,
+          DramTiming &dram, int size_bytes, int line_bytes,
+          sim::Channel<sim::MemReq> *in,
           sim::Channel<sim::MemResp> *out);
 
     void step(sim::Cycle now) override;
 
-    /** Begins writing all dirty lines back (kernel completion, §III-B). */
-    void requestFlush();
+    /**
+     * Begins writing all dirty lines back (kernel completion, §III-B).
+     * `listener` (if any) is woken when the flush completes — the
+     * flush-done flag is not channel traffic the work-item counter
+     * could otherwise observe.
+     */
+    void requestFlush(sim::Component *listener = nullptr);
     bool flushDone() const { return flushRequested_ && flushComplete_; }
 
     const CacheStats &stats() const { return stats_; }
@@ -90,7 +95,6 @@ class Cache : public sim::Component
     void writebackLine(Line &line, uint64_t index);
     uint64_t performAccess(const sim::MemReq &req);
 
-    sim::Simulator &sim_;
     GlobalMemory &memory_;
     DramTiming &dram_;
     int sizeBytes_;
@@ -107,6 +111,7 @@ class Cache : public sim::Component
     bool flushRequested_ = false;
     bool flushComplete_ = false;
     int flushCursor_ = 0;
+    sim::Component *flushListener_ = nullptr;
 };
 
 } // namespace soff::memsys

@@ -32,10 +32,9 @@ struct LocalBlockStats
 class LocalMemoryBlock : public sim::Component
 {
   public:
-    LocalMemoryBlock(const std::string &name, sim::Simulator &simulator,
-                     uint64_t var_bytes, int num_banks, int num_slots)
-        : Component(name), sim_(simulator), varBytes_(var_bytes),
-          numBanks_(num_banks),
+    LocalMemoryBlock(const std::string &name, uint64_t var_bytes,
+                     int num_banks, int num_slots)
+        : Component(name), varBytes_(var_bytes), numBanks_(num_banks),
           storage_(static_cast<size_t>(num_slots),
                    std::vector<uint8_t>(var_bytes, 0))
     {}
@@ -45,6 +44,8 @@ class LocalMemoryBlock : public sim::Component
     addPort(sim::Channel<sim::MemReq> *req,
             sim::Channel<sim::MemResp> *resp)
     {
+        watch(req);
+        watch(resp);
         ports_.push_back({req, resp, {}});
         return ports_.size() - 1;
     }
@@ -60,16 +61,21 @@ class LocalMemoryBlock : public sim::Component
                 port.resp->push(port.pending.front().second);
                 port.pending.pop_front();
             }
-            if (!port.pending.empty() &&
-                port.pending.front().first > now)
-                sim_.noteActivity();
         }
-        // Bank arbitration: each bank serves at most one port per cycle.
+        // Bank arbitration: each bank serves at most one port per
+        // cycle. The round-robin start is derived from the cycle
+        // number (not a per-step counter) so skipped idle cycles
+        // cannot shift the rotation.
         std::vector<bool> bank_busy(static_cast<size_t>(numBanks_),
                                     false);
         std::vector<bool> port_served(ports_.size(), false);
+        size_t rr = ports_.empty()
+                        ? 0
+                        : static_cast<size_t>(
+                              now % static_cast<sim::Cycle>(
+                                        ports_.size()));
         for (size_t k = 0; k < ports_.size(); ++k) {
-            size_t p = (rr_ + k) % ports_.size();
+            size_t p = (rr + k) % ports_.size();
             Port &port = ports_[p];
             if (!port.req->canPop() || port_served[p])
                 continue;
@@ -88,7 +94,21 @@ class LocalMemoryBlock : public sim::Component
                 {now + static_cast<sim::Cycle>(latency_), {result}});
             ++stats_.accesses;
         }
-        rr_ = ports_.empty() ? 0 : (rr_ + 1) % ports_.size();
+        // Pending responses maturing later are purely internal time.
+        bool timed = false;
+        sim::Cycle nearest = 0;
+        for (Port &port : ports_) {
+            if (!port.pending.empty() &&
+                port.pending.front().first > now) {
+                if (!timed || port.pending.front().first < nearest)
+                    nearest = port.pending.front().first;
+                timed = true;
+            }
+        }
+        if (timed) {
+            noteActivity();
+            wakeAt(nearest);
+        }
     }
 
     const LocalBlockStats &stats() const { return stats_; }
@@ -141,13 +161,11 @@ class LocalMemoryBlock : public sim::Component
         std::deque<std::pair<sim::Cycle, sim::MemResp>> pending;
     };
 
-    sim::Simulator &sim_;
     uint64_t varBytes_;
     int numBanks_;
     int latency_ = 2;
     std::vector<std::vector<uint8_t>> storage_;
     std::vector<Port> ports_;
-    size_t rr_ = 0;
     LocalBlockStats stats_;
 };
 

@@ -12,6 +12,12 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
+
+namespace soff::sim
+{
+class Component;
+}
 
 namespace soff::memsys
 {
@@ -48,8 +54,35 @@ class LockTable
 
     uint64_t acquisitions() const { return acquisitions_; }
 
+    /**
+     * Parks a component on a contended lock. A lock handoff is not
+     * channel traffic, so the event-driven scheduler relies on the
+     * releasing unit draining this list (takeWaiters) and waking each
+     * entry; a spuriously woken waiter just re-parks itself.
+     */
+    void
+    await(int index, sim::Component *c)
+    {
+        auto &list = waiters_[static_cast<size_t>(index)];
+        for (sim::Component *w : list) {
+            if (w == c)
+                return;
+        }
+        list.push_back(c);
+    }
+
+    /** Removes and returns the components parked on `index`. */
+    std::vector<sim::Component *>
+    takeWaiters(int index)
+    {
+        std::vector<sim::Component *> out;
+        out.swap(waiters_[static_cast<size_t>(index)]);
+        return out;
+    }
+
   private:
     std::array<const void *, kNumLocks> owner_ = {};
+    std::array<std::vector<sim::Component *>, kNumLocks> waiters_;
     uint64_t acquisitions_ = 0;
 };
 

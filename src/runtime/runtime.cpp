@@ -1,5 +1,7 @@
 #include "runtime/runtime.hpp"
 
+#include <algorithm>
+
 #include "baseline/interpreter.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -224,6 +226,61 @@ Program::needsReconfiguration(const core::CompiledKernel &kernel) const
 // ----------------------------------------------------------------------
 // Context
 // ----------------------------------------------------------------------
+namespace
+{
+
+/**
+ * CrossCheck verdict: the event-driven scheduler must be bit- and
+ * cycle-identical to the synchronous reference. Cycle counts and stats
+ * are compared for completed runs only — on deadlock the reference
+ * reports the heuristic idle-window cycle while the event-driven
+ * scheduler reports the exact quiescence cycle, by design.
+ */
+void
+crossCheckCompare(const std::string &kernel,
+                  const sim::Simulator::RunResult &ref,
+                  const sim::CircuitStats &ref_stats,
+                  const std::vector<uint8_t> &ref_mem,
+                  const sim::Simulator::RunResult &evt,
+                  const sim::CircuitStats &evt_stats,
+                  const memsys::GlobalMemory &memory)
+{
+    auto fail = [&](const std::string &what) {
+        throw RuntimeError("scheduler cross-check mismatch for kernel '" +
+                           kernel + "': " + what);
+    };
+    auto check = [&](const char *name, uint64_t a, uint64_t b) {
+        if (a != b) {
+            fail(strFormat("%s: reference=%llu event-driven=%llu", name,
+                           static_cast<unsigned long long>(a),
+                           static_cast<unsigned long long>(b)));
+        }
+    };
+    check("completed", ref.completed ? 1 : 0, evt.completed ? 1 : 0);
+    check("deadlock", ref.deadlock ? 1 : 0, evt.deadlock ? 1 : 0);
+    if (!ref.completed)
+        return;
+    check("cycles", ref.cycles, evt.cycles);
+    check("stats.cycles", ref_stats.cycles, evt_stats.cycles);
+    check("stats.cacheHits", ref_stats.cacheHits, evt_stats.cacheHits);
+    check("stats.cacheMisses", ref_stats.cacheMisses,
+          evt_stats.cacheMisses);
+    check("stats.cacheWritebacks", ref_stats.cacheWritebacks,
+          evt_stats.cacheWritebacks);
+    check("stats.dramTransfers", ref_stats.dramTransfers,
+          evt_stats.dramTransfers);
+    check("stats.localAccesses", ref_stats.localAccesses,
+          evt_stats.localAccesses);
+    check("stats.localBankConflicts", ref_stats.localBankConflicts,
+          evt_stats.localBankConflicts);
+    check("stats.numComponents", ref_stats.numComponents,
+          evt_stats.numComponents);
+    if (!std::equal(ref_mem.begin(), ref_mem.end(), memory.data()))
+        fail("final global memory contents differ");
+}
+
+} // namespace
+
 Buffer
 Context::createBuffer(uint64_t size)
 {
@@ -306,11 +363,41 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
         device_.setResidentKernel(ck.kernel->name());
     }
 
-    sim::KernelCircuit circuit(*ck.plan, launch, device_.globalMemory(),
-                               instances, platform);
     uint64_t total_work = ndrange.totalWorkItems();
     uint64_t max_cycles = 1000000ull + total_work * 50000ull;
+
+    sim::PlatformConfig plat = platform;
+    bool crosscheck =
+        plat.scheduler == sim::SchedulerMode::CrossCheck;
+    sim::Simulator::RunResult ref_run;
+    sim::CircuitStats ref_stats;
+    std::vector<uint8_t> ref_mem;
+    if (crosscheck) {
+        // Run the synchronous reference first on a scratch copy of
+        // global memory, so the event-driven run below starts from the
+        // same initial state (atomics and stores must not be applied
+        // twice).
+        memsys::GlobalMemory &mem = device_.globalMemory();
+        std::vector<uint8_t> snapshot(mem.data(),
+                                      mem.data() + mem.size());
+        plat.scheduler = sim::SchedulerMode::Reference;
+        sim::KernelCircuit ref_circuit(*ck.plan, launch, mem, instances,
+                                       plat);
+        ref_run = ref_circuit.run(max_cycles);
+        ref_stats = ref_circuit.stats();
+        ref_mem.assign(mem.data(), mem.data() + mem.size());
+        std::copy(snapshot.begin(), snapshot.end(), mem.data());
+        plat.scheduler = sim::SchedulerMode::EventDriven;
+    }
+
+    sim::KernelCircuit circuit(*ck.plan, launch, device_.globalMemory(),
+                               instances, plat);
     auto run = circuit.run(max_cycles);
+    if (crosscheck) {
+        crossCheckCompare(ck.kernel->name(), ref_run, ref_stats,
+                          ref_mem, run, circuit.stats(),
+                          device_.globalMemory());
+    }
     if (run.deadlock || !run.completed) {
         throw RuntimeError(strFormat(
             "kernel '%s' %s after %llu cycles",
@@ -321,6 +408,7 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
     result.cycles = run.cycles;
     result.instances = instances;
     result.stats = circuit.stats();
+    result.sched = circuit.simulator().schedulerStats();
     datapath::Resources used =
         ck.resourcesPerInstance.scaled(instances);
     result.fmaxMhz = datapath::estimateFmaxMhz(device_.fpga(), used);

@@ -92,6 +92,8 @@ struct LaunchResult
     int instances = 0;
     bool deadlock = false;
     sim::CircuitStats stats;
+    /** Scheduler-side counters (mode-dependent; not cross-checked). */
+    sim::SchedulerStats sched;
 };
 
 class Program;

@@ -10,10 +10,21 @@
  * that of its predecessors" plus the "additional register to maintain
  * its output" of §IV-C. The default capacity of 2 (main + skid
  * register) sustains one token per cycle.
+ *
+ * Storage is a fixed-capacity ring buffer sized at construction:
+ * capacities are small compile-plan constants (typically 2), so there
+ * is never an allocation or pointer chase in the hot path. Committed
+ * tokens occupy [head, head+committed); staged pushes follow them.
+ *
+ * For the event-driven scheduler a channel additionally
+ *  - registers itself on the simulator's dirty list at the first
+ *    staged push or pop of a cycle, so commit cost scales with the
+ *    cycle's traffic rather than with circuit size, and
+ *  - records its endpoint components (watchers) so a commit can wake
+ *    exactly the producer and consumer for the next cycle.
  */
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "support/error.hpp"
@@ -21,13 +32,49 @@
 namespace soff::sim
 {
 
-/** Type-erased base so the simulator can commit all channels. */
+class Component;
+
+/** Type-erased base so the simulator can commit and track channels. */
 class ChannelBase
 {
   public:
     virtual ~ChannelBase() = default;
     /** Applies this cycle's staged pops/pushes; true if state changed. */
     virtual bool commit() = 0;
+
+    /** Registers an endpoint component woken by every commit. */
+    void
+    addWatcher(Component *c)
+    {
+        for (Component *w : watchers_) {
+            if (w == c)
+                return;
+        }
+        watchers_.push_back(c);
+    }
+    const std::vector<Component *> &watchers() const { return watchers_; }
+
+    /** Binds the simulator's dirty list (event-driven commits). */
+    void bindDirtyList(std::vector<ChannelBase *> *list)
+    {
+        dirtyList_ = list;
+    }
+
+  protected:
+    void
+    markDirty()
+    {
+        if (!dirty_ && dirtyList_ != nullptr) {
+            dirty_ = true;
+            dirtyList_->push_back(this);
+        }
+    }
+    void clearDirty() { dirty_ = false; }
+
+  private:
+    std::vector<Component *> watchers_;
+    std::vector<ChannelBase *> *dirtyList_ = nullptr;
+    bool dirty_ = false;
 };
 
 /** A single-producer single-consumer staged FIFO channel. */
@@ -35,53 +82,59 @@ template <typename T>
 class Channel : public ChannelBase
 {
   public:
-    explicit Channel(size_t capacity) : cap_(capacity)
+    explicit Channel(size_t capacity) : cap_(capacity), buf_(capacity)
     {
         SOFF_ASSERT(capacity >= 1, "channel capacity must be >= 1");
     }
 
     /** Consumer side: a committed token is available. */
-    bool canPop() const { return !q_.empty() && !popped_; }
-    const T &peek() const { return q_.front(); }
+    bool canPop() const { return committed_ > 0 && !popped_; }
+    const T &peek() const { return buf_[head_]; }
     T
     pop()
     {
         SOFF_ASSERT(canPop(), "pop on empty channel");
         popped_ = true;
-        return q_.front();
+        markDirty();
+        return buf_[head_];
     }
 
     /** Producer side: space based on the committed occupancy. */
-    bool canPush() const { return q_.size() + staged_.size() < cap_; }
+    bool canPush() const { return committed_ + staged_ < cap_; }
     void
     push(T v)
     {
         SOFF_ASSERT(canPush(), "push on full channel");
-        staged_.push_back(std::move(v));
+        buf_[(head_ + committed_ + staged_) % cap_] = std::move(v);
+        ++staged_;
+        markDirty();
     }
 
     bool
     commit() override
     {
-        bool changed = popped_ || !staged_.empty();
+        bool changed = popped_ || staged_ > 0;
         if (popped_) {
-            q_.pop_front();
+            head_ = (head_ + 1) % cap_;
+            --committed_;
             popped_ = false;
         }
-        for (T &v : staged_)
-            q_.push_back(std::move(v));
-        staged_.clear();
+        committed_ += staged_;
+        staged_ = 0;
+        clearDirty();
         return changed;
     }
 
-    size_t size() const { return q_.size(); }
+    size_t size() const { return committed_; }
     size_t capacity() const { return cap_; }
-    bool empty() const { return q_.empty(); }
+    bool empty() const { return committed_ == 0; }
 
   private:
     size_t cap_;
-    std::deque<T> q_;
-    std::vector<T> staged_;
+    std::vector<T> buf_;
+    size_t head_ = 0;
+    size_t committed_ = 0;
+    size_t staged_ = 0;
     bool popped_ = false;
 };
 

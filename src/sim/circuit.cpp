@@ -13,7 +13,7 @@ KernelCircuit::KernelCircuit(const datapath::KernelPlan &plan,
                              int num_instances,
                              const PlatformConfig &platform)
     : plan_(plan), launch_(launch), memory_(memory),
-      numInstances_(num_instances),
+      numInstances_(num_instances), sim_(platform.scheduler),
       dram_(platform.dramLatency, platform.dramCyclesPerLine)
 {
     SOFF_ASSERT(num_instances >= 1, "need at least one datapath");
@@ -28,10 +28,11 @@ KernelCircuit::KernelCircuit(const datapath::KernelPlan &plan,
     int max_groups = 1 << 30;
     if (plan.usesLocalMemory || plan.usesBarrier)
         max_groups = plan.maxConcurrentGroups;
-    sim_.add<Dispatcher>("dispatcher", &launch_, rootInputs_,
-                         board_.get(), max_groups);
+    Dispatcher *dispatcher = sim_.add<Dispatcher>(
+        "dispatcher", &launch_, rootInputs_, board_.get(), max_groups);
     counter_ = sim_.add<WorkItemCounter>("counter", &launch_, terminals_,
                                          board_.get(), caches_);
+    counter_->setDispatcher(dispatcher);
 }
 
 void
@@ -383,7 +384,7 @@ KernelCircuit::buildMemorySubsystem()
         auto *req = sim_.channel<MemReq>(2);
         auto *resp = sim_.channel<MemResp>(4);
         memsys::Cache *cache = sim_.add<memsys::Cache>(
-            g.name, sim_, memory_, dram_, plan_.config.cacheSizeBytes,
+            g.name, memory_, dram_, plan_.config.cacheSizeBytes,
             plan_.config.cacheLineBytes, req, resp);
         caches_.push_back(cache);
         auto *arbiter = sim_.add<memsys::RRArbiter>(
@@ -422,7 +423,7 @@ KernelCircuit::buildMemorySubsystem()
             auto *block = sim_.add<memsys::LocalMemoryBlock>(
                 "dp" + std::to_string(inst) + ".lmem." +
                     lb.var->name(),
-                sim_, lb.var->sizeBytes(), lb.numBanks, lb.numSlots);
+                lb.var->sizeBytes(), lb.numBanks, lb.numSlots);
             localBlocks_.push_back(block);
             lockTables_.push_back(std::make_unique<memsys::LockTable>());
             memsys::LockTable *locks = lockTables_.back().get();
@@ -445,8 +446,8 @@ KernelCircuit::buildMemorySubsystem()
 Simulator::RunResult
 KernelCircuit::run(Cycle max_cycles, Cycle deadlock_window)
 {
-    auto result = sim_.run([this] { return counter_->completed(); },
-                           max_cycles, deadlock_window);
+    auto result = sim_.run(counter_->completedFlag(), max_cycles,
+                           deadlock_window);
     for (BarrierUnit *barrier : barriers_) {
         if (barrier->overflowed()) {
             throw RuntimeError("barrier work-group buffering overflow "

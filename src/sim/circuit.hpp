@@ -27,6 +27,9 @@ struct PlatformConfig
 {
     int dramLatency = 40;       ///< Cycles from request to line data.
     int dramCyclesPerLine = 4;  ///< Bandwidth: one 64B line / 4 cycles.
+    /** Simulation kernel. Results are identical across modes; the
+     *  runtime resolves CrossCheck by running one circuit per mode. */
+    SchedulerMode scheduler = SchedulerMode::EventDriven;
 };
 
 /** Aggregated execution statistics. */

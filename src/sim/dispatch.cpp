@@ -12,7 +12,10 @@ Dispatcher::Dispatcher(const std::string &name,
       board_(board), maxGroups_(max_groups_per_datapath),
       totalGroups_(launch->ndrange.totalGroups()),
       streams_(inputs_.size())
-{}
+{
+    for (Channel<WiToken> *ch : inputs_)
+        watch(ch);
+}
 
 void
 Dispatcher::step(Cycle)
@@ -49,7 +52,10 @@ WorkItemCounter::WorkItemCounter(
       terminals_(std::move(terminal_channels)), board_(board),
       caches_(std::move(caches)),
       total_(launch->ndrange.totalWorkItems())
-{}
+{
+    for (Channel<WiToken> *ch : terminals_)
+        watch(ch);
+}
 
 void
 WorkItemCounter::step(Cycle)
@@ -57,14 +63,19 @@ WorkItemCounter::step(Cycle)
     for (Channel<WiToken> *ch : terminals_) {
         if (ch->canPop()) {
             WiToken token = ch->pop();
-            board_->retire(token.wi);
+            // A completed work-group frees a dispatcher slot, which is
+            // not channel traffic the dispatcher could observe.
+            if (board_->retire(token.wi))
+                wakeOther(dispatcher_);
             ++count_;
         }
     }
     if (count_ >= total_ && !flushSent_) {
         flushSent_ = true;
-        for (memsys::Cache *cache : caches_)
-            cache->requestFlush();
+        for (memsys::Cache *cache : caches_) {
+            cache->requestFlush(this);
+            wakeOther(cache);
+        }
     }
     if (flushSent_ && !completed_) {
         bool all_flushed = true;

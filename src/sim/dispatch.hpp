@@ -38,12 +38,16 @@ class CompletionBoard
         ++inflight_[static_cast<size_t>(datapath)];
     }
 
-    void
+    /** Returns true when this retirement completes its work-group. */
+    bool
     retire(uint64_t wi)
     {
         uint64_t group = ndrange_.groupOf(wi);
-        if (--remaining_[group] == 0)
+        if (--remaining_[group] == 0) {
             --inflight_[static_cast<size_t>(owner_.at(group))];
+            return true;
+        }
+        return false;
     }
 
     int inflight(int datapath) const
@@ -97,8 +101,13 @@ class WorkItemCounter : public Component
 
     void step(Cycle now) override;
 
+    /** Group retirements free dispatcher slots; wake it (non-channel). */
+    void setDispatcher(Component *d) { dispatcher_ = d; }
+
     /** The completion register (§III-B). */
     bool completed() const { return completed_; }
+    /** Stable address of the completion register, polled by the run loop. */
+    const bool *completedFlag() const { return &completed_; }
     uint64_t retired() const { return count_; }
 
   private:
@@ -106,6 +115,7 @@ class WorkItemCounter : public Component
     std::vector<Channel<WiToken> *> terminals_;
     CompletionBoard *board_;
     std::vector<memsys::Cache *> caches_;
+    Component *dispatcher_ = nullptr;
     uint64_t count_ = 0;
     uint64_t total_;
     bool flushSent_ = false;

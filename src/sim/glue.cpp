@@ -110,6 +110,9 @@ LoopExit::step(Cycle)
     --state_->count;
     if (state_->count == 0 && state_->swgr)
         state_->groupActive = false;
+    // The gate count / SWGR state is not channel traffic: wake the
+    // entrance so it can re-evaluate its admission condition.
+    wakeOther(state_->entrance);
 }
 
 } // namespace soff::sim

@@ -27,11 +27,14 @@ class Router : public Component
     Router(const std::string &name, Channel<WiToken> *in,
            const LaunchContext *launch)
         : Component(name), in_(in), launch_(launch)
-    {}
+    {
+        watch(in_);
+    }
 
     void
     addOutput(Channel<WiToken> *ch, const datapath::Projection *proj)
     {
+        watch(ch);
         outs_.push_back({ch, proj});
     }
     /** Condition slot in the incoming layout (2-output routers). */
@@ -39,7 +42,12 @@ class Router : public Component
     /** Constant/argument condition fallback. */
     void setCondValue(const ir::Value *v) { condValue_ = v; }
     /** Work-group-order FIFO written on every forwarded token (§IV-F1). */
-    void setOrderFifo(Channel<uint64_t> *fifo) { orderFifo_ = fifo; }
+    void
+    setOrderFifo(Channel<uint64_t> *fifo)
+    {
+        watch(fifo);
+        orderFifo_ = fifo;
+    }
 
     void step(Cycle now) override;
 
@@ -73,14 +81,22 @@ class SelectUnit : public Component
     SelectUnit(const std::string &name, Channel<WiToken> *out,
                const LaunchContext *launch)
         : Component(name), out_(out), launch_(launch)
-    {}
+    {
+        watch(out_);
+    }
 
     void
     addInput(Channel<WiToken> *ch, bool back_edge_priority = false)
     {
+        watch(ch);
         ins_.push_back({ch, back_edge_priority});
     }
-    void setOrderFifo(Channel<uint64_t> *fifo) { orderFifo_ = fifo; }
+    void
+    setOrderFifo(Channel<uint64_t> *fifo)
+    {
+        watch(fifo);
+        orderFifo_ = fifo;
+    }
 
     void step(Cycle now) override;
 
@@ -106,6 +122,7 @@ struct LoopGateState
     bool swgr = false;       ///< §IV-F1 single-work-group region.
     bool groupActive = false;
     uint64_t currentGroup = 0;
+    Component *entrance = nullptr; ///< Woken by the exit glue.
 };
 
 /**
@@ -122,7 +139,11 @@ class LoopEntrance : public Component
                  const LaunchContext *launch)
         : Component(name), in_(in), out_(out), state_(std::move(state)),
           launch_(launch)
-    {}
+    {
+        watch(in_);
+        watch(out_);
+        state_->entrance = this;
+    }
 
     void step(Cycle now) override;
 
@@ -140,7 +161,10 @@ class LoopExit : public Component
     LoopExit(const std::string &name, Channel<WiToken> *in,
              Channel<WiToken> *out, std::shared_ptr<LoopGateState> state)
         : Component(name), in_(in), out_(out), state_(std::move(state))
-    {}
+    {
+        watch(in_);
+        watch(out_);
+    }
 
     void step(Cycle now) override;
 

@@ -1,16 +1,109 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 namespace soff::sim
 {
 
+const char *
+schedulerModeName(SchedulerMode mode)
+{
+    switch (mode) {
+      case SchedulerMode::Reference: return "reference";
+      case SchedulerMode::EventDriven: return "event-driven";
+      case SchedulerMode::CrossCheck: return "cross-check";
+    }
+    return "?";
+}
+
+void
+Component::wakeAt(Cycle cycle)
+{
+    if (sim_ != nullptr)
+        sim_->scheduleAt(this, cycle);
+}
+
+void
+Component::requestWake()
+{
+    if (sim_ != nullptr)
+        sim_->wakeComponent(this);
+}
+
+void
+Component::noteActivity()
+{
+    if (sim_ != nullptr)
+        sim_->noteActivity();
+}
+
+void
+Component::wakeOther(Component *c)
+{
+    if (sim_ != nullptr && c != nullptr)
+        sim_->wakeComponent(c);
+}
+
+void
+Simulator::scheduleAt(Component *c, Cycle cycle)
+{
+    if (mode_ != SchedulerMode::EventDriven)
+        return;
+    if (cycle <= now_ + 1) {
+        if (c->inNextList_)
+            return;
+        c->inNextList_ = true;
+        nextList_.push_back(c->index_);
+        return;
+    }
+    // Timer wake. Only the earliest pending timer is tracked: every
+    // step re-arms its timers from current state, so a component woken
+    // early simply re-registers any still-needed later deadline.
+    if (c->pendingWake_ <= cycle)
+        return;
+    c->pendingWake_ = cycle;
+    timerHeap_.push({cycle, c->index_});
+}
+
+void
+Simulator::wakeComponent(Component *c)
+{
+    if (mode_ != SchedulerMode::EventDriven)
+        return;
+    if (sweeping_ && c->index_ > currentList_[sweepPos_]) {
+        // The current cycle's in-order sweep has not reached c yet, so
+        // the synchronous reference would have it observe this wake's
+        // cause within the same cycle. Insert it into the in-flight
+        // wake list (kept sorted; the insert point is past the cursor).
+        if (c->inWakeList_)
+            return;
+        c->inWakeList_ = true;
+        auto it = std::lower_bound(
+            currentList_.begin() +
+                static_cast<ptrdiff_t>(sweepPos_) + 1,
+            currentList_.end(), c->index_);
+        currentList_.insert(it, c->index_);
+        return;
+    }
+    scheduleAt(c, now_ + 1);
+}
+
 Simulator::RunResult
-Simulator::run(const std::function<bool()> &done, Cycle max_cycles,
-               Cycle deadlock_window)
+Simulator::run(const bool *done, Cycle max_cycles, Cycle deadlock_window)
+{
+    if (mode_ == SchedulerMode::EventDriven)
+        return runEventDriven(done, max_cycles);
+    return runReference(done, max_cycles, deadlock_window);
+}
+
+Simulator::RunResult
+Simulator::runReference(const bool *done, Cycle max_cycles,
+                        Cycle deadlock_window)
 {
     RunResult result;
     Cycle idle = 0;
     while (now_ < max_cycles) {
-        if (done()) {
+        if (done != nullptr && *done) {
             result.completed = true;
             result.cycles = now_;
             return result;
@@ -18,10 +111,15 @@ Simulator::run(const std::function<bool()> &done, Cycle max_cycles,
         activity_ = false;
         for (auto &c : components_)
             c->step(now_);
+        stats_.componentSteps += components_.size();
         for (auto &ch : channels_) {
-            if (ch->commit())
+            if (ch->commit()) {
                 activity_ = true;
+                ++stats_.channelCommits;
+            }
         }
+        dirtyChannels_.clear();
+        ++stats_.cyclesActive;
         ++now_;
         if (activity_) {
             idle = 0;
@@ -33,6 +131,99 @@ Simulator::run(const std::function<bool()> &done, Cycle max_cycles,
     }
     result.cycles = now_;
     return result;
+}
+
+Simulator::RunResult
+Simulator::runEventDriven(const bool *done, Cycle max_cycles)
+{
+    RunResult result;
+    if (!seeded_) {
+        // Every component steps at the first cycle, exactly as the
+        // synchronous reference does; quiescence takes over from there.
+        seeded_ = true;
+        for (auto &c : components_) {
+            c->inNextList_ = true;
+            nextList_.push_back(c->index_);
+        }
+    }
+    while (now_ < max_cycles) {
+        if (done != nullptr && *done) {
+            result.completed = true;
+            result.cycles = now_;
+            return result;
+        }
+        // Drop stale timer entries (superseded by an earlier wake).
+        while (!timerHeap_.empty() &&
+               components_[timerHeap_.top().index]->pendingWake_ !=
+                   timerHeap_.top().cycle) {
+            timerHeap_.pop();
+        }
+        if (nextList_.empty()) {
+            if (timerHeap_.empty()) {
+                // Exact deadlock: nothing is scheduled and channels
+                // are quiet, so no component can ever act again.
+                result.deadlock = true;
+                result.cycles = now_;
+                return result;
+            }
+            Cycle next = timerHeap_.top().cycle;
+            SOFF_ASSERT(next >= now_, "timer wake in the past");
+            if (next >= max_cycles) {
+                now_ = max_cycles;
+                break;
+            }
+            now_ = next; // jump the clock over the idle gap
+        }
+        gatherWakes();
+        sweeping_ = true;
+        for (sweepPos_ = 0; sweepPos_ < currentList_.size();
+             ++sweepPos_) {
+            Component *c = components_[currentList_[sweepPos_]].get();
+            c->inWakeList_ = false;
+            ++stats_.componentSteps;
+            c->step(now_);
+            if (c->alwaysAwake_)
+                scheduleAt(c, now_ + 1);
+        }
+        sweeping_ = false;
+        currentList_.clear();
+        // Commit only the channels touched this cycle; each commit
+        // wakes the channel's endpoints for the next cycle.
+        for (ChannelBase *ch : dirtyChannels_) {
+            if (ch->commit())
+                ++stats_.channelCommits;
+            for (Component *w : ch->watchers())
+                scheduleAt(w, now_ + 1);
+        }
+        dirtyChannels_.clear();
+        ++stats_.cyclesActive;
+        ++now_;
+    }
+    result.cycles = now_;
+    return result;
+}
+
+void
+Simulator::gatherWakes()
+{
+    currentList_.swap(nextList_);
+    for (uint32_t index : currentList_) {
+        components_[index]->inNextList_ = false;
+        components_[index]->inWakeList_ = true;
+    }
+    while (!timerHeap_.empty() && timerHeap_.top().cycle == now_) {
+        HeapEntry e = timerHeap_.top();
+        timerHeap_.pop();
+        Component *c = components_[e.index].get();
+        if (c->pendingWake_ != e.cycle)
+            continue; // stale
+        c->pendingWake_ = Component::kNoWake;
+        if (!c->inWakeList_) {
+            c->inWakeList_ = true;
+            currentList_.push_back(e.index);
+        }
+    }
+    std::sort(currentList_.begin(), currentList_.end());
 }
 
 } // namespace soff::sim

@@ -1,16 +1,38 @@
 /**
  * @file
- * The synchronous cycle-level simulation kernel.
+ * The cycle-level simulation kernel.
  *
- * All components are stepped once per clock cycle in creation order,
- * then all channels commit their staged transfers. Communication is
- * exclusively through channels, so intra-cycle ordering between
- * components is unobservable and the simulation is deterministic.
+ * Two schedulers produce bit- and cycle-identical results:
+ *
+ *  - Reference (synchronous): all components are stepped once per
+ *    clock cycle in creation order, then all channels commit their
+ *    staged transfers. Communication is exclusively through channels,
+ *    so intra-cycle ordering between components is unobservable and
+ *    the simulation is deterministic.
+ *
+ *  - EventDriven (quiescence-aware): a component is stepped only when
+ *    it is on the current cycle's wake list. It gets there via channel
+ *    activity (a committed push/pop wakes both endpoints for the next
+ *    cycle), a self-scheduled timer (`wakeAt`, for DRAM latency and
+ *    similar purely internal timed state), a cross-component wake
+ *    (`wakeOther`, for non-channel couplings such as lock tables and
+ *    loop gates), or the always-awake opt-out. Only channels touched
+ *    this cycle commit (dirty list), and idle gaps are skipped by
+ *    jumping the clock to the next wake. Because the reference steps
+ *    every component every cycle, a spurious wake can never diverge
+ *    from it — equivalence only requires that no *needed* wake is
+ *    missed, and that per-step state in components is either guarded
+ *    by channel/timer conditions or derived from the cycle number.
+ *
+ * In EventDriven mode the deadlock watchdog is exact: an empty wake
+ * queue with the completion flag unset *is* a deadlock (nothing can
+ * ever happen again), replacing the reference scheduler's
+ * idle-window heuristic.
  */
 #pragma once
 
-#include <functional>
 #include <memory>
+#include <queue>
 #include <string>
 #include <vector>
 
@@ -21,6 +43,24 @@ namespace soff::sim
 {
 
 class Simulator;
+
+/** Which simulation kernel drives the circuit. */
+enum class SchedulerMode
+{
+    Reference,   ///< Synchronous: step everything, commit everything.
+    EventDriven, ///< Wake lists + dirty-channel commits + clock jumps.
+    CrossCheck,  ///< Run both, assert identical results (runtime level).
+};
+
+const char *schedulerModeName(SchedulerMode mode);
+
+/** Counters for the scheduler itself (bench/sim_throughput). */
+struct SchedulerStats
+{
+    uint64_t componentSteps = 0; ///< step() invocations performed.
+    uint64_t cyclesActive = 0;   ///< Cycles actually processed.
+    uint64_t channelCommits = 0; ///< Channel commits applied.
+};
 
 /** A clocked circuit component. */
 class Component
@@ -36,15 +76,50 @@ class Component
 
     const std::string &name() const { return name_; }
 
+  protected:
+    /** Registers this component as an endpoint of `ch`. */
+    void
+    watch(ChannelBase *ch)
+    {
+        if (ch != nullptr)
+            ch->addWatcher(this);
+    }
+
+    /** Schedules a timer wake for this component at `cycle`. */
+    void wakeAt(Cycle cycle);
+    /** Requests a wake for this component as soon as legal. */
+    void requestWake();
+    /** Wakes another component (non-channel coupling). */
+    void wakeOther(Component *c);
+    /** Opts into unconditional per-cycle stepping. */
+    void setAlwaysAwake() { alwaysAwake_ = true; }
+    /** Reference-mode watchdog hint: busy despite quiet channels. */
+    void noteActivity();
+
   private:
+    friend class Simulator;
+
+    static constexpr Cycle kNoWake = ~Cycle{0};
+
     std::string name_;
+    Simulator *sim_ = nullptr;
+    uint32_t index_ = 0;
+    Cycle pendingWake_ = kNoWake; ///< Earliest heap-scheduled wake.
+    bool inWakeList_ = false;     ///< Queued for the current cycle.
+    bool inNextList_ = false;     ///< Queued for the next cycle.
+    bool alwaysAwake_ = false;
 };
 
 /** Owns components and channels; advances the global clock. */
 class Simulator
 {
   public:
-    Simulator() = default;
+    explicit Simulator(SchedulerMode mode = SchedulerMode::Reference)
+        : mode_(mode)
+    {
+        SOFF_ASSERT(mode != SchedulerMode::CrossCheck,
+                    "CrossCheck is resolved above the simulator");
+    }
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
@@ -55,6 +130,8 @@ class Simulator
     {
         auto c = std::make_unique<T>(std::forward<Args>(args)...);
         T *raw = c.get();
+        raw->sim_ = this;
+        raw->index_ = static_cast<uint32_t>(components_.size());
         components_.push_back(std::move(c));
         return raw;
     }
@@ -66,6 +143,7 @@ class Simulator
     {
         auto ch = std::make_unique<Channel<T>>(capacity);
         Channel<T> *raw = ch.get();
+        raw->bindDirtyList(&dirtyChannels_);
         channels_.push_back(std::move(ch));
         return raw;
     }
@@ -73,7 +151,9 @@ class Simulator
     /**
      * Components with purely internal timed state (DRAM in flight,
      * cache flush walks) call this so quiet-but-busy cycles do not
-     * count toward the deadlock window.
+     * count toward the reference scheduler's deadlock window. (The
+     * event-driven scheduler ignores it; such components arm explicit
+     * `wakeAt` timers instead.)
      */
     void noteActivity() { activity_ = true; }
 
@@ -85,22 +165,66 @@ class Simulator
     };
 
     /**
-     * Runs until done() returns true, the deadlock watchdog fires (no
-     * channel transfer and no reported activity for `deadlock_window`
-     * consecutive cycles), or `max_cycles` elapse.
+     * Runs until `*done` becomes true (checked at cycle boundaries —
+     * completion is a circuit-level register, not a per-cycle
+     * callback), deadlock is detected, or `max_cycles` elapse.
+     * `deadlock_window` applies to the reference scheduler's idle
+     * heuristic only; the event-driven scheduler detects the exact
+     * quiescence cycle.
      */
-    RunResult run(const std::function<bool()> &done, Cycle max_cycles,
+    RunResult run(const bool *done, Cycle max_cycles,
                   Cycle deadlock_window = 100000);
 
+    SchedulerMode mode() const { return mode_; }
     Cycle now() const { return now_; }
     size_t numComponents() const { return components_.size(); }
     size_t numChannels() const { return channels_.size(); }
+    const SchedulerStats &schedulerStats() const { return stats_; }
+
+    /** Schedules `c` at `cycle` (>= the current cycle). */
+    void scheduleAt(Component *c, Cycle cycle);
+    /**
+     * Wakes `c` with same-cycle visibility semantics: if the current
+     * cycle's in-order sweep has not yet passed `c`, it is stepped
+     * this cycle (as the synchronous reference would), otherwise next
+     * cycle.
+     */
+    void wakeComponent(Component *c);
 
   private:
+    RunResult runReference(const bool *done, Cycle max_cycles,
+                           Cycle deadlock_window);
+    RunResult runEventDriven(const bool *done, Cycle max_cycles);
+    void gatherWakes();
+
+    struct HeapEntry
+    {
+        Cycle cycle;
+        uint32_t index;
+        bool operator>(const HeapEntry &o) const
+        {
+            return cycle > o.cycle ||
+                   (cycle == o.cycle && index > o.index);
+        }
+    };
+
+    SchedulerMode mode_;
     std::vector<std::unique_ptr<Component>> components_;
     std::vector<std::unique_ptr<ChannelBase>> channels_;
     Cycle now_ = 0;
     bool activity_ = false;
+    SchedulerStats stats_;
+
+    // Event-driven machinery.
+    std::vector<ChannelBase *> dirtyChannels_;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>>
+        timerHeap_;
+    std::vector<uint32_t> currentList_; ///< This cycle's wake list.
+    std::vector<uint32_t> nextList_;    ///< Next cycle's wake list.
+    size_t sweepPos_ = 0;
+    bool sweeping_ = false;
+    bool seeded_ = false;
 };
 
 } // namespace soff::sim

@@ -73,6 +73,7 @@ ComputeUnit::ComputeUnit(const std::string &name,
 void
 ComputeUnit::addInput(Channel<Flit> *ch, const ir::Value *value)
 {
+    watch(ch);
     ins_.push_back({ch, value});
 }
 
@@ -94,6 +95,18 @@ ComputeUnit::resolveOperand(const ir::Value *op,
 
 void
 ComputeUnit::step(Cycle now)
+{
+    stepBody(now);
+    // Every stall except "result not ready yet" is covered by a watched
+    // channel (an input push, a consumer pop, or our own pushes/pops
+    // committing); a pending result maturing is purely internal time,
+    // so arm a timer for it.
+    if (!pipe_.empty() && pipe_.front().ready > now)
+        wakeAt(pipe_.front().ready);
+}
+
+void
+ComputeUnit::stepBody(Cycle now)
 {
     // Retire: the oldest result leaves when every consumer has room.
     if (!pipe_.empty() && pipe_.front().ready <= now) {
@@ -151,6 +164,7 @@ MemUnit::MemUnit(const std::string &name, const ir::Instruction *inst,
 void
 MemUnit::addInput(Channel<Flit> *ch, const ir::Value *value)
 {
+    watch(ch);
     ins_.push_back({ch, value});
 }
 
@@ -204,8 +218,14 @@ MemUnit::step(Cycle)
             MemResp resp = resp_->pop();
             Pending pending = inflight_.front();
             inflight_.pop_front();
-            if (pending.lockIndex >= 0)
+            if (pending.lockIndex >= 0) {
                 locks_->release(pending.lockIndex, this);
+                // A lock handoff is not channel traffic: wake the
+                // units spinning on this lock so they can retry.
+                for (Component *w :
+                     locks_->takeWaiters(pending.lockIndex))
+                    wakeOther(w);
+            }
             Flit flit;
             flit.wi = pending.wi;
             flit.val = convertResponse(resp.data);
@@ -281,7 +301,11 @@ MemUnit::step(Cycle)
         lock_index = memsys::LockTable::lockIndex(req.addr);
         if (locks_ == nullptr ||
             !locks_->tryAcquire(lock_index, this)) {
-            return; // lock contention: stall this cycle (§IV-F2)
+            // Lock contention: stall this cycle (§IV-F2) and park on
+            // the lock so its release can wake us.
+            if (locks_ != nullptr)
+                locks_->await(lock_index, this);
+            return;
         }
     }
     // Commit the input pops.
@@ -303,7 +327,10 @@ BarrierUnit::BarrierUnit(const std::string &name, Channel<WiToken> *in,
                          int max_waiting_groups)
     : Component(name), in_(in), out_(out), launch_(launch),
       maxGroups_(static_cast<size_t>(max_waiting_groups))
-{}
+{
+    watch(in_);
+    watch(out_);
+}
 
 void
 BarrierUnit::step(Cycle)

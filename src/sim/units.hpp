@@ -24,12 +24,15 @@ class SourceUnit : public Component
   public:
     SourceUnit(const std::string &name, Channel<WiToken> *in)
         : Component(name), in_(in)
-    {}
+    {
+        watch(in_);
+    }
 
     /** live_index: slot in the input layout; -1 for trigger edges. */
     void
     addOutput(Channel<Flit> *ch, int live_index)
     {
+        watch(ch);
         outs_.push_back({ch, live_index});
     }
 
@@ -53,12 +56,15 @@ class SinkUnit : public Component
     SinkUnit(const std::string &name, Channel<WiToken> *out,
              size_t layout_size)
         : Component(name), out_(out), layoutSize_(layout_size)
-    {}
+    {
+        watch(out_);
+    }
 
     /** sink_index: slot in the sink layout; -1 for ordering edges. */
     void
     addInput(Channel<Flit> *ch, int sink_index)
     {
+        watch(ch);
         ins_.push_back({ch, sink_index});
     }
 
@@ -84,11 +90,17 @@ class ComputeUnit : public Component
                 int latency, const LaunchContext *launch);
 
     void addInput(Channel<Flit> *ch, const ir::Value *value);
-    void addOutput(Channel<Flit> *ch) { outs_.push_back(ch); }
+    void
+    addOutput(Channel<Flit> *ch)
+    {
+        watch(ch);
+        outs_.push_back(ch);
+    }
 
     void step(Cycle now) override;
 
   private:
+    void stepBody(Cycle now);
     ir::RtValue resolveOperand(const ir::Value *op,
                                const std::vector<Flit> &flits) const;
 
@@ -124,12 +136,19 @@ class MemUnit : public Component
             int near_max_latency, const LaunchContext *launch);
 
     void addInput(Channel<Flit> *ch, const ir::Value *value);
-    void addOutput(Channel<Flit> *ch) { outs_.push_back(ch); }
+    void
+    addOutput(Channel<Flit> *ch)
+    {
+        watch(ch);
+        outs_.push_back(ch);
+    }
     void
     setMemPort(Channel<MemReq> *req, Channel<MemResp> *resp)
     {
         req_ = req;
         resp_ = resp;
+        watch(req_);
+        watch(resp_);
     }
     /** Atomics: the 16-lock table shared with the target cache/block. */
     void setLockTable(memsys::LockTable *locks) { locks_ = locks; }

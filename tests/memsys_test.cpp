@@ -30,7 +30,7 @@ struct CacheRig
     {
         in = sim.channel<MemReq>(8);
         out = sim.channel<MemResp>(8);
-        cache = sim.add<Cache>("c", sim, memory, dram, 4096, 64, in,
+        cache = sim.add<Cache>("c", memory, dram, 4096, 64, in,
                                out);
     }
 
@@ -120,9 +120,9 @@ TEST(Cache, ByteDirtyMaskMergesDisjointWrites)
     auto *out1 = sim.channel<MemResp>(8);
     auto *in2 = sim.channel<MemReq>(8);
     auto *out2 = sim.channel<MemResp>(8);
-    Cache *c1 = sim.add<Cache>("c1", sim, memory, dram, 4096, 64, in1,
+    Cache *c1 = sim.add<Cache>("c1", memory, dram, 4096, 64, in1,
                                out1);
-    Cache *c2 = sim.add<Cache>("c2", sim, memory, dram, 4096, 64, in2,
+    Cache *c2 = sim.add<Cache>("c2", memory, dram, 4096, 64, in2,
                                out2);
     auto drive = [&](Cache *cache, Channel<MemReq> *in,
                      Channel<MemResp> *out, const MemReq &req) {
@@ -208,7 +208,7 @@ TEST(Arbiter, RoutesResponsesToOriginInOrder)
     DramTiming dram(10, 1);
     auto *creq = sim.channel<MemReq>(4);
     auto *cresp = sim.channel<MemResp>(4);
-    Cache *cache = sim.add<Cache>("c", sim, memory, dram, 4096, 64,
+    Cache *cache = sim.add<Cache>("c", memory, dram, 4096, 64,
                                   creq, cresp);
     auto *arb = sim.add<RRArbiter>("arb", creq, cresp);
     auto *req0 = sim.channel<MemReq>(4);
@@ -242,7 +242,7 @@ TEST(Arbiter, RoutesResponsesToOriginInOrder)
 TEST(LocalBlock, SlotsIsolateWorkGroups)
 {
     sim::Simulator sim;
-    auto *block = sim.add<LocalMemoryBlock>("lmem", sim, 64, 2, 2);
+    auto *block = sim.add<LocalMemoryBlock>("lmem", 64, 2, 2);
     auto *req = sim.channel<MemReq>(4);
     auto *resp = sim.channel<MemResp>(8);
     block->addPort(req, resp);
@@ -275,7 +275,7 @@ TEST(LocalBlock, SlotsIsolateWorkGroups)
 TEST(LocalBlock, BankConflictsSerialize)
 {
     sim::Simulator sim;
-    auto *block = sim.add<LocalMemoryBlock>("lmem", sim, 256, 2, 1);
+    auto *block = sim.add<LocalMemoryBlock>("lmem", 256, 2, 1);
     auto *req0 = sim.channel<MemReq>(4);
     auto *resp0 = sim.channel<MemResp>(8);
     auto *req1 = sim.channel<MemReq>(4);

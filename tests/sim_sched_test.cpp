@@ -1,0 +1,269 @@
+/** @file Scheduler-equivalence tests: the event-driven kernel must be
+ *  bit- and cycle-identical to the synchronous reference on every
+ *  benchmark application (cross-check mode), detect deadlocks at the
+ *  exact quiescence cycle, and honor timer wakeups across clock
+ *  jumps. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "benchsuite/suite.hpp"
+#include "runtime/runtime.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace soff
+{
+namespace
+{
+
+sim::NDRange
+range1d(uint64_t global, uint64_t local)
+{
+    sim::NDRange nd;
+    nd.globalSize[0] = global;
+    nd.localSize[0] = local;
+    return nd;
+}
+
+// --- Cross-check over the full benchmark suite -------------------------
+
+/** Every runnable application, executed in CrossCheck mode: the runtime
+ *  runs one circuit per scheduler and throws unless RunResult,
+ *  CircuitStats, and final global memory are bit-identical. */
+class CrossCheckRun : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(CrossCheckRun, EventDrivenMatchesReference)
+{
+    const benchsuite::App *app = benchsuite::findApp(GetParam());
+    ASSERT_NE(app, nullptr);
+    benchsuite::BenchContext ctx(benchsuite::Engine::SoffSim);
+    sim::PlatformConfig platform;
+    platform.scheduler = sim::SchedulerMode::CrossCheck;
+    ctx.setPlatformConfig(platform);
+    if (app->expectInsufficientResources) {
+        EXPECT_THROW(benchsuite::runApp(*app, ctx), RuntimeError);
+        return;
+    }
+    EXPECT_TRUE(benchsuite::runApp(*app, ctx)) << app->name;
+}
+
+std::vector<std::string>
+allAppNames()
+{
+    std::vector<std::string> names;
+    for (const benchsuite::App &app : benchsuite::allApps())
+        names.push_back(app.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, CrossCheckRun, ::testing::ValuesIn(allAppNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+// --- Randomized cross-mode equivalence on small kernels ----------------
+
+/** Runs one kernel launch under both schedulers from identical initial
+ *  memory and compares cycle counts, stats, and output bytes. */
+class RandomizedEquivalence : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RandomizedEquivalence, IdenticalCyclesStatsAndMemory)
+{
+    const char *src =
+        "__kernel void mix(__global int* A, __global int* B, int n) {\n"
+        "  int i = get_global_id(0);\n"
+        "  int acc = 0;\n"
+        "  for (int k = 0; k <= i % 7; k++) acc += A[(i + k) % n];\n"
+        "  if (acc % 3 == 0) atomic_add(&B[i % 16], acc);\n"
+        "  else B[16 + i % 16] = acc;\n"
+        "}\n";
+    SplitMix64 rng(static_cast<uint64_t>(GetParam()));
+    const uint64_t local = 1ull << (1 + rng.next() % 4); // 2..16
+    const uint64_t n = local * (1 + rng.next() % 8);
+    std::vector<int32_t> a(n);
+    for (auto &v : a)
+        v = static_cast<int32_t>(rng.next() % 1000);
+
+    rt::LaunchResult results[2];
+    std::vector<int32_t> out[2];
+    const sim::SchedulerMode modes[2] = {sim::SchedulerMode::Reference,
+                                         sim::SchedulerMode::EventDriven};
+    for (int m = 0; m < 2; ++m) {
+        rt::Context ctx;
+        rt::Program prog = ctx.buildProgram(src);
+        auto kernel = prog.createKernel("mix");
+        rt::Buffer ba = ctx.createBuffer(n * 4);
+        rt::Buffer bb = ctx.createBuffer(32 * 4);
+        std::vector<int32_t> zeros(32, 0);
+        ctx.writeBuffer(ba, a.data(), n * 4);
+        ctx.writeBuffer(bb, zeros.data(), 32 * 4);
+        kernel.setArg(0, ba);
+        kernel.setArg(1, bb);
+        kernel.setArg(2, static_cast<int32_t>(n));
+        sim::PlatformConfig platform;
+        platform.scheduler = modes[m];
+        results[m] = ctx.enqueueNDRange(kernel, range1d(n, local),
+                                        rt::ExecutionMode::Simulate,
+                                        platform);
+        out[m].resize(32);
+        ctx.readBuffer(bb, out[m].data(), 32 * 4);
+    }
+    EXPECT_EQ(results[0].cycles, results[1].cycles);
+    EXPECT_EQ(results[0].stats.cacheHits, results[1].stats.cacheHits);
+    EXPECT_EQ(results[0].stats.cacheMisses,
+              results[1].stats.cacheMisses);
+    EXPECT_EQ(results[0].stats.dramTransfers,
+              results[1].stats.dramTransfers);
+    EXPECT_EQ(results[0].stats.localBankConflicts,
+              results[1].stats.localBankConflicts);
+    EXPECT_EQ(out[0], out[1]);
+    // The event-driven scheduler must not do *more* work than the
+    // reference, which steps every component every cycle.
+    EXPECT_LE(results[1].sched.componentSteps,
+              results[0].sched.componentSteps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedEquivalence,
+                         ::testing::Range(1, 9));
+
+// --- Exact deadlock detection ------------------------------------------
+
+/** Produces into a bounded channel; stalls for good once it fills. */
+class StallingProducer : public sim::Component
+{
+  public:
+    explicit StallingProducer(sim::Channel<int> *out)
+        : Component("producer"), out_(out)
+    {
+        watch(out);
+    }
+    void
+    step(sim::Cycle) override
+    {
+        if (out_->canPush())
+            out_->push(1);
+    }
+
+  private:
+    sim::Channel<int> *out_;
+};
+
+/** Watches its input but never consumes: the §IV-E deadlock. */
+class NonConsumer : public sim::Component
+{
+  public:
+    explicit NonConsumer(sim::Channel<int> *in)
+        : Component("blackhole"), in_(in)
+    {
+        watch(in);
+    }
+    void step(sim::Cycle) override { (void)in_; }
+
+  private:
+    sim::Channel<int> *in_;
+};
+
+TEST(EventDriven, DeadlockDetectedAtExactQuiescenceCycle)
+{
+    auto runOnce = [] {
+        sim::Simulator sim(sim::SchedulerMode::EventDriven);
+        auto *ch = sim.channel<int>(2);
+        sim.add<StallingProducer>(ch);
+        sim.add<NonConsumer>(ch);
+        return sim.run(nullptr, 1000000);
+    };
+    sim::Simulator::RunResult first = runOnce();
+    EXPECT_TRUE(first.deadlock);
+    EXPECT_FALSE(first.completed);
+    // Quiescence is reached as soon as the channel fills: no heuristic
+    // idle window, so detection is immediate and deterministic.
+    EXPECT_LT(first.cycles, 10u);
+    sim::Simulator::RunResult second = runOnce();
+    EXPECT_EQ(first.cycles, second.cycles) << "exact, not heuristic";
+
+    // The reference scheduler needs its idle-window heuristic and
+    // reports the deadlock only after the window expires.
+    sim::Simulator ref(sim::SchedulerMode::Reference);
+    auto *ch = ref.channel<int>(2);
+    ref.add<StallingProducer>(ch);
+    ref.add<NonConsumer>(ch);
+    sim::Simulator::RunResult heuristic = ref.run(nullptr, 1000000, 500);
+    EXPECT_TRUE(heuristic.deadlock);
+    EXPECT_GT(heuristic.cycles, first.cycles);
+}
+
+// --- Timer wakeups across clock jumps ----------------------------------
+
+/** A component with no channels: it re-arms a far-future timer each
+ *  step, so the scheduler must jump the clock across the idle gap. */
+class SparseTicker : public sim::Component
+{
+  public:
+    SparseTicker(std::vector<sim::Cycle> *ticks, bool *done)
+        : Component("ticker"), ticks_(ticks), done_(done)
+    {}
+    void
+    step(sim::Cycle now) override
+    {
+        if (now < next_) // timer guard: reference steps every cycle
+            return;
+        ticks_->push_back(now);
+        if (ticks_->size() >= 5) {
+            *done_ = true;
+        } else {
+            next_ = now + 1000;
+            wakeAt(next_);
+        }
+    }
+
+  private:
+    std::vector<sim::Cycle> *ticks_;
+    bool *done_;
+    sim::Cycle next_ = 0;
+};
+
+TEST(EventDriven, TimerWakeupsAcrossClockJumps)
+{
+    sim::Simulator sim(sim::SchedulerMode::EventDriven);
+    std::vector<sim::Cycle> ticks;
+    bool done = false;
+    sim.add<SparseTicker>(&ticks, &done);
+    sim::Simulator::RunResult result = sim.run(&done, 1000000);
+    EXPECT_TRUE(result.completed);
+    ASSERT_EQ(ticks.size(), 5u);
+    for (size_t i = 0; i < ticks.size(); ++i)
+        EXPECT_EQ(ticks[i], i * 1000) << "tick " << i;
+    EXPECT_GT(result.cycles, 4000u);
+    // Only the five tick cycles were processed; the ~4000 idle cycles
+    // in between were jumped over.
+    EXPECT_LE(sim.schedulerStats().cyclesActive, 6u);
+    EXPECT_EQ(sim.schedulerStats().componentSteps, 5u);
+}
+
+/** Same circuit under the reference scheduler: identical ticks, but
+ *  every idle cycle is processed. */
+TEST(Reference, TimerCircuitMatchesButProcessesEveryCycle)
+{
+    sim::Simulator sim(sim::SchedulerMode::Reference);
+    std::vector<sim::Cycle> ticks;
+    bool done = false;
+    sim.add<SparseTicker>(&ticks, &done);
+    sim::Simulator::RunResult result = sim.run(&done, 1000000);
+    EXPECT_TRUE(result.completed);
+    ASSERT_EQ(ticks.size(), 5u);
+    for (size_t i = 0; i < ticks.size(); ++i)
+        EXPECT_EQ(ticks[i], i * 1000) << "tick " << i;
+    EXPECT_GE(sim.schedulerStats().componentSteps, 4000u);
+}
+
+} // namespace
+} // namespace soff

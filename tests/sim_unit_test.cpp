@@ -103,7 +103,7 @@ TEST(Simulator, WatchdogDetectsInjectedDeadlock)
     auto *ch = sim.channel<int>(2);
     sim.add<Producer>(ch);
     sim.add<BlackHole>(ch);
-    auto result = sim.run([] { return false; }, 1000000, 500);
+    auto result = sim.run(nullptr, 1000000, 500);
     EXPECT_TRUE(result.deadlock);
     EXPECT_LT(result.cycles, 10000u)
         << "stall detected within the watchdog window";
@@ -115,11 +115,12 @@ TEST(Simulator, CompletionBeatsWatchdog)
     auto *ch = sim.channel<int>(2);
     sim.add<Producer>(ch);
     int received = 0;
+    bool done = false;
     class Consumer : public Component
     {
       public:
-        Consumer(Channel<int> *in, int *count)
-            : Component("consumer"), in_(in), count_(count)
+        Consumer(Channel<int> *in, int *count, bool *done)
+            : Component("consumer"), in_(in), count_(count), done_(done)
         {}
         void
         step(Cycle) override
@@ -128,15 +129,16 @@ TEST(Simulator, CompletionBeatsWatchdog)
                 in_->pop();
                 ++*count_;
             }
+            *done_ = *count_ >= 50;
         }
 
       private:
         Channel<int> *in_;
         int *count_;
+        bool *done_;
     };
-    sim.add<Consumer>(ch, &received);
-    auto result =
-        sim.run([&] { return received >= 50; }, 100000, 1000);
+    sim.add<Consumer>(ch, &received, &done);
+    auto result = sim.run(&done, 100000, 1000);
     EXPECT_TRUE(result.completed);
     EXPECT_FALSE(result.deadlock);
 }
