@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_split.dir/ablation_cache_split.cpp.o"
+  "CMakeFiles/ablation_cache_split.dir/ablation_cache_split.cpp.o.d"
+  "ablation_cache_split"
+  "ablation_cache_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

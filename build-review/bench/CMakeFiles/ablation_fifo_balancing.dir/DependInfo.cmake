@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_fifo_balancing.cpp" "bench/CMakeFiles/ablation_fifo_balancing.dir/ablation_fifo_balancing.cpp.o" "gcc" "bench/CMakeFiles/ablation_fifo_balancing.dir/ablation_fifo_balancing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/benchsuite/CMakeFiles/soff_benchsuite.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runtime/CMakeFiles/soff_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/soff_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/frontend/CMakeFiles/soff_frontend.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/transform/CMakeFiles/soff_transform.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/soff_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baseline/CMakeFiles/soff_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/datapath/CMakeFiles/soff_datapath.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dfg/CMakeFiles/soff_dfg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/soff_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/memsys/CMakeFiles/soff_memsys.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/soff_sim_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ir/CMakeFiles/soff_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/soff_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

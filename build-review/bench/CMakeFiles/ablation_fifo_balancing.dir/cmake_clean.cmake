@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fifo_balancing.dir/ablation_fifo_balancing.cpp.o"
+  "CMakeFiles/ablation_fifo_balancing.dir/ablation_fifo_balancing.cpp.o.d"
+  "ablation_fifo_balancing"
+  "ablation_fifo_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fifo_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

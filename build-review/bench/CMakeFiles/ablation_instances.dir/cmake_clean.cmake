@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_instances.dir/ablation_instances.cpp.o"
+  "CMakeFiles/ablation_instances.dir/ablation_instances.cpp.o.d"
+  "ablation_instances"
+  "ablation_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

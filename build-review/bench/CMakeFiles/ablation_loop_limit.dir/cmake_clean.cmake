@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loop_limit.dir/ablation_loop_limit.cpp.o"
+  "CMakeFiles/ablation_loop_limit.dir/ablation_loop_limit.cpp.o.d"
+  "ablation_loop_limit"
+  "ablation_loop_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loop_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_near_max_latency.dir/ablation_near_max_latency.cpp.o"
+  "CMakeFiles/ablation_near_max_latency.dir/ablation_near_max_latency.cpp.o.d"
+  "ablation_near_max_latency"
+  "ablation_near_max_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_near_max_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_near_max_latency.
+# This may be replaced when dependencies are built.

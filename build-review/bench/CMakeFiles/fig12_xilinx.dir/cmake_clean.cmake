@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_xilinx.dir/fig12_xilinx.cpp.o"
+  "CMakeFiles/fig12_xilinx.dir/fig12_xilinx.cpp.o.d"
+  "fig12_xilinx"
+  "fig12_xilinx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_xilinx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

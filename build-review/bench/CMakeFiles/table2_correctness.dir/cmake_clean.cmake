@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_correctness.dir/table2_correctness.cpp.o"
+  "CMakeFiles/table2_correctness.dir/table2_correctness.cpp.o.d"
+  "table2_correctness"
+  "table2_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

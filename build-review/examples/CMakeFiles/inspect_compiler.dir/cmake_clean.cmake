@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_compiler.dir/inspect_compiler.cpp.o"
+  "CMakeFiles/inspect_compiler.dir/inspect_compiler.cpp.o.d"
+  "inspect_compiler"
+  "inspect_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

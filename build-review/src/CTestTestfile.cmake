@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("frontend")
+subdirs("transform")
+subdirs("analysis")
+subdirs("dfg")
+subdirs("datapath")
+subdirs("sim")
+subdirs("memsys")
+subdirs("verilog")
+subdirs("baseline")
+subdirs("runtime")
+subdirs("core")
+subdirs("benchsuite")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cfg.cpp" "src/analysis/CMakeFiles/soff_analysis.dir/cfg.cpp.o" "gcc" "src/analysis/CMakeFiles/soff_analysis.dir/cfg.cpp.o.d"
+  "/root/repo/src/analysis/control_tree.cpp" "src/analysis/CMakeFiles/soff_analysis.dir/control_tree.cpp.o" "gcc" "src/analysis/CMakeFiles/soff_analysis.dir/control_tree.cpp.o.d"
+  "/root/repo/src/analysis/dominators.cpp" "src/analysis/CMakeFiles/soff_analysis.dir/dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/soff_analysis.dir/dominators.cpp.o.d"
+  "/root/repo/src/analysis/features.cpp" "src/analysis/CMakeFiles/soff_analysis.dir/features.cpp.o" "gcc" "src/analysis/CMakeFiles/soff_analysis.dir/features.cpp.o.d"
+  "/root/repo/src/analysis/liveness.cpp" "src/analysis/CMakeFiles/soff_analysis.dir/liveness.cpp.o" "gcc" "src/analysis/CMakeFiles/soff_analysis.dir/liveness.cpp.o.d"
+  "/root/repo/src/analysis/pointer_analysis.cpp" "src/analysis/CMakeFiles/soff_analysis.dir/pointer_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/soff_analysis.dir/pointer_analysis.cpp.o.d"
+  "/root/repo/src/analysis/uniformity.cpp" "src/analysis/CMakeFiles/soff_analysis.dir/uniformity.cpp.o" "gcc" "src/analysis/CMakeFiles/soff_analysis.dir/uniformity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ir/CMakeFiles/soff_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/soff_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

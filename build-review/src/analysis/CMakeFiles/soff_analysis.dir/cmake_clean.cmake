@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soff_analysis.dir/cfg.cpp.o"
+  "CMakeFiles/soff_analysis.dir/cfg.cpp.o.d"
+  "CMakeFiles/soff_analysis.dir/control_tree.cpp.o"
+  "CMakeFiles/soff_analysis.dir/control_tree.cpp.o.d"
+  "CMakeFiles/soff_analysis.dir/dominators.cpp.o"
+  "CMakeFiles/soff_analysis.dir/dominators.cpp.o.d"
+  "CMakeFiles/soff_analysis.dir/features.cpp.o"
+  "CMakeFiles/soff_analysis.dir/features.cpp.o.d"
+  "CMakeFiles/soff_analysis.dir/liveness.cpp.o"
+  "CMakeFiles/soff_analysis.dir/liveness.cpp.o.d"
+  "CMakeFiles/soff_analysis.dir/pointer_analysis.cpp.o"
+  "CMakeFiles/soff_analysis.dir/pointer_analysis.cpp.o.d"
+  "CMakeFiles/soff_analysis.dir/uniformity.cpp.o"
+  "CMakeFiles/soff_analysis.dir/uniformity.cpp.o.d"
+  "libsoff_analysis.a"
+  "libsoff_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soff_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soff_baseline.dir/compat.cpp.o"
+  "CMakeFiles/soff_baseline.dir/compat.cpp.o.d"
+  "CMakeFiles/soff_baseline.dir/interpreter.cpp.o"
+  "CMakeFiles/soff_baseline.dir/interpreter.cpp.o.d"
+  "CMakeFiles/soff_baseline.dir/static_pipeline.cpp.o"
+  "CMakeFiles/soff_baseline.dir/static_pipeline.cpp.o.d"
+  "libsoff_baseline.a"
+  "libsoff_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soff_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

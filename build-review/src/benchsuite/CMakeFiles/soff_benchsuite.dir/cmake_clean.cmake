@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soff_benchsuite.dir/apps_poly.cpp.o"
+  "CMakeFiles/soff_benchsuite.dir/apps_poly.cpp.o.d"
+  "CMakeFiles/soff_benchsuite.dir/apps_spec.cpp.o"
+  "CMakeFiles/soff_benchsuite.dir/apps_spec.cpp.o.d"
+  "CMakeFiles/soff_benchsuite.dir/bench_context.cpp.o"
+  "CMakeFiles/soff_benchsuite.dir/bench_context.cpp.o.d"
+  "CMakeFiles/soff_benchsuite.dir/suite.cpp.o"
+  "CMakeFiles/soff_benchsuite.dir/suite.cpp.o.d"
+  "libsoff_benchsuite.a"
+  "libsoff_benchsuite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soff_benchsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soff_core.dir/compiler.cpp.o"
+  "CMakeFiles/soff_core.dir/compiler.cpp.o.d"
+  "libsoff_core.a"
+  "libsoff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

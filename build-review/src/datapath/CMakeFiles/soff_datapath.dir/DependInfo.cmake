@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datapath/balance.cpp" "src/datapath/CMakeFiles/soff_datapath.dir/balance.cpp.o" "gcc" "src/datapath/CMakeFiles/soff_datapath.dir/balance.cpp.o.d"
+  "/root/repo/src/datapath/latency.cpp" "src/datapath/CMakeFiles/soff_datapath.dir/latency.cpp.o" "gcc" "src/datapath/CMakeFiles/soff_datapath.dir/latency.cpp.o.d"
+  "/root/repo/src/datapath/planner.cpp" "src/datapath/CMakeFiles/soff_datapath.dir/planner.cpp.o" "gcc" "src/datapath/CMakeFiles/soff_datapath.dir/planner.cpp.o.d"
+  "/root/repo/src/datapath/resource.cpp" "src/datapath/CMakeFiles/soff_datapath.dir/resource.cpp.o" "gcc" "src/datapath/CMakeFiles/soff_datapath.dir/resource.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/dfg/CMakeFiles/soff_dfg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/soff_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ir/CMakeFiles/soff_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/soff_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

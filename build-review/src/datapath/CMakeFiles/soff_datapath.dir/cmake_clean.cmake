@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soff_datapath.dir/balance.cpp.o"
+  "CMakeFiles/soff_datapath.dir/balance.cpp.o.d"
+  "CMakeFiles/soff_datapath.dir/latency.cpp.o"
+  "CMakeFiles/soff_datapath.dir/latency.cpp.o.d"
+  "CMakeFiles/soff_datapath.dir/planner.cpp.o"
+  "CMakeFiles/soff_datapath.dir/planner.cpp.o.d"
+  "CMakeFiles/soff_datapath.dir/resource.cpp.o"
+  "CMakeFiles/soff_datapath.dir/resource.cpp.o.d"
+  "libsoff_datapath.a"
+  "libsoff_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soff_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soff_dfg.dir/dfg.cpp.o"
+  "CMakeFiles/soff_dfg.dir/dfg.cpp.o.d"
+  "libsoff_dfg.a"
+  "libsoff_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soff_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

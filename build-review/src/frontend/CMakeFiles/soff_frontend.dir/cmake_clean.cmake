@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soff_frontend.dir/irgen.cpp.o"
+  "CMakeFiles/soff_frontend.dir/irgen.cpp.o.d"
+  "CMakeFiles/soff_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/soff_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/soff_frontend.dir/parser.cpp.o"
+  "CMakeFiles/soff_frontend.dir/parser.cpp.o.d"
+  "libsoff_frontend.a"
+  "libsoff_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soff_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soff_ir.dir/builder.cpp.o"
+  "CMakeFiles/soff_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/soff_ir.dir/eval.cpp.o"
+  "CMakeFiles/soff_ir.dir/eval.cpp.o.d"
+  "CMakeFiles/soff_ir.dir/instruction.cpp.o"
+  "CMakeFiles/soff_ir.dir/instruction.cpp.o.d"
+  "CMakeFiles/soff_ir.dir/kernel.cpp.o"
+  "CMakeFiles/soff_ir.dir/kernel.cpp.o.d"
+  "CMakeFiles/soff_ir.dir/printer.cpp.o"
+  "CMakeFiles/soff_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/soff_ir.dir/type.cpp.o"
+  "CMakeFiles/soff_ir.dir/type.cpp.o.d"
+  "CMakeFiles/soff_ir.dir/verifier.cpp.o"
+  "CMakeFiles/soff_ir.dir/verifier.cpp.o.d"
+  "libsoff_ir.a"
+  "libsoff_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soff_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

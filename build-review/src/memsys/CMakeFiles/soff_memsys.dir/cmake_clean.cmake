@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soff_memsys.dir/cache.cpp.o"
+  "CMakeFiles/soff_memsys.dir/cache.cpp.o.d"
+  "libsoff_memsys.a"
+  "libsoff_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soff_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

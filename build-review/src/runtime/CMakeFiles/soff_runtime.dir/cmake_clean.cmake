@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soff_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/soff_runtime.dir/runtime.cpp.o.d"
+  "libsoff_runtime.a"
+  "libsoff_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soff_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soff_sim.dir/circuit.cpp.o"
+  "CMakeFiles/soff_sim.dir/circuit.cpp.o.d"
+  "CMakeFiles/soff_sim.dir/dispatch.cpp.o"
+  "CMakeFiles/soff_sim.dir/dispatch.cpp.o.d"
+  "CMakeFiles/soff_sim.dir/glue.cpp.o"
+  "CMakeFiles/soff_sim.dir/glue.cpp.o.d"
+  "CMakeFiles/soff_sim.dir/units.cpp.o"
+  "CMakeFiles/soff_sim.dir/units.cpp.o.d"
+  "libsoff_sim.a"
+  "libsoff_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soff_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

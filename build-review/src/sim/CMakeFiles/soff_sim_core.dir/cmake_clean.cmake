@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soff_sim_core.dir/simulator.cpp.o"
+  "CMakeFiles/soff_sim_core.dir/simulator.cpp.o.d"
+  "libsoff_sim_core.a"
+  "libsoff_sim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soff_sim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soff_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/soff_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/soff_support.dir/error.cpp.o"
+  "CMakeFiles/soff_support.dir/error.cpp.o.d"
+  "CMakeFiles/soff_support.dir/strings.cpp.o"
+  "CMakeFiles/soff_support.dir/strings.cpp.o.d"
+  "libsoff_support.a"
+  "libsoff_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soff_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

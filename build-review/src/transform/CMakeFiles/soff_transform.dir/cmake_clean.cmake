@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soff_transform.dir/inliner.cpp.o"
+  "CMakeFiles/soff_transform.dir/inliner.cpp.o.d"
+  "CMakeFiles/soff_transform.dir/mem2reg.cpp.o"
+  "CMakeFiles/soff_transform.dir/mem2reg.cpp.o.d"
+  "CMakeFiles/soff_transform.dir/shape.cpp.o"
+  "CMakeFiles/soff_transform.dir/shape.cpp.o.d"
+  "CMakeFiles/soff_transform.dir/simplify.cpp.o"
+  "CMakeFiles/soff_transform.dir/simplify.cpp.o.d"
+  "CMakeFiles/soff_transform.dir/util.cpp.o"
+  "CMakeFiles/soff_transform.dir/util.cpp.o.d"
+  "libsoff_transform.a"
+  "libsoff_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soff_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soff_verilog.dir/emit.cpp.o"
+  "CMakeFiles/soff_verilog.dir/emit.cpp.o.d"
+  "libsoff_verilog.a"
+  "libsoff_verilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soff_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datapath_test.dir/datapath_test.cpp.o"
+  "CMakeFiles/datapath_test.dir/datapath_test.cpp.o.d"
+  "datapath_test"
+  "datapath_test.pdb"
+  "datapath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datapath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

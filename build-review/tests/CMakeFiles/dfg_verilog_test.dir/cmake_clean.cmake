@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfg_verilog_test.dir/dfg_verilog_test.cpp.o"
+  "CMakeFiles/dfg_verilog_test.dir/dfg_verilog_test.cpp.o.d"
+  "dfg_verilog_test"
+  "dfg_verilog_test.pdb"
+  "dfg_verilog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfg_verilog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_unit_test.dir/sim_unit_test.cpp.o"
+  "CMakeFiles/sim_unit_test.dir/sim_unit_test.cpp.o.d"
+  "sim_unit_test"
+  "sim_unit_test.pdb"
+  "sim_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/support_test[1]_include.cmake")
+include("/root/repo/build-review/tests/ir_test[1]_include.cmake")
+include("/root/repo/build-review/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build-review/tests/transform_test[1]_include.cmake")
+include("/root/repo/build-review/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-review/tests/benchsuite_test[1]_include.cmake")
+include("/root/repo/build-review/tests/datapath_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_unit_test[1]_include.cmake")
+include("/root/repo/build-review/tests/memsys_test[1]_include.cmake")
+include("/root/repo/build-review/tests/dfg_verilog_test[1]_include.cmake")
+include("/root/repo/build-review/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_sched_test[1]_include.cmake")
+include("/root/repo/build-review/tests/property_test[1]_include.cmake")
