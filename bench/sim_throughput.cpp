@@ -1,18 +1,22 @@
 /**
  * @file
  * Host-side throughput of the simulation kernel itself: the same
- * applications executed under the synchronous reference scheduler and
- * the quiescence-aware event-driven scheduler (identical simulated
- * cycles by construction — see tests/sim_sched_test.cpp), comparing
- * wall-clock time, simulated-cycles-per-second, and component steps
- * avoided. A high-DRAM-latency configuration makes the memory-bound
- * applications idle-heavy, which is where quiescence tracking pays.
+ * applications executed under the synchronous reference scheduler, the
+ * quiescence-aware event-driven scheduler, and the sharded parallel
+ * scheduler at several worker counts (identical simulated cycles by
+ * construction — see tests/sim_sched_test.cpp), comparing wall-clock
+ * time, simulated-cycles-per-second, and component steps avoided. A
+ * high-DRAM-latency configuration makes the memory-bound applications
+ * idle-heavy, which is where quiescence tracking pays; the default
+ * configuration is where sharding across datapath instances pays.
  *
  * Writes BENCH_sim.json next to the binary (consumed by CI).
  */
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "benchsuite/suite.hpp"
@@ -32,6 +36,14 @@ struct Workload
     const char *config;  ///< "default" or "membound".
     int dramLatency;
     int dramCyclesPerLine;
+    bool threadSweep; ///< Run the parallel scheduler sweep too.
+};
+
+struct ParallelPoint
+{
+    int threads = 0;
+    double wallMs = 0.0;
+    bool verified = false;
 };
 
 struct Row
@@ -43,18 +55,21 @@ struct Row
     uint64_t refSteps = 0;
     uint64_t evtSteps = 0;
     uint64_t evtCyclesActive = 0;
+    int instances = 0;
     bool verified = false;
+    std::vector<ParallelPoint> parallel;
 };
 
 /** Runs one app on one scheduler; returns wall ms (simulation only —
  *  the compile happens outside the timed region). */
 double
 timedRun(const App &app, sim::SchedulerMode mode, const Workload &load,
-         benchsuite::RunMetrics &metrics, bool &verified)
+         int threads, benchsuite::RunMetrics &metrics, bool &verified)
 {
     BenchContext ctx(Engine::SoffSim);
     sim::PlatformConfig platform;
     platform.scheduler = mode;
+    platform.threads = threads;
     platform.dramLatency = load.dramLatency;
     platform.dramCyclesPerLine = load.dramCyclesPerLine;
     ctx.setPlatformConfig(platform);
@@ -74,30 +89,50 @@ cyclesPerSec(uint64_t cycles, double wall_ms)
                          : 0.0;
 }
 
+/** 1/2/4/hardware_concurrency(), deduplicated and sorted. */
+std::vector<int>
+sweepThreadCounts()
+{
+    std::vector<int> counts = {
+        1, 2, 4, static_cast<int>(std::thread::hardware_concurrency())};
+    std::sort(counts.begin(), counts.end());
+    counts.erase(std::unique(counts.begin(), counts.end()),
+                 counts.end());
+    counts.erase(std::remove_if(counts.begin(), counts.end(),
+                                [](int c) { return c < 1; }),
+                 counts.end());
+    return counts;
+}
+
 } // namespace
 
 int
 main()
 {
     // 112.spmv and 103.stencil are the memory-bound representatives;
-    // gemm is the compute-bound control where stalls are rarer.
+    // gemm is the compute-bound control where stalls are rarer. The
+    // default-config rows additionally sweep the parallel scheduler's
+    // worker count (the membound rows are idle-dominated, so sharding
+    // has little left to win there).
     const std::vector<Workload> workloads = {
-        {"103.stencil", "default", 40, 4},
-        {"112.spmv", "default", 40, 4},
-        {"gemm", "default", 40, 4},
-        {"103.stencil", "membound", 400, 16},
-        {"112.spmv", "membound", 400, 16},
-        {"gemm", "membound", 400, 16},
+        {"103.stencil", "default", 40, 4, true},
+        {"112.spmv", "default", 40, 4, true},
+        {"gemm", "default", 40, 4, true},
+        {"103.stencil", "membound", 400, 16, false},
+        {"112.spmv", "membound", 400, 16, false},
+        {"gemm", "membound", 400, 16, false},
     };
+    const std::vector<int> sweep = sweepThreadCounts();
 
     std::printf("Simulation-kernel throughput: reference vs "
-                "event-driven scheduler\n");
-    std::printf("%-14s %-9s %10s %10s %8s %9s %12s\n", "Application",
-                "config", "ref (ms)", "evt (ms)", "speedup",
-                "steps", "Mcyc/s evt");
+                "event-driven vs sharded parallel scheduler\n");
+    std::printf("%-14s %-9s %5s %10s %10s %8s %9s %12s\n",
+                "Application", "config", "inst", "ref (ms)", "evt (ms)",
+                "speedup", "steps", "Mcyc/s evt");
 
     std::vector<Row> rows;
     double max_speedup = 0.0;
+    double max_parallel_speedup = 0.0;
     for (const Workload &load : workloads) {
         const App *app = benchsuite::findApp(load.app);
         SOFF_ASSERT(app != nullptr, "unknown bench app");
@@ -107,15 +142,16 @@ main()
         benchsuite::RunMetrics ref_metrics, evt_metrics;
         bool ref_ok = false, evt_ok = false;
         row.refWallMs = timedRun(*app, sim::SchedulerMode::Reference,
-                                 load, ref_metrics, ref_ok);
+                                 load, 0, ref_metrics, ref_ok);
         row.evtWallMs = timedRun(*app, sim::SchedulerMode::EventDriven,
-                                 load, evt_metrics, evt_ok);
+                                 load, 0, evt_metrics, evt_ok);
         row.verified = ref_ok && evt_ok &&
                        ref_metrics.cycles == evt_metrics.cycles;
         row.simCycles = evt_metrics.cycles;
         row.refSteps = ref_metrics.componentSteps;
         row.evtSteps = evt_metrics.componentSteps;
         row.evtCyclesActive = evt_metrics.cyclesActive;
+        row.instances = evt_metrics.instances;
         double speedup =
             row.evtWallMs > 0.0 ? row.refWallMs / row.evtWallMs : 0.0;
         max_speedup = std::max(max_speedup, speedup);
@@ -126,19 +162,50 @@ main()
                       static_cast<double>(row.refSteps - row.evtSteps) /
                       static_cast<double>(row.refSteps)
                 : 0.0;
-        std::printf("%-14s %-9s %10.2f %10.2f %7.2fx %8.1f%% %12.2f%s\n",
-                    load.app, load.config, row.refWallMs, row.evtWallMs,
-                    speedup, steps_avoided_pct,
-                    cyclesPerSec(row.simCycles, row.evtWallMs) / 1e6,
-                    row.verified ? "" : "  [MISMATCH]");
+        std::printf(
+            "%-14s %-9s %5d %10.2f %10.2f %7.2fx %8.1f%% %12.2f%s\n",
+            load.app, load.config, row.instances, row.refWallMs,
+            row.evtWallMs, speedup, steps_avoided_pct,
+            cyclesPerSec(row.simCycles, row.evtWallMs) / 1e6,
+            row.verified ? "" : "  [MISMATCH]");
+
+        if (load.threadSweep) {
+            for (int threads : sweep) {
+                benchsuite::RunMetrics par_metrics;
+                bool par_ok = false;
+                ParallelPoint point;
+                point.threads = threads;
+                point.wallMs =
+                    timedRun(*app, sim::SchedulerMode::Parallel, load,
+                             threads, par_metrics, par_ok);
+                point.verified = par_ok && row.verified &&
+                                 par_metrics.cycles == row.simCycles;
+                double par_speedup = point.wallMs > 0.0
+                                         ? row.evtWallMs / point.wallMs
+                                         : 0.0;
+                max_parallel_speedup =
+                    std::max(max_parallel_speedup, par_speedup);
+                std::printf("  parallel x%-2d %5d %10s %10.2f %7.2fx "
+                            "(vs evt) %15.2f%s\n",
+                            threads, par_metrics.instances, "",
+                            point.wallMs, par_speedup,
+                            cyclesPerSec(row.simCycles, point.wallMs) /
+                                1e6,
+                            point.verified ? "" : "  [MISMATCH]");
+                row.parallel.push_back(point);
+            }
+        }
         rows.push_back(row);
     }
 
     std::FILE *out = std::fopen("BENCH_sim.json", "w");
     SOFF_ASSERT(out != nullptr, "cannot write BENCH_sim.json");
     std::fprintf(out, "{\n  \"benchmark\": \"sim_throughput\",\n");
-    std::fprintf(out, "  \"maxSpeedup\": %.3f,\n  \"rows\": [\n",
-                 max_speedup);
+    std::fprintf(out, "  \"hardwareConcurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"maxSpeedup\": %.3f,\n", max_speedup);
+    std::fprintf(out, "  \"maxParallelSpeedup\": %.3f,\n  \"rows\": [\n",
+                 max_parallel_speedup);
     for (size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
         double speedup =
@@ -146,7 +213,7 @@ main()
         std::fprintf(
             out,
             "    {\"app\": \"%s\", \"config\": \"%s\", "
-            "\"dramLatency\": %d,\n"
+            "\"dramLatency\": %d, \"instances\": %d,\n"
             "     \"refWallMs\": %.3f, \"evtWallMs\": %.3f, "
             "\"speedup\": %.3f,\n"
             "     \"simCycles\": %llu, "
@@ -154,26 +221,43 @@ main()
             "     \"refComponentSteps\": %llu, "
             "\"evtComponentSteps\": %llu, "
             "\"evtCyclesActive\": %llu,\n"
-            "     \"verified\": %s}%s\n",
-            r.load.app, r.load.config, r.load.dramLatency, r.refWallMs,
-            r.evtWallMs, speedup,
+            "     \"verified\": %s,\n"
+            "     \"parallel\": [",
+            r.load.app, r.load.config, r.load.dramLatency, r.instances,
+            r.refWallMs, r.evtWallMs, speedup,
             static_cast<unsigned long long>(r.simCycles),
             cyclesPerSec(r.simCycles, r.refWallMs),
             cyclesPerSec(r.simCycles, r.evtWallMs),
             static_cast<unsigned long long>(r.refSteps),
             static_cast<unsigned long long>(r.evtSteps),
             static_cast<unsigned long long>(r.evtCyclesActive),
-            r.verified ? "true" : "false",
-            i + 1 < rows.size() ? "," : "");
+            r.verified ? "true" : "false");
+        for (size_t p = 0; p < r.parallel.size(); ++p) {
+            const ParallelPoint &pt = r.parallel[p];
+            std::fprintf(
+                out,
+                "%s\n       {\"threads\": %d, \"wallMs\": %.3f, "
+                "\"speedupVsEvt\": %.3f, \"verified\": %s}",
+                p > 0 ? "," : "", pt.threads, pt.wallMs,
+                pt.wallMs > 0.0 ? r.evtWallMs / pt.wallMs : 0.0,
+                pt.verified ? "true" : "false");
+        }
+        std::fprintf(out, "%s]}%s\n", r.parallel.empty() ? "" : "\n     ",
+                     i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
 
     bool all_verified = true;
-    for (const Row &r : rows)
+    for (const Row &r : rows) {
         all_verified = all_verified && r.verified;
-    std::printf("\nmax wall-clock speedup: %.2fx; results %s\n",
-                max_speedup,
+        for (const ParallelPoint &pt : r.parallel)
+            all_verified = all_verified && pt.verified;
+    }
+    std::printf("\nmax wall-clock speedup: %.2fx (event-driven vs "
+                "reference), %.2fx (parallel vs event-driven); "
+                "results %s\n",
+                max_speedup, max_parallel_speedup,
                 all_verified ? "identical across schedulers"
                              : "MISMATCHED");
     return all_verified ? 0 : 1;

@@ -1,6 +1,9 @@
 #include "runtime/runtime.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <thread>
 
 #include "baseline/interpreter.hpp"
 #include "support/error.hpp"
@@ -230,52 +233,89 @@ namespace
 {
 
 /**
- * CrossCheck verdict: the event-driven scheduler must be bit- and
- * cycle-identical to the synchronous reference. Cycle counts and stats
- * are compared for completed runs only — on deadlock the reference
- * reports the heuristic idle-window cycle while the event-driven
- * scheduler reports the exact quiescence cycle, by design.
+ * Environment overrides. SOFF_SCHEDULER selects the simulation kernel
+ * by name ("reference", "event-driven", "parallel", "cross-check") —
+ * applied only when the caller left the default, so code that
+ * explicitly pins a mode (tests, the cross-check itself) is not
+ * affected. SOFF_THREADS sets the parallel worker count when the
+ * caller left it at 0 (auto).
  */
 void
-crossCheckCompare(const std::string &kernel,
-                  const sim::Simulator::RunResult &ref,
-                  const sim::CircuitStats &ref_stats,
-                  const std::vector<uint8_t> &ref_mem,
-                  const sim::Simulator::RunResult &evt,
-                  const sim::CircuitStats &evt_stats,
-                  const memsys::GlobalMemory &memory)
+applyEnvOverrides(sim::PlatformConfig &plat)
+{
+    if (plat.scheduler == sim::SchedulerMode::EventDriven) {
+        const char *name = std::getenv("SOFF_SCHEDULER");
+        if (name != nullptr && *name != '\0') {
+            sim::SchedulerMode mode;
+            if (!sim::schedulerModeFromName(name, &mode)) {
+                throw RuntimeError(std::string("unknown SOFF_SCHEDULER '") +
+                                   name + "'");
+            }
+            plat.scheduler = mode;
+        }
+    }
+    if (plat.threads == 0) {
+        const char *threads = std::getenv("SOFF_THREADS");
+        if (threads != nullptr && *threads != '\0')
+            plat.threads = std::atoi(threads);
+    }
+}
+
+/** One scheduler's complete outcome, for cross-check comparison. */
+struct ModeRun
+{
+    sim::Simulator::RunResult run;
+    sim::CircuitStats stats;
+    sim::SchedulerStats sched;
+    uint64_t retired = 0;
+    std::vector<uint8_t> mem; ///< Final global memory contents.
+};
+
+/**
+ * CrossCheck verdict: every scheduler must be bit- and cycle-identical
+ * to the synchronous reference. Cycle counts and stats are compared
+ * for completed runs only — on deadlock the reference reports the
+ * heuristic idle-window cycle while the event-driven schedulers report
+ * the exact quiescence cycle, by design.
+ */
+void
+crossCheckCompare(const std::string &kernel, const char *mode,
+                  const ModeRun &ref, const ModeRun &alt)
 {
     auto fail = [&](const std::string &what) {
         throw RuntimeError("scheduler cross-check mismatch for kernel '" +
-                           kernel + "': " + what);
+                           kernel + "' (reference vs " + mode +
+                           "): " + what);
     };
     auto check = [&](const char *name, uint64_t a, uint64_t b) {
         if (a != b) {
-            fail(strFormat("%s: reference=%llu event-driven=%llu", name,
-                           static_cast<unsigned long long>(a),
+            fail(strFormat("%s: reference=%llu %s=%llu", name,
+                           static_cast<unsigned long long>(a), mode,
                            static_cast<unsigned long long>(b)));
         }
     };
-    check("completed", ref.completed ? 1 : 0, evt.completed ? 1 : 0);
-    check("deadlock", ref.deadlock ? 1 : 0, evt.deadlock ? 1 : 0);
-    if (!ref.completed)
+    check("completed", ref.run.completed ? 1 : 0,
+          alt.run.completed ? 1 : 0);
+    check("deadlock", ref.run.deadlock ? 1 : 0, alt.run.deadlock ? 1 : 0);
+    if (!ref.run.completed)
         return;
-    check("cycles", ref.cycles, evt.cycles);
-    check("stats.cycles", ref_stats.cycles, evt_stats.cycles);
-    check("stats.cacheHits", ref_stats.cacheHits, evt_stats.cacheHits);
-    check("stats.cacheMisses", ref_stats.cacheMisses,
-          evt_stats.cacheMisses);
-    check("stats.cacheWritebacks", ref_stats.cacheWritebacks,
-          evt_stats.cacheWritebacks);
-    check("stats.dramTransfers", ref_stats.dramTransfers,
-          evt_stats.dramTransfers);
-    check("stats.localAccesses", ref_stats.localAccesses,
-          evt_stats.localAccesses);
-    check("stats.localBankConflicts", ref_stats.localBankConflicts,
-          evt_stats.localBankConflicts);
-    check("stats.numComponents", ref_stats.numComponents,
-          evt_stats.numComponents);
-    if (!std::equal(ref_mem.begin(), ref_mem.end(), memory.data()))
+    check("cycles", ref.run.cycles, alt.run.cycles);
+    check("retiredWorkItems", ref.retired, alt.retired);
+    check("stats.cycles", ref.stats.cycles, alt.stats.cycles);
+    check("stats.cacheHits", ref.stats.cacheHits, alt.stats.cacheHits);
+    check("stats.cacheMisses", ref.stats.cacheMisses,
+          alt.stats.cacheMisses);
+    check("stats.cacheWritebacks", ref.stats.cacheWritebacks,
+          alt.stats.cacheWritebacks);
+    check("stats.dramTransfers", ref.stats.dramTransfers,
+          alt.stats.dramTransfers);
+    check("stats.localAccesses", ref.stats.localAccesses,
+          alt.stats.localAccesses);
+    check("stats.localBankConflicts", ref.stats.localBankConflicts,
+          alt.stats.localBankConflicts);
+    check("stats.numComponents", ref.stats.numComponents,
+          alt.stats.numComponents);
+    if (ref.mem != alt.mem)
         fail("final global memory contents differ");
 }
 
@@ -367,26 +407,47 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
     uint64_t max_cycles = 1000000ull + total_work * 50000ull;
 
     sim::PlatformConfig plat = platform;
+    applyEnvOverrides(plat);
     bool crosscheck =
         plat.scheduler == sim::SchedulerMode::CrossCheck;
-    sim::Simulator::RunResult ref_run;
-    sim::CircuitStats ref_stats;
-    std::vector<uint8_t> ref_mem;
+    ModeRun ref_side, par_side;
+    std::unique_ptr<memsys::GlobalMemory> ref_memory, par_memory;
+    std::vector<std::thread> checkers;
+    std::exception_ptr ref_error, par_error;
     if (crosscheck) {
-        // Run the synchronous reference first on a scratch copy of
-        // global memory, so the event-driven run below starts from the
-        // same initial state (atomics and stores must not be applied
-        // twice).
-        memsys::GlobalMemory &mem = device_.globalMemory();
-        std::vector<uint8_t> snapshot(mem.data(),
-                                      mem.data() + mem.size());
-        plat.scheduler = sim::SchedulerMode::Reference;
-        sim::KernelCircuit ref_circuit(*ck.plan, launch, mem, instances,
-                                       plat);
-        ref_run = ref_circuit.run(max_cycles);
-        ref_stats = ref_circuit.stats();
-        ref_mem.assign(mem.data(), mem.data() + mem.size());
-        std::copy(snapshot.begin(), snapshot.end(), mem.data());
+        // The three schedulers run concurrently: the reference and
+        // parallel circuits each on a private copy of global memory
+        // (atomics and stores must not be applied twice), the
+        // event-driven circuit below on device memory — its effects
+        // are the ones the caller keeps.
+        ref_memory = std::make_unique<memsys::GlobalMemory>(
+            device_.globalMemory());
+        par_memory = std::make_unique<memsys::GlobalMemory>(
+            device_.globalMemory());
+        auto side_run = [&](sim::SchedulerMode mode,
+                            memsys::GlobalMemory &memory, ModeRun &out,
+                            std::exception_ptr &error) {
+            try {
+                sim::PlatformConfig p = plat;
+                p.scheduler = mode;
+                sim::KernelCircuit c(*ck.plan, launch, memory,
+                                     instances, p);
+                out.run = c.run(max_cycles);
+                out.stats = c.stats();
+                out.sched = c.simulator().schedulerStats();
+                out.retired = c.retired();
+                out.mem.assign(memory.data(),
+                               memory.data() + memory.size());
+            } catch (...) {
+                error = std::current_exception();
+            }
+        };
+        checkers.emplace_back(side_run, sim::SchedulerMode::Reference,
+                              std::ref(*ref_memory), std::ref(ref_side),
+                              std::ref(ref_error));
+        checkers.emplace_back(side_run, sim::SchedulerMode::Parallel,
+                              std::ref(*par_memory), std::ref(par_side),
+                              std::ref(par_error));
         plat.scheduler = sim::SchedulerMode::EventDriven;
     }
 
@@ -394,9 +455,39 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
                                instances, plat);
     auto run = circuit.run(max_cycles);
     if (crosscheck) {
-        crossCheckCompare(ck.kernel->name(), ref_run, ref_stats,
-                          ref_mem, run, circuit.stats(),
-                          device_.globalMemory());
+        for (std::thread &t : checkers)
+            t.join();
+        if (ref_error)
+            std::rethrow_exception(ref_error);
+        if (par_error)
+            std::rethrow_exception(par_error);
+        ModeRun evt_side;
+        evt_side.run = run;
+        evt_side.stats = circuit.stats();
+        evt_side.sched = circuit.simulator().schedulerStats();
+        evt_side.retired = circuit.retired();
+        const memsys::GlobalMemory &mem = device_.globalMemory();
+        evt_side.mem.assign(mem.data(), mem.data() + mem.size());
+        crossCheckCompare(ck.kernel->name(), "event-driven", ref_side,
+                          evt_side);
+        crossCheckCompare(ck.kernel->name(), "parallel", ref_side,
+                          par_side);
+        // The sharded scheduler must not just produce the same
+        // results but do the same amount of work: its union of
+        // per-shard wake lists is cycle-for-cycle the event-driven
+        // wake list.
+        if (evt_side.run.completed &&
+            evt_side.sched.componentSteps !=
+                par_side.sched.componentSteps) {
+            throw RuntimeError(strFormat(
+                "scheduler cross-check mismatch for kernel '%s': "
+                "componentSteps: event-driven=%llu parallel=%llu",
+                ck.kernel->name().c_str(),
+                static_cast<unsigned long long>(
+                    evt_side.sched.componentSteps),
+                static_cast<unsigned long long>(
+                    par_side.sched.componentSteps)));
+        }
     }
     if (run.deadlock || !run.completed) {
         throw RuntimeError(strFormat(

@@ -22,9 +22,22 @@
  *    cycle's traffic rather than with circuit size, and
  *  - records its endpoint components (watchers) so a commit can wake
  *    exactly the producer and consumer for the next cycle.
+ *
+ * Under the sharded parallel scheduler a channel belongs to the shard
+ * that created it. A channel whose endpoints live in different shards
+ * (root inputs, terminals, memory request/response links) is marked
+ * cross-shard: its producer and consumer may stage a push and a pop
+ * concurrently during phase 1, which is race-free because they touch
+ * disjoint fields (`staged_`+the staged buffer slot vs. `popped_`+the
+ * head slot) and the committed state they both read is frozen until
+ * the phase-2 commit. Only the first-dirty mark needs synchronization:
+ * an atomic flag claimed by exactly one endpoint, which then records
+ * the channel in its own thread's collection list.
  */
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "support/error.hpp"
@@ -64,17 +77,42 @@ class ChannelBase
     void
     markDirty()
     {
+        if (crossShard_) {
+            // Both endpoints may race to mark; exactly one wins the
+            // exchange and records the channel on its thread's list.
+            if (!crossDirty_.load(std::memory_order_relaxed) &&
+                !crossDirty_.exchange(true, std::memory_order_relaxed)) {
+                tlsCrossDirty->push_back(this);
+            }
+            return;
+        }
         if (!dirty_ && dirtyList_ != nullptr) {
             dirty_ = true;
             dirtyList_->push_back(this);
         }
     }
-    void clearDirty() { dirty_ = false; }
+    void
+    clearDirty()
+    {
+        dirty_ = false;
+        if (crossShard_)
+            crossDirty_.store(false, std::memory_order_relaxed);
+    }
 
   private:
+    friend class Simulator;
+
+    /** Where the stepping thread collects cross-shard dirty marks
+     *  (parallel scheduler phase 1); null in the serial schedulers. */
+    static thread_local std::vector<ChannelBase *> *tlsCrossDirty;
+
     std::vector<Component *> watchers_;
     std::vector<ChannelBase *> *dirtyList_ = nullptr;
     bool dirty_ = false;
+    uint32_t index_ = 0; ///< Global creation index (commit ordering).
+    uint32_t shard_ = 0; ///< Home shard (parallel scheduler).
+    bool crossShard_ = false; ///< Endpoints live in different shards.
+    std::atomic<bool> crossDirty_{false};
 };
 
 /** A single-producer single-consumer staged FIFO channel. */

@@ -13,14 +13,22 @@ KernelCircuit::KernelCircuit(const datapath::KernelPlan &plan,
                              int num_instances,
                              const PlatformConfig &platform)
     : plan_(plan), launch_(launch), memory_(memory),
-      numInstances_(num_instances), sim_(platform.scheduler),
+      numInstances_(num_instances),
+      sim_(platform.scheduler, platform.threads),
       dram_(platform.dramLatency, platform.dramCyclesPerLine)
 {
     SOFF_ASSERT(num_instances >= 1, "need at least one datapath");
     board_ = std::make_unique<CompletionBoard>(launch.ndrange,
                                                num_instances);
+    // Shard layout for the parallel scheduler: one shard per datapath
+    // instance, plus shard 0 for everything shared (dispatcher,
+    // work-item counter, global caches + arbiters — they share DRAM
+    // timing state and may alias global-memory lines across
+    // instances). Per-instance local memory blocks are private and
+    // ride in their instance's shard.
     for (int i = 0; i < num_instances; ++i)
         buildInstance(i);
+    sim_.setBuildShard(0);
     buildMemorySubsystem();
 
     // Dispatcher limit: the §V-B work-group cap applies when the
@@ -39,6 +47,7 @@ void
 KernelCircuit::buildInstance(int instance)
 {
     currentInstance_ = instance;
+    sim_.setBuildShard(static_cast<uint32_t>(instance) + 1);
     std::string prefix = "dp" + std::to_string(instance) + ".";
     Channel<WiToken> *root_in = sim_.channel<WiToken>(2);
     Channel<WiToken> *terminal = sim_.channel<WiToken>(4);
@@ -364,6 +373,17 @@ KernelCircuit::buildMemorySubsystem()
             Group g;
             g.clients = clients;
             g.name = "cache" + std::to_string(cache_id);
+            // A lock table shared by units in different instances is a
+            // same-cycle non-channel coupling across shards (a release
+            // must wake waiters in the cycle it happens); the parallel
+            // scheduler cannot reproduce that deterministically, so
+            // such circuits run as a single shard.
+            for (const MemClient &c : g.clients) {
+                if (c.instance != g.clients.front().instance) {
+                    sim_.collapseShards();
+                    break;
+                }
+            }
             groups.push_back(std::move(g));
         } else {
             for (int inst = 0; inst < numInstances_; ++inst) {
@@ -420,6 +440,9 @@ KernelCircuit::buildMemorySubsystem()
             }
             if (mine.empty())
                 continue;
+            // Private to one instance: block, ports, and lock table
+            // all live in the instance's shard.
+            sim_.setBuildShard(static_cast<uint32_t>(inst) + 1);
             auto *block = sim_.add<memsys::LocalMemoryBlock>(
                 "dp" + std::to_string(inst) + ".lmem." +
                     lb.var->name(),
@@ -441,6 +464,7 @@ KernelCircuit::buildMemorySubsystem()
             }
         }
     }
+    sim_.setBuildShard(0); // dispatcher + counter are shared
 }
 
 Simulator::RunResult

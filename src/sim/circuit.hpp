@@ -30,6 +30,9 @@ struct PlatformConfig
     /** Simulation kernel. Results are identical across modes; the
      *  runtime resolves CrossCheck by running one circuit per mode. */
     SchedulerMode scheduler = SchedulerMode::EventDriven;
+    /** Worker threads for SchedulerMode::Parallel (capped by the
+     *  shard count); 0 means hardware_concurrency(). */
+    int threads = 0;
 };
 
 /** Aggregated execution statistics. */

@@ -1,9 +1,14 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace soff::sim
 {
+
+thread_local std::vector<ChannelBase *> *ChannelBase::tlsCrossDirty =
+    nullptr;
+thread_local Simulator::Shard *Simulator::tlsShard_ = nullptr;
 
 const char *
 schedulerModeName(SchedulerMode mode)
@@ -11,9 +16,27 @@ schedulerModeName(SchedulerMode mode)
     switch (mode) {
       case SchedulerMode::Reference: return "reference";
       case SchedulerMode::EventDriven: return "event-driven";
+      case SchedulerMode::Parallel: return "parallel";
       case SchedulerMode::CrossCheck: return "cross-check";
     }
     return "?";
+}
+
+bool
+schedulerModeFromName(const std::string &name, SchedulerMode *out)
+{
+    if (name == "reference")
+        *out = SchedulerMode::Reference;
+    else if (name == "event-driven" || name == "eventdriven" ||
+             name == "event")
+        *out = SchedulerMode::EventDriven;
+    else if (name == "parallel")
+        *out = SchedulerMode::Parallel;
+    else if (name == "cross-check" || name == "crosscheck")
+        *out = SchedulerMode::CrossCheck;
+    else
+        return false;
+    return true;
 }
 
 void
@@ -44,56 +67,93 @@ Component::wakeOther(Component *c)
         sim_->wakeComponent(c);
 }
 
+Simulator::~Simulator()
+{
+    if (!workers_.empty()) {
+        phaseKind_.store(kPhaseExit, std::memory_order_relaxed);
+        phaseGo_.fetch_add(1, std::memory_order_release);
+        for (std::thread &w : workers_)
+            w.join();
+    }
+}
+
 void
 Simulator::scheduleAt(Component *c, Cycle cycle)
 {
-    if (mode_ != SchedulerMode::EventDriven)
-        return;
+    Shard *sh = tlsShard_;
+    if (sh == nullptr)
+        return; // Reference mode, or outside a scheduling phase.
     if (cycle <= now_ + 1) {
+        if (c->shard_ != sh->id) {
+            // Cross-shard wake: delivered at the cycle barrier, for
+            // the next cycle. Deduplicated at drain (the target's
+            // inNextList_ flag belongs to the target's thread).
+            sh->outbox[c->shard_].push_back(c->index_);
+            return;
+        }
         if (c->inNextList_)
             return;
         c->inNextList_ = true;
-        nextList_.push_back(c->index_);
+        sh->nextList.push_back(c->index_);
         return;
     }
     // Timer wake. Only the earliest pending timer is tracked: every
     // step re-arms its timers from current state, so a component woken
     // early simply re-registers any still-needed later deadline.
+    // Timers are always self-armed (wakeAt from the component's own
+    // step), so they never cross shards.
+    SOFF_ASSERT(c->shard_ == sh->id, "cross-shard timer wake");
     if (c->pendingWake_ <= cycle)
         return;
     c->pendingWake_ = cycle;
-    timerHeap_.push({cycle, c->index_});
+    sh->timerHeap.push({cycle, c->index_});
 }
 
 void
 Simulator::wakeComponent(Component *c)
 {
-    if (mode_ != SchedulerMode::EventDriven)
-        return;
-    if (sweeping_ && c->index_ > currentList_[sweepPos_]) {
-        // The current cycle's in-order sweep has not reached c yet, so
-        // the synchronous reference would have it observe this wake's
-        // cause within the same cycle. Insert it into the in-flight
-        // wake list (kept sorted; the insert point is past the cursor).
+    Shard *sh = tlsShard_;
+    if (sh == nullptr)
+        return; // Reference mode steps everything anyway.
+    if (c->shard_ == sh->id && sh->sweeping &&
+        c->index_ > sh->currentList[sh->sweepPos]) {
+        // The current cycle's in-order sweep of this shard has not
+        // reached c yet, so the synchronous reference would have it
+        // observe this wake's cause within the same cycle. Insert it
+        // into the in-flight wake list (kept sorted; the insert point
+        // is past the cursor). Same-cycle couplings never cross
+        // shards: the circuit builder collapses to one shard when a
+        // coupling would (see collapseShards()).
         if (c->inWakeList_)
             return;
         c->inWakeList_ = true;
         auto it = std::lower_bound(
-            currentList_.begin() +
-                static_cast<ptrdiff_t>(sweepPos_) + 1,
-            currentList_.end(), c->index_);
-        currentList_.insert(it, c->index_);
+            sh->currentList.begin() +
+                static_cast<ptrdiff_t>(sh->sweepPos) + 1,
+            sh->currentList.end(), c->index_);
+        sh->currentList.insert(it, c->index_);
         return;
     }
     scheduleAt(c, now_ + 1);
 }
 
+SchedulerStats
+Simulator::schedulerStats() const
+{
+    SchedulerStats s = stats_;
+    for (const auto &sh : shards_) {
+        s.componentSteps += sh->componentSteps;
+        s.channelCommits += sh->channelCommits;
+    }
+    return s;
+}
+
 Simulator::RunResult
 Simulator::run(const bool *done, Cycle max_cycles, Cycle deadlock_window)
 {
-    if (mode_ == SchedulerMode::EventDriven)
-        return runEventDriven(done, max_cycles);
-    return runReference(done, max_cycles, deadlock_window);
+    if (mode_ == SchedulerMode::Reference)
+        return runReference(done, max_cycles, deadlock_window);
+    return runSharded(done, max_cycles);
 }
 
 Simulator::RunResult
@@ -133,69 +193,125 @@ Simulator::runReference(const bool *done, Cycle max_cycles,
     return result;
 }
 
-Simulator::RunResult
-Simulator::runEventDriven(const bool *done, Cycle max_cycles)
+void
+Simulator::finalizeShards()
 {
-    RunResult result;
-    if (!seeded_) {
-        // Every component steps at the first cycle, exactly as the
-        // synchronous reference does; quiescence takes over from there.
-        seeded_ = true;
-        for (auto &c : components_) {
-            c->inNextList_ = true;
-            nextList_.push_back(c->index_);
-        }
+    shardsReady_ = true;
+    size_t n = 1;
+    if (mode_ == SchedulerMode::Parallel && !collapsed_)
+        n = static_cast<size_t>(maxShard_) + 1;
+    if (n == 1) {
+        for (auto &c : components_)
+            c->shard_ = 0;
+        for (auto &ch : channels_)
+            ch->shard_ = 0;
     }
+    shards_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        auto sh = std::make_unique<Shard>();
+        sh->id = static_cast<uint32_t>(i);
+        sh->outbox.resize(n);
+        shards_.push_back(std::move(sh));
+    }
+    // Home each channel and decide which are cross-shard. A channel is
+    // staged on only by its watchers (every endpoint registers itself
+    // in its constructor), but we conservatively include the creation
+    // shard too: a channel whose creation shard and watcher shards all
+    // agree stays on the cheap non-atomic dirty path; anything else is
+    // cross-shard and pays one atomic exchange per dirty mark.
+    for (auto &ch : channels_) {
+        uint32_t lo = ch->shard_;
+        uint32_t hi = ch->shard_;
+        for (Component *w : ch->watchers_) {
+            lo = std::min(lo, w->shard_);
+            hi = std::max(hi, w->shard_);
+        }
+        ch->shard_ = lo; // home shard: commits run here
+        ch->crossShard_ = lo != hi;
+        ch->dirty_ = false;
+        ch->crossDirty_.store(false, std::memory_order_relaxed);
+        ch->dirtyList_ = ch->crossShard_
+                             ? nullptr
+                             : &shards_[ch->shard_]->dirtyChannels;
+    }
+    // Seed: every component steps at the first cycle, exactly as the
+    // synchronous reference does; quiescence takes over from there.
+    for (auto &c : components_) {
+        c->inNextList_ = true;
+        shards_[c->shard_]->nextList.push_back(c->index_);
+    }
+    // Worker pool. The calling thread is worker 0 (the coordinator);
+    // extra threads are spawned only when Parallel mode has both more
+    // than one shard and a thread budget above one.
+    numWorkers_ = 1;
+    if (mode_ == SchedulerMode::Parallel && n > 1) {
+        int t = threadsRequested_;
+        if (t <= 0)
+            t = static_cast<int>(std::thread::hardware_concurrency());
+        t = std::max(t, 1);
+        numWorkers_ = static_cast<int>(
+            std::min<size_t>(static_cast<size_t>(t), n));
+    }
+    for (int i = 1; i < numWorkers_; ++i)
+        workers_.emplace_back(&Simulator::workerMain, this);
+}
+
+Simulator::RunResult
+Simulator::runSharded(const bool *done, Cycle max_cycles)
+{
+    if (!shardsReady_)
+        finalizeShards();
+    constexpr Cycle kNone = ~Cycle{0};
+    RunResult result;
     while (now_ < max_cycles) {
         if (done != nullptr && *done) {
             result.completed = true;
             result.cycles = now_;
             return result;
         }
-        // Drop stale timer entries (superseded by an earlier wake).
-        while (!timerHeap_.empty() &&
-               components_[timerHeap_.top().index]->pendingWake_ !=
-                   timerHeap_.top().cycle) {
-            timerHeap_.pop();
+        // Single-threaded window between phases: drop stale timer
+        // entries (superseded by an earlier wake) and find the next
+        // cycle with any work.
+        bool any_next = false;
+        Cycle min_timer = kNone;
+        for (auto &shp : shards_) {
+            Shard &sh = *shp;
+            while (!sh.timerHeap.empty() &&
+                   components_[sh.timerHeap.top().index]->pendingWake_ !=
+                       sh.timerHeap.top().cycle) {
+                sh.timerHeap.pop();
+            }
+            if (!sh.nextList.empty())
+                any_next = true;
+            else if (!sh.timerHeap.empty())
+                min_timer = std::min(min_timer, sh.timerHeap.top().cycle);
         }
-        if (nextList_.empty()) {
-            if (timerHeap_.empty()) {
-                // Exact deadlock: nothing is scheduled and channels
-                // are quiet, so no component can ever act again.
+        if (!any_next) {
+            if (min_timer == kNone) {
+                // Exact deadlock: nothing is scheduled on any shard
+                // and channels are quiet, so no component can ever
+                // act again.
                 result.deadlock = true;
                 result.cycles = now_;
                 return result;
             }
-            Cycle next = timerHeap_.top().cycle;
-            SOFF_ASSERT(next >= now_, "timer wake in the past");
-            if (next >= max_cycles) {
+            SOFF_ASSERT(min_timer >= now_, "timer wake in the past");
+            if (min_timer >= max_cycles) {
                 now_ = max_cycles;
                 break;
             }
-            now_ = next; // jump the clock over the idle gap
+            now_ = min_timer; // jump the clock over the idle gap
         }
-        gatherWakes();
-        sweeping_ = true;
-        for (sweepPos_ = 0; sweepPos_ < currentList_.size();
-             ++sweepPos_) {
-            Component *c = components_[currentList_[sweepPos_]].get();
-            c->inWakeList_ = false;
-            ++stats_.componentSteps;
-            c->step(now_);
-            if (c->alwaysAwake_)
-                scheduleAt(c, now_ + 1);
-        }
-        sweeping_ = false;
-        currentList_.clear();
-        // Commit only the channels touched this cycle; each commit
-        // wakes the channel's endpoints for the next cycle.
-        for (ChannelBase *ch : dirtyChannels_) {
-            if (ch->commit())
-                ++stats_.channelCommits;
-            for (Component *w : ch->watchers())
-                scheduleAt(w, now_ + 1);
-        }
-        dirtyChannels_.clear();
+        // Phase 1: each shard sweeps its wake list in component-index
+        // order. Components only stage channel pushes/pops, so shards
+        // never observe each other's intra-cycle state.
+        runPhase(kPhaseStep);
+        // Phase 2: each shard commits the dirty channels homed on it
+        // in channel-index order; commits wake the endpoints for the
+        // next cycle.
+        runPhase(kPhaseCommit);
+        // Single-threaded again: deliver cross-shard wakes.
+        drainOutboxes();
         ++stats_.cyclesActive;
         ++now_;
     }
@@ -204,26 +320,178 @@ Simulator::runEventDriven(const bool *done, Cycle max_cycles)
 }
 
 void
-Simulator::gatherWakes()
+Simulator::runPhase(PhaseKind kind)
 {
-    currentList_.swap(nextList_);
-    for (uint32_t index : currentList_) {
+    shardCursor_.store(0, std::memory_order_relaxed);
+    if (numWorkers_ <= 1) {
+        shardLoop(kind);
+        return;
+    }
+    phaseArrived_.store(0, std::memory_order_relaxed);
+    phaseKind_.store(kind, std::memory_order_relaxed);
+    phaseGo_.fetch_add(1, std::memory_order_release);
+    std::exception_ptr local_error;
+    try {
+        shardLoop(kind);
+    } catch (...) {
+        local_error = std::current_exception();
+    }
+    // Wait for every worker even on error: they touch simulator state.
+    while (phaseArrived_.load(std::memory_order_acquire) <
+           static_cast<uint32_t>(numWorkers_ - 1))
+        std::this_thread::yield();
+    if (local_error)
+        std::rethrow_exception(local_error);
+    if (workerFailed_.load(std::memory_order_acquire))
+        throw RuntimeError("simulation worker failed: " + workerError_);
+}
+
+void
+Simulator::shardLoop(PhaseKind kind)
+{
+    for (;;) {
+        uint32_t i = shardCursor_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= shards_.size())
+            break;
+        Shard &sh = *shards_[i];
+        tlsShard_ = &sh;
+        ChannelBase::tlsCrossDirty = &sh.crossDirty;
+        if (kind == kPhaseStep) {
+            gatherWakes(sh);
+            stepShard(sh);
+        } else {
+            commitShard(sh);
+        }
+        tlsShard_ = nullptr;
+        ChannelBase::tlsCrossDirty = nullptr;
+    }
+}
+
+void
+Simulator::workerMain()
+{
+    uint64_t gen = 0;
+    for (;;) {
+        uint64_t g;
+        // Yield-based spin: civil when threads outnumber cores, and
+        // the coordinator never leaves workers parked across cycles.
+        while ((g = phaseGo_.load(std::memory_order_acquire)) == gen)
+            std::this_thread::yield();
+        gen = g;
+        int kind = phaseKind_.load(std::memory_order_relaxed);
+        if (kind == kPhaseExit)
+            return;
+        try {
+            shardLoop(static_cast<PhaseKind>(kind));
+        } catch (const std::exception &e) {
+            if (!workerFailed_.exchange(true, std::memory_order_relaxed))
+                workerError_ = e.what(); // published by the arrival below
+        } catch (...) {
+            workerFailed_.exchange(true, std::memory_order_relaxed);
+        }
+        phaseArrived_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+Simulator::gatherWakes(Shard &sh)
+{
+    sh.currentList.swap(sh.nextList);
+    for (uint32_t index : sh.currentList) {
         components_[index]->inNextList_ = false;
         components_[index]->inWakeList_ = true;
     }
-    while (!timerHeap_.empty() && timerHeap_.top().cycle == now_) {
-        HeapEntry e = timerHeap_.top();
-        timerHeap_.pop();
+    while (!sh.timerHeap.empty() && sh.timerHeap.top().cycle == now_) {
+        HeapEntry e = sh.timerHeap.top();
+        sh.timerHeap.pop();
         Component *c = components_[e.index].get();
         if (c->pendingWake_ != e.cycle)
             continue; // stale
         c->pendingWake_ = Component::kNoWake;
         if (!c->inWakeList_) {
             c->inWakeList_ = true;
-            currentList_.push_back(e.index);
+            sh.currentList.push_back(e.index);
         }
     }
-    std::sort(currentList_.begin(), currentList_.end());
+    std::sort(sh.currentList.begin(), sh.currentList.end());
+}
+
+void
+Simulator::stepShard(Shard &sh)
+{
+    sh.sweeping = true;
+    for (sh.sweepPos = 0; sh.sweepPos < sh.currentList.size();
+         ++sh.sweepPos) {
+        Component *c = components_[sh.currentList[sh.sweepPos]].get();
+        c->inWakeList_ = false;
+        ++sh.componentSteps;
+        c->step(now_);
+        if (c->alwaysAwake_)
+            scheduleAt(c, now_ + 1);
+    }
+    sh.sweeping = false;
+    sh.currentList.clear();
+}
+
+void
+Simulator::commitShard(Shard &sh)
+{
+    // Channels homed here: the shard-local dirty list plus the
+    // cross-shard channels claimed by any shard this cycle. Other
+    // shards' crossDirty vectors are read-only during this phase
+    // (they were filled in phase 1 and are cleared at the drain), so
+    // scanning them is race-free. Each channel was claimed exactly
+    // once (atomic exchange), so nothing commits or counts twice.
+    sh.commitList.clear();
+    sh.commitList.insert(sh.commitList.end(), sh.dirtyChannels.begin(),
+                         sh.dirtyChannels.end());
+    sh.dirtyChannels.clear();
+    if (shards_.size() > 1) {
+        for (const auto &other : shards_) {
+            for (ChannelBase *ch : other->crossDirty) {
+                if (ch->shard_ == sh.id)
+                    sh.commitList.push_back(ch);
+            }
+        }
+    }
+    // Fixed global order so results never depend on thread timing.
+    std::sort(sh.commitList.begin(), sh.commitList.end(),
+              [](const ChannelBase *a, const ChannelBase *b) {
+                  return a->index_ < b->index_;
+              });
+    for (ChannelBase *ch : sh.commitList) {
+        if (ch->commit())
+            ++sh.channelCommits;
+        for (Component *w : ch->watchers())
+            scheduleAt(w, now_ + 1);
+    }
+    sh.commitList.clear();
+}
+
+void
+Simulator::drainOutboxes()
+{
+    // Coordinator-only, between barriers. Deterministic: shards and
+    // their boxes are visited in fixed order, and membership in the
+    // next list is a set (inNextList_ dedup), so insertion order
+    // cannot change behavior.
+    for (auto &src : shards_) {
+        for (size_t t = 0; t < shards_.size(); ++t) {
+            std::vector<uint32_t> &box = src->outbox[t];
+            if (box.empty())
+                continue;
+            Shard &target = *shards_[t];
+            for (uint32_t index : box) {
+                Component *c = components_[index].get();
+                if (!c->inNextList_) {
+                    c->inNextList_ = true;
+                    target.nextList.push_back(index);
+                }
+            }
+            box.clear();
+        }
+        src->crossDirty.clear();
+    }
 }
 
 } // namespace soff::sim

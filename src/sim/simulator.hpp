@@ -2,7 +2,7 @@
  * @file
  * The cycle-level simulation kernel.
  *
- * Two schedulers produce bit- and cycle-identical results:
+ * Three schedulers produce bit- and cycle-identical results:
  *
  *  - Reference (synchronous): all components are stepped once per
  *    clock cycle in creation order, then all channels commit their
@@ -24,16 +24,40 @@
  *    missed, and that per-step state in components is either guarded
  *    by channel/timer conditions or derived from the cycle number.
  *
- * In EventDriven mode the deadlock watchdog is exact: an empty wake
- * queue with the completion flag unset *is* a deadlock (nothing can
- * ever happen again), replacing the reference scheduler's
+ *  - Parallel (sharded): the event-driven kernel, but the wake list is
+ *    partitioned into shards (one per datapath instance plus one for
+ *    the shared dispatch/memory-subsystem/counter components) driven
+ *    by a persistent worker pool. Each cycle runs in two phases:
+ *    (1) every shard steps its own wake list concurrently — safe
+ *    because components only stage channel pushes/pops intra-cycle and
+ *    never observe another shard's staged state; (2) after a barrier,
+ *    dirty channels commit on their home shard in channel-index order.
+ *    Per-shard wake lists, dirty lists, and timer heaps keep phase 1
+ *    contention-free; cross-shard wakes (channel-watcher wakes raised
+ *    while committing a channel whose endpoint lives elsewhere) go
+ *    through per-shard outboxes drained at the barrier. The clock
+ *    jumps to the minimum next wake across shards. Results are
+ *    deterministic and identical to EventDriven regardless of thread
+ *    interleaving: each shard sweeps in component-index order, staged
+ *    channel state is invisible across shards until the commit
+ *    barrier, commits are ordered by channel index, and every
+ *    non-channel coupling (lock tables, loop gates, the completion
+ *    board) is contained within a single shard — circuits where that
+ *    does not hold (atomics on a cache shared across instances)
+ *    collapse to a single shard and run serially.
+ *
+ * In the event-driven schedulers the deadlock watchdog is exact: an
+ * empty wake queue with the completion flag unset *is* a deadlock
+ * (nothing can ever happen again), replacing the reference scheduler's
  * idle-window heuristic.
  */
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <queue>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/channel.hpp"
@@ -49,10 +73,13 @@ enum class SchedulerMode
 {
     Reference,   ///< Synchronous: step everything, commit everything.
     EventDriven, ///< Wake lists + dirty-channel commits + clock jumps.
-    CrossCheck,  ///< Run both, assert identical results (runtime level).
+    Parallel,    ///< Sharded event-driven kernel on a worker pool.
+    CrossCheck,  ///< Run all modes, assert identical (runtime level).
 };
 
 const char *schedulerModeName(SchedulerMode mode);
+/** Parses a mode name (e.g. the SOFF_SCHEDULER environment knob). */
+bool schedulerModeFromName(const std::string &name, SchedulerMode *out);
 
 /** Counters for the scheduler itself (bench/sim_throughput). */
 struct SchedulerStats
@@ -104,6 +131,7 @@ class Component
     std::string name_;
     Simulator *sim_ = nullptr;
     uint32_t index_ = 0;
+    uint32_t shard_ = 0;          ///< Owning shard (parallel mode).
     Cycle pendingWake_ = kNoWake; ///< Earliest heap-scheduled wake.
     bool inWakeList_ = false;     ///< Queued for the current cycle.
     bool inNextList_ = false;     ///< Queued for the next cycle.
@@ -114,14 +142,21 @@ class Component
 class Simulator
 {
   public:
-    explicit Simulator(SchedulerMode mode = SchedulerMode::Reference)
-        : mode_(mode)
+    /**
+     * `threads` is the Parallel-mode worker count, capped by the shard
+     * count; 0 means std::thread::hardware_concurrency(). The other
+     * modes ignore it.
+     */
+    explicit Simulator(SchedulerMode mode = SchedulerMode::Reference,
+                       int threads = 0)
+        : mode_(mode), threadsRequested_(threads)
     {
         SOFF_ASSERT(mode != SchedulerMode::CrossCheck,
                     "CrossCheck is resolved above the simulator");
     }
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
+    ~Simulator();
 
     /** Creates and owns a component. */
     template <typename T, typename... Args>
@@ -132,6 +167,7 @@ class Simulator
         T *raw = c.get();
         raw->sim_ = this;
         raw->index_ = static_cast<uint32_t>(components_.size());
+        raw->shard_ = buildShard_;
         components_.push_back(std::move(c));
         return raw;
     }
@@ -143,10 +179,31 @@ class Simulator
     {
         auto ch = std::make_unique<Channel<T>>(capacity);
         Channel<T> *raw = ch.get();
+        raw->index_ = static_cast<uint32_t>(channels_.size());
+        raw->shard_ = buildShard_;
         raw->bindDirtyList(&dirtyChannels_);
         channels_.push_back(std::move(ch));
         return raw;
     }
+
+    /**
+     * Tags components and channels created from now on with a shard
+     * (Parallel mode partitioning; the circuit builder brackets each
+     * datapath instance). Shard 0 is the shared shard. The serial
+     * schedulers ignore the tags.
+     */
+    void
+    setBuildShard(uint32_t shard)
+    {
+        buildShard_ = shard;
+        maxShard_ = std::max(maxShard_, shard);
+    }
+    /**
+     * Declares the circuit unshardable (a non-channel coupling spans
+     * shards, e.g. a lock table shared across datapath instances):
+     * Parallel mode then runs everything as one shard, serially.
+     */
+    void collapseShards() { collapsed_ = true; }
 
     /**
      * Components with purely internal timed state (DRAM in flight,
@@ -169,7 +226,7 @@ class Simulator
      * completion is a circuit-level register, not a per-cycle
      * callback), deadlock is detected, or `max_cycles` elapse.
      * `deadlock_window` applies to the reference scheduler's idle
-     * heuristic only; the event-driven scheduler detects the exact
+     * heuristic only; the event-driven schedulers detect the exact
      * quiescence cycle.
      */
     RunResult run(const bool *done, Cycle max_cycles,
@@ -179,24 +236,26 @@ class Simulator
     Cycle now() const { return now_; }
     size_t numComponents() const { return components_.size(); }
     size_t numChannels() const { return channels_.size(); }
-    const SchedulerStats &schedulerStats() const { return stats_; }
+    /** Aggregated over shards; exact and mode-independent counters. */
+    SchedulerStats schedulerStats() const;
+    /** Shard count resolved at the first run (1 before that). */
+    size_t numShards() const { return shards_.empty() ? 1 : shards_.size(); }
+    /** Worker threads (including the coordinator) after the first run. */
+    int parallelWorkers() const { return numWorkers_; }
 
     /** Schedules `c` at `cycle` (>= the current cycle). */
     void scheduleAt(Component *c, Cycle cycle);
     /**
      * Wakes `c` with same-cycle visibility semantics: if the current
-     * cycle's in-order sweep has not yet passed `c`, it is stepped
-     * this cycle (as the synchronous reference would), otherwise next
-     * cycle.
+     * cycle's in-order sweep of c's shard has not yet passed `c`, it
+     * is stepped this cycle (as the synchronous reference would),
+     * otherwise next cycle. A wake that crosses shards is delivered at
+     * the cycle barrier for the next cycle; the circuit builder keeps
+     * every same-cycle coupling inside one shard.
      */
     void wakeComponent(Component *c);
 
   private:
-    RunResult runReference(const bool *done, Cycle max_cycles,
-                           Cycle deadlock_window);
-    RunResult runEventDriven(const bool *done, Cycle max_cycles);
-    void gatherWakes();
-
     struct HeapEntry
     {
         Cycle cycle;
@@ -208,23 +267,71 @@ class Simulator
         }
     };
 
+    /** Per-shard scheduler state. Only the shard's owning thread of
+     *  the current phase touches it; the cycle barriers order the
+     *  hand-offs. Padded against false sharing. */
+    struct alignas(64) Shard
+    {
+        std::vector<uint32_t> currentList; ///< This cycle's wake list.
+        std::vector<uint32_t> nextList;    ///< Next cycle's wake list.
+        std::vector<ChannelBase *> dirtyChannels; ///< Shard-local dirty.
+        std::vector<ChannelBase *> crossDirty; ///< Cross-shard, claimed here.
+        std::vector<ChannelBase *> commitList; ///< Phase-2 scratch.
+        std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                            std::greater<HeapEntry>>
+            timerHeap;
+        /** outbox[t]: components of shard t to wake next cycle. */
+        std::vector<std::vector<uint32_t>> outbox;
+        uint32_t id = 0;
+        size_t sweepPos = 0;
+        bool sweeping = false;
+        uint64_t componentSteps = 0;
+        uint64_t channelCommits = 0;
+    };
+
+    enum PhaseKind { kPhaseStep = 1, kPhaseCommit = 2, kPhaseExit = 3 };
+
+    RunResult runReference(const bool *done, Cycle max_cycles,
+                           Cycle deadlock_window);
+    RunResult runSharded(const bool *done, Cycle max_cycles);
+    void finalizeShards();
+    void gatherWakes(Shard &sh);
+    void stepShard(Shard &sh);
+    void commitShard(Shard &sh);
+    void drainOutboxes();
+    void runPhase(PhaseKind kind);
+    void shardLoop(PhaseKind kind);
+    void workerMain();
+
     SchedulerMode mode_;
+    int threadsRequested_;
     std::vector<std::unique_ptr<Component>> components_;
     std::vector<std::unique_ptr<ChannelBase>> channels_;
     Cycle now_ = 0;
     bool activity_ = false;
     SchedulerStats stats_;
 
-    // Event-driven machinery.
+    // Reference-mode dirty tracking (channels bind to this list until
+    // the sharded schedulers re-bind them at finalizeShards()).
     std::vector<ChannelBase *> dirtyChannels_;
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                        std::greater<HeapEntry>>
-        timerHeap_;
-    std::vector<uint32_t> currentList_; ///< This cycle's wake list.
-    std::vector<uint32_t> nextList_;    ///< Next cycle's wake list.
-    size_t sweepPos_ = 0;
-    bool sweeping_ = false;
-    bool seeded_ = false;
+
+    // Sharded (event-driven / parallel) machinery.
+    uint32_t buildShard_ = 0;
+    uint32_t maxShard_ = 0;
+    bool collapsed_ = false;
+    bool shardsReady_ = false;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    static thread_local Shard *tlsShard_;
+
+    // Worker pool (Parallel mode with more than one worker).
+    int numWorkers_ = 1;
+    std::vector<std::thread> workers_;
+    std::atomic<uint64_t> phaseGo_{0};
+    std::atomic<uint32_t> phaseArrived_{0};
+    std::atomic<uint32_t> shardCursor_{0};
+    std::atomic<int> phaseKind_{0};
+    std::atomic<bool> workerFailed_{false};
+    std::string workerError_;
 };
 
 } // namespace soff::sim

@@ -1,10 +1,13 @@
-/** @file Scheduler-equivalence tests: the event-driven kernel must be
- *  bit- and cycle-identical to the synchronous reference on every
- *  benchmark application (cross-check mode), detect deadlocks at the
+/** @file Scheduler-equivalence tests: the event-driven and sharded
+ *  parallel kernels must be bit- and cycle-identical to the
+ *  synchronous reference on every benchmark application (cross-check
+ *  mode, at several worker-thread counts), detect deadlocks at the
  *  exact quiescence cycle, and honor timer wakeups across clock
  *  jumps. */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
 #include <vector>
 
 #include "benchsuite/suite.hpp"
@@ -28,19 +31,25 @@ range1d(uint64_t global, uint64_t local)
 
 // --- Cross-check over the full benchmark suite -------------------------
 
-/** Every runnable application, executed in CrossCheck mode: the runtime
- *  runs one circuit per scheduler and throws unless RunResult,
- *  CircuitStats, and final global memory are bit-identical. */
-class CrossCheckRun : public ::testing::TestWithParam<std::string>
+/** Every runnable application, executed in CrossCheck mode at a given
+ *  parallel worker count: the runtime runs one circuit per scheduler
+ *  (reference, event-driven, and sharded parallel, concurrently) and
+ *  throws unless RunResult, CircuitStats, retired work-item counts,
+ *  and final global memory are bit-identical — and unless parallel and
+ *  event-driven agree on componentSteps. */
+class CrossCheckRun
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
 {};
 
-TEST_P(CrossCheckRun, EventDrivenMatchesReference)
+TEST_P(CrossCheckRun, AllSchedulersMatchReference)
 {
-    const benchsuite::App *app = benchsuite::findApp(GetParam());
+    const auto &[app_name, threads] = GetParam();
+    const benchsuite::App *app = benchsuite::findApp(app_name);
     ASSERT_NE(app, nullptr);
     benchsuite::BenchContext ctx(benchsuite::Engine::SoffSim);
     sim::PlatformConfig platform;
     platform.scheduler = sim::SchedulerMode::CrossCheck;
+    platform.threads = threads;
     ctx.setPlatformConfig(platform);
     if (app->expectInsufficientResources) {
         EXPECT_THROW(benchsuite::runApp(*app, ctx), RuntimeError);
@@ -58,16 +67,51 @@ allAppNames()
     return names;
 }
 
+/** 1, 2, and hardware_concurrency() parallel workers, deduplicated. */
+std::vector<int>
+threadCounts()
+{
+    std::vector<int> counts = {
+        1, 2, static_cast<int>(std::thread::hardware_concurrency())};
+    std::sort(counts.begin(), counts.end());
+    counts.erase(std::unique(counts.begin(), counts.end()),
+                 counts.end());
+    counts.erase(std::remove_if(counts.begin(), counts.end(),
+                                [](int c) { return c < 1; }),
+                 counts.end());
+    return counts;
+}
+
 INSTANTIATE_TEST_SUITE_P(
-    AllApps, CrossCheckRun, ::testing::ValuesIn(allAppNames()),
-    [](const ::testing::TestParamInfo<std::string> &info) {
-        std::string name = info.param;
+    AllApps, CrossCheckRun,
+    ::testing::Combine(::testing::ValuesIn(allAppNames()),
+                       ::testing::ValuesIn(threadCounts())),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>>
+           &info) {
+        std::string name = std::get<0>(info.param) + "_t" +
+                           std::to_string(std::get<1>(info.param));
         for (char &c : name) {
             if (!isalnum(static_cast<unsigned char>(c)))
                 c = '_';
         }
         return name;
     });
+
+/** The degenerate sharding case: a single datapath instance still
+ *  yields two shards (shared + instance), exceeding a 1-thread worker
+ *  budget, so the pool must degrade gracefully to serial phases. */
+TEST(CrossCheckDegenerate, OneInstanceMoreShardsThanThreads)
+{
+    const benchsuite::App *app = benchsuite::findApp("103.stencil");
+    ASSERT_NE(app, nullptr);
+    benchsuite::BenchContext ctx(benchsuite::Engine::SoffSim);
+    sim::PlatformConfig platform;
+    platform.scheduler = sim::SchedulerMode::CrossCheck;
+    platform.threads = 1;
+    ctx.setPlatformConfig(platform);
+    ctx.setInstanceOverride(1);
+    EXPECT_TRUE(benchsuite::runApp(*app, ctx));
+}
 
 // --- Randomized cross-mode equivalence on small kernels ----------------
 
@@ -93,11 +137,15 @@ TEST_P(RandomizedEquivalence, IdenticalCyclesStatsAndMemory)
     for (auto &v : a)
         v = static_cast<int32_t>(rng.next() % 1000);
 
-    rt::LaunchResult results[2];
-    std::vector<int32_t> out[2];
-    const sim::SchedulerMode modes[2] = {sim::SchedulerMode::Reference,
-                                         sim::SchedulerMode::EventDriven};
-    for (int m = 0; m < 2; ++m) {
+    rt::LaunchResult results[3];
+    std::vector<int32_t> out[3];
+    // The "mix" kernel uses atomic_add, so the parallel run exercises
+    // the collapsed single-shard fallback (a lock table shared across
+    // instances cannot be sharded).
+    const sim::SchedulerMode modes[3] = {sim::SchedulerMode::Reference,
+                                         sim::SchedulerMode::EventDriven,
+                                         sim::SchedulerMode::Parallel};
+    for (int m = 0; m < 3; ++m) {
         rt::Context ctx;
         rt::Program prog = ctx.buildProgram(src);
         auto kernel = prog.createKernel("mix");
@@ -117,19 +165,26 @@ TEST_P(RandomizedEquivalence, IdenticalCyclesStatsAndMemory)
         out[m].resize(32);
         ctx.readBuffer(bb, out[m].data(), 32 * 4);
     }
-    EXPECT_EQ(results[0].cycles, results[1].cycles);
-    EXPECT_EQ(results[0].stats.cacheHits, results[1].stats.cacheHits);
-    EXPECT_EQ(results[0].stats.cacheMisses,
-              results[1].stats.cacheMisses);
-    EXPECT_EQ(results[0].stats.dramTransfers,
-              results[1].stats.dramTransfers);
-    EXPECT_EQ(results[0].stats.localBankConflicts,
-              results[1].stats.localBankConflicts);
-    EXPECT_EQ(out[0], out[1]);
-    // The event-driven scheduler must not do *more* work than the
-    // reference, which steps every component every cycle.
-    EXPECT_LE(results[1].sched.componentSteps,
-              results[0].sched.componentSteps);
+    for (int m = 1; m < 3; ++m) {
+        EXPECT_EQ(results[0].cycles, results[m].cycles) << m;
+        EXPECT_EQ(results[0].stats.cacheHits,
+                  results[m].stats.cacheHits) << m;
+        EXPECT_EQ(results[0].stats.cacheMisses,
+                  results[m].stats.cacheMisses) << m;
+        EXPECT_EQ(results[0].stats.dramTransfers,
+                  results[m].stats.dramTransfers) << m;
+        EXPECT_EQ(results[0].stats.localBankConflicts,
+                  results[m].stats.localBankConflicts) << m;
+        EXPECT_EQ(out[0], out[m]) << m;
+        // The event-driven schedulers must not do *more* work than the
+        // reference, which steps every component every cycle.
+        EXPECT_LE(results[m].sched.componentSteps,
+                  results[0].sched.componentSteps) << m;
+    }
+    // The sharded scheduler's union of per-shard wake lists is
+    // cycle-for-cycle the event-driven wake list.
+    EXPECT_EQ(results[1].sched.componentSteps,
+              results[2].sched.componentSteps);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedEquivalence,
