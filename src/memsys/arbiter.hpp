@@ -12,7 +12,9 @@
 
 #include <deque>
 
+#include "sim/forensics.hpp"
 #include "sim/simulator.hpp"
+#include "support/strings.hpp"
 
 namespace soff::memsys
 {
@@ -64,6 +66,23 @@ class RRArbiter : public sim::Component
                 }
             }
         }
+    }
+
+    void
+    describeBlockage(sim::BlockageProbe &probe) const override
+    {
+        if (!origins_.empty()) {
+            // In-order response routing: the oldest response must go
+            // back to its origin before any younger one can move.
+            std::string held = strFormat(
+                "%zu response(s) owed, oldest to port %zu",
+                origins_.size(), origins_.front());
+            probe.waitPop(downResp_, held);
+            probe.waitPush(ports_[origins_.front()].resp, held);
+        }
+        probe.waitPush(downReq_);
+        for (const Port &port : ports_)
+            probe.waitPop(port.req);
     }
 
   private:

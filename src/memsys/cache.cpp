@@ -1,5 +1,8 @@
 #include "memsys/cache.hpp"
 
+#include "sim/forensics.hpp"
+#include "support/strings.hpp"
+
 namespace soff::memsys
 {
 
@@ -174,6 +177,25 @@ Cache::requestFlush(sim::Component *listener)
 {
     flushRequested_ = true;
     flushListener_ = listener;
+}
+
+void
+Cache::describeBlockage(sim::BlockageProbe &probe) const
+{
+    std::string held = strFormat("%zu/%zu transaction(s) queued",
+                                 txq_.size(), txqCap_);
+    if (!txq_.empty()) {
+        held += strFormat(", oldest ready at cycle %llu",
+                          static_cast<unsigned long long>(
+                              txq_.front().readyAt));
+        probe.waitPush(out_, held);
+    }
+    if (txq_.size() < txqCap_)
+        probe.waitPop(in_, held);
+    if (flushRequested_ && !flushComplete_) {
+        probe.note(strFormat("flushing dirty lines (%d/%d walked)",
+                             flushCursor_, numLines_));
+    }
 }
 
 } // namespace soff::memsys

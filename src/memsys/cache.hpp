@@ -45,6 +45,7 @@ class Cache : public sim::Component
           sim::Channel<sim::MemResp> *out);
 
     void step(sim::Cycle now) override;
+    void describeBlockage(sim::BlockageProbe &probe) const override;
 
     /**
      * Begins writing all dirty lines back (kernel completion, §III-B).

@@ -14,6 +14,8 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "sim/fault.hpp"
+
 namespace soff::memsys
 {
 
@@ -25,17 +27,28 @@ class DramTiming
         : latency_(latency), cyclesPerLine_(cycles_per_line)
     {}
 
+    /** Fault injection: latency spikes and burst jitter per transfer. */
+    void setFaultPlan(const sim::FaultPlan *plan) { faults_ = plan; }
+
     /**
      * Schedules one line transfer issued at `now`; returns the cycle
-     * when the data is available (or the write has drained).
+     * when the data is available (or the write has drained). Transfers
+     * are scheduled in cycle order across schedulers, so keying the
+     * fault perturbation on the transfer ordinal is deterministic.
      */
     uint64_t
     schedule(uint64_t now)
     {
+        uint64_t extra_latency = 0;
+        uint64_t extra_occupancy = 0;
+        if (faults_ != nullptr)
+            faults_->dramPerturb(transfers_, &extra_latency,
+                                 &extra_occupancy);
         uint64_t start = std::max(now, nextFree_);
-        nextFree_ = start + static_cast<uint64_t>(cyclesPerLine_);
+        nextFree_ = start + static_cast<uint64_t>(cyclesPerLine_) +
+                    extra_occupancy;
         ++transfers_;
-        return start + static_cast<uint64_t>(latency_);
+        return start + static_cast<uint64_t>(latency_) + extra_latency;
     }
 
     int latency() const { return latency_; }
@@ -46,6 +59,7 @@ class DramTiming
     int cyclesPerLine_;
     uint64_t nextFree_ = 0;
     uint64_t transfers_ = 0;
+    const sim::FaultPlan *faults_ = nullptr;
 };
 
 } // namespace soff::memsys

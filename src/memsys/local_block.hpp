@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "ir/eval.hpp"
+#include "sim/forensics.hpp"
 #include "sim/simulator.hpp"
 
 namespace soff::memsys
@@ -108,6 +109,16 @@ class LocalMemoryBlock : public sim::Component
         if (timed) {
             noteActivity();
             wakeAt(nearest);
+        }
+    }
+
+    void
+    describeBlockage(sim::BlockageProbe &probe) const override
+    {
+        for (const Port &port : ports_) {
+            if (!port.pending.empty())
+                probe.waitPush(port.resp, "matured response waiting");
+            probe.waitPop(port.req);
         }
     }
 

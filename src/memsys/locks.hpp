@@ -54,6 +54,13 @@ class LockTable
 
     uint64_t acquisitions() const { return acquisitions_; }
 
+    /** Current owner token of `index` (null if free); forensics. */
+    const void *
+    holder(int index) const
+    {
+        return owner_[static_cast<size_t>(index)];
+    }
+
     /**
      * Parks a component on a contended lock. A lock handoff is not
      * channel traffic, so the event-driven scheduler relies on the

@@ -1,11 +1,14 @@
 #include "runtime/runtime.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <thread>
 
 #include "baseline/interpreter.hpp"
+#include "sim/forensics.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -41,7 +44,8 @@ Device::allocate(uint64_t bytes)
         }
         return addr;
     }
-    throw RuntimeError("device global memory exhausted");
+    throw OpenClError(ClStatus::MemObjectAllocationFailure,
+                      "device global memory exhausted");
 }
 
 void
@@ -62,7 +66,8 @@ Device::release(uint64_t addr)
         }
         return;
     }
-    throw RuntimeError("release of unknown device address");
+    throw OpenClError(ClStatus::InvalidValue,
+                      "release of unknown device address");
 }
 
 // ----------------------------------------------------------------------
@@ -84,13 +89,13 @@ void
 KernelHandle::checkIndex(size_t index, bool is_buffer) const
 {
     if (index >= numArgs()) {
-        throw RuntimeError(strFormat(
+        throw OpenClError(ClStatus::InvalidArgIndex, strFormat(
             "kernel '%s' has %zu argument(s); index %zu out of range",
             name().c_str(), numArgs(), index));
     }
     const ir::Argument *arg = compiled_->kernel->argument(index);
     if (is_buffer != arg->type()->isPointer()) {
-        throw RuntimeError(strFormat(
+        throw OpenClError(ClStatus::InvalidArgValue, strFormat(
             "kernel '%s' argument %zu: %s expected", name().c_str(),
             index, arg->type()->isPointer() ? "a buffer" : "a scalar"));
     }
@@ -176,7 +181,7 @@ KernelHandle::argValues() const
     for (size_t i = 0; i < numArgs(); ++i) {
         auto it = args_.find(i);
         if (it == args_.end()) {
-            throw RuntimeError(strFormat(
+            throw OpenClError(ClStatus::InvalidKernelArgs, strFormat(
                 "kernel '%s' argument %zu was never set",
                 name().c_str(), i));
         }
@@ -192,8 +197,10 @@ KernelHandle
 Program::createKernel(const std::string &name)
 {
     const core::CompiledKernel *ck = compiled_->findKernel(name);
-    if (ck == nullptr)
-        throw RuntimeError("no kernel named '" + name + "' in program");
+    if (ck == nullptr) {
+        throw OpenClError(ClStatus::InvalidKernelName,
+                          "no kernel named '" + name + "' in program");
+    }
     return KernelHandle(this, ck);
 }
 
@@ -233,12 +240,37 @@ namespace
 {
 
 /**
+ * Strict SOFF_THREADS parser: a bare positive decimal integer in
+ * [1, 1024]. Anything else — non-numeric text, trailing garbage,
+ * zero, negatives, overflow — is rejected with CL_INVALID_VALUE
+ * rather than silently becoming atoi()'s 0 (= "auto").
+ */
+int
+parseThreadCount(const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(text, &end, 10);
+    bool bare_digits = *text >= '0' && *text <= '9'; // no ws/sign
+    if (!bare_digits || end == text || *end != '\0' || errno == ERANGE ||
+        v < 1 || v > 1024) {
+        throw OpenClError(ClStatus::InvalidValue, strFormat(
+            "invalid SOFF_THREADS '%s': expected an integer between 1 "
+            "and 1024 (unset or 0-valued config means "
+            "hardware_concurrency)", text));
+    }
+    return static_cast<int>(v);
+}
+
+/**
  * Environment overrides. SOFF_SCHEDULER selects the simulation kernel
  * by name ("reference", "event-driven", "parallel", "cross-check") —
  * applied only when the caller left the default, so code that
  * explicitly pins a mode (tests, the cross-check itself) is not
  * affected. SOFF_THREADS sets the parallel worker count when the
- * caller left it at 0 (auto).
+ * caller left it at 0 (auto). SOFF_FAULTS installs a delay-only
+ * fault-injection plan (sim/fault.hpp grammar) when the caller did
+ * not already configure one.
  */
 void
 applyEnvOverrides(sim::PlatformConfig &plat)
@@ -248,8 +280,10 @@ applyEnvOverrides(sim::PlatformConfig &plat)
         if (name != nullptr && *name != '\0') {
             sim::SchedulerMode mode;
             if (!sim::schedulerModeFromName(name, &mode)) {
-                throw RuntimeError(std::string("unknown SOFF_SCHEDULER '") +
-                                   name + "'");
+                throw OpenClError(ClStatus::InvalidValue, strFormat(
+                    "unknown SOFF_SCHEDULER '%s': valid values are "
+                    "reference, event-driven, parallel, cross-check",
+                    name));
             }
             plat.scheduler = mode;
         }
@@ -257,7 +291,19 @@ applyEnvOverrides(sim::PlatformConfig &plat)
     if (plat.threads == 0) {
         const char *threads = std::getenv("SOFF_THREADS");
         if (threads != nullptr && *threads != '\0')
-            plat.threads = std::atoi(threads);
+            plat.threads = parseThreadCount(threads);
+    }
+    if (!plat.faults.enabled() && !plat.faults.checkInvariants) {
+        const char *faults = std::getenv("SOFF_FAULTS");
+        if (faults != nullptr && *faults != '\0') {
+            try {
+                plat.faults = sim::FaultConfig::parse(faults);
+            } catch (const RuntimeError &e) {
+                throw OpenClError(ClStatus::InvalidValue,
+                                  std::string("invalid SOFF_FAULTS: ") +
+                                  e.what());
+            }
+        }
     }
 }
 
@@ -374,8 +420,9 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
     for (int d = 0; d < 3; ++d) {
         if (ndrange.localSize[d] == 0 ||
             ndrange.globalSize[d] % ndrange.localSize[d] != 0) {
-            throw RuntimeError("NDRange global size must be a multiple "
-                               "of the work-group size");
+            throw OpenClError(ClStatus::InvalidWorkGroupSize,
+                              "NDRange global size must be a multiple "
+                              "of the work-group size");
         }
     }
     sim::LaunchContext launch;
@@ -394,7 +441,8 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
                         ? instance_override
                         : kernel.program()->instancesFor(ck);
     if (instance_override <= 0 && instances <= 0) {
-        throw RuntimeError(
+        throw OpenClError(
+            ClStatus::OutOfResources,
             "kernel '" + ck.kernel->name() + "' does not fit the "
             "target FPGA (insufficient resources)");
     }
@@ -451,9 +499,48 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
         plat.scheduler = sim::SchedulerMode::EventDriven;
     }
 
-    sim::KernelCircuit circuit(*ck.plan, launch, device_.globalMemory(),
-                               instances, plat);
-    auto run = circuit.run(max_cycles);
+    // Graceful degradation (robustness over speed): if the parallel
+    // scheduler itself fails with an internal error — not a deadlock
+    // or timeout, which are properties of the circuit, and not a
+    // SimInternalError, which is a circuit-level bug the reference
+    // scheduler would reproduce — fall back to the reference
+    // scheduler once, on pristine memory, with a logged warning.
+    std::vector<uint8_t> pristine;
+    bool degradable =
+        !crosscheck && plat.scheduler == sim::SchedulerMode::Parallel;
+    if (degradable) {
+        const memsys::GlobalMemory &m = device_.globalMemory();
+        pristine.assign(m.data(), m.data() + m.size());
+    }
+
+    std::unique_ptr<sim::KernelCircuit> circuit;
+    sim::Simulator::RunResult run;
+    try {
+        circuit = std::make_unique<sim::KernelCircuit>(
+            *ck.plan, launch, device_.globalMemory(), instances, plat);
+        run = circuit->run(max_cycles);
+    } catch (const sim::SimInternalError &e) {
+        throw OpenClError(ClStatus::OutOfResources, e.what(),
+                          e.report());
+    } catch (const OpenClError &) {
+        throw;
+    } catch (const RuntimeError &e) {
+        if (!degradable)
+            throw;
+        std::fprintf(stderr,
+                     "SOFF warning: parallel scheduler failed for "
+                     "kernel '%s' (%s); retrying once on the "
+                     "reference scheduler\n",
+                     ck.kernel->name().c_str(), e.what());
+        memsys::GlobalMemory &m = device_.globalMemory();
+        std::copy(pristine.begin(), pristine.end(), m.data());
+        sim::PlatformConfig fallback = plat;
+        fallback.scheduler = sim::SchedulerMode::Reference;
+        circuit = std::make_unique<sim::KernelCircuit>(
+            *ck.plan, launch, device_.globalMemory(), instances,
+            fallback);
+        run = circuit->run(max_cycles);
+    }
     if (crosscheck) {
         for (std::thread &t : checkers)
             t.join();
@@ -463,9 +550,9 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
             std::rethrow_exception(par_error);
         ModeRun evt_side;
         evt_side.run = run;
-        evt_side.stats = circuit.stats();
-        evt_side.sched = circuit.simulator().schedulerStats();
-        evt_side.retired = circuit.retired();
+        evt_side.stats = circuit->stats();
+        evt_side.sched = circuit->simulator().schedulerStats();
+        evt_side.retired = circuit->retired();
         const memsys::GlobalMemory &mem = device_.globalMemory();
         evt_side.mem.assign(mem.data(), mem.data() + mem.size());
         crossCheckCompare(ck.kernel->name(), "event-driven", ref_side,
@@ -490,16 +577,19 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
         }
     }
     if (run.deadlock || !run.completed) {
-        throw RuntimeError(strFormat(
+        std::string msg = strFormat(
             "kernel '%s' %s after %llu cycles",
             ck.kernel->name().c_str(),
             run.deadlock ? "deadlocked" : "timed out",
-            static_cast<unsigned long long>(run.cycles)));
+            static_cast<unsigned long long>(run.cycles));
+        if (run.report != nullptr)
+            msg += "\n" + run.report->render();
+        throw OpenClError(ClStatus::OutOfResources, msg, run.report);
     }
     result.cycles = run.cycles;
     result.instances = instances;
-    result.stats = circuit.stats();
-    result.sched = circuit.simulator().schedulerStats();
+    result.stats = circuit->stats();
+    result.sched = circuit->simulator().schedulerStats();
     datapath::Resources used =
         ck.resourcesPerInstance.scaled(instances);
     result.fmaxMhz = datapath::estimateFmaxMhz(device_.fpga(), used);

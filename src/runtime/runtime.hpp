@@ -22,9 +22,41 @@
 #include "core/compiler.hpp"
 #include "memsys/global_memory.hpp"
 #include "sim/circuit.hpp"
+#include "support/error.hpp"
+
+namespace soff::sim
+{
+struct DeadlockReport;
+} // namespace soff::sim
 
 namespace soff::rt
 {
+
+/**
+ * A RuntimeError carrying the OpenCL status code a real clXxx() call
+ * would have returned, plus — for deadlocks and timeouts — the
+ * structured DeadlockReport describing who waits on whom.
+ */
+class OpenClError : public RuntimeError
+{
+  public:
+    OpenClError(ClStatus status, const std::string &message,
+                std::shared_ptr<const sim::DeadlockReport> report = nullptr)
+        : RuntimeError(message), status_(status), report_(std::move(report))
+    {}
+
+    ClStatus status() const { return status_; }
+    const char *statusName() const { return clStatusName(status_); }
+    /** Non-null only for deadlock/timeout errors. */
+    const std::shared_ptr<const sim::DeadlockReport> &report() const
+    {
+        return report_;
+    }
+
+  private:
+    ClStatus status_;
+    std::shared_ptr<const sim::DeadlockReport> report_;
+};
 
 /** The simulated accelerator board. */
 class Device

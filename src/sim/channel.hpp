@@ -40,12 +40,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/fault.hpp"
 #include "support/error.hpp"
 
 namespace soff::sim
 {
 
 class Component;
+class Simulator;
 
 /** Type-erased base so the simulator can commit and track channels. */
 class ChannelBase
@@ -73,7 +75,40 @@ class ChannelBase
         dirtyList_ = list;
     }
 
+    /** Global creation index (stable across schedulers; fault keys). */
+    uint32_t id() const { return index_; }
+
+    /** Tags the stall-probability class (memory ports stall harder). */
+    void setFaultClass(FaultClass cls) { faultClass_ = cls; }
+
+    /** Committed tokens currently held (forensics snapshot). */
+    virtual size_t occupancy() const = 0;
+    /** Total token capacity (forensics snapshot). */
+    virtual size_t capacityTokens() const = 0;
+
   protected:
+    /**
+     * Fault-injection hook for canPop()/canPush(): true while an
+     * injected stall window covers this channel. Occupancy conditions
+     * must be checked *before* this gate so an occupancy-blocked query
+     * keeps relying on the normal commit wakes; when the gate itself
+     * blocks, it arms a timer wake for the querying component at the
+     * deterministic clear cycle — otherwise an event-driven scheduler
+     * could sleep through the only cycle that unblocks it.
+     */
+    bool
+    faultGate() const
+    {
+        if (faults_ == nullptr)
+            return false;
+        uint64_t clear = 0;
+        if (!faults_->channelBlocked(index_, faultClass_, *nowPtr_,
+                                     &clear))
+            return false;
+        faultRetry(clear);
+        return true;
+    }
+
     void
     markDirty()
     {
@@ -102,6 +137,10 @@ class ChannelBase
   private:
     friend class Simulator;
 
+    /** Out-of-line (needs the Simulator definition): arms the retry
+     *  wake for the component currently being stepped. */
+    void faultRetry(uint64_t clear) const;
+
     /** Where the stepping thread collects cross-shard dirty marks
      *  (parallel scheduler phase 1); null in the serial schedulers. */
     static thread_local std::vector<ChannelBase *> *tlsCrossDirty;
@@ -113,6 +152,10 @@ class ChannelBase
     uint32_t shard_ = 0; ///< Home shard (parallel scheduler).
     bool crossShard_ = false; ///< Endpoints live in different shards.
     std::atomic<bool> crossDirty_{false};
+    Simulator *sim_ = nullptr;          ///< Owning simulator (faults).
+    const uint64_t *nowPtr_ = nullptr;  ///< The simulator's clock.
+    const FaultPlan *faults_ = nullptr; ///< Null when injection is off.
+    FaultClass faultClass_ = FaultClass::Data;
 };
 
 /** A single-producer single-consumer staged FIFO channel. */
@@ -126,7 +169,10 @@ class Channel : public ChannelBase
     }
 
     /** Consumer side: a committed token is available. */
-    bool canPop() const { return committed_ > 0 && !popped_; }
+    bool canPop() const
+    {
+        return committed_ > 0 && !popped_ && !faultGate();
+    }
     const T &peek() const { return buf_[head_]; }
     T
     pop()
@@ -138,7 +184,10 @@ class Channel : public ChannelBase
     }
 
     /** Producer side: space based on the committed occupancy. */
-    bool canPush() const { return committed_ + staged_ < cap_; }
+    bool canPush() const
+    {
+        return committed_ + staged_ < cap_ && !faultGate();
+    }
     void
     push(T v)
     {
@@ -166,6 +215,8 @@ class Channel : public ChannelBase
     size_t size() const { return committed_; }
     size_t capacity() const { return cap_; }
     bool empty() const { return committed_ == 0; }
+    size_t occupancy() const override { return committed_; }
+    size_t capacityTokens() const override { return cap_; }
 
   private:
     size_t cap_;

@@ -1,5 +1,8 @@
 #include "sim/circuit.hpp"
 
+#include <algorithm>
+
+#include "sim/forensics.hpp"
 #include "support/strings.hpp"
 
 namespace soff::sim
@@ -13,11 +16,18 @@ KernelCircuit::KernelCircuit(const datapath::KernelPlan &plan,
                              int num_instances,
                              const PlatformConfig &platform)
     : plan_(plan), launch_(launch), memory_(memory),
-      numInstances_(num_instances),
+      numInstances_(num_instances), platform_(platform),
+      faultPlan_(platform.faults),
       sim_(platform.scheduler, platform.threads),
       dram_(platform.dramLatency, platform.dramCyclesPerLine)
 {
     SOFF_ASSERT(num_instances >= 1, "need at least one datapath");
+    if (faultPlan_.enabled()) {
+        // Installed before any channel is created, so every channel
+        // picks up the plan; off means a null pointer and zero cost.
+        sim_.setFaultPlan(&faultPlan_);
+        dram_.setFaultPlan(&faultPlan_);
+    }
     board_ = std::make_unique<CompletionBoard>(launch.ndrange,
                                                num_instances);
     // Shard layout for the parallel scheduler: one shard per datapath
@@ -97,11 +107,18 @@ KernelCircuit::buildLeaf(const NodePlan &node, Channel<WiToken> *in,
     const datapath::BasicPipelinePlan &bp = *node.pipeline;
     std::string base = prefix + bp.bb->name() + ".";
 
-    // One channel per DFG edge.
+    // One channel per DFG edge. The balancing slack above the base
+    // capacity of 2 only affects throughput on the acyclic DFG
+    // (§IV-B), so the fault plan may legally remove some of it.
     std::vector<Channel<Flit> *> edge_ch;
     for (const datapath::FuEdgeSpec &e : bp.edges) {
+        int slack = e.fifoDepth;
+        if (platform_.balanceFifoCap >= 0)
+            slack = std::min(slack, platform_.balanceFifoCap);
+        slack = faultPlan_.balanceSlack(
+            static_cast<uint32_t>(sim_.numChannels()), slack);
         edge_ch.push_back(sim_.channel<Flit>(
-            2 + static_cast<size_t>(e.fifoDepth)));
+            2 + static_cast<size_t>(slack)));
     }
 
     Channel<WiToken> *sink_out = sim_.channel<WiToken>(2);
@@ -403,6 +420,8 @@ KernelCircuit::buildMemorySubsystem()
     for (Group &g : groups) {
         auto *req = sim_.channel<MemReq>(2);
         auto *resp = sim_.channel<MemResp>(4);
+        req->setFaultClass(FaultClass::Memory);
+        resp->setFaultClass(FaultClass::Memory);
         memsys::Cache *cache = sim_.add<memsys::Cache>(
             g.name, memory_, dram_, plan_.config.cacheSizeBytes,
             plan_.config.cacheLineBytes, req, resp);
@@ -419,12 +438,21 @@ KernelCircuit::buildMemorySubsystem()
             // line-blocks and the datapath deadlocks.
             size_t window = static_cast<size_t>(
                 plan_.config.latency.nearMaxLatency(*client.inst)) + 2;
+            if (platform_.memRespWindowOverride > 0) {
+                window = static_cast<size_t>(
+                    platform_.memRespWindowOverride);
+            }
             auto *ureq = sim_.channel<MemReq>(2);
             auto *uresp = sim_.channel<MemResp>(window);
+            ureq->setFaultClass(FaultClass::Memory);
+            uresp->setFaultClass(FaultClass::Memory);
             arbiter->addPort(ureq, uresp);
             client.unit->setMemPort(ureq, uresp);
             if (client.inst->isAtomic())
                 client.unit->setLockTable(locks);
+            if (platform_.faults.checkInvariants)
+                client.unit->enableInvariantCheck();
+            memUnits_.push_back(client.unit);
         }
     }
 
@@ -454,13 +482,22 @@ KernelCircuit::buildMemorySubsystem()
                 size_t window = static_cast<size_t>(
                     plan_.config.latency.nearMaxLatency(*client.inst)) +
                     2;
+                if (platform_.memRespWindowOverride > 0) {
+                    window = static_cast<size_t>(
+                        platform_.memRespWindowOverride);
+                }
                 auto *ureq = sim_.channel<MemReq>(2);
                 auto *uresp = sim_.channel<MemResp>(window);
+                ureq->setFaultClass(FaultClass::Memory);
+                uresp->setFaultClass(FaultClass::Memory);
                 block->addPort(ureq, uresp);
                 client.unit->setMemPort(ureq, uresp);
                 client.unit->setNumSlots(lb.numSlots);
                 if (client.inst->isAtomic())
                     client.unit->setLockTable(locks);
+                if (platform_.faults.checkInvariants)
+                    client.unit->enableInvariantCheck();
+                memUnits_.push_back(client.unit);
             }
         }
     }
@@ -472,10 +509,27 @@ KernelCircuit::run(Cycle max_cycles, Cycle deadlock_window)
 {
     auto result = sim_.run(counter_->completedFlag(), max_cycles,
                            deadlock_window);
+    // Internal-bug detectors. On a hang these findings are already in
+    // the attached report (describeBlockage emits them), flagging it as
+    // an internal bug rather than a legitimate circuit deadlock; on a
+    // run that otherwise looks fine they must escalate to an error.
     for (BarrierUnit *barrier : barriers_) {
-        if (barrier->overflowed()) {
-            throw RuntimeError("barrier work-group buffering overflow "
-                               "in " + barrier->name());
+        if (barrier->overflowed() && result.report == nullptr) {
+            auto report = sim_.diagnose(HangKind::InvariantViolation);
+            throw SimInternalError(
+                "barrier work-group buffering overflow in " +
+                    barrier->name() + "\n" + report->render(),
+                report);
+        }
+    }
+    for (MemUnit *unit : memUnits_) {
+        if (!unit->invariantViolation().empty() &&
+            result.report == nullptr) {
+            auto report = sim_.diagnose(HangKind::InvariantViolation);
+            throw SimInternalError(unit->name() + ": " +
+                                       unit->invariantViolation() +
+                                       "\n" + report->render(),
+                                   report);
         }
     }
     return result;

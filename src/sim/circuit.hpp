@@ -16,6 +16,7 @@
 #include "memsys/local_block.hpp"
 #include "memsys/locks.hpp"
 #include "sim/dispatch.hpp"
+#include "sim/fault.hpp"
 #include "sim/glue.hpp"
 #include "sim/units.hpp"
 
@@ -33,6 +34,16 @@ struct PlatformConfig
     /** Worker threads for SchedulerMode::Parallel (capped by the
      *  shard count); 0 means hardware_concurrency(). */
     int threads = 0;
+    /** Delay-only fault injection (sim/fault.hpp); off by default. */
+    FaultConfig faults;
+    /** Test-only: force every load/store response window to this many
+     *  tokens instead of the §V-A nearMaxLatency+2 sizing. Values
+     *  below L_F+1 deliberately break the deadlock-freedom guarantee
+     *  (the undersized-FIFO forensics test). 0 = sized per §V-A. */
+    int memRespWindowOverride = 0;
+    /** Test-only: cap the balancing slack of every DFG-edge FIFO
+     *  (base capacity of 2 always kept). -1 = use the plan's sizing. */
+    int balanceFifoCap = -1;
 };
 
 /** Aggregated execution statistics. */
@@ -91,6 +102,8 @@ class KernelCircuit
     const LaunchContext &launch_;
     memsys::GlobalMemory &memory_;
     int numInstances_;
+    PlatformConfig platform_;
+    FaultPlan faultPlan_; ///< Must outlive sim_ and dram_ (declared first).
 
     Simulator sim_;
     memsys::DramTiming dram_;
@@ -113,6 +126,7 @@ class KernelCircuit
     std::vector<memsys::LocalMemoryBlock *> localBlocks_;
     std::vector<std::unique_ptr<memsys::LockTable>> lockTables_;
     std::vector<BarrierUnit *> barriers_;
+    std::vector<MemUnit *> memUnits_;
     std::vector<SelectUnit *> selects_;
     std::map<const datapath::NodePlan *, Router *> leafRouters_;
     int regionCounter_ = 0;

@@ -1,5 +1,8 @@
 #include "sim/dispatch.hpp"
 
+#include "sim/forensics.hpp"
+#include "support/strings.hpp"
+
 namespace soff::sim
 {
 
@@ -25,7 +28,9 @@ Dispatcher::step(Cycle)
         Stream &stream = streams_[d];
         if (!stream.active) {
             if (nextGroup_ >= totalGroups_ ||
-                board_->inflight(static_cast<int>(d)) >= maxGroups_) {
+                board_->inflight(static_cast<int>(d)) >= maxGroups_ ||
+                !board_->slotFree(nextGroup_, static_cast<int>(d),
+                                  static_cast<uint64_t>(maxGroups_))) {
                 continue;
             }
             stream.active = true;
@@ -40,6 +45,28 @@ Dispatcher::step(Cycle)
             inputs_[d]->push(std::move(token));
             if (++stream.nextLocal >= nd.groupSize())
                 stream.active = false;
+        }
+    }
+}
+
+void
+Dispatcher::describeBlockage(BlockageProbe &probe) const
+{
+    for (size_t d = 0; d < inputs_.size(); ++d) {
+        const Stream &stream = streams_[d];
+        if (stream.active) {
+            probe.waitPush(inputs_[d],
+                           strFormat("dispatching work-group %llu",
+                                     static_cast<unsigned long long>(
+                                         stream.group)));
+        } else if (nextGroup_ < totalGroups_) {
+            probe.note(strFormat(
+                "datapath %zu at its concurrent-group cap or slot "
+                "conflict (%d in flight), %llu group(s) still "
+                "undispatched",
+                d, board_->inflight(static_cast<int>(d)),
+                static_cast<unsigned long long>(totalGroups_ -
+                                                nextGroup_)));
         }
     }
 }
@@ -83,6 +110,21 @@ WorkItemCounter::step(Cycle)
             all_flushed &= cache->flushDone();
         completed_ = all_flushed;
     }
+}
+
+void
+WorkItemCounter::describeBlockage(BlockageProbe &probe) const
+{
+    std::string held = strFormat(
+        "%llu/%llu work-item(s) retired",
+        static_cast<unsigned long long>(count_),
+        static_cast<unsigned long long>(total_));
+    for (Channel<WiToken> *ch : terminals_)
+        probe.waitPop(ch, held);
+    if (flushSent_ && !completed_)
+        probe.note("awaiting cache flush completion; " + held);
+    else
+        probe.note(held);
 }
 
 } // namespace soff::sim

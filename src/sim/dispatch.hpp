@@ -14,6 +14,8 @@
  */
 #pragma once
 
+#include <algorithm>
+
 #include "memsys/cache.hpp"
 #include "sim/simulator.hpp"
 
@@ -28,7 +30,8 @@ class CompletionBoard
     CompletionBoard(const NDRange &ndrange, int num_datapaths)
         : ndrange_(ndrange),
           remaining_(ndrange.totalGroups(), ndrange.groupSize()),
-          inflight_(static_cast<size_t>(num_datapaths), 0)
+          inflight_(static_cast<size_t>(num_datapaths), 0),
+          live_(static_cast<size_t>(num_datapaths))
     {}
 
     void
@@ -36,6 +39,7 @@ class CompletionBoard
     {
         owner_[group] = datapath;
         ++inflight_[static_cast<size_t>(datapath)];
+        live_[static_cast<size_t>(datapath)].push_back(group);
     }
 
     /** Returns true when this retirement completes its work-group. */
@@ -44,7 +48,10 @@ class CompletionBoard
     {
         uint64_t group = ndrange_.groupOf(wi);
         if (--remaining_[group] == 0) {
-            --inflight_[static_cast<size_t>(owner_.at(group))];
+            size_t d = static_cast<size_t>(owner_.at(group));
+            --inflight_[d];
+            std::vector<uint64_t> &live = live_[d];
+            live.erase(std::find(live.begin(), live.end(), group));
             return true;
         }
         return false;
@@ -55,10 +62,32 @@ class CompletionBoard
         return inflight_[static_cast<size_t>(datapath)];
     }
 
+    /**
+     * True if no work-group currently resident on `datapath` occupies
+     * the same local-memory slot (group id modulo the slot count).
+     * Local blocks key their per-group copies on `group % numSlots`
+     * (§V-B), so two resident groups in the same residue class would
+     * alias each other's state. The unperturbed schedule happens to
+     * space a datapath's groups apart, but the spacing is a timing
+     * accident — delay faults (or a slow group) can break it, so the
+     * dispatcher must enforce slot exclusivity structurally.
+     */
+    bool
+    slotFree(uint64_t group, int datapath, uint64_t slots) const
+    {
+        for (uint64_t g : live_[static_cast<size_t>(datapath)]) {
+            if (g % slots == group % slots)
+                return false;
+        }
+        return true;
+    }
+
   private:
     NDRange ndrange_;
     std::vector<uint64_t> remaining_;
     std::vector<int> inflight_;
+    /** Groups assigned but not fully retired, per datapath. */
+    std::vector<std::vector<uint64_t>> live_;
     std::map<uint64_t, int> owner_;
 };
 
@@ -71,6 +100,7 @@ class Dispatcher : public Component
                CompletionBoard *board, int max_groups_per_datapath);
 
     void step(Cycle now) override;
+    void describeBlockage(BlockageProbe &probe) const override;
 
     bool allDispatched() const { return nextGroup_ >= totalGroups_; }
 
@@ -100,6 +130,7 @@ class WorkItemCounter : public Component
                     std::vector<memsys::Cache *> caches);
 
     void step(Cycle now) override;
+    void describeBlockage(BlockageProbe &probe) const override;
 
     /** Group retirements free dispatcher slots; wake it (non-channel). */
     void setDispatcher(Component *d) { dispatcher_ = d; }

@@ -1,6 +1,8 @@
 #include "sim/glue.hpp"
 
+#include "sim/forensics.hpp"
 #include "sim/units.hpp"
+#include "support/strings.hpp"
 
 namespace soff::sim
 {
@@ -39,6 +41,16 @@ Router::step(Cycle)
     out.ch->push(out.proj != nullptr
                      ? applyProjection(*out.proj, popped, *launch_)
                      : std::move(popped));
+}
+
+void
+Router::describeBlockage(BlockageProbe &probe) const
+{
+    probe.waitPop(in_);
+    for (const Out &out : outs_)
+        probe.waitPush(out.ch);
+    if (orderFifo_ != nullptr)
+        probe.waitPush(orderFifo_, "work-group order FIFO");
 }
 
 void
@@ -81,6 +93,41 @@ SelectUnit::step(Cycle)
 }
 
 void
+SelectUnit::describeBlockage(BlockageProbe &probe) const
+{
+    probe.waitPush(out_);
+    for (const In &in : ins_)
+        probe.waitPop(in.ch);
+    if (orderFifo_ == nullptr || orderFifo_->occupancy() == 0) {
+        if (orderFifo_ != nullptr)
+            probe.waitPop(orderFifo_, "work-group order FIFO");
+        return;
+    }
+    uint64_t group = orderFifo_->peek();
+    probe.note(strFormat("ordered select expects work-group %llu next",
+                         static_cast<unsigned long long>(group)));
+    // Sibling of the barrier's ad-hoc flag: if every input is full and
+    // none holds the expected group at its head, the expected token
+    // can never arrive (only this select drains these channels) — an
+    // internal ordering bug, not a legitimate circuit deadlock.
+    bool all_full = true;
+    bool any_match = false;
+    for (const In &in : ins_) {
+        if (in.ch->occupancy() < in.ch->capacityTokens())
+            all_full = false;
+        if (in.ch->occupancy() > 0 &&
+            launch_->ndrange.groupOf(in.ch->peek().wi) == group)
+            any_match = true;
+    }
+    if (all_full && !any_match && !ins_.empty()) {
+        probe.invariant(strFormat(
+            "ordered select wedged: every input is full and none holds "
+            "a token of the expected work-group %llu",
+            static_cast<unsigned long long>(group)));
+    }
+}
+
+void
 LoopEntrance::step(Cycle)
 {
     if (!in_->canPop() || !out_->canPush())
@@ -102,6 +149,22 @@ LoopEntrance::step(Cycle)
 }
 
 void
+LoopEntrance::describeBlockage(BlockageProbe &probe) const
+{
+    probe.waitPop(in_);
+    probe.waitPush(out_);
+    if (state_->swgr && state_->groupActive) {
+        probe.note(strFormat(
+            "SWGR gate: work-group %llu active, %d work-item(s) inside",
+            static_cast<unsigned long long>(state_->currentGroup),
+            state_->count));
+    } else if (state_->nmax > 0 && state_->count >= state_->nmax) {
+        probe.note(strFormat("N_max gate: %d/%d work-item(s) inside",
+                             state_->count, state_->nmax));
+    }
+}
+
+void
 LoopExit::step(Cycle)
 {
     if (!in_->canPop() || !out_->canPush())
@@ -113,6 +176,13 @@ LoopExit::step(Cycle)
     // The gate count / SWGR state is not channel traffic: wake the
     // entrance so it can re-evaluate its admission condition.
     wakeOther(state_->entrance);
+}
+
+void
+LoopExit::describeBlockage(BlockageProbe &probe) const
+{
+    probe.waitPop(in_);
+    probe.waitPush(out_);
 }
 
 } // namespace soff::sim

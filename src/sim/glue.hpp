@@ -50,6 +50,7 @@ class Router : public Component
     }
 
     void step(Cycle now) override;
+    void describeBlockage(BlockageProbe &probe) const override;
 
   private:
     struct Out
@@ -99,6 +100,7 @@ class SelectUnit : public Component
     }
 
     void step(Cycle now) override;
+    void describeBlockage(BlockageProbe &probe) const override;
 
   private:
     struct In
@@ -146,6 +148,7 @@ class LoopEntrance : public Component
     }
 
     void step(Cycle now) override;
+    void describeBlockage(BlockageProbe &probe) const override;
 
   private:
     Channel<WiToken> *in_;
@@ -167,6 +170,7 @@ class LoopExit : public Component
     }
 
     void step(Cycle now) override;
+    void describeBlockage(BlockageProbe &probe) const override;
 
   private:
     Channel<WiToken> *in_;

@@ -3,8 +3,18 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/fault.hpp"
+#include "sim/forensics.hpp"
+#include "support/strings.hpp"
+
 namespace soff::sim
 {
+
+void
+ChannelBase::faultRetry(uint64_t clear) const
+{
+    sim_->faultRetryAt(clear);
+}
 
 thread_local std::vector<ChannelBase *> *ChannelBase::tlsCrossDirty =
     nullptr;
@@ -110,6 +120,18 @@ Simulator::scheduleAt(Component *c, Cycle cycle)
 }
 
 void
+Simulator::faultRetryAt(Cycle clear)
+{
+    Shard *sh = tlsShard_;
+    if (sh == nullptr || !sh->sweeping)
+        return; // Reference mode steps everything every cycle anyway.
+    // The querier is the component the sweep is on right now; it lives
+    // on this shard by definition, so the timer never crosses shards.
+    Component *c = components_[sh->currentList[sh->sweepPos]].get();
+    scheduleAt(c, clear);
+}
+
+void
 Simulator::wakeComponent(Component *c)
 {
     Shard *sh = tlsShard_;
@@ -186,10 +208,13 @@ Simulator::runReference(const bool *done, Cycle max_cycles,
         } else if (++idle >= deadlock_window) {
             result.deadlock = true;
             result.cycles = now_;
+            result.report = diagnose(HangKind::Deadlock);
             return result;
         }
     }
     result.cycles = now_;
+    if (done != nullptr)
+        result.report = diagnose(HangKind::Timeout);
     return result;
 }
 
@@ -269,6 +294,17 @@ Simulator::runSharded(const bool *done, Cycle max_cycles)
             result.cycles = now_;
             return result;
         }
+        if (faultPlan_ != nullptr && faultPlan_->tripCycle() != 0 &&
+            mode_ == SchedulerMode::Parallel &&
+            now_ >= faultPlan_->tripCycle()) {
+            // Error-path testing knob (FaultConfig::tripCycle): fail
+            // the Parallel run with an internal error so the runtime's
+            // graceful-degradation retry path can be exercised.
+            throw RuntimeError(strFormat(
+                "injected parallel-scheduler fault at cycle %llu "
+                "(SOFF_FAULTS trip=)",
+                static_cast<unsigned long long>(now_)));
+        }
         // Single-threaded window between phases: drop stale timer
         // entries (superseded by an earlier wake) and find the next
         // cycle with any work.
@@ -293,6 +329,7 @@ Simulator::runSharded(const bool *done, Cycle max_cycles)
                 // act again.
                 result.deadlock = true;
                 result.cycles = now_;
+                result.report = diagnose(HangKind::Deadlock);
                 return result;
             }
             SOFF_ASSERT(min_timer >= now_, "timer wake in the past");
@@ -316,6 +353,8 @@ Simulator::runSharded(const bool *done, Cycle max_cycles)
         ++now_;
     }
     result.cycles = now_;
+    if (done != nullptr)
+        result.report = diagnose(HangKind::Timeout);
     return result;
 }
 

@@ -67,6 +67,17 @@ namespace soff::sim
 {
 
 class Simulator;
+class BlockageProbe;
+struct DeadlockReport;
+class FaultPlan;
+
+/** Why a run failed to complete (forensics report classification). */
+enum class HangKind
+{
+    Deadlock,           ///< No component can ever make progress again.
+    Timeout,            ///< Cycle budget elapsed with work in flight.
+    InvariantViolation, ///< An internal checker flagged a bug.
+};
 
 /** Which simulation kernel drives the circuit. */
 enum class SchedulerMode
@@ -100,6 +111,17 @@ class Component
 
     /** One clock cycle of behavior. */
     virtual void step(Cycle now) = 0;
+
+    /**
+     * Hang forensics: declare the channel/lock conditions step() is
+     * currently gated on (BlockageProbe::waitPop/waitPush/waitLock).
+     * Called only after a run has deadlocked or timed out; the default
+     * reports nothing.
+     */
+    virtual void describeBlockage(BlockageProbe &probe) const
+    {
+        (void)probe;
+    }
 
     const std::string &name() const { return name_; }
 
@@ -181,10 +203,21 @@ class Simulator
         Channel<T> *raw = ch.get();
         raw->index_ = static_cast<uint32_t>(channels_.size());
         raw->shard_ = buildShard_;
+        raw->sim_ = this;
+        raw->nowPtr_ = &now_;
+        raw->faults_ = faultPlan_;
         raw->bindDirtyList(&dirtyChannels_);
         channels_.push_back(std::move(ch));
         return raw;
     }
+
+    /**
+     * Installs the fault plan consulted by channels created *after*
+     * this call (the circuit builder installs it before wiring) and by
+     * the scheduler itself. Pass nullptr (or never call) for a clean
+     * run; injection costs nothing when off.
+     */
+    void setFaultPlan(const FaultPlan *plan) { faultPlan_ = plan; }
 
     /**
      * Tags components and channels created from now on with a shard
@@ -219,6 +252,8 @@ class Simulator
         bool completed = false;
         bool deadlock = false;
         Cycle cycles = 0;
+        /** Forensics attached when the run deadlocked or timed out. */
+        std::shared_ptr<DeadlockReport> report;
     };
 
     /**
@@ -243,8 +278,23 @@ class Simulator
     /** Worker threads (including the coordinator) after the first run. */
     int parallelWorkers() const { return numWorkers_; }
 
+    /**
+     * Builds the structured hang report: every component describes its
+     * blockage, the wait-for graph is assembled from channel watcher
+     * lists, and one wait cycle is extracted (sim/forensics.cpp).
+     */
+    std::shared_ptr<DeadlockReport> diagnose(HangKind kind) const;
+
     /** Schedules `c` at `cycle` (>= the current cycle). */
     void scheduleAt(Component *c, Cycle cycle);
+    /**
+     * Called by a channel whose fault gate blocked a query: arms a
+     * timer wake at the window's clear cycle for the component being
+     * swept right now (the querier — always same-shard, so this never
+     * trips the cross-shard timer assertion). A no-op outside a step
+     * sweep: the reference scheduler steps everything anyway.
+     */
+    void faultRetryAt(Cycle clear);
     /**
      * Wakes `c` with same-cycle visibility semantics: if the current
      * cycle's in-order sweep of c's shard has not yet passed `c`, it
@@ -310,6 +360,7 @@ class Simulator
     Cycle now_ = 0;
     bool activity_ = false;
     SchedulerStats stats_;
+    const FaultPlan *faultPlan_ = nullptr;
 
     // Reference-mode dirty tracking (channels bind to this list until
     // the sharded schedulers re-bind them at finalizeShards()).

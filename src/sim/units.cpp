@@ -1,5 +1,8 @@
 #include "sim/units.hpp"
 
+#include "sim/forensics.hpp"
+#include "support/strings.hpp"
+
 namespace soff::sim
 {
 
@@ -27,6 +30,14 @@ SourceUnit::step(Cycle)
         }
         out.ch->push(std::move(flit));
     }
+}
+
+void
+SourceUnit::describeBlockage(BlockageProbe &probe) const
+{
+    probe.waitPop(in_);
+    for (const Out &out : outs_)
+        probe.waitPush(out.ch);
 }
 
 // ----------------------------------------------------------------------
@@ -58,6 +69,14 @@ SinkUnit::step(Cycle)
                 std::move(flit.val);
     }
     out_->push(std::move(token));
+}
+
+void
+SinkUnit::describeBlockage(BlockageProbe &probe) const
+{
+    probe.waitPush(out_);
+    for (const In &in : ins_)
+        probe.waitPop(in.ch);
 }
 
 // ----------------------------------------------------------------------
@@ -150,6 +169,21 @@ ComputeUnit::stepBody(Cycle now)
         result.val = ir::evalPure(inst_, ops, ctx);
     pipe_.push_back({now + static_cast<Cycle>(latency_),
                      std::move(result)});
+}
+
+void
+ComputeUnit::describeBlockage(BlockageProbe &probe) const
+{
+    std::string held = strFormat("%zu/%zu pipelined", pipe_.size(),
+                                 capacity_);
+    if (!pipe_.empty()) {
+        for (Channel<Flit> *out : outs_)
+            probe.waitPush(out, held);
+    }
+    if (pipe_.size() < capacity_) {
+        for (const In &in : ins_)
+            probe.waitPop(in.ch, held);
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -305,9 +339,11 @@ MemUnit::step(Cycle)
             // the lock so its release can wake us.
             if (locks_ != nullptr)
                 locks_->await(lock_index, this);
+            blockedOnLock_ = lock_index;
             return;
         }
     }
+    blockedOnLock_ = -1;
     // Commit the input pops.
     for (const In &in : ins_) {
         Flit f = in.ch->pop();
@@ -316,6 +352,39 @@ MemUnit::step(Cycle)
     }
     req_->push(req);
     inflight_.push_back({wi, lock_index});
+    if (checkInvariants_ && violation_.empty() &&
+        inflight_.size() > resp_->capacityTokens()) {
+        // §V-A: the response window must absorb every request the unit
+        // can have in flight, or it can stall while holding more than
+        // L_F requests — the deadlock-freedom precondition is void.
+        violation_ = strFormat(
+            "§V-A L_F guard: %zu request(s) in flight exceed the "
+            "response window of %zu token(s)",
+            inflight_.size(), resp_->capacityTokens());
+    }
+}
+
+void
+MemUnit::describeBlockage(BlockageProbe &probe) const
+{
+    std::string held = strFormat("%zu/%zu request(s) in flight",
+                                 inflight_.size(), capacity_);
+    if (!inflight_.empty()) {
+        probe.waitPop(resp_, held);
+        for (Channel<Flit> *out : outs_)
+            probe.waitPush(out, held);
+    }
+    if (inflight_.size() < capacity_) {
+        probe.waitPush(req_, held);
+        for (const In &in : ins_)
+            probe.waitPop(in.ch, held);
+    }
+    if (blockedOnLock_ >= 0 && locks_ != nullptr) {
+        probe.waitLock(blockedOnLock_, locks_->holder(blockedOnLock_),
+                       held);
+    }
+    if (!violation_.empty())
+        probe.invariant(violation_);
 }
 
 // ----------------------------------------------------------------------
@@ -358,6 +427,27 @@ BarrierUnit::step(Cycle)
         for (WiToken &t : bucket)
             releasing_.push_back(std::move(t));
         waiting_.erase(group);
+    }
+}
+
+void
+BarrierUnit::describeBlockage(BlockageProbe &probe) const
+{
+    std::string held = strFormat(
+        "%zu group(s) partially arrived, %zu work-item(s) releasing",
+        waiting_.size(), releasing_.size());
+    if (!releasing_.empty())
+        probe.waitPush(out_, held);
+    probe.waitPop(in_, held);
+    if (overflow_) {
+        // The "flag it rather than deadlock silently" path, upgraded:
+        // an overflow is an internal work-group-ordering bug, not a
+        // legitimate circuit deadlock, and the report says so.
+        probe.invariant(strFormat(
+            "work-group buffering overflow: %zu partially arrived "
+            "group(s) at the cap of %zu (work-group ordering bug "
+            "upstream of the barrier)",
+            waiting_.size(), maxGroups_));
     }
 }
 

@@ -37,6 +37,7 @@ class SourceUnit : public Component
     }
 
     void step(Cycle now) override;
+    void describeBlockage(BlockageProbe &probe) const override;
 
   private:
     struct Out
@@ -69,6 +70,7 @@ class SinkUnit : public Component
     }
 
     void step(Cycle now) override;
+    void describeBlockage(BlockageProbe &probe) const override;
 
   private:
     struct In
@@ -98,6 +100,7 @@ class ComputeUnit : public Component
     }
 
     void step(Cycle now) override;
+    void describeBlockage(BlockageProbe &probe) const override;
 
   private:
     void stepBody(Cycle now);
@@ -155,7 +158,18 @@ class MemUnit : public Component
     /** Local-memory accesses: slot count for work-group slotting. */
     void setNumSlots(int n) { numSlots_ = n; }
 
+    /**
+     * Opt-in §V-A L_F guard: record a violation whenever the in-flight
+     * request count exceeds the response window capacity — i.e. the
+     * unit could stall while holding more than L_F requests, voiding
+     * the deadlock-freedom precondition.
+     */
+    void enableInvariantCheck() { checkInvariants_ = true; }
+    /** Non-empty once the §V-A guard has tripped. */
+    const std::string &invariantViolation() const { return violation_; }
+
     void step(Cycle now) override;
+    void describeBlockage(BlockageProbe &probe) const override;
 
   private:
     ir::RtValue resolveOperand(const ir::Value *op,
@@ -182,6 +196,9 @@ class MemUnit : public Component
     };
     std::deque<Pending> inflight_;
     size_t capacity_;
+    bool checkInvariants_ = false;
+    std::string violation_;
+    int blockedOnLock_ = -1; ///< Lock index stalled on, -1 if none.
 };
 
 /**
@@ -198,6 +215,7 @@ class BarrierUnit : public Component
                 int max_waiting_groups);
 
     void step(Cycle now) override;
+    void describeBlockage(BlockageProbe &probe) const override;
 
     bool overflowed() const { return overflow_; }
 

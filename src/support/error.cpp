@@ -2,6 +2,30 @@
 
 #include <cstdio>
 
+namespace soff
+{
+
+const char *
+clStatusName(ClStatus status)
+{
+    switch (status) {
+      case ClStatus::Success: return "CL_SUCCESS";
+      case ClStatus::MemObjectAllocationFailure:
+        return "CL_MEM_OBJECT_ALLOCATION_FAILURE";
+      case ClStatus::OutOfResources: return "CL_OUT_OF_RESOURCES";
+      case ClStatus::InvalidValue: return "CL_INVALID_VALUE";
+      case ClStatus::InvalidKernelName: return "CL_INVALID_KERNEL_NAME";
+      case ClStatus::InvalidArgIndex: return "CL_INVALID_ARG_INDEX";
+      case ClStatus::InvalidArgValue: return "CL_INVALID_ARG_VALUE";
+      case ClStatus::InvalidKernelArgs: return "CL_INVALID_KERNEL_ARGS";
+      case ClStatus::InvalidWorkGroupSize:
+        return "CL_INVALID_WORK_GROUP_SIZE";
+    }
+    return "CL_UNKNOWN_ERROR";
+}
+
+} // namespace soff
+
 namespace soff::detail
 {
 

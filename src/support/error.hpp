@@ -35,6 +35,26 @@ class RuntimeError : public std::runtime_error
     {}
 };
 
+/**
+ * OpenCL-style status codes the runtime attaches to its errors (the
+ * subset this reproduction can raise; numeric values match cl.h).
+ */
+enum class ClStatus : int
+{
+    Success = 0,
+    MemObjectAllocationFailure = -4,
+    OutOfResources = -5,
+    InvalidValue = -30,
+    InvalidKernelName = -46,
+    InvalidArgIndex = -49,
+    InvalidArgValue = -50,
+    InvalidKernelArgs = -52,
+    InvalidWorkGroupSize = -54,
+};
+
+/** The cl.h macro name for a status ("CL_OUT_OF_RESOURCES", ...). */
+const char *clStatusName(ClStatus status);
+
 namespace detail
 {
 [[noreturn]] void assertFail(const char *cond, const char *file, int line,
