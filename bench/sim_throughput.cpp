@@ -21,6 +21,7 @@
 
 #include "benchsuite/suite.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
 
 using namespace soff;
 using benchsuite::App;
@@ -58,6 +59,8 @@ struct Row
     int instances = 0;
     bool verified = false;
     std::vector<ParallelPoint> parallel;
+    /** Architectural counter context (event-driven run). */
+    benchsuite::RunMetrics evtMetrics;
 };
 
 /** Runs one app on one scheduler; returns wall ms (simulation only —
@@ -152,6 +155,7 @@ main()
         row.evtSteps = evt_metrics.componentSteps;
         row.evtCyclesActive = evt_metrics.cyclesActive;
         row.instances = evt_metrics.instances;
+        row.evtMetrics = evt_metrics;
         double speedup =
             row.evtWallMs > 0.0 ? row.refWallMs / row.evtWallMs : 0.0;
         max_speedup = std::max(max_speedup, speedup);
@@ -198,55 +202,71 @@ main()
         rows.push_back(row);
     }
 
-    std::FILE *out = std::fopen("BENCH_sim.json", "w");
-    SOFF_ASSERT(out != nullptr, "cannot write BENCH_sim.json");
-    std::fprintf(out, "{\n  \"benchmark\": \"sim_throughput\",\n");
-    std::fprintf(out, "  \"hardwareConcurrency\": %u,\n",
-                 std::thread::hardware_concurrency());
-    std::fprintf(out, "  \"maxSpeedup\": %.3f,\n", max_speedup);
-    std::fprintf(out, "  \"maxParallelSpeedup\": %.3f,\n  \"rows\": [\n",
-                 max_parallel_speedup);
-    for (size_t i = 0; i < rows.size(); ++i) {
-        const Row &r = rows[i];
-        double speedup =
-            r.evtWallMs > 0.0 ? r.refWallMs / r.evtWallMs : 0.0;
-        std::fprintf(
-            out,
-            "    {\"app\": \"%s\", \"config\": \"%s\", "
-            "\"dramLatency\": %d, \"instances\": %d,\n"
-            "     \"refWallMs\": %.3f, \"evtWallMs\": %.3f, "
-            "\"speedup\": %.3f,\n"
-            "     \"simCycles\": %llu, "
-            "\"refCyclesPerSec\": %.0f, \"evtCyclesPerSec\": %.0f,\n"
-            "     \"refComponentSteps\": %llu, "
-            "\"evtComponentSteps\": %llu, "
-            "\"evtCyclesActive\": %llu,\n"
-            "     \"verified\": %s,\n"
-            "     \"parallel\": [",
-            r.load.app, r.load.config, r.load.dramLatency, r.instances,
-            r.refWallMs, r.evtWallMs, speedup,
-            static_cast<unsigned long long>(r.simCycles),
-            cyclesPerSec(r.simCycles, r.refWallMs),
-            cyclesPerSec(r.simCycles, r.evtWallMs),
-            static_cast<unsigned long long>(r.refSteps),
-            static_cast<unsigned long long>(r.evtSteps),
-            static_cast<unsigned long long>(r.evtCyclesActive),
-            r.verified ? "true" : "false");
-        for (size_t p = 0; p < r.parallel.size(); ++p) {
-            const ParallelPoint &pt = r.parallel[p];
-            std::fprintf(
-                out,
-                "%s\n       {\"threads\": %d, \"wallMs\": %.3f, "
-                "\"speedupVsEvt\": %.3f, \"verified\": %s}",
-                p > 0 ? "," : "", pt.threads, pt.wallMs,
-                pt.wallMs > 0.0 ? r.evtWallMs / pt.wallMs : 0.0,
-                pt.verified ? "true" : "false");
+    support::JsonWriter w;
+    w.beginObject();
+    w.field("benchmark", "sim_throughput");
+    w.field("hardwareConcurrency", std::thread::hardware_concurrency());
+    w.field("maxSpeedup", max_speedup);
+    w.field("maxParallelSpeedup", max_parallel_speedup);
+    w.key("rows").beginArray();
+    for (const Row &r : rows) {
+        w.beginObject();
+        w.field("app", r.load.app);
+        w.field("config", r.load.config);
+        w.field("dramLatency", r.load.dramLatency);
+        w.field("instances", r.instances);
+        w.field("refWallMs", r.refWallMs);
+        w.field("evtWallMs", r.evtWallMs);
+        w.field("speedup",
+                r.evtWallMs > 0.0 ? r.refWallMs / r.evtWallMs : 0.0);
+        w.field("simCycles", r.simCycles);
+        w.field("refCyclesPerSec", cyclesPerSec(r.simCycles, r.refWallMs));
+        w.field("evtCyclesPerSec", cyclesPerSec(r.simCycles, r.evtWallMs));
+        w.field("refComponentSteps", r.refSteps);
+        w.field("evtComponentSteps", r.evtSteps);
+        w.field("evtCyclesActive", r.evtCyclesActive);
+        w.field("verified", r.verified);
+
+        // Architectural counter context from the event-driven run (the
+        // counters are scheduler-invariant; see tests/stats_test.cpp).
+        const benchsuite::RunMetrics &m = r.evtMetrics;
+        uint64_t busy = 0, stalled = 0;
+        for (const auto &report : m.statsReports) {
+            busy += report->busyCycles;
+            stalled += report->stalledCycles;
         }
-        std::fprintf(out, "%s]}%s\n", r.parallel.empty() ? "" : "\n     ",
-                     i + 1 < rows.size() ? "," : "");
+        double lookups =
+            static_cast<double>(m.cacheHits + m.cacheMisses);
+        w.key("counters").beginObject();
+        w.field("cacheHits", m.cacheHits);
+        w.field("cacheMisses", m.cacheMisses);
+        w.field("cacheHitRate",
+                lookups > 0.0
+                    ? static_cast<double>(m.cacheHits) / lookups
+                    : 0.0);
+        w.field("cacheEvictions", m.cacheEvictions);
+        w.field("dramTransfers", m.dramTransfers);
+        w.field("dramBytes", m.dramBytes);
+        w.field("busyCycles", busy);
+        w.field("stalledCycles", stalled);
+        w.endObject();
+
+        w.key("parallel").beginArray();
+        for (const ParallelPoint &pt : r.parallel) {
+            w.beginObject();
+            w.field("threads", pt.threads);
+            w.field("wallMs", pt.wallMs);
+            w.field("speedupVsEvt",
+                    pt.wallMs > 0.0 ? r.evtWallMs / pt.wallMs : 0.0);
+            w.field("verified", pt.verified);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
     }
-    std::fprintf(out, "  ]\n}\n");
-    std::fclose(out);
+    w.endArray();
+    w.endObject();
+    w.writeFile("BENCH_sim.json");
 
     bool all_verified = true;
     for (const Row &r : rows) {

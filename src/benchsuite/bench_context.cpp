@@ -114,9 +114,14 @@ BenchContext::launch(const std::string &kernel,
         metrics_.instances = result.instances;
         metrics_.cacheHits += result.stats.cacheHits;
         metrics_.cacheMisses += result.stats.cacheMisses;
+        metrics_.cacheEvictions += result.stats.cacheEvictions;
+        metrics_.dramTransfers += result.stats.dramTransfers;
+        metrics_.dramBytes += result.stats.dramBytes;
         metrics_.componentSteps += result.sched.componentSteps;
         metrics_.cyclesActive += result.sched.cyclesActive;
         metrics_.channelCommits += result.sched.channelCommits;
+        if (result.statsReport != nullptr)
+            metrics_.statsReports.push_back(result.statsReport);
         return;
       }
       case Engine::Reference: {

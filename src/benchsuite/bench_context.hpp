@@ -45,11 +45,16 @@ struct RunMetrics
     int instances = 0;
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
+    uint64_t cacheEvictions = 0;
+    uint64_t dramTransfers = 0;
+    uint64_t dramBytes = 0;
     int launches = 0;
     /** Scheduler work (SoffSim engine only; see bench/sim_throughput). */
     uint64_t componentSteps = 0;
     uint64_t cyclesActive = 0;
     uint64_t channelCommits = 0;
+    /** Per-launch architectural counter reports (SoffSim engine only). */
+    std::vector<std::shared_ptr<const sim::StatsReport>> statsReports;
 };
 
 /** The engine-dispatching host context used by every application. */

@@ -68,6 +68,23 @@ class RRArbiter : public sim::Component
         }
     }
 
+    sim::ComponentKind kind() const override
+    {
+        return sim::ComponentKind::Arbiter;
+    }
+
+    bool
+    holdsWork() const override
+    {
+        if (!origins_.empty() || downResp_->occupancy() > 0)
+            return true;
+        for (const Port &port : ports_) {
+            if (port.req->occupancy() > 0)
+                return true;
+        }
+        return false;
+    }
+
     void
     describeBlockage(sim::BlockageProbe &probe) const override
     {

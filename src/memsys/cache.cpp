@@ -49,6 +49,7 @@ Cache::ensureLine(uint64_t addr, sim::Cycle now)
     ++stats_.misses;
     sim::Cycle ready = now;
     if (line.valid) {
+        ++stats_.evictions;
         bool dirty = false;
         for (bool d : line.dirty)
             dirty |= d;
@@ -122,6 +123,10 @@ Cache::step(sim::Cycle now)
     // has retired, so the queue is normally already empty).
     if (flushRequested_ && !flushComplete_ && txq_.empty()) {
         noteActivity();
+        // The walk makes progress without channel traffic; it is
+        // stepped every cycle in all modes (wakeAt below), so marking
+        // the cycle busy here is deterministic.
+        perfBusy(now);
         int budget = 1;
         while (budget > 0 && flushCursor_ < numLines_) {
             Line &line = lines_[static_cast<size_t>(flushCursor_)];

@@ -31,6 +31,7 @@ struct CacheStats
 {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t evictions = 0; ///< Valid lines replaced by a fill.
     uint64_t writebacks = 0;
     uint64_t atomics = 0;
 };
@@ -46,6 +47,16 @@ class Cache : public sim::Component
 
     void step(sim::Cycle now) override;
     void describeBlockage(sim::BlockageProbe &probe) const override;
+    sim::ComponentKind kind() const override
+    {
+        return sim::ComponentKind::Cache;
+    }
+    bool
+    holdsWork() const override
+    {
+        return in_->occupancy() > 0 || !txq_.empty() ||
+               (flushRequested_ && !flushComplete_);
+    }
 
     /**
      * Begins writing all dirty lines back (kernel completion, §III-B).

@@ -54,9 +54,19 @@ class DramTiming
     int latency() const { return latency_; }
     uint64_t transfers() const { return transfers_; }
 
+    /** Line size in bytes, for bandwidth reporting. */
+    void setLineBytes(int bytes) { lineBytes_ = bytes; }
+    /** Bytes moved over the channel (transfers x line size). */
+    uint64_t
+    bytes() const
+    {
+        return transfers_ * static_cast<uint64_t>(lineBytes_);
+    }
+
   private:
     int latency_;
     int cyclesPerLine_;
+    int lineBytes_ = 64;
     uint64_t nextFree_ = 0;
     uint64_t transfers_ = 0;
     const sim::FaultPlan *faults_ = nullptr;

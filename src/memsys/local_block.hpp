@@ -122,6 +122,21 @@ class LocalMemoryBlock : public sim::Component
         }
     }
 
+    sim::ComponentKind kind() const override
+    {
+        return sim::ComponentKind::LocalMemory;
+    }
+
+    bool
+    holdsWork() const override
+    {
+        for (const Port &port : ports_) {
+            if (!port.pending.empty() || port.req->occupancy() > 0)
+                return true;
+        }
+        return false;
+    }
+
     const LocalBlockStats &stats() const { return stats_; }
 
   private:

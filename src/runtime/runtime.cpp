@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -191,6 +192,40 @@ KernelHandle::argValues() const
 }
 
 // ----------------------------------------------------------------------
+// Event
+// ----------------------------------------------------------------------
+uint64_t
+Event::profilingInfo(ClProfilingInfo info) const
+{
+    if (!valid_) {
+        throw OpenClError(
+            ClStatus::ProfilingInfoNotAvailable,
+            "event profiling info not available: no simulated launch "
+            "has completed against this event");
+    }
+    switch (info) {
+      case ClProfilingInfo::CommandQueued: return queuedNs_;
+      case ClProfilingInfo::CommandSubmit: return submitNs_;
+      case ClProfilingInfo::CommandStart: return startNs_;
+      case ClProfilingInfo::CommandEnd: return endNs_;
+    }
+    throw OpenClError(ClStatus::InvalidValue,
+                      "unknown clGetEventProfilingInfo parameter name");
+}
+
+std::shared_ptr<const sim::StatsReport>
+soffGetKernelStats(const Event &event)
+{
+    if (!event.valid()) {
+        throw OpenClError(
+            ClStatus::ProfilingInfoNotAvailable,
+            "soffGetKernelStats: no simulated launch has completed "
+            "against this event");
+    }
+    return event.stats();
+}
+
+// ----------------------------------------------------------------------
 // Program
 // ----------------------------------------------------------------------
 KernelHandle
@@ -239,6 +274,9 @@ Program::needsReconfiguration(const core::CompiledKernel &kernel) const
 namespace
 {
 
+/** Fixed queued->submit latency on the profiling timeline (ns). */
+constexpr uint64_t kSubmitOverheadNs = 500;
+
 /**
  * Strict SOFF_THREADS parser: a bare positive decimal integer in
  * [1, 1024]. Anything else — non-numeric text, trailing garbage,
@@ -263,6 +301,68 @@ parseThreadCount(const char *text)
 }
 
 /**
+ * Strict cycle-bound parser for the SOFF_TRACE window: a bare decimal
+ * uint64 (no sign, no whitespace, no trailing text). `what` and `spec`
+ * feed the error message.
+ */
+uint64_t
+parseCycleBound(const char *what, const std::string &text,
+                const char *spec)
+{
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    bool bare_digits =
+        !text.empty() && text[0] >= '0' && text[0] <= '9';
+    if (!bare_digits || end == text.c_str() || *end != '\0' ||
+        errno == ERANGE) {
+        throw OpenClError(ClStatus::InvalidValue, strFormat(
+            "invalid SOFF_TRACE '%s': %s cycle '%s' is not a bare "
+            "decimal integer (expected file.json or "
+            "file.json:start:end)", spec, what, text.c_str()));
+    }
+    return v;
+}
+
+/**
+ * Strict SOFF_TRACE parser. Grammar: "file.json" (trace the whole run)
+ * or "file.json:start:end" (trace the half-open cycle window
+ * [start, end)). A value containing any colon must carry a complete,
+ * well-formed window — a lone ":start", non-numeric bounds, or
+ * start >= end are rejected with CL_INVALID_VALUE rather than silently
+ * tracing the wrong cycles.
+ */
+void
+parseTraceSpec(const char *text, sim::PlatformConfig &plat)
+{
+    std::string spec(text);
+    size_t last = spec.rfind(':');
+    if (last == std::string::npos) {
+        plat.tracePath = spec;
+        return;
+    }
+    size_t first = last == 0 ? std::string::npos
+                             : spec.rfind(':', last - 1);
+    if (first == std::string::npos || first == 0) {
+        throw OpenClError(ClStatus::InvalidValue, strFormat(
+            "invalid SOFF_TRACE '%s': expected file.json or "
+            "file.json:start:end (both window bounds required)", text));
+    }
+    uint64_t start = parseCycleBound(
+        "start", spec.substr(first + 1, last - first - 1), text);
+    uint64_t end = parseCycleBound("end", spec.substr(last + 1), text);
+    if (start >= end) {
+        throw OpenClError(ClStatus::InvalidValue, strFormat(
+            "invalid SOFF_TRACE '%s': window start %llu must be below "
+            "end %llu", text, static_cast<unsigned long long>(start),
+            static_cast<unsigned long long>(end)));
+    }
+    plat.tracePath = spec.substr(0, first);
+    plat.traceStart = start;
+    plat.traceEnd = end;
+}
+
+/**
  * Environment overrides. SOFF_SCHEDULER selects the simulation kernel
  * by name ("reference", "event-driven", "parallel", "cross-check") —
  * applied only when the caller left the default, so code that
@@ -270,7 +370,9 @@ parseThreadCount(const char *text)
  * affected. SOFF_THREADS sets the parallel worker count when the
  * caller left it at 0 (auto). SOFF_FAULTS installs a delay-only
  * fault-injection plan (sim/fault.hpp grammar) when the caller did
- * not already configure one.
+ * not already configure one. SOFF_TRACE enables the Chrome trace
+ * exporter and SOFF_STATS the structured StatsReport export, each only
+ * when the caller did not already set a path.
  */
 void
 applyEnvOverrides(sim::PlatformConfig &plat)
@@ -304,6 +406,16 @@ applyEnvOverrides(sim::PlatformConfig &plat)
                                   e.what());
             }
         }
+    }
+    if (plat.tracePath.empty()) {
+        const char *trace = std::getenv("SOFF_TRACE");
+        if (trace != nullptr && *trace != '\0')
+            parseTraceSpec(trace, plat);
+    }
+    if (plat.statsPath.empty()) {
+        const char *stats = std::getenv("SOFF_STATS");
+        if (stats != nullptr && *stats != '\0')
+            plat.statsPath = stats;
     }
 }
 
@@ -361,6 +473,19 @@ crossCheckCompare(const std::string &kernel, const char *mode,
           alt.stats.localBankConflicts);
     check("stats.numComponents", ref.stats.numComponents,
           alt.stats.numComponents);
+    check("stats.cacheEvictions", ref.stats.cacheEvictions,
+          alt.stats.cacheEvictions);
+    check("stats.dramBytes", ref.stats.dramBytes, alt.stats.dramBytes);
+    // The full architectural counter fabric — per-component busy/stall
+    // cycles, token counts, channel high-water marks, datapath
+    // retirement timing — must be bit-identical too, not just the
+    // coarse rollup above.
+    if (ref.run.stats != nullptr && alt.run.stats != nullptr) {
+        std::string diff =
+            sim::diffStatsReports(*ref.run.stats, *alt.run.stats);
+        if (!diff.empty())
+            fail("StatsReport: " + diff);
+    }
     if (ref.mem != alt.mem)
         fail("final global memory contents differ");
 }
@@ -414,7 +539,7 @@ LaunchResult
 Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
                         ExecutionMode mode,
                         const sim::PlatformConfig &platform,
-                        int instance_override)
+                        int instance_override, Event *event)
 {
     const core::CompiledKernel &ck = kernel.compiled();
     for (int d = 0; d < 3; ++d) {
@@ -478,6 +603,10 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
             try {
                 sim::PlatformConfig p = plat;
                 p.scheduler = mode;
+                // Only the primary circuit exports trace/stats files;
+                // the side runs exist to be compared, not observed.
+                p.tracePath.clear();
+                p.statsPath.clear();
                 sim::KernelCircuit c(*ck.plan, launch, memory,
                                      instances, p);
                 out.run = c.run(max_cycles);
@@ -576,6 +705,12 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
                     par_side.sched.componentSteps)));
         }
     }
+    // Export trace/stats before the deadlock/timeout throw — stuck
+    // runs are exactly when a cycle-level trace is most useful.
+    if (!plat.tracePath.empty())
+        circuit->writeTrace(plat.tracePath);
+    if (!plat.statsPath.empty() && run.stats != nullptr)
+        sim::writeStatsJson(*run.stats, plat.statsPath);
     if (run.deadlock || !run.completed) {
         std::string msg = strFormat(
             "kernel '%s' %s after %llu cycles",
@@ -590,11 +725,30 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
     result.instances = instances;
     result.stats = circuit->stats();
     result.sched = circuit->simulator().schedulerStats();
+    result.statsReport = run.stats;
     datapath::Resources used =
         ck.resourcesPerInstance.scaled(instances);
     result.fmaxMhz = datapath::estimateFmaxMhz(device_.fpga(), used);
     result.timeMs = static_cast<double>(run.cycles) /
                     (result.fmaxMhz * 1e3);
+
+    // Advance the in-order device timeline and stamp the profiling
+    // event: the launch occupies [START, END) where END - START is the
+    // simulated cycle count converted through the fmax estimate, and
+    // QUEUED -> SUBMIT models a fixed host-to-board doorbell cost.
+    uint64_t duration_ns = static_cast<uint64_t>(std::ceil(
+        static_cast<double>(run.cycles) * 1000.0 / result.fmaxMhz));
+    uint64_t queued_ns = clockNs_;
+    uint64_t submit_ns = queued_ns + kSubmitOverheadNs;
+    clockNs_ = submit_ns + duration_ns;
+    if (event != nullptr) {
+        event->queuedNs_ = queued_ns;
+        event->submitNs_ = submit_ns;
+        event->startNs_ = submit_ns;
+        event->endNs_ = clockNs_;
+        event->valid_ = true;
+        event->stats_ = run.stats;
+    }
     return result;
 }
 

@@ -126,7 +126,67 @@ struct LaunchResult
     sim::CircuitStats stats;
     /** Scheduler-side counters (mode-dependent; not cross-checked). */
     sim::SchedulerStats sched;
+    /** Full architectural counter report (null for Reference mode). */
+    std::shared_ptr<const sim::StatsReport> statsReport;
 };
+
+/** clGetEventProfilingInfo parameter names (values match cl.h). */
+enum class ClProfilingInfo : int
+{
+    CommandQueued = 0x1280, ///< CL_PROFILING_COMMAND_QUEUED
+    CommandSubmit = 0x1281, ///< CL_PROFILING_COMMAND_SUBMIT
+    CommandStart = 0x1282,  ///< CL_PROFILING_COMMAND_START
+    CommandEnd = 0x1283,    ///< CL_PROFILING_COMMAND_END
+};
+
+/**
+ * An event attached to an enqueued command (cl_event, profiling subset).
+ *
+ * Timestamps are nanoseconds on the simulated device timeline: the
+ * in-order queue advances a device clock by each launch's simulated
+ * cycle count converted through the resource model's fmax estimate, so
+ * QUEUED <= SUBMIT <= START <= END always holds and back-to-back
+ * launches tile the timeline without overlap.
+ */
+class Event
+{
+  public:
+    Event() = default;
+
+    bool valid() const { return valid_; }
+
+    /** clGetEventProfilingInfo: one timestamp in nanoseconds. */
+    uint64_t profilingInfo(ClProfilingInfo info) const;
+
+    uint64_t queuedNs() const { return queuedNs_; }
+    uint64_t submitNs() const { return submitNs_; }
+    uint64_t startNs() const { return startNs_; }
+    uint64_t endNs() const { return endNs_; }
+
+    /** The launch's StatsReport (null for Reference-mode launches). */
+    const std::shared_ptr<const sim::StatsReport> &stats() const
+    {
+        return stats_;
+    }
+
+  private:
+    friend class Context;
+
+    uint64_t queuedNs_ = 0;
+    uint64_t submitNs_ = 0;
+    uint64_t startNs_ = 0;
+    uint64_t endNs_ = 0;
+    bool valid_ = false;
+    std::shared_ptr<const sim::StatsReport> stats_;
+};
+
+/**
+ * SOFF extension ("soff_kernel_stats"): the per-launch architectural
+ * counter report behind an event. Null when the launch ran on the
+ * reference interpreter (no circuit, no counters).
+ */
+std::shared_ptr<const sim::StatsReport>
+soffGetKernelStats(const Event &event);
 
 class Program;
 
@@ -210,16 +270,19 @@ class Context
      * Executes a kernel over an NDRange. `instance_override` forces a
      * specific datapath instance count (0 = the resource model's
      * maximum, the paper's default behavior) — used by the instance-
-     * scaling ablation bench.
+     * scaling ablation bench. When `event` is non-null it is filled
+     * with the launch's profiling timestamps and StatsReport.
      */
     LaunchResult enqueueNDRange(
         KernelHandle &kernel, const sim::NDRange &ndrange,
         ExecutionMode mode = ExecutionMode::Simulate,
         const sim::PlatformConfig &platform = {},
-        int instance_override = 0);
+        int instance_override = 0, Event *event = nullptr);
 
   private:
     Device device_;
+    /** In-order device timeline for event profiling (ns). */
+    uint64_t clockNs_ = 0;
 };
 
 } // namespace soff::rt

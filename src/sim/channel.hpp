@@ -86,7 +86,25 @@ class ChannelBase
     /** Total token capacity (forensics snapshot). */
     virtual size_t capacityTokens() const = 0;
 
+    /** Tokens delivered (committed pushes) over the whole run. */
+    uint64_t tokensDelivered() const { return tokens_; }
+    /** Committed-occupancy high-water mark over the whole run. */
+    uint64_t maxOccupancy() const { return maxOcc_; }
+
   protected:
+    /**
+     * Perf hooks (out-of-line; they need the Component/Simulator
+     * definitions). The push/pop hooks credit the component currently
+     * being stepped with a token movement this cycle; outside a
+     * scheduler sweep (unit tests driving components by hand) they are
+     * no-ops. noteCommit() runs on the committing thread and folds the
+     * commit into the channel's own token/occupancy counters plus the
+     * trace sink. None of these feed back into scheduling.
+     */
+    void notePerfPush();
+    void notePerfPop();
+    void noteCommit(size_t pushes);
+
     /**
      * Fault-injection hook for canPop()/canPush(): true while an
      * injected stall window covers this channel. Occupancy conditions
@@ -145,6 +163,13 @@ class ChannelBase
      *  (parallel scheduler phase 1); null in the serial schedulers. */
     static thread_local std::vector<ChannelBase *> *tlsCrossDirty;
 
+    /** The component the scheduler is stepping on this thread right
+     *  now (perf attribution for push/pop); null outside a sweep. */
+    static thread_local Component *tlsStepping;
+
+    uint64_t tokens_ = 0; ///< Committed pushes over the run.
+    uint64_t maxOcc_ = 0; ///< Committed-occupancy high-water mark.
+
     std::vector<Component *> watchers_;
     std::vector<ChannelBase *> *dirtyList_ = nullptr;
     bool dirty_ = false;
@@ -180,6 +205,7 @@ class Channel : public ChannelBase
         SOFF_ASSERT(canPop(), "pop on empty channel");
         popped_ = true;
         markDirty();
+        notePerfPop();
         return buf_[head_];
     }
 
@@ -195,12 +221,14 @@ class Channel : public ChannelBase
         buf_[(head_ + committed_ + staged_) % cap_] = std::move(v);
         ++staged_;
         markDirty();
+        notePerfPush();
     }
 
     bool
     commit() override
     {
         bool changed = popped_ || staged_ > 0;
+        size_t pushes = staged_;
         if (popped_) {
             head_ = (head_ + 1) % cap_;
             --committed_;
@@ -209,6 +237,8 @@ class Channel : public ChannelBase
         committed_ += staged_;
         staged_ = 0;
         clearDirty();
+        if (changed)
+            noteCommit(pushes);
         return changed;
     }
 

@@ -51,6 +51,17 @@ KernelCircuit::KernelCircuit(const datapath::KernelPlan &plan,
     counter_ = sim_.add<WorkItemCounter>("counter", &launch_, terminals_,
                                          board_.get(), caches_);
     counter_->setDispatcher(dispatcher);
+
+    dram_.setLineBytes(plan_.config.cacheLineBytes);
+    // The trace sink is sized once the full circuit exists; tracing
+    // never feeds back into scheduling, so a traced run stays
+    // bit-identical to an untraced one.
+    if (!platform_.tracePath.empty()) {
+        traceSink_ = std::make_unique<TraceSink>(
+            sim_.numComponents(), sim_.numChannels(),
+            platform_.traceStart, platform_.traceEnd);
+        sim_.setTraceSink(traceSink_.get());
+    }
 }
 
 void
@@ -509,6 +520,8 @@ KernelCircuit::run(Cycle max_cycles, Cycle deadlock_window)
 {
     auto result = sim_.run(counter_->completedFlag(), max_cycles,
                            deadlock_window);
+    sim_.finalizePerfSpans();
+    result.stats = buildStatsReport();
     // Internal-bug detectors. On a hang these findings are already in
     // the attached report (describeBlockage emits them), flagging it as
     // an internal bug rather than a legitimate circuit deadlock; on a
@@ -545,6 +558,7 @@ KernelCircuit::stats() const
     for (const memsys::Cache *cache : caches_) {
         s.cacheHits += cache->stats().hits;
         s.cacheMisses += cache->stats().misses;
+        s.cacheEvictions += cache->stats().evictions;
         s.cacheWritebacks += cache->stats().writebacks;
     }
     for (const memsys::LocalMemoryBlock *block : localBlocks_) {
@@ -552,7 +566,54 @@ KernelCircuit::stats() const
         s.localBankConflicts += block->stats().bankConflicts;
     }
     s.dramTransfers = dram_.transfers();
+    s.dramBytes = dram_.bytes();
     return s;
+}
+
+std::shared_ptr<StatsReport>
+KernelCircuit::buildStatsReport() const
+{
+    auto report = std::make_shared<StatsReport>();
+    report->cycles = sim_.now();
+    report->instances = static_cast<uint32_t>(numInstances_);
+    sim_.appendPerfStats(*report);
+    for (const memsys::Cache *cache : caches_) {
+        const memsys::CacheStats &cs = cache->stats();
+        CacheReport cr;
+        cr.name = cache->name();
+        cr.hits = cs.hits;
+        cr.misses = cs.misses;
+        cr.evictions = cs.evictions;
+        cr.writebacks = cs.writebacks;
+        cr.atomics = cs.atomics;
+        report->cacheHits += cs.hits;
+        report->cacheMisses += cs.misses;
+        report->cacheEvictions += cs.evictions;
+        report->cacheWritebacks += cs.writebacks;
+        report->cacheAtomics += cs.atomics;
+        report->caches.push_back(std::move(cr));
+    }
+    for (const memsys::LocalMemoryBlock *block : localBlocks_) {
+        report->localAccesses += block->stats().accesses;
+        report->localBankConflicts += block->stats().bankConflicts;
+    }
+    report->dramTransfers = dram_.transfers();
+    report->dramBytes = dram_.bytes();
+    report->datapaths = counter_->datapathStats();
+    return report;
+}
+
+void
+KernelCircuit::writeTrace(const std::string &path) const
+{
+    if (traceSink_ == nullptr)
+        return;
+    std::vector<TraceSink::TrackInfo> tracks(sim_.numComponents());
+    for (size_t i = 0; i < tracks.size(); ++i) {
+        const Component &c = sim_.component(i);
+        tracks[i] = {c.name(), c.kind()};
+    }
+    traceSink_->write(path, tracks);
 }
 
 } // namespace soff::sim

@@ -18,6 +18,7 @@
 #include "sim/dispatch.hpp"
 #include "sim/fault.hpp"
 #include "sim/glue.hpp"
+#include "sim/trace.hpp"
 #include "sim/units.hpp"
 
 namespace soff::sim
@@ -44,6 +45,13 @@ struct PlatformConfig
     /** Test-only: cap the balancing slack of every DFG-edge FIFO
      *  (base capacity of 2 always kept). -1 = use the plan's sizing. */
     int balanceFifoCap = -1;
+    /** Chrome trace-event output path (SOFF_TRACE); empty = off. */
+    std::string tracePath;
+    /** Trace cycle window [traceStart, traceEnd). */
+    uint64_t traceStart = 0;
+    uint64_t traceEnd = ~uint64_t{0};
+    /** Structured StatsReport JSON path (SOFF_STATS); empty = off. */
+    std::string statsPath;
 };
 
 /** Aggregated execution statistics. */
@@ -52,8 +60,10 @@ struct CircuitStats
     uint64_t cycles = 0;
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
+    uint64_t cacheEvictions = 0;
     uint64_t cacheWritebacks = 0;
     uint64_t dramTransfers = 0;
+    uint64_t dramBytes = 0;
     uint64_t localAccesses = 0;
     uint64_t localBankConflicts = 0;
     int numInstances = 0;
@@ -78,6 +88,15 @@ class KernelCircuit
     uint64_t retired() const { return counter_->retired(); }
     CircuitStats stats() const;
     Simulator &simulator() { return sim_; }
+
+    /**
+     * Assembles the full architectural StatsReport (also attached to
+     * every RunResult by run()). Call after run() — finalizePerfSpans
+     * must have closed the open stall spans.
+     */
+    std::shared_ptr<StatsReport> buildStatsReport() const;
+    /** Writes the Chrome trace (no-op when tracing is off). */
+    void writeTrace(const std::string &path) const;
 
   private:
     void buildInstance(int instance);
@@ -107,6 +126,7 @@ class KernelCircuit
 
     Simulator sim_;
     memsys::DramTiming dram_;
+    std::unique_ptr<TraceSink> traceSink_;
     std::unique_ptr<CompletionBoard> board_;
     WorkItemCounter *counter_ = nullptr;
 

@@ -78,16 +78,18 @@ WorkItemCounter::WorkItemCounter(
     : Component(name), launch_(launch),
       terminals_(std::move(terminal_channels)), board_(board),
       caches_(std::move(caches)),
-      total_(launch->ndrange.totalWorkItems())
+      total_(launch->ndrange.totalWorkItems()),
+      datapathStats_(terminals_.size())
 {
     for (Channel<WiToken> *ch : terminals_)
         watch(ch);
 }
 
 void
-WorkItemCounter::step(Cycle)
+WorkItemCounter::step(Cycle now)
 {
-    for (Channel<WiToken> *ch : terminals_) {
+    for (size_t d = 0; d < terminals_.size(); ++d) {
+        Channel<WiToken> *ch = terminals_[d];
         if (ch->canPop()) {
             WiToken token = ch->pop();
             // A completed work-group frees a dispatcher slot, which is
@@ -95,6 +97,11 @@ WorkItemCounter::step(Cycle)
             if (board_->retire(token.wi))
                 wakeOther(dispatcher_);
             ++count_;
+            DatapathStats &ds = datapathStats_[d];
+            if (ds.retired == 0)
+                ds.firstRetire = now;
+            ds.lastRetire = now;
+            ++ds.retired;
         }
     }
     if (count_ >= total_ && !flushSent_) {

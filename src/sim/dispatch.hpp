@@ -101,6 +101,24 @@ class Dispatcher : public Component
 
     void step(Cycle now) override;
     void describeBlockage(BlockageProbe &probe) const override;
+    ComponentKind kind() const override
+    {
+        return ComponentKind::Dispatcher;
+    }
+    /** Own streams and the undispatched backlog only — the completion
+     *  board is mutated by the work-item counter and must not be read
+     *  here (its value mid-sweep depends on step order). */
+    bool
+    holdsWork() const override
+    {
+        if (nextGroup_ < totalGroups_)
+            return true;
+        for (const Stream &s : streams_) {
+            if (s.active)
+                return true;
+        }
+        return false;
+    }
 
     bool allDispatched() const { return nextGroup_ >= totalGroups_; }
 
@@ -131,6 +149,18 @@ class WorkItemCounter : public Component
 
     void step(Cycle now) override;
     void describeBlockage(BlockageProbe &probe) const override;
+    ComponentKind kind() const override { return ComponentKind::Counter; }
+    bool
+    holdsWork() const override
+    {
+        if (flushSent_ && !completed_)
+            return true;
+        for (const Channel<WiToken> *ch : terminals_) {
+            if (ch->occupancy() > 0)
+                return true;
+        }
+        return false;
+    }
 
     /** Group retirements free dispatcher slots; wake it (non-channel). */
     void setDispatcher(Component *d) { dispatcher_ = d; }
@@ -140,6 +170,12 @@ class WorkItemCounter : public Component
     /** Stable address of the completion register, polled by the run loop. */
     const bool *completedFlag() const { return &completed_; }
     uint64_t retired() const { return count_; }
+
+    /** Retirement profile per datapath terminal (achieved II source). */
+    const std::vector<DatapathStats> &datapathStats() const
+    {
+        return datapathStats_;
+    }
 
   private:
     const LaunchContext *launch_;
@@ -151,6 +187,7 @@ class WorkItemCounter : public Component
     uint64_t total_;
     bool flushSent_ = false;
     bool completed_ = false;
+    std::vector<DatapathStats> datapathStats_;
 };
 
 } // namespace soff::sim

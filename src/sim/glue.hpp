@@ -51,6 +51,8 @@ class Router : public Component
 
     void step(Cycle now) override;
     void describeBlockage(BlockageProbe &probe) const override;
+    ComponentKind kind() const override { return ComponentKind::Router; }
+    bool holdsWork() const override { return in_->occupancy() > 0; }
 
   private:
     struct Out
@@ -101,6 +103,16 @@ class SelectUnit : public Component
 
     void step(Cycle now) override;
     void describeBlockage(BlockageProbe &probe) const override;
+    ComponentKind kind() const override { return ComponentKind::Select; }
+    bool
+    holdsWork() const override
+    {
+        for (const In &in : ins_) {
+            if (in.ch->occupancy() > 0)
+                return true;
+        }
+        return false;
+    }
 
   private:
     struct In
@@ -149,6 +161,10 @@ class LoopEntrance : public Component
 
     void step(Cycle now) override;
     void describeBlockage(BlockageProbe &probe) const override;
+    ComponentKind kind() const override { return ComponentKind::LoopGate; }
+    /** Committed input occupancy only — the shared gate state belongs
+     *  to whichever glue stepped last and must not be read here. */
+    bool holdsWork() const override { return in_->occupancy() > 0; }
 
   private:
     Channel<WiToken> *in_;
@@ -171,6 +187,8 @@ class LoopExit : public Component
 
     void step(Cycle now) override;
     void describeBlockage(BlockageProbe &probe) const override;
+    ComponentKind kind() const override { return ComponentKind::LoopGate; }
+    bool holdsWork() const override { return in_->occupancy() > 0; }
 
   private:
     Channel<WiToken> *in_;

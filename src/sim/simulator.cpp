@@ -5,6 +5,7 @@
 
 #include "sim/fault.hpp"
 #include "sim/forensics.hpp"
+#include "sim/trace.hpp"
 #include "support/strings.hpp"
 
 namespace soff::sim
@@ -18,7 +19,62 @@ ChannelBase::faultRetry(uint64_t clear) const
 
 thread_local std::vector<ChannelBase *> *ChannelBase::tlsCrossDirty =
     nullptr;
+thread_local Component *ChannelBase::tlsStepping = nullptr;
 thread_local Simulator::Shard *Simulator::tlsShard_ = nullptr;
+
+void
+ChannelBase::notePerfPush()
+{
+    if (tlsStepping != nullptr && nowPtr_ != nullptr)
+        tlsStepping->perfMoved(*nowPtr_, /*out=*/true);
+}
+
+void
+ChannelBase::notePerfPop()
+{
+    if (tlsStepping != nullptr && nowPtr_ != nullptr)
+        tlsStepping->perfMoved(*nowPtr_, /*out=*/false);
+}
+
+void
+ChannelBase::noteCommit(size_t pushes)
+{
+    // Runs on the home shard's committing thread (phase 2), which is
+    // the only writer of this channel's counters in a cycle.
+    tokens_ += pushes;
+    uint64_t occ = occupancy();
+    if (occ > maxOcc_)
+        maxOcc_ = occ;
+    if (sim_ != nullptr) {
+        TraceSink *sink = sim_->traceSink();
+        if (sink != nullptr && sink->inWindow(*nowPtr_))
+            sink->channelSample(index_, *nowPtr_, occ);
+    }
+}
+
+void
+Component::perfBusy(Cycle now)
+{
+    if (perf_.lastMoveCycle == now)
+        return;
+    perf_.lastMoveCycle = now;
+    ++perf_.busyCycles;
+    if (sim_ != nullptr) {
+        TraceSink *sink = sim_->traceSink();
+        if (sink != nullptr && sink->inWindow(now))
+            sink->componentActive(index_, now);
+    }
+}
+
+void
+Component::perfMoved(Cycle now, bool out)
+{
+    perfBusy(now);
+    if (out)
+        ++perf_.tokensOut;
+    else
+        ++perf_.tokensIn;
+}
 
 const char *
 schedulerModeName(SchedulerMode mode)
@@ -170,6 +226,69 @@ Simulator::schedulerStats() const
     return s;
 }
 
+void
+Simulator::finishStep(Component *c)
+{
+    // Span-based stall accounting. Both transitions of the predicate
+    // (holdsWork && !moved) coincide with cycles the event-driven
+    // schedulers step the component — holdsWork reads only committed
+    // channel state and the component's own members, both of which
+    // change only at commits that wake it or at its own steps — so the
+    // accumulated spans are bit-identical to stepping every cycle.
+    PerfCounters &p = c->perf_;
+    bool moved = p.lastMoveCycle == now_;
+    if (!moved && c->holdsWork()) {
+        if (!p.stallOpen) {
+            p.stallOpen = true;
+            p.stallStart = now_;
+        }
+    } else if (p.stallOpen) {
+        p.stallOpen = false;
+        p.stalledCycles += now_ - p.stallStart;
+    }
+}
+
+void
+Simulator::finalizePerfSpans()
+{
+    for (auto &c : components_) {
+        PerfCounters &p = c->perf_;
+        if (p.stallOpen) {
+            p.stallOpen = false;
+            p.stalledCycles += now_ - p.stallStart;
+        }
+    }
+    if (traceSink_ != nullptr)
+        traceSink_->finalize();
+}
+
+void
+Simulator::appendPerfStats(StatsReport &report) const
+{
+    report.components.reserve(components_.size());
+    for (const auto &c : components_) {
+        ComponentStats cs;
+        cs.name = c->name_;
+        cs.kind = c->kind();
+        cs.busy = c->perf_.busyCycles;
+        cs.stalled = c->perf_.stalledCycles;
+        cs.tokensIn = c->perf_.tokensIn;
+        cs.tokensOut = c->perf_.tokensOut;
+        report.busyCycles += cs.busy;
+        report.stalledCycles += cs.stalled;
+        report.components.push_back(std::move(cs));
+    }
+    report.channels.reserve(channels_.size());
+    for (const auto &ch : channels_) {
+        ChannelStatsEntry e;
+        e.id = ch->index_;
+        e.capacity = static_cast<uint32_t>(ch->capacityTokens());
+        e.tokens = ch->tokens_;
+        e.maxOccupancy = ch->maxOcc_;
+        report.channels.push_back(e);
+    }
+}
+
 Simulator::RunResult
 Simulator::run(const bool *done, Cycle max_cycles, Cycle deadlock_window)
 {
@@ -191,8 +310,12 @@ Simulator::runReference(const bool *done, Cycle max_cycles,
             return result;
         }
         activity_ = false;
-        for (auto &c : components_)
+        for (auto &c : components_) {
+            ChannelBase::tlsStepping = c.get();
             c->step(now_);
+            finishStep(c.get());
+        }
+        ChannelBase::tlsStepping = nullptr;
         stats_.componentSteps += components_.size();
         for (auto &ch : channels_) {
             if (ch->commit()) {
@@ -464,7 +587,10 @@ Simulator::stepShard(Shard &sh)
         Component *c = components_[sh.currentList[sh.sweepPos]].get();
         c->inWakeList_ = false;
         ++sh.componentSteps;
+        ChannelBase::tlsStepping = c;
         c->step(now_);
+        ChannelBase::tlsStepping = nullptr;
+        finishStep(c);
         if (c->alwaysAwake_)
             scheduleAt(c, now_ + 1);
     }

@@ -61,6 +61,7 @@
 #include <vector>
 
 #include "sim/channel.hpp"
+#include "sim/stats.hpp"
 #include "sim/token.hpp"
 
 namespace soff::sim
@@ -70,6 +71,7 @@ class Simulator;
 class BlockageProbe;
 struct DeadlockReport;
 class FaultPlan;
+class TraceSink;
 
 /** Why a run failed to complete (forensics report classification). */
 enum class HangKind
@@ -123,6 +125,26 @@ class Component
         (void)probe;
     }
 
+    /** Coarse taxonomy for stats aggregation and trace labels. */
+    virtual ComponentKind kind() const { return ComponentKind::Other; }
+
+    /**
+     * Stall classification, evaluated right after each step(): does
+     * this component still hold work it could not finish this cycle?
+     * A cycle where the component held work but moved no token counts
+     * as stalled; held-work cycles with movement are busy.
+     *
+     * Determinism contract: the answer may depend only on *committed*
+     * channel state (occupancy()) and the component's own internal
+     * state. In particular it must never call canPop()/canPush() —
+     * their fault gates arm retry wakes, which would change scheduling
+     * — and it must not read another component's members. Under those
+     * rules every transition of (holdsWork && !moved) coincides with a
+     * cycle the event-driven scheduler steps the component anyway, so
+     * span-based stall accounting is bit-identical across modes.
+     */
+    virtual bool holdsWork() const { return false; }
+
     const std::string &name() const { return name_; }
 
   protected:
@@ -145,8 +167,20 @@ class Component
     /** Reference-mode watchdog hint: busy despite quiet channels. */
     void noteActivity();
 
+    /**
+     * Marks this cycle busy without a channel movement — for progress
+     * that is purely internal (the cache flush walk). Only legal when
+     * the component is deterministically stepped on that cycle in
+     * every scheduler mode (e.g. it armed wakeAt for it).
+     */
+    void perfBusy(Cycle now);
+
   private:
     friend class Simulator;
+    friend class ChannelBase;
+
+    /** Channel push/pop attribution (out-of-line, simulator.cpp). */
+    void perfMoved(Cycle now, bool out);
 
     static constexpr Cycle kNoWake = ~Cycle{0};
 
@@ -158,6 +192,7 @@ class Component
     bool inWakeList_ = false;     ///< Queued for the current cycle.
     bool inNextList_ = false;     ///< Queued for the next cycle.
     bool alwaysAwake_ = false;
+    PerfCounters perf_; ///< Architectural counters (sim/stats.hpp).
 };
 
 /** Owns components and channels; advances the global clock. */
@@ -254,6 +289,8 @@ class Simulator
         Cycle cycles = 0;
         /** Forensics attached when the run deadlocked or timed out. */
         std::shared_ptr<DeadlockReport> report;
+        /** Architectural counters (KernelCircuit::run attaches it). */
+        std::shared_ptr<StatsReport> stats;
     };
 
     /**
@@ -270,6 +307,7 @@ class Simulator
     SchedulerMode mode() const { return mode_; }
     Cycle now() const { return now_; }
     size_t numComponents() const { return components_.size(); }
+    const Component &component(size_t i) const { return *components_[i]; }
     size_t numChannels() const { return channels_.size(); }
     /** Aggregated over shards; exact and mode-independent counters. */
     SchedulerStats schedulerStats() const;
@@ -277,6 +315,20 @@ class Simulator
     size_t numShards() const { return shards_.empty() ? 1 : shards_.size(); }
     /** Worker threads (including the coordinator) after the first run. */
     int parallelWorkers() const { return numWorkers_; }
+
+    /** Installs (or clears) the trace sink; not owned. */
+    void setTraceSink(TraceSink *sink) { traceSink_ = sink; }
+    TraceSink *traceSink() const { return traceSink_; }
+
+    /**
+     * Closes still-open stall spans at the final cycle. Call once
+     * after run() before reading counters; for completed runs the
+     * close cycle is the completion cycle in every mode.
+     */
+    void finalizePerfSpans();
+    /** Appends per-component/per-channel counters and busy/stall
+     *  totals to `report` (the circuit layer adds its own sections). */
+    void appendPerfStats(StatsReport &report) const;
 
     /**
      * Builds the structured hang report: every component describes its
@@ -341,6 +393,9 @@ class Simulator
 
     enum PhaseKind { kPhaseStep = 1, kPhaseCommit = 2, kPhaseExit = 3 };
 
+    /** Post-step stall-span accounting (both scheduler families). */
+    void finishStep(Component *c);
+
     RunResult runReference(const bool *done, Cycle max_cycles,
                            Cycle deadlock_window);
     RunResult runSharded(const bool *done, Cycle max_cycles);
@@ -361,6 +416,7 @@ class Simulator
     bool activity_ = false;
     SchedulerStats stats_;
     const FaultPlan *faultPlan_ = nullptr;
+    TraceSink *traceSink_ = nullptr;
 
     // Reference-mode dirty tracking (channels bind to this list until
     // the sharded schedulers re-bind them at finalizeShards()).

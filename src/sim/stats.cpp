@@ -1,0 +1,299 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace soff::sim
+{
+
+using support::JsonWriter;
+
+const char *
+componentKindName(ComponentKind kind)
+{
+    switch (kind) {
+      case ComponentKind::Source: return "source";
+      case ComponentKind::Sink: return "sink";
+      case ComponentKind::Compute: return "compute";
+      case ComponentKind::Mem: return "mem";
+      case ComponentKind::Barrier: return "barrier";
+      case ComponentKind::Router: return "router";
+      case ComponentKind::Select: return "select";
+      case ComponentKind::LoopGate: return "loop_gate";
+      case ComponentKind::Dispatcher: return "dispatcher";
+      case ComponentKind::Counter: return "counter";
+      case ComponentKind::Cache: return "cache";
+      case ComponentKind::Arbiter: return "arbiter";
+      case ComponentKind::LocalMemory: return "local_memory";
+      case ComponentKind::Other: return "other";
+    }
+    return "other";
+}
+
+namespace
+{
+
+/// First-mismatch reporting: returns true (and fills *out) on mismatch.
+bool
+diffScalar(const char *what, uint64_t a, uint64_t b, std::string *out)
+{
+    if (a == b)
+        return false;
+    *out = strFormat("%s: %llu vs %llu", what,
+                     static_cast<unsigned long long>(a),
+                     static_cast<unsigned long long>(b));
+    return true;
+}
+
+} // namespace
+
+std::string
+diffStatsReports(const StatsReport &a, const StatsReport &b)
+{
+    std::string d;
+    if (diffScalar("cycles", a.cycles, b.cycles, &d) ||
+        diffScalar("instances", a.instances, b.instances, &d) ||
+        diffScalar("busyCycles", a.busyCycles, b.busyCycles, &d) ||
+        diffScalar("stalledCycles", a.stalledCycles, b.stalledCycles, &d) ||
+        diffScalar("cacheHits", a.cacheHits, b.cacheHits, &d) ||
+        diffScalar("cacheMisses", a.cacheMisses, b.cacheMisses, &d) ||
+        diffScalar("cacheEvictions", a.cacheEvictions, b.cacheEvictions,
+                   &d) ||
+        diffScalar("cacheWritebacks", a.cacheWritebacks, b.cacheWritebacks,
+                   &d) ||
+        diffScalar("cacheAtomics", a.cacheAtomics, b.cacheAtomics, &d) ||
+        diffScalar("dramTransfers", a.dramTransfers, b.dramTransfers, &d) ||
+        diffScalar("dramBytes", a.dramBytes, b.dramBytes, &d) ||
+        diffScalar("localAccesses", a.localAccesses, b.localAccesses, &d) ||
+        diffScalar("localBankConflicts", a.localBankConflicts,
+                   b.localBankConflicts, &d))
+        return d;
+
+    if (a.components.size() != b.components.size())
+        return strFormat("component count: %zu vs %zu", a.components.size(),
+                         b.components.size());
+    for (size_t i = 0; i < a.components.size(); ++i) {
+        const ComponentStats &x = a.components[i];
+        const ComponentStats &y = b.components[i];
+        if (x.name != y.name)
+            return strFormat("component %zu name: '%s' vs '%s'", i,
+                             x.name.c_str(), y.name.c_str());
+        std::string who = "component '" + x.name + "' ";
+        if (x.kind != y.kind)
+            return who + "kind differs";
+        if (diffScalar((who + "busy").c_str(), x.busy, y.busy, &d) ||
+            diffScalar((who + "stalled").c_str(), x.stalled, y.stalled,
+                       &d) ||
+            diffScalar((who + "tokensIn").c_str(), x.tokensIn, y.tokensIn,
+                       &d) ||
+            diffScalar((who + "tokensOut").c_str(), x.tokensOut, y.tokensOut,
+                       &d))
+            return d;
+    }
+
+    if (a.channels.size() != b.channels.size())
+        return strFormat("channel count: %zu vs %zu", a.channels.size(),
+                         b.channels.size());
+    for (size_t i = 0; i < a.channels.size(); ++i) {
+        const ChannelStatsEntry &x = a.channels[i];
+        const ChannelStatsEntry &y = b.channels[i];
+        std::string who = strFormat("channel %u ", x.id);
+        if (diffScalar((who + "id").c_str(), x.id, y.id, &d) ||
+            diffScalar((who + "capacity").c_str(), x.capacity, y.capacity,
+                       &d) ||
+            diffScalar((who + "tokens").c_str(), x.tokens, y.tokens, &d) ||
+            diffScalar((who + "maxOccupancy").c_str(), x.maxOccupancy,
+                       y.maxOccupancy, &d))
+            return d;
+    }
+
+    if (a.datapaths.size() != b.datapaths.size())
+        return strFormat("datapath count: %zu vs %zu", a.datapaths.size(),
+                         b.datapaths.size());
+    for (size_t i = 0; i < a.datapaths.size(); ++i) {
+        const DatapathStats &x = a.datapaths[i];
+        const DatapathStats &y = b.datapaths[i];
+        std::string who = strFormat("datapath %zu ", i);
+        if (diffScalar((who + "retired").c_str(), x.retired, y.retired,
+                       &d) ||
+            diffScalar((who + "firstRetire").c_str(), x.firstRetire,
+                       y.firstRetire, &d) ||
+            diffScalar((who + "lastRetire").c_str(), x.lastRetire,
+                       y.lastRetire, &d))
+            return d;
+    }
+
+    if (a.caches.size() != b.caches.size())
+        return strFormat("cache count: %zu vs %zu", a.caches.size(),
+                         b.caches.size());
+    for (size_t i = 0; i < a.caches.size(); ++i) {
+        const CacheReport &x = a.caches[i];
+        const CacheReport &y = b.caches[i];
+        if (x.name != y.name)
+            return strFormat("cache %zu name: '%s' vs '%s'", i,
+                             x.name.c_str(), y.name.c_str());
+        std::string who = "cache '" + x.name + "' ";
+        if (diffScalar((who + "hits").c_str(), x.hits, y.hits, &d) ||
+            diffScalar((who + "misses").c_str(), x.misses, y.misses, &d) ||
+            diffScalar((who + "evictions").c_str(), x.evictions,
+                       y.evictions, &d) ||
+            diffScalar((who + "writebacks").c_str(), x.writebacks,
+                       y.writebacks, &d) ||
+            diffScalar((who + "atomics").c_str(), x.atomics, y.atomics, &d))
+            return d;
+    }
+
+    return "";
+}
+
+namespace
+{
+
+double
+achievedII(const DatapathStats &dp)
+{
+    if (dp.retired < 2)
+        return 0.0;
+    return static_cast<double>(dp.lastRetire - dp.firstRetire) /
+           static_cast<double>(dp.retired - 1);
+}
+
+} // namespace
+
+void
+writeStatsJson(const StatsReport &report, const std::string &path)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", "soff-stats-v1");
+    w.field("cycles", report.cycles);
+    w.field("instances", report.instances);
+    w.field("busyCycles", report.busyCycles);
+    w.field("stalledCycles", report.stalledCycles);
+
+    w.key("cache").beginObject();
+    w.field("hits", report.cacheHits);
+    w.field("misses", report.cacheMisses);
+    double lookups =
+        static_cast<double>(report.cacheHits + report.cacheMisses);
+    w.field("hitRate", lookups > 0.0
+                           ? static_cast<double>(report.cacheHits) / lookups
+                           : 0.0);
+    w.field("evictions", report.cacheEvictions);
+    w.field("writebacks", report.cacheWritebacks);
+    w.field("atomics", report.cacheAtomics);
+    w.endObject();
+
+    w.key("dram").beginObject();
+    w.field("transfers", report.dramTransfers);
+    w.field("bytes", report.dramBytes);
+    w.field("bytesPerCycle",
+            report.cycles > 0 ? static_cast<double>(report.dramBytes) /
+                                    static_cast<double>(report.cycles)
+                              : 0.0);
+    w.endObject();
+
+    w.key("local").beginObject();
+    w.field("accesses", report.localAccesses);
+    w.field("bankConflicts", report.localBankConflicts);
+    w.endObject();
+
+    // Per-kind rollup keeps the export readable for large circuits.
+    struct KindAgg
+    {
+        uint64_t count = 0;
+        uint64_t busy = 0;
+        uint64_t stalled = 0;
+        uint64_t tokensIn = 0;
+        uint64_t tokensOut = 0;
+    };
+    KindAgg agg[kNumComponentKinds];
+    for (const ComponentStats &c : report.components) {
+        KindAgg &k = agg[static_cast<size_t>(c.kind)];
+        ++k.count;
+        k.busy += c.busy;
+        k.stalled += c.stalled;
+        k.tokensIn += c.tokensIn;
+        k.tokensOut += c.tokensOut;
+    }
+    w.key("componentKinds").beginArray();
+    for (size_t i = 0; i < kNumComponentKinds; ++i) {
+        if (agg[i].count == 0)
+            continue;
+        w.beginObject();
+        w.field("kind", componentKindName(static_cast<ComponentKind>(i)));
+        w.field("count", agg[i].count);
+        w.field("busy", agg[i].busy);
+        w.field("stalled", agg[i].stalled);
+        w.field("tokensIn", agg[i].tokensIn);
+        w.field("tokensOut", agg[i].tokensOut);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("datapaths").beginArray();
+    for (size_t i = 0; i < report.datapaths.size(); ++i) {
+        const DatapathStats &dp = report.datapaths[i];
+        w.beginObject();
+        w.field("index", static_cast<uint64_t>(i));
+        w.field("retired", dp.retired);
+        w.field("firstRetire", dp.firstRetire);
+        w.field("lastRetire", dp.lastRetire);
+        w.field("achievedII", achievedII(dp));
+        w.field("itemsPerKCycle",
+                report.cycles > 0
+                    ? 1000.0 * static_cast<double>(dp.retired) /
+                          static_cast<double>(report.cycles)
+                    : 0.0);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("caches").beginArray();
+    for (const CacheReport &c : report.caches) {
+        w.beginObject();
+        w.field("name", c.name);
+        w.field("hits", c.hits);
+        w.field("misses", c.misses);
+        w.field("evictions", c.evictions);
+        w.field("writebacks", c.writebacks);
+        w.field("atomics", c.atomics);
+        w.endObject();
+    }
+    w.endArray();
+
+    uint64_t channelTokens = 0;
+    for (const ChannelStatsEntry &ch : report.channels)
+        channelTokens += ch.tokens;
+    w.key("channels").beginObject();
+    w.field("count", static_cast<uint64_t>(report.channels.size()));
+    w.field("tokens", channelTokens);
+    // The handful of deepest channels point straight at backpressure.
+    std::vector<ChannelStatsEntry> deepest = report.channels;
+    std::sort(deepest.begin(), deepest.end(),
+              [](const ChannelStatsEntry &x, const ChannelStatsEntry &y) {
+                  if (x.maxOccupancy != y.maxOccupancy)
+                      return x.maxOccupancy > y.maxOccupancy;
+                  return x.id < y.id;
+              });
+    if (deepest.size() > 8)
+        deepest.resize(8);
+    w.key("deepest").beginArray();
+    for (const ChannelStatsEntry &ch : deepest) {
+        w.beginObject();
+        w.field("id", static_cast<uint64_t>(ch.id));
+        w.field("capacity", static_cast<uint64_t>(ch.capacity));
+        w.field("tokens", ch.tokens);
+        w.field("maxOccupancy", ch.maxOccupancy);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject(); // channels
+
+    w.endObject();
+    w.writeFile(path);
+}
+
+} // namespace soff::sim

@@ -1,0 +1,121 @@
+#include "sim/trace.hpp"
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace soff::sim
+{
+
+using support::JsonWriter;
+
+TraceSink::TraceSink(size_t numComponents, size_t numChannels,
+                     uint64_t windowStart, uint64_t windowEnd)
+    : windowStart_(windowStart), windowEnd_(windowEnd),
+      components_(numComponents), channels_(numChannels)
+{
+}
+
+void
+TraceSink::componentActive(uint32_t index, uint64_t cycle)
+{
+    ComponentTrack &t = components_[index];
+    if (t.open && cycle == t.lastActive + 1) {
+        t.lastActive = cycle;
+        return;
+    }
+    if (t.open)
+        t.spans.push_back({t.openStart, t.lastActive + 1});
+    t.open = true;
+    t.openStart = cycle;
+    t.lastActive = cycle;
+}
+
+void
+TraceSink::channelSample(uint32_t index, uint64_t cycle, uint64_t occupancy)
+{
+    channels_[index].samples.push_back({cycle, occupancy});
+}
+
+void
+TraceSink::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+    for (ComponentTrack &t : components_) {
+        if (t.open) {
+            t.spans.push_back({t.openStart, t.lastActive + 1});
+            t.open = false;
+        }
+    }
+}
+
+void
+TraceSink::write(const std::string &path,
+                 const std::vector<TrackInfo> &tracks) const
+{
+    SOFF_ASSERT(finalized_, "trace: write before finalize");
+    SOFF_ASSERT(tracks.size() == components_.size(),
+                "trace: track metadata size mismatch");
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("displayTimeUnit", "ms");
+    w.key("traceEvents").beginArray();
+
+    // pid 0 carries the component activity tracks; each component with
+    // at least one span inside the window gets a tid plus a metadata
+    // record naming it. pid 1 carries the channel occupancy counters.
+    for (size_t i = 0; i < components_.size(); ++i) {
+        const ComponentTrack &t = components_[i];
+        if (t.spans.empty())
+            continue;
+        w.beginObject();
+        w.field("ph", "M");
+        w.field("pid", 0);
+        w.field("tid", static_cast<uint64_t>(i));
+        w.field("name", "thread_name");
+        w.key("args").beginObject();
+        w.field("name",
+                strFormat("%s [%s]", tracks[i].name.c_str(),
+                          componentKindName(tracks[i].kind)));
+        w.endObject();
+        w.endObject();
+        for (const Span &s : t.spans) {
+            w.beginObject();
+            w.field("ph", "X");
+            w.field("pid", 0);
+            w.field("tid", static_cast<uint64_t>(i));
+            w.field("name", "active");
+            w.field("cat", "component");
+            w.field("ts", s.start);
+            w.field("dur", s.end - s.start);
+            w.endObject();
+        }
+    }
+
+    for (size_t i = 0; i < channels_.size(); ++i) {
+        const ChannelTrack &t = channels_[i];
+        if (t.samples.empty())
+            continue;
+        std::string name = strFormat("ch%zu", i);
+        for (const CounterSample &s : t.samples) {
+            w.beginObject();
+            w.field("ph", "C");
+            w.field("pid", 1);
+            w.field("name", name);
+            w.field("ts", s.cycle);
+            w.key("args").beginObject();
+            w.field("occupancy", s.occupancy);
+            w.endObject();
+            w.endObject();
+        }
+    }
+
+    w.endArray();
+    w.endObject();
+    w.writeFile(path);
+}
+
+} // namespace soff::sim

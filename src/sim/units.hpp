@@ -38,6 +38,8 @@ class SourceUnit : public Component
 
     void step(Cycle now) override;
     void describeBlockage(BlockageProbe &probe) const override;
+    ComponentKind kind() const override { return ComponentKind::Source; }
+    bool holdsWork() const override { return in_->occupancy() > 0; }
 
   private:
     struct Out
@@ -71,6 +73,16 @@ class SinkUnit : public Component
 
     void step(Cycle now) override;
     void describeBlockage(BlockageProbe &probe) const override;
+    ComponentKind kind() const override { return ComponentKind::Sink; }
+    bool
+    holdsWork() const override
+    {
+        for (const In &in : ins_) {
+            if (in.ch->occupancy() > 0)
+                return true;
+        }
+        return false;
+    }
 
   private:
     struct In
@@ -101,6 +113,18 @@ class ComputeUnit : public Component
 
     void step(Cycle now) override;
     void describeBlockage(BlockageProbe &probe) const override;
+    ComponentKind kind() const override { return ComponentKind::Compute; }
+    bool
+    holdsWork() const override
+    {
+        if (!pipe_.empty())
+            return true;
+        for (const In &in : ins_) {
+            if (in.ch->occupancy() > 0)
+                return true;
+        }
+        return false;
+    }
 
   private:
     void stepBody(Cycle now);
@@ -170,6 +194,20 @@ class MemUnit : public Component
 
     void step(Cycle now) override;
     void describeBlockage(BlockageProbe &probe) const override;
+    ComponentKind kind() const override { return ComponentKind::Mem; }
+    bool
+    holdsWork() const override
+    {
+        if (!inflight_.empty())
+            return true;
+        if (resp_ != nullptr && resp_->occupancy() > 0)
+            return true;
+        for (const In &in : ins_) {
+            if (in.ch->occupancy() > 0)
+                return true;
+        }
+        return false;
+    }
 
   private:
     ir::RtValue resolveOperand(const ir::Value *op,
@@ -216,6 +254,13 @@ class BarrierUnit : public Component
 
     void step(Cycle now) override;
     void describeBlockage(BlockageProbe &probe) const override;
+    ComponentKind kind() const override { return ComponentKind::Barrier; }
+    bool
+    holdsWork() const override
+    {
+        return !waiting_.empty() || !releasing_.empty() ||
+               in_->occupancy() > 0;
+    }
 
     bool overflowed() const { return overflow_; }
 

@@ -13,6 +13,8 @@ clStatusName(ClStatus status)
       case ClStatus::MemObjectAllocationFailure:
         return "CL_MEM_OBJECT_ALLOCATION_FAILURE";
       case ClStatus::OutOfResources: return "CL_OUT_OF_RESOURCES";
+      case ClStatus::ProfilingInfoNotAvailable:
+        return "CL_PROFILING_INFO_NOT_AVAILABLE";
       case ClStatus::InvalidValue: return "CL_INVALID_VALUE";
       case ClStatus::InvalidKernelName: return "CL_INVALID_KERNEL_NAME";
       case ClStatus::InvalidArgIndex: return "CL_INVALID_ARG_INDEX";

@@ -44,6 +44,7 @@ enum class ClStatus : int
     Success = 0,
     MemObjectAllocationFailure = -4,
     OutOfResources = -5,
+    ProfilingInfoNotAvailable = -7,
     InvalidValue = -30,
     InvalidKernelName = -46,
     InvalidArgIndex = -49,

@@ -1,0 +1,192 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace soff::support
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20)
+                out += strFormat("\\u%04x", c);
+            else
+                out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::newlineIndent(size_t depth)
+{
+    out_ += '\n';
+    out_.append(2 * depth, ' ');
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // the key already positioned us
+    }
+    if (stack_.empty()) {
+        SOFF_ASSERT(out_.empty(), "json: second root value");
+        return;
+    }
+    SOFF_ASSERT(stack_.back() == Scope::Array,
+                "json: value inside an object requires a key");
+    if (hasElems_.back())
+        out_ += ',';
+    hasElems_.back() = true;
+    newlineIndent(stack_.size());
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    SOFF_ASSERT(!stack_.empty() && stack_.back() == Scope::Object,
+                "json: key outside an object");
+    SOFF_ASSERT(!pendingKey_, "json: key after key");
+    if (hasElems_.back())
+        out_ += ',';
+    hasElems_.back() = true;
+    newlineIndent(stack_.size());
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += "\": ";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ += '{';
+    stack_.push_back(Scope::Object);
+    hasElems_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    SOFF_ASSERT(!stack_.empty() && stack_.back() == Scope::Object,
+                "json: endObject without beginObject");
+    bool had = hasElems_.back();
+    stack_.pop_back();
+    hasElems_.pop_back();
+    if (had)
+        newlineIndent(stack_.size());
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ += '[';
+    stack_.push_back(Scope::Array);
+    hasElems_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    SOFF_ASSERT(!stack_.empty() && stack_.back() == Scope::Array,
+                "json: endArray without beginArray");
+    bool had = hasElems_.back();
+    stack_.pop_back();
+    hasElems_.pop_back();
+    if (had)
+        newlineIndent(stack_.size());
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    beforeValue();
+    out_ += '"';
+    out_ += jsonEscape(v);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (!std::isfinite(v))
+        out_ += "null"; // JSON has no NaN/Inf literal
+    else
+        out_ += strFormat("%.6g", v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    beforeValue();
+    out_ += strFormat("%llu", static_cast<unsigned long long>(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    beforeValue();
+    out_ += strFormat("%lld", static_cast<long long>(v));
+    return *this;
+}
+
+void
+JsonWriter::writeFile(const std::string &path) const
+{
+    SOFF_ASSERT(closed(), "json: writeFile on an unterminated document");
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        throw RuntimeError("cannot write '" + path + "'");
+    bool ok = std::fwrite(out_.data(), 1, out_.size(), f) == out_.size();
+    ok = std::fputc('\n', f) != EOF && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok)
+        throw RuntimeError("short write to '" + path + "'");
+}
+
+} // namespace soff::support

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A small streaming JSON writer shared by every exporter in the tree
+ * (bench result files, the SOFF_STATS structured export, the Chrome
+ * trace-event exporter). Keys are emitted in insertion order — stable
+ * across runs by construction — and every string goes through one
+ * escaping routine, replacing the hand-rolled fprintf concatenation
+ * the bench binaries used to carry.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soff::support
+{
+
+/** Escapes `s` for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Streaming writer with structural bookkeeping: commas and newlines
+ * are inserted automatically and nesting is tracked, so misuse trips
+ * an assertion instead of producing malformed output. The document
+ * accumulates in memory (reports are small); writeFile() dumps it in
+ * one call.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emits an object key; the next value()/begin*() is its value. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(bool v);
+    JsonWriter &value(double v);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<int64_t>(v)); }
+    JsonWriter &value(unsigned v)
+    {
+        return value(static_cast<uint64_t>(v));
+    }
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    bool closed() const { return depth() == 0 && !out_.empty(); }
+    size_t depth() const { return stack_.size(); }
+
+    /** The document so far (call after the root container is closed). */
+    const std::string &str() const { return out_; }
+
+    /** Writes the document to `path`; throws RuntimeError on failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    enum class Scope : uint8_t { Object, Array };
+
+    void beforeValue();
+    void newlineIndent(size_t depth);
+
+    std::string out_;
+    std::vector<Scope> stack_;
+    std::vector<bool> hasElems_;
+    bool pendingKey_ = false;
+};
+
+} // namespace soff::support

@@ -85,6 +85,23 @@ TEST(Cache, MissThenHit)
     EXPECT_EQ(rig.cache->stats().hits, 1u);
 }
 
+TEST(Cache, RepeatedAccessHitRateNonZero)
+{
+    // The counter surfaced through RunResult/StatsReport: repeatedly
+    // touching the same lines must produce a nonzero hit rate — one
+    // compulsory miss per line, hits for everything after.
+    CacheRig rig;
+    for (int pass = 0; pass < 4; ++pass) {
+        for (uint64_t addr = 0; addr < 512; addr += 64)
+            rig.roundTrip(loadReq(addr));
+    }
+    const CacheStats &stats = rig.cache->stats();
+    EXPECT_EQ(stats.misses, 8u) << "one compulsory miss per line";
+    EXPECT_EQ(stats.hits, 24u) << "three hit passes over 8 lines";
+    double lookups = static_cast<double>(stats.hits + stats.misses);
+    EXPECT_GT(static_cast<double>(stats.hits) / lookups, 0.5);
+}
+
 TEST(Cache, WriteBackOnEviction)
 {
     CacheRig rig;
@@ -93,6 +110,9 @@ TEST(Cache, WriteBackOnEviction)
     rig.roundTrip(loadReq(128 + 4096));
     EXPECT_EQ(rig.memory.readScalar(128, 4), 77u)
         << "dirty data must reach memory on eviction";
+    EXPECT_EQ(rig.cache->stats().evictions, 1u)
+        << "replacing a valid line counts as an eviction";
+    EXPECT_EQ(rig.cache->stats().writebacks, 1u);
 }
 
 TEST(Cache, FlushWritesAllDirtyLines)
