@@ -1,17 +1,117 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the core components: compiler
- * throughput, handshake channel, cache, interpreter, and one full
- * circuit simulation. These guard against performance regressions in
- * the simulator itself (host-side speed, not modeled cycles).
+ * throughput, handshake channel, arena channel, commit sweep, wake
+ * propagation, interpreter, and one full circuit simulation. These
+ * guard against performance regressions in the simulator itself
+ * (host-side speed, not modeled cycles).
+ *
+ * The custom main() additionally runs an allocation guard before the
+ * benchmarks: a steady-state simulation pass over a hand-built
+ * producer/consumer circuit (including a WiToken channel with inline
+ * live values) must perform ZERO heap allocations. Global operator
+ * new/delete are replaced with counting wrappers for this binary.
+ * `micro_components --alloc-guard-only` runs just the guard (CI).
  */
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
 
 #include "baseline/interpreter.hpp"
 #include "benchsuite/suite.hpp"
 #include "core/compiler.hpp"
 #include "memsys/cache.hpp"
 #include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+
+// ----------------------------------------------------------------------
+// Counting global allocator (alloc-free steady-state guard).
+// ----------------------------------------------------------------------
+namespace
+{
+std::atomic<uint64_t> g_heapAllocs{0};
+}
+
+void *
+operator new(std::size_t n)
+{
+    g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::malloc(n ? n : 1);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void *
+operator new(std::size_t n, std::align_val_t align)
+{
+    g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                 (n + static_cast<std::size_t>(align) -
+                                  1) &
+                                     ~(static_cast<std::size_t>(align) -
+                                       1));
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t align)
+{
+    return ::operator new(n, align);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
 
 namespace
 {
@@ -62,6 +162,187 @@ BM_ChannelPushPop(benchmark::State &state)
 BENCHMARK(BM_ChannelPushPop);
 
 void
+BM_ArenaChannelPushPop(benchmark::State &state)
+{
+    // Same protocol as BM_ChannelPushPop but through a circuit-arena
+    // channel: the ring lives in the simulator slab next to its peers.
+    soff::sim::Simulator simulator;
+    soff::sim::Channel<uint64_t> *channel =
+        simulator.channel<uint64_t>(2);
+    uint64_t v = 0;
+    for (auto _ : state) {
+        channel->push(v++);
+        channel->commit();
+        benchmark::DoNotOptimize(channel->pop());
+        channel->commit();
+    }
+}
+BENCHMARK(BM_ArenaChannelPushPop);
+
+void
+BM_TokenChannelPushPop(benchmark::State &state)
+{
+    // WiToken payloads with <= 4 live values stay inline (SmallVec), so
+    // moving a token through a channel must not touch the heap.
+    soff::sim::Channel<soff::sim::WiToken> channel(2);
+    uint64_t v = 0;
+    for (auto _ : state) {
+        soff::sim::WiToken token;
+        token.wi = v++;
+        for (int k = 0; k < 4; ++k)
+            token.live.push_back(soff::ir::RtValue::makeInt(v + k));
+        channel.push(std::move(token));
+        channel.commit();
+        benchmark::DoNotOptimize(channel.pop());
+        channel.commit();
+    }
+}
+BENCHMARK(BM_TokenChannelPushPop);
+
+void
+BM_CommitSweep(benchmark::State &state)
+{
+    // The per-cycle commit path over many arena channels: bookkeeping
+    // only (non-virtual, no token access), laid out in creation order.
+    soff::sim::Simulator simulator;
+    std::vector<soff::sim::Channel<uint64_t> *> channels;
+    for (int i = 0; i < state.range(0); ++i)
+        channels.push_back(simulator.channel<uint64_t>(2));
+    uint64_t v = 0;
+    for (auto _ : state) {
+        for (auto *ch : channels)
+            ch->push(v++);
+        for (auto *ch : channels)
+            benchmark::DoNotOptimize(ch->commit());
+        for (auto *ch : channels)
+            benchmark::DoNotOptimize(ch->pop());
+        for (auto *ch : channels)
+            benchmark::DoNotOptimize(ch->commit());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CommitSweep)->Arg(64)->Arg(1024);
+
+/** Forwards tokens down a chain (wake-propagation microbench). */
+class Forwarder : public soff::sim::Component
+{
+  public:
+    Forwarder(soff::sim::Channel<uint64_t> *in,
+              soff::sim::Channel<uint64_t> *out)
+        : Component("fwd"), in_(in), out_(out)
+    {
+        watch(in_);
+        watch(out_);
+    }
+    void
+    step(soff::sim::Cycle) override
+    {
+        if (in_->canPop() && out_->canPush())
+            out_->push(in_->pop());
+    }
+    bool holdsWork() const override { return in_->occupancy() > 0; }
+
+  private:
+    soff::sim::Channel<uint64_t> *in_;
+    soff::sim::Channel<uint64_t> *out_;
+};
+
+/** Head of the chain. */
+class ChainSource : public soff::sim::Component
+{
+  public:
+    ChainSource(soff::sim::Channel<uint64_t> *out, uint64_t n)
+        : Component("chainsrc"), out_(out), n_(n)
+    {
+        watch(out_);
+    }
+    void
+    step(soff::sim::Cycle) override
+    {
+        if (sent_ < n_ && out_->canPush())
+            out_->push(sent_++);
+    }
+    bool holdsWork() const override { return sent_ < n_; }
+    void reset() override { sent_ = 0; }
+
+  private:
+    soff::sim::Channel<uint64_t> *out_;
+    uint64_t n_;
+    uint64_t sent_ = 0;
+};
+
+/** Tail of the chain: completion flag for Simulator::run. */
+class ChainSink : public soff::sim::Component
+{
+  public:
+    ChainSink(soff::sim::Channel<uint64_t> *in, uint64_t n)
+        : Component("chainsink"), in_(in), n_(n)
+    {
+        watch(in_);
+    }
+    void
+    step(soff::sim::Cycle) override
+    {
+        if (in_->canPop()) {
+            sum_ += in_->pop();
+            ++got_;
+        }
+        done_ = got_ >= n_;
+    }
+    bool holdsWork() const override { return in_->occupancy() > 0; }
+    void
+    reset() override
+    {
+        got_ = 0;
+        sum_ = 0;
+        done_ = false;
+    }
+    const bool *doneFlag() const { return &done_; }
+    uint64_t sum() const { return sum_; }
+
+  private:
+    soff::sim::Channel<uint64_t> *in_;
+    uint64_t n_;
+    uint64_t got_ = 0;
+    uint64_t sum_ = 0;
+    bool done_ = false;
+};
+
+void
+BM_WakePropagation(benchmark::State &state)
+{
+    // Event-driven wake-list propagation through a pipeline chain:
+    // tokens ripple across `depth` components; each commit wakes only
+    // the two endpoints via the flat watcher spans.
+    const int depth = static_cast<int>(state.range(0));
+    constexpr uint64_t kTokens = 256;
+    soff::sim::Simulator simulator(
+        soff::sim::SchedulerMode::EventDriven);
+    std::vector<soff::sim::Channel<uint64_t> *> links;
+    for (int i = 0; i <= depth; ++i)
+        links.push_back(simulator.channel<uint64_t>(2));
+    simulator.add<ChainSource>(links.front(), kTokens);
+    for (int i = 0; i < depth; ++i)
+        simulator.add<Forwarder>(links[static_cast<size_t>(i)],
+                                 links[static_cast<size_t>(i) + 1]);
+    ChainSink *sink =
+        simulator.add<ChainSink>(links.back(), kTokens);
+    bool first = true;
+    for (auto _ : state) {
+        if (!first)
+            simulator.resetForRerun();
+        first = false;
+        auto result = simulator.run(sink->doneFlag(), 1000000, 10000);
+        if (!result.completed)
+            state.SkipWithError("chain did not complete");
+        benchmark::DoNotOptimize(sink->sum());
+    }
+    state.SetItemsProcessed(state.iterations() * kTokens *
+                            static_cast<uint64_t>(depth));
+}
+BENCHMARK(BM_WakePropagation)->Arg(16)->Arg(128);
+
+void
 BM_InterpreterVadd(benchmark::State &state)
 {
     soff::core::Compiler compiler;
@@ -99,6 +380,172 @@ BM_CircuitSimVadd(benchmark::State &state)
 BENCHMARK(BM_CircuitSimVadd)->Arg(1)->Arg(4)->Unit(
     benchmark::kMillisecond);
 
+// ----------------------------------------------------------------------
+// Allocation guard: the steady-state per-cycle path must not allocate.
+// ----------------------------------------------------------------------
+
+/** Emits WiTokens with 4 inline live values. */
+class TokenSource : public soff::sim::Component
+{
+  public:
+    TokenSource(soff::sim::Channel<soff::sim::WiToken> *out, uint64_t n)
+        : Component("tokensrc"), out_(out), n_(n)
+    {
+        watch(out_);
+    }
+    void
+    step(soff::sim::Cycle) override
+    {
+        if (sent_ < n_ && out_->canPush()) {
+            soff::sim::WiToken token;
+            token.wi = sent_;
+            for (int k = 0; k < 4; ++k) {
+                token.live.push_back(
+                    soff::ir::RtValue::makeInt(sent_ + static_cast<uint64_t>(k)));
+            }
+            out_->push(std::move(token));
+            ++sent_;
+        }
+    }
+    bool holdsWork() const override { return sent_ < n_; }
+    void reset() override { sent_ = 0; }
+
+  private:
+    soff::sim::Channel<soff::sim::WiToken> *out_;
+    uint64_t n_;
+    uint64_t sent_ = 0;
+};
+
+/** Consumes WiTokens; completion flag for Simulator::run. */
+class TokenSink : public soff::sim::Component
+{
+  public:
+    TokenSink(soff::sim::Channel<soff::sim::WiToken> *in, uint64_t n)
+        : Component("tokensink"), in_(in), n_(n)
+    {
+        watch(in_);
+    }
+    void
+    step(soff::sim::Cycle) override
+    {
+        if (in_->canPop()) {
+            soff::sim::WiToken token = in_->pop();
+            sum_ += token.wi + token.live.at(0).i;
+            ++got_;
+        }
+        done_ = got_ >= n_;
+    }
+    bool holdsWork() const override { return in_->occupancy() > 0; }
+    void
+    reset() override
+    {
+        got_ = 0;
+        sum_ = 0;
+        done_ = false;
+    }
+    const bool *doneFlag() const { return &done_; }
+    uint64_t sum() const { return sum_; }
+
+  private:
+    soff::sim::Channel<soff::sim::WiToken> *in_;
+    uint64_t n_;
+    uint64_t got_ = 0;
+    uint64_t sum_ = 0;
+    bool done_ = false;
+};
+
+/**
+ * Builds a producer -> forwarder -> consumer circuit moving WiToken
+ * payloads, runs it once to let every pool reach its high-water mark
+ * (wake lists, dirty lists, channel rings), then reruns it counting
+ * global allocations. The steady-state pass must allocate NOTHING:
+ * components use member scratch, channels own fixed rings, tokens keep
+ * their live values inline, and the scheduler reuses its lists.
+ */
+int
+runAllocGuard()
+{
+    using namespace soff::sim;
+    constexpr uint64_t kTokens = 2048;
+    Simulator simulator(SchedulerMode::EventDriven);
+    auto *a = simulator.channel<WiToken>(2);
+    auto *b = simulator.channel<WiToken>(4);
+    simulator.add<TokenSource>(a, kTokens);
+    // A WiToken forwarder between two channels (moves, never copies).
+    class TokenForwarder : public Component
+    {
+      public:
+        TokenForwarder(Channel<WiToken> *in, Channel<WiToken> *out)
+            : Component("tokenfwd"), in_(in), out_(out)
+        {
+            watch(in_);
+            watch(out_);
+        }
+        void
+        step(Cycle) override
+        {
+            if (in_->canPop() && out_->canPush())
+                out_->push(in_->pop());
+        }
+        bool holdsWork() const override { return in_->occupancy() > 0; }
+
+      private:
+        Channel<WiToken> *in_;
+        Channel<WiToken> *out_;
+    };
+    simulator.add<TokenForwarder>(a, b);
+    TokenSink *sink = simulator.add<TokenSink>(b, kTokens);
+
+    // Warmup: first run grows every internal pool to steady size.
+    auto warm = simulator.run(sink->doneFlag(), 1000000, 10000);
+    if (!warm.completed) {
+        std::fprintf(stderr, "alloc guard: warmup run did not "
+                             "complete\n");
+        return 1;
+    }
+    uint64_t warm_sum = sink->sum();
+
+    simulator.resetForRerun();
+    uint64_t before = g_heapAllocs.load(std::memory_order_relaxed);
+    auto steady = simulator.run(sink->doneFlag(), 1000000, 10000);
+    uint64_t allocs =
+        g_heapAllocs.load(std::memory_order_relaxed) - before;
+    if (!steady.completed || sink->sum() != warm_sum) {
+        std::fprintf(stderr, "alloc guard: steady-state rerun diverged "
+                             "from the warmup run\n");
+        return 1;
+    }
+    if (allocs != 0) {
+        std::fprintf(stderr,
+                     "alloc guard FAILED: %llu heap allocation(s) in "
+                     "the steady-state per-cycle path (%llu cycles, "
+                     "%llu tokens); the hot loop must not allocate\n",
+                     static_cast<unsigned long long>(allocs),
+                     static_cast<unsigned long long>(steady.cycles),
+                     static_cast<unsigned long long>(kTokens));
+        return 1;
+    }
+    std::printf("alloc guard: 0 heap allocations across %llu "
+                "steady-state cycles (%llu WiTokens moved)\n",
+                static_cast<unsigned long long>(steady.cycles),
+                static_cast<unsigned long long>(kTokens));
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    int rc = runAllocGuard();
+    if (rc != 0)
+        return rc;
+    if (argc > 1 && std::strcmp(argv[1], "--alloc-guard-only") == 0)
+        return 0;
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -10,9 +10,8 @@
  */
 #pragma once
 
-#include <deque>
-
 #include "sim/forensics.hpp"
+#include "sim/ring.hpp"
 #include "sim/simulator.hpp"
 #include "support/strings.hpp"
 
@@ -86,6 +85,13 @@ class RRArbiter : public sim::Component
     }
 
     void
+    reset() override
+    {
+        origins_.clear();
+        rr_ = 0;
+    }
+
+    void
     describeBlockage(sim::BlockageProbe &probe) const override
     {
         if (!origins_.empty()) {
@@ -112,7 +118,7 @@ class RRArbiter : public sim::Component
     sim::Channel<sim::MemReq> *downReq_;
     sim::Channel<sim::MemResp> *downResp_;
     std::vector<Port> ports_;
-    std::deque<size_t> origins_;
+    sim::RingQueue<size_t> origins_;
     size_t rr_ = 0;
 };
 

@@ -15,12 +15,12 @@
  */
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "ir/eval.hpp"
 #include "memsys/dram.hpp"
 #include "memsys/global_memory.hpp"
+#include "sim/ring.hpp"
 #include "sim/simulator.hpp"
 
 namespace soff::memsys
@@ -69,6 +69,24 @@ class Cache : public sim::Component
 
     const CacheStats &stats() const { return stats_; }
 
+    /** Fresh-launch reset: invalidates every line (keeping the line
+     *  buffers allocated), drops queued transactions and flush state. */
+    void
+    reset() override
+    {
+        for (Line &line : lines_) {
+            line.valid = false;
+            line.tag = 0;
+            std::fill(line.dirty.begin(), line.dirty.end(), false);
+        }
+        txq_.clear();
+        stats_ = CacheStats{};
+        flushRequested_ = false;
+        flushComplete_ = false;
+        flushCursor_ = 0;
+        flushListener_ = nullptr;
+    }
+
   private:
     struct Line
     {
@@ -116,7 +134,7 @@ class Cache : public sim::Component
     sim::Channel<sim::MemReq> *in_;
     sim::Channel<sim::MemResp> *out_;
     std::vector<Line> lines_;
-    std::deque<Tx> txq_;
+    sim::RingQueue<Tx> txq_;
     size_t txqCap_ = 16;
     CacheStats stats_;
 

@@ -54,6 +54,14 @@ class DramTiming
     int latency() const { return latency_; }
     uint64_t transfers() const { return transfers_; }
 
+    /** Fresh-launch reset (relaunch path): clears the timeline. */
+    void
+    reset()
+    {
+        nextFree_ = 0;
+        transfers_ = 0;
+    }
+
     /** Line size in bytes, for bandwidth reporting. */
     void setLineBytes(int bytes) { lineBytes_ = bytes; }
     /** Bytes moved over the channel (transfers x line size). */

@@ -12,11 +12,11 @@
  */
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "ir/eval.hpp"
 #include "sim/forensics.hpp"
+#include "sim/ring.hpp"
 #include "sim/simulator.hpp"
 
 namespace soff::memsys
@@ -67,9 +67,8 @@ class LocalMemoryBlock : public sim::Component
         // cycle. The round-robin start is derived from the cycle
         // number (not a per-step counter) so skipped idle cycles
         // cannot shift the rotation.
-        std::vector<bool> bank_busy(static_cast<size_t>(numBanks_),
-                                    false);
-        std::vector<bool> port_served(ports_.size(), false);
+        bankBusy_.assign(static_cast<size_t>(numBanks_), 0);
+        portServed_.assign(ports_.size(), 0);
         size_t rr = ports_.empty()
                         ? 0
                         : static_cast<size_t>(
@@ -78,17 +77,17 @@ class LocalMemoryBlock : public sim::Component
         for (size_t k = 0; k < ports_.size(); ++k) {
             size_t p = (rr + k) % ports_.size();
             Port &port = ports_[p];
-            if (!port.req->canPop() || port_served[p])
+            if (!port.req->canPop() || portServed_[p] != 0)
                 continue;
             const sim::MemReq &req = port.req->peek();
             size_t bank = static_cast<size_t>(
                 (req.addr / 4) % static_cast<uint64_t>(numBanks_));
-            if (bank_busy[bank]) {
+            if (bankBusy_[bank] != 0) {
                 ++stats_.bankConflicts;
                 continue;
             }
-            bank_busy[bank] = true;
-            port_served[p] = true;
+            bankBusy_[bank] = 1;
+            portServed_[p] = 1;
             sim::MemReq r = port.req->pop();
             uint64_t result = access(r);
             port.pending.push_back(
@@ -139,6 +138,17 @@ class LocalMemoryBlock : public sim::Component
 
     const LocalBlockStats &stats() const { return stats_; }
 
+    /** Fresh-launch reset: zeroes every slot copy and drops pendings. */
+    void
+    reset() override
+    {
+        for (std::vector<uint8_t> &slot : storage_)
+            std::fill(slot.begin(), slot.end(), 0);
+        for (Port &port : ports_)
+            port.pending.clear();
+        stats_ = LocalBlockStats{};
+    }
+
   private:
     uint64_t
     access(const sim::MemReq &req)
@@ -184,7 +194,7 @@ class LocalMemoryBlock : public sim::Component
     {
         sim::Channel<sim::MemReq> *req;
         sim::Channel<sim::MemResp> *resp;
-        std::deque<std::pair<sim::Cycle, sim::MemResp>> pending;
+        sim::RingQueue<std::pair<sim::Cycle, sim::MemResp>> pending;
     };
 
     uint64_t varBytes_;
@@ -193,6 +203,9 @@ class LocalMemoryBlock : public sim::Component
     std::vector<std::vector<uint8_t>> storage_;
     std::vector<Port> ports_;
     LocalBlockStats stats_;
+    /** Per-step scratch (members so steady-state steps never allocate). */
+    std::vector<uint8_t> bankBusy_;
+    std::vector<uint8_t> portServed_;
 };
 
 } // namespace soff::memsys

@@ -87,6 +87,32 @@ class LockTable
         return out;
     }
 
+    /**
+     * Visits every component parked on `index`, then clears the list in
+     * place. The per-cycle release path uses this instead of
+     * takeWaiters so a lock handoff never allocates (the list's
+     * capacity is retained for the next contention burst).
+     */
+    template <typename F>
+    void
+    drainWaiters(int index, F &&visit)
+    {
+        auto &list = waiters_[static_cast<size_t>(index)];
+        for (sim::Component *w : list)
+            visit(w);
+        list.clear();
+    }
+
+    /** Fresh-launch reset (relaunch path): drops owners and waiters. */
+    void
+    reset()
+    {
+        owner_ = {};
+        for (auto &list : waiters_)
+            list.clear();
+        acquisitions_ = 0;
+    }
+
   private:
     std::array<const void *, kNumLocks> owner_ = {};
     std::array<std::vector<sim::Component *>, kNumLocks> waiters_;

@@ -490,7 +490,75 @@ crossCheckCompare(const std::string &kernel, const char *mode,
         fail("final global memory contents differ");
 }
 
+/**
+ * Structural equality of platform configs: the fields that shape the
+ * built circuit (timing parameters, scheduler/thread layout, FIFO
+ * sizing overrides). Trace/stats export paths are observational and
+ * deliberately excluded; fault configs never reach the cache (faulted
+ * launches bypass it).
+ */
+bool
+samePlatformStructure(const sim::PlatformConfig &a,
+                      const sim::PlatformConfig &b)
+{
+    return a.dramLatency == b.dramLatency &&
+           a.dramCyclesPerLine == b.dramCyclesPerLine &&
+           a.scheduler == b.scheduler && a.threads == b.threads &&
+           a.memRespWindowOverride == b.memRespWindowOverride &&
+           a.balanceFifoCap == b.balanceFifoCap;
+}
+
+/** SOFF_CIRCUIT_CACHE env knob: on unless explicitly set to "0". */
+bool
+circuitCacheEnabled()
+{
+    const char *v = std::getenv("SOFF_CIRCUIT_CACHE");
+    return v == nullptr || std::string(v) != "0";
+}
+
 } // namespace
+
+std::unique_ptr<sim::KernelCircuit>
+Program::takeCachedCircuit(const datapath::KernelPlan *plan,
+                           int instances,
+                           const sim::PlatformConfig &platform)
+{
+    for (size_t i = 0; i < circuitCache_.size(); ++i) {
+        CircuitCacheEntry &e = circuitCache_[i];
+        if (e.plan == plan && e.instances == instances &&
+            samePlatformStructure(e.platform, platform)) {
+            std::unique_ptr<sim::KernelCircuit> circuit =
+                std::move(e.circuit);
+            circuitCache_.erase(circuitCache_.begin() +
+                                static_cast<ptrdiff_t>(i));
+            return circuit;
+        }
+    }
+    return nullptr;
+}
+
+void
+Program::storeCachedCircuit(const datapath::KernelPlan *plan,
+                            int instances,
+                            const sim::PlatformConfig &platform,
+                            std::unique_ptr<sim::KernelCircuit> circuit)
+{
+    // The entry was taken out on hit, so a plain append cannot create
+    // duplicates; replace defensively anyway if a key collides.
+    for (CircuitCacheEntry &e : circuitCache_) {
+        if (e.plan == plan && e.instances == instances &&
+            samePlatformStructure(e.platform, platform)) {
+            e.circuit = std::move(circuit);
+            return;
+        }
+    }
+    CircuitCacheEntry entry;
+    entry.plan = plan;
+    entry.instances = instances;
+    entry.platform = platform;
+    entry.circuit = std::move(circuit);
+    circuitCache_.push_back(std::move(entry));
+}
 
 Buffer
 Context::createBuffer(uint64_t size)
@@ -642,11 +710,30 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
         pristine.assign(m.data(), m.data() + m.size());
     }
 
+    // Circuit-template memoization: reuse a previously built circuit
+    // for the same (plan, instances, structural platform) via
+    // relaunch() instead of rebuilding. Observational or perturbing
+    // modes (cross-check, fault injection, tracing) bypass the cache;
+    // the entry is taken out on hit and only re-stored after a fully
+    // successful run, so a throwing or degraded launch never leaves a
+    // half-run circuit behind.
+    bool cacheable = circuitCacheEnabled() && !crosscheck &&
+                     plat.tracePath.empty() && !plat.faults.enabled() &&
+                     !plat.faults.checkInvariants;
     std::unique_ptr<sim::KernelCircuit> circuit;
+    if (cacheable)
+        circuit = kernel.program()->takeCachedCircuit(ck.plan.get(),
+                                                      instances, plat);
+    bool fellBack = false;
     sim::Simulator::RunResult run;
     try {
-        circuit = std::make_unique<sim::KernelCircuit>(
-            *ck.plan, launch, device_.globalMemory(), instances, plat);
+        if (circuit != nullptr) {
+            circuit->relaunch(launch);
+        } else {
+            circuit = std::make_unique<sim::KernelCircuit>(
+                *ck.plan, launch, device_.globalMemory(), instances,
+                plat);
+        }
         run = circuit->run(max_cycles);
     } catch (const sim::SimInternalError &e) {
         throw OpenClError(ClStatus::OutOfResources, e.what(),
@@ -669,6 +756,7 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
             *ck.plan, launch, device_.globalMemory(), instances,
             fallback);
         run = circuit->run(max_cycles);
+        fellBack = true;
     }
     if (crosscheck) {
         for (std::thread &t : checkers)
@@ -726,6 +814,12 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
     result.stats = circuit->stats();
     result.sched = circuit->simulator().schedulerStats();
     result.statsReport = run.stats;
+    // Park the circuit for the next matching launch. A degraded run
+    // holds a Reference-mode circuit that does not match the requested
+    // platform; it is dropped rather than cached under the wrong key.
+    if (cacheable && !fellBack)
+        kernel.program()->storeCachedCircuit(ck.plan.get(), instances,
+                                             plat, std::move(circuit));
     datapath::Resources used =
         ck.resourcesPerInstance.scaled(instances);
     result.fmaxMhz = datapath::estimateFmaxMhz(device_.fpga(), used);

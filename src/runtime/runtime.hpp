@@ -239,9 +239,47 @@ class Program
     /** True if launching this kernel requires partial reconfiguration. */
     bool needsReconfiguration(const core::CompiledKernel &kernel) const;
 
+    /** Parked circuit templates (tests observe cache behavior). */
+    size_t circuitCacheSize() const { return circuitCache_.size(); }
+
   private:
+    friend class Context;
+
+    /**
+     * Circuit-template memoization. Building a KernelCircuit walks the
+     * whole plan tree and allocates the component/channel arena; in a
+     * launch loop (the common host pattern) that dominates small-kernel
+     * runtimes. A circuit whose structure is fully determined by
+     * (plan, instance count, structural platform knobs) is parked here
+     * after a successful run and rearmed via KernelCircuit::relaunch()
+     * on the next matching launch — bit-identical to a cold build.
+     * The cache lives in the Program — not the Context — because a
+     * cached circuit holds raw pointers into the plan's IR, which this
+     * Program owns: parking it anywhere that can outlive the Program
+     * would dangle. Launches with fault injection, tracing, or
+     * cross-check bypass the cache, as does SOFF_CIRCUIT_CACHE=0.
+     */
+    struct CircuitCacheEntry
+    {
+        const datapath::KernelPlan *plan = nullptr;
+        int instances = 0;
+        sim::PlatformConfig platform;
+        std::unique_ptr<sim::KernelCircuit> circuit;
+    };
+
+    /** Removes and returns a matching cached circuit (null if none). */
+    std::unique_ptr<sim::KernelCircuit>
+    takeCachedCircuit(const datapath::KernelPlan *plan, int instances,
+                      const sim::PlatformConfig &platform);
+    /** Parks a circuit for reuse (replaces any entry with the key). */
+    void storeCachedCircuit(const datapath::KernelPlan *plan,
+                            int instances,
+                            const sim::PlatformConfig &platform,
+                            std::unique_ptr<sim::KernelCircuit> circuit);
+
     Device *device_;
     std::unique_ptr<core::CompiledProgram> compiled_;
+    std::vector<CircuitCacheEntry> circuitCache_;
 };
 
 /** The context + in-order command queue (simplified cl_context+queue). */

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-circuit slab arena backing components and channel rings.
+ *
+ * A KernelCircuit builds thousands of small objects — units, glue,
+ * channels, their token rings — whose lifetimes are all exactly the
+ * circuit's lifetime. Allocating each from the global heap scatters the
+ * per-cycle working set across the address space; the arena carves them
+ * out of large contiguous slabs in build order instead, so a commit
+ * sweep or wake propagation over one datapath instance walks memory
+ * roughly in index order.
+ *
+ * The arena only hands out raw storage; object lifetimes are managed by
+ * the owner (Simulator runs destructors before dropping the slabs).
+ * Nothing is ever freed individually — allocation is a bump, and all
+ * slabs are released together when the arena dies.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace soff::sim
+{
+
+class Arena
+{
+  public:
+    explicit Arena(size_t slab_bytes = 256 * 1024)
+        : slabBytes_(slab_bytes)
+    {}
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    void *allocate(size_t bytes, size_t align)
+    {
+        SOFF_ASSERT(align != 0 && (align & (align - 1)) == 0,
+                    "arena alignment must be a power of two");
+        uintptr_t p = (cursor_ + align - 1) & ~uintptr_t(align - 1);
+        if (p + bytes > limit_) {
+            newSlab(bytes + align);
+            p = (cursor_ + align - 1) & ~uintptr_t(align - 1);
+        }
+        cursor_ = p + bytes;
+        totalBytes_ += bytes;
+        return reinterpret_cast<void *>(p);
+    }
+
+    /** Raw storage for n objects of T; caller placement-constructs. */
+    template <typename T> T *allocateArray(size_t n)
+    {
+        return static_cast<T *>(allocate(n * sizeof(T), alignof(T)));
+    }
+
+    /** Bytes handed out (excludes slab slack); for stats/tests. */
+    size_t bytesAllocated() const { return totalBytes_; }
+    size_t numSlabs() const { return slabs_.size(); }
+
+  private:
+    void newSlab(size_t at_least)
+    {
+        size_t size = slabBytes_;
+        while (size < at_least)
+            size *= 2;
+        slabs_.push_back(std::make_unique<unsigned char[]>(size));
+        cursor_ = reinterpret_cast<uintptr_t>(slabs_.back().get());
+        limit_ = cursor_ + size;
+    }
+
+    size_t slabBytes_;
+    std::vector<std::unique_ptr<unsigned char[]>> slabs_;
+    uintptr_t cursor_ = 0;
+    uintptr_t limit_ = 0;
+    size_t totalBytes_ = 0;
+};
+
+} // namespace soff::sim

@@ -16,12 +16,27 @@
  * is never an allocation or pointer chase in the hot path. Committed
  * tokens occupy [head, head+committed); staged pushes follow them.
  *
+ * Data-oriented layout: ChannelBase is NOT polymorphic. Every state
+ * transition the schedulers perform per cycle — commit(), occupancy
+ * queries, dirty tracking — only touches the head/committed/staged/
+ * popped bookkeeping, never a token value, so the whole commit path
+ * lives in the base class as direct calls with no vtable anywhere on a
+ * channel. Only push/pop/peek are typed, and those are called by the
+ * unit that statically knows its Channel<T>. Simulator-owned channels
+ * place both the channel object and its token ring in the circuit
+ * arena (build order == index order), so a commit sweep walks
+ * contiguous memory; destruction goes through a per-type thunk the
+ * creating template records.
+ *
  * For the event-driven scheduler a channel additionally
  *  - registers itself on the simulator's dirty list at the first
  *    staged push or pop of a cycle, so commit cost scales with the
  *    cycle's traffic rather than with circuit size, and
  *  - records its endpoint components (watchers) so a commit can wake
- *    exactly the producer and consumer for the next cycle.
+ *    exactly the producer and consumer for the next cycle. The wake
+ *    sweep itself uses a flat index-span view (watchOff/watchCount
+ *    into one simulator-wide index array) built by finalizeShards();
+ *    the pointer list survives for forensics.
  *
  * Under the sharded parallel scheduler a channel belongs to the shard
  * that created it. A channel whose endpoints live in different shards
@@ -38,6 +53,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/fault.hpp"
@@ -49,13 +65,32 @@ namespace soff::sim
 class Component;
 class Simulator;
 
-/** Type-erased base so the simulator can commit and track channels. */
+/** Type-erased, vtable-free base; owns all per-cycle channel state. */
 class ChannelBase
 {
   public:
-    virtual ~ChannelBase() = default;
-    /** Applies this cycle's staged pops/pushes; true if state changed. */
-    virtual bool commit() = 0;
+    /**
+     * Applies this cycle's staged pops/pushes; true if state changed.
+     * Non-virtual: commit only moves bookkeeping counters, never token
+     * values, so one monomorphic function serves every Channel<T>.
+     */
+    bool
+    commit()
+    {
+        bool changed = popped_ || staged_ > 0;
+        uint32_t pushes = staged_;
+        if (popped_) {
+            head_ = (head_ + 1) % cap_;
+            --committed_;
+            popped_ = false;
+        }
+        committed_ += staged_;
+        staged_ = 0;
+        clearDirty();
+        if (changed)
+            noteCommit(pushes);
+        return changed;
+    }
 
     /** Registers an endpoint component woken by every commit. */
     void
@@ -82,16 +117,42 @@ class ChannelBase
     void setFaultClass(FaultClass cls) { faultClass_ = cls; }
 
     /** Committed tokens currently held (forensics snapshot). */
-    virtual size_t occupancy() const = 0;
+    size_t occupancy() const { return committed_; }
     /** Total token capacity (forensics snapshot). */
-    virtual size_t capacityTokens() const = 0;
+    size_t capacityTokens() const { return cap_; }
 
     /** Tokens delivered (committed pushes) over the whole run. */
     uint64_t tokensDelivered() const { return tokens_; }
     /** Committed-occupancy high-water mark over the whole run. */
     uint64_t maxOccupancy() const { return maxOcc_; }
 
+    /**
+     * Returns the channel to its post-construction state for a fresh
+     * launch of the same circuit (relaunch path). Token storage is
+     * retained — slots beyond the committed span are never read before
+     * being written, so stale values cannot be observed.
+     */
+    void
+    reset()
+    {
+        tokens_ = 0;
+        maxOcc_ = 0;
+        head_ = 0;
+        committed_ = 0;
+        staged_ = 0;
+        popped_ = false;
+        dirty_ = false;
+        crossDirty_.store(false, std::memory_order_relaxed);
+    }
+
   protected:
+    explicit ChannelBase(size_t capacity)
+        : cap_(static_cast<uint32_t>(capacity))
+    {
+        SOFF_ASSERT(capacity >= 1, "channel capacity must be >= 1");
+    }
+    ~ChannelBase() = default; // non-virtual; destroyed via typed thunk
+
     /**
      * Perf hooks (out-of-line; they need the Component/Simulator
      * definitions). The push/pop hooks credit the component currently
@@ -152,6 +213,13 @@ class ChannelBase
             crossDirty_.store(false, std::memory_order_relaxed);
     }
 
+    /** Ring bookkeeping; shared by every Channel<T> instantiation. */
+    uint32_t cap_;
+    uint32_t head_ = 0;
+    uint32_t committed_ = 0;
+    uint32_t staged_ = 0;
+    bool popped_ = false;
+
   private:
     friend class Simulator;
 
@@ -171,6 +239,9 @@ class ChannelBase
     uint64_t maxOcc_ = 0; ///< Committed-occupancy high-water mark.
 
     std::vector<Component *> watchers_;
+    /** Flat watcher span in Simulator::watcherIndices_ (wake sweep). */
+    uint32_t watchOff_ = 0;
+    uint32_t watchCount_ = 0;
     std::vector<ChannelBase *> *dirtyList_ = nullptr;
     bool dirty_ = false;
     uint32_t index_ = 0; ///< Global creation index (commit ordering).
@@ -188,10 +259,31 @@ template <typename T>
 class Channel : public ChannelBase
 {
   public:
-    explicit Channel(size_t capacity) : cap_(capacity), buf_(capacity)
+    /** Standalone channel (unit tests, hand-built circuits). */
+    explicit Channel(size_t capacity)
+        : ChannelBase(capacity), owned_(new T[capacity]()),
+          buf_(owned_.get())
+    {}
+
+    /**
+     * Arena-backed channel (Simulator::channel): `storage` points at
+     * `capacity` default-constructed slots in the circuit slab. The
+     * channel destroys the elements; the arena reclaims the bytes.
+     */
+    Channel(size_t capacity, T *storage)
+        : ChannelBase(capacity), buf_(storage)
+    {}
+
+    ~Channel()
     {
-        SOFF_ASSERT(capacity >= 1, "channel capacity must be >= 1");
+        if (owned_ == nullptr) {
+            for (uint32_t i = 0; i < cap_; ++i)
+                buf_[i].~T();
+        }
     }
+
+    Channel(const Channel &) = delete;
+    Channel &operator=(const Channel &) = delete;
 
     /** Consumer side: a committed token is available. */
     bool canPop() const
@@ -206,7 +298,11 @@ class Channel : public ChannelBase
         popped_ = true;
         markDirty();
         notePerfPop();
-        return buf_[head_];
+        // Move out of the slot: canPop() blocks a second pop until the
+        // commit advances head_, and commit never reads token values,
+        // so the moved-from slot is dead until the next push overwrites
+        // it. Saves a deep copy for heap-carrying payloads.
+        return std::move(buf_[head_]);
     }
 
     /** Producer side: space based on the committed occupancy. */
@@ -224,37 +320,13 @@ class Channel : public ChannelBase
         notePerfPush();
     }
 
-    bool
-    commit() override
-    {
-        bool changed = popped_ || staged_ > 0;
-        size_t pushes = staged_;
-        if (popped_) {
-            head_ = (head_ + 1) % cap_;
-            --committed_;
-            popped_ = false;
-        }
-        committed_ += staged_;
-        staged_ = 0;
-        clearDirty();
-        if (changed)
-            noteCommit(pushes);
-        return changed;
-    }
-
     size_t size() const { return committed_; }
     size_t capacity() const { return cap_; }
     bool empty() const { return committed_ == 0; }
-    size_t occupancy() const override { return committed_; }
-    size_t capacityTokens() const override { return cap_; }
 
   private:
-    size_t cap_;
-    std::vector<T> buf_;
-    size_t head_ = 0;
-    size_t committed_ = 0;
-    size_t staged_ = 0;
-    bool popped_ = false;
+    std::unique_ptr<T[]> owned_; ///< Null when arena-backed.
+    T *buf_;
 };
 
 } // namespace soff::sim

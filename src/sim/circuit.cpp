@@ -36,8 +36,32 @@ KernelCircuit::KernelCircuit(const datapath::KernelPlan &plan,
     // timing state and may alias global-memory lines across
     // instances). Per-instance local memory blocks are private and
     // ride in their instance's shard.
-    for (int i = 0; i < num_instances; ++i)
+    //
+    // Replicas must be layout-identical: instance i's components and
+    // channels occupy the contiguous index range [i*K, (i+1)*K), which
+    // the data-oriented core relies on for shard homing and the flat
+    // watcher table. Any per-instance divergence in the build would
+    // silently break that batching, so it is asserted here.
+    size_t comps_per_instance = 0;
+    size_t chans_per_instance = 0;
+    for (int i = 0; i < num_instances; ++i) {
+        size_t c0 = sim_.numComponents();
+        size_t h0 = sim_.numChannels();
         buildInstance(i);
+        size_t dc = sim_.numComponents() - c0;
+        size_t dh = sim_.numChannels() - h0;
+        if (i == 0) {
+            comps_per_instance = dc;
+            chans_per_instance = dh;
+        } else {
+            SOFF_ASSERT(dc == comps_per_instance &&
+                            dh == chans_per_instance,
+                        "replica layout mismatch: instance " +
+                            std::to_string(i) +
+                            " built a different component/channel "
+                            "count than instance 0");
+        }
+    }
     sim_.setBuildShard(0);
     buildMemorySubsystem();
 
@@ -386,8 +410,38 @@ KernelCircuit::buildRegion(const NodePlan &node, Channel<WiToken> *in,
 }
 
 void
+KernelCircuit::relaunch(const LaunchContext &launch)
+{
+    // Components read the launch through the stable &launch_ pointer;
+    // update the value before any reset() recomputes derived state
+    // (dispatcher group counts, counter totals).
+    launch_ = launch;
+    *board_ = CompletionBoard(launch.ndrange, numInstances_);
+    dram_.reset();
+    for (auto &locks : lockTables_)
+        locks->reset();
+    sim_.resetForRerun();
+}
+
+void
 KernelCircuit::buildMemorySubsystem()
 {
+    // The §V-A response-window size depends only on the instruction
+    // (nearMaxLatency walks the plan's latency model), so with N
+    // replicated instances it is memoized per instruction instead of
+    // being recomputed once per replica port.
+    std::map<const ir::Instruction *, size_t> window_memo;
+    auto resp_window = [&](const ir::Instruction &inst) {
+        auto it = window_memo.find(&inst);
+        if (it == window_memo.end()) {
+            size_t w = static_cast<size_t>(
+                           plan_.config.latency.nearMaxLatency(inst)) +
+                       2;
+            it = window_memo.emplace(&inst, w).first;
+        }
+        return it->second;
+    };
+
     // Global memory: per-buffer caches; shared across instances only
     // when atomics require consistency (§V-A).
     struct Group
@@ -447,8 +501,7 @@ KernelCircuit::buildMemorySubsystem()
             // of them even when the unit's consumers are blocked —
             // otherwise the cache's in-order response queue head-of-
             // line-blocks and the datapath deadlocks.
-            size_t window = static_cast<size_t>(
-                plan_.config.latency.nearMaxLatency(*client.inst)) + 2;
+            size_t window = resp_window(*client.inst);
             if (platform_.memRespWindowOverride > 0) {
                 window = static_cast<size_t>(
                     platform_.memRespWindowOverride);
@@ -490,9 +543,7 @@ KernelCircuit::buildMemorySubsystem()
             lockTables_.push_back(std::make_unique<memsys::LockTable>());
             memsys::LockTable *locks = lockTables_.back().get();
             for (const MemClient &client : mine) {
-                size_t window = static_cast<size_t>(
-                    plan_.config.latency.nearMaxLatency(*client.inst)) +
-                    2;
+                size_t window = resp_window(*client.inst);
                 if (platform_.memRespWindowOverride > 0) {
                     window = static_cast<size_t>(
                         platform_.memRespWindowOverride);

@@ -83,6 +83,16 @@ class KernelCircuit
     Simulator::RunResult run(Cycle max_cycles,
                              Cycle deadlock_window = 100000);
 
+    /**
+     * Rearms the circuit for a fresh launch without rebuilding it
+     * (runtime circuit-template memoization). The structure is
+     * immutable; only dynamic state (channel occupancy, unit pipelines,
+     * caches, DRAM timeline, scheduler lists, stats) is cleared, so a
+     * relaunch is bit-identical to a cold build with the same launch.
+     * The new NDRange may differ; argument values may differ.
+     */
+    void relaunch(const LaunchContext &launch);
+
     bool completed() const { return counter_->completed(); }
     /** Work-items retired so far (work-item counter value, §III-B). */
     uint64_t retired() const { return counter_->retired(); }
@@ -118,7 +128,9 @@ class KernelCircuit
     void buildMemorySubsystem();
 
     const datapath::KernelPlan &plan_;
-    const LaunchContext &launch_;
+    /** By value: every component holds `&launch_`, which must remain
+     *  valid (and stable) across relaunches of a memoized circuit. */
+    LaunchContext launch_;
     memsys::GlobalMemory &memory_;
     int numInstances_;
     PlatformConfig platform_;

@@ -31,7 +31,8 @@ class CompletionBoard
         : ndrange_(ndrange),
           remaining_(ndrange.totalGroups(), ndrange.groupSize()),
           inflight_(static_cast<size_t>(num_datapaths), 0),
-          live_(static_cast<size_t>(num_datapaths))
+          live_(static_cast<size_t>(num_datapaths)),
+          owner_(ndrange.totalGroups(), -1)
     {}
 
     void
@@ -48,7 +49,7 @@ class CompletionBoard
     {
         uint64_t group = ndrange_.groupOf(wi);
         if (--remaining_[group] == 0) {
-            size_t d = static_cast<size_t>(owner_.at(group));
+            size_t d = static_cast<size_t>(owner_[group]);
             --inflight_[d];
             std::vector<uint64_t> &live = live_[d];
             live.erase(std::find(live.begin(), live.end(), group));
@@ -88,7 +89,9 @@ class CompletionBoard
     std::vector<int> inflight_;
     /** Groups assigned but not fully retired, per datapath. */
     std::vector<std::vector<uint64_t>> live_;
-    std::map<uint64_t, int> owner_;
+    /** Owning datapath per group id (-1 until assigned). Groups are
+     *  dense [0, totalGroups), so a flat vector replaces the old map. */
+    std::vector<int32_t> owner_;
 };
 
 /** The work-item dispatcher. */
@@ -121,6 +124,16 @@ class Dispatcher : public Component
     }
 
     bool allDispatched() const { return nextGroup_ >= totalGroups_; }
+
+    /** Fresh-launch reset; re-reads the (possibly updated) NDRange. */
+    void
+    reset() override
+    {
+        nextGroup_ = 0;
+        totalGroups_ = launch_->ndrange.totalGroups();
+        for (Stream &s : streams_)
+            s = Stream{};
+    }
 
   private:
     const LaunchContext *launch_;
@@ -175,6 +188,18 @@ class WorkItemCounter : public Component
     const std::vector<DatapathStats> &datapathStats() const
     {
         return datapathStats_;
+    }
+
+    /** Fresh-launch reset; re-reads the (possibly updated) NDRange. */
+    void
+    reset() override
+    {
+        count_ = 0;
+        total_ = launch_->ndrange.totalWorkItems();
+        flushSent_ = false;
+        completed_ = false;
+        for (DatapathStats &ds : datapathStats_)
+            ds = DatapathStats{};
     }
 
   private:

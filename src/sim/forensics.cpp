@@ -240,11 +240,11 @@ Simulator::diagnose(HangKind kind) const
     report->cycle = now_;
     std::vector<const Component *> all;
     all.reserve(components_.size());
-    for (const auto &c : components_)
-        all.push_back(c.get());
+    for (const Component *c : components_)
+        all.push_back(c);
     BlockageProbe probe(report.get(), std::move(all));
-    for (const auto &c : components_) {
-        probe.setCurrent(c.get());
+    for (const Component *c : components_) {
+        probe.setCurrent(c);
         c->describeBlockage(probe);
     }
     extractWaitCycle(probe.edges(), report.get());

@@ -113,6 +113,7 @@ class SelectUnit : public Component
         }
         return false;
     }
+    void reset() override { rr_ = 0; }
 
   private:
     struct In
@@ -165,6 +166,15 @@ class LoopEntrance : public Component
     /** Committed input occupancy only — the shared gate state belongs
      *  to whichever glue stepped last and must not be read here. */
     bool holdsWork() const override { return in_->occupancy() > 0; }
+    /** The entrance owns the shared gate state; the exit glue's reset
+     *  is a no-op so the state is cleared exactly once per relaunch. */
+    void
+    reset() override
+    {
+        state_->count = 0;
+        state_->groupActive = false;
+        state_->currentGroup = 0;
+    }
 
   private:
     Channel<WiToken> *in_;

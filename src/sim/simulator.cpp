@@ -141,26 +141,40 @@ Simulator::~Simulator()
         for (std::thread &w : workers_)
             w.join();
     }
+    // Arena-owned objects: run destructors in reverse build order
+    // (channels first, matching the old member-order teardown), then
+    // the arena releases the slabs.
+    for (size_t i = channels_.size(); i-- > 0;)
+        channelDtors_[i](channels_[i]);
+    for (size_t i = components_.size(); i-- > 0;)
+        components_[i]->~Component();
 }
 
 void
 Simulator::scheduleAt(Component *c, Cycle cycle)
 {
+    scheduleIndexAt(c->index_, cycle);
+}
+
+void
+Simulator::scheduleIndexAt(uint32_t index, Cycle cycle)
+{
     Shard *sh = tlsShard_;
     if (sh == nullptr)
         return; // Reference mode, or outside a scheduling phase.
     if (cycle <= now_ + 1) {
-        if (c->shard_ != sh->id) {
+        if (compShard_[index] != sh->id) {
             // Cross-shard wake: delivered at the cycle barrier, for
             // the next cycle. Deduplicated at drain (the target's
-            // inNextList_ flag belongs to the target's thread).
-            sh->outbox[c->shard_].push_back(c->index_);
+            // next-list flag belongs to the target's thread).
+            sh->outbox[compShard_[index]].push_back(index);
             return;
         }
-        if (c->inNextList_)
+        uint8_t &flags = schedFlags_[index];
+        if (flags & kInNextList)
             return;
-        c->inNextList_ = true;
-        sh->nextList.push_back(c->index_);
+        flags |= kInNextList;
+        sh->nextList.push_back(index);
         return;
     }
     // Timer wake. Only the earliest pending timer is tracked: every
@@ -168,11 +182,11 @@ Simulator::scheduleAt(Component *c, Cycle cycle)
     // early simply re-registers any still-needed later deadline.
     // Timers are always self-armed (wakeAt from the component's own
     // step), so they never cross shards.
-    SOFF_ASSERT(c->shard_ == sh->id, "cross-shard timer wake");
-    if (c->pendingWake_ <= cycle)
+    SOFF_ASSERT(compShard_[index] == sh->id, "cross-shard timer wake");
+    if (pendingWake_[index] <= cycle)
         return;
-    c->pendingWake_ = cycle;
-    sh->timerHeap.push({cycle, c->index_});
+    pendingWake_[index] = cycle;
+    sh->timerHeap.push({cycle, index});
 }
 
 void
@@ -183,8 +197,7 @@ Simulator::faultRetryAt(Cycle clear)
         return; // Reference mode steps everything every cycle anyway.
     // The querier is the component the sweep is on right now; it lives
     // on this shard by definition, so the timer never crosses shards.
-    Component *c = components_[sh->currentList[sh->sweepPos]].get();
-    scheduleAt(c, clear);
+    scheduleIndexAt(sh->currentList[sh->sweepPos], clear);
 }
 
 void
@@ -193,8 +206,9 @@ Simulator::wakeComponent(Component *c)
     Shard *sh = tlsShard_;
     if (sh == nullptr)
         return; // Reference mode steps everything anyway.
-    if (c->shard_ == sh->id && sh->sweeping &&
-        c->index_ > sh->currentList[sh->sweepPos]) {
+    uint32_t index = c->index_;
+    if (compShard_[index] == sh->id && sh->sweeping &&
+        index > sh->currentList[sh->sweepPos]) {
         // The current cycle's in-order sweep of this shard has not
         // reached c yet, so the synchronous reference would have it
         // observe this wake's cause within the same cycle. Insert it
@@ -202,17 +216,18 @@ Simulator::wakeComponent(Component *c)
         // is past the cursor). Same-cycle couplings never cross
         // shards: the circuit builder collapses to one shard when a
         // coupling would (see collapseShards()).
-        if (c->inWakeList_)
+        uint8_t &flags = schedFlags_[index];
+        if (flags & kInWakeList)
             return;
-        c->inWakeList_ = true;
+        flags |= kInWakeList;
         auto it = std::lower_bound(
             sh->currentList.begin() +
                 static_cast<ptrdiff_t>(sh->sweepPos) + 1,
-            sh->currentList.end(), c->index_);
-        sh->currentList.insert(it, c->index_);
+            sh->currentList.end(), index);
+        sh->currentList.insert(it, index);
         return;
     }
-    scheduleAt(c, now_ + 1);
+    scheduleIndexAt(index, now_ + 1);
 }
 
 SchedulerStats
@@ -227,7 +242,7 @@ Simulator::schedulerStats() const
 }
 
 void
-Simulator::finishStep(Component *c)
+Simulator::finishStep(const StepEntry &e)
 {
     // Span-based stall accounting. Both transitions of the predicate
     // (holdsWork && !moved) coincide with cycles the event-driven
@@ -235,9 +250,9 @@ Simulator::finishStep(Component *c)
     // channel state and the component's own members, both of which
     // change only at commits that wake it or at its own steps — so the
     // accumulated spans are bit-identical to stepping every cycle.
-    PerfCounters &p = c->perf_;
+    PerfCounters &p = e.c->perf_;
     bool moved = p.lastMoveCycle == now_;
-    if (!moved && c->holdsWork()) {
+    if (!moved && e.holds(e.c)) {
         if (!p.stallOpen) {
             p.stallOpen = true;
             p.stallStart = now_;
@@ -251,7 +266,7 @@ Simulator::finishStep(Component *c)
 void
 Simulator::finalizePerfSpans()
 {
-    for (auto &c : components_) {
+    for (Component *c : components_) {
         PerfCounters &p = c->perf_;
         if (p.stallOpen) {
             p.stallOpen = false;
@@ -266,7 +281,7 @@ void
 Simulator::appendPerfStats(StatsReport &report) const
 {
     report.components.reserve(components_.size());
-    for (const auto &c : components_) {
+    for (const Component *c : components_) {
         ComponentStats cs;
         cs.name = c->name_;
         cs.kind = c->kind();
@@ -279,7 +294,7 @@ Simulator::appendPerfStats(StatsReport &report) const
         report.components.push_back(std::move(cs));
     }
     report.channels.reserve(channels_.size());
-    for (const auto &ch : channels_) {
+    for (const ChannelBase *ch : channels_) {
         ChannelStatsEntry e;
         e.id = ch->index_;
         e.capacity = static_cast<uint32_t>(ch->capacityTokens());
@@ -297,6 +312,50 @@ Simulator::run(const bool *done, Cycle max_cycles, Cycle deadlock_window)
     return runSharded(done, max_cycles);
 }
 
+void
+Simulator::resetForRerun()
+{
+    now_ = 0;
+    activity_ = false;
+    stats_ = SchedulerStats{};
+    std::fill(pendingWake_.begin(), pendingWake_.end(), kNoWake);
+    std::fill(schedFlags_.begin(), schedFlags_.end(), uint8_t{0});
+    dirtyChannels_.clear();
+    // Dynamic state only: component structure (ports, watchers, wiring)
+    // is immutable after finalizeShards, so a rerun starts from the
+    // same circuit a cold build would produce.
+    for (ChannelBase *ch : channels_)
+        ch->reset();
+    for (Component *c : components_) {
+        c->reset();
+        c->perf_ = PerfCounters{};
+    }
+    if (!shardsReady_)
+        return;
+    for (auto &shp : shards_) {
+        Shard &sh = *shp;
+        sh.currentList.clear();
+        sh.nextList.clear();
+        sh.dirtyChannels.clear();
+        sh.crossDirty.clear();
+        sh.commitList.clear();
+        while (!sh.timerHeap.empty())
+            sh.timerHeap.pop();
+        for (auto &box : sh.outbox)
+            box.clear();
+        sh.sweepPos = 0;
+        sh.sweeping = false;
+        sh.componentSteps = 0;
+        sh.channelCommits = 0;
+    }
+    // Re-seed exactly as finalizeShards() does for the first run: every
+    // component steps at cycle 0. The worker pool stays alive.
+    for (uint32_t i = 0; i < components_.size(); ++i) {
+        schedFlags_[i] |= kInNextList;
+        shards_[compShard_[i]]->nextList.push_back(i);
+    }
+}
+
 Simulator::RunResult
 Simulator::runReference(const bool *done, Cycle max_cycles,
                         Cycle deadlock_window)
@@ -310,14 +369,14 @@ Simulator::runReference(const bool *done, Cycle max_cycles,
             return result;
         }
         activity_ = false;
-        for (auto &c : components_) {
-            ChannelBase::tlsStepping = c.get();
-            c->step(now_);
-            finishStep(c.get());
+        for (const StepEntry &e : steps_) {
+            ChannelBase::tlsStepping = e.c;
+            e.step(e.c, now_);
+            finishStep(e);
         }
         ChannelBase::tlsStepping = nullptr;
-        stats_.componentSteps += components_.size();
-        for (auto &ch : channels_) {
+        stats_.componentSteps += steps_.size();
+        for (ChannelBase *ch : channels_) {
             if (ch->commit()) {
                 activity_ = true;
                 ++stats_.channelCommits;
@@ -349,9 +408,8 @@ Simulator::finalizeShards()
     if (mode_ == SchedulerMode::Parallel && !collapsed_)
         n = static_cast<size_t>(maxShard_) + 1;
     if (n == 1) {
-        for (auto &c : components_)
-            c->shard_ = 0;
-        for (auto &ch : channels_)
+        std::fill(compShard_.begin(), compShard_.end(), 0u);
+        for (ChannelBase *ch : channels_)
             ch->shard_ = 0;
     }
     shards_.reserve(n);
@@ -367,12 +425,20 @@ Simulator::finalizeShards()
     // shard too: a channel whose creation shard and watcher shards all
     // agree stays on the cheap non-atomic dirty path; anything else is
     // cross-shard and pays one atomic exchange per dirty mark.
-    for (auto &ch : channels_) {
+    // The watcher wake sweep the commit phase runs uses a flat index-
+    // span table built here (one simulator-wide index array, a
+    // [watchOff, watchOff+watchCount) slice per channel), replacing the
+    // per-channel pointer vectors in the hot path.
+    watcherIndices_.clear();
+    for (ChannelBase *ch : channels_) {
         uint32_t lo = ch->shard_;
         uint32_t hi = ch->shard_;
+        ch->watchOff_ = static_cast<uint32_t>(watcherIndices_.size());
+        ch->watchCount_ = static_cast<uint32_t>(ch->watchers_.size());
         for (Component *w : ch->watchers_) {
-            lo = std::min(lo, w->shard_);
-            hi = std::max(hi, w->shard_);
+            lo = std::min(lo, compShard_[w->index_]);
+            hi = std::max(hi, compShard_[w->index_]);
+            watcherIndices_.push_back(w->index_);
         }
         ch->shard_ = lo; // home shard: commits run here
         ch->crossShard_ = lo != hi;
@@ -384,9 +450,9 @@ Simulator::finalizeShards()
     }
     // Seed: every component steps at the first cycle, exactly as the
     // synchronous reference does; quiescence takes over from there.
-    for (auto &c : components_) {
-        c->inNextList_ = true;
-        shards_[c->shard_]->nextList.push_back(c->index_);
+    for (uint32_t i = 0; i < components_.size(); ++i) {
+        schedFlags_[i] |= kInNextList;
+        shards_[compShard_[i]]->nextList.push_back(i);
     }
     // Worker pool. The calling thread is worker 0 (the coordinator);
     // extra threads are spawned only when Parallel mode has both more
@@ -436,7 +502,7 @@ Simulator::runSharded(const bool *done, Cycle max_cycles)
         for (auto &shp : shards_) {
             Shard &sh = *shp;
             while (!sh.timerHeap.empty() &&
-                   components_[sh.timerHeap.top().index]->pendingWake_ !=
+                   pendingWake_[sh.timerHeap.top().index] !=
                        sh.timerHeap.top().cycle) {
                 sh.timerHeap.pop();
             }
@@ -560,18 +626,19 @@ Simulator::gatherWakes(Shard &sh)
 {
     sh.currentList.swap(sh.nextList);
     for (uint32_t index : sh.currentList) {
-        components_[index]->inNextList_ = false;
-        components_[index]->inWakeList_ = true;
+        uint8_t &flags = schedFlags_[index];
+        flags = static_cast<uint8_t>((flags & ~kInNextList) |
+                                     kInWakeList);
     }
     while (!sh.timerHeap.empty() && sh.timerHeap.top().cycle == now_) {
         HeapEntry e = sh.timerHeap.top();
         sh.timerHeap.pop();
-        Component *c = components_[e.index].get();
-        if (c->pendingWake_ != e.cycle)
+        if (pendingWake_[e.index] != e.cycle)
             continue; // stale
-        c->pendingWake_ = Component::kNoWake;
-        if (!c->inWakeList_) {
-            c->inWakeList_ = true;
+        pendingWake_[e.index] = kNoWake;
+        uint8_t &flags = schedFlags_[e.index];
+        if (!(flags & kInWakeList)) {
+            flags |= kInWakeList;
             sh.currentList.push_back(e.index);
         }
     }
@@ -581,18 +648,23 @@ Simulator::gatherWakes(Shard &sh)
 void
 Simulator::stepShard(Shard &sh)
 {
+    // The hot loop: an index walk over the flat dispatch table. No
+    // vtable loads — e.step/e.holds are the monomorphic thunks add<T>
+    // recorded — and no allocation (list storage is retained across
+    // cycles; component steps reuse member scratch buffers).
     sh.sweeping = true;
     for (sh.sweepPos = 0; sh.sweepPos < sh.currentList.size();
          ++sh.sweepPos) {
-        Component *c = components_[sh.currentList[sh.sweepPos]].get();
-        c->inWakeList_ = false;
+        uint32_t index = sh.currentList[sh.sweepPos];
+        const StepEntry &e = steps_[index];
+        schedFlags_[index] &= static_cast<uint8_t>(~kInWakeList);
         ++sh.componentSteps;
-        ChannelBase::tlsStepping = c;
-        c->step(now_);
+        ChannelBase::tlsStepping = e.c;
+        e.step(e.c, now_);
         ChannelBase::tlsStepping = nullptr;
-        finishStep(c);
-        if (c->alwaysAwake_)
-            scheduleAt(c, now_ + 1);
+        finishStep(e);
+        if (e.c->alwaysAwake_)
+            scheduleIndexAt(index, now_ + 1);
     }
     sh.sweeping = false;
     sh.currentList.clear();
@@ -624,11 +696,13 @@ Simulator::commitShard(Shard &sh)
               [](const ChannelBase *a, const ChannelBase *b) {
                   return a->index_ < b->index_;
               });
+    const uint32_t *watchers = watcherIndices_.data();
     for (ChannelBase *ch : sh.commitList) {
         if (ch->commit())
             ++sh.channelCommits;
-        for (Component *w : ch->watchers())
-            scheduleAt(w, now_ + 1);
+        const uint32_t *w = watchers + ch->watchOff_;
+        for (uint32_t k = 0; k < ch->watchCount_; ++k)
+            scheduleIndexAt(w[k], now_ + 1);
     }
     sh.commitList.clear();
 }
@@ -638,7 +712,7 @@ Simulator::drainOutboxes()
 {
     // Coordinator-only, between barriers. Deterministic: shards and
     // their boxes are visited in fixed order, and membership in the
-    // next list is a set (inNextList_ dedup), so insertion order
+    // next list is a set (next-list flag dedup), so insertion order
     // cannot change behavior.
     for (auto &src : shards_) {
         for (size_t t = 0; t < shards_.size(); ++t) {
@@ -647,9 +721,9 @@ Simulator::drainOutboxes()
                 continue;
             Shard &target = *shards_[t];
             for (uint32_t index : box) {
-                Component *c = components_[index].get();
-                if (!c->inNextList_) {
-                    c->inNextList_ = true;
+                uint8_t &flags = schedFlags_[index];
+                if (!(flags & kInNextList)) {
+                    flags |= kInNextList;
                     target.nextList.push_back(index);
                 }
             }

@@ -46,6 +46,23 @@
  *    does not hold (atomics on a cache shared across instances)
  *    collapse to a single shard and run serially.
  *
+ * Data-oriented core. The per-cycle path never goes through a vtable:
+ * `add<T>` records a monomorphic step/holdsWork thunk pair per
+ * component in a flat table (`steps_`), so a wake-list sweep is an
+ * index walk over contiguous entries making direct calls; channel
+ * commits are non-virtual (see channel.hpp). All scheduler bookkeeping
+ * that used to live per-object (shard tag, pending timer, wake-list
+ * flags) lives in SoA arrays indexed by component index, and watcher
+ * wake-up walks a flat index-span table instead of per-channel pointer
+ * vectors. Components and channels themselves — including every token
+ * ring — are placement-constructed into a per-circuit slab arena in
+ * build order, so one datapath instance occupies one contiguous region
+ * (replica batching: N instances share the structure, their state is
+ * N adjacent spans, and Parallel shards are index ranges over them).
+ * The `Component` virtual interface survives for construction-time
+ * wiring, forensics (describeBlockage), and stats (kind()) — none of
+ * which are on the per-cycle path.
+ *
  * In the event-driven schedulers the deadlock watchdog is exact: an
  * empty wake queue with the completion flag unset *is* a deadlock
  * (nothing can ever happen again), replacing the reference scheduler's
@@ -60,6 +77,7 @@
 #include <thread>
 #include <vector>
 
+#include "sim/arena.hpp"
 #include "sim/channel.hpp"
 #include "sim/stats.hpp"
 #include "sim/token.hpp"
@@ -111,7 +129,11 @@ class Component
     Component &operator=(const Component &) = delete;
     virtual ~Component() = default;
 
-    /** One clock cycle of behavior. */
+    /**
+     * One clock cycle of behavior. Virtual only for hand-driven unit
+     * tests and forensics; the schedulers call the concrete override
+     * directly through the thunk `Simulator::add<T>` records.
+     */
     virtual void step(Cycle now) = 0;
 
     /**
@@ -144,6 +166,17 @@ class Component
      * span-based stall accounting is bit-identical across modes.
      */
     virtual bool holdsWork() const { return false; }
+
+    /**
+     * Restores post-construction dynamic state for a fresh launch of
+     * the same circuit (KernelCircuit::relaunch). Structural wiring —
+     * channel pointers, latencies, projections — is immutable and must
+     * be left alone; everything a cold-built twin would start without
+     * (queues, counters, cached progress) must be cleared so a relaunch
+     * is bit-identical to a cold build. The default is for stateless
+     * components.
+     */
+    virtual void reset() {}
 
     const std::string &name() const { return name_; }
 
@@ -182,15 +215,9 @@ class Component
     /** Channel push/pop attribution (out-of-line, simulator.cpp). */
     void perfMoved(Cycle now, bool out);
 
-    static constexpr Cycle kNoWake = ~Cycle{0};
-
     std::string name_;
     Simulator *sim_ = nullptr;
     uint32_t index_ = 0;
-    uint32_t shard_ = 0;          ///< Owning shard (parallel mode).
-    Cycle pendingWake_ = kNoWake; ///< Earliest heap-scheduled wake.
-    bool inWakeList_ = false;     ///< Queued for the current cycle.
-    bool inNextList_ = false;     ///< Queued for the next cycle.
     bool alwaysAwake_ = false;
     PerfCounters perf_; ///< Architectural counters (sim/stats.hpp).
 };
@@ -215,34 +242,61 @@ class Simulator
     Simulator &operator=(const Simulator &) = delete;
     ~Simulator();
 
-    /** Creates and owns a component. */
+    /**
+     * Creates and owns a component: placement-constructed in the
+     * circuit arena, with a monomorphic step/holdsWork thunk pair
+     * recorded in the flat dispatch table. The qualified `T::step`
+     * call compiles to a direct (inlinable) call — no vtable load in
+     * the sweep.
+     */
     template <typename T, typename... Args>
     T *
     add(Args &&...args)
     {
-        auto c = std::make_unique<T>(std::forward<Args>(args)...);
-        T *raw = c.get();
+        void *mem = arena_.allocate(sizeof(T), alignof(T));
+        T *raw = new (mem) T(std::forward<Args>(args)...);
         raw->sim_ = this;
         raw->index_ = static_cast<uint32_t>(components_.size());
-        raw->shard_ = buildShard_;
-        components_.push_back(std::move(c));
+        components_.push_back(raw);
+        compShard_.push_back(buildShard_);
+        pendingWake_.push_back(kNoWake);
+        schedFlags_.push_back(0);
+        steps_.push_back(StepEntry{
+            raw,
+            [](Component *c, Cycle now) {
+                static_cast<T *>(c)->T::step(now);
+            },
+            [](const Component *c) {
+                return static_cast<const T *>(c)->T::holdsWork();
+            }});
         return raw;
     }
 
-    /** Creates and owns a channel. */
+    /**
+     * Creates and owns a channel. Object and token ring both live in
+     * the arena (adjacent to the components built around them);
+     * destruction is a per-type thunk recorded here.
+     */
     template <typename T>
     Channel<T> *
     channel(size_t capacity)
     {
-        auto ch = std::make_unique<Channel<T>>(capacity);
-        Channel<T> *raw = ch.get();
+        void *mem =
+            arena_.allocate(sizeof(Channel<T>), alignof(Channel<T>));
+        T *storage = arena_.allocateArray<T>(capacity);
+        for (size_t i = 0; i < capacity; ++i)
+            new (storage + i) T();
+        auto *raw = new (mem) Channel<T>(capacity, storage);
         raw->index_ = static_cast<uint32_t>(channels_.size());
         raw->shard_ = buildShard_;
         raw->sim_ = this;
         raw->nowPtr_ = &now_;
         raw->faults_ = faultPlan_;
         raw->bindDirtyList(&dirtyChannels_);
-        channels_.push_back(std::move(ch));
+        channels_.push_back(raw);
+        channelDtors_.push_back([](ChannelBase *ch) {
+            static_cast<Channel<T> *>(ch)->~Channel<T>();
+        });
         return raw;
     }
 
@@ -304,6 +358,16 @@ class Simulator
     RunResult run(const bool *done, Cycle max_cycles,
                   Cycle deadlock_window = 100000);
 
+    /**
+     * Rewinds the simulator to its pre-first-run state for a fresh
+     * launch of the same circuit: clock, scheduler/perf counters, SoA
+     * scheduling state, shard queues. Component/channel *structure*
+     * (and the worker pool, once spawned) is retained; the caller is
+     * responsible for having reset component and channel state
+     * (KernelCircuit::relaunch does both).
+     */
+    void resetForRerun();
+
     SchedulerMode mode() const { return mode_; }
     Cycle now() const { return now_; }
     size_t numComponents() const { return components_.size(); }
@@ -315,6 +379,8 @@ class Simulator
     size_t numShards() const { return shards_.empty() ? 1 : shards_.size(); }
     /** Worker threads (including the coordinator) after the first run. */
     int parallelWorkers() const { return numWorkers_; }
+    /** Bytes the circuit arena has handed out (diagnostics). */
+    size_t arenaBytes() const { return arena_.bytesAllocated(); }
 
     /** Installs (or clears) the trace sink; not owned. */
     void setTraceSink(TraceSink *sink) { traceSink_ = sink; }
@@ -358,6 +424,15 @@ class Simulator
     void wakeComponent(Component *c);
 
   private:
+    /** One flat dispatch-table row: the sweep reads (c, step) and the
+     *  stall accounting reads (c, holds) — no vtable loads. */
+    struct StepEntry
+    {
+        Component *c;
+        void (*step)(Component *, Cycle);
+        bool (*holds)(const Component *);
+    };
+
     struct HeapEntry
     {
         Cycle cycle;
@@ -393,8 +468,17 @@ class Simulator
 
     enum PhaseKind { kPhaseStep = 1, kPhaseCommit = 2, kPhaseExit = 3 };
 
+    static constexpr Cycle kNoWake = ~Cycle{0};
+
+    /** SoA wake-list membership flags (schedFlags_). */
+    static constexpr uint8_t kInWakeList = 1; ///< Current cycle.
+    static constexpr uint8_t kInNextList = 2; ///< Next cycle.
+
+    /** Index-based core of scheduleAt (hot: commit wake sweeps). */
+    void scheduleIndexAt(uint32_t index, Cycle cycle);
+
     /** Post-step stall-span accounting (both scheduler families). */
-    void finishStep(Component *c);
+    void finishStep(const StepEntry &e);
 
     RunResult runReference(const bool *done, Cycle max_cycles,
                            Cycle deadlock_window);
@@ -410,8 +494,25 @@ class Simulator
 
     SchedulerMode mode_;
     int threadsRequested_;
-    std::vector<std::unique_ptr<Component>> components_;
-    std::vector<std::unique_ptr<ChannelBase>> channels_;
+
+    /** Slab storage behind every component, channel, and token ring. */
+    Arena arena_;
+    std::vector<Component *> components_;   ///< Arena-owned.
+    std::vector<ChannelBase *> channels_;   ///< Arena-owned.
+    /** Typed destructor thunk per channel (parallel to channels_). */
+    std::vector<void (*)(ChannelBase *)> channelDtors_;
+    /** Flat dispatch table, parallel to components_. */
+    std::vector<StepEntry> steps_;
+
+    // SoA scheduler state, indexed by component index. Lives here (not
+    // in Component) so sweeps and wake delivery touch dense arrays.
+    std::vector<uint32_t> compShard_;  ///< Owning shard per component.
+    std::vector<Cycle> pendingWake_;   ///< Earliest heap-scheduled wake.
+    std::vector<uint8_t> schedFlags_;  ///< kInWakeList | kInNextList.
+
+    /** Flat channel-watcher index spans (see ChannelBase::watchOff_). */
+    std::vector<uint32_t> watcherIndices_;
+
     Cycle now_ = 0;
     bool activity_ = false;
     SchedulerStats stats_;

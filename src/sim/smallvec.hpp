@@ -1,0 +1,237 @@
+/**
+ * @file
+ * A small-size-optimized vector for per-token payloads.
+ *
+ * WiToken live sets are short (the live-variable layout of a datapath
+ * edge, typically 1-6 slots), but they flow through every channel in
+ * the circuit every cycle. std::vector puts each one on the heap,
+ * which made token movement the dominant allocation source in the
+ * per-cycle path. SmallVec keeps up to N elements inline in the token
+ * itself and only spills to the heap for the rare wide layouts, so the
+ * steady-state step/commit loop allocates nothing.
+ *
+ * Deliberately minimal: exactly the surface the simulator uses
+ * (push_back/emplace_back/resize/reserve/index/iterate/copy/move).
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace soff::sim
+{
+
+template <typename T, size_t N> class SmallVec
+{
+  public:
+    SmallVec() = default;
+
+    SmallVec(const SmallVec &other) { appendAll(other); }
+
+    SmallVec(SmallVec &&other) noexcept { moveFrom(std::move(other)); }
+
+    SmallVec &operator=(const SmallVec &other)
+    {
+        if (this != &other) {
+            clear();
+            appendAll(other);
+        }
+        return *this;
+    }
+
+    SmallVec &operator=(SmallVec &&other) noexcept
+    {
+        if (this != &other) {
+            destroyAll();
+            moveFrom(std::move(other));
+        }
+        return *this;
+    }
+
+    ~SmallVec() { destroyAll(); }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    size_t capacity() const { return cap_; }
+
+    T *data() { return ptr_(); }
+    const T *data() const { return ptr_(); }
+
+    T *begin() { return ptr_(); }
+    T *end() { return ptr_() + size_; }
+    const T *begin() const { return ptr_(); }
+    const T *end() const { return ptr_() + size_; }
+
+    T &operator[](size_t i) { return ptr_()[i]; }
+    const T &operator[](size_t i) const { return ptr_()[i]; }
+
+    T &at(size_t i)
+    {
+        SOFF_ASSERT(i < size_, "SmallVec index out of range");
+        return ptr_()[i];
+    }
+    const T &at(size_t i) const
+    {
+        SOFF_ASSERT(i < size_, "SmallVec index out of range");
+        return ptr_()[i];
+    }
+
+    T &front() { return ptr_()[0]; }
+    const T &front() const { return ptr_()[0]; }
+    T &back() { return ptr_()[size_ - 1]; }
+    const T &back() const { return ptr_()[size_ - 1]; }
+
+    void reserve(size_t n)
+    {
+        if (n > cap_)
+            grow(n);
+    }
+
+    void push_back(const T &v)
+    {
+        if (size_ == cap_)
+            grow(cap_ * 2);
+        new (ptr_() + size_) T(v);
+        ++size_;
+    }
+
+    void push_back(T &&v)
+    {
+        if (size_ == cap_)
+            grow(cap_ * 2);
+        new (ptr_() + size_) T(std::move(v));
+        ++size_;
+    }
+
+    template <typename... Args> T &emplace_back(Args &&...args)
+    {
+        if (size_ == cap_)
+            grow(cap_ * 2);
+        T *slot = new (ptr_() + size_) T(std::forward<Args>(args)...);
+        ++size_;
+        return *slot;
+    }
+
+    void resize(size_t n)
+    {
+        if (n < size_) {
+            T *p = ptr_();
+            for (size_t i = n; i < size_; ++i)
+                p[i].~T();
+            size_ = n;
+            return;
+        }
+        if (n > cap_)
+            grow(n);
+        T *p = ptr_();
+        for (size_t i = size_; i < n; ++i)
+            new (p + i) T();
+        size_ = n;
+    }
+
+    void clear()
+    {
+        T *p = ptr_();
+        for (size_t i = 0; i < size_; ++i)
+            p[i].~T();
+        size_ = 0;
+    }
+
+    friend bool operator==(const SmallVec &a, const SmallVec &b)
+    {
+        return a.size_ == b.size_ &&
+               std::equal(a.begin(), a.end(), b.begin());
+    }
+    friend bool operator!=(const SmallVec &a, const SmallVec &b)
+    {
+        return !(a == b);
+    }
+
+  private:
+    T *ptr_() { return heap_ != nullptr ? heap_ : inlinePtr_(); }
+    const T *ptr_() const
+    {
+        return heap_ != nullptr ? heap_ : inlinePtr_();
+    }
+
+    T *inlinePtr_() { return reinterpret_cast<T *>(inline_); }
+    const T *inlinePtr_() const
+    {
+        return reinterpret_cast<const T *>(inline_);
+    }
+
+    void grow(size_t want)
+    {
+        size_t cap = std::max(want, cap_ * 2);
+        T *fresh = static_cast<T *>(
+            ::operator new(cap * sizeof(T), std::align_val_t(alignof(T))));
+        T *old = ptr_();
+        for (size_t i = 0; i < size_; ++i) {
+            new (fresh + i) T(std::move(old[i]));
+            old[i].~T();
+        }
+        releaseHeap();
+        heap_ = fresh;
+        cap_ = cap;
+    }
+
+    void destroyAll()
+    {
+        clear();
+        releaseHeap();
+        heap_ = nullptr;
+        cap_ = N;
+    }
+
+    void releaseHeap()
+    {
+        if (heap_ != nullptr)
+            ::operator delete(heap_, std::align_val_t(alignof(T)));
+    }
+
+    void appendAll(const SmallVec &other)
+    {
+        reserve(other.size_);
+        T *p = ptr_();
+        for (size_t i = 0; i < other.size_; ++i)
+            new (p + i) T(other.ptr_()[i]);
+        size_ = other.size_;
+    }
+
+    /** Steal other's heap buffer, or move-construct inline elements. */
+    void moveFrom(SmallVec &&other) noexcept
+    {
+        if (other.heap_ != nullptr) {
+            heap_ = other.heap_;
+            cap_ = other.cap_;
+            size_ = other.size_;
+            other.heap_ = nullptr;
+            other.cap_ = N;
+            other.size_ = 0;
+            return;
+        }
+        heap_ = nullptr;
+        cap_ = N;
+        size_ = other.size_;
+        T *p = inlinePtr_();
+        T *q = other.inlinePtr_();
+        for (size_t i = 0; i < size_; ++i) {
+            new (p + i) T(std::move(q[i]));
+            q[i].~T();
+        }
+        other.size_ = 0;
+    }
+
+    alignas(alignof(T)) unsigned char inline_[N * sizeof(T)];
+    T *heap_ = nullptr;
+    size_t size_ = 0;
+    size_t cap_ = N;
+};
+
+} // namespace soff::sim

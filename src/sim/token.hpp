@@ -7,10 +7,10 @@
 
 #include <cstdint>
 #include <map>
-#include <vector>
 
 #include "ir/eval.hpp"
 #include "ir/kernel.hpp"
+#include "sim/smallvec.hpp"
 
 namespace soff::sim
 {
@@ -114,11 +114,15 @@ struct Flit
     ir::RtValue val;
 };
 
-/** A live-variable bundle on an inter-pipeline channel. */
+/**
+ * A live-variable bundle on an inter-pipeline channel. Live sets are
+ * short (§IV-B live-variable layouts), so the common widths stay inline
+ * in the token — moving a WiToken through a channel does not allocate.
+ */
 struct WiToken
 {
     uint64_t wi = 0;
-    std::vector<ir::RtValue> live;
+    SmallVec<ir::RtValue, 4> live;
 };
 
 /** A memory request from a functional unit / cache. */

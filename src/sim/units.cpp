@@ -147,8 +147,8 @@ ComputeUnit::stepBody(Cycle now)
         if (!in.ch->canPop())
             return;
     }
-    std::vector<Flit> flits;
-    flits.reserve(ins_.size());
+    std::vector<Flit> &flits = flitScratch_;
+    flits.clear();
     uint64_t wi = 0;
     for (size_t i = 0; i < ins_.size(); ++i) {
         flits.push_back(ins_[i].ch->pop());
@@ -158,8 +158,8 @@ ComputeUnit::stepBody(Cycle now)
             SOFF_ASSERT(flits[i].wi == wi,
                         "unit received misaligned work-items: " + name());
     }
-    std::vector<ir::RtValue> ops;
-    ops.reserve(inst_->numOperands());
+    std::vector<ir::RtValue> &ops = opScratch_;
+    ops.clear();
     for (const ir::Value *op : inst_->operands())
         ops.push_back(resolveOperand(op, flits));
     ir::WorkItemCtx ctx = launch_->ndrange.ctxOf(wi);
@@ -256,9 +256,12 @@ MemUnit::step(Cycle)
                 locks_->release(pending.lockIndex, this);
                 // A lock handoff is not channel traffic: wake the
                 // units spinning on this lock so they can retry.
-                for (Component *w :
-                     locks_->takeWaiters(pending.lockIndex))
-                    wakeOther(w);
+                // drainWaiters visits and clears in place (no vector
+                // returned by value on the per-cycle path).
+                locks_->drainWaiters(pending.lockIndex,
+                                     [this](Component *w) {
+                                         wakeOther(w);
+                                     });
             }
             Flit flit;
             flit.wi = pending.wi;
@@ -275,13 +278,14 @@ MemUnit::step(Cycle)
             return;
     }
     // Peek-compute the request; atomics must win their lock first.
-    std::vector<Flit> flits;
-    flits.reserve(ins_.size());
+    std::vector<Flit> &flits = flitScratch_;
+    flits.clear();
     for (const In &in : ins_)
         flits.push_back(in.ch->peek());
     uint64_t wi = flits.empty() ? 0 : flits[0].wi;
 
-    std::vector<ir::RtValue> ops;
+    std::vector<ir::RtValue> &ops = opScratch_;
+    ops.clear();
     for (const ir::Value *op : inst_->operands())
         ops.push_back(resolveOperand(op, flits));
 
@@ -399,6 +403,11 @@ BarrierUnit::BarrierUnit(const std::string &name, Channel<WiToken> *in,
 {
     watch(in_);
     watch(out_);
+    // Preallocate the bucket pool (and each bucket's token storage) so
+    // admission never allocates in the steady state.
+    buckets_.resize(maxGroups_);
+    for (Bucket &b : buckets_)
+        b.items.reserve(launch_->ndrange.groupSize());
 }
 
 void
@@ -413,7 +422,17 @@ BarrierUnit::step(Cycle)
     if (!in_->canPop())
         return;
     uint64_t group = launch_->ndrange.groupOf(in_->peek().wi);
-    if (!waiting_.count(group) && waiting_.size() >= maxGroups_) {
+    Bucket *bucket = nullptr;
+    Bucket *unused = nullptr;
+    for (Bucket &b : buckets_) {
+        if (b.used && b.group == group) {
+            bucket = &b;
+            break;
+        }
+        if (!b.used && unused == nullptr)
+            unused = &b;
+    }
+    if (bucket == nullptr && waitingGroups_ >= maxGroups_) {
         // Too many partially arrived work-groups: with the dispatcher's
         // concurrent-group cap this indicates a work-group-ordering
         // bug; flag it rather than deadlock silently.
@@ -421,12 +440,20 @@ BarrierUnit::step(Cycle)
         return;
     }
     WiToken token = in_->pop();
-    auto &bucket = waiting_[group];
-    bucket.push_back(std::move(token));
-    if (bucket.size() == launch_->ndrange.groupSize()) {
-        for (WiToken &t : bucket)
+    if (bucket == nullptr) {
+        bucket = unused;
+        bucket->used = true;
+        bucket->group = group;
+        bucket->items.clear();
+        ++waitingGroups_;
+    }
+    bucket->items.push_back(std::move(token));
+    if (bucket->items.size() == launch_->ndrange.groupSize()) {
+        for (WiToken &t : bucket->items)
             releasing_.push_back(std::move(t));
-        waiting_.erase(group);
+        bucket->items.clear();
+        bucket->used = false;
+        --waitingGroups_;
     }
 }
 
@@ -435,7 +462,7 @@ BarrierUnit::describeBlockage(BlockageProbe &probe) const
 {
     std::string held = strFormat(
         "%zu group(s) partially arrived, %zu work-item(s) releasing",
-        waiting_.size(), releasing_.size());
+        waitingGroups_, releasing_.size());
     if (!releasing_.empty())
         probe.waitPush(out_, held);
     probe.waitPop(in_, held);
@@ -447,7 +474,7 @@ BarrierUnit::describeBlockage(BlockageProbe &probe) const
             "work-group buffering overflow: %zu partially arrived "
             "group(s) at the cap of %zu (work-group ordering bug "
             "upstream of the barrier)",
-            waiting_.size(), maxGroups_));
+            waitingGroups_, maxGroups_));
     }
 }
 

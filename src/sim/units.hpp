@@ -9,10 +9,9 @@
  */
 #pragma once
 
-#include <deque>
-
 #include "datapath/plan.hpp"
 #include "memsys/locks.hpp"
+#include "sim/ring.hpp"
 #include "sim/simulator.hpp"
 
 namespace soff::sim
@@ -125,6 +124,10 @@ class ComputeUnit : public Component
         }
         return false;
     }
+    void reset() override
+    {
+        pipe_.clear();
+    }
 
   private:
     void stepBody(Cycle now);
@@ -146,8 +149,11 @@ class ComputeUnit : public Component
         Cycle ready;
         Flit flit;
     };
-    std::deque<Stage> pipe_;
+    RingQueue<Stage> pipe_;
     size_t capacity_;
+    /** Per-step scratch (members so steady-state steps never allocate). */
+    std::vector<Flit> flitScratch_;
+    std::vector<ir::RtValue> opScratch_;
 };
 
 /**
@@ -208,6 +214,12 @@ class MemUnit : public Component
         }
         return false;
     }
+    void reset() override
+    {
+        inflight_.clear();
+        violation_.clear();
+        blockedOnLock_ = -1;
+    }
 
   private:
     ir::RtValue resolveOperand(const ir::Value *op,
@@ -232,11 +244,14 @@ class MemUnit : public Component
         uint64_t wi;
         int lockIndex; // -1 if none held
     };
-    std::deque<Pending> inflight_;
+    RingQueue<Pending> inflight_;
     size_t capacity_;
     bool checkInvariants_ = false;
     std::string violation_;
     int blockedOnLock_ = -1; ///< Lock index stalled on, -1 if none.
+    /** Per-step scratch (members so steady-state steps never allocate). */
+    std::vector<Flit> flitScratch_;
+    std::vector<ir::RtValue> opScratch_;
 };
 
 /**
@@ -258,19 +273,43 @@ class BarrierUnit : public Component
     bool
     holdsWork() const override
     {
-        return !waiting_.empty() || !releasing_.empty() ||
+        return waitingGroups_ > 0 || !releasing_.empty() ||
                in_->occupancy() > 0;
+    }
+    void reset() override
+    {
+        for (Bucket &b : buckets_) {
+            b.used = false;
+            b.items.clear();
+        }
+        waitingGroups_ = 0;
+        releasing_.clear();
+        overflow_ = false;
     }
 
     bool overflowed() const { return overflow_; }
 
   private:
+    /**
+     * A partially arrived work-group. The bucket pool is sized to the
+     * concurrent-group cap at construction (it used to be a std::map),
+     * so admission and release in the steady state are a linear scan
+     * over a handful of preallocated slots with no allocation.
+     */
+    struct Bucket
+    {
+        uint64_t group = 0;
+        bool used = false;
+        std::vector<WiToken> items;
+    };
+
     Channel<WiToken> *in_;
     Channel<WiToken> *out_;
     const LaunchContext *launch_;
     size_t maxGroups_;
-    std::map<uint64_t, std::vector<WiToken>> waiting_;
-    std::deque<WiToken> releasing_;
+    std::vector<Bucket> buckets_;
+    size_t waitingGroups_ = 0;
+    RingQueue<WiToken> releasing_;
     bool overflow_ = false;
 };
 

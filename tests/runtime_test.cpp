@@ -1,6 +1,8 @@
 /** @file Unit tests for the runtime: device allocator, buffer DMA,
  *  argument validation, partial reconfiguration, baselines, and the
  *  Table II compatibility rules. */
+#include <array>
+
 #include <gtest/gtest.h>
 
 #include "baseline/compat.hpp"
@@ -126,6 +128,128 @@ TEST(Context, ReferenceAndSimulateAgree)
                        128 * 4);
     }
     EXPECT_EQ(sim_out, ref_out);
+}
+
+// --- Circuit-template memoization ---------------------------------------
+
+/** Barrier + local memory + loop: exercises every relaunch reset path
+ *  (barrier buckets, local-memory slots, caches, loop gates). */
+const char *kCacheKernel = R"CL(
+__kernel void smooth(__global float* A, __global float* B, int iters) {
+  __local float tile[16];
+  int l = get_local_id(0);
+  int g = get_global_id(0);
+  tile[l] = A[g];
+  for (int t = 0; t < iters; t++) {
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float left = tile[l == 0 ? 0 : l - 1];
+    float right = tile[l == 15 ? 15 : l + 1];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    tile[l] = 0.5f * tile[l] + 0.25f * (left + right);
+  }
+  B[g] = tile[l];
+}
+)CL";
+
+struct CacheLaunch
+{
+    uint64_t cycles = 0;
+    std::vector<float> out;
+    std::shared_ptr<const sim::StatsReport> stats;
+};
+
+/** Runs `launches` in one Context (later ones hit the circuit cache)
+ *  and returns the outcome of the last launch. */
+CacheLaunch
+runLaunchLoop(const std::vector<std::pair<uint64_t, int32_t>> &launches)
+{
+    Context ctx;
+    Program program = ctx.buildProgram(kCacheKernel);
+    KernelHandle kernel = program.createKernel("smooth");
+    Buffer a = ctx.createBuffer(256 * 4);
+    Buffer b = ctx.createBuffer(256 * 4);
+    kernel.setArg(0, a);
+    kernel.setArg(1, b);
+    CacheLaunch last;
+    for (const auto &[n, iters] : launches) {
+        std::vector<float> in(n);
+        for (uint64_t i = 0; i < n; ++i)
+            in[i] = static_cast<float>(i % 13) * 0.5f +
+                    static_cast<float>(iters);
+        ctx.writeBuffer(a, in.data(), n * 4);
+        kernel.setArg(2, iters);
+        sim::NDRange nd;
+        nd.globalSize[0] = n;
+        nd.localSize[0] = 16;
+        Event event;
+        LaunchResult r = ctx.enqueueNDRange(
+            kernel, nd, ExecutionMode::Simulate, {}, 0, &event);
+        last.cycles = r.cycles;
+        last.out.assign(n, 0.0f);
+        ctx.readBuffer(b, last.out.data(), n * 4);
+        last.stats = soffGetKernelStats(event);
+    }
+    EXPECT_EQ(program.circuitCacheSize(), 1u)
+        << "one circuit template parked per (plan, instances, platform)";
+    return last;
+}
+
+TEST(CircuitCache, RelaunchMatchesColdBuild)
+{
+    // Warm path: three launches with different NDRanges and arguments,
+    // the later ones rearming the memoized circuit. Cold path: a fresh
+    // context running only the final launch. Cycle counts, results,
+    // and the full architectural StatsReport must be bit-identical.
+    CacheLaunch warm = runLaunchLoop({{64, 1}, {128, 3}, {96, 2}});
+    CacheLaunch cold = runLaunchLoop({{96, 2}});
+    EXPECT_EQ(warm.cycles, cold.cycles);
+    EXPECT_EQ(warm.out, cold.out);
+    ASSERT_NE(warm.stats, nullptr);
+    ASSERT_NE(cold.stats, nullptr);
+    EXPECT_EQ(sim::diffStatsReports(*warm.stats, *cold.stats), "")
+        << "relaunch must reproduce the cold build's counters exactly";
+}
+
+TEST(CircuitCache, CacheDiesWithProgram)
+{
+    // Regression: the cache entry holds raw pointers into the plan's
+    // IR, so it must live in the Program, not the Context. Rebuilding
+    // the same source yields a fresh plan that may reuse the old
+    // plan's address — a context-scoped cache would serve the stale
+    // circuit (use-after-free). Two build/launch rounds in one context
+    // must behave exactly like two cold builds.
+    Context ctx;
+    sim::NDRange nd;
+    nd.globalSize[0] = 64;
+    nd.localSize[0] = 16;
+    std::array<uint64_t, 2> cycles{};
+    for (int round = 0; round < 2; ++round) {
+        Program program = ctx.buildProgram(kTwoKernels);
+        KernelHandle kernel = program.createKernel("a");
+        kernel.setArg(0, ctx.createBuffer(4096));
+        cycles[static_cast<size_t>(round)] =
+            ctx.enqueueNDRange(kernel, nd).cycles;
+        EXPECT_EQ(program.circuitCacheSize(), 1u);
+    } // ~Program drops the parked circuit with the plan it references.
+    EXPECT_EQ(cycles[0], cycles[1]);
+}
+
+TEST(CircuitCache, EnvKnobDisablesCaching)
+{
+    setenv("SOFF_CIRCUIT_CACHE", "0", 1);
+    Context ctx;
+    Program program = ctx.buildProgram(kTwoKernels);
+    KernelHandle kernel = program.createKernel("a");
+    kernel.setArg(0, ctx.createBuffer(4096));
+    sim::NDRange nd;
+    nd.globalSize[0] = 64;
+    nd.localSize[0] = 16;
+    ctx.enqueueNDRange(kernel, nd);
+    ctx.enqueueNDRange(kernel, nd);
+    EXPECT_EQ(program.circuitCacheSize(), 0u);
+    unsetenv("SOFF_CIRCUIT_CACHE");
+    ctx.enqueueNDRange(kernel, nd);
+    EXPECT_EQ(program.circuitCacheSize(), 1u);
 }
 
 // --- Compatibility rules (Table II machinery) ---------------------------
