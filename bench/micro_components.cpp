@@ -27,6 +27,7 @@
 #include "memsys/cache.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
+#include "sim/specialize.hpp"
 
 // ----------------------------------------------------------------------
 // Counting global allocator (alloc-free steady-state guard).
@@ -231,14 +232,18 @@ class Forwarder : public soff::sim::Component
               soff::sim::Channel<uint64_t> *out)
         : Component("fwd"), in_(in), out_(out)
     {
-        watch(in_);
-        watch(out_);
+        watch(in_, soff::sim::PortDir::Pop);
+        watch(out_, soff::sim::PortDir::Push);
     }
     void
     step(soff::sim::Cycle) override
     {
         if (in_->canPop() && out_->canPush())
             out_->push(in_->pop());
+    }
+    soff::sim::ComponentKind kind() const override
+    {
+        return soff::sim::ComponentKind::Compute;
     }
     bool holdsWork() const override { return in_->occupancy() > 0; }
 
@@ -254,13 +259,17 @@ class ChainSource : public soff::sim::Component
     ChainSource(soff::sim::Channel<uint64_t> *out, uint64_t n)
         : Component("chainsrc"), out_(out), n_(n)
     {
-        watch(out_);
+        watch(out_, soff::sim::PortDir::Push);
     }
     void
     step(soff::sim::Cycle) override
     {
         if (sent_ < n_ && out_->canPush())
             out_->push(sent_++);
+    }
+    soff::sim::ComponentKind kind() const override
+    {
+        return soff::sim::ComponentKind::Source;
     }
     bool holdsWork() const override { return sent_ < n_; }
     void reset() override { sent_ = 0; }
@@ -278,7 +287,7 @@ class ChainSink : public soff::sim::Component
     ChainSink(soff::sim::Channel<uint64_t> *in, uint64_t n)
         : Component("chainsink"), in_(in), n_(n)
     {
-        watch(in_);
+        watch(in_, soff::sim::PortDir::Pop);
     }
     void
     step(soff::sim::Cycle) override
@@ -288,6 +297,10 @@ class ChainSink : public soff::sim::Component
             ++got_;
         }
         done_ = got_ >= n_;
+    }
+    soff::sim::ComponentKind kind() const override
+    {
+        return soff::sim::ComponentKind::Sink;
     }
     bool holdsWork() const override { return in_->occupancy() > 0; }
     void
@@ -309,15 +322,11 @@ class ChainSink : public soff::sim::Component
 };
 
 void
-BM_WakePropagation(benchmark::State &state)
+runChainBench(benchmark::State &state, soff::sim::SchedulerMode mode)
 {
-    // Event-driven wake-list propagation through a pipeline chain:
-    // tokens ripple across `depth` components; each commit wakes only
-    // the two endpoints via the flat watcher spans.
     const int depth = static_cast<int>(state.range(0));
     constexpr uint64_t kTokens = 256;
-    soff::sim::Simulator simulator(
-        soff::sim::SchedulerMode::EventDriven);
+    soff::sim::Simulator simulator(mode);
     std::vector<soff::sim::Channel<uint64_t> *> links;
     for (int i = 0; i <= depth; ++i)
         links.push_back(simulator.channel<uint64_t>(2));
@@ -337,10 +346,33 @@ BM_WakePropagation(benchmark::State &state)
             state.SkipWithError("chain did not complete");
         benchmark::DoNotOptimize(sink->sum());
     }
+    if (mode == soff::sim::SchedulerMode::Compiled &&
+        simulator.compiledPlan() == nullptr)
+        state.SkipWithError("compiled plan was not built");
     state.SetItemsProcessed(state.iterations() * kTokens *
                             static_cast<uint64_t>(depth));
 }
+
+void
+BM_WakePropagation(benchmark::State &state)
+{
+    // Event-driven wake-list propagation through a pipeline chain:
+    // tokens ripple across `depth` components; each commit wakes only
+    // the two endpoints via the flat watcher spans.
+    runChainBench(state, soff::sim::SchedulerMode::EventDriven);
+}
 BENCHMARK(BM_WakePropagation)->Arg(16)->Arg(128);
+
+void
+BM_LevelizedSweep(benchmark::State &state)
+{
+    // The same chain under the compiled plan: one fused segment swept
+    // in dataflow order, no per-cycle wake-list sort or per-watcher
+    // wake bookkeeping. Compare against BM_WakePropagation at equal
+    // depth for the specialization win.
+    runChainBench(state, soff::sim::SchedulerMode::Compiled);
+}
+BENCHMARK(BM_LevelizedSweep)->Arg(16)->Arg(128);
 
 void
 BM_InterpreterVadd(benchmark::State &state)
@@ -391,7 +423,7 @@ class TokenSource : public soff::sim::Component
     TokenSource(soff::sim::Channel<soff::sim::WiToken> *out, uint64_t n)
         : Component("tokensrc"), out_(out), n_(n)
     {
-        watch(out_);
+        watch(out_, soff::sim::PortDir::Push);
     }
     void
     step(soff::sim::Cycle) override
@@ -406,6 +438,10 @@ class TokenSource : public soff::sim::Component
             out_->push(std::move(token));
             ++sent_;
         }
+    }
+    soff::sim::ComponentKind kind() const override
+    {
+        return soff::sim::ComponentKind::Source;
     }
     bool holdsWork() const override { return sent_ < n_; }
     void reset() override { sent_ = 0; }
@@ -423,7 +459,7 @@ class TokenSink : public soff::sim::Component
     TokenSink(soff::sim::Channel<soff::sim::WiToken> *in, uint64_t n)
         : Component("tokensink"), in_(in), n_(n)
     {
-        watch(in_);
+        watch(in_, soff::sim::PortDir::Pop);
     }
     void
     step(soff::sim::Cycle) override
@@ -434,6 +470,10 @@ class TokenSink : public soff::sim::Component
             ++got_;
         }
         done_ = got_ >= n_;
+    }
+    soff::sim::ComponentKind kind() const override
+    {
+        return soff::sim::ComponentKind::Sink;
     }
     bool holdsWork() const override { return in_->occupancy() > 0; }
     void
@@ -463,11 +503,11 @@ class TokenSink : public soff::sim::Component
  * their live values inline, and the scheduler reuses its lists.
  */
 int
-runAllocGuard()
+runAllocGuard(soff::sim::SchedulerMode mode)
 {
     using namespace soff::sim;
     constexpr uint64_t kTokens = 2048;
-    Simulator simulator(SchedulerMode::EventDriven);
+    Simulator simulator(mode);
     auto *a = simulator.channel<WiToken>(2);
     auto *b = simulator.channel<WiToken>(4);
     simulator.add<TokenSource>(a, kTokens);
@@ -478,14 +518,18 @@ runAllocGuard()
         TokenForwarder(Channel<WiToken> *in, Channel<WiToken> *out)
             : Component("tokenfwd"), in_(in), out_(out)
         {
-            watch(in_);
-            watch(out_);
+            watch(in_, PortDir::Pop);
+            watch(out_, PortDir::Push);
         }
         void
         step(Cycle) override
         {
             if (in_->canPop() && out_->canPush())
                 out_->push(in_->pop());
+        }
+        ComponentKind kind() const override
+        {
+            return ComponentKind::Compute;
         }
         bool holdsWork() const override { return in_->occupancy() > 0; }
 
@@ -504,6 +548,13 @@ runAllocGuard()
         return 1;
     }
     uint64_t warm_sum = sink->sum();
+    if (mode == SchedulerMode::Compiled &&
+        (simulator.compiledPlan() == nullptr ||
+         simulator.compiledPlan()->fusedChannels == 0)) {
+        std::fprintf(stderr, "alloc guard: compiled plan missing -- "
+                             "the specialized path was not exercised\n");
+        return 1;
+    }
 
     simulator.resetForRerun();
     uint64_t before = g_heapAllocs.load(std::memory_order_relaxed);
@@ -525,8 +576,9 @@ runAllocGuard()
                      static_cast<unsigned long long>(kTokens));
         return 1;
     }
-    std::printf("alloc guard: 0 heap allocations across %llu "
+    std::printf("alloc guard [%s]: 0 heap allocations across %llu "
                 "steady-state cycles (%llu WiTokens moved)\n",
+                schedulerModeName(mode),
                 static_cast<unsigned long long>(steady.cycles),
                 static_cast<unsigned long long>(kTokens));
     return 0;
@@ -537,7 +589,12 @@ runAllocGuard()
 int
 main(int argc, char **argv)
 {
-    int rc = runAllocGuard();
+    // Both the generic event-driven loop and the compiled specialized
+    // loop must run allocation-free in steady state (plans allocate
+    // only at build time).
+    int rc = runAllocGuard(soff::sim::SchedulerMode::EventDriven);
+    if (rc == 0)
+        rc = runAllocGuard(soff::sim::SchedulerMode::Compiled);
     if (rc != 0)
         return rc;
     if (argc > 1 && std::strcmp(argv[1], "--alloc-guard-only") == 0)

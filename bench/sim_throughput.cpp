@@ -14,6 +14,7 @@
  */
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -52,9 +53,11 @@ struct Row
     Workload load;
     double refWallMs = 0.0;
     double evtWallMs = 0.0;
+    double cmpWallMs = 0.0; ///< Compiled (specialized) scheduler.
     uint64_t simCycles = 0;
     uint64_t refSteps = 0;
     uint64_t evtSteps = 0;
+    uint64_t cmpSteps = 0;
     uint64_t evtCyclesActive = 0;
     int instances = 0;
     bool verified = false;
@@ -85,6 +88,29 @@ timedRun(const App &app, sim::SchedulerMode mode, const Workload &load,
         .count();
 }
 
+/** Best-of-N wrapper around timedRun: wall-clock noise on shared
+ *  hosts is one-sided (preemption only ever adds time), so the
+ *  minimum over a few repetitions estimates the true cost. Metrics
+ *  and verification come from the last repetition (they are
+ *  repetition-invariant — the simulation is deterministic). */
+double
+bestTimedRun(const App &app, sim::SchedulerMode mode,
+             const Workload &load, int threads,
+             benchsuite::RunMetrics &metrics, bool &verified)
+{
+    constexpr int kReps = 3;
+    double best = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+        double ms = timedRun(app, mode, load, threads, metrics,
+                             verified);
+        if (rep == 0 || ms < best)
+            best = ms;
+        if (!verified)
+            break;
+    }
+    return best;
+}
+
 double
 cyclesPerSec(uint64_t cycles, double wall_ms)
 {
@@ -113,11 +139,18 @@ int
 main()
 {
     // 112.spmv and 103.stencil are the memory-bound representatives;
-    // gemm is the compute-bound control where stalls are rarer. The
-    // default-config rows additionally sweep the parallel scheduler's
-    // worker count (the membound rows are idle-dominated, so sharding
-    // has little left to win there).
+    // gemm is the compute-bound control where stalls are rarer. Each
+    // app runs in three memory regimes: "pipebound" (fast DRAM — the
+    // datapath pipeline dominates, the compiled scheduler's home
+    // turf), "default", and "membound" (slow DRAM — the generic
+    // memory system dominates and the compiled sweep is mostly
+    // bypassed). The default-config rows additionally sweep the
+    // parallel scheduler's worker count (the membound rows are
+    // idle-dominated, so sharding has little left to win there).
     const std::vector<Workload> workloads = {
+        {"103.stencil", "pipebound", 8, 1, false},
+        {"112.spmv", "pipebound", 8, 1, false},
+        {"gemm", "pipebound", 8, 1, false},
         {"103.stencil", "default", 40, 4, true},
         {"112.spmv", "default", 40, 4, true},
         {"gemm", "default", 40, 4, true},
@@ -128,37 +161,52 @@ main()
     const std::vector<int> sweep = sweepThreadCounts();
 
     std::printf("Simulation-kernel throughput: reference vs "
-                "event-driven vs sharded parallel scheduler\n");
-    std::printf("%-14s %-9s %5s %10s %10s %8s %9s %12s\n",
+                "event-driven vs compiled (specialized) vs sharded "
+                "parallel scheduler\n");
+    std::printf("%-14s %-9s %5s %10s %10s %10s %8s %8s %9s %12s\n",
                 "Application", "config", "inst", "ref (ms)", "evt (ms)",
-                "speedup", "steps", "Mcyc/s evt");
+                "cmp (ms)", "speedup", "cmp spd", "steps",
+                "Mcyc/s cmp");
 
     std::vector<Row> rows;
     double max_speedup = 0.0;
     double max_parallel_speedup = 0.0;
+    double compiled_speedup_log_sum = 0.0;
+    int compiled_speedup_count = 0;
     for (const Workload &load : workloads) {
         const App *app = benchsuite::findApp(load.app);
         SOFF_ASSERT(app != nullptr, "unknown bench app");
         Row row;
         row.load = load;
 
-        benchsuite::RunMetrics ref_metrics, evt_metrics;
-        bool ref_ok = false, evt_ok = false;
-        row.refWallMs = timedRun(*app, sim::SchedulerMode::Reference,
-                                 load, 0, ref_metrics, ref_ok);
-        row.evtWallMs = timedRun(*app, sim::SchedulerMode::EventDriven,
-                                 load, 0, evt_metrics, evt_ok);
-        row.verified = ref_ok && evt_ok &&
-                       ref_metrics.cycles == evt_metrics.cycles;
+        benchsuite::RunMetrics ref_metrics, evt_metrics, cmp_metrics;
+        bool ref_ok = false, evt_ok = false, cmp_ok = false;
+        row.refWallMs = bestTimedRun(*app, sim::SchedulerMode::Reference,
+                                     load, 0, ref_metrics, ref_ok);
+        row.evtWallMs =
+            bestTimedRun(*app, sim::SchedulerMode::EventDriven, load, 0,
+                         evt_metrics, evt_ok);
+        row.cmpWallMs = bestTimedRun(*app, sim::SchedulerMode::Compiled,
+                                     load, 0, cmp_metrics, cmp_ok);
+        row.verified = ref_ok && evt_ok && cmp_ok &&
+                       ref_metrics.cycles == evt_metrics.cycles &&
+                       ref_metrics.cycles == cmp_metrics.cycles;
         row.simCycles = evt_metrics.cycles;
         row.refSteps = ref_metrics.componentSteps;
         row.evtSteps = evt_metrics.componentSteps;
+        row.cmpSteps = cmp_metrics.componentSteps;
         row.evtCyclesActive = evt_metrics.cyclesActive;
         row.instances = evt_metrics.instances;
         row.evtMetrics = evt_metrics;
         double speedup =
             row.evtWallMs > 0.0 ? row.refWallMs / row.evtWallMs : 0.0;
         max_speedup = std::max(max_speedup, speedup);
+        double cmp_speedup =
+            row.cmpWallMs > 0.0 ? row.evtWallMs / row.cmpWallMs : 0.0;
+        if (cmp_speedup > 0.0) {
+            compiled_speedup_log_sum += std::log(cmp_speedup);
+            ++compiled_speedup_count;
+        }
 
         double steps_avoided_pct =
             row.refSteps > 0
@@ -166,12 +214,13 @@ main()
                       static_cast<double>(row.refSteps - row.evtSteps) /
                       static_cast<double>(row.refSteps)
                 : 0.0;
-        std::printf(
-            "%-14s %-9s %5d %10.2f %10.2f %7.2fx %8.1f%% %12.2f%s\n",
-            load.app, load.config, row.instances, row.refWallMs,
-            row.evtWallMs, speedup, steps_avoided_pct,
-            cyclesPerSec(row.simCycles, row.evtWallMs) / 1e6,
-            row.verified ? "" : "  [MISMATCH]");
+        std::printf("%-14s %-9s %5d %10.2f %10.2f %10.2f %7.2fx "
+                    "%7.2fx %8.1f%% %12.2f%s\n",
+                    load.app, load.config, row.instances, row.refWallMs,
+                    row.evtWallMs, row.cmpWallMs, speedup, cmp_speedup,
+                    steps_avoided_pct,
+                    cyclesPerSec(row.simCycles, row.cmpWallMs) / 1e6,
+                    row.verified ? "" : "  [MISMATCH]");
 
         if (load.threadSweep) {
             for (int threads : sweep) {
@@ -208,6 +257,12 @@ main()
     w.field("hardwareConcurrency", std::thread::hardware_concurrency());
     w.field("maxSpeedup", max_speedup);
     w.field("maxParallelSpeedup", max_parallel_speedup);
+    const double compiled_geomean =
+        compiled_speedup_count > 0
+            ? std::exp(compiled_speedup_log_sum /
+                       compiled_speedup_count)
+            : 0.0;
+    w.field("compiledGeomean", compiled_geomean);
     w.key("rows").beginArray();
     for (const Row &r : rows) {
         w.beginObject();
@@ -217,13 +272,18 @@ main()
         w.field("instances", r.instances);
         w.field("refWallMs", r.refWallMs);
         w.field("evtWallMs", r.evtWallMs);
+        w.field("cmpWallMs", r.cmpWallMs);
         w.field("speedup",
                 r.evtWallMs > 0.0 ? r.refWallMs / r.evtWallMs : 0.0);
+        w.field("speedupCompiledVsEvt",
+                r.cmpWallMs > 0.0 ? r.evtWallMs / r.cmpWallMs : 0.0);
         w.field("simCycles", r.simCycles);
         w.field("refCyclesPerSec", cyclesPerSec(r.simCycles, r.refWallMs));
         w.field("evtCyclesPerSec", cyclesPerSec(r.simCycles, r.evtWallMs));
+        w.field("cmpCyclesPerSec", cyclesPerSec(r.simCycles, r.cmpWallMs));
         w.field("refComponentSteps", r.refSteps);
         w.field("evtComponentSteps", r.evtSteps);
+        w.field("cmpComponentSteps", r.cmpSteps);
         w.field("evtCyclesActive", r.evtCyclesActive);
         w.field("verified", r.verified);
 
@@ -276,8 +336,8 @@ main()
     }
     std::printf("\nmax wall-clock speedup: %.2fx (event-driven vs "
                 "reference), %.2fx (parallel vs event-driven); "
-                "results %s\n",
-                max_speedup, max_parallel_speedup,
+                "compiled vs event-driven geomean %.2fx; results %s\n",
+                max_speedup, max_parallel_speedup, compiled_geomean,
                 all_verified ? "identical across schedulers"
                              : "MISMATCHED");
     return all_verified ? 0 : 1;

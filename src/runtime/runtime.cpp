@@ -364,10 +364,12 @@ parseTraceSpec(const char *text, sim::PlatformConfig &plat)
 
 /**
  * Environment overrides. SOFF_SCHEDULER selects the simulation kernel
- * by name ("reference", "event-driven", "parallel", "cross-check") —
- * applied only when the caller left the default, so code that
- * explicitly pins a mode (tests, the cross-check itself) is not
- * affected. SOFF_THREADS sets the parallel worker count when the
+ * by name ("reference", "event-driven", "parallel", "compiled",
+ * "cross-check") — applied only when the caller left the default
+ * (Compiled), so code that explicitly pins a mode (tests, benchmark
+ * baselines, the cross-check itself) is not affected. SOFF_SPECIALIZE=0
+ * turns the default Compiled scheduler back into plain EventDriven
+ * (and clears PlatformConfig::specialize, a circuit-cache key field). SOFF_THREADS sets the parallel worker count when the
  * caller left it at 0 (auto). SOFF_FAULTS installs a delay-only
  * fault-injection plan (sim/fault.hpp grammar) when the caller did
  * not already configure one. SOFF_TRACE enables the Chrome trace
@@ -377,18 +379,29 @@ parseTraceSpec(const char *text, sim::PlatformConfig &plat)
 void
 applyEnvOverrides(sim::PlatformConfig &plat)
 {
-    if (plat.scheduler == sim::SchedulerMode::EventDriven) {
+    // SOFF_SPECIALIZE=0 disables the compiled-circuit specialization
+    // pass: a default Compiled scheduler is demoted below.
+    {
+        const char *spec = std::getenv("SOFF_SPECIALIZE");
+        if (spec != nullptr && std::string(spec) == "0")
+            plat.specialize = false;
+    }
+    if (plat.scheduler == sim::SchedulerMode::Compiled) {
         const char *name = std::getenv("SOFF_SCHEDULER");
         if (name != nullptr && *name != '\0') {
             sim::SchedulerMode mode;
             if (!sim::schedulerModeFromName(name, &mode)) {
                 throw OpenClError(ClStatus::InvalidValue, strFormat(
                     "unknown SOFF_SCHEDULER '%s': valid values are "
-                    "reference, event-driven, parallel, cross-check",
+                    "reference, event-driven, parallel, compiled, "
+                    "cross-check",
                     name));
             }
             plat.scheduler = mode;
         }
+        if (plat.scheduler == sim::SchedulerMode::Compiled &&
+            !plat.specialize)
+            plat.scheduler = sim::SchedulerMode::EventDriven;
     }
     if (plat.threads == 0) {
         const char *threads = std::getenv("SOFF_THREADS");
@@ -504,6 +517,7 @@ samePlatformStructure(const sim::PlatformConfig &a,
     return a.dramLatency == b.dramLatency &&
            a.dramCyclesPerLine == b.dramCyclesPerLine &&
            a.scheduler == b.scheduler && a.threads == b.threads &&
+           a.specialize == b.specialize &&
            a.memRespWindowOverride == b.memRespWindowOverride &&
            a.balanceFifoCap == b.balanceFifoCap;
 }
@@ -651,19 +665,22 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
     applyEnvOverrides(plat);
     bool crosscheck =
         plat.scheduler == sim::SchedulerMode::CrossCheck;
-    ModeRun ref_side, par_side;
-    std::unique_ptr<memsys::GlobalMemory> ref_memory, par_memory;
+    ModeRun ref_side, par_side, comp_side;
+    std::unique_ptr<memsys::GlobalMemory> ref_memory, par_memory,
+        comp_memory;
     std::vector<std::thread> checkers;
-    std::exception_ptr ref_error, par_error;
+    std::exception_ptr ref_error, par_error, comp_error;
     if (crosscheck) {
-        // The three schedulers run concurrently: the reference and
-        // parallel circuits each on a private copy of global memory
-        // (atomics and stores must not be applied twice), the
-        // event-driven circuit below on device memory — its effects
-        // are the ones the caller keeps.
+        // The four schedulers run concurrently: the reference,
+        // parallel, and compiled circuits each on a private copy of
+        // global memory (atomics and stores must not be applied
+        // twice), the event-driven circuit below on device memory —
+        // its effects are the ones the caller keeps.
         ref_memory = std::make_unique<memsys::GlobalMemory>(
             device_.globalMemory());
         par_memory = std::make_unique<memsys::GlobalMemory>(
+            device_.globalMemory());
+        comp_memory = std::make_unique<memsys::GlobalMemory>(
             device_.globalMemory());
         auto side_run = [&](sim::SchedulerMode mode,
                             memsys::GlobalMemory &memory, ModeRun &out,
@@ -693,6 +710,9 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
         checkers.emplace_back(side_run, sim::SchedulerMode::Parallel,
                               std::ref(*par_memory), std::ref(par_side),
                               std::ref(par_error));
+        checkers.emplace_back(side_run, sim::SchedulerMode::Compiled,
+                              std::ref(*comp_memory),
+                              std::ref(comp_side), std::ref(comp_error));
         plat.scheduler = sim::SchedulerMode::EventDriven;
     }
 
@@ -765,6 +785,8 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
             std::rethrow_exception(ref_error);
         if (par_error)
             std::rethrow_exception(par_error);
+        if (comp_error)
+            std::rethrow_exception(comp_error);
         ModeRun evt_side;
         evt_side.run = run;
         evt_side.stats = circuit->stats();
@@ -776,6 +798,8 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
                           evt_side);
         crossCheckCompare(ck.kernel->name(), "parallel", ref_side,
                           par_side);
+        crossCheckCompare(ck.kernel->name(), "compiled", ref_side,
+                          comp_side);
         // The sharded scheduler must not just produce the same
         // results but do the same amount of work: its union of
         // per-shard wake lists is cycle-for-cycle the event-driven

@@ -65,6 +65,20 @@ namespace soff::sim
 class Component;
 class Simulator;
 
+/**
+ * Which side of the handshake a watcher sits on. Declared by the
+ * watch() call site (the component statically knows whether it pushes
+ * or pops); consumed by the circuit-specialization pass to orient
+ * producer->consumer edges when levelizing a pipeline segment. Unknown
+ * is always safe: the edge is simply not used for ordering.
+ */
+enum class PortDir : uint8_t
+{
+    Unknown,
+    Pop,  ///< The watcher consumes from this channel.
+    Push, ///< The watcher produces into this channel.
+};
+
 /** Type-erased, vtable-free base; owns all per-cycle channel state. */
 class ChannelBase
 {
@@ -94,15 +108,24 @@ class ChannelBase
 
     /** Registers an endpoint component woken by every commit. */
     void
-    addWatcher(Component *c)
+    addWatcher(Component *c, PortDir dir = PortDir::Unknown)
     {
-        for (Component *w : watchers_) {
-            if (w == c)
-                return;
+        for (size_t i = 0; i < watchers_.size(); ++i) {
+            if (watchers_[i] != c)
+                continue;
+            // Re-registration with a conflicting direction (a component
+            // that both pushes and pops the same channel) degrades the
+            // edge to Unknown rather than picking a side.
+            if (watcherDirs_[i] != dir)
+                watcherDirs_[i] = PortDir::Unknown;
+            return;
         }
         watchers_.push_back(c);
+        watcherDirs_.push_back(dir);
     }
     const std::vector<Component *> &watchers() const { return watchers_; }
+    /** Declared handshake side per watcher (parallel to watchers()). */
+    const std::vector<PortDir> &watcherDirs() const { return watcherDirs_; }
 
     /** Binds the simulator's dirty list (event-driven commits). */
     void bindDirtyList(std::vector<ChannelBase *> *list)
@@ -239,6 +262,7 @@ class ChannelBase
     uint64_t maxOcc_ = 0; ///< Committed-occupancy high-water mark.
 
     std::vector<Component *> watchers_;
+    std::vector<PortDir> watcherDirs_; ///< Parallel to watchers_.
     /** Flat watcher span in Simulator::watcherIndices_ (wake sweep). */
     uint32_t watchOff_ = 0;
     uint32_t watchCount_ = 0;

@@ -30,11 +30,20 @@ struct PlatformConfig
     int dramLatency = 40;       ///< Cycles from request to line data.
     int dramCyclesPerLine = 4;  ///< Bandwidth: one 64B line / 4 cycles.
     /** Simulation kernel. Results are identical across modes; the
-     *  runtime resolves CrossCheck by running one circuit per mode. */
-    SchedulerMode scheduler = SchedulerMode::EventDriven;
+     *  runtime resolves CrossCheck by running one circuit per mode.
+     *  The default Compiled mode is the event-driven scheduler plus
+     *  the circuit-specialization pass (sim/specialize.hpp); it
+     *  degrades to plain EventDriven whenever a specialization
+     *  precondition fails. */
+    SchedulerMode scheduler = SchedulerMode::Compiled;
     /** Worker threads for SchedulerMode::Parallel (capped by the
      *  shard count); 0 means hardware_concurrency(). */
     int threads = 0;
+    /** Allow the compiled-circuit specialization pass. When cleared
+     *  (SOFF_SPECIALIZE=0), the runtime demotes a default Compiled
+     *  scheduler back to plain EventDriven. Part of the circuit cache
+     *  key: a compiled plan rebinds channel dirty lists. */
+    bool specialize = true;
     /** Delay-only fault injection (sim/fault.hpp); off by default. */
     FaultConfig faults;
     /** Test-only: force every load/store response window to this many

@@ -28,13 +28,13 @@ class Router : public Component
            const LaunchContext *launch)
         : Component(name), in_(in), launch_(launch)
     {
-        watch(in_);
+        watch(in_, PortDir::Pop);
     }
 
     void
     addOutput(Channel<WiToken> *ch, const datapath::Projection *proj)
     {
-        watch(ch);
+        watch(ch, PortDir::Push);
         outs_.push_back({ch, proj});
     }
     /** Condition slot in the incoming layout (2-output routers). */
@@ -45,7 +45,7 @@ class Router : public Component
     void
     setOrderFifo(Channel<uint64_t> *fifo)
     {
-        watch(fifo);
+        watch(fifo, PortDir::Push);
         orderFifo_ = fifo;
     }
 
@@ -85,19 +85,19 @@ class SelectUnit : public Component
                const LaunchContext *launch)
         : Component(name), out_(out), launch_(launch)
     {
-        watch(out_);
+        watch(out_, PortDir::Push);
     }
 
     void
     addInput(Channel<WiToken> *ch, bool back_edge_priority = false)
     {
-        watch(ch);
+        watch(ch, PortDir::Pop);
         ins_.push_back({ch, back_edge_priority});
     }
     void
     setOrderFifo(Channel<uint64_t> *fifo)
     {
-        watch(fifo);
+        watch(fifo, PortDir::Pop);
         orderFifo_ = fifo;
     }
 

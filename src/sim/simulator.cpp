@@ -5,6 +5,7 @@
 
 #include "sim/fault.hpp"
 #include "sim/forensics.hpp"
+#include "sim/specialize.hpp"
 #include "sim/trace.hpp"
 #include "support/strings.hpp"
 
@@ -83,6 +84,7 @@ schedulerModeName(SchedulerMode mode)
       case SchedulerMode::Reference: return "reference";
       case SchedulerMode::EventDriven: return "event-driven";
       case SchedulerMode::Parallel: return "parallel";
+      case SchedulerMode::Compiled: return "compiled";
       case SchedulerMode::CrossCheck: return "cross-check";
     }
     return "?";
@@ -98,6 +100,8 @@ schedulerModeFromName(const std::string &name, SchedulerMode *out)
         *out = SchedulerMode::EventDriven;
     else if (name == "parallel")
         *out = SchedulerMode::Parallel;
+    else if (name == "compiled")
+        *out = SchedulerMode::Compiled;
     else if (name == "cross-check" || name == "crosscheck")
         *out = SchedulerMode::CrossCheck;
     else
@@ -131,6 +135,13 @@ Component::wakeOther(Component *c)
 {
     if (sim_ != nullptr && c != nullptr)
         sim_->wakeComponent(c);
+}
+
+Simulator::Simulator(SchedulerMode mode, int threads)
+    : mode_(mode), threadsRequested_(threads)
+{
+    SOFF_ASSERT(mode != SchedulerMode::CrossCheck,
+                "CrossCheck is resolved above the simulator");
 }
 
 Simulator::~Simulator()
@@ -348,6 +359,7 @@ Simulator::resetForRerun()
         sh.componentSteps = 0;
         sh.channelCommits = 0;
     }
+    resetCompiledState();
     // Re-seed exactly as finalizeShards() does for the first run: every
     // component steps at cycle 0. The worker pool stays alive.
     for (uint32_t i = 0; i < components_.size(); ++i) {
@@ -468,6 +480,14 @@ Simulator::finalizeShards()
     }
     for (int i = 1; i < numWorkers_; ++i)
         workers_.emplace_back(&Simulator::workerMain, this);
+    // Compiled mode: lower the circuit into a specialized step plan.
+    // Fault injection needs the generic sweep cursor for retry wakes,
+    // and tracing relies on generic per-channel commit ordering, so
+    // either forces a full fallback to the plain event-driven loop
+    // (plan_ stays null and Compiled == EventDriven).
+    if (mode_ == SchedulerMode::Compiled && faultPlan_ == nullptr &&
+        traceSink_ == nullptr)
+        buildCompiledPlan();
 }
 
 Simulator::RunResult
@@ -511,6 +531,8 @@ Simulator::runSharded(const bool *done, Cycle max_cycles)
             else if (!sh.timerHeap.empty())
                 min_timer = std::min(min_timer, sh.timerHeap.top().cycle);
         }
+        if (plan_ != nullptr && !plan_->touched.empty())
+            any_next = true;
         if (!any_next) {
             if (min_timer == kNone) {
                 // Exact deadlock: nothing is scheduled on any shard
@@ -528,16 +550,34 @@ Simulator::runSharded(const bool *done, Cycle max_cycles)
             }
             now_ = min_timer; // jump the clock over the idle gap
         }
-        // Phase 1: each shard sweeps its wake list in component-index
-        // order. Components only stage channel pushes/pops, so shards
-        // never observe each other's intra-cycle state.
-        runPhase(kPhaseStep);
-        // Phase 2: each shard commits the dirty channels homed on it
-        // in channel-index order; commits wake the endpoints for the
-        // next cycle.
-        runPhase(kPhaseCommit);
-        // Single-threaded again: deliver cross-shard wakes.
-        drainOutboxes();
+        if (plan_ != nullptr) {
+            // Compiled mode (always single-shard): segment-member
+            // wakes are swept in levelized order, everything else goes
+            // through the generic wake machinery, and fused-channel
+            // commits fold commit + watcher scheduling into one pass.
+            Shard &sh = *shards_[0];
+            tlsShard_ = &sh;
+            ChannelBase::tlsCrossDirty = &sh.crossDirty;
+            gatherCompiled(sh);
+            sweepActiveSegments(sh);
+            stepShard(sh);
+            commitShard(sh);
+            commitSegmentChannels(sh);
+            tlsShard_ = nullptr;
+            ChannelBase::tlsCrossDirty = nullptr;
+        } else {
+            // Phase 1: each shard sweeps its wake list in
+            // component-index order. Components only stage channel
+            // pushes/pops, so shards never observe each other's
+            // intra-cycle state.
+            runPhase(kPhaseStep);
+            // Phase 2: each shard commits the dirty channels homed on
+            // it in channel-index order; commits wake the endpoints
+            // for the next cycle.
+            runPhase(kPhaseCommit);
+            // Single-threaded again: deliver cross-shard wakes.
+            drainOutboxes();
+        }
         ++stats_.cyclesActive;
         ++now_;
     }
@@ -697,6 +737,30 @@ Simulator::commitShard(Shard &sh)
                   return a->index_ < b->index_;
               });
     const uint32_t *watchers = watcherIndices_.data();
+    if (plan_ != nullptr) {
+        // Compiled mode (single shard): boundary-channel commits are
+        // the main wake source for segment members in memory-heavy
+        // circuits. Route those wakes straight into the plan's buckets
+        // instead of bouncing them through scheduleIndexAt, the next
+        // list, and the gather-time reroute. Within-bucket order is
+        // unobservable (same level, no edges), so arriving in commit
+        // order instead of gather order cannot change results.
+        CompiledPlan &p = *plan_;
+        for (ChannelBase *ch : sh.commitList) {
+            if (ch->commit())
+                ++sh.channelCommits;
+            const uint32_t *w = watchers + ch->watchOff_;
+            for (uint32_t k = 0; k < ch->watchCount_; ++k) {
+                uint32_t pos = p.compOrderPos[w[k]];
+                if (pos != CompiledPlan::kNoSegment)
+                    p.wake(pos);
+                else
+                    scheduleIndexAt(w[k], now_ + 1);
+            }
+        }
+        sh.commitList.clear();
+        return;
+    }
     for (ChannelBase *ch : sh.commitList) {
         if (ch->commit())
             ++sh.channelCommits;

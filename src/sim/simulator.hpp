@@ -90,6 +90,7 @@ class BlockageProbe;
 struct DeadlockReport;
 class FaultPlan;
 class TraceSink;
+struct CompiledPlan;
 
 /** Why a run failed to complete (forensics report classification). */
 enum class HangKind
@@ -105,6 +106,7 @@ enum class SchedulerMode
     Reference,   ///< Synchronous: step everything, commit everything.
     EventDriven, ///< Wake lists + dirty-channel commits + clock jumps.
     Parallel,    ///< Sharded event-driven kernel on a worker pool.
+    Compiled,    ///< Event-driven + per-circuit specialized step plan.
     CrossCheck,  ///< Run all modes, assert identical (runtime level).
 };
 
@@ -179,6 +181,8 @@ class Component
     virtual void reset() {}
 
     const std::string &name() const { return name_; }
+    /** Global creation index (dispatch-table/plan position). */
+    uint32_t index() const { return index_; }
 
   protected:
     /** Registers this component as an endpoint of `ch`. */
@@ -187,6 +191,18 @@ class Component
     {
         if (ch != nullptr)
             ch->addWatcher(this);
+    }
+    /**
+     * Same, with the handshake side declared (PortDir). Components that
+     * want to be eligible for the compiled-circuit specialization tag
+     * their ports so the levelizer can orient producer->consumer edges;
+     * the untagged overload keeps working everywhere else.
+     */
+    void
+    watch(ChannelBase *ch, PortDir dir)
+    {
+        if (ch != nullptr)
+            ch->addWatcher(this, dir);
     }
 
     /** Schedules a timer wake for this component at `cycle`. */
@@ -229,15 +245,11 @@ class Simulator
     /**
      * `threads` is the Parallel-mode worker count, capped by the shard
      * count; 0 means std::thread::hardware_concurrency(). The other
-     * modes ignore it.
+     * modes ignore it. Out-of-line (like the destructor) so the
+     * header can hold a unique_ptr to the incomplete CompiledPlan.
      */
     explicit Simulator(SchedulerMode mode = SchedulerMode::Reference,
-                       int threads = 0)
-        : mode_(mode), threadsRequested_(threads)
-    {
-        SOFF_ASSERT(mode != SchedulerMode::CrossCheck,
-                    "CrossCheck is resolved above the simulator");
-    }
+                       int threads = 0);
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
     ~Simulator();
@@ -387,6 +399,16 @@ class Simulator
     TraceSink *traceSink() const { return traceSink_; }
 
     /**
+     * The specialized execution plan SchedulerMode::Compiled built for
+     * this circuit at its first run, or null — before the first run,
+     * under every other mode, when a fault plan or trace sink forces
+     * the generic-sweep fallback, or when the circuit offered nothing
+     * to specialize. Exposed for tests and benchmarks; the plan is
+     * owned by the simulator and immutable between runs.
+     */
+    const CompiledPlan *compiledPlan() const { return plan_.get(); }
+
+    /**
      * Closes still-open stall spans at the final cycle. Call once
      * after run() before reading counters; for completed runs the
      * close cycle is the completion cycle in every mode.
@@ -492,6 +514,15 @@ class Simulator
     void shardLoop(PhaseKind kind);
     void workerMain();
 
+    // Compiled-mode specialization (sim/specialize.cpp). The plan is
+    // built once at finalizeShards; the per-cycle entry points replace
+    // gatherWakes and extend the commit phase for fused channels.
+    void buildCompiledPlan();
+    void gatherCompiled(Shard &sh);
+    void sweepActiveSegments(Shard &sh);
+    void commitSegmentChannels(Shard &sh);
+    void resetCompiledState();
+
     SchedulerMode mode_;
     int threadsRequested_;
 
@@ -518,6 +549,9 @@ class Simulator
     SchedulerStats stats_;
     const FaultPlan *faultPlan_ = nullptr;
     TraceSink *traceSink_ = nullptr;
+
+    /** Specialized step plan (Compiled mode only; null = generic). */
+    std::unique_ptr<CompiledPlan> plan_;
 
     // Reference-mode dirty tracking (channels bind to this list until
     // the sharded schedulers re-bind them at finalizeShards()).

@@ -92,7 +92,7 @@ ComputeUnit::ComputeUnit(const std::string &name,
 void
 ComputeUnit::addInput(Channel<Flit> *ch, const ir::Value *value)
 {
-    watch(ch);
+    watch(ch, PortDir::Pop);
     ins_.push_back({ch, value});
 }
 

@@ -24,14 +24,14 @@ class SourceUnit : public Component
     SourceUnit(const std::string &name, Channel<WiToken> *in)
         : Component(name), in_(in)
     {
-        watch(in_);
+        watch(in_, PortDir::Pop);
     }
 
     /** live_index: slot in the input layout; -1 for trigger edges. */
     void
     addOutput(Channel<Flit> *ch, int live_index)
     {
-        watch(ch);
+        watch(ch, PortDir::Push);
         outs_.push_back({ch, live_index});
     }
 
@@ -59,14 +59,14 @@ class SinkUnit : public Component
              size_t layout_size)
         : Component(name), out_(out), layoutSize_(layout_size)
     {
-        watch(out_);
+        watch(out_, PortDir::Push);
     }
 
     /** sink_index: slot in the sink layout; -1 for ordering edges. */
     void
     addInput(Channel<Flit> *ch, int sink_index)
     {
-        watch(ch);
+        watch(ch, PortDir::Pop);
         ins_.push_back({ch, sink_index});
     }
 
@@ -106,7 +106,7 @@ class ComputeUnit : public Component
     void
     addOutput(Channel<Flit> *ch)
     {
-        watch(ch);
+        watch(ch, PortDir::Push);
         outs_.push_back(ch);
     }
 

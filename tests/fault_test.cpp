@@ -507,7 +507,8 @@ TEST_F(EnvParsing, RejectsUnknownScheduler)
     } catch (const rt::OpenClError &e) {
         EXPECT_EQ(e.status(), ClStatus::InvalidValue);
         EXPECT_NE(std::string(e.what()).find(
-                      "reference, event-driven, parallel, cross-check"),
+                      "reference, event-driven, parallel, compiled, "
+                      "cross-check"),
                   std::string::npos)
             << "the error must list the valid values: " << e.what();
     }

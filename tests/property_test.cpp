@@ -10,6 +10,7 @@
 #include "baseline/interpreter.hpp"
 #include "runtime/runtime.hpp"
 #include "sim/simulator.hpp"
+#include "sim/specialize.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
@@ -358,6 +359,272 @@ TEST(ChannelWatcherWake, EventDrivenMatchesReference)
     EXPECT_EQ(sums[0], sums[1]);
     EXPECT_EQ(sums[0], kTokens * (kTokens - 1) / 2);
 }
+
+// --- Compiled-circuit specialization --------------------------------------
+
+namespace compiled_spec
+{
+
+/** Eligible-kind chain components: datapath plumbing the compiled
+ *  specializer may fold into a levelized segment. */
+class ChainHead : public sim::Component
+{
+  public:
+    ChainHead(sim::Channel<uint64_t> *out, uint64_t n)
+        : Component("head"), out_(out), n_(n)
+    {
+        watch(out_, sim::PortDir::Push);
+    }
+    void
+    step(sim::Cycle) override
+    {
+        if (sent_ < n_ && out_->canPush())
+            out_->push(sent_++);
+    }
+    sim::ComponentKind kind() const override
+    {
+        return sim::ComponentKind::Source;
+    }
+    bool holdsWork() const override { return sent_ < n_; }
+    void reset() override { sent_ = 0; }
+
+  private:
+    sim::Channel<uint64_t> *out_;
+    uint64_t n_;
+    uint64_t sent_ = 0;
+};
+
+class ChainStage : public sim::Component
+{
+  public:
+    ChainStage(sim::Channel<uint64_t> *in, sim::Channel<uint64_t> *out)
+        : Component("stage"), in_(in), out_(out)
+    {
+        watch(in_, sim::PortDir::Pop);
+        watch(out_, sim::PortDir::Push);
+    }
+    void
+    step(sim::Cycle) override
+    {
+        if (in_->canPop() && out_->canPush())
+            out_->push(in_->pop() * 3 + 1);
+    }
+    sim::ComponentKind kind() const override
+    {
+        return sim::ComponentKind::Compute;
+    }
+    bool holdsWork() const override { return in_->occupancy() > 0; }
+
+  private:
+    sim::Channel<uint64_t> *in_;
+    sim::Channel<uint64_t> *out_;
+};
+
+class ChainTail : public sim::Component
+{
+  public:
+    ChainTail(sim::Channel<uint64_t> *in, uint64_t n)
+        : Component("tail"), in_(in), n_(n)
+    {
+        watch(in_, sim::PortDir::Pop);
+    }
+    void
+    step(sim::Cycle) override
+    {
+        if (in_->canPop()) {
+            sum_ += in_->pop();
+            ++got_;
+        }
+        done_ = got_ >= n_;
+    }
+    sim::ComponentKind kind() const override
+    {
+        return sim::ComponentKind::Sink;
+    }
+    bool holdsWork() const override { return in_->occupancy() > 0; }
+    void
+    reset() override
+    {
+        got_ = 0;
+        sum_ = 0;
+        done_ = false;
+    }
+
+    uint64_t sum() const { return sum_; }
+    const bool *doneFlag() const { return &done_; }
+
+  private:
+    sim::Channel<uint64_t> *in_;
+    uint64_t n_;
+    uint64_t got_ = 0;
+    uint64_t sum_ = 0;
+    bool done_ = false;
+};
+
+/** A randomized single-watcher-per-side chain. Components are added in
+ *  a seed-shuffled order, so the compiled plan's levelization has to
+ *  recover the dataflow order instead of inheriting build order. */
+struct Chain
+{
+    std::vector<sim::Channel<uint64_t> *> channels;
+    ChainTail *tail = nullptr;
+};
+
+Chain
+buildChain(sim::Simulator &simulator, uint64_t seed, uint64_t tokens)
+{
+    SplitMix64 rng(seed);
+    int stages = rng.nextInt(2, 8);
+    Chain chain;
+    for (int i = 0; i <= stages; ++i) {
+        chain.channels.push_back(simulator.channel<uint64_t>(
+            static_cast<size_t>(rng.nextInt(1, 3))));
+    }
+    // Build components in shuffled dataflow position order.
+    std::vector<int> pos(static_cast<size_t>(stages) + 2);
+    for (size_t i = 0; i < pos.size(); ++i)
+        pos[i] = static_cast<int>(i);
+    for (size_t i = pos.size(); i > 1; --i)
+        std::swap(pos[i - 1],
+                  pos[static_cast<size_t>(rng.nextInt(
+                      0, static_cast<int>(i) - 1))]);
+    for (int p : pos) {
+        if (p == 0) {
+            simulator.add<ChainHead>(chain.channels.front(), tokens);
+        } else if (p == stages + 1) {
+            chain.tail = simulator.add<ChainTail>(chain.channels.back(),
+                                                  tokens);
+        } else {
+            simulator.add<ChainStage>(chain.channels[p - 1],
+                                      chain.channels[p]);
+        }
+    }
+    return chain;
+}
+
+} // namespace compiled_spec
+
+class CompiledSpecialization
+    : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(CompiledSpecialization, LevelizationIsTopologicalOrder)
+{
+    // The plan's per-segment step order must be a valid topological
+    // order of the fused channel graph: every Push watcher of a fused
+    // channel is swept before every Pop watcher.
+    constexpr uint64_t kTokens = 64;
+    sim::Simulator simulator(sim::SchedulerMode::Compiled);
+    compiled_spec::Chain chain =
+        compiled_spec::buildChain(simulator, GetParam(), kTokens);
+    auto result = simulator.run(chain.tail->doneFlag(), 100000, 1000);
+    ASSERT_TRUE(result.completed);
+
+    const sim::CompiledPlan *plan = simulator.compiledPlan();
+    ASSERT_NE(plan, nullptr)
+        << "an eligible-kind chain must produce a compiled plan";
+    ASSERT_FALSE(plan->stepOrder.empty());
+    EXPECT_GT(plan->fusedChannels, 0u);
+    EXPECT_EQ(plan->demotedChannels, 0u) << "chains are acyclic";
+    // Sweep position of every member.
+    std::vector<int> position(plan->compSegment.size(), -1);
+    for (size_t pos = 0; pos < plan->stepOrder.size(); ++pos)
+        position[plan->stepOrder[pos]] = static_cast<int>(pos);
+    size_t checkedEdges = 0;
+    for (sim::ChannelBase *ch : chain.channels) {
+        if (plan->chanSegment[ch->id()] == sim::CompiledPlan::kNoSegment)
+            continue;
+        const auto &watchers = ch->watchers();
+        const auto &dirs = ch->watcherDirs();
+        for (size_t a = 0; a < watchers.size(); ++a) {
+            if (dirs[a] != sim::PortDir::Push)
+                continue;
+            for (size_t b = 0; b < watchers.size(); ++b) {
+                if (dirs[b] != sim::PortDir::Pop)
+                    continue;
+                EXPECT_LT(position[watchers[a]->index()],
+                          position[watchers[b]->index()])
+                    << "producer swept after consumer on channel "
+                    << ch->id();
+                ++checkedEdges;
+            }
+        }
+    }
+    EXPECT_GT(checkedEdges, 0u);
+}
+
+TEST_P(CompiledSpecialization, FusedCommitMatchesTwoPhase)
+{
+    // Fused commit+activate must be observation-equivalent to the
+    // generic two-phase step/commit on randomized single-watcher
+    // chains: same completion cycle, same data, and bit-identical
+    // per-channel token/occupancy counters.
+    constexpr uint64_t kTokens = 200;
+    const sim::SchedulerMode modes[3] = {sim::SchedulerMode::Reference,
+                                         sim::SchedulerMode::EventDriven,
+                                         sim::SchedulerMode::Compiled};
+    uint64_t cycles[3], sums[3];
+    std::vector<uint64_t> tokens[3], maxOcc[3];
+    for (int m = 0; m < 3; ++m) {
+        sim::Simulator simulator(modes[m]);
+        compiled_spec::Chain chain =
+            compiled_spec::buildChain(simulator, GetParam(), kTokens);
+        auto result =
+            simulator.run(chain.tail->doneFlag(), 100000, 1000);
+        ASSERT_TRUE(result.completed);
+        cycles[m] = result.cycles;
+        sums[m] = chain.tail->sum();
+        for (sim::ChannelBase *ch : chain.channels) {
+            tokens[m].push_back(ch->tokensDelivered());
+            maxOcc[m].push_back(ch->maxOccupancy());
+        }
+    }
+    for (int m = 1; m < 3; ++m) {
+        EXPECT_EQ(cycles[0], cycles[m]) << schedulerModeName(modes[m]);
+        EXPECT_EQ(sums[0], sums[m]) << schedulerModeName(modes[m]);
+        EXPECT_EQ(tokens[0], tokens[m]) << schedulerModeName(modes[m]);
+        EXPECT_EQ(maxOcc[0], maxOcc[m]) << schedulerModeName(modes[m]);
+    }
+}
+
+TEST(CompiledSpecialization, FaultsForceGenericFallback)
+{
+    // Fault injection needs the generic sweep cursor for retry wakes:
+    // a compiled-mode simulator with a fault plan must not build a
+    // specialization plan (Compiled degrades to plain EventDriven).
+    sim::FaultConfig cfg;
+    cfg.seed = 42;
+    sim::FaultPlan faults(cfg);
+    sim::Simulator simulator(sim::SchedulerMode::Compiled);
+    simulator.setFaultPlan(&faults);
+    compiled_spec::Chain chain =
+        compiled_spec::buildChain(simulator, 7, 50);
+    auto result = simulator.run(chain.tail->doneFlag(), 100000, 1000);
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(simulator.compiledPlan(), nullptr);
+}
+
+TEST(CompiledSpecialization, RelaunchReusesThePlan)
+{
+    // The plan (and its rebound channel dirty lists) must survive
+    // resetForRerun: a relaunched compiled circuit produces the same
+    // cycle count and keeps sweeping through segments.
+    sim::Simulator simulator(sim::SchedulerMode::Compiled);
+    compiled_spec::Chain chain =
+        compiled_spec::buildChain(simulator, 21, 100);
+    auto first = simulator.run(chain.tail->doneFlag(), 100000, 1000);
+    ASSERT_TRUE(first.completed);
+    ASSERT_NE(simulator.compiledPlan(), nullptr);
+    simulator.resetForRerun();
+    auto second = simulator.run(chain.tail->doneFlag(), 100000, 1000);
+    ASSERT_TRUE(second.completed);
+    EXPECT_EQ(first.cycles, second.cycles);
+    EXPECT_NE(simulator.compiledPlan(), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledSpecialization,
+                         ::testing::Values(3, 17, 29, 41, 53, 67, 79,
+                                           97));
 
 // --- Determinism ----------------------------------------------------------
 

@@ -113,6 +113,50 @@ TEST(CrossCheckDegenerate, OneInstanceMoreShardsThanThreads)
     EXPECT_TRUE(benchsuite::runApp(*app, ctx));
 }
 
+// --- Compiled mode over the full suite, with and without faults --------
+
+/** Every runnable application under SchedulerMode::Compiled × fault
+ *  seeds. Seed 0 disables injection (the pure specialized step loop);
+ *  nonzero seeds install a fault plan, which must force the compiled
+ *  plan back to the generic event-driven sweep (the fault-retry path
+ *  needs the generic sweep cursor) while still verifying. */
+class CompiledModeRun
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>>
+{};
+
+TEST_P(CompiledModeRun, VerifiesUnderFaultSeeds)
+{
+    const auto &[app_name, fault_seed] = GetParam();
+    const benchsuite::App *app = benchsuite::findApp(app_name);
+    ASSERT_NE(app, nullptr);
+    benchsuite::BenchContext ctx(benchsuite::Engine::SoffSim);
+    sim::PlatformConfig platform;
+    platform.scheduler = sim::SchedulerMode::Compiled;
+    platform.faults.seed = fault_seed;
+    ctx.setPlatformConfig(platform);
+    if (app->expectInsufficientResources) {
+        EXPECT_THROW(benchsuite::runApp(*app, ctx), RuntimeError);
+        return;
+    }
+    EXPECT_TRUE(benchsuite::runApp(*app, ctx)) << app->name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, CompiledModeRun,
+    ::testing::Combine(::testing::ValuesIn(allAppNames()),
+                       ::testing::Values(uint64_t{0}, uint64_t{42},
+                                         uint64_t{1337})),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, uint64_t>>
+           &info) {
+        std::string name = std::get<0>(info.param) + "_f" +
+                           std::to_string(std::get<1>(info.param));
+        for (char &c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
 // --- Randomized cross-mode equivalence on small kernels ----------------
 
 /** Runs one kernel launch under both schedulers from identical initial
@@ -137,15 +181,16 @@ TEST_P(RandomizedEquivalence, IdenticalCyclesStatsAndMemory)
     for (auto &v : a)
         v = static_cast<int32_t>(rng.next() % 1000);
 
-    rt::LaunchResult results[3];
-    std::vector<int32_t> out[3];
+    rt::LaunchResult results[4];
+    std::vector<int32_t> out[4];
     // The "mix" kernel uses atomic_add, so the parallel run exercises
     // the collapsed single-shard fallback (a lock table shared across
     // instances cannot be sharded).
-    const sim::SchedulerMode modes[3] = {sim::SchedulerMode::Reference,
+    const sim::SchedulerMode modes[4] = {sim::SchedulerMode::Reference,
                                          sim::SchedulerMode::EventDriven,
-                                         sim::SchedulerMode::Parallel};
-    for (int m = 0; m < 3; ++m) {
+                                         sim::SchedulerMode::Parallel,
+                                         sim::SchedulerMode::Compiled};
+    for (int m = 0; m < 4; ++m) {
         rt::Context ctx;
         rt::Program prog = ctx.buildProgram(src);
         auto kernel = prog.createKernel("mix");
@@ -165,7 +210,7 @@ TEST_P(RandomizedEquivalence, IdenticalCyclesStatsAndMemory)
         out[m].resize(32);
         ctx.readBuffer(bb, out[m].data(), 32 * 4);
     }
-    for (int m = 1; m < 3; ++m) {
+    for (int m = 1; m < 4; ++m) {
         EXPECT_EQ(results[0].cycles, results[m].cycles) << m;
         EXPECT_EQ(results[0].stats.cacheHits,
                   results[m].stats.cacheHits) << m;
