@@ -1,0 +1,582 @@
+/**
+ * @file
+ * The queued half of the runtime: Event, CommandQueue, user events, and
+ * the per-context LaunchEngine worker pool. See launch_internal.hpp for
+ * the command lifecycle and DESIGN.md "Launch concurrency" for the
+ * determinism argument.
+ */
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+#include "runtime/launch_internal.hpp"
+#include "runtime/runtime.hpp"
+#include "support/strings.hpp"
+
+namespace soff::rt
+{
+
+namespace detail
+{
+
+int
+parseEnvInt(const char *knob, const char *text, long lo, long hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(text, &end, 10);
+    bool bare_digits = *text >= '0' && *text <= '9'; // no ws/sign
+    if (!bare_digits || end == text || *end != '\0' || errno == ERANGE ||
+        v < lo || v > hi) {
+        throw OpenClError(ClStatus::InvalidValue, strFormat(
+            "invalid %s '%s': expected an integer between %ld and %ld",
+            knob, text, lo, hi));
+    }
+    return static_cast<int>(v);
+}
+
+// ----------------------------------------------------------------------
+// Command
+// ----------------------------------------------------------------------
+void
+Command::execute(Context &ctx)
+{
+    if (depFailed.load(std::memory_order_acquire)) {
+        // OpenCL: a command whose wait list contains a failed event is
+        // itself terminated without running.
+        error = std::make_exception_ptr(OpenClError(
+            ClStatus::InvalidEventWaitList,
+            "command not executed: a wait-list dependency failed"));
+    } else {
+        try {
+            switch (kind) {
+              case Kind::NDRange: {
+                uint64_t ns = 0;
+                LaunchResult result = ctx.runLaunchCore(plan, &ns);
+                durationNs = ns;
+                profileable = plan.mode == ExecutionMode::Simulate;
+                {
+                    std::lock_guard<std::mutex> lock(event->m);
+                    event->stats = result.statsReport;
+                }
+                break;
+              }
+              case Kind::Write:
+                ctx.device().dmaWrite(addr, size, src);
+                profileable = true;
+                break;
+              case Kind::Read:
+                ctx.device().dmaRead(addr, size, dst);
+                profileable = true;
+                break;
+            }
+        } catch (...) {
+            error = std::current_exception();
+        }
+    }
+    queue->retire(this);
+}
+
+// ----------------------------------------------------------------------
+// LaunchEngine
+// ----------------------------------------------------------------------
+LaunchEngine::LaunchEngine(Context &ctx, int workers, int max_in_flight)
+    : ctx_(ctx), maxInFlight_(max_in_flight)
+{
+    workers_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+LaunchEngine::~LaunchEngine()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stop_ = true;
+    }
+    readyCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+LaunchEngine::admitOne()
+{
+    std::unique_lock<std::mutex> lock(m_);
+    admitCv_.wait(lock, [this] { return inFlight_ < maxInFlight_; });
+    ++inFlight_;
+}
+
+void
+LaunchEngine::releaseOne()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        --inFlight_;
+    }
+    admitCv_.notify_one();
+}
+
+void
+LaunchEngine::submit(std::shared_ptr<Command> cmd)
+{
+    {
+        std::lock_guard<std::mutex> lock(cmd->event->m);
+        cmd->event->status = CommandStatus::Submitted;
+    }
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        ready_.push_back(std::move(cmd));
+    }
+    readyCv_.notify_one();
+}
+
+void
+LaunchEngine::workerMain()
+{
+    for (;;) {
+        std::shared_ptr<Command> cmd;
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            readyCv_.wait(lock,
+                          [this] { return stop_ || !ready_.empty(); });
+            if (ready_.empty())
+                return; // stop_ and drained.
+            cmd = std::move(ready_.front());
+            ready_.pop_front();
+        }
+        {
+            std::lock_guard<std::mutex> lock(cmd->event->m);
+            cmd->event->status = CommandStatus::Running;
+        }
+        cmd->execute(ctx_);
+    }
+}
+
+bool
+LaunchEngine::completeEvent(const std::shared_ptr<EventState> &state,
+                            std::exception_ptr error)
+{
+    std::vector<std::function<void()>> callbacks;
+    std::vector<std::shared_ptr<Command>> dependents;
+    {
+        std::lock_guard<std::mutex> lock(state->m);
+        // The already-complete check and the Complete transition are
+        // one critical section, so two racing completers (e.g. two
+        // setComplete() calls on one user event) cannot both win.
+        if (state->status == CommandStatus::Complete)
+            return true;
+        state->status = CommandStatus::Complete;
+        state->failed = error != nullptr;
+        state->error = error;
+        callbacks.swap(state->callbacks);
+        dependents.swap(state->dependents);
+    }
+    state->cv.notify_all();
+    for (const std::function<void()> &fn : callbacks)
+        fn();
+    for (const std::shared_ptr<Command> &d : dependents) {
+        if (error != nullptr)
+            d->depFailed.store(true, std::memory_order_release);
+        if (d->remainingDeps.fetch_sub(1, std::memory_order_acq_rel) ==
+            1)
+            d->queue->engine_->submit(d);
+    }
+    return false;
+}
+
+void
+LaunchEngine::resolveDependencies(
+    const std::shared_ptr<Command> &cmd,
+    const std::vector<std::shared_ptr<EventState>> &waits)
+{
+    for (const std::shared_ptr<EventState> &w : waits) {
+        std::lock_guard<std::mutex> lock(w->m);
+        if (w->status == CommandStatus::Complete) {
+            if (w->failed)
+                cmd->depFailed.store(true, std::memory_order_release);
+            continue;
+        }
+        cmd->remainingDeps.fetch_add(1, std::memory_order_acq_rel);
+        w->dependents.push_back(cmd);
+    }
+    // Release the enqueue guard; if every dependency already resolved
+    // (or there were none), this submits.
+    if (cmd->remainingDeps.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        cmd->queue->engine_->submit(cmd);
+}
+
+} // namespace detail
+
+// ----------------------------------------------------------------------
+// Event
+// ----------------------------------------------------------------------
+bool
+Event::valid() const
+{
+    if (state_ == nullptr)
+        return false;
+    std::lock_guard<std::mutex> lock(state_->m);
+    return state_->profiled;
+}
+
+uint64_t
+Event::profilingInfo(ClProfilingInfo info) const
+{
+    if (state_ == nullptr) {
+        throw OpenClError(ClStatus::ProfilingInfoNotAvailable,
+                          "event is not attached to any command");
+    }
+    std::lock_guard<std::mutex> lock(state_->m);
+    if (!state_->profiled) {
+        throw OpenClError(
+            ClStatus::ProfilingInfoNotAvailable,
+            state_->status == CommandStatus::Complete
+                ? "profiling info not available for this command"
+                : "profiling info not available: command has not "
+                  "completed");
+    }
+    switch (info) {
+      case ClProfilingInfo::CommandQueued: return state_->queuedNs;
+      case ClProfilingInfo::CommandSubmit: return state_->submitNs;
+      case ClProfilingInfo::CommandStart: return state_->startNs;
+      case ClProfilingInfo::CommandEnd: return state_->endNs;
+    }
+    throw OpenClError(ClStatus::InvalidValue,
+                      "unknown profiling info parameter");
+}
+
+uint64_t
+Event::queuedNs() const
+{
+    return profilingInfo(ClProfilingInfo::CommandQueued);
+}
+
+uint64_t
+Event::submitNs() const
+{
+    return profilingInfo(ClProfilingInfo::CommandSubmit);
+}
+
+uint64_t
+Event::startNs() const
+{
+    return profilingInfo(ClProfilingInfo::CommandStart);
+}
+
+uint64_t
+Event::endNs() const
+{
+    return profilingInfo(ClProfilingInfo::CommandEnd);
+}
+
+std::shared_ptr<const sim::StatsReport>
+Event::stats() const
+{
+    if (state_ == nullptr)
+        return nullptr;
+    std::lock_guard<std::mutex> lock(state_->m);
+    return state_->stats;
+}
+
+CommandStatus
+Event::status() const
+{
+    if (state_ == nullptr) {
+        throw OpenClError(ClStatus::InvalidEvent,
+                          "event is not attached to any command");
+    }
+    std::lock_guard<std::mutex> lock(state_->m);
+    return state_->status;
+}
+
+bool
+Event::isComplete() const
+{
+    return state_ != nullptr &&
+           [this] {
+               std::lock_guard<std::mutex> lock(state_->m);
+               return state_->status == CommandStatus::Complete;
+           }();
+}
+
+void
+Event::wait() const
+{
+    if (state_ == nullptr) {
+        throw OpenClError(ClStatus::InvalidEvent,
+                          "event is not attached to any command");
+    }
+    std::unique_lock<std::mutex> lock(state_->m);
+    state_->cv.wait(lock, [this] {
+        return state_->status == CommandStatus::Complete;
+    });
+    if (state_->error != nullptr)
+        std::rethrow_exception(state_->error);
+}
+
+void
+Event::onComplete(std::function<void()> fn) const
+{
+    if (state_ == nullptr) {
+        throw OpenClError(ClStatus::InvalidEvent,
+                          "event is not attached to any command");
+    }
+    {
+        std::lock_guard<std::mutex> lock(state_->m);
+        if (state_->status != CommandStatus::Complete) {
+            state_->callbacks.push_back(std::move(fn));
+            return;
+        }
+    }
+    fn(); // Already complete: run on the calling thread.
+}
+
+void
+Event::setComplete() const
+{
+    if (state_ == nullptr || !state_->userEvent) {
+        throw OpenClError(ClStatus::InvalidEvent,
+                          "setComplete() requires a user event");
+    }
+    // completeEvent performs the already-complete check atomically with
+    // the transition; a concurrent double-complete loses the race and
+    // gets the CL_INVALID_OPERATION, never a second completion.
+    if (detail::LaunchEngine::completeEvent(state_, nullptr)) {
+        throw OpenClError(ClStatus::InvalidOperation,
+                          "user event execution status was already set");
+    }
+}
+
+std::shared_ptr<const sim::StatsReport>
+soffGetKernelStats(const Event &event)
+{
+    if (event.state_ == nullptr) {
+        throw OpenClError(ClStatus::ProfilingInfoNotAvailable,
+                          "event is not attached to any command");
+    }
+    return event.stats();
+}
+
+// ----------------------------------------------------------------------
+// Context: user events + engine
+// ----------------------------------------------------------------------
+Context::Context(datapath::FpgaSpec fpga, uint64_t global_mem_bytes)
+    : device_(std::move(fpga), global_mem_bytes)
+{
+}
+
+Context::~Context() = default;
+
+Event
+Context::createUserEvent()
+{
+    auto state = std::make_shared<detail::EventState>();
+    state->userEvent = true;
+    // cl.h: user events start CL_SUBMITTED, not CL_QUEUED.
+    state->status = CommandStatus::Submitted;
+    return Event(std::move(state));
+}
+
+detail::LaunchEngine &
+Context::engine(const QueueOptions &options)
+{
+    std::lock_guard<std::mutex> lock(engineMutex_);
+    if (engine_ == nullptr) {
+        int workers = options.workers;
+        if (workers <= 0) {
+            const char *env = std::getenv("SOFF_QUEUE_WORKERS");
+            if (env != nullptr && *env != '\0') {
+                workers =
+                    detail::parseEnvInt("SOFF_QUEUE_WORKERS", env, 1,
+                                        1024);
+            } else {
+                workers = static_cast<int>(
+                    std::thread::hardware_concurrency());
+                workers = std::max(workers, 1);
+            }
+        }
+        int max_in_flight = options.maxInFlight;
+        if (max_in_flight <= 0)
+            max_in_flight = std::max(4 * workers, 16);
+        engine_ = std::make_unique<detail::LaunchEngine>(*this, workers,
+                                                         max_in_flight);
+    }
+    return *engine_;
+}
+
+// ----------------------------------------------------------------------
+// CommandQueue
+// ----------------------------------------------------------------------
+CommandQueue::CommandQueue(Context &context, QueueOptions options)
+    : context_(context), options_(options),
+      engine_(&context.engine(options))
+{
+}
+
+CommandQueue::~CommandQueue()
+{
+    try {
+        finish();
+    } catch (...) {
+        // A failed command's error was already delivered through its
+        // event (or a finish() the user called); destruction only
+        // needs the drain.
+    }
+}
+
+void
+CommandQueue::enqueueNDRange(KernelHandle &kernel,
+                             const sim::NDRange &ndrange,
+                             const std::vector<Event> &wait_list,
+                             Event *event, ExecutionMode mode,
+                             const sim::PlatformConfig &platform,
+                             int instance_override)
+{
+    auto cmd = std::make_shared<detail::Command>();
+    cmd->kind = detail::Command::Kind::NDRange;
+    // Validation and every getenv() happen here, on the calling
+    // thread, synchronously.
+    cmd->plan = context_.resolveLaunch(kernel, ndrange, mode, platform,
+                                       instance_override,
+                                       /*allow_degradation=*/false);
+    enqueueCommand(std::move(cmd), wait_list, event);
+}
+
+void
+CommandQueue::enqueueWrite(const Buffer &buffer, const void *src,
+                           uint64_t size,
+                           const std::vector<Event> &wait_list,
+                           Event *event)
+{
+    if (!buffer.valid() || size > buffer.size()) {
+        throw OpenClError(ClStatus::InvalidValue,
+                          "enqueueWrite: invalid buffer or size");
+    }
+    auto cmd = std::make_shared<detail::Command>();
+    cmd->kind = detail::Command::Kind::Write;
+    cmd->addr = buffer.deviceAddress();
+    cmd->size = size;
+    cmd->src = src;
+    enqueueCommand(std::move(cmd), wait_list, event);
+}
+
+void
+CommandQueue::enqueueRead(const Buffer &buffer, void *dst, uint64_t size,
+                          const std::vector<Event> &wait_list,
+                          Event *event)
+{
+    if (!buffer.valid() || size > buffer.size()) {
+        throw OpenClError(ClStatus::InvalidValue,
+                          "enqueueRead: invalid buffer or size");
+    }
+    auto cmd = std::make_shared<detail::Command>();
+    cmd->kind = detail::Command::Kind::Read;
+    cmd->addr = buffer.deviceAddress();
+    cmd->size = size;
+    cmd->dst = dst;
+    enqueueCommand(std::move(cmd), wait_list, event);
+}
+
+void
+CommandQueue::enqueueCommand(std::shared_ptr<detail::Command> cmd,
+                             const std::vector<Event> &wait_list,
+                             Event *event)
+{
+    std::vector<std::shared_ptr<detail::EventState>> waits;
+    waits.reserve(wait_list.size() + 1);
+    for (const Event &e : wait_list) {
+        if (!e.attached()) {
+            throw OpenClError(
+                ClStatus::InvalidEventWaitList,
+                "wait list contains an event not attached to any "
+                "command (no enqueued command can ever complete it — "
+                "the one expressible dependency cycle)");
+        }
+        waits.push_back(e.state_);
+    }
+    // Backpressure: block the enqueuing thread while the context has
+    // maxInFlight commands enqueued-but-unretired.
+    engine_->admitOne();
+
+    cmd->queue = this;
+    cmd->event = std::make_shared<detail::EventState>();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        cmd->seq = nextSeq_++;
+        if (!options_.outOfOrder && lastEvent_ != nullptr)
+            waits.push_back(lastEvent_); // Implicit in-order chain.
+        lastEvent_ = cmd->event;
+        pending_.push_back(cmd);
+    }
+    if (event != nullptr)
+        *event = Event(cmd->event);
+    detail::LaunchEngine::resolveDependencies(cmd, waits);
+}
+
+void
+CommandQueue::retire(detail::Command *cmd)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cmd->executed = true;
+    // Single-retirer protocol: one worker at a time walks the
+    // retirement loop; any other worker just marks its command
+    // executed and leaves — the active retirer picks it up when it
+    // re-locks. This serializes event completion strictly in enqueue
+    // order even across workers, and `retiring_` keeps the queue
+    // observably un-drained until completeEvent/releaseOne have run
+    // for every popped command — finish() (and therefore
+    // ~CommandQueue) cannot return while a retirer still dereferences
+    // this queue.
+    if (retiring_)
+        return;
+    retiring_ = true;
+    while (!pending_.empty() && pending_.front()->executed) {
+        std::shared_ptr<detail::Command> c = pending_.front();
+        pending_.pop_front();
+        // Stamp profiling off the per-queue device clock, in
+        // enqueue order — identical to the serial path's tiling.
+        if (c->error == nullptr && c->profileable) {
+            std::lock_guard<std::mutex> elock(c->event->m);
+            c->event->queuedNs = clockNs_;
+            c->event->submitNs = clockNs_ + detail::kSubmitOverheadNs;
+            c->event->startNs = c->event->submitNs;
+            c->event->endNs = c->event->startNs + c->durationNs;
+            c->event->profiled = true;
+            clockNs_ = c->event->endNs;
+        }
+        if (c->error != nullptr && firstError_ == nullptr)
+            firstError_ = c->error;
+        // Event completion (callbacks + DAG release) and the admission
+        // release run outside the queue mutex — callbacks may enqueue
+        // into this very queue — but under `retiring_`, so the queue
+        // stays un-drained across the unlock window.
+        lock.unlock();
+        detail::LaunchEngine::completeEvent(c->event, c->error);
+        engine_->releaseOne();
+        lock.lock();
+    }
+    retiring_ = false;
+    if (pending_.empty())
+        drained_.notify_all();
+    // The notify happens while still holding mutex_, and nothing of
+    // `this` is touched after the unlock below: once a finish()er
+    // observes the drained predicate, destroying the queue is safe.
+}
+
+void
+CommandQueue::finish()
+{
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        drained_.wait(lock,
+                      [this] { return pending_.empty() && !retiring_; });
+        error = firstError_;
+        firstError_ = nullptr;
+    }
+    if (error != nullptr)
+        std::rethrow_exception(error);
+}
+
+} // namespace soff::rt

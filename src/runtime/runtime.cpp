@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <thread>
 
 #include "baseline/interpreter.hpp"
+#include "runtime/launch_internal.hpp"
 #include "sim/forensics.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -29,6 +31,7 @@ Device::Device(datapath::FpgaSpec fpga, uint64_t global_mem_bytes)
 uint64_t
 Device::allocate(uint64_t bytes)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     // 64-byte alignment keeps every scalar access within one cache line.
     uint64_t aligned = (bytes + 63) & ~63ull;
     for (size_t i = 0; i < blocks_.size(); ++i) {
@@ -52,6 +55,7 @@ Device::allocate(uint64_t bytes)
 void
 Device::release(uint64_t addr)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (size_t i = 0; i < blocks_.size(); ++i) {
         if (blocks_[i].addr != addr || !blocks_[i].used)
             continue;
@@ -69,6 +73,61 @@ Device::release(uint64_t addr)
     }
     throw OpenClError(ClStatus::InvalidValue,
                       "release of unknown device address");
+}
+
+namespace
+{
+
+/** GlobalMemory's block API takes a uint32_t size; reject transfers
+ *  that would silently truncate instead of wrapping the length. */
+void
+checkDmaSize(uint64_t size)
+{
+    if (size > UINT32_MAX) {
+        throw OpenClError(ClStatus::InvalidValue, strFormat(
+            "DMA transfer of %llu bytes exceeds the 4 GiB block limit",
+            static_cast<unsigned long long>(size)));
+    }
+}
+
+} // namespace
+
+void
+Device::dmaWrite(uint64_t addr, uint64_t size, const void *src)
+{
+    checkDmaSize(size);
+    std::lock_guard<std::mutex> lock(mutex_);
+    memory_.writeBlock(addr, static_cast<uint32_t>(size),
+                       static_cast<const uint8_t *>(src));
+}
+
+void
+Device::dmaRead(uint64_t addr, uint64_t size, void *dst) const
+{
+    checkDmaSize(size);
+    std::lock_guard<std::mutex> lock(mutex_);
+    memory_.readBlock(addr, static_cast<uint32_t>(size),
+                      static_cast<uint8_t *>(dst));
+}
+
+int
+Device::reconfigurations() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reconfigurations_;
+}
+
+bool
+Device::ensureResident(const std::string &kernel, bool all_fit)
+{
+    if (all_fit)
+        return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (resident_ == kernel)
+        return false;
+    ++reconfigurations_;
+    resident_ = kernel;
+    return true;
 }
 
 // ----------------------------------------------------------------------
@@ -192,40 +251,6 @@ KernelHandle::argValues() const
 }
 
 // ----------------------------------------------------------------------
-// Event
-// ----------------------------------------------------------------------
-uint64_t
-Event::profilingInfo(ClProfilingInfo info) const
-{
-    if (!valid_) {
-        throw OpenClError(
-            ClStatus::ProfilingInfoNotAvailable,
-            "event profiling info not available: no simulated launch "
-            "has completed against this event");
-    }
-    switch (info) {
-      case ClProfilingInfo::CommandQueued: return queuedNs_;
-      case ClProfilingInfo::CommandSubmit: return submitNs_;
-      case ClProfilingInfo::CommandStart: return startNs_;
-      case ClProfilingInfo::CommandEnd: return endNs_;
-    }
-    throw OpenClError(ClStatus::InvalidValue,
-                      "unknown clGetEventProfilingInfo parameter name");
-}
-
-std::shared_ptr<const sim::StatsReport>
-soffGetKernelStats(const Event &event)
-{
-    if (!event.valid()) {
-        throw OpenClError(
-            ClStatus::ProfilingInfoNotAvailable,
-            "soffGetKernelStats: no simulated launch has completed "
-            "against this event");
-    }
-    return event.stats();
-}
-
-// ----------------------------------------------------------------------
 // Program
 // ----------------------------------------------------------------------
 KernelHandle
@@ -273,9 +298,6 @@ Program::needsReconfiguration(const core::CompiledKernel &kernel) const
 // ----------------------------------------------------------------------
 namespace
 {
-
-/** Fixed queued->submit latency on the profiling timeline (ns). */
-constexpr uint64_t kSubmitOverheadNs = 500;
 
 /**
  * Strict SOFF_THREADS parser: a bare positive decimal integer in
@@ -507,7 +529,7 @@ crossCheckCompare(const std::string &kernel, const char *mode,
  * Structural equality of platform configs: the fields that shape the
  * built circuit (timing parameters, scheduler/thread layout, FIFO
  * sizing overrides). Trace/stats export paths are observational and
- * deliberately excluded; fault configs never reach the cache (faulted
+ * deliberately excluded; fault configs never reach the pool (faulted
  * launches bypass it).
  */
 bool
@@ -530,6 +552,17 @@ circuitCacheEnabled()
     return v == nullptr || std::string(v) != "0";
 }
 
+/** SOFF_TEMPLATE_POOL env knob: per-key parked-template capacity. */
+size_t
+templatePoolCapacity()
+{
+    const char *v = std::getenv("SOFF_TEMPLATE_POOL");
+    if (v == nullptr || *v == '\0')
+        return 4; // Default: a few concurrent tenants per kernel.
+    return static_cast<size_t>(
+        detail::parseEnvInt("SOFF_TEMPLATE_POOL", v, 1, 256));
+}
+
 } // namespace
 
 std::unique_ptr<sim::KernelCircuit>
@@ -537,17 +570,30 @@ Program::takeCachedCircuit(const datapath::KernelPlan *plan,
                            int instances,
                            const sim::PlatformConfig &platform)
 {
-    for (size_t i = 0; i < circuitCache_.size(); ++i) {
-        CircuitCacheEntry &e = circuitCache_[i];
-        if (e.plan == plan && e.instances == instances &&
-            samePlatformStructure(e.platform, platform)) {
-            std::unique_ptr<sim::KernelCircuit> circuit =
-                std::move(e.circuit);
-            circuitCache_.erase(circuitCache_.begin() +
-                                static_cast<ptrdiff_t>(i));
-            return circuit;
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    for (PoolKey &key : circuitPool_) {
+        if (key.plan != plan || key.instances != instances ||
+            !samePlatformStructure(key.platform, platform))
+            continue;
+        if (key.parked.empty()) {
+            // The key is known but every template is checked out by a
+            // concurrent launch: the caller builds a duplicate.
+            ++poolStats_.steals;
+            return nullptr;
         }
+        ++poolStats_.hits;
+        // LIFO checkout: the most recently returned template.
+        std::unique_ptr<sim::KernelCircuit> circuit =
+            std::move(key.parked.back());
+        key.parked.pop_back();
+        return circuit;
     }
+    ++poolStats_.misses;
+    PoolKey key;
+    key.plan = plan;
+    key.instances = instances;
+    key.platform = platform;
+    circuitPool_.push_back(std::move(key));
     return nullptr;
 }
 
@@ -555,23 +601,50 @@ void
 Program::storeCachedCircuit(const datapath::KernelPlan *plan,
                             int instances,
                             const sim::PlatformConfig &platform,
-                            std::unique_ptr<sim::KernelCircuit> circuit)
+                            std::unique_ptr<sim::KernelCircuit> circuit,
+                            size_t capacity)
 {
-    // The entry was taken out on hit, so a plain append cannot create
-    // duplicates; replace defensively anyway if a key collides.
-    for (CircuitCacheEntry &e : circuitCache_) {
-        if (e.plan == plan && e.instances == instances &&
-            samePlatformStructure(e.platform, platform)) {
-            e.circuit = std::move(circuit);
-            return;
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    for (PoolKey &key : circuitPool_) {
+        if (key.plan != plan || key.instances != instances ||
+            !samePlatformStructure(key.platform, platform))
+            continue;
+        while (key.parked.size() >= capacity && !key.parked.empty()) {
+            key.parked.pop_front(); // Evict least recently parked.
+            ++poolStats_.evictions;
         }
+        if (capacity > 0) {
+            key.parked.push_back(std::move(circuit));
+            ++poolStats_.returns;
+        }
+        return;
     }
-    CircuitCacheEntry entry;
-    entry.plan = plan;
-    entry.instances = instances;
-    entry.platform = platform;
-    entry.circuit = std::move(circuit);
-    circuitCache_.push_back(std::move(entry));
+    PoolKey key;
+    key.plan = plan;
+    key.instances = instances;
+    key.platform = platform;
+    if (capacity > 0) {
+        key.parked.push_back(std::move(circuit));
+        ++poolStats_.returns;
+    }
+    circuitPool_.push_back(std::move(key));
+}
+
+size_t
+Program::circuitCacheSize() const
+{
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    size_t parked = 0;
+    for (const PoolKey &key : circuitPool_)
+        parked += key.parked.size();
+    return parked;
+}
+
+TemplatePoolStats
+Program::templatePoolStats() const
+{
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    return poolStats_;
 }
 
 Buffer
@@ -593,18 +666,14 @@ void
 Context::writeBuffer(const Buffer &buffer, const void *src, uint64_t size)
 {
     SOFF_ASSERT(size <= buffer.size(), "write exceeds buffer size");
-    device_.globalMemory().writeBlock(buffer.deviceAddress(),
-                                      static_cast<uint32_t>(size),
-                                      static_cast<const uint8_t *>(src));
+    device_.dmaWrite(buffer.deviceAddress(), size, src);
 }
 
 void
 Context::readBuffer(const Buffer &buffer, void *dst, uint64_t size)
 {
     SOFF_ASSERT(size <= buffer.size(), "read exceeds buffer size");
-    device_.globalMemory().readBlock(buffer.deviceAddress(),
-                                     static_cast<uint32_t>(size),
-                                     static_cast<uint8_t *>(dst));
+    device_.dmaRead(buffer.deviceAddress(), size, dst);
 }
 
 Program
@@ -617,11 +686,11 @@ Context::buildProgram(const std::string &source,
     return Program(device_, compiler.compile(source));
 }
 
-LaunchResult
-Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
-                        ExecutionMode mode,
-                        const sim::PlatformConfig &platform,
-                        int instance_override, Event *event)
+detail::CorePlan
+Context::resolveLaunch(KernelHandle &kernel, const sim::NDRange &ndrange,
+                       ExecutionMode mode,
+                       const sim::PlatformConfig &platform,
+                       int instance_override, bool allow_degradation)
 {
     const core::CompiledKernel &ck = kernel.compiled();
     for (int d = 0; d < 3; ++d) {
@@ -632,39 +701,64 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
                               "of the work-group size");
         }
     }
-    sim::LaunchContext launch;
-    launch.ndrange = ndrange;
-    launch.args = kernel.argValues();
+    detail::CorePlan plan;
+    plan.program = kernel.program();
+    plan.ck = &ck;
+    plan.launch.ndrange = ndrange;
+    plan.launch.args = kernel.argValues();
+    plan.mode = mode;
+    if (mode == ExecutionMode::Reference)
+        return plan;
 
-    LaunchResult result;
-    if (mode == ExecutionMode::Reference) {
-        baseline::Interpreter interp(device_.globalMemory());
-        interp.run(*ck.kernel, launch);
-        result.instances = 1;
-        return result;
-    }
-
-    int instances = instance_override > 0
-                        ? instance_override
-                        : kernel.program()->instancesFor(ck);
-    if (instance_override <= 0 && instances <= 0) {
+    plan.instances = instance_override > 0
+                         ? instance_override
+                         : kernel.program()->instancesFor(ck);
+    if (instance_override <= 0 && plan.instances <= 0) {
         throw OpenClError(
             ClStatus::OutOfResources,
             "kernel '" + ck.kernel->name() + "' does not fit the "
             "target FPGA (insufficient resources)");
     }
-    if (kernel.program()->needsReconfiguration(ck)) {
-        device_.noteReconfiguration();
-        device_.setResidentKernel(ck.kernel->name());
-    }
+    plan.allFit = true;
+    for (int n : kernel.program()->compiled().sharedInstanceCounts)
+        plan.allFit &= n > 0;
 
     uint64_t total_work = ndrange.totalWorkItems();
-    uint64_t max_cycles = 1000000ull + total_work * 50000ull;
+    plan.maxCycles = 1000000ull + total_work * 50000ull;
 
-    sim::PlatformConfig plat = platform;
-    applyEnvOverrides(plat);
-    bool crosscheck =
-        plat.scheduler == sim::SchedulerMode::CrossCheck;
+    plan.plat = platform;
+    applyEnvOverrides(plan.plat);
+    plan.crosscheck =
+        plan.plat.scheduler == sim::SchedulerMode::CrossCheck;
+    plan.cacheable = circuitCacheEnabled() && !plan.crosscheck &&
+                     plan.plat.tracePath.empty() &&
+                     !plan.plat.faults.enabled() &&
+                     !plan.plat.faults.checkInvariants;
+    plan.poolCapacity = plan.cacheable ? templatePoolCapacity() : 0;
+    plan.allowDegradation = allow_degradation;
+    return plan;
+}
+
+LaunchResult
+Context::runLaunchCore(const detail::CorePlan &cp, uint64_t *duration_ns)
+{
+    *duration_ns = 0;
+    LaunchResult result;
+    if (cp.mode == ExecutionMode::Reference) {
+        baseline::Interpreter interp(device_.globalMemory());
+        interp.run(*cp.ck->kernel, cp.launch);
+        result.instances = 1;
+        return result;
+    }
+    const core::CompiledKernel &ck = *cp.ck;
+    const sim::LaunchContext &launch = cp.launch;
+    int instances = cp.instances;
+    uint64_t max_cycles = cp.maxCycles;
+    sim::PlatformConfig plat = cp.plat;
+
+    device_.ensureResident(ck.kernel->name(), cp.allFit);
+
+    bool crosscheck = cp.crosscheck;
     ModeRun ref_side, par_side, comp_side;
     std::unique_ptr<memsys::GlobalMemory> ref_memory, par_memory,
         comp_memory;
@@ -722,28 +816,27 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
     // SimInternalError, which is a circuit-level bug the reference
     // scheduler would reproduce — fall back to the reference
     // scheduler once, on pristine memory, with a logged warning.
+    // Queued launches disable this: the whole-memory snapshot would
+    // race with concurrent launches touching their own buffers.
     std::vector<uint8_t> pristine;
-    bool degradable =
-        !crosscheck && plat.scheduler == sim::SchedulerMode::Parallel;
+    bool degradable = cp.allowDegradation && !crosscheck &&
+                      plat.scheduler == sim::SchedulerMode::Parallel;
     if (degradable) {
         const memsys::GlobalMemory &m = device_.globalMemory();
         pristine.assign(m.data(), m.data() + m.size());
     }
 
-    // Circuit-template memoization: reuse a previously built circuit
-    // for the same (plan, instances, structural platform) via
-    // relaunch() instead of rebuilding. Observational or perturbing
-    // modes (cross-check, fault injection, tracing) bypass the cache;
-    // the entry is taken out on hit and only re-stored after a fully
-    // successful run, so a throwing or degraded launch never leaves a
-    // half-run circuit behind.
-    bool cacheable = circuitCacheEnabled() && !crosscheck &&
-                     plat.tracePath.empty() && !plat.faults.enabled() &&
-                     !plat.faults.checkInvariants;
+    // Circuit-template pool: reuse a previously built circuit for the
+    // same (plan, instances, structural platform) via relaunch()
+    // instead of rebuilding. Observational or perturbing modes
+    // (cross-check, fault injection, tracing) bypass the pool; the
+    // template is checked out on hit and only returned after a fully
+    // successful run, so a throwing or degraded launch never parks a
+    // half-run circuit.
     std::unique_ptr<sim::KernelCircuit> circuit;
-    if (cacheable)
-        circuit = kernel.program()->takeCachedCircuit(ck.plan.get(),
-                                                      instances, plat);
+    if (cp.cacheable)
+        circuit = cp.program->takeCachedCircuit(ck.plan.get(),
+                                                instances, plat);
     bool fellBack = false;
     sim::Simulator::RunResult run;
     try {
@@ -840,32 +933,54 @@ Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
     result.statsReport = run.stats;
     // Park the circuit for the next matching launch. A degraded run
     // holds a Reference-mode circuit that does not match the requested
-    // platform; it is dropped rather than cached under the wrong key.
-    if (cacheable && !fellBack)
-        kernel.program()->storeCachedCircuit(ck.plan.get(), instances,
-                                             plat, std::move(circuit));
+    // platform; it is dropped rather than pooled under the wrong key.
+    if (cp.cacheable && !fellBack)
+        cp.program->storeCachedCircuit(ck.plan.get(), instances, plat,
+                                       std::move(circuit),
+                                       cp.poolCapacity);
     datapath::Resources used =
         ck.resourcesPerInstance.scaled(instances);
     result.fmaxMhz = datapath::estimateFmaxMhz(device_.fpga(), used);
     result.timeMs = static_cast<double>(run.cycles) /
                     (result.fmaxMhz * 1e3);
+    // The command's occupancy on the profiling timeline: the simulated
+    // cycle count converted through the fmax estimate.
+    *duration_ns = static_cast<uint64_t>(std::ceil(
+        static_cast<double>(run.cycles) * 1000.0 / result.fmaxMhz));
+    return result;
+}
+
+LaunchResult
+Context::enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
+                        ExecutionMode mode,
+                        const sim::PlatformConfig &platform,
+                        int instance_override, Event *event)
+{
+    detail::CorePlan plan =
+        resolveLaunch(kernel, ndrange, mode, platform, instance_override,
+                      /*allow_degradation=*/true);
+    uint64_t duration_ns = 0;
+    LaunchResult result = runLaunchCore(plan, &duration_ns);
+    if (mode == ExecutionMode::Reference)
+        return result;
 
     // Advance the in-order device timeline and stamp the profiling
     // event: the launch occupies [START, END) where END - START is the
     // simulated cycle count converted through the fmax estimate, and
     // QUEUED -> SUBMIT models a fixed host-to-board doorbell cost.
-    uint64_t duration_ns = static_cast<uint64_t>(std::ceil(
-        static_cast<double>(run.cycles) * 1000.0 / result.fmaxMhz));
     uint64_t queued_ns = clockNs_;
-    uint64_t submit_ns = queued_ns + kSubmitOverheadNs;
+    uint64_t submit_ns = queued_ns + detail::kSubmitOverheadNs;
     clockNs_ = submit_ns + duration_ns;
     if (event != nullptr) {
-        event->queuedNs_ = queued_ns;
-        event->submitNs_ = submit_ns;
-        event->startNs_ = submit_ns;
-        event->endNs_ = clockNs_;
-        event->valid_ = true;
-        event->stats_ = run.stats;
+        auto state = std::make_shared<detail::EventState>();
+        state->status = CommandStatus::Complete;
+        state->profiled = true;
+        state->queuedNs = queued_ns;
+        state->submitNs = submit_ns;
+        state->startNs = submit_ns;
+        state->endNs = clockNs_;
+        state->stats = result.statsReport;
+        *event = Event(std::move(state));
     }
     return result;
 }

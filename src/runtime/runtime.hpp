@@ -12,10 +12,23 @@
  * the argument/trigger/completion/kernel-pointer registers' behavior);
  * Context/Buffer/Program/KernelHandle/CommandQueue mirror the OpenCL
  * host object model.
+ *
+ * Multi-tenant launch engine (DESIGN.md "Launch concurrency"): a
+ * CommandQueue is a real queue object — in-order or out-of-order —
+ * whose commands carry event wait lists forming a dependency DAG. A
+ * per-context worker pool executes *independent* launches concurrently,
+ * each on its own Simulator rearmed from the Program's circuit-template
+ * pool; commands retire (complete their events, stamp profiling) in
+ * enqueue order per queue, so results, StatsReports, and profiling
+ * timestamps are bit-identical to serial in-order execution.
  */
 #pragma once
 
+#include <condition_variable>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -58,7 +71,14 @@ class OpenClError : public RuntimeError
     std::shared_ptr<const sim::DeadlockReport> report_;
 };
 
-/** The simulated accelerator board. */
+/**
+ * The simulated accelerator board. Thread-safe: the allocator, DMA
+ * engine, and reconfiguration registers are guarded by one board mutex
+ * so concurrent launches and transfers never corrupt the block list.
+ * (Kernel-side accesses during simulation are *not* serialized against
+ * DMA — as on a real board, host transfers overlapping a running
+ * kernel's buffers must be ordered through events.)
+ */
 class Device
 {
   public:
@@ -72,11 +92,23 @@ class Device
     uint64_t allocate(uint64_t bytes);
     void release(uint64_t addr);
 
+    /** Host->device DMA (serialized against other DMA and alloc). */
+    void dmaWrite(uint64_t addr, uint64_t size, const void *src);
+    /** Device->host DMA. */
+    void dmaRead(uint64_t addr, uint64_t size, void *dst) const;
+
     /** Partial reconfigurations performed so far (§III-B). */
-    int reconfigurations() const { return reconfigurations_; }
-    void noteReconfiguration() { ++reconfigurations_; }
+    int reconfigurations() const;
+
+    /**
+     * Atomically makes `kernel` the resident bitstream if it is not
+     * already (check-then-reconfigure under the board mutex). A no-op
+     * when `all_fit` — every kernel of the program shares the region.
+     * Returns true if a partial reconfiguration was performed.
+     */
+    bool ensureResident(const std::string &kernel, bool all_fit);
+
     const std::string &residentKernel() const { return resident_; }
-    void setResidentKernel(const std::string &name) { resident_ = name; }
 
   private:
     datapath::FpgaSpec fpga_;
@@ -90,6 +122,8 @@ class Device
     std::vector<Block> blocks_;
     int reconfigurations_ = 0;
     std::string resident_;
+    /** Guards blocks_, reconfigurations_, resident_, and DMA. */
+    mutable std::mutex mutex_;
 };
 
 /** A device global-memory buffer (cl_mem). */
@@ -139,45 +173,97 @@ enum class ClProfilingInfo : int
     CommandEnd = 0x1283,    ///< CL_PROFILING_COMMAND_END
 };
 
+/** clGetEventInfo(CL_EVENT_COMMAND_EXECUTION_STATUS) values (cl.h). */
+enum class CommandStatus : int
+{
+    Complete = 0x0,  ///< CL_COMPLETE
+    Running = 0x1,   ///< CL_RUNNING
+    Submitted = 0x2, ///< CL_SUBMITTED
+    Queued = 0x3,    ///< CL_QUEUED
+};
+
+namespace detail
+{
+struct EventState;
+struct Command;
+struct CorePlan;
+class LaunchEngine;
+} // namespace detail
+
 /**
- * An event attached to an enqueued command (cl_event, profiling subset).
+ * An event attached to an enqueued command (cl_event).
  *
- * Timestamps are nanoseconds on the simulated device timeline: the
- * in-order queue advances a device clock by each launch's simulated
- * cycle count converted through the resource model's fmax estimate, so
- * QUEUED <= SUBMIT <= START <= END always holds and back-to-back
- * launches tile the timeline without overlap.
+ * An Event is a shared handle: copies observe the same underlying
+ * command. Queue commands move Queued -> Submitted -> Running ->
+ * Complete; completion is observable via status()/wait()/onComplete()
+ * and releases every command whose wait list contains the event.
+ * User events (Context::createUserEvent) start Submitted and complete
+ * only when setComplete() is called — the host-side join primitive.
+ *
+ * Profiling timestamps are nanoseconds on the simulated device
+ * timeline: each queue advances a device clock by every command's
+ * simulated duration (cycles through the resource model's fmax
+ * estimate) *in enqueue order*, so QUEUED <= SUBMIT <= START <= END
+ * always holds, commands tile the per-queue timeline without overlap,
+ * and the stamps are bit-identical to serial in-order execution no
+ * matter how many launch workers ran the commands.
  */
 class Event
 {
   public:
     Event() = default;
 
-    bool valid() const { return valid_; }
+    /** True once profiling timestamps are available (launch retired). */
+    bool valid() const;
 
     /** clGetEventProfilingInfo: one timestamp in nanoseconds. */
     uint64_t profilingInfo(ClProfilingInfo info) const;
 
-    uint64_t queuedNs() const { return queuedNs_; }
-    uint64_t submitNs() const { return submitNs_; }
-    uint64_t startNs() const { return startNs_; }
-    uint64_t endNs() const { return endNs_; }
+    uint64_t queuedNs() const;
+    uint64_t submitNs() const;
+    uint64_t startNs() const;
+    uint64_t endNs() const;
 
     /** The launch's StatsReport (null for Reference-mode launches). */
-    const std::shared_ptr<const sim::StatsReport> &stats() const
-    {
-        return stats_;
-    }
+    std::shared_ptr<const sim::StatsReport> stats() const;
+
+    /** clGetEventInfo: the command's execution status. */
+    CommandStatus status() const;
+    /** True iff the command (or user event) has completed. */
+    bool isComplete() const;
+
+    /**
+     * clWaitForEvents: blocks until the command completes. Rethrows
+     * the command's failure, if any (a failed launch completes its
+     * event with the error attached).
+     */
+    void wait() const;
+
+    /**
+     * clSetEventCallback(CL_COMPLETE): runs `fn` when the event
+     * completes (immediately, on the calling thread, if it already
+     * has). Queue callbacks run on the retiring worker thread, in
+     * retirement order — i.e. enqueue order per queue.
+     */
+    void onComplete(std::function<void()> fn) const;
+
+    /** User events only: marks the event complete, releasing waiters. */
+    void setComplete() const;
+
+    /** True if this handle is attached to any command or user event. */
+    bool attached() const { return state_ != nullptr; }
 
   private:
     friend class Context;
+    friend class CommandQueue;
+    friend std::shared_ptr<const sim::StatsReport>
+    soffGetKernelStats(const Event &event);
 
-    uint64_t queuedNs_ = 0;
-    uint64_t submitNs_ = 0;
-    uint64_t startNs_ = 0;
-    uint64_t endNs_ = 0;
-    bool valid_ = false;
-    std::shared_ptr<const sim::StatsReport> stats_;
+    explicit Event(std::shared_ptr<detail::EventState> state)
+        : state_(std::move(state))
+    {}
+
+    std::shared_ptr<detail::EventState> state_;
 };
 
 /**
@@ -222,6 +308,17 @@ class KernelHandle
     std::map<size_t, ir::RtValue> args_;
 };
 
+/** Cross-launch circuit-template pool counters (per Program). */
+struct TemplatePoolStats
+{
+    uint64_t hits = 0;      ///< Checkout served from a parked template.
+    uint64_t misses = 0;    ///< Cold: the key had never been built.
+    uint64_t steals = 0;    ///< Key known but every template checked out
+                            ///< by a concurrent launch (duplicate built).
+    uint64_t evictions = 0; ///< Return to a full key dropped the LRU.
+    uint64_t returns = 0;   ///< Templates parked back after a run.
+};
+
 /** A built OpenCL program (cl_program; offline compilation §III-C). */
 class Program
 {
@@ -229,6 +326,21 @@ class Program
     Program(Device &device, std::unique_ptr<core::CompiledProgram> compiled)
         : device_(&device), compiled_(std::move(compiled))
     {}
+    // Movable (fresh mutex): moving a Program under concurrent launch
+    // is a user error, as for every cl_ handle type.
+    Program(Program &&other) noexcept
+        : device_(other.device_), compiled_(std::move(other.compiled_)),
+          circuitPool_(std::move(other.circuitPool_)),
+          poolStats_(other.poolStats_)
+    {}
+    Program &operator=(Program &&other) noexcept
+    {
+        device_ = other.device_;
+        compiled_ = std::move(other.compiled_);
+        circuitPool_ = std::move(other.circuitPool_);
+        poolStats_ = other.poolStats_;
+        return *this;
+    }
 
     KernelHandle createKernel(const std::string &name);
     const core::CompiledProgram &compiled() const { return *compiled_; }
@@ -239,77 +351,207 @@ class Program
     /** True if launching this kernel requires partial reconfiguration. */
     bool needsReconfiguration(const core::CompiledKernel &kernel) const;
 
-    /** Parked circuit templates (tests observe cache behavior). */
-    size_t circuitCacheSize() const { return circuitCache_.size(); }
+    /** Parked circuit templates (tests observe pool behavior). */
+    size_t circuitCacheSize() const;
+    /** Cross-launch template-pool counters. */
+    TemplatePoolStats templatePoolStats() const;
 
   private:
     friend class Context;
+    friend struct detail::Command;
 
     /**
-     * Circuit-template memoization. Building a KernelCircuit walks the
-     * whole plan tree and allocates the component/channel arena; in a
-     * launch loop (the common host pattern) that dominates small-kernel
+     * Circuit-template pool. Building a KernelCircuit walks the whole
+     * plan tree and allocates the component/channel arena; in a launch
+     * loop (the common host pattern) that dominates small-kernel
      * runtimes. A circuit whose structure is fully determined by
      * (plan, instance count, structural platform knobs) is parked here
      * after a successful run and rearmed via KernelCircuit::relaunch()
      * on the next matching launch — bit-identical to a cold build.
-     * The cache lives in the Program — not the Context — because a
-     * cached circuit holds raw pointers into the plan's IR, which this
+     *
+     * Concurrent launches of the same kernel each need a template of
+     * their own, so every key holds up to SOFF_TEMPLATE_POOL parked
+     * circuits (checkout/return under the pool mutex): checkout pops
+     * the most recently returned template (warm caches of the host's
+     * working set), return to a full key evicts the least recently
+     * parked one. A checkout that finds a known key empty because all
+     * of its templates are out with concurrent launches counts as a
+     * *steal* — the launch builds a duplicate that grows the pool when
+     * returned.
+     *
+     * The pool lives in the Program — not the Context — because a
+     * parked circuit holds raw pointers into the plan's IR, which this
      * Program owns: parking it anywhere that can outlive the Program
      * would dangle. Launches with fault injection, tracing, or
-     * cross-check bypass the cache, as does SOFF_CIRCUIT_CACHE=0.
+     * cross-check bypass the pool, as does SOFF_CIRCUIT_CACHE=0.
      */
-    struct CircuitCacheEntry
+    struct PoolKey
     {
+        PoolKey() = default;
+        PoolKey(PoolKey &&) = default;
+        PoolKey &operator=(PoolKey &&) = default;
+
         const datapath::KernelPlan *plan = nullptr;
         int instances = 0;
         sim::PlatformConfig platform;
-        std::unique_ptr<sim::KernelCircuit> circuit;
+        /** Parked templates, oldest first (LRU at the front). */
+        std::deque<std::unique_ptr<sim::KernelCircuit>> parked;
     };
 
-    /** Removes and returns a matching cached circuit (null if none). */
+    /** Checks a matching template out of the pool (null on miss/steal). */
     std::unique_ptr<sim::KernelCircuit>
     takeCachedCircuit(const datapath::KernelPlan *plan, int instances,
                       const sim::PlatformConfig &platform);
-    /** Parks a circuit for reuse (replaces any entry with the key). */
+    /** Returns a template to the pool (evicts LRU when over capacity). */
     void storeCachedCircuit(const datapath::KernelPlan *plan,
                             int instances,
                             const sim::PlatformConfig &platform,
-                            std::unique_ptr<sim::KernelCircuit> circuit);
+                            std::unique_ptr<sim::KernelCircuit> circuit,
+                            size_t capacity);
 
     Device *device_;
     std::unique_ptr<core::CompiledProgram> compiled_;
-    std::vector<CircuitCacheEntry> circuitCache_;
+    std::vector<PoolKey> circuitPool_;
+    TemplatePoolStats poolStats_;
+    mutable std::mutex poolMutex_;
 };
 
-/** The context + in-order command queue (simplified cl_context+queue). */
+/** CommandQueue creation options (clCreateCommandQueue properties). */
+struct QueueOptions
+{
+    /**
+     * CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE: commands run as soon as
+     * their wait lists resolve, on any launch worker. In-order queues
+     * chain every command onto its predecessor instead. Either way
+     * commands *retire* in enqueue order (deterministic completion and
+     * profiling).
+     */
+    bool outOfOrder = false;
+    /**
+     * Launch workers for this context's engine (first queue wins; 0 =
+     * SOFF_QUEUE_WORKERS, or hardware_concurrency when unset).
+     */
+    int workers = 0;
+    /**
+     * Admission bound: enqueue blocks while this many commands of the
+     * whole context are in flight (0 = 4x workers, min 16).
+     */
+    int maxInFlight = 0;
+};
+
+class Context;
+
+/**
+ * A real command queue (cl_command_queue). Enqueue entry points
+ * validate eagerly (NDRange shape, unset args, wait-list attachment)
+ * on the calling thread, then hand the command to the context's launch
+ * engine; execution is asynchronous. `finish()` (or Event::wait) joins.
+ */
+class CommandQueue
+{
+  public:
+    CommandQueue(Context &context, QueueOptions options = {});
+    ~CommandQueue();
+    CommandQueue(const CommandQueue &) = delete;
+    CommandQueue &operator=(const CommandQueue &) = delete;
+
+    /**
+     * Enqueues a kernel launch. The wait list may contain events from
+     * any queue of the process plus user events; every entry must be
+     * attached (CL_INVALID_EVENT_WAIT_LIST otherwise — the only way a
+     * dependency cycle could be expressed is waiting on an event no
+     * enqueued command produces, and that is exactly an unattached
+     * event). Arguments are captured at enqueue time; the handle may
+     * be re-bound immediately after.
+     */
+    void enqueueNDRange(KernelHandle &kernel, const sim::NDRange &ndrange,
+                        const std::vector<Event> &wait_list = {},
+                        Event *event = nullptr,
+                        ExecutionMode mode = ExecutionMode::Simulate,
+                        const sim::PlatformConfig &platform = {},
+                        int instance_override = 0);
+
+    /** Host->device DMA as a queued command (`src` must stay alive). */
+    void enqueueWrite(const Buffer &buffer, const void *src,
+                      uint64_t size,
+                      const std::vector<Event> &wait_list = {},
+                      Event *event = nullptr);
+    /** Device->host DMA as a queued command (`dst` must stay alive). */
+    void enqueueRead(const Buffer &buffer, void *dst, uint64_t size,
+                     const std::vector<Event> &wait_list = {},
+                     Event *event = nullptr);
+
+    /** clFinish: blocks until every enqueued command has retired.
+     *  Rethrows the first failed command's error, if any. */
+    void finish();
+
+    bool outOfOrder() const { return options_.outOfOrder; }
+    Context &context() { return context_; }
+
+  private:
+    friend struct detail::Command;
+    friend class detail::LaunchEngine;
+
+    void enqueueCommand(std::shared_ptr<detail::Command> cmd,
+                        const std::vector<Event> &wait_list,
+                        Event *event);
+    /** Marks `cmd` executed; retires every consecutive executed
+     *  command in enqueue order (profiling stamp + event completion). */
+    void retire(detail::Command *cmd);
+
+    Context &context_;
+    QueueOptions options_;
+    detail::LaunchEngine *engine_;
+
+    std::mutex mutex_;
+    std::condition_variable drained_;
+    /** Enqueued-but-unretired commands, in enqueue order. */
+    std::deque<std::shared_ptr<detail::Command>> pending_;
+    /** A worker is inside the retirement loop (its commands may be
+     *  popped from pending_ but not yet completed/released); finish()
+     *  treats the queue as drained only when this is false too. */
+    bool retiring_ = false;
+    /** Implicit in-order chaining: the previous command's event. */
+    std::shared_ptr<detail::EventState> lastEvent_;
+    uint64_t nextSeq_ = 0;
+    /** In-order device timeline for event profiling (ns). */
+    uint64_t clockNs_ = 0;
+    std::exception_ptr firstError_;
+};
+
+/** The context (simplified cl_context) plus a serial in-order enqueue
+ *  path kept for single-launch hosts (Context::enqueueNDRange). */
 class Context
 {
   public:
     explicit Context(datapath::FpgaSpec fpga = datapath::FpgaSpec::arria10(),
-                     uint64_t global_mem_bytes = 256ull << 20)
-        : device_(std::move(fpga), global_mem_bytes)
-    {}
+                     uint64_t global_mem_bytes = 256ull << 20);
+    ~Context();
 
     Device &device() { return device_; }
 
     Buffer createBuffer(uint64_t size);
     void releaseBuffer(Buffer &buffer);
-    /** Host->device DMA (paper §III-A). */
+    /** Host->device DMA (paper §III-A); immediate, not queued. */
     void writeBuffer(const Buffer &buffer, const void *src, uint64_t size);
-    /** Device->host DMA. */
+    /** Device->host DMA; immediate, not queued. */
     void readBuffer(const Buffer &buffer, void *dst, uint64_t size);
 
     /** Compiles a program for this device (offline compilation). */
     Program buildProgram(const std::string &source,
                          const core::CompilerOptions &options = {});
 
+    /** clCreateUserEvent: host-completed event (see Event). */
+    Event createUserEvent();
+
     /**
-     * Executes a kernel over an NDRange. `instance_override` forces a
-     * specific datapath instance count (0 = the resource model's
-     * maximum, the paper's default behavior) — used by the instance-
-     * scaling ablation bench. When `event` is non-null it is filled
-     * with the launch's profiling timestamps and StatsReport.
+     * Executes a kernel over an NDRange, synchronously, on the calling
+     * thread (the legacy in-order path — CommandQueue is the
+     * multi-tenant one). `instance_override` forces a specific
+     * datapath instance count (0 = the resource model's maximum, the
+     * paper's default behavior) — used by the instance-scaling
+     * ablation bench. When `event` is non-null it is filled with the
+     * launch's profiling timestamps and StatsReport.
      */
     LaunchResult enqueueNDRange(
         KernelHandle &kernel, const sim::NDRange &ndrange,
@@ -318,9 +560,35 @@ class Context
         int instance_override = 0, Event *event = nullptr);
 
   private:
+    friend class CommandQueue;
+    friend struct detail::Command;
+    friend class detail::LaunchEngine;
+
+    /**
+     * The scheduler-independent core of a launch: env resolution has
+     * already happened (enqueue thread); this runs the circuit (or
+     * interpreter), consults the template pool, and returns the result
+     * plus the command's duration on the device timeline. Thread-safe;
+     * called concurrently by launch workers.
+     */
+    LaunchResult runLaunchCore(const detail::CorePlan &plan,
+                               uint64_t *duration_ns);
+    /** Resolves env/platform/instances on the enqueue thread. */
+    detail::CorePlan resolveLaunch(KernelHandle &kernel,
+                                   const sim::NDRange &ndrange,
+                                   ExecutionMode mode,
+                                   const sim::PlatformConfig &platform,
+                                   int instance_override,
+                                   bool allow_degradation);
+
+    /** Lazily created launch worker pool shared by all queues. */
+    detail::LaunchEngine &engine(const QueueOptions &options);
+
     Device device_;
-    /** In-order device timeline for event profiling (ns). */
+    /** In-order device timeline of the legacy serial path (ns). */
     uint64_t clockNs_ = 0;
+    std::unique_ptr<detail::LaunchEngine> engine_;
+    std::mutex engineMutex_;
 };
 
 } // namespace soff::rt

@@ -22,6 +22,10 @@ clStatusName(ClStatus status)
       case ClStatus::InvalidKernelArgs: return "CL_INVALID_KERNEL_ARGS";
       case ClStatus::InvalidWorkGroupSize:
         return "CL_INVALID_WORK_GROUP_SIZE";
+      case ClStatus::InvalidEventWaitList:
+        return "CL_INVALID_EVENT_WAIT_LIST";
+      case ClStatus::InvalidEvent: return "CL_INVALID_EVENT";
+      case ClStatus::InvalidOperation: return "CL_INVALID_OPERATION";
     }
     return "CL_UNKNOWN_ERROR";
 }

@@ -51,6 +51,9 @@ enum class ClStatus : int
     InvalidArgValue = -50,
     InvalidKernelArgs = -52,
     InvalidWorkGroupSize = -54,
+    InvalidEventWaitList = -57,
+    InvalidEvent = -58,
+    InvalidOperation = -59,
 };
 
 /** The cl.h macro name for a status ("CL_OUT_OF_RESOURCES", ...). */

@@ -1,0 +1,482 @@
+/**
+ * @file
+ * Multi-tenant launch engine soak tests: a mixed sequence of launches
+ * across six kernels pushed through an out-of-order CommandQueue at
+ * several worker counts must be *bit-identical* to the same sequence
+ * run serially through Context::enqueueNDRange — per-launch output
+ * bytes, full architectural StatsReports, and profiling timestamps.
+ *
+ * The sequences pre-allocate every buffer up-front, in the same order
+ * in every context, so buffer addresses (which cycle counts observe
+ * through cache indexing) are identical across runs; each launch owns
+ * its buffers, so launches are independent and the out-of-order queue
+ * may overlap them freely.
+ */
+#include <array>
+#include <cstring>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.hpp"
+#include "sim/stats.hpp"
+#include "support/error.hpp"
+
+namespace soff::rt
+{
+namespace
+{
+
+const char *kSoakKernels = R"CL(
+__kernel void vadd(__global float* A, __global float* B,
+                   __global float* C) {
+  int g = get_global_id(0);
+  C[g] = A[g] + B[g];
+}
+__kernel void saxpy(__global float* X, __global float* Y, float a) {
+  int g = get_global_id(0);
+  Y[g] = a * X[g] + Y[g];
+}
+__kernel void smooth(__global float* A, __global float* B, int iters) {
+  __local float tile[16];
+  int l = get_local_id(0);
+  int g = get_global_id(0);
+  tile[l] = A[g];
+  for (int t = 0; t < iters; t++) {
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float left = tile[l == 0 ? 0 : l - 1];
+    float right = tile[l == 15 ? 15 : l + 1];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    tile[l] = 0.5f * tile[l] + 0.25f * (left + right);
+  }
+  B[g] = tile[l];
+}
+__kernel void histo(__global int* A, __global int* H) {
+  int g = get_global_id(0);
+  atomic_add(&H[A[g] & 15], 1);
+}
+__kernel void stencil(__global float* A, __global float* C, int n) {
+  int g = get_global_id(0);
+  float left = g == 0 ? A[0] : A[g - 1];
+  float right = g == n - 1 ? A[n - 1] : A[g + 1];
+  C[g] = 0.25f * left + 0.5f * A[g] + 0.25f * right;
+}
+__kernel void reduce(__global float* A, __global float* R, int lsz) {
+  __local float sc[32];
+  int l = get_local_id(0);
+  sc[l] = A[get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (l == 0) {
+    float s = 0.0f;
+    for (int i = 0; i < lsz; i++) s += sc[i];
+    R[get_group_id(0)] = s;
+  }
+}
+)CL";
+
+constexpr int kNumApps = 6;
+const char *kAppNames[kNumApps] = {"vadd",  "saxpy",   "smooth",
+                                   "histo", "stencil", "reduce"};
+
+/** One launch of the soak: which kernel, what shape, what scalar. */
+struct LaunchSpec
+{
+    int app = 0;
+    uint32_t n = 0;     ///< Global size.
+    uint32_t local = 0; ///< Work-group size.
+    int32_t scalar = 0; ///< iters / a / lsz, app-dependent.
+    bool chained = false; ///< Waits on the previous launch's event.
+};
+
+/** Deterministic mixed workload (LCG; no RNG state shared with sim). */
+std::vector<LaunchSpec>
+makeSoak(size_t count)
+{
+    std::vector<LaunchSpec> specs;
+    specs.reserve(count);
+    uint64_t s = 0x5deece66dull;
+    auto next = [&s](uint64_t range) {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        return (s >> 33) % range;
+    };
+    const uint32_t sizes[3] = {16, 32, 64};
+    for (size_t i = 0; i < count; ++i) {
+        LaunchSpec spec;
+        spec.app = static_cast<int>(next(kNumApps));
+        spec.n = sizes[next(3)];
+        switch (spec.app) {
+          case 2: // smooth: __local float tile[16]
+            spec.local = 16;
+            spec.scalar = static_cast<int32_t>(1 + next(3));
+            break;
+          case 5: // reduce: __local float sc[32]
+            spec.local = spec.n >= 32 ? 32 : 16;
+            spec.scalar = static_cast<int32_t>(spec.local);
+            break;
+          default:
+            spec.local = spec.n >= 32 ? 16 : 8;
+            spec.scalar = static_cast<int32_t>(1 + next(5));
+            break;
+        }
+        spec.chained = i % 10 == 9;
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+/** Host-side input generators (same values in every run). */
+float
+inputA(size_t launch, uint32_t i)
+{
+    return static_cast<float>((launch * 7 + i) % 13) * 0.5f;
+}
+
+float
+inputB(size_t launch, uint32_t i)
+{
+    return static_cast<float>((launch * 3 + i) % 9) * 0.25f;
+}
+
+/** Expected output bytes of one launch, computed on the host with the
+ *  same single-precision operations the kernel performs. */
+std::vector<uint8_t>
+oracle(const LaunchSpec &spec, size_t launch)
+{
+    uint32_t n = spec.n;
+    std::vector<float> a(n), b(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        a[i] = inputA(launch, i);
+        b[i] = inputB(launch, i);
+    }
+    std::vector<float> out;
+    switch (spec.app) {
+      case 0: // vadd
+        out.resize(n);
+        for (uint32_t i = 0; i < n; ++i)
+            out[i] = a[i] + b[i];
+        break;
+      case 1: // saxpy: Y in/out
+        out = b;
+        for (uint32_t i = 0; i < n; ++i)
+            out[i] = static_cast<float>(spec.scalar) * a[i] + out[i];
+        break;
+      case 2: { // smooth, per group of 16
+        out = a;
+        for (uint32_t base = 0; base < n; base += 16) {
+            for (int t = 0; t < spec.scalar; ++t) {
+                std::array<float, 16> old{};
+                for (uint32_t l = 0; l < 16; ++l)
+                    old[l] = out[base + l];
+                for (uint32_t l = 0; l < 16; ++l) {
+                    float left = old[l == 0 ? 0 : l - 1];
+                    float right = old[l == 15 ? 15 : l + 1];
+                    out[base + l] =
+                        0.5f * old[l] + 0.25f * (left + right);
+                }
+            }
+        }
+        break;
+      }
+      case 3: { // histo: 16 int bins
+        std::vector<int32_t> bins(16, 0);
+        for (uint32_t i = 0; i < n; ++i) {
+            int32_t v = static_cast<int32_t>((launch * 7 + i) % 13);
+            ++bins[v & 15];
+        }
+        std::vector<uint8_t> bytes(bins.size() * 4);
+        std::memcpy(bytes.data(), bins.data(), bytes.size());
+        return bytes;
+      }
+      case 4: // stencil
+        out.resize(n);
+        for (uint32_t i = 0; i < n; ++i) {
+            float left = i == 0 ? a[0] : a[i - 1];
+            float right = i == n - 1 ? a[n - 1] : a[i + 1];
+            out[i] = 0.25f * left + 0.5f * a[i] + 0.25f * right;
+        }
+        break;
+      case 5: { // reduce: one sum per group
+        uint32_t groups = n / spec.local;
+        out.resize(groups);
+        for (uint32_t grp = 0; grp < groups; ++grp) {
+            float sum = 0.0f;
+            for (uint32_t l = 0; l < spec.local; ++l)
+                sum += a[grp * spec.local + l];
+            out[grp] = sum;
+        }
+        break;
+      }
+    }
+    std::vector<uint8_t> bytes(out.size() * 4);
+    std::memcpy(bytes.data(), out.data(), bytes.size());
+    return bytes;
+}
+
+/** Per-launch buffers; allocated in spec order in every context so
+ *  device addresses are identical across runs. */
+struct LaunchBuffers
+{
+    Buffer in0, in1, out;
+    uint64_t outBytes = 0;
+};
+
+std::vector<LaunchBuffers>
+setupBuffers(Context &ctx, const std::vector<LaunchSpec> &specs)
+{
+    std::vector<LaunchBuffers> buffers;
+    buffers.reserve(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const LaunchSpec &spec = specs[i];
+        uint32_t n = spec.n;
+        LaunchBuffers lb;
+        std::vector<float> a(n), b(n);
+        for (uint32_t j = 0; j < n; ++j) {
+            a[j] = inputA(i, j);
+            b[j] = inputB(i, j);
+        }
+        switch (spec.app) {
+          case 0: // vadd(A, B, C)
+            lb.in0 = ctx.createBuffer(n * 4);
+            lb.in1 = ctx.createBuffer(n * 4);
+            lb.out = ctx.createBuffer(n * 4);
+            ctx.writeBuffer(lb.in0, a.data(), n * 4);
+            ctx.writeBuffer(lb.in1, b.data(), n * 4);
+            lb.outBytes = n * 4;
+            break;
+          case 1: // saxpy(X, Y=out, a)
+            lb.in0 = ctx.createBuffer(n * 4);
+            lb.out = ctx.createBuffer(n * 4);
+            ctx.writeBuffer(lb.in0, a.data(), n * 4);
+            ctx.writeBuffer(lb.out, b.data(), n * 4);
+            lb.outBytes = n * 4;
+            break;
+          case 2: // smooth(A, B=out, iters)
+          case 4: // stencil(A, C=out, n)
+            lb.in0 = ctx.createBuffer(n * 4);
+            lb.out = ctx.createBuffer(n * 4);
+            ctx.writeBuffer(lb.in0, a.data(), n * 4);
+            lb.outBytes = n * 4;
+            break;
+          case 3: { // histo(A, H=out): zeroed 16-bin histogram
+            std::vector<int32_t> vals(n);
+            for (uint32_t j = 0; j < n; ++j)
+                vals[j] = static_cast<int32_t>((i * 7 + j) % 13);
+            std::vector<int32_t> zeros(16, 0);
+            lb.in0 = ctx.createBuffer(n * 4);
+            lb.out = ctx.createBuffer(16 * 4);
+            ctx.writeBuffer(lb.in0, vals.data(), n * 4);
+            ctx.writeBuffer(lb.out, zeros.data(), 16 * 4);
+            lb.outBytes = 16 * 4;
+            break;
+          }
+          case 5: // reduce(A, R=out, lsz)
+            lb.in0 = ctx.createBuffer(n * 4);
+            lb.out = ctx.createBuffer(n / spec.local * 4);
+            ctx.writeBuffer(lb.in0, a.data(), n * 4);
+            lb.outBytes = n / spec.local * 4;
+            break;
+        }
+        buffers.push_back(lb);
+    }
+    return buffers;
+}
+
+/** Binds one launch's args and shapes its NDRange. */
+sim::NDRange
+bindLaunch(const LaunchSpec &spec, const LaunchBuffers &lb,
+           KernelHandle &kernel)
+{
+    switch (spec.app) {
+      case 0:
+        kernel.setArg(0, lb.in0);
+        kernel.setArg(1, lb.in1);
+        kernel.setArg(2, lb.out);
+        break;
+      case 1:
+        kernel.setArg(0, lb.in0);
+        kernel.setArg(1, lb.out);
+        kernel.setArg(2, static_cast<float>(spec.scalar));
+        break;
+      case 3:
+        kernel.setArg(0, lb.in0);
+        kernel.setArg(1, lb.out);
+        break;
+      case 4:
+        kernel.setArg(0, lb.in0);
+        kernel.setArg(1, lb.out);
+        kernel.setArg(2, static_cast<int32_t>(spec.n));
+        break;
+      default: // smooth / reduce
+        kernel.setArg(0, lb.in0);
+        kernel.setArg(1, lb.out);
+        kernel.setArg(2, spec.scalar);
+        break;
+    }
+    sim::NDRange nd;
+    nd.globalSize[0] = spec.n;
+    nd.localSize[0] = spec.local;
+    return nd;
+}
+
+/** Everything observable about one soak run. */
+struct SoakOutcome
+{
+    std::vector<std::vector<uint8_t>> outputs;
+    std::vector<std::shared_ptr<const sim::StatsReport>> stats;
+    std::vector<std::array<uint64_t, 4>> stamps;
+};
+
+SoakOutcome
+runSerial(const std::vector<LaunchSpec> &specs)
+{
+    Context ctx;
+    Program program = ctx.buildProgram(kSoakKernels);
+    std::vector<KernelHandle> kernels;
+    for (const char *name : kAppNames)
+        kernels.push_back(program.createKernel(name));
+    std::vector<LaunchBuffers> buffers = setupBuffers(ctx, specs);
+    SoakOutcome outcome;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        KernelHandle &kernel =
+            kernels[static_cast<size_t>(specs[i].app)];
+        sim::NDRange nd = bindLaunch(specs[i], buffers[i], kernel);
+        Event event;
+        ctx.enqueueNDRange(kernel, nd, ExecutionMode::Simulate, {}, 0,
+                           &event);
+        std::vector<uint8_t> out(buffers[i].outBytes);
+        ctx.readBuffer(buffers[i].out, out.data(), out.size());
+        outcome.outputs.push_back(std::move(out));
+        outcome.stats.push_back(event.stats());
+        outcome.stamps.push_back({event.queuedNs(), event.submitNs(),
+                                  event.startNs(), event.endNs()});
+    }
+    return outcome;
+}
+
+SoakOutcome
+runQueued(const std::vector<LaunchSpec> &specs, int workers)
+{
+    Context ctx;
+    Program program = ctx.buildProgram(kSoakKernels);
+    std::vector<KernelHandle> kernels;
+    for (const char *name : kAppNames)
+        kernels.push_back(program.createKernel(name));
+    std::vector<LaunchBuffers> buffers = setupBuffers(ctx, specs);
+    CommandQueue queue(ctx, {.outOfOrder = true, .workers = workers});
+    std::vector<Event> events(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        KernelHandle &kernel =
+            kernels[static_cast<size_t>(specs[i].app)];
+        sim::NDRange nd = bindLaunch(specs[i], buffers[i], kernel);
+        std::vector<Event> waits;
+        if (specs[i].chained && i > 0)
+            waits.push_back(events[i - 1]); // Exercise the DAG.
+        queue.enqueueNDRange(kernel, nd, waits, &events[i]);
+    }
+    queue.finish();
+    SoakOutcome outcome;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        std::vector<uint8_t> out(buffers[i].outBytes);
+        ctx.readBuffer(buffers[i].out, out.data(), out.size());
+        outcome.outputs.push_back(std::move(out));
+        outcome.stats.push_back(events[i].stats());
+        outcome.stamps.push_back(
+            {events[i].queuedNs(), events[i].submitNs(),
+             events[i].startNs(), events[i].endNs()});
+    }
+    return outcome;
+}
+
+/** Queued run vs the serial baseline: bit-identical, launch by launch. */
+void
+expectIdentical(const std::vector<LaunchSpec> &specs,
+                const SoakOutcome &serial, const SoakOutcome &queued,
+                int workers)
+{
+    ASSERT_EQ(serial.outputs.size(), queued.outputs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(testing::Message()
+                     << "launch " << i << " ("
+                     << kAppNames[specs[i].app] << ", n=" << specs[i].n
+                     << ") at " << workers << " worker(s)");
+        EXPECT_EQ(serial.outputs[i], queued.outputs[i])
+            << "output bytes differ from serial execution";
+        ASSERT_NE(serial.stats[i], nullptr);
+        ASSERT_NE(queued.stats[i], nullptr);
+        EXPECT_EQ(
+            sim::diffStatsReports(*serial.stats[i], *queued.stats[i]),
+            "")
+            << "architectural counters differ from serial execution";
+        EXPECT_EQ(serial.stamps[i], queued.stamps[i])
+            << "profiling timeline differs from serial execution";
+    }
+}
+
+TEST(LaunchSoak, DeterministicAcrossWorkerCounts)
+{
+    // The headline determinism contract: a 1000-launch mixed soak
+    // (six apps, varying NDRanges, every tenth launch event-chained)
+    // through an out-of-order queue is bit-identical to serial
+    // in-order execution at 1, 2, and hardware_concurrency workers.
+    std::vector<LaunchSpec> specs = makeSoak(1000);
+    SoakOutcome serial = runSerial(specs);
+    // The serial baseline itself must match the host oracle.
+    for (size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(testing::Message() << "launch " << i);
+        EXPECT_EQ(serial.outputs[i], oracle(specs[i], i));
+    }
+    int hw = std::max(1u, std::thread::hardware_concurrency());
+    for (int workers : {1, 2, hw}) {
+        SoakOutcome queued = runQueued(specs, workers);
+        expectIdentical(specs, serial, queued, workers);
+    }
+}
+
+TEST(LaunchSoak, ConcurrentStress)
+{
+    // Smaller, hostile soak for the ThreadSanitizer CI leg: several
+    // queues over one context, DMA commands racing launches, user
+    // events, implicit in-order chains. Verified against the oracle.
+    std::vector<LaunchSpec> specs = makeSoak(120);
+    Context ctx;
+    Program program = ctx.buildProgram(kSoakKernels);
+    std::vector<KernelHandle> kernels;
+    for (const char *name : kAppNames)
+        kernels.push_back(program.createKernel(name));
+    std::vector<LaunchBuffers> buffers = setupBuffers(ctx, specs);
+    // 240 commands are enqueued before the gate opens; the admission
+    // bound must clear them all or the enqueue loop would block on
+    // commands that cannot retire until the gate completes.
+    CommandQueue ooo(ctx, {.outOfOrder = true, .workers = 4,
+                           .maxInFlight = 256});
+    CommandQueue inorder(ctx);
+    Event gate = ctx.createUserEvent();
+    std::vector<Event> events(specs.size());
+    std::vector<std::vector<uint8_t>> outputs(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        KernelHandle &kernel =
+            kernels[static_cast<size_t>(specs[i].app)];
+        sim::NDRange nd = bindLaunch(specs[i], buffers[i], kernel);
+        CommandQueue &queue = i % 3 == 0 ? inorder : ooo;
+        std::vector<Event> waits;
+        if (i % 17 == 0)
+            waits.push_back(gate); // Held back until released below.
+        if (specs[i].chained && i > 0)
+            waits.push_back(events[i - 1]);
+        queue.enqueueNDRange(kernel, nd, waits, &events[i]);
+        // Read back through the queue, ordered on the launch's event.
+        outputs[i].resize(buffers[i].outBytes);
+        queue.enqueueRead(buffers[i].out, outputs[i].data(),
+                          outputs[i].size(), {events[i]});
+    }
+    gate.setComplete();
+    ooo.finish();
+    inorder.finish();
+    for (size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(testing::Message() << "launch " << i);
+        EXPECT_EQ(outputs[i], oracle(specs[i], i));
+    }
+}
+
+} // namespace
+} // namespace soff::rt

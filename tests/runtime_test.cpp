@@ -1,7 +1,10 @@
 /** @file Unit tests for the runtime: device allocator, buffer DMA,
- *  argument validation, partial reconfiguration, baselines, and the
- *  Table II compatibility rules. */
+ *  argument validation, partial reconfiguration, command queues and
+ *  events, the circuit-template pool, baselines, and the Table II
+ *  compatibility rules. */
 #include <array>
+#include <atomic>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -250,6 +253,406 @@ TEST(CircuitCache, EnvKnobDisablesCaching)
     unsetenv("SOFF_CIRCUIT_CACHE");
     ctx.enqueueNDRange(kernel, nd);
     EXPECT_EQ(program.circuitCacheSize(), 1u);
+}
+
+// --- Device thread-safety ------------------------------------------------
+
+TEST(Device, ConcurrentAllocDmaRelease)
+{
+    // The allocator block list and the DMA engine share one board
+    // mutex; hammering them from several threads must neither corrupt
+    // the free list nor tear any transfer. (Run under TSan in CI.)
+    Device device(datapath::FpgaSpec::arria10(), 8 << 20);
+    constexpr int kThreads = 8;
+    constexpr int kRounds = 200;
+    std::vector<std::thread> threads;
+    std::atomic<int> torn{0};
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&device, &torn, t] {
+            std::vector<uint32_t> in(64), out(64);
+            for (int r = 0; r < kRounds; ++r) {
+                uint64_t addr = device.allocate(64 * 4);
+                uint32_t tag = static_cast<uint32_t>(t * kRounds + r);
+                for (size_t i = 0; i < in.size(); ++i)
+                    in[i] = tag ^ static_cast<uint32_t>(i);
+                device.dmaWrite(addr, 64 * 4, in.data());
+                device.dmaRead(addr, 64 * 4, out.data());
+                if (out != in)
+                    ++torn;
+                device.release(addr);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(torn.load(), 0) << "torn or misrouted DMA transfer";
+    // Every block released: the full arena allocates again.
+    uint64_t all = device.allocate((8 << 20) - 4096);
+    EXPECT_NE(all, 0u) << "allocator free list corrupted";
+}
+
+TEST(Device, DmaRejectsOversizedTransfer)
+{
+    // GlobalMemory's block API is 32-bit sized; a transfer over 4 GiB
+    // must be rejected up front, not silently truncated to the low 32
+    // bits of its length. The size check precedes any memory access,
+    // so a null host pointer never gets dereferenced here.
+    Device device(datapath::FpgaSpec::arria10(), 8 << 20);
+    uint64_t addr = device.allocate(4096);
+    try {
+        device.dmaWrite(addr, (1ull << 32) + 64, nullptr);
+        FAIL() << "oversized dmaWrite must throw";
+    } catch (const OpenClError &e) {
+        EXPECT_EQ(e.status(), ClStatus::InvalidValue);
+    }
+    try {
+        device.dmaRead(addr, (1ull << 32) + 64, nullptr);
+        FAIL() << "oversized dmaRead must throw";
+    } catch (const OpenClError &e) {
+        EXPECT_EQ(e.status(), ClStatus::InvalidValue);
+    }
+    device.release(addr);
+}
+
+// --- Command queues and events -------------------------------------------
+
+/** Enqueues one tiny launch of kernel `a` and returns its event. */
+Event
+queueOneLaunch(Context &ctx, CommandQueue &queue, KernelHandle &kernel,
+               const std::vector<Event> &wait_list = {})
+{
+    sim::NDRange nd;
+    nd.globalSize[0] = 64;
+    nd.localSize[0] = 16;
+    Event event;
+    queue.enqueueNDRange(kernel, nd, wait_list, &event);
+    return event;
+}
+
+TEST(Queue, WaitListRejectsUnattachedEvent)
+{
+    Context ctx;
+    Program program = ctx.buildProgram(kTwoKernels);
+    KernelHandle kernel = program.createKernel("a");
+    kernel.setArg(0, ctx.createBuffer(4096));
+    CommandQueue queue(ctx, {.outOfOrder = true});
+    // An unattached event can never complete — waiting on it is the
+    // one expressible dependency cycle (e.g. a command waiting on its
+    // own out-event). Rejected eagerly, on the enqueue thread.
+    Event unattached;
+    try {
+        queueOneLaunch(ctx, queue, kernel, {unattached});
+        FAIL() << "unattached wait-list entry must be rejected";
+    } catch (const OpenClError &e) {
+        EXPECT_EQ(e.status(), ClStatus::InvalidEventWaitList);
+    }
+    // Self-wait: the out-event is unattached at enqueue time.
+    Event self;
+    sim::NDRange nd;
+    nd.globalSize[0] = 64;
+    nd.localSize[0] = 16;
+    EXPECT_THROW(queue.enqueueNDRange(kernel, nd, {self}, &self),
+                 OpenClError);
+    queue.finish();
+}
+
+TEST(Queue, CompletionFollowsEnqueueOrder)
+{
+    // Out-of-order queue, several independent launches: execution may
+    // interleave on any worker, but commands retire — complete their
+    // events, fire callbacks — in enqueue order.
+    Context ctx;
+    Program program = ctx.buildProgram(kTwoKernels);
+    KernelHandle kernel = program.createKernel("b");
+    constexpr int kLaunches = 8;
+    std::vector<Buffer> buffers;
+    for (int i = 0; i < kLaunches; ++i)
+        buffers.push_back(ctx.createBuffer(4096));
+    CommandQueue queue(ctx, {.outOfOrder = true, .workers = 4});
+    std::mutex order_m;
+    std::vector<int> order;
+    std::vector<Event> events;
+    for (int i = 0; i < kLaunches; ++i) {
+        kernel.setArg(0, buffers[static_cast<size_t>(i)]);
+        kernel.setArg(1, int32_t{i});
+        Event event = queueOneLaunch(ctx, queue, kernel);
+        event.onComplete([&order_m, &order, i] {
+            std::lock_guard<std::mutex> lock(order_m);
+            order.push_back(i);
+        });
+        events.push_back(event);
+    }
+    queue.finish();
+    std::vector<int> expected;
+    for (int i = 0; i < kLaunches; ++i)
+        expected.push_back(i);
+    EXPECT_EQ(order, expected) << "retirement must follow enqueue order";
+    for (const Event &e : events) {
+        EXPECT_TRUE(e.isComplete());
+        EXPECT_EQ(e.status(), CommandStatus::Complete);
+    }
+}
+
+TEST(Queue, FinishImpliesEventsCompleteAndCallbacksFired)
+{
+    // finish() must not return while a worker is still mid-retirement:
+    // once it returns, every event is Complete and every callback has
+    // fired, and destroying the queue immediately afterwards (as each
+    // round of this loop does) is safe. The TSan/ASan CI legs turn any
+    // residual drain race in this loop into a hard failure.
+    Context ctx;
+    Program program = ctx.buildProgram(kTwoKernels);
+    KernelHandle kernel = program.createKernel("a");
+    constexpr int kLaunches = 4;
+    std::vector<Buffer> buffers;
+    for (int i = 0; i < kLaunches; ++i)
+        buffers.push_back(ctx.createBuffer(4096));
+    for (int round = 0; round < 50; ++round) {
+        CommandQueue queue(ctx, {.outOfOrder = true, .workers = 4});
+        std::atomic<int> fired{0};
+        std::vector<Event> events;
+        for (int i = 0; i < kLaunches; ++i) {
+            kernel.setArg(0, buffers[static_cast<size_t>(i)]);
+            Event event = queueOneLaunch(ctx, queue, kernel);
+            event.onComplete([&fired] { ++fired; });
+            events.push_back(event);
+        }
+        queue.finish();
+        ASSERT_EQ(fired.load(), kLaunches)
+            << "finish() returned before every callback fired";
+        for (const Event &e : events)
+            ASSERT_TRUE(e.isComplete())
+                << "finish() returned with an incomplete event";
+    }
+}
+
+TEST(Queue, ProfilingTimestampsMonotonicAndTiled)
+{
+    // Per-queue device timeline: commands tile it without overlap, in
+    // enqueue order, regardless of which worker executed them.
+    Context ctx;
+    Program program = ctx.buildProgram(kTwoKernels);
+    KernelHandle kernel = program.createKernel("a");
+    constexpr int kLaunches = 4;
+    std::vector<Buffer> buffers;
+    for (int i = 0; i < kLaunches; ++i)
+        buffers.push_back(ctx.createBuffer(4096));
+    CommandQueue queue(ctx, {.outOfOrder = true, .workers = 2});
+    std::vector<Event> events;
+    for (int i = 0; i < kLaunches; ++i) {
+        kernel.setArg(0, buffers[static_cast<size_t>(i)]);
+        events.push_back(queueOneLaunch(ctx, queue, kernel));
+    }
+    queue.finish();
+    uint64_t prev_end = 0;
+    for (const Event &e : events) {
+        ASSERT_TRUE(e.valid());
+        EXPECT_EQ(e.queuedNs(), prev_end)
+            << "commands tile the per-queue timeline";
+        EXPECT_LE(e.queuedNs(), e.submitNs());
+        EXPECT_LE(e.submitNs(), e.startNs());
+        EXPECT_LT(e.startNs(), e.endNs());
+        prev_end = e.endNs();
+    }
+}
+
+TEST(Queue, ProfilingUnavailableBeforeCompletion)
+{
+    // CL_PROFILING_INFO_NOT_AVAILABLE until the command retires: gate
+    // a launch behind a user event and probe while it is stuck Queued.
+    Context ctx;
+    Program program = ctx.buildProgram(kTwoKernels);
+    KernelHandle kernel = program.createKernel("a");
+    kernel.setArg(0, ctx.createBuffer(4096));
+    CommandQueue queue(ctx, {.outOfOrder = true});
+    Event gate = ctx.createUserEvent();
+    Event event = queueOneLaunch(ctx, queue, kernel, {gate});
+    EXPECT_FALSE(event.isComplete());
+    EXPECT_FALSE(event.valid());
+    try {
+        event.profilingInfo(ClProfilingInfo::CommandStart);
+        FAIL() << "profiling an unfinished command must throw";
+    } catch (const OpenClError &e) {
+        EXPECT_EQ(e.status(), ClStatus::ProfilingInfoNotAvailable);
+    }
+    gate.setComplete();
+    event.wait();
+    EXPECT_TRUE(event.valid());
+    queue.finish();
+}
+
+TEST(Queue, UserEventGatesAndCompletesOnce)
+{
+    Context ctx;
+    Program program = ctx.buildProgram(kTwoKernels);
+    KernelHandle kernel = program.createKernel("b");
+    Buffer buffer = ctx.createBuffer(4096);
+    kernel.setArg(0, buffer);
+    kernel.setArg(1, int32_t{7});
+    CommandQueue queue(ctx, {.outOfOrder = true});
+    Event gate = ctx.createUserEvent();
+    EXPECT_EQ(gate.status(), CommandStatus::Submitted);
+    Event event = queueOneLaunch(ctx, queue, kernel, {gate});
+    EXPECT_FALSE(event.isComplete())
+        << "command must not run before its user-event gate";
+    gate.setComplete();
+    event.wait();
+    std::vector<int32_t> out(64);
+    ctx.readBuffer(buffer, out.data(), 64 * 4);
+    EXPECT_EQ(out[0], 7);
+    // Completing twice is CL_INVALID_OPERATION; completing a queue
+    // event from the host is CL_INVALID_EVENT.
+    try {
+        gate.setComplete();
+        FAIL() << "double setComplete must throw";
+    } catch (const OpenClError &e) {
+        EXPECT_EQ(e.status(), ClStatus::InvalidOperation);
+    }
+    try {
+        event.setComplete();
+        FAIL() << "setComplete on a queue event must throw";
+    } catch (const OpenClError &e) {
+        EXPECT_EQ(e.status(), ClStatus::InvalidEvent);
+    }
+    queue.finish();
+}
+
+TEST(Queue, InOrderQueueChainsImplicitly)
+{
+    // An in-order queue needs no wait lists: each command implicitly
+    // depends on its predecessor, so write -> launch -> read with
+    // shared buffers is well ordered even with many workers.
+    Context ctx;
+    Program program = ctx.buildProgram(kTwoKernels);
+    KernelHandle kernel = program.createKernel("b");
+    Buffer buffer = ctx.createBuffer(64 * 4);
+    kernel.setArg(0, buffer);
+    kernel.setArg(1, int32_t{3});
+    CommandQueue queue(ctx, {.workers = 4});
+    std::vector<int32_t> zeros(64, 0), out(64, -1);
+    sim::NDRange nd;
+    nd.globalSize[0] = 64;
+    nd.localSize[0] = 16;
+    queue.enqueueWrite(buffer, zeros.data(), 64 * 4);
+    queue.enqueueNDRange(kernel, nd);
+    queue.enqueueRead(buffer, out.data(), 64 * 4);
+    queue.finish();
+    EXPECT_EQ(out, std::vector<int32_t>(64, 3));
+}
+
+TEST(Queue, StrictEnvParsing)
+{
+    // SOFF_QUEUE_WORKERS is parsed when the first queue creates the
+    // context's engine; SOFF_TEMPLATE_POOL at every cacheable enqueue.
+    // Malformed values are CL_INVALID_VALUE, never silently 0.
+    for (const char *bad : {"abc", "0", "-2", "3x", " 4", "99999"}) {
+        setenv("SOFF_QUEUE_WORKERS", bad, 1);
+        Context ctx;
+        try {
+            CommandQueue queue(ctx);
+            FAIL() << "SOFF_QUEUE_WORKERS='" << bad << "' must throw";
+        } catch (const OpenClError &e) {
+            EXPECT_EQ(e.status(), ClStatus::InvalidValue) << bad;
+        }
+    }
+    unsetenv("SOFF_QUEUE_WORKERS");
+    for (const char *bad : {"abc", "0", "-1", "2x", "9999"}) {
+        setenv("SOFF_TEMPLATE_POOL", bad, 1);
+        Context ctx;
+        Program program = ctx.buildProgram(kTwoKernels);
+        KernelHandle kernel = program.createKernel("a");
+        kernel.setArg(0, ctx.createBuffer(4096));
+        sim::NDRange nd;
+        nd.globalSize[0] = 64;
+        nd.localSize[0] = 16;
+        try {
+            ctx.enqueueNDRange(kernel, nd);
+            FAIL() << "SOFF_TEMPLATE_POOL='" << bad << "' must throw";
+        } catch (const OpenClError &e) {
+            EXPECT_EQ(e.status(), ClStatus::InvalidValue) << bad;
+        }
+    }
+    unsetenv("SOFF_TEMPLATE_POOL");
+}
+
+// --- Circuit-template pool -----------------------------------------------
+
+TEST(TemplatePool, SerialLaunchLoopCounters)
+{
+    Context ctx;
+    Program program = ctx.buildProgram(kTwoKernels);
+    KernelHandle kernel = program.createKernel("a");
+    kernel.setArg(0, ctx.createBuffer(4096));
+    sim::NDRange nd;
+    nd.globalSize[0] = 64;
+    nd.localSize[0] = 16;
+    constexpr uint64_t kLaunches = 5;
+    for (uint64_t i = 0; i < kLaunches; ++i)
+        ctx.enqueueNDRange(kernel, nd);
+    TemplatePoolStats stats = program.templatePoolStats();
+    EXPECT_EQ(stats.misses, 1u) << "first launch builds the template";
+    EXPECT_EQ(stats.hits, kLaunches - 1) << "later launches rearm it";
+    EXPECT_EQ(stats.steals, 0u) << "serial: never checked out twice";
+    EXPECT_EQ(stats.returns, kLaunches);
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_EQ(program.circuitCacheSize(), 1u);
+}
+
+TEST(TemplatePool, ConcurrentCheckoutInvariants)
+{
+    // Many concurrent launches of one kernel against a capacity-1
+    // pool: checkouts that find the key empty are steals (a duplicate
+    // template is built), returns beyond capacity evict. Exact counts
+    // depend on interleaving; the accounting invariants do not.
+    setenv("SOFF_TEMPLATE_POOL", "1", 1);
+    Context ctx;
+    Program program = ctx.buildProgram(kTwoKernels);
+    KernelHandle kernel = program.createKernel("b");
+    constexpr uint64_t kLaunches = 12;
+    std::vector<Buffer> buffers;
+    for (uint64_t i = 0; i < kLaunches; ++i)
+        buffers.push_back(ctx.createBuffer(4096));
+    CommandQueue queue(ctx, {.outOfOrder = true, .workers = 4});
+    sim::NDRange nd;
+    nd.globalSize[0] = 64;
+    nd.localSize[0] = 16;
+    for (uint64_t i = 0; i < kLaunches; ++i) {
+        kernel.setArg(0, buffers[i]);
+        kernel.setArg(1, int32_t{1});
+        queue.enqueueNDRange(kernel, nd);
+    }
+    queue.finish();
+    TemplatePoolStats stats = program.templatePoolStats();
+    EXPECT_EQ(stats.hits + stats.misses + stats.steals, kLaunches)
+        << "every launch checks the pool exactly once";
+    EXPECT_EQ(stats.misses, 1u) << "the key is built once";
+    EXPECT_EQ(stats.returns, kLaunches) << "every launch succeeded";
+    EXPECT_EQ(stats.returns - stats.hits - stats.evictions,
+              program.circuitCacheSize())
+        << "parked = returned - checked out (hits) - evicted";
+    EXPECT_LE(program.circuitCacheSize(), 1u) << "capacity enforced";
+    unsetenv("SOFF_TEMPLATE_POOL");
+}
+
+TEST(TemplatePool, CapacityBoundsParkedTemplates)
+{
+    // Capacity 2 with sequential launches still parks at most... one
+    // template (checkout/return pairs never overlap serially); the
+    // knob only matters under concurrency, but it must parse and the
+    // pool must never exceed it.
+    setenv("SOFF_TEMPLATE_POOL", "2", 1);
+    Context ctx;
+    Program program = ctx.buildProgram(kTwoKernels);
+    KernelHandle kernel = program.createKernel("a");
+    kernel.setArg(0, ctx.createBuffer(4096));
+    sim::NDRange nd;
+    nd.globalSize[0] = 64;
+    nd.localSize[0] = 16;
+    for (int i = 0; i < 4; ++i)
+        ctx.enqueueNDRange(kernel, nd);
+    EXPECT_LE(program.circuitCacheSize(), 2u);
+    unsetenv("SOFF_TEMPLATE_POOL");
 }
 
 // --- Compatibility rules (Table II machinery) ---------------------------
