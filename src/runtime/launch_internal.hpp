@@ -47,6 +47,10 @@ constexpr uint64_t kSubmitOverheadNs = 500;
  */
 int parseEnvInt(const char *knob, const char *text, long lo, long hi);
 
+/** 64-bit variant for cycle-count knobs (SOFF_LAUNCH_TIMEOUT). */
+uint64_t parseEnvU64(const char *knob, const char *text, uint64_t lo,
+                     uint64_t hi);
+
 /**
  * A fully resolved launch: everything Context::runLaunchCore needs,
  * with every getenv() and validation already performed on the enqueue
@@ -71,6 +75,22 @@ struct CorePlan
     /** Parallel->Reference graceful degradation (serial path only: the
      *  pristine-memory snapshot races with concurrent launches). */
     bool allowDegradation = false;
+
+    // -- Reliability layer ------------------------------------------
+    /** Watchdog cycle budget; 0 = heuristic maxCycles cap only. */
+    uint64_t timeoutCycles = 0;
+    /** Enqueue ordinal: the launch-visible fault key (deterministic
+     *  across worker counts — assigned on the enqueue thread). */
+    uint64_t ordinal = 0;
+    /** 0 on the first execution, k on the k-th retry; part of the
+     *  fault key so retries re-roll. */
+    int attempt = 0;
+    /** Launch was enqueued with a retry budget: transient scheduler
+     *  blowups should surface as TransientFault instead of degrading
+     *  in place (the queue path's generalized degradation). */
+    bool retryEligible = false;
+    /** Device spans of the buffer arguments (pristine-memory rerun). */
+    std::vector<std::pair<uint64_t, uint64_t>> bufferSpans;
 };
 
 /** Shared state behind an Event handle (and a user event). */
@@ -89,9 +109,19 @@ struct EventState
     uint64_t endNs = 0;
     std::shared_ptr<const sim::StatsReport> stats;
     std::exception_ptr error;
+    /** The error's ClStatus, captured at completion so
+     *  Event::executionStatus() needs no rethrow. */
+    ClStatus errStatus = ClStatus::Success;
     std::vector<std::function<void()>> callbacks;
     /** Commands whose wait lists contain this event (DAG out-edges). */
     std::vector<std::shared_ptr<Command>> dependents;
+    /** The producing command (cancellation reaches it through the
+     *  event handle); empty for user events. */
+    std::weak_ptr<Command> command;
+    /** The producing queue — for the swallowed-callback counter; null
+     *  for user events. Valid while the command is unretired (the
+     *  queue outlives its pending commands' retirement). */
+    CommandQueue *ownerQueue = nullptr;
 };
 
 /** One enqueued command (launch or DMA transfer). */
@@ -124,6 +154,24 @@ struct Command
     std::atomic<int> remainingDeps{1};
     /** A wait-list dependency completed with an error. */
     std::atomic<bool> depFailed{false};
+    /** Exactly-once submission guard: set by the dependency release
+     *  that wins, or by a cancel() force-submitting a gated command so
+     *  it drains (as a failure) instead of waiting forever. */
+    std::atomic<bool> submitted{false};
+
+    // -- Reliability ------------------------------------------------
+    /** Retry/fault knobs resolved on the enqueue thread. */
+    int retryAttempts = 0;
+    uint64_t backoffNs = 0;
+    /** Launch-visible fault plan for DMA commands (NDRange launches
+     *  carry theirs inside plan.plat.faults). */
+    sim::FaultPlan dmaFaults;
+    /** Enqueue ordinal for DMA fault keying (launches use plan.ordinal). */
+    uint64_t ordinal = 0;
+    /** Cancellation: flag polled by the simulator at cycle boundaries
+     *  (heap-allocated so Event::cancel can latch it race-free). */
+    std::shared_ptr<std::atomic<bool>> cancel =
+        std::make_shared<std::atomic<bool>>(false);
 
     // Execution outcome (written by the worker, read at retirement
     // under the queue mutex; the executed flag orders the hand-off).
@@ -131,6 +179,12 @@ struct Command
     bool profileable = false;
     uint64_t durationNs = 0;
     std::exception_ptr error;
+    /** The error's status (mirrors EventState::errStatus). */
+    ClStatus errStatus = ClStatus::Success;
+    /** Re-execution attempts actually performed. */
+    int retriesUsed = 0;
+    /** Transient faults observed across all attempts. */
+    uint64_t transientFaults = 0;
 
     /** Runs the payload and retires through the owning queue. */
     void execute(Context &ctx);
@@ -187,6 +241,15 @@ class LaunchEngine
     static void resolveDependencies(
         const std::shared_ptr<Command> &cmd,
         const std::vector<std::shared_ptr<EventState>> &waits);
+
+    /**
+     * Best-effort cancellation of one command (Event::cancel,
+     * CommandQueue::cancelAll): latches the cancel flag (a running
+     * launch stops at the next cycle boundary) and force-submits a
+     * still-gated command so it drains as a failure instead of
+     * waiting on dependencies that may never resolve.
+     */
+    static void cancelCommand(const std::shared_ptr<Command> &cmd);
 
   private:
     void workerMain();

@@ -35,45 +35,155 @@ parseEnvInt(const char *knob, const char *text, long lo, long hi)
     return static_cast<int>(v);
 }
 
+uint64_t
+parseEnvU64(const char *knob, const char *text, uint64_t lo, uint64_t hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    bool bare_digits = *text >= '0' && *text <= '9'; // no ws/sign
+    if (!bare_digits || end == text || *end != '\0' || errno == ERANGE ||
+        v < lo || v > hi) {
+        throw OpenClError(ClStatus::InvalidValue, strFormat(
+            "invalid %s '%s': expected an integer between %llu and %llu",
+            knob, text, static_cast<unsigned long long>(lo),
+            static_cast<unsigned long long>(hi)));
+    }
+    return static_cast<uint64_t>(v);
+}
+
+namespace
+{
+
+/** The ClStatus behind an exception_ptr (CL_OUT_OF_RESOURCES for
+ *  non-OpenCL errors — something still went wrong at runtime). */
+ClStatus
+statusOf(const std::exception_ptr &error)
+{
+    if (error == nullptr)
+        return ClStatus::Success;
+    try {
+        std::rethrow_exception(error);
+    } catch (const OpenClError &e) {
+        return e.status();
+    } catch (...) {
+        return ClStatus::OutOfResources;
+    }
+}
+
+} // namespace
+
 // ----------------------------------------------------------------------
 // Command
 // ----------------------------------------------------------------------
 void
 Command::execute(Context &ctx)
 {
-    if (depFailed.load(std::memory_order_acquire)) {
+    if (cancel->load(std::memory_order_acquire)) {
+        // Cancelled before (or while) being gated: terminated without
+        // running, like any failed command — dependents observe the
+        // failure (containment, not silent skipping).
+        error = std::make_exception_ptr(OpenClError(
+            ClStatus::SoffCommandCancelled,
+            "command cancelled before execution"));
+    } else if (depFailed.load(std::memory_order_acquire)) {
         // OpenCL: a command whose wait list contains a failed event is
         // itself terminated without running.
         error = std::make_exception_ptr(OpenClError(
-            ClStatus::InvalidEventWaitList,
+            ClStatus::ExecStatusErrorForEventsInWaitList,
             "command not executed: a wait-list dependency failed"));
     } else {
-        try {
-            switch (kind) {
-              case Kind::NDRange: {
-                uint64_t ns = 0;
-                LaunchResult result = ctx.runLaunchCore(plan, &ns);
-                durationNs = ns;
-                profileable = plan.mode == ExecutionMode::Simulate;
-                {
-                    std::lock_guard<std::mutex> lock(event->m);
-                    event->stats = result.statsReport;
+        // Pristine-memory guarantee for launch retries: device memory
+        // an NDRange may have half-written on a failed attempt is
+        // restored from a snapshot of its buffer-argument spans taken
+        // before the first attempt. Only the spans this launch can
+        // touch are saved, so concurrent launches are never disturbed
+        // (which is why the PR 3 whole-memory snapshot had to stay
+        // serial-path-only).
+        std::vector<std::vector<uint8_t>> pristine;
+        bool snapshotted = false;
+        if (kind == Kind::NDRange && retryAttempts > 0 &&
+            plan.mode == ExecutionMode::Simulate) {
+            pristine.reserve(plan.bufferSpans.size());
+            for (const auto &span : plan.bufferSpans) {
+                pristine.emplace_back(span.second);
+                ctx.device().dmaRead(span.first, span.second,
+                                     pristine.back().data());
+            }
+            snapshotted = true;
+        }
+        uint64_t backoff_total = 0;
+        for (int att = 0;; ++att) {
+            try {
+                switch (kind) {
+                  case Kind::NDRange: {
+                    plan.attempt = att;
+                    uint64_t ns = 0;
+                    LaunchResult result =
+                        ctx.runLaunchCore(plan, &ns, cancel.get());
+                    // Simulated-time backoff: retries push the stamp
+                    // window out deterministically; no wall sleeping.
+                    durationNs = ns + backoff_total;
+                    profileable = plan.mode == ExecutionMode::Simulate;
+                    {
+                        std::lock_guard<std::mutex> lock(event->m);
+                        event->stats = result.statsReport;
+                    }
+                    break;
+                  }
+                  case Kind::Write:
+                    if (dmaFaults.dmaFails(ordinal, att)) {
+                        ctx.injDmaFaults_.fetch_add(1);
+                        throw TransientFault(
+                            TransientFaultKind::DmaTransfer,
+                            "injected transient DMA write fault");
+                    }
+                    ctx.device().dmaWrite(addr, size, src);
+                    durationNs = backoff_total;
+                    profileable = true;
+                    break;
+                  case Kind::Read:
+                    if (dmaFaults.dmaFails(ordinal, att)) {
+                        ctx.injDmaFaults_.fetch_add(1);
+                        throw TransientFault(
+                            TransientFaultKind::DmaTransfer,
+                            "injected transient DMA read fault");
+                    }
+                    ctx.device().dmaRead(addr, size, dst);
+                    durationNs = backoff_total;
+                    profileable = true;
+                    break;
                 }
-                break;
-              }
-              case Kind::Write:
-                ctx.device().dmaWrite(addr, size, src);
-                profileable = true;
-                break;
-              case Kind::Read:
-                ctx.device().dmaRead(addr, size, dst);
-                profileable = true;
+                break; // Attempt succeeded.
+            } catch (const TransientFault &tf) {
+                ++transientFaults;
+                if (att >= retryAttempts ||
+                    cancel->load(std::memory_order_acquire)) {
+                    error = std::current_exception();
+                    break; // Retry budget exhausted (or cancelled).
+                }
+                ++retriesUsed;
+                backoff_total += backoffNs << (retriesUsed - 1);
+                if (tf.kind() == TransientFaultKind::SchedulerInternal) {
+                    // Generalized PR 3 degradation: a scheduler blowup
+                    // retries on the always-correct Reference
+                    // scheduler instead of failing the launch.
+                    plan.plat.scheduler = sim::SchedulerMode::Reference;
+                }
+                if (snapshotted) {
+                    for (size_t i = 0; i < plan.bufferSpans.size(); ++i) {
+                        ctx.device().dmaWrite(plan.bufferSpans[i].first,
+                                              plan.bufferSpans[i].second,
+                                              pristine[i].data());
+                    }
+                }
+            } catch (...) {
+                error = std::current_exception(); // Permanent failure.
                 break;
             }
-        } catch (...) {
-            error = std::current_exception();
         }
     }
+    errStatus = statusOf(error);
     queue->retire(this);
 }
 
@@ -159,6 +269,7 @@ LaunchEngine::completeEvent(const std::shared_ptr<EventState> &state,
 {
     std::vector<std::function<void()>> callbacks;
     std::vector<std::shared_ptr<Command>> dependents;
+    CommandQueue *owner = nullptr;
     {
         std::lock_guard<std::mutex> lock(state->m);
         // The already-complete check and the Complete transition are
@@ -169,17 +280,30 @@ LaunchEngine::completeEvent(const std::shared_ptr<EventState> &state,
         state->status = CommandStatus::Complete;
         state->failed = error != nullptr;
         state->error = error;
+        state->errStatus = statusOf(error);
         callbacks.swap(state->callbacks);
         dependents.swap(state->dependents);
+        owner = state->ownerQueue;
     }
     state->cv.notify_all();
-    for (const std::function<void()> &fn : callbacks)
-        fn();
+    for (const std::function<void()> &fn : callbacks) {
+        // Exception safety: a throwing user callback must not wedge
+        // the single-retirer drain loop (the retirer would die with
+        // `retiring_` latched and finish() would hang forever) —
+        // swallow and record.
+        try {
+            fn();
+        } catch (...) {
+            if (owner != nullptr)
+                owner->callbackExceptions_.fetch_add(1);
+        }
+    }
     for (const std::shared_ptr<Command> &d : dependents) {
         if (error != nullptr)
             d->depFailed.store(true, std::memory_order_release);
         if (d->remainingDeps.fetch_sub(1, std::memory_order_acq_rel) ==
-            1)
+                1 &&
+            !d->submitted.exchange(true, std::memory_order_acq_rel))
             d->queue->engine_->submit(d);
     }
     return false;
@@ -201,8 +325,26 @@ LaunchEngine::resolveDependencies(
         w->dependents.push_back(cmd);
     }
     // Release the enqueue guard; if every dependency already resolved
-    // (or there were none), this submits.
-    if (cmd->remainingDeps.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    // (or there were none), this submits. The `submitted` exchange
+    // keeps the submit exactly-once against a concurrent cancel()
+    // force-submitting the same command.
+    if (cmd->remainingDeps.fetch_sub(1, std::memory_order_acq_rel) ==
+            1 &&
+        !cmd->submitted.exchange(true, std::memory_order_acq_rel))
+        cmd->queue->engine_->submit(cmd);
+}
+
+void
+LaunchEngine::cancelCommand(const std::shared_ptr<Command> &cmd)
+{
+    cmd->cancel->store(true, std::memory_order_release);
+    // Force-submit a still-gated command so it drains (as a failure)
+    // even if its dependencies never resolve — cancellation must free
+    // a queue wedged on an abandoned user event. Later dependency
+    // completions still decrement remainingDeps but the exchange above
+    // keeps the submit exactly-once; a command already executed (or
+    // executing) just observes a latched flag it no longer reads.
+    if (!cmd->submitted.exchange(true, std::memory_order_acq_rel))
         cmd->queue->engine_->submit(cmd);
 }
 
@@ -290,6 +432,19 @@ Event::status() const
     return state_->status;
 }
 
+int
+Event::executionStatus() const
+{
+    if (state_ == nullptr) {
+        throw OpenClError(ClStatus::InvalidEvent,
+                          "event is not attached to any command");
+    }
+    std::lock_guard<std::mutex> lock(state_->m);
+    if (state_->status == CommandStatus::Complete && state_->failed)
+        return static_cast<int>(state_->errStatus);
+    return static_cast<int>(state_->status);
+}
+
 bool
 Event::isComplete() const
 {
@@ -348,6 +503,36 @@ Event::setComplete() const
     }
 }
 
+void
+Event::cancel() const
+{
+    if (state_ == nullptr) {
+        throw OpenClError(ClStatus::InvalidEvent,
+                          "event is not attached to any command");
+    }
+    bool user = false;
+    std::shared_ptr<detail::Command> cmd;
+    {
+        std::lock_guard<std::mutex> lock(state_->m);
+        if (state_->status == CommandStatus::Complete)
+            return; // Nothing left to cancel; not an error.
+        user = state_->userEvent;
+        cmd = state_->command.lock();
+    }
+    if (user) {
+        // Cancelling a user event completes it with the cancellation
+        // error: waiters unblock and dependents are contained exactly
+        // like dependents of a failed command.
+        detail::LaunchEngine::completeEvent(
+            state_, std::make_exception_ptr(OpenClError(
+                        ClStatus::SoffCommandCancelled,
+                        "user event cancelled")));
+        return;
+    }
+    if (cmd != nullptr)
+        detail::LaunchEngine::cancelCommand(cmd);
+}
+
 std::shared_ptr<const sim::StatsReport>
 soffGetKernelStats(const Event &event)
 {
@@ -376,6 +561,17 @@ Context::createUserEvent()
     // cl.h: user events start CL_SUBMITTED, not CL_QUEUED.
     state->status = CommandStatus::Submitted;
     return Event(std::move(state));
+}
+
+InjectedFaultCounters
+Context::injectedFaults() const
+{
+    InjectedFaultCounters c;
+    c.launchAborts = injLaunchAborts_.load();
+    c.dmaTransfers = injDmaFaults_.load();
+    c.poolCheckouts = injPoolFaults_.load();
+    c.schedulerTrips = injSchedTrips_.load();
+    return c;
 }
 
 detail::LaunchEngine &
@@ -437,9 +633,20 @@ CommandQueue::enqueueNDRange(KernelHandle &kernel,
     cmd->kind = detail::Command::Kind::NDRange;
     // Validation and every getenv() happen here, on the calling
     // thread, synchronously.
-    cmd->plan = context_.resolveLaunch(kernel, ndrange, mode, platform,
+    sim::PlatformConfig plat = platform;
+    if (!plat.faults.enabled() && !plat.faults.checkInvariants &&
+        options_.faults.enabled()) {
+        // Queue-level fault injection: launches whose platform carries
+        // no fault config inherit the queue's.
+        plat.faults = options_.faults;
+    }
+    cmd->plan = context_.resolveLaunch(kernel, ndrange, mode, plat,
                                        instance_override,
                                        /*allow_degradation=*/false);
+    if (options_.launchTimeoutCycles > 0)
+        cmd->plan.timeoutCycles = options_.launchTimeoutCycles;
+    resolveReliability(*cmd);
+    cmd->plan.retryEligible = cmd->retryAttempts > 0;
     enqueueCommand(std::move(cmd), wait_list, event);
 }
 
@@ -458,6 +665,7 @@ CommandQueue::enqueueWrite(const Buffer &buffer, const void *src,
     cmd->addr = buffer.deviceAddress();
     cmd->size = size;
     cmd->src = src;
+    resolveReliability(*cmd);
     enqueueCommand(std::move(cmd), wait_list, event);
 }
 
@@ -475,7 +683,40 @@ CommandQueue::enqueueRead(const Buffer &buffer, void *dst, uint64_t size,
     cmd->addr = buffer.deviceAddress();
     cmd->size = size;
     cmd->dst = dst;
+    resolveReliability(*cmd);
     enqueueCommand(std::move(cmd), wait_list, event);
+}
+
+void
+CommandQueue::resolveReliability(detail::Command &cmd)
+{
+    int attempts = options_.retry.attempts;
+    if (attempts < 0) {
+        const char *env = std::getenv("SOFF_LAUNCH_RETRY");
+        attempts = (env != nullptr && *env != '\0')
+                       ? detail::parseEnvInt("SOFF_LAUNCH_RETRY", env, 0,
+                                             16)
+                       : 0;
+    }
+    cmd.retryAttempts = attempts;
+    cmd.backoffNs = options_.retry.backoffNs;
+    if (cmd.kind != detail::Command::Kind::NDRange) {
+        // DMA commands consult the launch-visible fault plan directly
+        // (launches carry theirs inside plan.plat.faults).
+        sim::FaultConfig fc = options_.faults;
+        if (!fc.enabled()) {
+            const char *env = std::getenv("SOFF_FAULTS");
+            if (env != nullptr && *env != '\0') {
+                try {
+                    fc = sim::FaultConfig::parse(env);
+                } catch (const RuntimeError &e) {
+                    throw OpenClError(ClStatus::InvalidValue, e.what());
+                }
+            }
+        }
+        cmd.dmaFaults = sim::FaultPlan(fc);
+        cmd.ordinal = context_.nextCommandOrdinal();
+    }
 }
 
 void
@@ -501,6 +742,8 @@ CommandQueue::enqueueCommand(std::shared_ptr<detail::Command> cmd,
 
     cmd->queue = this;
     cmd->event = std::make_shared<detail::EventState>();
+    cmd->event->command = cmd;     // Cancellation back-pointer.
+    cmd->event->ownerQueue = this; // Swallowed-callback accounting.
     {
         std::lock_guard<std::mutex> lock(mutex_);
         cmd->seq = nextSeq_++;
@@ -547,6 +790,30 @@ CommandQueue::retire(detail::Command *cmd)
         }
         if (c->error != nullptr && firstError_ == nullptr)
             firstError_ = c->error;
+        // Fold the command's reliability outcome into the per-queue
+        // counters (under mutex_, like the device clock).
+        ++rstats_.retired;
+        rstats_.retries += static_cast<uint64_t>(c->retriesUsed);
+        rstats_.faultsInjected += c->transientFaults;
+        if (c->error != nullptr) {
+            ++rstats_.failed;
+            rstats_.faultsSurfaced += c->transientFaults;
+            switch (c->errStatus) {
+              case ClStatus::ExecStatusErrorForEventsInWaitList:
+                ++rstats_.depSkipped;
+                break;
+              case ClStatus::SoffCommandCancelled:
+                ++rstats_.cancelled;
+                break;
+              case ClStatus::SoffLaunchTimeout:
+                ++rstats_.watchdogTrips;
+                break;
+              default:
+                break;
+            }
+        } else {
+            rstats_.faultsRetriedAway += c->transientFaults;
+        }
         // Event completion (callbacks + DAG release) and the admission
         // release run outside the queue mutex — callbacks may enqueue
         // into this very queue — but under `retiring_`, so the queue
@@ -577,6 +844,35 @@ CommandQueue::finish()
     }
     if (error != nullptr)
         std::rethrow_exception(error);
+}
+
+void
+CommandQueue::cancelAll()
+{
+    std::vector<std::shared_ptr<detail::Command>> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        snapshot.assign(pending_.begin(), pending_.end());
+    }
+    for (const std::shared_ptr<detail::Command> &c : snapshot)
+        detail::LaunchEngine::cancelCommand(c);
+    // Drain without rethrowing: teardown wants "stop everything" to
+    // succeed on a queue full of failures. The per-command errors were
+    // delivered through the events; the queue-level first error (which
+    // the cancellations themselves would now populate) is dropped.
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_.wait(lock,
+                  [this] { return pending_.empty() && !retiring_; });
+    firstError_ = nullptr;
+}
+
+ReliabilityStats
+CommandQueue::reliabilityStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ReliabilityStats s = rstats_;
+    s.callbackExceptions = callbackExceptions_.load();
+    return s;
 }
 
 } // namespace soff::rt

@@ -166,6 +166,17 @@ KernelHandle::setArg(size_t index, const Buffer &buffer)
 {
     checkIndex(index, true);
     args_[index] = ir::RtValue::makeInt(buffer.deviceAddress());
+    bufferArgs_[index] = {buffer.deviceAddress(), buffer.size()};
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+KernelHandle::bufferSpans() const
+{
+    std::vector<std::pair<uint64_t, uint64_t>> spans;
+    spans.reserve(bufferArgs_.size());
+    for (const auto &kv : bufferArgs_)
+        spans.push_back(kv.second);
+    return spans;
 }
 
 namespace
@@ -730,17 +741,33 @@ Context::resolveLaunch(KernelHandle &kernel, const sim::NDRange &ndrange,
     applyEnvOverrides(plan.plat);
     plan.crosscheck =
         plan.plat.scheduler == sim::SchedulerMode::CrossCheck;
+    // Launch-visible-only fault plans (abortevery/dmaevery/poolevery
+    // with the timing classes off) keep the circuit clean, so they
+    // stay pool-eligible — the retry path depends on that ("re-run via
+    // the template pool"), and the pool-checkout fault class needs a
+    // pool to be injectable at all.
     plan.cacheable = circuitCacheEnabled() && !plan.crosscheck &&
                      plan.plat.tracePath.empty() &&
-                     !plan.plat.faults.enabled() &&
+                     !plan.plat.faults.perturbsTiming() &&
                      !plan.plat.faults.checkInvariants;
     plan.poolCapacity = plan.cacheable ? templatePoolCapacity() : 0;
     plan.allowDegradation = allow_degradation;
+    // Reliability layer: the watchdog budget (queue options override
+    // this after return), the deterministic fault ordinal, and the
+    // buffer spans the retry path snapshots/restores.
+    const char *wd = std::getenv("SOFF_LAUNCH_TIMEOUT");
+    if (wd != nullptr && *wd != '\0') {
+        plan.timeoutCycles = detail::parseEnvU64(
+            "SOFF_LAUNCH_TIMEOUT", wd, 1, 1000000000000ull);
+    }
+    plan.ordinal = nextCommandOrdinal();
+    plan.bufferSpans = kernel.bufferSpans();
     return plan;
 }
 
 LaunchResult
-Context::runLaunchCore(const detail::CorePlan &cp, uint64_t *duration_ns)
+Context::runLaunchCore(const detail::CorePlan &cp, uint64_t *duration_ns,
+                       const std::atomic<bool> *cancel)
 {
     *duration_ns = 0;
     LaunchResult result;
@@ -753,8 +780,23 @@ Context::runLaunchCore(const detail::CorePlan &cp, uint64_t *duration_ns)
     const core::CompiledKernel &ck = *cp.ck;
     const sim::LaunchContext &launch = cp.launch;
     int instances = cp.instances;
-    uint64_t max_cycles = cp.maxCycles;
+    // Watchdog: an explicit cycle budget (queue option / env knob)
+    // replaces the generous NDRange-derived heuristic cap and makes a
+    // trip a distinct, forensics-carrying failure class.
+    bool watchdog = cp.timeoutCycles > 0;
+    uint64_t max_cycles = watchdog ? cp.timeoutCycles : cp.maxCycles;
     sim::PlatformConfig plat = cp.plat;
+
+    // Injected launch abort: run only up to the seeded abort cycle; a
+    // launch that would have completed before it never observes the
+    // fault. Skipped under cross-check (the side runs would diverge).
+    sim::FaultPlan rt_faults(plat.faults);
+    uint64_t abort_at = 0;
+    bool abort_armed =
+        !cp.crosscheck &&
+        rt_faults.launchAborts(cp.ordinal, cp.attempt, &abort_at) &&
+        abort_at < max_cycles;
+    uint64_t run_cap = abort_armed ? abort_at : max_cycles;
 
     device_.ensureResident(ck.kernel->name(), cp.allFit);
 
@@ -834,9 +876,18 @@ Context::runLaunchCore(const detail::CorePlan &cp, uint64_t *duration_ns)
     // successful run, so a throwing or degraded launch never parks a
     // half-run circuit.
     std::unique_ptr<sim::KernelCircuit> circuit;
-    if (cp.cacheable)
+    if (cp.cacheable) {
+        if (rt_faults.poolCheckoutFails(cp.ordinal, cp.attempt)) {
+            injPoolFaults_.fetch_add(1);
+            throw TransientFault(
+                TransientFaultKind::PoolCheckout,
+                strFormat("injected template-pool checkout fault for "
+                          "kernel '%s'",
+                          ck.kernel->name().c_str()));
+        }
         circuit = cp.program->takeCachedCircuit(ck.plan.get(),
                                                 instances, plat);
+    }
     bool fellBack = false;
     sim::Simulator::RunResult run;
     try {
@@ -847,15 +898,30 @@ Context::runLaunchCore(const detail::CorePlan &cp, uint64_t *duration_ns)
                 *ck.plan, launch, device_.globalMemory(), instances,
                 plat);
         }
-        run = circuit->run(max_cycles);
+        circuit->setStopFlag(cancel);
+        run = circuit->run(run_cap);
+        circuit->setStopFlag(nullptr);
     } catch (const sim::SimInternalError &e) {
         throw OpenClError(ClStatus::OutOfResources, e.what(),
                           e.report());
     } catch (const OpenClError &) {
         throw;
     } catch (const RuntimeError &e) {
-        if (!degradable)
+        if (!degradable) {
+            if (cp.retryEligible && !cp.crosscheck &&
+                plat.scheduler == sim::SchedulerMode::Parallel) {
+                // The queue path's generalized degradation: surface
+                // the scheduler blowup as a transient fault so the
+                // retry layer re-runs the launch on the Reference
+                // scheduler (pristine memory, same results) instead of
+                // failing it — the in-place snapshot trick below is
+                // serial-path-only.
+                injSchedTrips_.fetch_add(1);
+                throw TransientFault(
+                    TransientFaultKind::SchedulerInternal, e.what());
+            }
             throw;
+        }
         std::fprintf(stderr,
                      "SOFF warning: parallel scheduler failed for "
                      "kernel '%s' (%s); retrying once on the "
@@ -868,7 +934,9 @@ Context::runLaunchCore(const detail::CorePlan &cp, uint64_t *duration_ns)
         circuit = std::make_unique<sim::KernelCircuit>(
             *ck.plan, launch, device_.globalMemory(), instances,
             fallback);
-        run = circuit->run(max_cycles);
+        circuit->setStopFlag(cancel);
+        run = circuit->run(run_cap);
+        circuit->setStopFlag(nullptr);
         fellBack = true;
     }
     if (crosscheck) {
@@ -916,15 +984,46 @@ Context::runLaunchCore(const detail::CorePlan &cp, uint64_t *duration_ns)
         circuit->writeTrace(plat.tracePath);
     if (!plat.statsPath.empty() && run.stats != nullptr)
         sim::writeStatsJson(*run.stats, plat.statsPath);
-    if (run.deadlock || !run.completed) {
+    if (run.deadlock) {
         std::string msg = strFormat(
-            "kernel '%s' %s after %llu cycles",
+            "kernel '%s' deadlocked after %llu cycles",
             ck.kernel->name().c_str(),
-            run.deadlock ? "deadlocked" : "timed out",
             static_cast<unsigned long long>(run.cycles));
         if (run.report != nullptr)
             msg += "\n" + run.report->render();
         throw OpenClError(ClStatus::OutOfResources, msg, run.report);
+    }
+    if (!run.completed) {
+        // Cancellation wins over a coinciding injected abort; an
+        // injected abort wins over the cycle budget (its cap is
+        // strictly smaller).
+        if (run.stopped) {
+            throw OpenClError(
+                ClStatus::SoffCommandCancelled,
+                strFormat("kernel '%s' cancelled after %llu cycles",
+                          ck.kernel->name().c_str(),
+                          static_cast<unsigned long long>(run.cycles)));
+        }
+        if (abort_armed) {
+            injLaunchAborts_.fetch_add(1);
+            throw TransientFault(
+                TransientFaultKind::LaunchAbort,
+                strFormat("injected launch abort for kernel '%s' at "
+                          "cycle %llu",
+                          ck.kernel->name().c_str(),
+                          static_cast<unsigned long long>(abort_at)));
+        }
+        std::string msg = strFormat(
+            "kernel '%s' %s after %llu cycles",
+            ck.kernel->name().c_str(),
+            watchdog ? "hit the launch watchdog (cycle budget)"
+                     : "timed out",
+            static_cast<unsigned long long>(run.cycles));
+        if (run.report != nullptr)
+            msg += "\n" + run.report->render();
+        throw OpenClError(watchdog ? ClStatus::SoffLaunchTimeout
+                                   : ClStatus::OutOfResources,
+                          msg, run.report);
     }
     result.cycles = run.cycles;
     result.instances = instances;

@@ -24,6 +24,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -69,6 +70,37 @@ class OpenClError : public RuntimeError
   private:
     ClStatus status_;
     std::shared_ptr<const sim::DeadlockReport> report_;
+};
+
+/** Classes of transient runtime faults (injectable via the launch-
+ *  visible SOFF_FAULTS knobs; see sim/fault.hpp). */
+enum class TransientFaultKind
+{
+    LaunchAbort,  ///< Injected mid-run launch abort (abortevery).
+    DmaTransfer,  ///< Injected DMA transfer failure (dmaevery).
+    PoolCheckout, ///< Injected template-pool checkout failure (poolevery).
+    /** A scheduler blew up mid-run (e.g. the trip= error-path knob);
+     *  a retry demotes the launch to the Reference scheduler — the
+     *  generalized graceful-degradation path. */
+    SchedulerInternal,
+};
+
+/**
+ * A transiently failed command attempt: retry-eligible under the
+ * queue's RetryPolicy. Surfaces as SOFF_TRANSIENT_FAULT when the retry
+ * budget is exhausted (or no policy is configured).
+ */
+class TransientFault : public OpenClError
+{
+  public:
+    TransientFault(TransientFaultKind kind, const std::string &message)
+        : OpenClError(ClStatus::SoffTransientFault, message), kind_(kind)
+    {}
+
+    TransientFaultKind kind() const { return kind_; }
+
+  private:
+    TransientFaultKind kind_;
 };
 
 /**
@@ -229,6 +261,14 @@ class Event
 
     /** clGetEventInfo: the command's execution status. */
     CommandStatus status() const;
+    /**
+     * The raw cl.h execution-status value: CommandStatus while the
+     * command progresses, and the *negative error code* once it has
+     * completed with a failure (CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_
+     * WAIT_LIST for dependency-skipped commands, the SOFF extension
+     * codes for transient faults / cancellation / watchdog trips).
+     */
+    int executionStatus() const;
     /** True iff the command (or user event) has completed. */
     bool isComplete() const;
 
@@ -249,6 +289,17 @@ class Event
 
     /** User events only: marks the event complete, releasing waiters. */
     void setComplete() const;
+
+    /**
+     * Best-effort cancellation. An unstarted command is failed without
+     * executing; a running launch is stopped cooperatively at the next
+     * cycle boundary; an already-complete event is left untouched (no
+     * error). A cancelled command completes its event with
+     * SOFF_COMMAND_CANCELLED and fails dependents the same way any
+     * failed command does (containment, not silent skipping). On a
+     * user event, cancel() completes it with the same error.
+     */
+    void cancel() const;
 
     /** True if this handle is attached to any command or user event. */
     bool attached() const { return state_ != nullptr; }
@@ -299,6 +350,9 @@ class KernelHandle
     Program *program() const { return program_; }
     /** Builds the launch-time argument map; throws if any arg unset. */
     std::map<const ir::Argument *, ir::RtValue> argValues() const;
+    /** Device spans of the currently bound buffer arguments (captured
+     *  at enqueue time for the retry layer's pristine-memory rerun). */
+    std::vector<std::pair<uint64_t, uint64_t>> bufferSpans() const;
 
   private:
     void checkIndex(size_t index, bool is_buffer) const;
@@ -306,6 +360,8 @@ class KernelHandle
     Program *program_;
     const core::CompiledKernel *compiled_;
     std::map<size_t, ir::RtValue> args_;
+    /** (device address, size) of each bound buffer argument. */
+    std::map<size_t, std::pair<uint64_t, uint64_t>> bufferArgs_;
 };
 
 /** Cross-launch circuit-template pool counters (per Program). */
@@ -416,6 +472,60 @@ class Program
     mutable std::mutex poolMutex_;
 };
 
+/**
+ * Per-queue retry policy for *transiently* failed commands (injected
+ * launch aborts, DMA faults, pool-checkout faults, scheduler-internal
+ * errors). Deadlocks, watchdog timeouts, and validation errors are
+ * permanent and never retried. Retries re-run the command on pristine
+ * memory: an NDRange launch snapshots its buffer-argument spans before
+ * the first attempt and restores them before each retry, then rebuilds
+ * or re-checks-out a circuit from the template pool. Backoff is
+ * *simulated* time — attempt k adds backoffNs << (k-1) to the
+ * command's device-timeline duration; no wall-clock sleeping — so
+ * profiling stamps stay deterministic for a fixed fault seed.
+ */
+struct RetryPolicy
+{
+    /** Max re-execution attempts after the first failure; -1 = resolve
+     *  from SOFF_LAUNCH_RETRY (0 when unset too). */
+    int attempts = -1;
+    /** Simulated backoff before retry k (1-based): backoffNs << (k-1). */
+    uint64_t backoffNs = 4000;
+};
+
+/** Per-queue reliability counters (CommandQueue::reliabilityStats). */
+struct ReliabilityStats
+{
+    uint64_t retired = 0;         ///< Commands retired, any outcome.
+    uint64_t failed = 0;          ///< Retired with an error attached.
+    uint64_t depSkipped = 0;      ///< Failed: wait-list dependency failed.
+    uint64_t cancelled = 0;       ///< Failed: cancel() / cancelAll().
+    uint64_t watchdogTrips = 0;   ///< Failed: watchdog budget expired.
+    uint64_t retries = 0;         ///< Re-execution attempts performed.
+    uint64_t faultsInjected = 0;  ///< Transient faults observed.
+    uint64_t faultsRetriedAway = 0; ///< ... on ultimately-successful cmds.
+    uint64_t faultsSurfaced = 0;  ///< ... on commands that retired failed.
+    uint64_t callbackExceptions = 0; ///< User callbacks that threw.
+};
+
+/** Context-wide injected-fault counters (Context::injectedFaults):
+ *  ground truth for the soak harness's accounting invariant —
+ *  total() must equal faultsRetriedAway + faultsSurfaced summed over
+ *  every queue of the context. */
+struct InjectedFaultCounters
+{
+    uint64_t launchAborts = 0;
+    uint64_t dmaTransfers = 0;
+    uint64_t poolCheckouts = 0;
+    uint64_t schedulerTrips = 0;
+
+    uint64_t total() const
+    {
+        return launchAborts + dmaTransfers + poolCheckouts +
+               schedulerTrips;
+    }
+};
+
 /** CommandQueue creation options (clCreateCommandQueue properties). */
 struct QueueOptions
 {
@@ -437,6 +547,25 @@ struct QueueOptions
      * whole context are in flight (0 = 4x workers, min 16).
      */
     int maxInFlight = 0;
+    /**
+     * Watchdog: per-launch cycle budget. A launch still running after
+     * this many simulated cycles is aborted cooperatively at a cycle
+     * boundary and fails with SOFF_LAUNCH_TIMEOUT plus DeadlockReport
+     * forensics naming the stalled components. 0 = resolve from
+     * SOFF_LAUNCH_TIMEOUT (when that is unset too, the generous
+     * NDRange-derived heuristic cap applies and a trip surfaces as
+     * CL_OUT_OF_RESOURCES, as before).
+     */
+    uint64_t launchTimeoutCycles = 0;
+    /** Retry policy for transiently failed commands. */
+    RetryPolicy retry;
+    /**
+     * Runtime-level fault injection for this queue's commands: DMA
+     * commands consult it directly, and NDRange launches whose
+     * PlatformConfig carries no fault config inherit it. Unset (the
+     * default) falls back to SOFF_FAULTS.
+     */
+    sim::FaultConfig faults;
 };
 
 class Context;
@@ -485,6 +614,17 @@ class CommandQueue
      *  Rethrows the first failed command's error, if any. */
     void finish();
 
+    /**
+     * Cancels every enqueued-but-unretired command of this queue
+     * (best-effort, see Event::cancel) and waits for the queue to
+     * drain. Unlike finish() it does not rethrow — teardown wants
+     * "stop everything" to succeed even on a queue full of failures.
+     */
+    void cancelAll();
+
+    /** Per-queue reliability counters (snapshot). */
+    ReliabilityStats reliabilityStats() const;
+
     bool outOfOrder() const { return options_.outOfOrder; }
     Context &context() { return context_; }
 
@@ -495,6 +635,9 @@ class CommandQueue
     void enqueueCommand(std::shared_ptr<detail::Command> cmd,
                         const std::vector<Event> &wait_list,
                         Event *event);
+    /** Resolves the queue's retry/fault knobs on the enqueue thread
+     *  (strict SOFF_LAUNCH_RETRY / SOFF_FAULTS parsing). */
+    void resolveReliability(detail::Command &cmd);
     /** Marks `cmd` executed; retires every consecutive executed
      *  command in enqueue order (profiling stamp + event completion). */
     void retire(detail::Command *cmd);
@@ -503,7 +646,7 @@ class CommandQueue
     QueueOptions options_;
     detail::LaunchEngine *engine_;
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable drained_;
     /** Enqueued-but-unretired commands, in enqueue order. */
     std::deque<std::shared_ptr<detail::Command>> pending_;
@@ -517,6 +660,10 @@ class CommandQueue
     /** In-order device timeline for event profiling (ns). */
     uint64_t clockNs_ = 0;
     std::exception_ptr firstError_;
+    /** Reliability counters, folded in at retirement (under mutex_). */
+    ReliabilityStats rstats_;
+    /** Swallowed user-callback exceptions (completeEvent, any thread). */
+    std::atomic<uint64_t> callbackExceptions_{0};
 };
 
 /** The context (simplified cl_context) plus a serial in-order enqueue
@@ -559,6 +706,9 @@ class Context
         const sim::PlatformConfig &platform = {},
         int instance_override = 0, Event *event = nullptr);
 
+    /** Context-wide injected-fault ground truth (see the struct). */
+    InjectedFaultCounters injectedFaults() const;
+
   private:
     friend class CommandQueue;
     friend struct detail::Command;
@@ -572,7 +722,8 @@ class Context
      * called concurrently by launch workers.
      */
     LaunchResult runLaunchCore(const detail::CorePlan &plan,
-                               uint64_t *duration_ns);
+                               uint64_t *duration_ns,
+                               const std::atomic<bool> *cancel = nullptr);
     /** Resolves env/platform/instances on the enqueue thread. */
     detail::CorePlan resolveLaunch(KernelHandle &kernel,
                                    const sim::NDRange &ndrange,
@@ -584,11 +735,22 @@ class Context
     /** Lazily created launch worker pool shared by all queues. */
     detail::LaunchEngine &engine(const QueueOptions &options);
 
+    /** Next command enqueue ordinal: the deterministic key for the
+     *  launch-visible fault classes (assigned on the enqueue thread,
+     *  so independent of worker count and execution interleaving). */
+    uint64_t nextCommandOrdinal() { return cmdOrdinal_.fetch_add(1); }
+
     Device device_;
     /** In-order device timeline of the legacy serial path (ns). */
     uint64_t clockNs_ = 0;
     std::unique_ptr<detail::LaunchEngine> engine_;
     std::mutex engineMutex_;
+    std::atomic<uint64_t> cmdOrdinal_{0};
+    // Injected-fault ground truth, bumped at the injection sites.
+    std::atomic<uint64_t> injLaunchAborts_{0};
+    std::atomic<uint64_t> injDmaFaults_{0};
+    std::atomic<uint64_t> injPoolFaults_{0};
+    std::atomic<uint64_t> injSchedTrips_{0};
 };
 
 } // namespace soff::rt

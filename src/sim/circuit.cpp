@@ -22,9 +22,13 @@ KernelCircuit::KernelCircuit(const datapath::KernelPlan &plan,
       dram_(platform.dramLatency, platform.dramCyclesPerLine)
 {
     SOFF_ASSERT(num_instances >= 1, "need at least one datapath");
-    if (faultPlan_.enabled()) {
+    if (faultPlan_.config().perturbsTiming()) {
         // Installed before any channel is created, so every channel
         // picks up the plan; off means a null pointer and zero cost.
+        // Launch-visible fault classes (abortevery/dmaevery/poolevery)
+        // are consulted by the runtime layer, never by the circuit, so
+        // a launch-visible-only plan keeps the circuit clean — and
+        // therefore compiled-plan- and template-pool-eligible.
         sim_.setFaultPlan(&faultPlan_);
         dram_.setFaultPlan(&faultPlan_);
     }
@@ -420,6 +424,7 @@ KernelCircuit::relaunch(const LaunchContext &launch)
     dram_.reset();
     for (auto &locks : lockTables_)
         locks->reset();
+    sim_.setStopFlag(nullptr);
     sim_.resetForRerun();
 }
 

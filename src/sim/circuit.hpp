@@ -6,6 +6,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <map>
 
 #include "datapath/plan.hpp"
@@ -101,6 +102,16 @@ class KernelCircuit
      * The new NDRange may differ; argument values may differ.
      */
     void relaunch(const LaunchContext &launch);
+
+    /**
+     * Forwards a cooperative stop flag to the simulator (watchdog /
+     * cancellation); pass nullptr to clear. Cleared automatically on
+     * relaunch() so a parked template cannot observe a stale flag.
+     */
+    void setStopFlag(const std::atomic<bool> *stop)
+    {
+        sim_.setStopFlag(stop);
+    }
 
     bool completed() const { return counter_->completed(); }
     /** Work-items retired so far (work-item counter value, §III-B). */

@@ -17,7 +17,7 @@ namespace
 constexpr const char *kGrammar =
     "expected a bare integer seed or a comma-separated key=value list "
     "with keys: seed, stall, memstall, stallmax, dramevery, dramspike, "
-    "dramjitter, slack, check, trip";
+    "dramjitter, slack, check, trip, abortevery, dmaevery, poolevery";
 
 uint64_t
 parseU64(const std::string &key, const std::string &value)
@@ -109,6 +109,15 @@ FaultConfig::parse(const std::string &text)
             cfg.checkInvariants = parseU64(key, value) != 0;
         } else if (key == "trip") {
             cfg.tripCycle = parseU64(key, value);
+        } else if (key == "abortevery") {
+            cfg.abortEvery = static_cast<int>(
+                std::min<uint64_t>(parseU64(key, value), 1u << 20));
+        } else if (key == "dmaevery") {
+            cfg.dmaFailEvery = static_cast<int>(
+                std::min<uint64_t>(parseU64(key, value), 1u << 20));
+        } else if (key == "poolevery") {
+            cfg.poolFailEvery = static_cast<int>(
+                std::min<uint64_t>(parseU64(key, value), 1u << 20));
         } else {
             throw RuntimeError(strFormat(
                 "unknown SOFF_FAULTS key '%s': %s", key.c_str(),
@@ -125,11 +134,13 @@ FaultConfig::describe() const
         return "faults off";
     return strFormat(
         "seed=%llu stall=%.3f memstall=%.3f stallmax=%d dramevery=%d "
-        "dramspike=%d dramjitter=%d slack=%d check=%d trip=%llu",
+        "dramspike=%d dramjitter=%d slack=%d check=%d trip=%llu "
+        "abortevery=%d dmaevery=%d poolevery=%d",
         static_cast<unsigned long long>(seed), stallProb, memStallProb,
         stallMax, dramSpikeEvery, dramSpikeCycles, dramJitterMax,
         fifoSlackCut, checkInvariants ? 1 : 0,
-        static_cast<unsigned long long>(tripCycle));
+        static_cast<unsigned long long>(tripCycle),
+        abortEvery, dmaFailEvery, poolFailEvery);
 }
 
 uint64_t
@@ -186,6 +197,42 @@ FaultPlan::dramPerturb(uint64_t transfer, uint64_t *extra_latency,
         *extra_occupancy =
             (h >> 32) % static_cast<uint64_t>(cfg_.dramJitterMax + 1);
     }
+}
+
+bool
+FaultPlan::launchAborts(uint64_t ordinal, int attempt,
+                        uint64_t *abort_at) const
+{
+    if (!cfg_.enabled() || cfg_.abortEvery < 1)
+        return false;
+    uint64_t h = hash(cfg_.seed, 0x4142524bu /* 'ABRK' */,
+                      ordinal * 31 + static_cast<uint64_t>(attempt));
+    if (h % static_cast<uint64_t>(cfg_.abortEvery) != 0)
+        return false;
+    // A small seeded window: early enough that realistic launches are
+    // still running, so the fault is actually observed.
+    *abort_at = 1 + (h >> 32) % 1024;
+    return true;
+}
+
+bool
+FaultPlan::dmaFails(uint64_t ordinal, int attempt) const
+{
+    if (!cfg_.enabled() || cfg_.dmaFailEvery < 1)
+        return false;
+    uint64_t h = hash(cfg_.seed, 0x444d4146u /* 'DMAF' */,
+                      ordinal * 31 + static_cast<uint64_t>(attempt));
+    return h % static_cast<uint64_t>(cfg_.dmaFailEvery) == 0;
+}
+
+bool
+FaultPlan::poolCheckoutFails(uint64_t ordinal, int attempt) const
+{
+    if (!cfg_.enabled() || cfg_.poolFailEvery < 1)
+        return false;
+    uint64_t h = hash(cfg_.seed, 0x504f4f4cu /* 'POOL' */,
+                      ordinal * 31 + static_cast<uint64_t>(attempt));
+    return h % static_cast<uint64_t>(cfg_.poolFailEvery) == 0;
 }
 
 int

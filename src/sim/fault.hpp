@@ -1,6 +1,23 @@
 /**
  * @file
- * Deterministic delay-only fault injection (robustness harness).
+ * Deterministic fault injection (robustness harness).
+ *
+ * Two fault families share the FaultPlan:
+ *
+ * 1. *Delay-only circuit faults* — consulted by the simulator, the
+ *    channels, and the DRAM timing model; see the latency-insensitivity
+ *    argument below. These perturb timing, never results.
+ * 2. *Launch-visible transient faults* — consulted by the runtime
+ *    launch layer, never by the circuit: launch-abort windows
+ *    (abortevery), DMA transfer failures (dmaevery), and template-pool
+ *    checkout failures (poolevery). These make the runtime's error and
+ *    retry paths reachable on demand; they are keyed on the command's
+ *    enqueue ordinal and attempt number, so a retry of the same command
+ *    re-rolls deterministically. All default to off, so a bare seed
+ *    still means "timing faults only" and existing bit-identity
+ *    campaigns are unaffected. `FaultConfig::perturbsTiming()` vs
+ *    `launchVisible()` is the split the runtime uses to keep
+ *    launch-visible-only plans template-pool-cacheable.
  *
  * SOFF's generated circuits are latency-insensitive by construction:
  * every inter-unit link is an elastic valid/stall handshake (§IV-C),
@@ -72,15 +89,41 @@ struct FaultConfig
      *  Parallel scheduler throw an internal error at this cycle so the
      *  runtime's graceful-degradation retry can be exercised. 0 = off. */
     uint64_t tripCycle = 0;
+    /** Roughly every Nth (launch ordinal, attempt) aborts mid-run at a
+     *  seeded cycle; 0 = off. Launch-visible, runtime-injected. */
+    int abortEvery = 0;
+    /** Roughly every Nth queued DMA transfer attempt fails; 0 = off. */
+    int dmaFailEvery = 0;
+    /** Roughly every Nth template-pool checkout attempt fails; 0=off. */
+    int poolFailEvery = 0;
 
-    /** True if any timing perturbation is active. */
+    /** True if any fault class may be active (seed set). */
     bool enabled() const { return seed != 0; }
+
+    /** True if any *circuit timing* perturbation is active — the
+     *  condition under which the simulator must install the plan (and
+     *  the runtime must bypass the template pool / compiled plan). */
+    bool perturbsTiming() const
+    {
+        return enabled() &&
+               (stallProb > 0.0 || memStallProb > 0.0 ||
+                dramSpikeEvery > 0 || dramJitterMax > 0 ||
+                fifoSlackCut > 0 || tripCycle > 0);
+    }
+
+    /** True if any launch-visible transient fault class is active. */
+    bool launchVisible() const
+    {
+        return enabled() &&
+               (abortEvery > 0 || dmaFailEvery > 0 || poolFailEvery > 0);
+    }
 
     /**
      * Parses the SOFF_FAULTS grammar: either a bare integer seed, or a
      * comma-separated key=value list (seed=, stall=, memstall=,
      * stallmax=, dramevery=, dramspike=, dramjitter=, slack=, check=,
-     * trip=). Throws RuntimeError with the valid keys on bad input.
+     * trip=, abortevery=, dmaevery=, poolevery=). Throws RuntimeError
+     * with the valid keys on bad input.
      */
     static FaultConfig parse(const std::string &text);
 
@@ -132,6 +175,29 @@ class FaultPlan
      * 2 is added by the caller and never reduced.
      */
     int balanceSlack(uint32_t channel, int planned) const;
+
+    // -- Launch-visible transient faults (runtime layer only) --------
+    // Keyed on the command's enqueue ordinal (assigned on the enqueue
+    // thread, so identical across worker counts and queue shapes) and
+    // the attempt number (so a retry re-rolls and can be re-hit).
+
+    /**
+     * Does attempt `attempt` of the launch with enqueue ordinal
+     * `ordinal` suffer an injected mid-run abort? When true, *abort_at
+     * receives the seeded cycle (>= 1) at which the runtime must stop
+     * the simulation; a launch that completes before that cycle does
+     * not observe the fault.
+     */
+    bool launchAborts(uint64_t ordinal, int attempt,
+                      uint64_t *abort_at) const;
+
+    /** Does attempt `attempt` of the DMA command with enqueue ordinal
+     *  `ordinal` fail transiently? */
+    bool dmaFails(uint64_t ordinal, int attempt) const;
+
+    /** Does attempt `attempt` of a template-pool checkout for the
+     *  launch with enqueue ordinal `ordinal` fail transiently? */
+    bool poolCheckoutFails(uint64_t ordinal, int attempt) const;
 
   private:
     static uint64_t hash(uint64_t a, uint64_t b, uint64_t c);

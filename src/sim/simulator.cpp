@@ -380,6 +380,12 @@ Simulator::runReference(const bool *done, Cycle max_cycles,
             result.cycles = now_;
             return result;
         }
+        if (stopFlag_ != nullptr &&
+            stopFlag_->load(std::memory_order_relaxed)) {
+            result.stopped = true;
+            result.cycles = now_;
+            return result;
+        }
         activity_ = false;
         for (const StepEntry &e : steps_) {
             ChannelBase::tlsStepping = e.c;
@@ -500,6 +506,12 @@ Simulator::runSharded(const bool *done, Cycle max_cycles)
     while (now_ < max_cycles) {
         if (done != nullptr && *done) {
             result.completed = true;
+            result.cycles = now_;
+            return result;
+        }
+        if (stopFlag_ != nullptr &&
+            stopFlag_->load(std::memory_order_relaxed)) {
+            result.stopped = true;
             result.cycles = now_;
             return result;
         }

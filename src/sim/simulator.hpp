@@ -321,6 +321,15 @@ class Simulator
     void setFaultPlan(const FaultPlan *plan) { faultPlan_ = plan; }
 
     /**
+     * Installs a cooperative stop flag, polled at cycle boundaries
+     * alongside the completion register: a true load makes run()
+     * return early with stopped=true (no forensics — the run was
+     * abandoned, not hung). Pass nullptr to clear; the runtime clears
+     * it before a circuit is parked in the template pool.
+     */
+    void setStopFlag(const std::atomic<bool> *stop) { stopFlag_ = stop; }
+
+    /**
      * Tags components and channels created from now on with a shard
      * (Parallel mode partitioning; the circuit builder brackets each
      * datapath instance). Shard 0 is the shared shard. The serial
@@ -352,6 +361,8 @@ class Simulator
     {
         bool completed = false;
         bool deadlock = false;
+        /** Run ended early because the stop flag was raised. */
+        bool stopped = false;
         Cycle cycles = 0;
         /** Forensics attached when the run deadlocked or timed out. */
         std::shared_ptr<DeadlockReport> report;
@@ -548,6 +559,7 @@ class Simulator
     bool activity_ = false;
     SchedulerStats stats_;
     const FaultPlan *faultPlan_ = nullptr;
+    const std::atomic<bool> *stopFlag_ = nullptr;
     TraceSink *traceSink_ = nullptr;
 
     /** Specialized step plan (Compiled mode only; null = generic). */

@@ -15,6 +15,8 @@ clStatusName(ClStatus status)
       case ClStatus::OutOfResources: return "CL_OUT_OF_RESOURCES";
       case ClStatus::ProfilingInfoNotAvailable:
         return "CL_PROFILING_INFO_NOT_AVAILABLE";
+      case ClStatus::ExecStatusErrorForEventsInWaitList:
+        return "CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST";
       case ClStatus::InvalidValue: return "CL_INVALID_VALUE";
       case ClStatus::InvalidKernelName: return "CL_INVALID_KERNEL_NAME";
       case ClStatus::InvalidArgIndex: return "CL_INVALID_ARG_INDEX";
@@ -26,6 +28,10 @@ clStatusName(ClStatus status)
         return "CL_INVALID_EVENT_WAIT_LIST";
       case ClStatus::InvalidEvent: return "CL_INVALID_EVENT";
       case ClStatus::InvalidOperation: return "CL_INVALID_OPERATION";
+      case ClStatus::SoffTransientFault: return "SOFF_TRANSIENT_FAULT";
+      case ClStatus::SoffCommandCancelled:
+        return "SOFF_COMMAND_CANCELLED";
+      case ClStatus::SoffLaunchTimeout: return "SOFF_LAUNCH_TIMEOUT";
     }
     return "CL_UNKNOWN_ERROR";
 }

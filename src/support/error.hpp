@@ -45,6 +45,9 @@ enum class ClStatus : int
     MemObjectAllocationFailure = -4,
     OutOfResources = -5,
     ProfilingInfoNotAvailable = -7,
+    /** Propagated to an event whose wait list contains a failed event
+     *  (cl.h: CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST). */
+    ExecStatusErrorForEventsInWaitList = -14,
     InvalidValue = -30,
     InvalidKernelName = -46,
     InvalidArgIndex = -49,
@@ -54,6 +57,17 @@ enum class ClStatus : int
     InvalidEventWaitList = -57,
     InvalidEvent = -58,
     InvalidOperation = -59,
+
+    // SOFF extension statuses (outside the cl.h range, like vendor
+    // extensions): failure classes the reliability layer distinguishes
+    // that core OpenCL folds into CL_OUT_OF_RESOURCES.
+    /** An injected transient runtime fault exhausted its retry budget
+     *  (or no retry policy was configured). */
+    SoffTransientFault = -1100,
+    /** The command was cancelled (Event::cancel / cancelAll). */
+    SoffCommandCancelled = -1101,
+    /** The per-launch watchdog cycle budget expired. */
+    SoffLaunchTimeout = -1102,
 };
 
 /** The cl.h macro name for a status ("CL_OUT_OF_RESOURCES", ...). */
