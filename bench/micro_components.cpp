@@ -375,6 +375,116 @@ BM_LevelizedSweep(benchmark::State &state)
 BENCHMARK(BM_LevelizedSweep)->Arg(16)->Arg(128);
 
 void
+runReplicaBench(benchmark::State &state, bool batch)
+{
+    // `lanes` identical pipeline chains on one simulator: same-kind
+    // components land at the same level, so every (level, thunk)
+    // bucket holds `lanes` replicas — the shape the batched stepMany
+    // path is built for. `batch=false` is the per-entry ablation.
+    const int lanes = static_cast<int>(state.range(0));
+    constexpr int kDepth = 16;
+    constexpr uint64_t kTokens = 256;
+    soff::sim::Simulator simulator(soff::sim::SchedulerMode::Compiled);
+    simulator.setBatchStep(batch);
+    std::vector<ChainSink *> sinks;
+    for (int lane = 0; lane < lanes; ++lane) {
+        std::vector<soff::sim::Channel<uint64_t> *> links;
+        for (int i = 0; i <= kDepth; ++i)
+            links.push_back(simulator.channel<uint64_t>(2));
+        simulator.add<ChainSource>(links.front(), kTokens);
+        for (int i = 0; i < kDepth; ++i)
+            simulator.add<Forwarder>(links[static_cast<size_t>(i)],
+                                     links[static_cast<size_t>(i) + 1]);
+        sinks.push_back(
+            simulator.add<ChainSink>(links.back(), kTokens));
+    }
+    bool first = true;
+    for (auto _ : state) {
+        if (!first)
+            simulator.resetForRerun();
+        first = false;
+        for (ChainSink *sink : sinks) {
+            auto result =
+                simulator.run(sink->doneFlag(), 1000000, 10000);
+            if (!result.completed)
+                state.SkipWithError("replica chains did not complete");
+        }
+        for (ChainSink *sink : sinks)
+            benchmark::DoNotOptimize(sink->sum());
+    }
+    if (simulator.compiledPlan() == nullptr)
+        state.SkipWithError("compiled plan was not built");
+    state.SetItemsProcessed(state.iterations() * kTokens *
+                            static_cast<uint64_t>(kDepth) *
+                            static_cast<uint64_t>(lanes));
+}
+
+void
+BM_BatchedStep(benchmark::State &state)
+{
+    // Wide buckets through the stepMany path: one indirect call steps
+    // all awake replicas of a (level, thunk) bucket.
+    runReplicaBench(state, /*batch=*/true);
+}
+BENCHMARK(BM_BatchedStep)->Arg(8)->Arg(64);
+
+void
+BM_PerEntryStep(benchmark::State &state)
+{
+    // Ablation: the same circuit with SOFF_BATCH_STEP=0 semantics —
+    // slot-at-a-time dispatch through the per-bucket step thunk.
+    runReplicaBench(state, /*batch=*/false);
+}
+BENCHMARK(BM_PerEntryStep)->Arg(8)->Arg(64);
+
+void
+BM_LaneWalk(benchmark::State &state)
+{
+    // Lane-layout counterbench: the batched sweep touches one 8-byte
+    // Component* lane per position. Walking a 24-byte row (the old
+    // StepEntry shape: component + step fn + holds fn) drags 3x the
+    // bytes through the cache for the same traversal. Measures the
+    // memory-side motivation for the SoA split, independent of the
+    // simulator. Arg is the position count.
+    struct WideRow
+    {
+        void *comp;
+        void *stepFn;
+        void *holdsFn;
+    };
+    const size_t n = static_cast<size_t>(state.range(0));
+    const bool wide = state.range(1) != 0;
+    std::vector<void *> lane(n);
+    std::vector<WideRow> rows(n);
+    std::vector<uint64_t> payload(n, 1);
+    for (size_t i = 0; i < n; ++i) {
+        lane[i] = &payload[i];
+        rows[i] = {&payload[i], nullptr, nullptr};
+    }
+    uint64_t sum = 0;
+    for (auto _ : state) {
+        if (wide) {
+            for (size_t i = 0; i < n; ++i)
+                sum += *static_cast<uint64_t *>(rows[i].comp);
+        } else {
+            for (size_t i = 0; i < n; ++i)
+                sum += *static_cast<uint64_t *>(lane[i]);
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n));
+    state.SetBytesProcessed(
+        state.iterations() * static_cast<int64_t>(n) *
+        static_cast<int64_t>(wide ? sizeof(WideRow) : sizeof(void *)));
+}
+BENCHMARK(BM_LaneWalk)
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 1})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1});
+
+void
 BM_InterpreterVadd(benchmark::State &state)
 {
     soff::core::Compiler compiler;
@@ -503,11 +613,12 @@ class TokenSink : public soff::sim::Component
  * their live values inline, and the scheduler reuses its lists.
  */
 int
-runAllocGuard(soff::sim::SchedulerMode mode)
+runAllocGuard(soff::sim::SchedulerMode mode, bool batch = true)
 {
     using namespace soff::sim;
     constexpr uint64_t kTokens = 2048;
     Simulator simulator(mode);
+    simulator.setBatchStep(batch);
     auto *a = simulator.channel<WiToken>(2);
     auto *b = simulator.channel<WiToken>(4);
     simulator.add<TokenSource>(a, kTokens);
@@ -576,9 +687,9 @@ runAllocGuard(soff::sim::SchedulerMode mode)
                      static_cast<unsigned long long>(kTokens));
         return 1;
     }
-    std::printf("alloc guard [%s]: 0 heap allocations across %llu "
+    std::printf("alloc guard [%s%s]: 0 heap allocations across %llu "
                 "steady-state cycles (%llu WiTokens moved)\n",
-                schedulerModeName(mode),
+                schedulerModeName(mode), batch ? "" : ", batch off",
                 static_cast<unsigned long long>(steady.cycles),
                 static_cast<unsigned long long>(kTokens));
     return 0;
@@ -589,12 +700,15 @@ runAllocGuard(soff::sim::SchedulerMode mode)
 int
 main(int argc, char **argv)
 {
-    // Both the generic event-driven loop and the compiled specialized
-    // loop must run allocation-free in steady state (plans allocate
-    // only at build time).
+    // The generic event-driven loop and the compiled specialized loop
+    // — batched and per-entry — must all run allocation-free in
+    // steady state (plans allocate only at build time).
     int rc = runAllocGuard(soff::sim::SchedulerMode::EventDriven);
     if (rc == 0)
         rc = runAllocGuard(soff::sim::SchedulerMode::Compiled);
+    if (rc == 0)
+        rc = runAllocGuard(soff::sim::SchedulerMode::Compiled,
+                           /*batch=*/false);
     if (rc != 0)
         return rc;
     if (argc > 1 && std::strcmp(argv[1], "--alloc-guard-only") == 0)

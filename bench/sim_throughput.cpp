@@ -53,11 +53,13 @@ struct Row
     Workload load;
     double refWallMs = 0.0;
     double evtWallMs = 0.0;
-    double cmpWallMs = 0.0; ///< Compiled (specialized) scheduler.
+    double cmpWallMs = 0.0; ///< Compiled, batched stepping OFF.
+    double batWallMs = 0.0; ///< Compiled, batched stepping ON (default).
     uint64_t simCycles = 0;
     uint64_t refSteps = 0;
     uint64_t evtSteps = 0;
     uint64_t cmpSteps = 0;
+    uint64_t batSteps = 0;
     uint64_t evtCyclesActive = 0;
     int instances = 0;
     bool verified = false;
@@ -70,7 +72,8 @@ struct Row
  *  the compile happens outside the timed region). */
 double
 timedRun(const App &app, sim::SchedulerMode mode, const Workload &load,
-         int threads, benchsuite::RunMetrics &metrics, bool &verified)
+         int threads, benchsuite::RunMetrics &metrics, bool &verified,
+         bool batch = true)
 {
     BenchContext ctx(Engine::SoffSim);
     sim::PlatformConfig platform;
@@ -78,6 +81,7 @@ timedRun(const App &app, sim::SchedulerMode mode, const Workload &load,
     platform.threads = threads;
     platform.dramLatency = load.dramLatency;
     platform.dramCyclesPerLine = load.dramCyclesPerLine;
+    platform.batchStep = batch;
     ctx.setPlatformConfig(platform);
     ctx.build(app.source);
     auto start = std::chrono::steady_clock::now();
@@ -96,13 +100,14 @@ timedRun(const App &app, sim::SchedulerMode mode, const Workload &load,
 double
 bestTimedRun(const App &app, sim::SchedulerMode mode,
              const Workload &load, int threads,
-             benchsuite::RunMetrics &metrics, bool &verified)
+             benchsuite::RunMetrics &metrics, bool &verified,
+             bool batch = true)
 {
     constexpr int kReps = 3;
     double best = 0.0;
     for (int rep = 0; rep < kReps; ++rep) {
         double ms = timedRun(app, mode, load, threads, metrics,
-                             verified);
+                             verified, batch);
         if (rep == 0 || ms < best)
             best = ms;
         if (!verified)
@@ -161,40 +166,50 @@ main()
     const std::vector<int> sweep = sweepThreadCounts();
 
     std::printf("Simulation-kernel throughput: reference vs "
-                "event-driven vs compiled (specialized) vs sharded "
+                "event-driven vs compiled (specialized; bat = batched "
+                "replica stepping, cmp = batching off) vs sharded "
                 "parallel scheduler\n");
-    std::printf("%-14s %-9s %5s %10s %10s %10s %8s %8s %9s %12s\n",
+    std::printf("%-14s %-9s %5s %10s %10s %10s %10s %8s %8s %12s\n",
                 "Application", "config", "inst", "ref (ms)", "evt (ms)",
-                "cmp (ms)", "speedup", "cmp spd", "steps",
-                "Mcyc/s cmp");
+                "cmp (ms)", "bat (ms)", "cmp spd", "bat spd",
+                "Mcyc/s bat");
 
     std::vector<Row> rows;
     double max_speedup = 0.0;
     double max_parallel_speedup = 0.0;
     double compiled_speedup_log_sum = 0.0;
     int compiled_speedup_count = 0;
+    double batched_speedup_log_sum = 0.0;
+    int batched_speedup_count = 0;
     for (const Workload &load : workloads) {
         const App *app = benchsuite::findApp(load.app);
         SOFF_ASSERT(app != nullptr, "unknown bench app");
         Row row;
         row.load = load;
 
-        benchsuite::RunMetrics ref_metrics, evt_metrics, cmp_metrics;
-        bool ref_ok = false, evt_ok = false, cmp_ok = false;
+        benchsuite::RunMetrics ref_metrics, evt_metrics, cmp_metrics,
+            bat_metrics;
+        bool ref_ok = false, evt_ok = false, cmp_ok = false,
+             bat_ok = false;
         row.refWallMs = bestTimedRun(*app, sim::SchedulerMode::Reference,
                                      load, 0, ref_metrics, ref_ok);
         row.evtWallMs =
             bestTimedRun(*app, sim::SchedulerMode::EventDriven, load, 0,
                          evt_metrics, evt_ok);
-        row.cmpWallMs = bestTimedRun(*app, sim::SchedulerMode::Compiled,
-                                     load, 0, cmp_metrics, cmp_ok);
-        row.verified = ref_ok && evt_ok && cmp_ok &&
+        row.cmpWallMs =
+            bestTimedRun(*app, sim::SchedulerMode::Compiled, load, 0,
+                         cmp_metrics, cmp_ok, /*batch=*/false);
+        row.batWallMs = bestTimedRun(*app, sim::SchedulerMode::Compiled,
+                                     load, 0, bat_metrics, bat_ok);
+        row.verified = ref_ok && evt_ok && cmp_ok && bat_ok &&
                        ref_metrics.cycles == evt_metrics.cycles &&
-                       ref_metrics.cycles == cmp_metrics.cycles;
+                       ref_metrics.cycles == cmp_metrics.cycles &&
+                       ref_metrics.cycles == bat_metrics.cycles;
         row.simCycles = evt_metrics.cycles;
         row.refSteps = ref_metrics.componentSteps;
         row.evtSteps = evt_metrics.componentSteps;
         row.cmpSteps = cmp_metrics.componentSteps;
+        row.batSteps = bat_metrics.componentSteps;
         row.evtCyclesActive = evt_metrics.cyclesActive;
         row.instances = evt_metrics.instances;
         row.evtMetrics = evt_metrics;
@@ -207,19 +222,19 @@ main()
             compiled_speedup_log_sum += std::log(cmp_speedup);
             ++compiled_speedup_count;
         }
+        double bat_speedup =
+            row.batWallMs > 0.0 ? row.evtWallMs / row.batWallMs : 0.0;
+        if (bat_speedup > 0.0) {
+            batched_speedup_log_sum += std::log(bat_speedup);
+            ++batched_speedup_count;
+        }
 
-        double steps_avoided_pct =
-            row.refSteps > 0
-                ? 100.0 *
-                      static_cast<double>(row.refSteps - row.evtSteps) /
-                      static_cast<double>(row.refSteps)
-                : 0.0;
-        std::printf("%-14s %-9s %5d %10.2f %10.2f %10.2f %7.2fx "
-                    "%7.2fx %8.1f%% %12.2f%s\n",
+        std::printf("%-14s %-9s %5d %10.2f %10.2f %10.2f %10.2f "
+                    "%7.2fx %7.2fx %12.2f%s\n",
                     load.app, load.config, row.instances, row.refWallMs,
-                    row.evtWallMs, row.cmpWallMs, speedup, cmp_speedup,
-                    steps_avoided_pct,
-                    cyclesPerSec(row.simCycles, row.cmpWallMs) / 1e6,
+                    row.evtWallMs, row.cmpWallMs, row.batWallMs,
+                    cmp_speedup, bat_speedup,
+                    cyclesPerSec(row.simCycles, row.batWallMs) / 1e6,
                     row.verified ? "" : "  [MISMATCH]");
 
         if (load.threadSweep) {
@@ -263,6 +278,11 @@ main()
                        compiled_speedup_count)
             : 0.0;
     w.field("compiledGeomean", compiled_geomean);
+    const double batched_geomean =
+        batched_speedup_count > 0
+            ? std::exp(batched_speedup_log_sum / batched_speedup_count)
+            : 0.0;
+    w.field("batchedGeomean", batched_geomean);
     w.key("rows").beginArray();
     for (const Row &r : rows) {
         w.beginObject();
@@ -273,17 +293,22 @@ main()
         w.field("refWallMs", r.refWallMs);
         w.field("evtWallMs", r.evtWallMs);
         w.field("cmpWallMs", r.cmpWallMs);
+        w.field("batWallMs", r.batWallMs);
         w.field("speedup",
                 r.evtWallMs > 0.0 ? r.refWallMs / r.evtWallMs : 0.0);
         w.field("speedupCompiledVsEvt",
                 r.cmpWallMs > 0.0 ? r.evtWallMs / r.cmpWallMs : 0.0);
+        w.field("speedupBatchedVsEvt",
+                r.batWallMs > 0.0 ? r.evtWallMs / r.batWallMs : 0.0);
         w.field("simCycles", r.simCycles);
         w.field("refCyclesPerSec", cyclesPerSec(r.simCycles, r.refWallMs));
         w.field("evtCyclesPerSec", cyclesPerSec(r.simCycles, r.evtWallMs));
         w.field("cmpCyclesPerSec", cyclesPerSec(r.simCycles, r.cmpWallMs));
+        w.field("batCyclesPerSec", cyclesPerSec(r.simCycles, r.batWallMs));
         w.field("refComponentSteps", r.refSteps);
         w.field("evtComponentSteps", r.evtSteps);
         w.field("cmpComponentSteps", r.cmpSteps);
+        w.field("batComponentSteps", r.batSteps);
         w.field("evtCyclesActive", r.evtCyclesActive);
         w.field("verified", r.verified);
 
@@ -336,8 +361,10 @@ main()
     }
     std::printf("\nmax wall-clock speedup: %.2fx (event-driven vs "
                 "reference), %.2fx (parallel vs event-driven); "
-                "compiled vs event-driven geomean %.2fx; results %s\n",
+                "compiled vs event-driven geomean %.2fx (batching "
+                "off), %.2fx (batched); results %s\n",
                 max_speedup, max_parallel_speedup, compiled_geomean,
+                batched_geomean,
                 all_verified ? "identical across schedulers"
                              : "MISMATCHED");
     return all_verified ? 0 : 1;

@@ -402,7 +402,11 @@ parseTraceSpec(const char *text, sim::PlatformConfig &plat)
  * (Compiled), so code that explicitly pins a mode (tests, benchmark
  * baselines, the cross-check itself) is not affected. SOFF_SPECIALIZE=0
  * turns the default Compiled scheduler back into plain EventDriven
- * (and clears PlatformConfig::specialize, a circuit-cache key field). SOFF_THREADS sets the parallel worker count when the
+ * (and clears PlatformConfig::specialize, a circuit-cache key field).
+ * SOFF_BATCH_STEP=0 keeps the compiled plan but steps awake replicas
+ * one at a time instead of batching whole (level, thunk) buckets
+ * (PlatformConfig::batchStep, also a cache-key field).
+ * SOFF_THREADS sets the parallel worker count when the
  * caller left it at 0 (auto). SOFF_FAULTS installs a delay-only
  * fault-injection plan (sim/fault.hpp grammar) when the caller did
  * not already configure one. SOFF_TRACE enables the Chrome trace
@@ -418,6 +422,22 @@ applyEnvOverrides(sim::PlatformConfig &plat)
         const char *spec = std::getenv("SOFF_SPECIALIZE");
         if (spec != nullptr && std::string(spec) == "0")
             plat.specialize = false;
+    }
+    // SOFF_BATCH_STEP=0 turns off the batched replica stepping inside
+    // the compiled sweep (the plan itself stays on; the sweep steps
+    // one replica at a time — the ablation baseline). Strict parse
+    // like the other knobs: only "0" and "1" are meaningful.
+    {
+        const char *batch = std::getenv("SOFF_BATCH_STEP");
+        if (batch != nullptr && *batch != '\0') {
+            const std::string v(batch);
+            if (v == "0")
+                plat.batchStep = false;
+            else if (v != "1")
+                throw OpenClError(ClStatus::InvalidValue, strFormat(
+                    "invalid SOFF_BATCH_STEP '%s': expected 0 or 1",
+                    batch));
+        }
     }
     if (plat.scheduler == sim::SchedulerMode::Compiled) {
         const char *name = std::getenv("SOFF_SCHEDULER");
@@ -551,6 +571,7 @@ samePlatformStructure(const sim::PlatformConfig &a,
            a.dramCyclesPerLine == b.dramCyclesPerLine &&
            a.scheduler == b.scheduler && a.threads == b.threads &&
            a.specialize == b.specialize &&
+           a.batchStep == b.batchStep &&
            a.memRespWindowOverride == b.memRespWindowOverride &&
            a.balanceFifoCap == b.balanceFifoCap;
 }

@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "sim/fault.hpp"
+#include "sim/stats.hpp"
 #include "support/error.hpp"
 
 namespace soff::sim
@@ -177,16 +178,38 @@ class ChannelBase
     ~ChannelBase() = default; // non-virtual; destroyed via typed thunk
 
     /**
-     * Perf hooks (out-of-line; they need the Component/Simulator
-     * definitions). The push/pop hooks credit the component currently
+     * Perf hooks. The push/pop hooks credit the component currently
      * being stepped with a token movement this cycle; outside a
      * scheduler sweep (unit tests driving components by hand) they are
-     * no-ops. noteCommit() runs on the committing thread and folds the
+     * no-ops. Inline on purpose — they sit inside every push/pop on
+     * the hot path — and they read the stepping component's counters
+     * through one thread-local pointer the sweeps redirect per step
+     * (per replica in the batched compiled sweep). The trace sample is
+     * the only part that needs the Component/Simulator definitions, so
+     * it stays out-of-line behind the tlsTraceOn flag the run loops
+     * set; noteCommit() runs on the committing thread and folds the
      * commit into the channel's own token/occupancy counters plus the
      * trace sink. None of these feed back into scheduling.
      */
-    void notePerfPush();
-    void notePerfPop();
+    void
+    notePerfMove(bool out)
+    {
+        PerfCounters *p = tlsStepPerf;
+        if (p == nullptr || nowPtr_ == nullptr)
+            return;
+        if (out)
+            ++p->tokensOut;
+        else
+            ++p->tokensIn;
+        if (p->lastMoveCycle != *nowPtr_) {
+            p->lastMoveCycle = *nowPtr_;
+            ++p->busyCycles;
+            if (tlsTraceOn)
+                notePerfTrace(); // rare: trace window sampling
+        }
+    }
+    void notePerfPush() { notePerfMove(/*out=*/true); }
+    void notePerfPop() { notePerfMove(/*out=*/false); }
     void noteCommit(size_t pushes);
 
     /**
@@ -250,13 +273,29 @@ class ChannelBase
      *  wake for the component currently being stepped. */
     void faultRetry(uint64_t clear) const;
 
+    /** Out-of-line slow path of notePerfMove (needs the Component and
+     *  Simulator definitions): emits a componentActive trace sample
+     *  for the stepping component when its window is open. Reached
+     *  only when a trace sink is installed — which forces the generic
+     *  sweeps, so tlsStepping is always set here. */
+    void notePerfTrace();
+
     /** Where the stepping thread collects cross-shard dirty marks
      *  (parallel scheduler phase 1); null in the serial schedulers. */
     static thread_local std::vector<ChannelBase *> *tlsCrossDirty;
 
     /** The component the scheduler is stepping on this thread right
-     *  now (perf attribution for push/pop); null outside a sweep. */
+     *  now (trace attribution, forensics); null outside a sweep. */
     static thread_local Component *tlsStepping;
+
+    /** The stepping component's perf counters (push/pop attribution);
+     *  null outside a sweep. Kept as a separate lane from tlsStepping
+     *  so the hot hook costs one TLS load and no Component deref. */
+    static thread_local PerfCounters *tlsStepPerf;
+
+    /** True while the owning simulator has a trace sink installed
+     *  (set by the run loops; read by notePerfMove). */
+    static thread_local bool tlsTraceOn;
 
     uint64_t tokens_ = 0; ///< Committed pushes over the run.
     uint64_t maxOcc_ = 0; ///< Committed-occupancy high-water mark.
@@ -318,7 +357,11 @@ class Channel : public ChannelBase
     T
     pop()
     {
-        SOFF_ASSERT(canPop(), "pop on empty channel");
+        // Occupancy-only assert: canPop() would re-run the fault gate,
+        // which is deterministic within a cycle (the guard the caller
+        // just passed already armed any retry), so re-checking it here
+        // only costs hot-path work. The bounds condition stays on.
+        SOFF_ASSERT(committed_ > 0 && !popped_, "pop on empty channel");
         popped_ = true;
         markDirty();
         notePerfPop();
@@ -337,7 +380,9 @@ class Channel : public ChannelBase
     void
     push(T v)
     {
-        SOFF_ASSERT(canPush(), "push on full channel");
+        // Occupancy-only, like pop(): skip the redundant fault-gate
+        // re-evaluation; keep the always-on bounds check.
+        SOFF_ASSERT(committed_ + staged_ < cap_, "push on full channel");
         buf_[(head_ + committed_ + staged_) % cap_] = std::move(v);
         ++staged_;
         markDirty();

@@ -21,20 +21,23 @@ ChannelBase::faultRetry(uint64_t clear) const
 thread_local std::vector<ChannelBase *> *ChannelBase::tlsCrossDirty =
     nullptr;
 thread_local Component *ChannelBase::tlsStepping = nullptr;
+thread_local PerfCounters *ChannelBase::tlsStepPerf = nullptr;
+thread_local bool ChannelBase::tlsTraceOn = false;
 thread_local Simulator::Shard *Simulator::tlsShard_ = nullptr;
 
 void
-ChannelBase::notePerfPush()
+ChannelBase::notePerfTrace()
 {
-    if (tlsStepping != nullptr && nowPtr_ != nullptr)
-        tlsStepping->perfMoved(*nowPtr_, /*out=*/true);
-}
-
-void
-ChannelBase::notePerfPop()
-{
-    if (tlsStepping != nullptr && nowPtr_ != nullptr)
-        tlsStepping->perfMoved(*nowPtr_, /*out=*/false);
+    // Slow path of notePerfMove: only reached with a trace sink
+    // installed, which forces the generic sweeps — they set
+    // tlsStepping alongside tlsStepPerf, so the stepping component is
+    // always identified here.
+    Component *c = tlsStepping;
+    if (c == nullptr || c->sim_ == nullptr)
+        return;
+    TraceSink *sink = c->sim_->traceSink();
+    if (sink != nullptr && sink->inWindow(*nowPtr_))
+        sink->componentActive(c->index_, *nowPtr_);
 }
 
 void
@@ -65,16 +68,6 @@ Component::perfBusy(Cycle now)
         if (sink != nullptr && sink->inWindow(now))
             sink->componentActive(index_, now);
     }
-}
-
-void
-Component::perfMoved(Cycle now, bool out)
-{
-    perfBusy(now);
-    if (out)
-        ++perf_.tokensOut;
-    else
-        ++perf_.tokensIn;
 }
 
 const char *
@@ -374,6 +367,7 @@ Simulator::runReference(const bool *done, Cycle max_cycles,
 {
     RunResult result;
     Cycle idle = 0;
+    ChannelBase::tlsTraceOn = traceSink_ != nullptr;
     while (now_ < max_cycles) {
         if (done != nullptr && *done) {
             result.completed = true;
@@ -389,10 +383,12 @@ Simulator::runReference(const bool *done, Cycle max_cycles,
         activity_ = false;
         for (const StepEntry &e : steps_) {
             ChannelBase::tlsStepping = e.c;
+            ChannelBase::tlsStepPerf = &e.c->perf_;
             e.step(e.c, now_);
             finishStep(e);
         }
         ChannelBase::tlsStepping = nullptr;
+        ChannelBase::tlsStepPerf = nullptr;
         stats_.componentSteps += steps_.size();
         for (ChannelBase *ch : channels_) {
             if (ch->commit()) {
@@ -502,6 +498,7 @@ Simulator::runSharded(const bool *done, Cycle max_cycles)
     if (!shardsReady_)
         finalizeShards();
     constexpr Cycle kNone = ~Cycle{0};
+    ChannelBase::tlsTraceOn = traceSink_ != nullptr;
     RunResult result;
     while (now_ < max_cycles) {
         if (done != nullptr && *done) {
@@ -651,6 +648,7 @@ void
 Simulator::workerMain()
 {
     uint64_t gen = 0;
+    ChannelBase::tlsTraceOn = traceSink_ != nullptr;
     for (;;) {
         uint64_t g;
         // Yield-based spin: civil when threads outnumber cores, and
@@ -712,8 +710,10 @@ Simulator::stepShard(Shard &sh)
         schedFlags_[index] &= static_cast<uint8_t>(~kInWakeList);
         ++sh.componentSteps;
         ChannelBase::tlsStepping = e.c;
+        ChannelBase::tlsStepPerf = &e.c->perf_;
         e.step(e.c, now_);
         ChannelBase::tlsStepping = nullptr;
+        ChannelBase::tlsStepPerf = nullptr;
         finishStep(e);
         if (e.c->alwaysAwake_)
             scheduleIndexAt(index, now_ + 1);

@@ -79,6 +79,7 @@
 
 #include "sim/arena.hpp"
 #include "sim/channel.hpp"
+#include "sim/specialize.hpp"
 #include "sim/stats.hpp"
 #include "sim/token.hpp"
 
@@ -228,9 +229,6 @@ class Component
     friend class Simulator;
     friend class ChannelBase;
 
-    /** Channel push/pop attribution (out-of-line, simulator.cpp). */
-    void perfMoved(Cycle now, bool out);
-
     std::string name_;
     Simulator *sim_ = nullptr;
     uint32_t index_ = 0;
@@ -281,6 +279,7 @@ class Simulator
             [](const Component *c) {
                 return static_cast<const T *>(c)->T::holdsWork();
             }});
+        stepMany_.push_back(&Simulator::stepManyBody<T>);
         return raw;
     }
 
@@ -410,6 +409,18 @@ class Simulator
     TraceSink *traceSink() const { return traceSink_; }
 
     /**
+     * Enables/disables the batched replica stepping path of the
+     * compiled plan (SOFF_BATCH_STEP; on by default). Off, the sweep
+     * steps awake members one position at a time through the hoisted
+     * bucket thunks — observably identical, kept as the ablation
+     * baseline and the knob's escape hatch. Must be set before the
+     * first run; it only affects how buckets are swept, not what the
+     * plan contains.
+     */
+    void setBatchStep(bool on) { batchStep_ = on; }
+    bool batchStep() const { return batchStep_; }
+
+    /**
      * The specialized execution plan SchedulerMode::Compiled built for
      * this circuit at its first run, or null — before the first run,
      * under every other mode, when a fault plan or trace sink forces
@@ -513,6 +524,40 @@ class Simulator
     /** Post-step stall-span accounting (both scheduler families). */
     void finishStep(const StepEntry &e);
 
+    /**
+     * Batched replica stepping: steps every component in `batch` —
+     * all of concrete type T, all awake replicas of one (level, thunk)
+     * bucket — through the directly inlinable qualified call, with the
+     * channel perf attribution redirected per replica (one TLS store)
+     * and the stall-span accounting fused in. The loop body is
+     * branch-light and monomorphic: the compiler sees T::step and
+     * T::holdsWork at their single call sites and can vectorize or
+     * software-pipeline across replicas. Equivalent to the per-entry
+     * sweep + finishStep sequence by construction (same statements,
+     * same order per replica).
+     */
+    template <typename T>
+    static void
+    stepManyBody(Component *const *batch, uint32_t n, Cycle now)
+    {
+        for (uint32_t i = 0; i < n; ++i) {
+            T *c = static_cast<T *>(batch[i]);
+            ChannelBase::tlsStepPerf = &c->perf_;
+            c->T::step(now);
+            PerfCounters &p = c->perf_;
+            const bool moved = p.lastMoveCycle == now;
+            if (!moved && c->T::holdsWork()) {
+                if (!p.stallOpen) {
+                    p.stallOpen = true;
+                    p.stallStart = now;
+                }
+            } else if (p.stallOpen) {
+                p.stallOpen = false;
+                p.stalledCycles += now - p.stallStart;
+            }
+        }
+    }
+
     RunResult runReference(const bool *done, Cycle max_cycles,
                            Cycle deadlock_window);
     RunResult runSharded(const bool *done, Cycle max_cycles);
@@ -545,6 +590,9 @@ class Simulator
     std::vector<void (*)(ChannelBase *)> channelDtors_;
     /** Flat dispatch table, parallel to components_. */
     std::vector<StepEntry> steps_;
+    /** Batched step thunks, parallel to steps_ (compiled plan only;
+     *  every component of one thunk shares one stepManyBody<T>). */
+    std::vector<StepManyFn> stepMany_;
 
     // SoA scheduler state, indexed by component index. Lives here (not
     // in Component) so sweeps and wake delivery touch dense arrays.
@@ -561,6 +609,7 @@ class Simulator
     const FaultPlan *faultPlan_ = nullptr;
     const std::atomic<bool> *stopFlag_ = nullptr;
     TraceSink *traceSink_ = nullptr;
+    bool batchStep_ = true; ///< Batched bucket sweeps (setBatchStep).
 
     /** Specialized step plan (Compiled mode only; null = generic). */
     std::unique_ptr<CompiledPlan> plan_;

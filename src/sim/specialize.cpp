@@ -5,8 +5,10 @@
  * DESIGN.md "Specialized step loop" for the bit-identity argument.
  */
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <queue>
+#include <tuple>
 
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
@@ -208,13 +210,24 @@ Simulator::buildCompiledPlan()
     // position range — a bucket — and the index makes the order
     // deterministic. A wake is then one store into its bucket's slot
     // range; no per-cycle sort of the wakes is ever needed.
-    std::map<uintptr_t, uint32_t> fn_ids;
+    //
+    // The class key is the full thunk triple (step, holds, stepMany),
+    // not just the step pointer: the sweep hoists all three per
+    // bucket, so every member of a bucket must agree on all three.
+    // (Identical-code folding may merge the step thunks of two types
+    // whose holds/batched thunks differ — keying on the triple keeps
+    // such members in separate buckets.)
+    std::map<std::tuple<uintptr_t, uintptr_t, uintptr_t>, uint32_t>
+        fn_ids;
     std::vector<uint32_t> member_fn(count);
     for (uint32_t m = 0; m < count; ++m) {
-        uintptr_t fn =
-            reinterpret_cast<uintptr_t>(steps_[members[m]].step);
+        const uint32_t idx = members[m];
+        auto key = std::make_tuple(
+            reinterpret_cast<uintptr_t>(steps_[idx].step),
+            reinterpret_cast<uintptr_t>(steps_[idx].holds),
+            reinterpret_cast<uintptr_t>(stepMany_[idx]));
         auto [it, inserted] = fn_ids.try_emplace(
-            fn, static_cast<uint32_t>(fn_ids.size()));
+            key, static_cast<uint32_t>(fn_ids.size()));
         member_fn[m] = it->second;
     }
     std::vector<uint32_t> by_key(count);
@@ -249,16 +262,52 @@ Simulator::buildCompiledPlan()
     plan->bucketLen.assign(n_buckets, 0);
     plan->touched.reserve(n_buckets);
 
+    // SoA dispatch lanes: the sweep's inner loop reads one component
+    // pointer per replica (laneComp) and the per-bucket thunks are
+    // hoisted into bucket-indexed lanes, so no StepEntry row is ever
+    // reloaded on the hot path. Every member of a bucket shares the
+    // thunk triple (the bucket key above), so the representative at
+    // bucketStart[b] speaks for the whole range.
+    plan->laneComp.resize(count);
+    for (uint32_t pos = 0; pos < count; ++pos)
+        plan->laneComp[pos] = components_[plan->stepOrder[pos]];
+    plan->bucketStep.resize(n_buckets);
+    plan->bucketHolds.resize(n_buckets);
+    plan->bucketStepMany.resize(n_buckets);
+    for (uint32_t b = 0; b < n_buckets; ++b) {
+        const uint32_t rep = plan->stepOrder[plan->bucketStart[b]];
+        plan->bucketStep[b] = steps_[rep].step;
+        plan->bucketHolds[b] = steps_[rep].holds;
+        plan->bucketStepMany[b] = stepMany_[rep];
+    }
+    plan->batchScratch.resize(count);
+
     // --- 5. Rebind fused channels onto the plan's shared dirty list
-    // (commitSegmentChannels drains it) and preallocate the per-cycle
-    // runtime state so the steady-state loop never allocates.
+    // (commitSegmentChannels drains it), flatten their watcher lists
+    // into CSR position spans (commit-time wakes then walk a dense
+    // index array instead of chasing watcher pointers through
+    // compOrderPos), and preallocate the per-cycle runtime state so
+    // the steady-state loop never allocates.
+    plan->fusedWatchStart.assign(n_chan + 1, 0);
     for (ChannelBase *ch : channels_) {
         if (plan->chanSegment[ch->index_] != kNone) {
             ch->dirtyList_ = &plan->segDirty;
             ++plan->fusedChannels;
+            plan->fusedWatchStart[ch->index_ + 1] =
+                static_cast<uint32_t>(ch->watchers_.size());
         } else {
             ++plan->boundaryChannels;
         }
+    }
+    for (uint32_t i = 0; i < n_chan; ++i)
+        plan->fusedWatchStart[i + 1] += plan->fusedWatchStart[i];
+    plan->fusedWatchPos.resize(plan->fusedWatchStart[n_chan]);
+    for (ChannelBase *ch : channels_) {
+        if (plan->chanSegment[ch->index_] == kNone)
+            continue;
+        uint32_t cursor = plan->fusedWatchStart[ch->index_];
+        for (Component *w : ch->watchers_)
+            plan->fusedWatchPos[cursor++] = plan->compOrderPos[w->index_];
     }
     plan->segDirty.reserve(plan->fusedChannels);
     plan_ = std::move(plan);
@@ -319,27 +368,67 @@ Simulator::sweepActiveSegments(Shard &sh)
         return;
     // Buckets are swept in ascending id = (level, thunk) order, a
     // topological order of the fused graph; within a level there are
-    // no edges, so the arrival order a bucket's slots preserve is a
-    // valid (and unobservable) sub-order. The wakes themselves are
-    // never sorted: sparse cycles sort the touched bucket ids (a
-    // handful), dense cycles just walk all buckets in id order.
-    const uint32_t *order = p.stepOrder.data();
+    // no edges, so any sub-order a bucket's replicas are stepped in is
+    // valid (and unobservable — staged channel state is invisible
+    // until commit). The wakes themselves are never sorted: sparse
+    // cycles sort the touched bucket ids (a handful), dense cycles
+    // just walk all buckets in id order.
+    //
+    // Batched path (default): one stepManyBody<T> call per bucket
+    // steps every awake replica — the monomorphic step/holdsWork calls
+    // and the stall accounting are fused into one branch-light loop
+    // the compiler can pipeline across replicas. A full bucket is
+    // stepped straight off the laneComp span (no gather); a partial
+    // bucket gathers its awake lanes into the preallocated scratch
+    // first. The non-batched path (SOFF_BATCH_STEP=0) executes the
+    // same statements per replica through the hoisted bucket thunks,
+    // one position at a time — the ablation baseline.
     const uint32_t *slots = p.slots.data();
+    Component *const *lane = p.laneComp.data();
+    const bool batched = batchStep_;
     uint64_t stepped = 0;
     auto sweep_bucket = [&](uint32_t b) {
         const uint32_t base = p.bucketStart[b];
         const uint32_t len = p.bucketLen[b];
-        // One bucket = one (level, thunk) class: hoist the monomorphic
-        // step-function pointer once and batch the awake replicas
-        // through it in a tight loop over the SoA dispatch table.
-        void (*step_fn)(Component *, Cycle) = steps_[order[base]].step;
-        for (uint32_t i = 0; i < len; ++i) {
-            const uint32_t pos = slots[base + i];
-            p.memberActive[pos] = 0;
-            const StepEntry &e = steps_[order[pos]];
-            ChannelBase::tlsStepping = e.c;
-            step_fn(e.c, now_);
-            finishStep(e);
+        if (batched) {
+            StepManyFn fn = p.bucketStepMany[b];
+            if (len == p.bucketStart[b + 1] - base) {
+                // Dense bucket: every replica is awake. Position order
+                // equals component-index order here, and the wake
+                // flags clear in one contiguous wipe.
+                std::memset(&p.memberActive[base], 0, len);
+                fn(lane + base, len, now_);
+            } else {
+                Component **batch = p.batchScratch.data();
+                for (uint32_t i = 0; i < len; ++i) {
+                    const uint32_t pos = slots[base + i];
+                    p.memberActive[pos] = 0;
+                    batch[i] = lane[pos];
+                }
+                fn(batch, len, now_);
+            }
+        } else {
+            StepFn step_fn = p.bucketStep[b];
+            HoldsFn holds_fn = p.bucketHolds[b];
+            for (uint32_t i = 0; i < len; ++i) {
+                const uint32_t pos = slots[base + i];
+                p.memberActive[pos] = 0;
+                Component *c = lane[pos];
+                ChannelBase::tlsStepPerf = &c->perf_;
+                step_fn(c, now_);
+                // finishStep, sans the StepEntry row (SoA lanes only).
+                PerfCounters &pc = c->perf_;
+                const bool moved = pc.lastMoveCycle == now_;
+                if (!moved && holds_fn(c)) {
+                    if (!pc.stallOpen) {
+                        pc.stallOpen = true;
+                        pc.stallStart = now_;
+                    }
+                } else if (pc.stallOpen) {
+                    pc.stallOpen = false;
+                    pc.stalledCycles += now_ - pc.stallStart;
+                }
+            }
         }
         p.bucketLen[b] = 0;
         stepped += len;
@@ -358,7 +447,7 @@ Simulator::sweepActiveSegments(Shard &sh)
     }
     p.touched.clear();
     sh.componentSteps += stepped;
-    ChannelBase::tlsStepping = nullptr;
+    ChannelBase::tlsStepPerf = nullptr;
 }
 
 void
@@ -373,11 +462,17 @@ Simulator::commitSegmentChannels(Shard &sh)
     // pushed through scheduleIndexAt, minus the flag/next-list/sort
     // bookkeeping (the member flags dedup, like the next-list flag).
     CompiledPlan &p = *plan_;
+    const uint32_t *wstart = p.fusedWatchStart.data();
+    const uint32_t *wpos = p.fusedWatchPos.data();
     for (ChannelBase *ch : p.segDirty) {
         if (ch->commit())
             ++sh.channelCommits;
-        for (Component *w : ch->watchers_)
-            p.wake(p.compOrderPos[w->index_]);
+        // Watcher wakes through the flat CSR position spans built at
+        // plan time — no watcher-pointer chase, no compOrderPos
+        // lookup, same wake set and order as the pointer walk.
+        const uint32_t idx = ch->index_;
+        for (uint32_t k = wstart[idx]; k < wstart[idx + 1]; ++k)
+            p.wake(wpos[k]);
     }
     p.segDirty.clear();
 }

@@ -63,6 +63,15 @@ namespace soff::sim
 {
 
 class ChannelBase;
+class Component;
+
+/** Monomorphic step thunk: steps one component. */
+using StepFn = void (*)(Component *, uint64_t);
+/** Monomorphic holds-work thunk (stall accounting). */
+using HoldsFn = bool (*)(const Component *);
+/** Batched step thunk: steps a whole (level, thunk) bucket's awake
+ *  replicas in one call (see sweepActiveSegments). */
+using StepManyFn = void (*)(Component *const *, uint32_t, uint64_t);
 
 /** The per-circuit execution plan driving SchedulerMode::Compiled. */
 struct CompiledPlan
@@ -88,6 +97,33 @@ struct CompiledPlan
     /** Channel index -> 0 if fused, kNoSegment for boundary channels
      *  (generic dirty list + per-watcher wakes). */
     std::vector<uint32_t> chanSegment;
+
+    // ------------------------------------------------------------------
+    // SoA dispatch lanes (satellite of the batched step path): the
+    // sweep's inner loop reads exactly one 8-byte lane per replica
+    // instead of re-loading the full 24-byte StepEntry row.
+    // ------------------------------------------------------------------
+
+    /** Position -> component pointer (the only per-replica lane the
+     *  batched sweep touches). */
+    std::vector<Component *> laneComp;
+    /** Bucket id -> hoisted monomorphic step thunk. */
+    std::vector<StepFn> bucketStep;
+    /** Bucket id -> hoisted holds-work thunk (stall accounting). */
+    std::vector<HoldsFn> bucketHolds;
+    /** Bucket id -> batched step thunk (whole bucket in one call). */
+    std::vector<StepManyFn> bucketStepMany;
+    /** Preallocated gather buffer for sparse batched sweeps (size =
+     *  member count; zero steady-state allocations). */
+    std::vector<Component *> batchScratch;
+
+    /** CSR spans over fused-channel watchers: channel index i's member
+     *  watcher *positions* are fusedWatchPos[fusedWatchStart[i] ..
+     *  fusedWatchStart[i+1]). Replaces the watchers_ pointer-chase +
+     *  compOrderPos lookup in commitSegmentChannels. Boundary channels
+     *  have empty spans. */
+    std::vector<uint32_t> fusedWatchStart;
+    std::vector<uint32_t> fusedWatchPos;
 
     // ------------------------------------------------------------------
     // Per-cycle runtime state (preallocated at build; the steady-state

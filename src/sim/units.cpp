@@ -6,6 +6,61 @@
 namespace soff::sim
 {
 
+namespace
+{
+
+/**
+ * Shared core of ComputeUnit/MemUnit::refreshOperandPlan. The first
+ * call (wiring is complete by the first step) classifies every
+ * instruction operand once — pre-evaluating constants and recording
+ * input-flit indices — so the per-issue loop is a branch-light read
+ * of the slots. Every call re-fetches argument values from the launch
+ * context into the cached slots (relaunches rebind them); slot
+ * storage is retained, so only the very first build allocates.
+ */
+template <typename InVec>
+void
+refreshOperandPlanImpl(const ir::Instruction *inst, const InVec &ins,
+                       const LaunchContext *launch,
+                       const std::string &unit_name,
+                       std::vector<OperandSlot> &plan, bool &built)
+{
+    if (!built) {
+        plan.resize(inst->numOperands());
+        size_t k = 0;
+        for (const ir::Value *op : inst->operands()) {
+            OperandSlot &s = plan[k++];
+            if (op->isConstant()) {
+                s.src = OperandSlot::Src::Value;
+                s.value = ir::constantValue(
+                    static_cast<const ir::Constant *>(op));
+            } else if (op->isArgument()) {
+                s.src = OperandSlot::Src::Value;
+                s.arg = static_cast<const ir::Argument *>(op);
+            } else {
+                s.src = OperandSlot::Src::Input;
+                bool found = false;
+                for (size_t i = 0; i < ins.size(); ++i) {
+                    if (ins[i].value == op) {
+                        s.input = static_cast<uint32_t>(i);
+                        found = true;
+                        break;
+                    }
+                }
+                SOFF_ASSERT(found,
+                            "operand not wired to unit " + unit_name);
+            }
+        }
+        built = true;
+    }
+    for (OperandSlot &s : plan) {
+        if (s.arg != nullptr)
+            s.value = launch->argValue(s.arg);
+    }
+}
+
+} // namespace
+
 // ----------------------------------------------------------------------
 // SourceUnit
 // ----------------------------------------------------------------------
@@ -96,20 +151,12 @@ ComputeUnit::addInput(Channel<Flit> *ch, const ir::Value *value)
     ins_.push_back({ch, value});
 }
 
-ir::RtValue
-ComputeUnit::resolveOperand(const ir::Value *op,
-                            const std::vector<Flit> &flits) const
+void
+ComputeUnit::refreshOperandPlan()
 {
-    if (op->isConstant())
-        return ir::constantValue(static_cast<const ir::Constant *>(op));
-    if (op->isArgument())
-        return launch_->argValue(static_cast<const ir::Argument *>(op));
-    for (size_t i = 0; i < ins_.size(); ++i) {
-        if (ins_[i].value == op)
-            return flits[i].val;
-    }
-    SOFF_ASSERT(false, "operand not wired to unit " + name());
-    return ir::RtValue();
+    refreshOperandPlanImpl(inst_, ins_, launch_, name(), opPlan_,
+                           opPlanBuilt_);
+    opPlanFresh_ = true;
 }
 
 void
@@ -158,10 +205,13 @@ ComputeUnit::stepBody(Cycle now)
             SOFF_ASSERT(flits[i].wi == wi,
                         "unit received misaligned work-items: " + name());
     }
+    if (!opPlanFresh_)
+        refreshOperandPlan();
     std::vector<ir::RtValue> &ops = opScratch_;
     ops.clear();
-    for (const ir::Value *op : inst_->operands())
-        ops.push_back(resolveOperand(op, flits));
+    for (const OperandSlot &s : opPlan_)
+        ops.push_back(s.src == OperandSlot::Src::Input ? flits[s.input].val
+                                                       : s.value);
     ir::WorkItemCtx ctx = launch_->ndrange.ctxOf(wi);
     Flit result;
     result.wi = wi;
@@ -202,20 +252,12 @@ MemUnit::addInput(Channel<Flit> *ch, const ir::Value *value)
     ins_.push_back({ch, value});
 }
 
-ir::RtValue
-MemUnit::resolveOperand(const ir::Value *op,
-                        const std::vector<Flit> &flits) const
+void
+MemUnit::refreshOperandPlan()
 {
-    if (op->isConstant())
-        return ir::constantValue(static_cast<const ir::Constant *>(op));
-    if (op->isArgument())
-        return launch_->argValue(static_cast<const ir::Argument *>(op));
-    for (size_t i = 0; i < ins_.size(); ++i) {
-        if (ins_[i].value == op)
-            return flits[i].val;
-    }
-    SOFF_ASSERT(false, "operand not wired to unit " + name());
-    return ir::RtValue();
+    refreshOperandPlanImpl(inst_, ins_, launch_, name(), opPlan_,
+                           opPlanBuilt_);
+    opPlanFresh_ = true;
 }
 
 ir::RtValue
@@ -284,10 +326,13 @@ MemUnit::step(Cycle)
         flits.push_back(in.ch->peek());
     uint64_t wi = flits.empty() ? 0 : flits[0].wi;
 
+    if (!opPlanFresh_)
+        refreshOperandPlan();
     std::vector<ir::RtValue> &ops = opScratch_;
     ops.clear();
-    for (const ir::Value *op : inst_->operands())
-        ops.push_back(resolveOperand(op, flits));
+    for (const OperandSlot &s : opPlan_)
+        ops.push_back(s.src == OperandSlot::Src::Input ? flits[s.input].val
+                                                       : s.value);
 
     MemReq req;
     req.addr = ops.at(0).i;

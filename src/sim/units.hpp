@@ -17,6 +17,30 @@
 namespace soff::sim
 {
 
+/**
+ * A pre-resolved instruction operand source. Built once per unit from
+ * the immutable wiring (ComputeUnit/MemUnit), so the per-issue hot
+ * path reads either a cached value or an input-flit index instead of
+ * re-classifying the operand (constant? argument?) and linearly
+ * scanning the input list every cycle. Constants are pre-evaluated;
+ * argument values are cached by value and re-fetched from the launch
+ * context after every reset() (a relaunch of a pooled circuit rebinds
+ * buffer addresses, and the launch map's node addresses are not
+ * stable across that copy).
+ */
+struct OperandSlot
+{
+    enum class Src : uint8_t
+    {
+        Value, ///< Use `value` (pre-evaluated constant / cached arg).
+        Input, ///< Use the issuing cycle's input flit `input`.
+    };
+    Src src = Src::Value;
+    uint32_t input = 0;
+    const ir::Argument *arg = nullptr; ///< Refresh source, or null.
+    ir::RtValue value;
+};
+
 /** Distributes live-in values of a basic block to consumers (§IV-B). */
 class SourceUnit : public Component
 {
@@ -127,12 +151,12 @@ class ComputeUnit : public Component
     void reset() override
     {
         pipe_.clear();
+        opPlanFresh_ = false; // re-fetch cached argument values
     }
 
   private:
     void stepBody(Cycle now);
-    ir::RtValue resolveOperand(const ir::Value *op,
-                               const std::vector<Flit> &flits) const;
+    void refreshOperandPlan();
 
     const ir::Instruction *inst_;
     int latency_;
@@ -151,6 +175,12 @@ class ComputeUnit : public Component
     };
     RingQueue<Stage> pipe_;
     size_t capacity_;
+    /** Pre-resolved operand sources (structure built once; argument
+     *  values refreshed after reset — storage is retained, so the
+     *  steady state and every relaunch stay allocation-free). */
+    std::vector<OperandSlot> opPlan_;
+    bool opPlanBuilt_ = false;
+    bool opPlanFresh_ = false;
     /** Per-step scratch (members so steady-state steps never allocate). */
     std::vector<Flit> flitScratch_;
     std::vector<ir::RtValue> opScratch_;
@@ -219,11 +249,11 @@ class MemUnit : public Component
         inflight_.clear();
         violation_.clear();
         blockedOnLock_ = -1;
+        opPlanFresh_ = false; // re-fetch cached argument values
     }
 
   private:
-    ir::RtValue resolveOperand(const ir::Value *op,
-                               const std::vector<Flit> &flits) const;
+    void refreshOperandPlan();
     ir::RtValue convertResponse(uint64_t bits) const;
 
     const ir::Instruction *inst_;
@@ -249,6 +279,10 @@ class MemUnit : public Component
     bool checkInvariants_ = false;
     std::string violation_;
     int blockedOnLock_ = -1; ///< Lock index stalled on, -1 if none.
+    /** Pre-resolved operand sources (see ComputeUnit). */
+    std::vector<OperandSlot> opPlan_;
+    bool opPlanBuilt_ = false;
+    bool opPlanFresh_ = false;
     /** Per-step scratch (members so steady-state steps never allocate). */
     std::vector<Flit> flitScratch_;
     std::vector<ir::RtValue> opScratch_;

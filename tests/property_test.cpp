@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <vector>
 
 #include "baseline/interpreter.hpp"
@@ -502,6 +503,87 @@ buildChain(sim::Simulator &simulator, uint64_t seed, uint64_t tokens)
     return chain;
 }
 
+/**
+ * Everything observable about a finished multi-lane run: completion
+ * cycle, delivered data, per-channel counters, per-component perf
+ * counters, and the exact number of component steps (the wake set).
+ * Two scheduler configurations are equivalent iff their observations
+ * compare equal memberwise.
+ */
+struct Observation
+{
+    uint64_t cycles = 0;
+    uint64_t componentSteps = 0;
+    bool hadPlan = false;
+    std::vector<uint64_t> sums;
+    std::vector<uint64_t> tokens;
+    std::vector<uint64_t> maxOcc;
+    /** (busy, stalled, tokensIn, tokensOut) per component. */
+    std::vector<std::array<uint64_t, 4>> perf;
+};
+
+/**
+ * Builds `kLanes` identical seed-shuffled chains side by side — the
+ * same component kind at the same dataflow level across lanes, so the
+ * compiled plan's (level, thunk) buckets are wide and the batched
+ * sweep actually batches replicas — and runs every lane to
+ * completion. A non-null fault config installs a fault plan before
+ * any channel is created (the real circuit builder's order).
+ */
+Observation
+runLanes(sim::SchedulerMode mode, bool batch, uint64_t seed,
+         const sim::FaultConfig *faults = nullptr)
+{
+    constexpr int kLanes = 6;
+    constexpr uint64_t kTokens = 120;
+    sim::FaultPlan plan(faults != nullptr ? *faults
+                                          : sim::FaultConfig{});
+    sim::Simulator simulator(mode);
+    simulator.setBatchStep(batch);
+    // Mirror KernelCircuit: the plan is installed only when it
+    // perturbs timing (a disabled config stays off entirely).
+    if (faults != nullptr && plan.config().perturbsTiming())
+        simulator.setFaultPlan(&plan);
+    std::vector<Chain> lanes;
+    for (int l = 0; l < kLanes; ++l)
+        lanes.push_back(buildChain(simulator, seed, kTokens));
+    Observation obs;
+    for (Chain &chain : lanes) {
+        auto result =
+            simulator.run(chain.tail->doneFlag(), 1000000, 10000);
+        EXPECT_TRUE(result.completed);
+        obs.cycles = result.cycles;
+    }
+    simulator.finalizePerfSpans();
+    obs.componentSteps = simulator.schedulerStats().componentSteps;
+    obs.hadPlan = simulator.compiledPlan() != nullptr;
+    for (Chain &chain : lanes) {
+        obs.sums.push_back(chain.tail->sum());
+        for (sim::ChannelBase *ch : chain.channels) {
+            obs.tokens.push_back(ch->tokensDelivered());
+            obs.maxOcc.push_back(ch->maxOccupancy());
+        }
+    }
+    sim::StatsReport report;
+    simulator.appendPerfStats(report);
+    for (const sim::ComponentStats &cs : report.components)
+        obs.perf.push_back({cs.busy, cs.stalled, cs.tokensIn,
+                            cs.tokensOut});
+    return obs;
+}
+
+void
+expectSameObservation(const Observation &a, const Observation &b,
+                      const char *what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.componentSteps, b.componentSteps) << what;
+    EXPECT_EQ(a.sums, b.sums) << what;
+    EXPECT_EQ(a.tokens, b.tokens) << what;
+    EXPECT_EQ(a.maxOcc, b.maxOcc) << what;
+    EXPECT_EQ(a.perf, b.perf) << what;
+}
+
 } // namespace compiled_spec
 
 class CompiledSpecialization
@@ -620,6 +702,59 @@ TEST(CompiledSpecialization, RelaunchReusesThePlan)
     ASSERT_TRUE(second.completed);
     EXPECT_EQ(first.cycles, second.cycles);
     EXPECT_NE(simulator.compiledPlan(), nullptr);
+}
+
+TEST_P(CompiledSpecialization, BatchedStepMatchesPerReplica)
+{
+    // The batched bucket sweep (one stepMany call over all awake
+    // replicas of a (level, thunk) bucket) must be observably
+    // identical to the per-replica step sequence (SOFF_BATCH_STEP=0)
+    // and to the generic event-driven scheduler: same completion
+    // cycle, same delivered data, bit-identical channel and perf
+    // counters, and the exact same number of component steps (the
+    // wake sets match, not just the results).
+    using compiled_spec::runLanes;
+    auto batched =
+        runLanes(sim::SchedulerMode::Compiled, true, GetParam());
+    auto serial =
+        runLanes(sim::SchedulerMode::Compiled, false, GetParam());
+    auto evt =
+        runLanes(sim::SchedulerMode::EventDriven, true, GetParam());
+    EXPECT_TRUE(batched.hadPlan);
+    EXPECT_TRUE(serial.hadPlan);
+    EXPECT_FALSE(evt.hadPlan);
+    compiled_spec::expectSameObservation(batched, serial,
+                                         "batched vs per-replica");
+    compiled_spec::expectSameObservation(batched, evt,
+                                         "batched vs event-driven");
+}
+
+TEST_P(CompiledSpecialization, BatchedStepFaultSeedsMatch)
+{
+    // Across fault seeds: seed 0 is a clean run (the plan builds and
+    // the batched sweep is active); nonzero seeds install a fault
+    // plan, which must force the exact generic fallback — no compiled
+    // plan at all — with results still identical across
+    // SOFF_BATCH_STEP=0/1 and EventDriven.
+    using compiled_spec::runLanes;
+    for (uint64_t fault_seed : {uint64_t{0}, uint64_t{42},
+                                uint64_t{1337}}) {
+        sim::FaultConfig cfg;
+        cfg.seed = fault_seed;
+        auto batched = runLanes(sim::SchedulerMode::Compiled, true,
+                                GetParam(), &cfg);
+        auto serial = runLanes(sim::SchedulerMode::Compiled, false,
+                               GetParam(), &cfg);
+        auto evt = runLanes(sim::SchedulerMode::EventDriven, true,
+                            GetParam(), &cfg);
+        EXPECT_EQ(batched.hadPlan, fault_seed == 0)
+            << "faults must force the generic fallback";
+        EXPECT_EQ(serial.hadPlan, fault_seed == 0);
+        compiled_spec::expectSameObservation(
+            batched, serial, "batched vs per-replica (faults)");
+        compiled_spec::expectSameObservation(
+            batched, evt, "batched vs event-driven (faults)");
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CompiledSpecialization,
